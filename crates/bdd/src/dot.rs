@@ -1,0 +1,55 @@
+//! Graphviz DOT export for BDDs.
+
+use crate::manager::Bdd;
+use crate::node::BddId;
+use std::fmt::Write as _;
+
+impl Bdd {
+    /// Renders the diagram rooted at `f` in Graphviz DOT syntax.
+    ///
+    /// Solid edges are the `hi` (variable = 1) branch, dashed edges `lo`.
+    pub fn to_dot(&self, f: BddId) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        out.push_str("  t0 [label=\"0\", shape=box];\n");
+        out.push_str("  t1 [label=\"1\", shape=box];\n");
+        let name = |n: BddId| -> String {
+            match n {
+                BddId::FALSE => "t0".into(),
+                BddId::TRUE => "t1".into(),
+                other => format!("n{}", other.0),
+            }
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_const() || !seen.insert(n) {
+                continue;
+            }
+            let _ = writeln!(out, "  {} [label=\"x{}\"];", name(n), self.var_of(n));
+            let _ = writeln!(out, "  {} -> {} [style=dashed];", name(n), name(self.lo(n)));
+            let _ = writeln!(out, "  {} -> {};", name(n), name(self.hi(n)));
+            stack.push(self.lo(n));
+            stack.push(self.hi(n));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Bdd;
+
+    #[test]
+    fn dot_structure() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.xor(x, y);
+        let dot = b.to_dot(f);
+        assert!(dot.starts_with("digraph bdd {"));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Node identifiers for the BDD store.
+
+use std::fmt;
+
+/// A handle to a Boolean function in a [`Bdd`] manager.
+///
+/// IDs from the same manager are equal iff the functions are equal
+/// (reduced ordered BDDs are canonical).
+///
+/// [`Bdd`]: crate::Bdd
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BddId(pub(crate) u32);
+
+impl BddId {
+    /// The constant false function.
+    pub const FALSE: BddId = BddId(0);
+    /// The constant true function.
+    pub const TRUE: BddId = BddId(1);
+
+    /// Returns `true` for the two constant functions.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Returns `true` if this is the constant false function.
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == BddId::FALSE
+    }
+
+    /// Returns `true` if this is the constant true function.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == BddId::TRUE
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BddId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BddId::FALSE => write!(f, "0"),
+            BddId::TRUE => write!(f, "1"),
+            BddId(n) => write!(f, "f{n}"),
+        }
+    }
+}
+
+/// Internal node: Shannon decomposition on `var`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct BddNode {
+    pub var: u32,
+    pub lo: BddId,
+    pub hi: BddId,
+}
+
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert!(BddId::FALSE.is_const());
+        assert!(BddId::TRUE.is_const());
+        assert!(BddId::FALSE.is_false());
+        assert!(BddId::TRUE.is_true());
+        assert!(!BddId(5).is_const());
+        assert_eq!(BddId::FALSE.to_string(), "0");
+        assert_eq!(BddId(7).to_string(), "f7");
+    }
+}

@@ -1,0 +1,162 @@
+//! Restriction and quantification.
+
+use crate::manager::{BOp, Bdd};
+use crate::node::BddId;
+
+impl Bdd {
+    /// The cofactor `f|v=val`.
+    pub fn restrict(&mut self, f: BddId, v: u32, val: bool) -> BddId {
+        if f.is_const() {
+            return f;
+        }
+        let top = self.raw_var(f);
+        if top > v {
+            return f;
+        }
+        if top == v {
+            return if val { self.hi(f) } else { self.lo(f) };
+        }
+        let op = if val { BOp::Restrict1 } else { BOp::Restrict0 };
+        let key = (op, f, BddId(v));
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let (lo, hi) = (self.lo(f), self.hi(f));
+        let nlo = self.restrict(lo, v, val);
+        let nhi = self.restrict(hi, v, val);
+        let r = self.mk(top, nlo, nhi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Existential quantification `∃v. f = f|v=0 ∨ f|v=1`.
+    pub fn exists(&mut self, f: BddId, v: u32) -> BddId {
+        if f.is_const() {
+            return f;
+        }
+        let top = self.raw_var(f);
+        if top > v {
+            return f;
+        }
+        if top == v {
+            let (lo, hi) = (self.lo(f), self.hi(f));
+            return self.or(lo, hi);
+        }
+        let key = (BOp::Exists, f, BddId(v));
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let (lo, hi) = (self.lo(f), self.hi(f));
+        let nlo = self.exists(lo, v);
+        let nhi = self.exists(hi, v);
+        let r = self.mk(top, nlo, nhi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Universal quantification `∀v. f = f|v=0 ∧ f|v=1`.
+    pub fn forall(&mut self, f: BddId, v: u32) -> BddId {
+        if f.is_const() {
+            return f;
+        }
+        let top = self.raw_var(f);
+        if top > v {
+            return f;
+        }
+        if top == v {
+            let (lo, hi) = (self.lo(f), self.hi(f));
+            return self.and(lo, hi);
+        }
+        let key = (BOp::Forall, f, BddId(v));
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let (lo, hi) = (self.lo(f), self.hi(f));
+        let nlo = self.forall(lo, v);
+        let nhi = self.forall(hi, v);
+        let r = self.mk(top, nlo, nhi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Existentially quantifies a set of variables.
+    pub fn exists_many(&mut self, f: BddId, vars: &[u32]) -> BddId {
+        vars.iter().fold(f, |acc, &v| self.exists(acc, v))
+    }
+
+    /// The support of `f`: variables it actually depends on, ascending.
+    pub fn support(&self, f: BddId) -> Vec<u32> {
+        let mut vars = std::collections::BTreeSet::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_const() || !seen.insert(n) {
+                continue;
+            }
+            vars.insert(self.raw_var(n));
+            stack.push(self.lo(n));
+            stack.push(self.hi(n));
+        }
+        vars.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restrict_fixes_variable() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        assert_eq!(b.restrict(f, 0, true), y);
+        assert_eq!(b.restrict(f, 0, false), BddId::FALSE);
+        // Restricting a variable not in the support is the identity.
+        assert_eq!(b.restrict(f, 9, true), f);
+    }
+
+    #[test]
+    fn exists_removes_dependency() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        let e = b.exists(f, 0);
+        assert_eq!(e, y);
+        assert_eq!(b.support(e), vec![1]);
+    }
+
+    #[test]
+    fn forall_of_conjunction() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.or(x, y);
+        // ∀x. (x ∨ y) = y
+        assert_eq!(b.forall(f, 0), y);
+        // ∀x. (x ∧ y) = 0
+        let g = b.and(x, y);
+        assert_eq!(b.forall(g, 0), BddId::FALSE);
+    }
+
+    #[test]
+    fn exists_many_quantifies_everything() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        let e = b.exists_many(f, &[0, 1]);
+        assert!(e.is_true());
+    }
+
+    #[test]
+    fn support_of_middle_var() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let z = b.var(5);
+        let f = b.xor(x, z);
+        assert_eq!(b.support(f), vec![0, 5]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Benchmarks of the reduction engines: explicit fixpoint vs the implicit
+//! (ZDD) phase, across instance sizes.
+
+use cover::{cyclic_core, CoreOptions, CoverMatrix, ImplicitMatrix, Reducer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use workloads::{random_ucp, RandomUcpConfig};
+
+fn instance(rows: usize) -> CoverMatrix {
+    random_ucp(
+        &RandomUcpConfig {
+            rows,
+            cols: rows * 3 / 2,
+            min_row_degree: 2,
+            max_row_degree: 6,
+            ..RandomUcpConfig::default()
+        },
+        99,
+    )
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reductions");
+    group.sample_size(20);
+    for &rows in &[50usize, 150, 400] {
+        let m = instance(rows);
+        group.bench_with_input(BenchmarkId::new("explicit", rows), &m, |b, m| {
+            b.iter(|| {
+                let mut r = Reducer::new(m);
+                r.reduce_to_fixpoint();
+                black_box(r.fixed().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("implicit", rows), &m, |b, m| {
+            b.iter(|| {
+                let mut im = ImplicitMatrix::encode(m);
+                black_box(im.reduce().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cyclic_core", rows), &m, |b, m| {
+            b.iter(|| black_box(cyclic_core(m, &CoreOptions::default()).fixed_cols.len()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cyclic_core_no_implicit", rows),
+            &m,
+            |b, m| {
+                let opts = CoreOptions {
+                    use_implicit: false,
+                    ..CoreOptions::default()
+                };
+                b.iter(|| black_box(cyclic_core(m, &opts).fixed_cols.len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reductions);
+criterion_main!(benches);

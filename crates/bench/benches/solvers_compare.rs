@@ -1,0 +1,53 @@
+//! End-to-end solver comparison: ZDD_SCG vs the greedy baselines vs exact
+//! branch-and-bound, on one seeded instance per size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use solvers::{branch_and_bound, chvatal_greedy, espresso_like, BnbOptions, EspressoMode};
+use std::hint::black_box;
+use ucp_core::{Scg, ScgOptions};
+use workloads::{random_ucp, RandomUcpConfig};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    for &rows in &[40usize, 90, 160] {
+        let m = random_ucp(
+            &RandomUcpConfig {
+                rows,
+                cols: rows * 3 / 2,
+                min_row_degree: 2,
+                max_row_degree: 5,
+                ..RandomUcpConfig::default()
+            },
+            7,
+        );
+        group.bench_with_input(BenchmarkId::new("chvatal", rows), &m, |b, m| {
+            b.iter(|| black_box(chvatal_greedy(m).map(|s| s.cost(m))))
+        });
+        group.bench_with_input(BenchmarkId::new("espresso_strong", rows), &m, |b, m| {
+            b.iter(|| black_box(espresso_like(m, EspressoMode::Strong).map(|s| s.cost(m))))
+        });
+        group.bench_with_input(BenchmarkId::new("scg_fast", rows), &m, |b, m| {
+            let opts = ScgOptions::fast();
+            b.iter(|| black_box(Scg::new(opts).solve(m).cost))
+        });
+        group.bench_with_input(BenchmarkId::new("scg_default", rows), &m, |b, m| {
+            let opts = ScgOptions::default();
+            b.iter(|| black_box(Scg::new(opts).solve(m).cost))
+        });
+        if rows <= 90 {
+            group.bench_with_input(BenchmarkId::new("bnb", rows), &m, |b, m| {
+                let opts = BnbOptions {
+                    node_limit: 200_000,
+                    time_limit: None,
+                    ..BnbOptions::default()
+                };
+                b.iter(|| black_box(branch_and_bound(m, &opts).cost))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the ZDD family algebra — the primitives behind the
+//! implicit reduction phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use zdd::{NodeId, Var, Zdd};
+
+/// A seeded random family of `sets` sets over `universe` variables.
+fn random_family(z: &mut Zdd, universe: u32, sets: usize, seed: u64) -> NodeId {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let families: Vec<Vec<Var>> = (0..sets)
+        .map(|_| {
+            let k = rng.random_range(2..=6usize);
+            (0..k).map(|_| Var(rng.random_range(0..universe))).collect()
+        })
+        .collect();
+    z.from_sets(families)
+}
+
+fn bench_zdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zdd");
+    group.sample_size(20);
+    for &sets in &[100usize, 400, 1600] {
+        group.bench_with_input(BenchmarkId::new("union", sets), &sets, |b, &sets| {
+            b.iter_batched(
+                || {
+                    let mut z = Zdd::new();
+                    let f = random_family(&mut z, 64, sets, 1);
+                    let g = random_family(&mut z, 64, sets, 2);
+                    (z, f, g)
+                },
+                |(mut z, f, g)| black_box(z.union(f, g)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("minimal", sets), &sets, |b, &sets| {
+            b.iter_batched(
+                || {
+                    let mut z = Zdd::new();
+                    let f = random_family(&mut z, 64, sets, 3);
+                    (z, f)
+                },
+                |(mut z, f)| black_box(z.minimal(f)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("product", sets), &sets, |b, &sets| {
+            b.iter_batched(
+                || {
+                    let mut z = Zdd::new();
+                    let f = random_family(&mut z, 64, sets.min(200), 4);
+                    let g = random_family(&mut z, 64, sets.min(200), 5);
+                    (z, f, g)
+                },
+                |(mut z, f, g)| black_box(z.product(f, g)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zdd);
+criterion_main!(benches);

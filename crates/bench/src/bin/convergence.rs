@@ -1,0 +1,80 @@
+//! Subgradient convergence trace (§3.2's narrative rendered as a text
+//! figure): `z_λ` oscillates while the best bound `LB` only rises and the
+//! dual-Lagrangian upper bound `UB_LD` only falls, squeezing `z*_P`.
+//!
+//! Usage: `cargo run -p ucp-bench --release --bin convergence [instance]`
+
+use ucp_core::{subgradient_ascent, SubgradientOptions};
+use workloads::suite;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "bench1".into());
+    let instances = suite::all();
+    let inst = instances
+        .iter()
+        .find(|i| i.name == which)
+        .unwrap_or_else(|| {
+            eprintln!("unknown instance {which:?}; defaulting to bench1");
+            instances.iter().find(|i| i.name == "bench1").expect("suite")
+        });
+    let opts = SubgradientOptions {
+        record_history: true,
+        max_iters: 200,
+        ..SubgradientOptions::default()
+    };
+    let r = subgradient_ascent(&inst.matrix, &opts, None, None);
+
+    println!(
+        "subgradient trace on {} ({}×{}), final LB {:.2}, incumbent {}",
+        inst.name,
+        inst.matrix.num_rows(),
+        inst.matrix.num_cols(),
+        r.lb,
+        r.best_cost
+    );
+    let lo = r
+        .history
+        .iter()
+        .map(|h| h.z_lambda)
+        .fold(f64::INFINITY, f64::min);
+    let hi = r
+        .history
+        .iter()
+        .map(|h| h.ub_ld.min(r.best_cost))
+        .fold(r.lb, f64::max);
+    let width = 56usize;
+    let col = |v: f64| -> usize {
+        (((v - lo) / (hi - lo).max(1e-9)) * (width as f64 - 1.0))
+            .round()
+            .clamp(0.0, width as f64 - 1.0) as usize
+    };
+    println!("{:>5}  {:<width$}  {:>8} {:>8} {:>8}", "iter", "z=· LB=# UB=|", "z_λ", "LB", "UB_LD");
+    for (k, h) in r.history.iter().enumerate() {
+        if k % 5 != 0 && k + 1 != r.history.len() {
+            continue;
+        }
+        let mut line = vec![' '; width];
+        line[col(h.lb)] = '#';
+        let ub = h.ub_ld.min(r.best_cost);
+        if ub.is_finite() {
+            line[col(ub)] = '|';
+        }
+        line[col(h.z_lambda)] = '·';
+        println!(
+            "{:>5}  {}  {:>8.2} {:>8.2} {:>8.2}",
+            k,
+            line.iter().collect::<String>(),
+            h.z_lambda,
+            h.lb,
+            h.ub_ld
+        );
+    }
+    // The monotonicity the paper describes.
+    let lb_monotone = r.history.windows(2).all(|w| w[1].lb >= w[0].lb - 1e-12);
+    let ub_monotone = r.history.windows(2).all(|w| w[1].ub_ld <= w[0].ub_ld + 1e-12);
+    println!(
+        "LB monotone non-decreasing: {}; UB_LD monotone non-increasing: {}",
+        if lb_monotone { "YES" } else { "NO" },
+        if ub_monotone { "YES" } else { "NO" }
+    );
+}

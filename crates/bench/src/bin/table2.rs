@@ -1,0 +1,57 @@
+//! Table 2: ZDD_SCG vs the espresso-like heuristics on the *challenging*
+//! instances (per-instance Sol / CC(s) / T(s), as in the paper).
+//!
+//! Expected shape (paper): on the instances where both land on the same
+//! cover, ZDD_SCG certifies it optimal; everywhere else ZDD_SCG's cover is
+//! smaller; Espresso remains much faster.
+//!
+//! Usage: `cargo run -p ucp-bench --release --bin table2 [--quick]`
+
+use solvers::EspressoMode;
+use ucp_bench::{run_espresso, run_scg, secs, Table};
+use ucp_core::ScgOptions;
+use workloads::suite;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick {
+        ScgOptions::fast()
+    } else {
+        ScgOptions::default()
+    };
+    let mut t = Table::new([
+        "Name", "Sol", "CC(s)", "T(s)", "Core", "Espr Sol", "Espr T(s)", "Strong Sol",
+        "Strong T(s)",
+    ]);
+    let mut wins = 0usize;
+    let mut ties = 0usize;
+    let mut losses = 0usize;
+    for inst in suite::challenging() {
+        let scg = run_scg(&inst.matrix, opts);
+        let (en, tn) = run_espresso(&inst.matrix, EspressoMode::Normal);
+        let (es, ts) = run_espresso(&inst.matrix, EspressoMode::Strong);
+        let best_esp = en.min(es);
+        if scg.cost < best_esp {
+            wins += 1;
+        } else if scg.cost == best_esp {
+            ties += 1;
+        } else {
+            losses += 1;
+        }
+        let sol = format!("{}{}", scg.cost, if scg.proven_optimal { "*" } else { "" });
+        t.row([
+            inst.name.clone(),
+            sol,
+            secs(scg.cc_time),
+            secs(scg.total_time),
+            format!("{}x{}", scg.core_rows, scg.core_cols),
+            format!("{en}"),
+            secs(tn),
+            format!("{es}"),
+            secs(ts),
+        ]);
+    }
+    println!("Table 2 — challenging problems (a * marks a certified optimum)");
+    println!("{}", t.render());
+    println!("ZDD_SCG vs best espresso-like: {wins} better, {ties} equal, {losses} worse");
+}

@@ -1,0 +1,67 @@
+//! Table 4: ZDD_SCG vs the exact (scherzo-like) solver on the *challenging*
+//! instances.
+//!
+//! Expected shape (paper): many instances certified optimal by the
+//! heuristic itself; on the instances the exact solver cannot close within
+//! budget, ZDD_SCG delivers the best-known cover together with a lower
+//! bound quantifying the residual error (the paper's 27–47% error
+//! reductions on ex1010/test2/test3).
+//!
+//! Usage: `cargo run -p ucp-bench --release --bin table4 [--quick]`
+
+use std::time::Duration;
+use ucp_bench::{run_exact, run_scg, secs, Table};
+use ucp_core::ScgOptions;
+use workloads::suite;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick {
+        ScgOptions::fast()
+    } else {
+        ScgOptions::default()
+    };
+    let (nodes, budget) = if quick {
+        (100_000u64, Duration::from_secs(2))
+    } else {
+        (3_000_000, Duration::from_secs(45))
+    };
+    let mut t = Table::new([
+        "Name", "SCG Sol(LB)", "SCG T(s)", "MaxIter", "Exact Sol", "Exact T(s)", "Gap",
+    ]);
+    let mut certified = 0usize;
+    for inst in suite::challenging() {
+        let scg = run_scg(&inst.matrix, opts);
+        let exact = run_exact(&inst.matrix, nodes, budget);
+        if scg.proven_optimal {
+            certified += 1;
+        }
+        let sol = if scg.proven_optimal {
+            format!("{}*", scg.cost)
+        } else {
+            format!("{}({})", scg.cost, scg.lower_bound)
+        };
+        let exact_sol = if exact.optimal {
+            format!("{}", exact.cost)
+        } else {
+            format!("{}H", exact.cost)
+        };
+        let gap = if scg.lower_bound > 0.0 {
+            format!("{:.1}%", 100.0 * (scg.cost - scg.lower_bound) / scg.lower_bound)
+        } else {
+            "-".to_string()
+        };
+        t.row([
+            inst.name.clone(),
+            sol,
+            secs(scg.total_time),
+            scg.iterations.to_string(),
+            exact_sol,
+            secs(exact.elapsed),
+            gap,
+        ]);
+    }
+    println!("Table 4 — challenging vs exact (`*` proven by SCG's own bound, `H` = exact budget exhausted)");
+    println!("{}", t.render());
+    println!("instances certified optimal by ZDD_SCG alone: {certified}/16 (paper: 11/16)");
+}

@@ -1,0 +1,143 @@
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures.
+//!
+//! One binary per experiment (see `DESIGN.md` → per-experiment index):
+//!
+//! | experiment | binary |
+//! |---|---|
+//! | §5 experiment 1 (easy cyclic aggregate) | `easy_cyclic` |
+//! | Table 1 (difficult cyclic vs Espresso) | `table1` |
+//! | Table 2 (challenging vs Espresso) | `table2` |
+//! | Table 3 (difficult cyclic vs exact) | `table3` |
+//! | Table 4 (challenging vs exact) | `table4` |
+//! | Figure 1 (bound chain) | `figure1` |
+//! | design-choice ablations | `ablation` |
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+use cover::CoverMatrix;
+use solvers::{branch_and_bound, espresso_like, BnbOptions, EspressoMode};
+use std::time::{Duration, Instant};
+use ucp_core::{Scg, ScgOptions, ScgOutcome};
+
+/// Formats seconds with two decimals (the tables' `T(s)` style).
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Runs `ZDD_SCG` with the given options and returns the outcome.
+pub fn run_scg(m: &CoverMatrix, opts: ScgOptions) -> ScgOutcome {
+    Scg::new(opts).solve(m)
+}
+
+/// Runs the espresso-like baseline; returns `(cost, wall time)`.
+pub fn run_espresso(m: &CoverMatrix, mode: EspressoMode) -> (f64, Duration) {
+    let t = Instant::now();
+    let cost = espresso_like(m, mode)
+        .map(|s| s.cost(m))
+        .unwrap_or(f64::INFINITY);
+    (cost, t.elapsed())
+}
+
+/// Runs the exact branch-and-bound under a budget; returns the result.
+pub fn run_exact(m: &CoverMatrix, node_limit: u64, time_limit: Duration) -> solvers::BnbResult {
+    branch_and_bound(
+        m,
+        &BnbOptions {
+            node_limit,
+            time_limit: Some(time_limit),
+            ..BnbOptions::default()
+        },
+    )
+}
+
+/// A minimal fixed-width table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(["Name", "Sol"]);
+        t.row(["bench1", "121"]);
+        t.row(["x", "9"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Name"));
+        assert!(lines[2].ends_with("121"));
+    }
+
+    #[test]
+    fn harness_wrappers_run() {
+        let m = CoverMatrix::from_rows(
+            5,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+        );
+        let scg = run_scg(&m, ScgOptions::fast());
+        assert_eq!(scg.cost, 3.0);
+        let (e, _) = run_espresso(&m, EspressoMode::Normal);
+        assert!(e >= 3.0);
+        let exact = run_exact(&m, 10_000, Duration::from_secs(5));
+        assert!(exact.optimal);
+        assert_eq!(exact.cost, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+}

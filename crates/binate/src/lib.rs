@@ -1,0 +1,558 @@
+//! Binate covering: the generalisation the paper situates unate covering in
+//! (§1: covering problems are *"a common model in most fields of Computer
+//! Science"*, usually in their binate form).
+//!
+//! A binate instance asks for a minimum-cost 0/1 assignment `p` satisfying
+//! clauses that may contain *negative* literals:
+//!
+//! ```text
+//! ⋁_{j ∈ P_i} p_j  ∨  ⋁_{j ∈ N_i} ¬p_j      for every row i
+//! ```
+//!
+//! Unate covering is the special case `N_i = ∅` everywhere. Unlike the
+//! unate case, binate instances can be genuinely infeasible, and `p = e`
+//! (select everything) is not always a solution.
+//!
+//! Provided here:
+//!
+//! * [`BinateMatrix`] — the sparse clause representation (with a lossless
+//!   embedding of unate instances via `From<&CoverMatrix>`),
+//! * [`BinateReducer`] — unit propagation and row dominance to a fixpoint,
+//! * [`solve`] — an exact branch-and-bound with unit propagation at every
+//!   node and the MIS bound on the purely positive residual clauses.
+//!
+//! # Example
+//!
+//! ```
+//! use binate::{solve, BinateMatrix, BinateOptions};
+//!
+//! // (p0 ∨ p1) ∧ (¬p0 ∨ p2): picking p1 alone satisfies both? No — the
+//! // second clause is satisfied by ¬p0 when p0 is not picked. Optimal: {p1}.
+//! let m = BinateMatrix::new(3, vec![
+//!     (vec![0, 1], vec![]),
+//!     (vec![2], vec![0]),
+//! ]);
+//! let r = solve(&m, &BinateOptions::default());
+//! let sol = r.assignment.expect("feasible");
+//! assert_eq!(r.cost, 1.0);
+//! assert!(!sol[0] && sol[1] && !sol[2]);
+//! ```
+
+use cover::CoverMatrix;
+use std::fmt;
+
+/// A binate covering instance: clauses over `num_cols` 0/1 variables.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BinateMatrix {
+    num_cols: usize,
+    /// `(positive literals, negative literals)` per clause, each sorted.
+    clauses: Vec<(Vec<usize>, Vec<usize>)>,
+    costs: Vec<f64>,
+}
+
+impl BinateMatrix {
+    /// Builds an instance with unit costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable `≥ num_cols` or a clause
+    /// contains the same variable in both phases (such a clause is a
+    /// tautology; remove it instead).
+    pub fn new(num_cols: usize, clauses: Vec<(Vec<usize>, Vec<usize>)>) -> Self {
+        Self::with_costs(num_cols, clauses, vec![1.0; num_cols])
+    }
+
+    /// Builds an instance with explicit costs.
+    ///
+    /// # Panics
+    ///
+    /// See [`BinateMatrix::new`]; additionally panics if `costs.len()`
+    /// disagrees or a cost is negative/non-finite.
+    pub fn with_costs(
+        num_cols: usize,
+        mut clauses: Vec<(Vec<usize>, Vec<usize>)>,
+        costs: Vec<f64>,
+    ) -> Self {
+        assert_eq!(costs.len(), num_cols);
+        assert!(costs.iter().all(|c| c.is_finite() && *c >= 0.0));
+        for (pos, neg) in clauses.iter_mut() {
+            pos.sort_unstable();
+            pos.dedup();
+            neg.sort_unstable();
+            neg.dedup();
+            for &j in pos.iter().chain(neg.iter()) {
+                assert!(j < num_cols, "literal {j} out of range");
+            }
+            let tautology = pos.iter().any(|j| neg.binary_search(j).is_ok());
+            assert!(!tautology, "tautological clause (x ∨ ¬x)");
+        }
+        BinateMatrix {
+            num_cols,
+            clauses,
+            costs,
+        }
+    }
+
+    /// Number of variables (columns).
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of clauses (rows).
+    pub fn num_rows(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[(Vec<usize>, Vec<usize>)] {
+        &self.clauses
+    }
+
+    /// Cost of variable `j`.
+    pub fn cost(&self, j: usize) -> f64 {
+        self.costs[j]
+    }
+
+    /// Evaluates an assignment.
+    pub fn is_satisfied(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|(pos, neg)| {
+            pos.iter().any(|&j| assignment[j]) || neg.iter().any(|&j| !assignment[j])
+        })
+    }
+
+    /// Cost of an assignment.
+    pub fn assignment_cost(&self, assignment: &[bool]) -> f64 {
+        assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(j, _)| self.costs[j])
+            .sum()
+    }
+}
+
+impl From<&CoverMatrix> for BinateMatrix {
+    /// Embeds a unate instance (no negative literals anywhere).
+    fn from(m: &CoverMatrix) -> Self {
+        BinateMatrix::with_costs(
+            m.num_cols(),
+            m.rows().iter().map(|r| (r.clone(), Vec::new())).collect(),
+            m.costs().to_vec(),
+        )
+    }
+}
+
+impl fmt::Display for BinateMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BinateMatrix {}×{}", self.num_rows(), self.num_cols())?;
+        for (pos, neg) in &self.clauses {
+            write!(f, "  (")?;
+            for j in pos {
+                write!(f, " {j}")?;
+            }
+            for j in neg {
+                write!(f, " ¬{j}")?;
+            }
+            writeln!(f, " )")?;
+        }
+        Ok(())
+    }
+}
+
+/// Variable state during reduction/search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum VarState {
+    Free,
+    True,
+    False,
+}
+
+/// Unit propagation + row dominance over a [`BinateMatrix`].
+#[derive(Clone, Debug)]
+pub struct BinateReducer<'a> {
+    m: &'a BinateMatrix,
+    state: Vec<VarState>,
+    satisfied: Vec<bool>,
+    conflict: bool,
+}
+
+impl<'a> BinateReducer<'a> {
+    /// Starts with all variables free.
+    pub fn new(m: &'a BinateMatrix) -> Self {
+        BinateReducer {
+            m,
+            state: vec![VarState::Free; m.num_cols()],
+            satisfied: vec![false; m.num_rows()],
+            conflict: false,
+        }
+    }
+
+    /// Variables currently fixed to 1, ascending.
+    pub fn chosen(&self) -> Vec<usize> {
+        (0..self.m.num_cols())
+            .filter(|&j| self.state[j] == VarState::True)
+            .collect()
+    }
+
+    /// `true` when propagation found an unsatisfiable clause.
+    pub fn conflict(&self) -> bool {
+        self.conflict
+    }
+
+    /// `true` when every clause is satisfied.
+    pub fn done(&self) -> bool {
+        !self.conflict && self.satisfied.iter().all(|&s| s)
+    }
+
+    /// Assigns a variable and propagates units to a fixpoint.
+    pub fn assign(&mut self, j: usize, value: bool) {
+        match (self.state[j], value) {
+            (VarState::Free, true) => self.state[j] = VarState::True,
+            (VarState::Free, false) => self.state[j] = VarState::False,
+            (VarState::True, true) | (VarState::False, false) => {}
+            _ => {
+                self.conflict = true;
+                return;
+            }
+        }
+        self.propagate();
+    }
+
+    /// Unit propagation: clauses whose literals are all falsified but one
+    /// force that literal.
+    pub fn propagate(&mut self) {
+        loop {
+            let mut changed = false;
+            for (i, (pos, neg)) in self.m.clauses.iter().enumerate() {
+                if self.satisfied[i] || self.conflict {
+                    continue;
+                }
+                // Clause satisfied?
+                let sat = pos.iter().any(|&j| self.state[j] == VarState::True)
+                    || neg.iter().any(|&j| self.state[j] == VarState::False);
+                if sat {
+                    self.satisfied[i] = true;
+                    changed = true;
+                    continue;
+                }
+                // Free literals.
+                let free_pos: Vec<usize> = pos
+                    .iter()
+                    .copied()
+                    .filter(|&j| self.state[j] == VarState::Free)
+                    .collect();
+                let free_neg: Vec<usize> = neg
+                    .iter()
+                    .copied()
+                    .filter(|&j| self.state[j] == VarState::Free)
+                    .collect();
+                match free_pos.len() + free_neg.len() {
+                    0 => {
+                        self.conflict = true;
+                        return;
+                    }
+                    1 => {
+                        if let Some(&j) = free_pos.first() {
+                            self.state[j] = VarState::True;
+                        } else {
+                            self.state[free_neg[0]] = VarState::False;
+                        }
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// The residual problem: unsatisfied clauses restricted to free
+    /// variables, with a map from residual to original variable indices.
+    pub fn residual(&self) -> (BinateMatrix, Vec<usize>) {
+        let var_map: Vec<usize> = (0..self.m.num_cols())
+            .filter(|&j| self.state[j] == VarState::Free)
+            .collect();
+        let mut inv = vec![usize::MAX; self.m.num_cols()];
+        for (new, &old) in var_map.iter().enumerate() {
+            inv[old] = new;
+        }
+        let mut clauses = Vec::new();
+        for (i, (pos, neg)) in self.m.clauses.iter().enumerate() {
+            if self.satisfied[i] {
+                continue;
+            }
+            let p: Vec<usize> = pos
+                .iter()
+                .filter(|&&j| self.state[j] == VarState::Free)
+                .map(|&j| inv[j])
+                .collect();
+            let n: Vec<usize> = neg
+                .iter()
+                .filter(|&&j| self.state[j] == VarState::Free)
+                .map(|&j| inv[j])
+                .collect();
+            clauses.push((p, n));
+        }
+        // Row dominance: a clause implied by a smaller clause is removable.
+        let mut keep: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+        clauses.sort_by_key(|(p, n)| p.len() + n.len());
+        'outer: for c in clauses {
+            for k in &keep {
+                if subset(&k.0, &c.0) && subset(&k.1, &c.1) {
+                    continue 'outer;
+                }
+            }
+            keep.push(c);
+        }
+        let costs: Vec<f64> = var_map.iter().map(|&j| self.m.costs[j]).collect();
+        (
+            BinateMatrix::with_costs(var_map.len(), keep, costs),
+            var_map,
+        )
+    }
+}
+
+fn subset(a: &[usize], b: &[usize]) -> bool {
+    a.iter().all(|x| b.binary_search(x).is_ok())
+}
+
+/// Search limits for [`solve`].
+#[derive(Clone, Copy, Debug)]
+pub struct BinateOptions {
+    /// Node budget.
+    pub node_limit: u64,
+}
+
+impl Default for BinateOptions {
+    fn default() -> Self {
+        BinateOptions {
+            node_limit: 1_000_000,
+        }
+    }
+}
+
+/// The outcome of [`solve`].
+#[derive(Clone, Debug)]
+pub struct BinateResult {
+    /// A minimum-cost satisfying assignment, or `None` if unsatisfiable.
+    pub assignment: Option<Vec<bool>>,
+    /// Its cost (`+∞` if unsatisfiable).
+    pub cost: f64,
+    /// `true` when the search completed within budget.
+    pub complete: bool,
+    /// Nodes expanded.
+    pub nodes: u64,
+}
+
+/// Exact branch-and-bound for binate covering.
+///
+/// Bounds with the MIS bound on the purely positive residual clauses
+/// (negative literals can always be satisfied for free by *not* selecting,
+/// so only all-positive clauses force cost).
+pub fn solve(m: &BinateMatrix, opts: &BinateOptions) -> BinateResult {
+    struct Ctx {
+        best: Option<Vec<bool>>,
+        best_cost: f64,
+        nodes: u64,
+        limit: u64,
+        truncated: bool,
+    }
+    fn positive_mis_bound(m: &BinateMatrix) -> f64 {
+        // Greedy MIS over all-positive clauses.
+        let mut used = vec![false; m.num_cols()];
+        let mut order: Vec<usize> = (0..m.num_rows())
+            .filter(|&i| m.clauses[i].1.is_empty())
+            .collect();
+        order.sort_by_key(|&i| m.clauses[i].0.len());
+        let mut bound = 0.0;
+        for i in order {
+            let (pos, _) = &m.clauses[i];
+            if pos.iter().any(|&j| used[j]) {
+                continue;
+            }
+            bound += pos
+                .iter()
+                .map(|&j| m.costs[j])
+                .fold(f64::INFINITY, f64::min);
+            for &j in pos {
+                used[j] = true;
+            }
+        }
+        bound
+    }
+    fn rec(m: &BinateMatrix, red: BinateReducer<'_>, base_cost: f64, ctx: &mut Ctx) {
+        ctx.nodes += 1;
+        if ctx.nodes > ctx.limit {
+            ctx.truncated = true;
+            return;
+        }
+        if red.conflict() {
+            return;
+        }
+        let cost: f64 = base_cost
+            + red
+                .chosen()
+                .iter()
+                .map(|&j| m.costs[j])
+                .sum::<f64>();
+        if cost >= ctx.best_cost - 1e-9 {
+            return;
+        }
+        if red.done() {
+            let mut assignment = vec![false; m.num_cols()];
+            for &j in &red.chosen() {
+                assignment[j] = true;
+            }
+            ctx.best_cost = cost;
+            ctx.best = Some(assignment);
+            return;
+        }
+        let (res, var_map) = red.residual();
+        if res.num_rows() == 0 {
+            // All remaining clauses satisfied; no more cost.
+            let mut assignment = vec![false; m.num_cols()];
+            for &j in &red.chosen() {
+                assignment[j] = true;
+            }
+            ctx.best_cost = cost;
+            ctx.best = Some(assignment);
+            return;
+        }
+        if cost + positive_mis_bound(&res) >= ctx.best_cost - 1e-9 {
+            return;
+        }
+        // Branch on the most frequent residual variable.
+        let mut occ = vec![0usize; res.num_cols()];
+        for (pos, neg) in res.clauses() {
+            for &j in pos.iter().chain(neg.iter()) {
+                occ[j] += 1;
+            }
+        }
+        let pick_local = (0..res.num_cols())
+            .max_by_key(|&j| occ[j])
+            .expect("residual has clauses, hence variables");
+        let pick = var_map[pick_local];
+        // Try excluding first (free), then including.
+        for value in [false, true] {
+            let mut next = red.clone();
+            next.assign(pick, value);
+            rec(m, next, base_cost, ctx);
+        }
+    }
+
+    let mut ctx = Ctx {
+        best: None,
+        best_cost: f64::INFINITY,
+        nodes: 0,
+        limit: opts.node_limit,
+        truncated: false,
+    };
+    let mut red = BinateReducer::new(m);
+    red.propagate();
+    rec(m, red, 0.0, &mut ctx);
+    BinateResult {
+        complete: !ctx.truncated,
+        cost: if ctx.best.is_some() {
+            ctx.best_cost
+        } else {
+            f64::INFINITY
+        },
+        assignment: ctx.best,
+        nodes: ctx.nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_propagation_chains() {
+        // p0 forced, which forces ¬p1 via (¬p0 ∨ ¬p1), which forces p2.
+        let m = BinateMatrix::new(
+            3,
+            vec![
+                (vec![0], vec![]),
+                (vec![], vec![0, 1]),
+                (vec![1, 2], vec![]),
+            ],
+        );
+        let mut red = BinateReducer::new(&m);
+        red.propagate();
+        assert!(red.done());
+        assert_eq!(red.chosen(), vec![0, 2]);
+    }
+
+    #[test]
+    fn conflict_detected() {
+        let m = BinateMatrix::new(1, vec![(vec![0], vec![]), (vec![], vec![0])]);
+        let mut red = BinateReducer::new(&m);
+        red.propagate();
+        assert!(red.conflict());
+        let r = solve(&m, &BinateOptions::default());
+        assert!(r.assignment.is_none());
+        assert!(r.cost.is_infinite());
+    }
+
+    #[test]
+    fn negative_literals_are_free() {
+        // (¬p0 ∨ ¬p1): satisfied by the all-false assignment at cost 0.
+        let m = BinateMatrix::new(2, vec![(vec![], vec![0, 1])]);
+        let r = solve(&m, &BinateOptions::default());
+        assert_eq!(r.cost, 0.0);
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn unate_embedding_matches_unate_solver() {
+        use cover::CoverMatrix;
+        let unate = CoverMatrix::from_rows(
+            5,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+        );
+        let binate: BinateMatrix = (&unate).into();
+        let r = solve(&binate, &BinateOptions::default());
+        assert!(r.complete);
+        assert_eq!(r.cost, 3.0); // C5 optimum
+        let a = r.assignment.unwrap();
+        assert!(binate.is_satisfied(&a));
+    }
+
+    #[test]
+    fn respects_costs() {
+        // (p0 ∨ p1) with c0 = 5, c1 = 1 → pick p1.
+        let m = BinateMatrix::with_costs(2, vec![(vec![0, 1], vec![])], vec![5.0, 1.0]);
+        let r = solve(&m, &BinateOptions::default());
+        assert_eq!(r.cost, 1.0);
+        assert!(r.assignment.unwrap()[1]);
+    }
+
+    #[test]
+    fn implication_chains_priced_correctly() {
+        // p0 ∨ p1; choosing p0 triggers (¬p0 ∨ p2) forcing expensive p2.
+        let m = BinateMatrix::with_costs(
+            3,
+            vec![(vec![0, 1], vec![]), (vec![2], vec![0])],
+            vec![1.0, 3.0, 9.0],
+        );
+        let r = solve(&m, &BinateOptions::default());
+        // p0 costs 1 + 9 = 10; p1 costs 3. Optimal: p1 alone.
+        assert_eq!(r.cost, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tautological")]
+    fn tautological_clause_rejected() {
+        let _ = BinateMatrix::new(1, vec![(vec![0], vec![0])]);
+    }
+
+    #[test]
+    fn display_renders_phases() {
+        let m = BinateMatrix::new(2, vec![(vec![0], vec![1])]);
+        let s = m.to_string();
+        assert!(s.contains("¬1"));
+        assert!(s.contains(" 0"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property test: the binate branch-and-bound matches exhaustive search.
+
+use binate::{solve, BinateMatrix, BinateOptions};
+use proptest::prelude::*;
+
+fn brute(m: &BinateMatrix) -> Option<f64> {
+    let n = m.num_cols();
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let assignment: Vec<bool> = (0..n).map(|j| mask >> j & 1 == 1).collect();
+        if !m.is_satisfied(&assignment) {
+            continue;
+        }
+        let c = m.assignment_cost(&assignment);
+        best = Some(best.map_or(c, |b: f64| b.min(c)));
+    }
+    best
+}
+
+#[derive(Clone, Debug)]
+struct RawClause {
+    pos: Vec<usize>,
+    neg: Vec<usize>,
+}
+
+fn clause_strategy(cols: usize) -> impl Strategy<Value = RawClause> {
+    // Assign each variable a phase: absent / positive / negative.
+    prop::collection::vec(0u8..3, cols).prop_map(|phases| {
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for (j, p) in phases.into_iter().enumerate() {
+            match p {
+                1 => pos.push(j),
+                2 => neg.push(j),
+                _ => {}
+            }
+        }
+        RawClause { pos, neg }
+    })
+}
+
+fn instance_strategy() -> impl Strategy<Value = BinateMatrix> {
+    (2usize..=8).prop_flat_map(|cols| {
+        let clauses = prop::collection::vec(clause_strategy(cols), 1..=8);
+        let costs = prop::collection::vec(1u8..=4, cols);
+        (clauses, costs).prop_map(move |(clauses, costs)| {
+            let clauses: Vec<(Vec<usize>, Vec<usize>)> = clauses
+                .into_iter()
+                .filter(|c| !c.pos.is_empty() || !c.neg.is_empty())
+                .map(|c| (c.pos, c.neg))
+                .collect();
+            let clauses = if clauses.is_empty() {
+                vec![(vec![0], vec![])]
+            } else {
+                clauses
+            };
+            BinateMatrix::with_costs(cols, clauses, costs.into_iter().map(f64::from).collect())
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn bnb_matches_brute_force(m in instance_strategy()) {
+        let r = solve(&m, &BinateOptions::default());
+        prop_assert!(r.complete);
+        prop_assert_eq!(
+            r.assignment.as_ref().map(|a| m.assignment_cost(a)),
+            brute(&m),
+            "instance: {}", m
+        );
+        if let Some(a) = &r.assignment {
+            prop_assert!(m.is_satisfied(a));
+        }
+    }
+}

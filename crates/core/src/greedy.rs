@@ -1,0 +1,240 @@
+//! The four Lagrangian greedy primal heuristics of §3.5.
+//!
+//! Starting from the (usually infeasible) Lagrangian solution
+//! `{j : c̃_j ≤ 0}`, columns are added one at a time, each chosen to
+//! minimise a rating `γ_j` combining its Lagrangian cost `c̃_j` with the
+//! number `n_j` of still-uncovered rows it covers; finally redundant columns
+//! are removed. Using Lagrangian instead of original costs lets the
+//! multipliers weigh row importance — the paper's observed improvement over
+//! plain Chvátal greedy.
+
+use cover::{CoverMatrix, Solution};
+
+/// The rating rule for the next column.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GammaRule {
+    /// `γ_j = c̃_j / n_j` (Chvátal's ratio with Lagrangian costs).
+    Linear,
+    /// `γ_j = c̃_j / lg₂(n_j + 1)`.
+    Log,
+    /// `γ_j = c̃_j / (n_j · lg₂(n_j + 1))`.
+    LinearLog,
+    /// The occurrence-weighted fourth rule: uncovered rows count inversely
+    /// to how many columns could still cover them (`rows covered by few
+    /// columns are more important`). Slower; the paper applies it to the
+    /// initial problem only.
+    Occurrence,
+}
+
+impl GammaRule {
+    /// The three cheap rules, in the paper's order.
+    pub const FAST: [GammaRule; 3] = [GammaRule::Linear, GammaRule::Log, GammaRule::LinearLog];
+}
+
+/// Runs one Lagrangian greedy pass with the given rule.
+///
+/// `c_tilde` are the Lagrangian costs steering the choice; the returned
+/// cover is made irredundant under the matrix's *original* costs. Returns
+/// `None` if the matrix has an uncoverable row.
+///
+/// # Panics
+///
+/// Panics if `c_tilde.len() != a.num_cols()`.
+///
+/// # Example
+///
+/// ```
+/// use cover::CoverMatrix;
+/// use ucp_core::greedy::{lagrangian_greedy, GammaRule};
+///
+/// let m = CoverMatrix::from_rows(3, vec![vec![0, 1], vec![1, 2]]);
+/// let sol = lagrangian_greedy(&m, m.costs(), GammaRule::Linear).unwrap();
+/// assert_eq!(sol.cols(), &[1]); // the middle column covers everything
+/// ```
+#[allow(clippy::needless_range_loop)] // scanning all columns by index is the clearest form
+pub fn lagrangian_greedy(a: &CoverMatrix, c_tilde: &[f64], rule: GammaRule) -> Option<Solution> {
+    assert_eq!(c_tilde.len(), a.num_cols(), "one rating cost per column");
+    let n = a.num_cols();
+    let mut selected = vec![false; n];
+    let mut covered = vec![false; a.num_rows()];
+    let mut uncovered = a.num_rows();
+
+    // Seed with the Lagrangian relaxation's solution.
+    for j in 0..n {
+        if c_tilde[j] <= 0.0 {
+            selected[j] = true;
+            for &i in a.col_rows(j) {
+                if !covered[i] {
+                    covered[i] = true;
+                    uncovered -= 1;
+                }
+            }
+        }
+    }
+
+    while uncovered > 0 {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if selected[j] {
+                continue;
+            }
+            let n_j = a.col_rows(j).iter().filter(|&&i| !covered[i]).count();
+            if n_j == 0 {
+                continue;
+            }
+            let gamma = rate(a, c_tilde, j, n_j, &covered, rule);
+            let better = match best {
+                None => true,
+                Some((bj, bg)) => {
+                    gamma < bg - 1e-12
+                        || ((gamma - bg).abs() <= 1e-12
+                            && (a.cost(j), j) < (a.cost(bj), bj))
+                }
+            };
+            if better {
+                best = Some((j, gamma));
+            }
+        }
+        let (j, _) = best?; // no column covers a remaining row: infeasible
+        selected[j] = true;
+        for &i in a.col_rows(j) {
+            if !covered[i] {
+                covered[i] = true;
+                uncovered -= 1;
+            }
+        }
+    }
+
+    let mut sol: Solution = (0..n).filter(|&j| selected[j]).collect();
+    sol.make_irredundant(a);
+    Some(sol)
+}
+
+fn rate(
+    a: &CoverMatrix,
+    c_tilde: &[f64],
+    j: usize,
+    n_j: usize,
+    covered: &[bool],
+    rule: GammaRule,
+) -> f64 {
+    let c = c_tilde[j].max(0.0);
+    let nf = n_j as f64;
+    match rule {
+        GammaRule::Linear => c / nf,
+        GammaRule::Log => c / (nf + 1.0).log2(),
+        GammaRule::LinearLog => c / (nf * (nf + 1.0).log2()),
+        GammaRule::Occurrence => {
+            let mut weight = 0.0f64;
+            for &i in a.col_rows(j) {
+                if covered[i] {
+                    continue;
+                }
+                let occ = a.row(i).len();
+                weight += if occ > 1 {
+                    1.0 / (occ as f64 - 1.0)
+                } else {
+                    // Essential row: make its column irresistible.
+                    1e9
+                };
+            }
+            c / weight
+        }
+    }
+}
+
+/// Runs every rule in `rules` and returns the cheapest cover found (by
+/// original cost), or `None` on an uncoverable matrix.
+pub fn best_greedy(
+    a: &CoverMatrix,
+    c_tilde: &[f64],
+    rules: &[GammaRule],
+) -> Option<(Solution, f64)> {
+    let mut best: Option<(Solution, f64)> = None;
+    for &rule in rules {
+        if let Some(sol) = lagrangian_greedy(a, c_tilde, rule) {
+            let cost = sol.cost(a);
+            match &best {
+                Some((_, bc)) if *bc <= cost => {}
+                _ => best = Some((sol, cost)),
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle5() -> CoverMatrix {
+        CoverMatrix::from_rows(
+            5,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+        )
+    }
+
+    #[test]
+    fn greedy_covers_cycle() {
+        let m = cycle5();
+        for rule in [
+            GammaRule::Linear,
+            GammaRule::Log,
+            GammaRule::LinearLog,
+            GammaRule::Occurrence,
+        ] {
+            let sol = lagrangian_greedy(&m, m.costs(), rule).expect("coverable");
+            assert!(sol.is_feasible(&m), "rule {rule:?}");
+            assert_eq!(sol.cost(&m), 3.0, "rule {rule:?} should hit the optimum");
+        }
+    }
+
+    #[test]
+    fn negative_lagrangian_costs_seed_the_solution() {
+        let m = cycle5();
+        // λ large makes all columns free: everything selected, then the
+        // irredundant pass thins it back to a minimal cover.
+        let c_tilde = vec![-1.0; 5];
+        let sol = lagrangian_greedy(&m, &c_tilde, GammaRule::Linear).unwrap();
+        assert!(sol.is_feasible(&m));
+        assert_eq!(sol.cost(&m), 3.0);
+    }
+
+    #[test]
+    fn infeasible_matrix_returns_none() {
+        let m = CoverMatrix::from_rows(1, vec![vec![0], vec![]]);
+        assert!(lagrangian_greedy(&m, m.costs(), GammaRule::Linear).is_none());
+    }
+
+    #[test]
+    fn greedy_prefers_cheap_wide_columns() {
+        // Column 2 covers both rows; columns 0, 1 cover one each.
+        let m = CoverMatrix::from_rows(3, vec![vec![0, 2], vec![1, 2]]);
+        let sol = lagrangian_greedy(&m, m.costs(), GammaRule::Linear).unwrap();
+        assert_eq!(sol.cols(), &[2]);
+    }
+
+    #[test]
+    fn occurrence_rule_prioritises_rare_rows() {
+        // Row 1 is covered by a single column (1): rule 4 must pick it first
+        // even though column 0 covers more rows.
+        let m = CoverMatrix::from_rows(
+            3,
+            vec![vec![0, 1], vec![1], vec![0, 2], vec![0, 2]],
+        );
+        let sol = lagrangian_greedy(&m, m.costs(), GammaRule::Occurrence).unwrap();
+        assert!(sol.contains(1));
+        assert!(sol.is_feasible(&m));
+    }
+
+    #[test]
+    fn best_of_rules_never_worse_than_each() {
+        let m = cycle5();
+        let (best, cost) = best_greedy(&m, m.costs(), &GammaRule::FAST).unwrap();
+        assert!(best.is_feasible(&m));
+        for rule in GammaRule::FAST {
+            let sol = lagrangian_greedy(&m, m.costs(), rule).unwrap();
+            assert!(cost <= sol.cost(&m));
+        }
+    }
+}

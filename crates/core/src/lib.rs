@@ -1,0 +1,47 @@
+//! `ZDD_SCG`: the Lagrangian constructive heuristic for unate covering from
+//! *"An Efficient Heuristic Approach to Solve the Unate Covering Problem"*
+//! (Cordone, Ferrandi, Sciuto, Wolfler Calvo — DATE 2000).
+//!
+//! The solver combines:
+//!
+//! * [`relax`] — the primal Lagrangian relaxation `(LP)` of the covering ILP:
+//!   Lagrangian costs `c̃ = c − A'λ`, its trivial integer optimum and the
+//!   covering-violation subgradient (§3.1–3.2 of the paper);
+//! * [`dual`] — the dual problem `(D)`, the **dual ascent** heuristic and the
+//!   dual Lagrangian relaxation `(LD)` whose value upper-bounds `z*_P`
+//!   (§3.3);
+//! * [`greedy`] — four Lagrangian-cost-driven greedy primal heuristics
+//!   (§3.5);
+//! * [`subgradient`] — the two-sided subgradient scheme tightening `λ` and
+//!   `μ` against each other (§3.2–3.3, eq. 2);
+//! * [`penalty`] — Lagrangian penalties (eqs. 3–4) and dual penalties
+//!   (eqs. 5–6), the generalisation of the limit-bound theorem (§3.6);
+//! * [`bounds`] — the four lower bounds of Proposition 1 side by side;
+//! * [`scg`] — the full constructive driver of Fig. 2 with its stochastic
+//!   restarts ([`Scg`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cover::CoverMatrix;
+//! use ucp_core::{Scg, ScgOptions};
+//!
+//! let m = CoverMatrix::from_rows(5, vec![
+//!     vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0],
+//! ]);
+//! let outcome = Scg::new(ScgOptions::default()).solve(&m);
+//! assert!(outcome.solution.is_feasible(&m));
+//! assert_eq!(outcome.cost, 3.0);
+//! assert!(outcome.proven_optimal); // ⌈2.5⌉ = 3 certificate
+//! ```
+
+pub mod bounds;
+pub mod dual;
+pub mod greedy;
+pub mod penalty;
+pub mod relax;
+pub mod scg;
+pub mod subgradient;
+
+pub use scg::{Scg, ScgOptions, ScgOutcome};
+pub use subgradient::{subgradient_ascent, HistoryPoint, SubgradientOptions, SubgradientResult};

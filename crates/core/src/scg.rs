@@ -1,0 +1,697 @@
+//! The `ZDD_SCG` constructive driver (Fig. 2 of the paper).
+//!
+//! Flow: implicit + explicit reductions to the cyclic core → subgradient
+//! ascent → (if not proven optimal) `NumIter` constructive runs, each
+//! repeatedly *fixing* columns — the provably-optimal ones from penalty
+//! tests, the "promising" ones from the §3.7 thresholds, and always one
+//! best-rated column by `σ_j = c̃_j − α·μ_j` (randomised among the top
+//! `BestCol` in the restarts) — then re-reducing and re-running the
+//! subgradient, until the residual matrix empties or the local bound proves
+//! no improvement is possible. Finally redundant columns are stripped.
+
+use crate::dual::dual_ascent;
+use crate::penalty::{dual_penalties, lagrangian_penalties};
+use crate::subgradient::{subgradient_ascent, SubgradientOptions, SubgradientResult};
+use cover::{cyclic_core, CoreOptions, CoverMatrix, Reducer, Solution};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// All tunables of the `ZDD_SCG` solver. Field defaults are the paper's
+/// published values where given.
+#[derive(Clone, Copy, Debug)]
+pub struct ScgOptions {
+    /// Cyclic-core computation options (`MaxR`, `MaxC`, implicit on/off).
+    pub core: CoreOptions,
+    /// Subgradient-phase tunables.
+    pub subgradient: SubgradientOptions,
+    /// `NumIter`: number of constructive runs (first deterministic, rest
+    /// randomised).
+    pub num_iter: usize,
+    /// `BestCol` for restart `k` (1-based, `k ≥ 2`) is
+    /// `min(1 + (k − 1) · best_col_growth, 16)`.
+    pub best_col_growth: usize,
+    /// `α` in the rating `σ_j = c̃_j − α·μ_j` (paper: 2).
+    pub alpha: f64,
+    /// `ĉ`: fix columns with Lagrangian cost at most this (paper: 0.001)…
+    pub fix_cost_threshold: f64,
+    /// …and dual-Lagrangian multiplier at least this (`μ̂`, paper: 0.999).
+    pub fix_mu_threshold: f64,
+    /// `DualPen`: run dual penalties only when the matrix has at most this
+    /// many columns (paper: 100).
+    pub dual_pen_limit: usize,
+    /// RNG seed for the stochastic restarts.
+    pub seed: u64,
+    /// Optional overall wall-clock budget: once exceeded, no further
+    /// constructive runs start (the current one finishes its round).
+    pub time_limit: Option<std::time::Duration>,
+    /// Apply the partitioning reduction (§2): disconnected blocks of the
+    /// cyclic core are solved independently and their bounds added.
+    pub partition: bool,
+}
+
+impl Default for ScgOptions {
+    fn default() -> Self {
+        ScgOptions {
+            core: CoreOptions::default(),
+            subgradient: SubgradientOptions::default(),
+            num_iter: 4,
+            best_col_growth: 1,
+            alpha: 2.0,
+            fix_cost_threshold: 1e-3,
+            fix_mu_threshold: 0.999,
+            dual_pen_limit: 100,
+            seed: 0xDA7E_2000,
+            time_limit: None,
+            partition: true,
+        }
+    }
+}
+
+impl ScgOptions {
+    /// A cheaper preset for tests and very large sweeps: single run,
+    /// shorter subgradient phases.
+    pub fn fast() -> Self {
+        ScgOptions {
+            num_iter: 1,
+            subgradient: SubgradientOptions {
+                max_iters: 120,
+                ..SubgradientOptions::default()
+            },
+            ..ScgOptions::default()
+        }
+    }
+}
+
+/// The result of a [`Scg::solve`] call.
+#[derive(Clone, Debug)]
+pub struct ScgOutcome {
+    /// Best cover found, in original column indices.
+    pub solution: Solution,
+    /// Its cost (`+∞` when `infeasible`).
+    pub cost: f64,
+    /// Global lower bound: fixed-column cost plus the core's Lagrangian
+    /// bound (rounded up under integer costs).
+    pub lower_bound: f64,
+    /// `true` when `cost == lower_bound` — the solution is certified optimal.
+    pub proven_optimal: bool,
+    /// `true` when some row cannot be covered at all.
+    pub infeasible: bool,
+    /// Constructive runs actually executed (`MaxIter` column of Tables 3–4).
+    pub iterations: usize,
+    /// Total subgradient iterations across all phases.
+    pub subgradient_iterations: usize,
+    /// Cyclic-core computation time (`CC(s)` column of Tables 1–2).
+    pub cc_time: Duration,
+    /// End-to-end solve time (`T(s)` column).
+    pub total_time: Duration,
+    /// Cyclic-core dimensions after all reductions.
+    pub core_rows: usize,
+    /// See [`ScgOutcome::core_rows`].
+    pub core_cols: usize,
+}
+
+impl ScgOutcome {
+    /// The relative optimality gap `(cost − LB) / LB` (0 when certified;
+    /// `NaN` for infeasible outcomes).
+    pub fn gap(&self) -> f64 {
+        if self.infeasible {
+            f64::NAN
+        } else if self.lower_bound <= 0.0 {
+            0.0
+        } else {
+            (self.cost - self.lower_bound).max(0.0) / self.lower_bound
+        }
+    }
+}
+
+/// The `ZDD_SCG` solver.
+///
+/// # Example
+///
+/// ```
+/// use cover::CoverMatrix;
+/// use ucp_core::{Scg, ScgOptions};
+///
+/// let m = CoverMatrix::from_rows(
+///     5,
+///     vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+/// );
+/// let out = Scg::new(ScgOptions::default()).solve(&m);
+/// assert_eq!(out.cost, 3.0);
+/// assert!(out.proven_optimal);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Scg {
+    opts: ScgOptions,
+}
+
+/// Best core-level solution tracker shared across constructive runs.
+struct Incumbent {
+    solution: Option<Solution>,
+    cost: f64,
+}
+
+impl Incumbent {
+    fn offer(&mut self, ae: &CoverMatrix, mut sol: Solution) {
+        sol.make_irredundant(ae);
+        let cost = sol.cost(ae);
+        if cost < self.cost {
+            self.cost = cost;
+            self.solution = Some(sol);
+        }
+    }
+}
+
+impl Scg {
+    /// Creates a solver with the given options.
+    pub fn new(opts: ScgOptions) -> Self {
+        Scg { opts }
+    }
+
+    /// Convenience constructor with default options.
+    pub fn with_defaults() -> Self {
+        Scg::new(ScgOptions::default())
+    }
+
+    /// Solves the unate covering instance `m`.
+    pub fn solve(&self, m: &CoverMatrix) -> ScgOutcome {
+        let start = Instant::now();
+        let integer_costs = m.integer_costs();
+
+        // ---- Reductions to the cyclic core (implicit + explicit). ----
+        let core_res = cyclic_core(m, &self.opts.core);
+        if core_res.infeasible {
+            return ScgOutcome {
+                solution: Solution::new(),
+                cost: f64::INFINITY,
+                lower_bound: f64::INFINITY,
+                proven_optimal: false,
+                infeasible: true,
+                iterations: 0,
+                subgradient_iterations: 0,
+                cc_time: core_res.cc_time,
+                total_time: start.elapsed(),
+                core_rows: core_res.core.num_rows(),
+                core_cols: core_res.core.num_cols(),
+            };
+        }
+        let fixed_cost: f64 = core_res.fixed_cols.iter().map(|&j| m.cost(j)).sum();
+        let ae = &core_res.core;
+
+        if core_res.is_solved() {
+            let solution = Solution::from_cols(core_res.fixed_cols.clone());
+            return ScgOutcome {
+                cost: fixed_cost,
+                lower_bound: fixed_cost,
+                proven_optimal: true,
+                infeasible: false,
+                iterations: 0,
+                subgradient_iterations: 0,
+                cc_time: core_res.cc_time,
+                total_time: start.elapsed(),
+                core_rows: 0,
+                core_cols: 0,
+                solution,
+            };
+        }
+
+        // ---- Partitioning (§2): independent blocks solve independently. ----
+        if self.opts.partition {
+            let blocks = cover::partition(ae);
+            if blocks.len() > 1 {
+                return self.solve_blocks(m, &core_res, blocks, start);
+            }
+        }
+
+        // ---- Initial subgradient phase on the exact cyclic core. ----
+        let mut sub_opts = self.opts.subgradient;
+        sub_opts.occurrence_heuristic = true;
+        let sub0 = subgradient_ascent(ae, &sub_opts, None, None);
+        let mut sub_iters = sub0.iterations;
+
+        let mut incumbent = Incumbent {
+            solution: None,
+            cost: f64::INFINITY,
+        };
+        if let Some(sol) = sub0.best_solution.clone() {
+            incumbent.offer(ae, sol);
+        }
+
+        let core_lb = if integer_costs { sub0.lb_ceil() } else { sub0.lb };
+        let global_lb = fixed_cost + core_lb.max(0.0);
+
+        let mut iterations = 0usize;
+        if !(integer_costs && incumbent.cost <= core_lb + 1e-9) {
+            // ---- NumIter constructive runs. ----
+            let mut rng = StdRng::seed_from_u64(self.opts.seed);
+            for iter in 1..=self.opts.num_iter {
+                if self
+                    .opts
+                    .time_limit
+                    .is_some_and(|budget| start.elapsed() > budget)
+                {
+                    break;
+                }
+                iterations = iter;
+                let best_col = if iter == 1 {
+                    1
+                } else {
+                    (1 + (iter - 1) * self.opts.best_col_growth).min(16)
+                };
+                sub_iters += self.constructive_run(ae, &sub0, best_col, &mut rng, &mut incumbent);
+                if integer_costs && incumbent.cost <= core_lb + 1e-9 {
+                    break;
+                }
+            }
+        }
+
+        let solution = match incumbent.solution {
+            Some(core_sol) => core_sol.lift(&core_res.col_map, &core_res.fixed_cols),
+            None => Solution::from_cols(core_res.fixed_cols.clone()),
+        };
+        let cost = solution.cost(m);
+        let proven_optimal = integer_costs && cost <= global_lb + 1e-9;
+        ScgOutcome {
+            solution,
+            cost,
+            lower_bound: global_lb,
+            proven_optimal,
+            infeasible: false,
+            iterations,
+            subgradient_iterations: sub_iters,
+            cc_time: core_res.cc_time,
+            total_time: start.elapsed(),
+            core_rows: ae.num_rows(),
+            core_cols: ae.num_cols(),
+        }
+    }
+
+    /// Solves a partitioned cyclic core block by block and recombines.
+    fn solve_blocks(
+        &self,
+        m: &CoverMatrix,
+        core_res: &cover::CoreResult,
+        blocks: Vec<cover::Block>,
+        start: Instant,
+    ) -> ScgOutcome {
+        let fixed_cost: f64 = core_res.fixed_cols.iter().map(|&j| m.cost(j)).sum();
+        let mut solution = Solution::from_cols(core_res.fixed_cols.clone());
+        let mut lower_bound = fixed_cost;
+        let mut iterations = 0usize;
+        let mut sub_iters = 0usize;
+        let sub_opts = ScgOptions {
+            partition: false, // blocks are connected by construction
+            ..self.opts
+        };
+        for block in blocks {
+            let sub = Scg::new(sub_opts).solve(&block.matrix);
+            sub_iters += sub.subgradient_iterations;
+            iterations = iterations.max(sub.iterations);
+            if sub.infeasible {
+                return ScgOutcome {
+                    solution: Solution::new(),
+                    cost: f64::INFINITY,
+                    lower_bound: f64::INFINITY,
+                    proven_optimal: false,
+                    infeasible: true,
+                    iterations,
+                    subgradient_iterations: sub_iters,
+                    cc_time: core_res.cc_time,
+                    total_time: start.elapsed(),
+                    core_rows: core_res.core.num_rows(),
+                    core_cols: core_res.core.num_cols(),
+                };
+            }
+            lower_bound += sub.lower_bound;
+            solution.extend(
+                sub.solution
+                    .cols()
+                    .iter()
+                    .map(|&j| core_res.col_map[block.col_map[j]]),
+            );
+        }
+        let cost = solution.cost(m);
+        let proven_optimal = m.integer_costs() && cost <= lower_bound + 1e-9;
+        ScgOutcome {
+            solution,
+            cost,
+            lower_bound,
+            proven_optimal,
+            infeasible: false,
+            iterations,
+            subgradient_iterations: sub_iters,
+            cc_time: core_res.cc_time,
+            total_time: start.elapsed(),
+            core_rows: core_res.core.num_rows(),
+            core_cols: core_res.core.num_cols(),
+        }
+    }
+
+    /// One constructive run over the saved cyclic core `ae`. Updates the
+    /// incumbent; returns the subgradient iterations spent.
+    fn constructive_run(
+        &self,
+        ae: &CoverMatrix,
+        sub0: &SubgradientResult,
+        best_col: usize,
+        rng: &mut StdRng,
+        incumbent: &mut Incumbent,
+    ) -> usize {
+        let mut cur = ae.clone();
+        // cur column j corresponds to core column cur_to_core[j].
+        let mut cur_to_core: Vec<usize> = (0..ae.num_cols()).collect();
+        let mut chosen: Vec<usize> = Vec::new(); // core ids
+        let mut chosen_cost = 0.0f64;
+        let mut lambda = sub0.lambda.clone();
+        let mut sub: SubgradientResult = sub0.clone();
+        let mut spent = 0usize;
+        let max_rounds = ae.num_cols() + 2;
+
+        for _round in 0..max_rounds {
+            let local_ub = incumbent.cost - chosen_cost;
+            // This branch cannot beat the incumbent: stop (the pseudocode's
+            // `z_best ≤ ⌈LB⌉` exit).
+            if sub.lb >= local_ub - 1e-9 {
+                return spent;
+            }
+
+            // §3.7 promising columns + §3.6 penalties.
+            let mut take: Vec<usize> = (0..cur.num_cols())
+                .filter(|&j| {
+                    sub.c_tilde[j] <= self.opts.fix_cost_threshold
+                        && sub.mu[j] >= self.opts.fix_mu_threshold
+                })
+                .collect();
+            let pen = lagrangian_penalties(&sub.c_tilde, sub.lb, local_ub);
+            take.extend(pen.fix_in.iter().copied());
+            let mut exclude = pen.fix_out;
+            if cur.num_cols() <= self.opts.dual_pen_limit {
+                let base = dual_ascent(&cur, cur.costs(), Some(&sub.lambda)).m;
+                let dpen = dual_penalties(&cur, &base, local_ub);
+                if dpen.no_improvement_possible {
+                    return spent;
+                }
+                take.extend(dpen.fix_in);
+                exclude.extend(dpen.fix_out);
+            }
+            take.sort_unstable();
+            take.dedup();
+            exclude.sort_unstable();
+            exclude.dedup();
+            // A column proven both ways means no improvement below the
+            // incumbent exists on this branch.
+            if take.iter().any(|j| exclude.binary_search(j).is_ok()) {
+                return spent;
+            }
+
+            // The mandatory σ-rated pick (guarantees progress).
+            let mut rated: Vec<(f64, usize)> = (0..cur.num_cols())
+                .filter(|j| take.binary_search(j).is_err() && exclude.binary_search(j).is_err())
+                .map(|j| (sub.c_tilde[j] - self.opts.alpha * sub.mu[j], j))
+                .collect();
+            rated.sort_by(|a, b| a.partial_cmp(b).expect("σ ratings are finite"));
+            if take.is_empty() && rated.is_empty() {
+                return spent; // everything excluded: dead branch
+            }
+            if let Some(&(_, pick)) = rated
+                .get(if best_col <= 1 || rated.len() <= 1 {
+                    0
+                } else {
+                    rng.random_range(0..best_col.min(rated.len()))
+                })
+            {
+                take.push(pick);
+            }
+
+            // Re-reduce with the fixes applied.
+            let mut red = Reducer::with_state(&cur, &take, &exclude);
+            red.reduce_to_fixpoint();
+            if red.infeasible() {
+                return spent; // exclusions killed the branch: incumbent stands
+            }
+            for &j in red.fixed() {
+                chosen.push(cur_to_core[j]);
+                chosen_cost += cur.cost(j);
+            }
+            let (next, row_map, col_map) = red.extract_core();
+            lambda = row_map.iter().map(|&i| lambda[i]).collect();
+            cur_to_core = col_map.iter().map(|&j| cur_to_core[j]).collect();
+            cur = next;
+
+            if cur.num_rows() == 0 {
+                incumbent.offer(ae, Solution::from_cols(chosen));
+                return spent;
+            }
+
+            // Subgradient on the reduced matrix, warm-started.
+            let mut sopts = self.opts.subgradient;
+            sopts.occurrence_heuristic = false;
+            sub = subgradient_ascent(&cur, &sopts, Some(&lambda), Some(local_ub));
+            spent += sub.iterations;
+            lambda = sub.lambda.clone();
+            if let Some(part) = &sub.best_solution {
+                let mut full = Solution::from_cols(chosen.clone());
+                full.extend(part.cols().iter().map(|&j| cur_to_core[j]));
+                incumbent.offer(ae, full);
+            }
+        }
+        spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> CoverMatrix {
+        CoverMatrix::from_rows(n, (0..n).map(|i| vec![i, (i + 1) % n]).collect())
+    }
+
+    #[test]
+    fn solves_cycles_optimally() {
+        for n in [5usize, 7, 9, 11] {
+            let m = cycle(n);
+            let out = Scg::with_defaults().solve(&m);
+            assert!(out.solution.is_feasible(&m));
+            assert_eq!(out.cost, (n / 2 + 1) as f64, "C{n}");
+            assert!(out.proven_optimal, "C{n} not certified");
+        }
+    }
+
+    #[test]
+    fn reductions_alone_solve_trees() {
+        // An "interval" instance collapses entirely under reductions.
+        let m = CoverMatrix::from_rows(4, vec![vec![0], vec![0, 1], vec![1, 2], vec![3]]);
+        let out = Scg::with_defaults().solve(&m);
+        assert!(out.proven_optimal);
+        assert_eq!(out.iterations, 0);
+        assert!(out.solution.is_feasible(&m));
+    }
+
+    #[test]
+    fn infeasible_instance_reported() {
+        let m = CoverMatrix::from_rows(2, vec![vec![0], vec![]]);
+        let out = Scg::with_defaults().solve(&m);
+        assert!(out.infeasible);
+        assert!(out.cost.is_infinite());
+    }
+
+    #[test]
+    fn empty_instance_trivially_optimal() {
+        let m = CoverMatrix::from_rows(3, vec![]);
+        let out = Scg::with_defaults().solve(&m);
+        assert!(out.proven_optimal);
+        assert_eq!(out.cost, 0.0);
+        assert!(out.solution.is_empty());
+    }
+
+    #[test]
+    fn cost_at_least_lower_bound() {
+        let m = cycle(13);
+        let out = Scg::with_defaults().solve(&m);
+        assert!(out.cost >= out.lower_bound - 1e-9);
+        assert!(out.solution.is_feasible(&m));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = cycle(9);
+        let a = Scg::with_defaults().solve(&m);
+        let b = Scg::with_defaults().solve(&m);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.solution.cols(), b.solution.cols());
+    }
+
+    #[test]
+    fn fast_preset_still_feasible() {
+        let m = cycle(15);
+        let out = Scg::new(ScgOptions::fast()).solve(&m);
+        assert!(out.solution.is_feasible(&m));
+        assert!(out.cost >= 8.0); // optimum of C15
+    }
+
+    #[test]
+    fn non_uniform_costs_respected() {
+        // Two disjoint rows with a cheap and an expensive option each.
+        let m = CoverMatrix::with_costs(
+            4,
+            vec![vec![0, 1], vec![2, 3]],
+            vec![1.0, 9.0, 9.0, 1.0],
+        );
+        let out = Scg::with_defaults().solve(&m);
+        assert_eq!(out.cost, 2.0);
+        assert_eq!(out.solution.cols(), &[0, 3]);
+        assert!(out.proven_optimal);
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+
+    /// Two disjoint odd cycles: partitioning must split and certify.
+    fn two_cycles(n: usize) -> CoverMatrix {
+        let mut rows: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+        rows.extend((0..n).map(|i| vec![n + i, n + (i + 1) % n]));
+        CoverMatrix::from_rows(2 * n, rows)
+    }
+
+    #[test]
+    fn partitioned_solve_is_optimal_and_certified() {
+        let m = two_cycles(7);
+        let out = Scg::with_defaults().solve(&m);
+        assert!(out.solution.is_feasible(&m));
+        assert_eq!(out.cost, 2.0 * (7 / 2 + 1) as f64);
+        assert!(out.proven_optimal);
+    }
+
+    #[test]
+    fn partitioning_agrees_with_monolithic_solve() {
+        let m = two_cycles(5);
+        let with = Scg::with_defaults().solve(&m);
+        let without = Scg::new(ScgOptions {
+            partition: false,
+            ..ScgOptions::default()
+        })
+        .solve(&m);
+        assert_eq!(with.cost, without.cost);
+        assert!(with.solution.is_feasible(&m));
+        assert!(without.solution.is_feasible(&m));
+    }
+
+    #[test]
+    fn partitioned_infeasible_block_detected() {
+        // Second block has an uncoverable row.
+        let m = CoverMatrix::from_rows(3, vec![vec![0, 1], vec![1, 0], vec![2], vec![]]);
+        let out = Scg::with_defaults().solve(&m);
+        assert!(out.infeasible);
+    }
+
+    #[test]
+    fn time_limit_caps_restarts() {
+        let m = two_cycles(9);
+        let out = Scg::new(ScgOptions {
+            num_iter: 50,
+            time_limit: Some(Duration::from_millis(0)),
+            ..ScgOptions::default()
+        })
+        .solve(&m);
+        // The initial subgradient always runs; restarts are skipped.
+        assert!(out.solution.is_feasible(&m));
+    }
+}
+
+impl Scg {
+    /// Runs `workers` independent solves with distinct seeds in parallel and
+    /// returns the best outcome (ties broken towards certified results).
+    ///
+    /// Restarts are the paper's own diversification mechanism; running them
+    /// concurrently changes nothing semantically — every worker is a
+    /// deterministic `solve` with seed `opts.seed + k` — but uses the
+    /// machine. Lower bounds from all workers are combined (each is valid,
+    /// so the maximum is too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cover::CoverMatrix;
+    /// use ucp_core::{Scg, ScgOptions};
+    ///
+    /// let m = CoverMatrix::from_rows(
+    ///     5,
+    ///     vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+    /// );
+    /// let out = Scg::new(ScgOptions::default()).solve_parallel(&m, 4);
+    /// assert_eq!(out.cost, 3.0);
+    /// ```
+    pub fn solve_parallel(&self, m: &CoverMatrix, workers: usize) -> ScgOutcome {
+        assert!(workers > 0, "need at least one worker");
+        if workers == 1 {
+            return self.solve(m);
+        }
+        let outcomes: Vec<ScgOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|k| {
+                    let opts = ScgOptions {
+                        seed: self.opts.seed.wrapping_add(k as u64),
+                        ..self.opts
+                    };
+                    scope.spawn(move || Scg::new(opts).solve(m))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let best_lb = outcomes
+            .iter()
+            .map(|o| o.lower_bound)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut best = outcomes
+            .into_iter()
+            .min_by(|a, b| {
+                (a.cost, !a.proven_optimal)
+                    .partial_cmp(&(b.cost, !b.proven_optimal))
+                    .expect("costs are comparable")
+            })
+            .expect("workers > 0");
+        best.lower_bound = best.lower_bound.max(best_lb);
+        best.proven_optimal =
+            best.proven_optimal || (m.integer_costs() && best.cost <= best.lower_bound + 1e-9);
+        best
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_quality() {
+        let m = CoverMatrix::from_rows(9, (0..9).map(|i| vec![i, (i + 1) % 9]).collect());
+        let serial = Scg::with_defaults().solve(&m);
+        let parallel = Scg::with_defaults().solve_parallel(&m, 4);
+        assert!(parallel.cost <= serial.cost);
+        assert!(parallel.solution.is_feasible(&m));
+        assert!(parallel.lower_bound >= serial.lower_bound - 1e-9);
+    }
+
+    #[test]
+    fn single_worker_is_plain_solve() {
+        let m = CoverMatrix::from_rows(5, (0..5).map(|i| vec![i, (i + 1) % 5]).collect());
+        let a = Scg::with_defaults().solve(&m);
+        let b = Scg::with_defaults().solve_parallel(&m, 1);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.solution.cols(), b.solution.cols());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let m = CoverMatrix::from_rows(1, vec![vec![0]]);
+        let _ = Scg::with_defaults().solve_parallel(&m, 0);
+    }
+}

@@ -1,0 +1,378 @@
+//! The two-sided subgradient scheme (§3.2–3.3): ascent on the primal
+//! Lagrangian multipliers `λ`, descent on the dual Lagrangian multipliers
+//! `μ`, each feeding the other the bound it needs.
+
+use crate::dual::{dual_ascent, eval_dual_lagrangian, step_mu};
+use crate::greedy::{best_greedy, lagrangian_greedy, GammaRule};
+use crate::relax::{eval_primal, step_lambda};
+use cover::{CoverMatrix, Solution};
+
+/// Tunables of one subgradient phase. Defaults follow the paper where it
+/// gives values and common Held–Karp practice where it does not.
+#[derive(Clone, Copy, Debug)]
+pub struct SubgradientOptions {
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Initial step coefficient `t_0`.
+    pub t0: f64,
+    /// `N_t`: halve `t` after this many consecutive non-improving steps.
+    pub halving_patience: usize,
+    /// Stop when `t` falls below this.
+    pub t_min: f64,
+    /// Stop when the relative gap `UB − z_λ` drops under `δ · max(1, UB)`.
+    pub delta: f64,
+    /// Run the expensive occurrence-weighted greedy (rule 4) once at the
+    /// start — the paper enables it on the initial problem only.
+    pub occurrence_heuristic: bool,
+    /// Run a cheap greedy heuristic every this many iterations.
+    pub heuristic_period: usize,
+    /// Record a per-iteration [`HistoryPoint`] trace (off by default; the
+    /// trace is for convergence plots and diagnostics).
+    pub record_history: bool,
+}
+
+impl Default for SubgradientOptions {
+    fn default() -> Self {
+        SubgradientOptions {
+            max_iters: 300,
+            t0: 2.0,
+            halving_patience: 15,
+            t_min: 5e-3,
+            delta: 1e-4,
+            occurrence_heuristic: false,
+            heuristic_period: 1,
+            record_history: false,
+        }
+    }
+}
+
+/// One iteration of the subgradient trace (see
+/// [`SubgradientOptions::record_history`]).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct HistoryPoint {
+    /// Current Lagrangian value `z_λ` (oscillates).
+    pub z_lambda: f64,
+    /// Best lower bound so far (monotone).
+    pub lb: f64,
+    /// Best dual-Lagrangian upper bound so far (monotone).
+    pub ub_ld: f64,
+    /// Step coefficient `t_k`.
+    pub t: f64,
+}
+
+/// What a subgradient phase learned about one covering matrix.
+#[derive(Clone, Debug)]
+pub struct SubgradientResult {
+    /// Best multipliers found (argmax of the Lagrangian bound).
+    pub lambda: Vec<f64>,
+    /// Final dual-Lagrangian multipliers `μ ∈ [0,1]ⁿ` (≈ LP primal values).
+    pub mu: Vec<f64>,
+    /// Best Lagrangian lower bound `LB ≤ z*` for this matrix.
+    pub lb: f64,
+    /// Best dual-Lagrangian upper bound on `z*_P` seen.
+    pub ub_ld: f64,
+    /// Lagrangian costs at the best multipliers.
+    pub c_tilde: Vec<f64>,
+    /// Best feasible cover of this matrix found by the auxiliary heuristics.
+    pub best_solution: Option<Solution>,
+    /// Its cost (`+∞` if none).
+    pub best_cost: f64,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// `true` when `⌈LB⌉ = best_cost` under integer costs — the heuristic
+    /// solution is optimal for this matrix.
+    pub proven_optimal: bool,
+    /// Per-iteration trace (empty unless
+    /// [`SubgradientOptions::record_history`] was set).
+    pub history: Vec<HistoryPoint>,
+}
+
+impl SubgradientResult {
+    /// The rounded-up bound `⌈LB⌉`, valid for integer-cost instances.
+    pub fn lb_ceil(&self) -> f64 {
+        (self.lb - 1e-6).ceil()
+    }
+}
+
+/// Runs subgradient ascent on `a`.
+///
+/// * `lambda0` — warm-start multipliers (e.g. from the previous, larger
+///   matrix); when absent, dual ascent provides `λ_0` (§3.3).
+/// * `ub_hint` — an externally known upper bound on this matrix's optimum
+///   (the incumbent minus already-fixed cost); used for step scaling and
+///   early termination, *not* reported as a solution.
+///
+/// # Panics
+///
+/// Panics if `lambda0` has the wrong length.
+///
+/// # Example
+///
+/// ```
+/// use cover::CoverMatrix;
+/// use ucp_core::{subgradient_ascent, SubgradientOptions};
+///
+/// let m = CoverMatrix::from_rows(
+///     5,
+///     vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+/// );
+/// let r = subgradient_ascent(&m, &SubgradientOptions::default(), None, None);
+/// assert!(r.lb > 2.4999); // converges to z*_P = 2.5
+/// assert_eq!(r.best_cost, 3.0);
+/// assert!(r.proven_optimal); // ⌈2.5⌉ = 3
+/// ```
+pub fn subgradient_ascent(
+    a: &CoverMatrix,
+    opts: &SubgradientOptions,
+    lambda0: Option<&[f64]>,
+    ub_hint: Option<f64>,
+) -> SubgradientResult {
+    let integer_costs = a.integer_costs();
+
+    // λ0: warm start or dual ascent (§3.3).
+    let mut lambda: Vec<f64> = match lambda0 {
+        Some(l) => {
+            assert_eq!(l.len(), a.num_rows(), "warm-start λ has wrong length");
+            l.to_vec()
+        }
+        None => dual_ascent(a, a.costs(), None).m,
+    };
+
+    // Initial heuristic run (rule 4 included when requested) to seed μ0 and
+    // the incumbent.
+    let mut best_solution: Option<Solution> = None;
+    let mut best_cost = f64::INFINITY;
+    let rules: &[GammaRule] = if opts.occurrence_heuristic {
+        &[
+            GammaRule::Linear,
+            GammaRule::Log,
+            GammaRule::LinearLog,
+            GammaRule::Occurrence,
+        ]
+    } else {
+        &GammaRule::FAST
+    };
+    if let Some((sol, cost)) = best_greedy(a, a.costs(), rules) {
+        best_cost = cost;
+        best_solution = Some(sol);
+    }
+    // μ0 from the primal heuristic (§3.3: "the initial estimate for μ0 is
+    // determined by a primal heuristic").
+    let mut mu = vec![0.0f64; a.num_cols()];
+    if let Some(sol) = &best_solution {
+        for &j in sol.cols() {
+            mu[j] = 1.0;
+        }
+    }
+
+    let mut lb = f64::NEG_INFINITY;
+    let mut best_lambda = lambda.clone();
+    let mut best_c_tilde: Vec<f64> = a.costs().to_vec();
+    let mut ub_ld = f64::INFINITY;
+    let mut t = opts.t0;
+    let mut since_improve = 0usize;
+    let mut iterations = 0usize;
+    let mut history: Vec<HistoryPoint> = Vec::new();
+
+    let target_ub = |best_cost: f64, ub_ld: f64| -> f64 {
+        let hint = ub_hint.unwrap_or(f64::INFINITY);
+        best_cost.min(hint).min(ub_ld)
+    };
+
+    for k in 0..opts.max_iters {
+        iterations = k + 1;
+        let p_eval = eval_primal(a, &lambda);
+        if p_eval.value > lb + 1e-12 {
+            lb = p_eval.value;
+            best_lambda = lambda.clone();
+            best_c_tilde = p_eval.c_tilde.clone();
+            since_improve = 0;
+        } else {
+            since_improve += 1;
+            if since_improve >= opts.halving_patience {
+                t *= 0.5;
+                since_improve = 0;
+            }
+        }
+
+        // Auxiliary primal heuristic on the current Lagrangian costs.
+        if k % opts.heuristic_period == 0 {
+            let rule = GammaRule::FAST[k % GammaRule::FAST.len()];
+            if let Some(sol) = lagrangian_greedy(a, &p_eval.c_tilde, rule) {
+                let cost = sol.cost(a);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_solution = Some(sol);
+                }
+            }
+        }
+
+        // Dual side: evaluate (LD), tighten the upper bound, step μ.
+        let d_eval = eval_dual_lagrangian(a, a.costs(), &mu);
+        ub_ld = ub_ld.min(d_eval.value);
+        let ub = target_ub(best_cost, ub_ld);
+        if opts.record_history {
+            history.push(HistoryPoint {
+                z_lambda: p_eval.value,
+                lb,
+                ub_ld,
+                t,
+            });
+        }
+
+        // Optimality certificate for integer costs.
+        if integer_costs && lb.is_finite() && best_cost <= (lb - 1e-6).ceil() + 1e-9 {
+            break;
+        }
+        // Gap stop.
+        if ub.is_finite() && ub - p_eval.value < opts.delta * ub.abs().max(1.0) {
+            break;
+        }
+        // Step-size exhaustion.
+        if t < opts.t_min {
+            break;
+        }
+        // Stationary (feasible Lagrangian solution): nothing to update.
+        if p_eval.subgradient_norm2 <= 0.0 && d_eval.gradient_norm2 <= 0.0 {
+            break;
+        }
+
+        let ub_for_step = if ub.is_finite() { ub } else { p_eval.value + 1.0 };
+        lambda = step_lambda(lambda, &p_eval, t, ub_for_step);
+        let lb_for_step = if lb.is_finite() { lb } else { 0.0 };
+        mu = step_mu(mu, &d_eval, t, lb_for_step);
+    }
+
+    let proven_optimal = integer_costs
+        && lb.is_finite()
+        && best_cost.is_finite()
+        && best_cost <= (lb - 1e-6).ceil() + 1e-9;
+
+    SubgradientResult {
+        lambda: best_lambda,
+        mu,
+        lb,
+        ub_ld,
+        c_tilde: best_c_tilde,
+        best_solution,
+        best_cost,
+        iterations,
+        proven_optimal,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> CoverMatrix {
+        CoverMatrix::from_rows(n, (0..n).map(|i| vec![i, (i + 1) % n]).collect())
+    }
+
+    #[test]
+    fn five_cycle_converges_and_certifies() {
+        let m = cycle(5);
+        let r = subgradient_ascent(&m, &SubgradientOptions::default(), None, None);
+        assert!(r.lb > 2.4, "LB too weak: {}", r.lb);
+        assert!(r.lb <= 3.0 + 1e-9);
+        assert_eq!(r.best_cost, 3.0);
+        assert!(r.proven_optimal);
+        assert!(r.best_solution.unwrap().is_feasible(&m));
+    }
+
+    #[test]
+    fn seven_cycle() {
+        let m = cycle(7);
+        let r = subgradient_ascent(&m, &SubgradientOptions::default(), None, None);
+        // z*_P = 3.5, optimum 4.
+        assert!(r.lb > 3.4, "LB {}", r.lb);
+        assert_eq!(r.best_cost, 4.0);
+        assert!(r.proven_optimal);
+    }
+
+    #[test]
+    fn lb_below_ub_always() {
+        let m = cycle(9);
+        let r = subgradient_ascent(&m, &SubgradientOptions::default(), None, None);
+        assert!(r.lb <= r.best_cost + 1e-9);
+        assert!(r.lb <= r.ub_ld + 1e-6, "lb {} vs ub_ld {}", r.lb, r.ub_ld);
+    }
+
+    #[test]
+    fn warm_start_with_good_lambda_converges_fast() {
+        let m = cycle(5);
+        let r = subgradient_ascent(
+            &m,
+            &SubgradientOptions::default(),
+            Some(&[0.5; 5]),
+            None,
+        );
+        assert!((r.lb - 2.5).abs() < 1e-9);
+        assert!(r.iterations <= 5, "took {} iterations", r.iterations);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let m = cycle(11);
+        let opts = SubgradientOptions {
+            max_iters: 3,
+            ..SubgradientOptions::default()
+        };
+        let r = subgradient_ascent(&m, &opts, None, None);
+        assert!(r.iterations <= 3);
+        assert!(r.best_solution.is_some());
+    }
+
+    #[test]
+    fn non_uniform_costs() {
+        // Two rows, the shared column cheap: optimum = 1 column of cost 2.
+        let m = CoverMatrix::with_costs(
+            3,
+            vec![vec![0, 2], vec![1, 2]],
+            vec![2.0, 2.0, 2.0],
+        );
+        let r = subgradient_ascent(&m, &SubgradientOptions::default(), None, None);
+        assert_eq!(r.best_cost, 2.0);
+        assert!(r.proven_optimal);
+    }
+
+    #[test]
+    fn mu_stays_in_unit_box() {
+        let m = cycle(7);
+        let r = subgradient_ascent(&m, &SubgradientOptions::default(), None, None);
+        assert!(r.mu.iter().all(|&u| (-1e-12..=1.0 + 1e-12).contains(&u)));
+    }
+}
+
+#[cfg(test)]
+mod history_tests {
+    use super::*;
+
+    #[test]
+    fn history_recorded_when_requested() {
+        let m = CoverMatrix::from_rows(7, (0..7).map(|i| vec![i, (i + 1) % 7]).collect());
+        let opts = SubgradientOptions {
+            record_history: true,
+            max_iters: 60,
+            ..SubgradientOptions::default()
+        };
+        let r = subgradient_ascent(&m, &opts, None, None);
+        assert!(!r.history.is_empty());
+        // LB is monotone non-decreasing and UB_LD monotone non-increasing.
+        for w in r.history.windows(2) {
+            assert!(w[1].lb >= w[0].lb - 1e-12);
+            assert!(w[1].ub_ld <= w[0].ub_ld + 1e-12);
+        }
+        // The recorded trajectory ends at the reported bound.
+        let last = r.history.last().unwrap();
+        assert!(last.lb <= r.lb + 1e-12);
+    }
+
+    #[test]
+    fn history_empty_by_default() {
+        let m = CoverMatrix::from_rows(5, (0..5).map(|i| vec![i, (i + 1) % 5]).collect());
+        let r = subgradient_ascent(&m, &SubgradientOptions::default(), None, None);
+        assert!(r.history.is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! The cyclic-core driver: implicit phase, decode, explicit phase.
+//!
+//! This is the front half of `ZDD_SCG` (Fig. 2): run implicit reductions on
+//! the ZDD pair until they stabilise or the explicit size is manageable,
+//! decode into a sparse matrix, then run the classical explicit reductions to
+//! a fixpoint. What is left is the (possibly empty) cyclic core.
+
+use crate::implicit::ImplicitMatrix;
+use crate::matrix::CoverMatrix;
+use crate::reduce::Reducer;
+use std::time::{Duration, Instant};
+
+/// Tunables for the cyclic-core computation.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreOptions {
+    /// `MaxR` of the paper: the implicit phase may stop once the explicit
+    /// row count is at most this.
+    pub max_rows: u128,
+    /// `MaxC` of the paper: companion bound on columns.
+    pub max_cols: usize,
+    /// Skip the implicit phase entirely (for ablation benchmarks).
+    pub use_implicit: bool,
+}
+
+impl Default for CoreOptions {
+    fn default() -> Self {
+        // The paper's values: MaxR = 5000, MaxC = 10000.
+        CoreOptions {
+            max_rows: 5000,
+            max_cols: 10_000,
+            use_implicit: true,
+        }
+    }
+}
+
+/// Result of [`cyclic_core`].
+#[derive(Clone, Debug)]
+pub struct CoreResult {
+    /// The stable residual matrix (empty when reductions solve the problem).
+    pub core: CoverMatrix,
+    /// Columns fixed into the solution (original indices, essentials of all
+    /// phases), sorted ascending.
+    pub fixed_cols: Vec<usize>,
+    /// Original row index of each core row.
+    pub row_map: Vec<usize>,
+    /// Original column index of each core column.
+    pub col_map: Vec<usize>,
+    /// Wall-clock time of the whole core computation (the `CC(s)` column of
+    /// the paper's tables).
+    pub cc_time: Duration,
+    /// `true` if some row cannot be covered at all.
+    pub infeasible: bool,
+}
+
+impl CoreResult {
+    /// Returns `true` when reductions alone solved the instance (the fixed
+    /// columns are a minimum cover).
+    pub fn is_solved(&self) -> bool {
+        !self.infeasible && self.core.num_rows() == 0
+    }
+}
+
+/// Computes the cyclic core of `m`.
+///
+/// # Example
+///
+/// ```
+/// use cover::{cyclic_core, CoreOptions, CoverMatrix};
+/// let m = CoverMatrix::from_rows(
+///     5,
+///     vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+/// );
+/// let core = cyclic_core(&m, &CoreOptions::default());
+/// assert_eq!(core.core.num_rows(), 5); // the 5-cycle is already cyclic
+/// assert!(core.fixed_cols.is_empty());
+/// ```
+pub fn cyclic_core(m: &CoverMatrix, opts: &CoreOptions) -> CoreResult {
+    let start = Instant::now();
+    if !m.is_coverable() {
+        return CoreResult {
+            core: m.clone(),
+            fixed_cols: Vec::new(),
+            row_map: (0..m.num_rows()).collect(),
+            col_map: (0..m.num_cols()).collect(),
+            cc_time: start.elapsed(),
+            infeasible: true,
+        };
+    }
+
+    // Phase 1: implicit reductions on the ZDD row family.
+    let (explicit, implicit_fixed, col_map_a): (CoverMatrix, Vec<usize>, Vec<usize>) =
+        if opts.use_implicit {
+            let mut im = ImplicitMatrix::encode(m);
+            let fixed = im.reduce_until_small(opts.max_rows, opts.max_cols);
+            let (dec, col_map) = im.decode();
+            (dec, fixed, col_map)
+        } else {
+            (
+                m.clone(),
+                Vec::new(),
+                (0..m.num_cols()).collect(),
+            )
+        };
+
+    // Phase 2: explicit reductions to the fixpoint.
+    let mut red = Reducer::new(&explicit);
+    red.reduce_to_fixpoint();
+    let infeasible = red.infeasible();
+    let (core, row_map_b, col_map_b) = red.extract_core();
+
+    // Compose maps back to original indices.
+    let mut fixed_cols = implicit_fixed;
+    fixed_cols.extend(red.fixed().iter().map(|&j| col_map_a[j]));
+    fixed_cols.sort_unstable();
+    fixed_cols.dedup();
+    let col_map: Vec<usize> = col_map_b.iter().map(|&j| col_map_a[j]).collect();
+
+    // Row provenance: the implicit phase permutes/merges rows, so core rows
+    // are matched back to original rows by content when possible.
+    let row_map = match_rows(m, &core, &col_map, &row_map_b);
+
+    CoreResult {
+        core,
+        fixed_cols,
+        row_map,
+        col_map,
+        cc_time: start.elapsed(),
+        infeasible,
+    }
+}
+
+/// Best-effort mapping of core rows to original row indices by content.
+fn match_rows(
+    original: &CoverMatrix,
+    core: &CoverMatrix,
+    col_map: &[usize],
+    fallback: &[usize],
+) -> Vec<usize> {
+    use std::collections::HashMap;
+    let mut index: HashMap<Vec<usize>, usize> = HashMap::new();
+    for (i, row) in original.rows().iter().enumerate() {
+        index.entry(row.clone()).or_insert(i);
+    }
+    (0..core.num_rows())
+        .map(|i| {
+            let orig_cols: Vec<usize> = {
+                let mut v: Vec<usize> = core.row(i).iter().map(|&j| col_map[j]).collect();
+                v.sort_unstable();
+                v
+            };
+            index
+                .get(&orig_cols)
+                .copied()
+                .unwrap_or_else(|| fallback.get(i).copied().unwrap_or(i))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reductions_solve_easy_instance() {
+        let m = CoverMatrix::from_rows(3, vec![vec![0], vec![0, 1], vec![1, 2], vec![2]]);
+        let res = cyclic_core(&m, &CoreOptions::default());
+        assert!(res.is_solved());
+        assert_eq!(res.fixed_cols, vec![0, 2]);
+    }
+
+    #[test]
+    fn cyclic_instance_survives() {
+        let m = CoverMatrix::from_rows(
+            5,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+        );
+        let res = cyclic_core(&m, &CoreOptions::default());
+        assert!(!res.is_solved());
+        assert_eq!(res.core.num_rows(), 5);
+        assert_eq!(res.core.num_cols(), 5);
+        assert_eq!(res.col_map.len(), 5);
+    }
+
+    #[test]
+    fn implicit_and_explicit_agree() {
+        let m = CoverMatrix::from_rows(
+            6,
+            vec![
+                vec![0],
+                vec![0, 1, 2],
+                vec![2, 3],
+                vec![3, 4, 5],
+                vec![4, 5],
+                vec![1, 5],
+            ],
+        );
+        let with = cyclic_core(&m, &CoreOptions::default());
+        let without = cyclic_core(
+            &m,
+            &CoreOptions {
+                use_implicit: false,
+                ..CoreOptions::default()
+            },
+        );
+        assert_eq!(with.fixed_cols, without.fixed_cols);
+        assert_eq!(with.core.num_rows(), without.core.num_rows());
+        assert_eq!(with.core.num_cols(), without.core.num_cols());
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        let m = CoverMatrix::from_rows(2, vec![vec![], vec![0]]);
+        let res = cyclic_core(&m, &CoreOptions::default());
+        assert!(res.infeasible);
+        assert!(!res.is_solved());
+    }
+
+    #[test]
+    fn row_map_points_to_original_rows() {
+        let m = CoverMatrix::from_rows(
+            5,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+        );
+        let res = cyclic_core(&m, &CoreOptions::default());
+        for (core_i, &orig_i) in res.row_map.iter().enumerate() {
+            let orig_cols: Vec<usize> = res.core.row(core_i)
+                .iter()
+                .map(|&j| res.col_map[j])
+                .collect();
+            assert_eq!(orig_cols, m.row(orig_i));
+        }
+    }
+}

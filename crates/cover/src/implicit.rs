@@ -1,0 +1,305 @@
+//! Implicit (ZDD-encoded) covering matrices and implicit reductions.
+//!
+//! The row family of a covering matrix is encoded as a ZDD over column
+//! variables: one member set per row, holding the columns covering it. On
+//! this representation,
+//!
+//! * row dominance is a single [`Zdd::minimal`] call,
+//! * essential columns are the [`Zdd::singletons`] of the family,
+//! * covering by a fixed column `j` is `subset0` (rows containing `j`
+//!   disappear),
+//!
+//! independent of how many rows the family has — the point of the implicit
+//! phase of `ZDD_SCG` (and of Coudert's implicit two-level minimisation
+//! before it). Column dominance needs the transposed view, which this module
+//! performs on the decoded explicit matrix (see `DESIGN.md` for the fidelity
+//! note).
+
+use crate::matrix::CoverMatrix;
+use zdd::{NodeId, Var, Zdd};
+
+/// A covering matrix held implicitly as a ZDD row family.
+///
+/// # Example
+///
+/// ```
+/// use cover::{CoverMatrix, ImplicitMatrix};
+/// let m = CoverMatrix::from_rows(3, vec![vec![0], vec![0, 1], vec![1, 2]]);
+/// let mut im = ImplicitMatrix::encode(&m);
+/// let essentials = im.reduce();
+/// // Column 0 is essential; the cascade (column dominance, then another
+/// // essential) then fixes column 1 and empties the matrix.
+/// assert_eq!(essentials, vec![0, 1]);
+/// assert!(im.is_done());
+/// ```
+#[derive(Debug)]
+pub struct ImplicitMatrix {
+    zdd: Zdd,
+    rows: NodeId,
+    costs: Vec<f64>,
+    num_cols: usize,
+}
+
+impl ImplicitMatrix {
+    /// Encodes an explicit matrix into a ZDD row family.
+    pub fn encode(m: &CoverMatrix) -> Self {
+        let mut zdd = Zdd::new();
+        let rows = zdd.from_sets(
+            m.rows()
+                .iter()
+                .map(|row| row.iter().map(|&j| Var::from(j)).collect::<Vec<_>>()),
+        );
+        ImplicitMatrix {
+            zdd,
+            rows,
+            costs: m.costs().to_vec(),
+            num_cols: m.num_cols(),
+        }
+    }
+
+    /// Number of (implicit) rows currently in the family.
+    pub fn num_rows(&self) -> u128 {
+        self.zdd.count(self.rows)
+    }
+
+    /// Number of ZDD nodes representing the family — the implicit size.
+    pub fn node_count(&self) -> usize {
+        self.zdd.node_count(self.rows)
+    }
+
+    /// Columns still occurring in some row.
+    pub fn live_cols(&self) -> Vec<usize> {
+        self.zdd.support(self.rows).into_iter().map(|v| v.index()).collect()
+    }
+
+    /// One implicit row-dominance pass ([`Zdd::minimal`]). Returns `true`
+    /// if the family shrank.
+    pub fn row_dominance(&mut self) -> bool {
+        let before = self.rows;
+        self.rows = self.zdd.minimal(self.rows);
+        self.rows != before
+    }
+
+    /// Extracts essential columns (singleton rows), fixes them — removing
+    /// every row they cover — and returns their indices, ascending.
+    pub fn essential_pass(&mut self) -> Vec<usize> {
+        let mut fixed = Vec::new();
+        loop {
+            let singles = self.zdd.singletons(self.rows);
+            if singles == NodeId::EMPTY {
+                break;
+            }
+            let cols: Vec<usize> = self
+                .zdd
+                .to_sets(singles)
+                .into_iter()
+                .map(|s| s[0].index())
+                .collect();
+            for &j in &cols {
+                // Rows containing j are covered; keep only the others.
+                self.rows = self.zdd.subset0(self.rows, Var::from(j));
+            }
+            fixed.extend(cols);
+        }
+        fixed.sort_unstable();
+        fixed
+    }
+
+    /// Tests whether column `j` dominates column `k`: every (implicit) row
+    /// containing `k` also contains `j`. Entirely on the ZDD:
+    /// `subset0(subset1(R, k), j) = ∅`.
+    pub fn col_dominates(&mut self, j: usize, k: usize) -> bool {
+        if j == k {
+            return true;
+        }
+        let with_k = self.zdd.subset1(self.rows, Var::from(k));
+        let without_j = self.zdd.subset0(with_k, Var::from(j));
+        without_j == NodeId::EMPTY
+    }
+
+    /// One implicit column-dominance pass (cost-aware): removes every live
+    /// column `k` for which some column `j` with `c_j ≤ c_k` covers a
+    /// superset of `k`'s rows. Returns the removed columns, ascending.
+    pub fn column_dominance_pass(&mut self) -> Vec<usize> {
+        let mut removed: Vec<usize> = Vec::new();
+        let support = self.live_cols();
+        for &k in &support {
+            let candidates: Vec<usize> = support
+                .iter()
+                .copied()
+                .filter(|&j| j != k && !removed.contains(&j) && self.costs[j] <= self.costs[k])
+                .collect();
+            let dominated = candidates.into_iter().any(|j| {
+                if !self.col_dominates(j, k) {
+                    return false;
+                }
+                // Identical columns at equal cost: keep the smaller index.
+                if self.costs[j] == self.costs[k] && j > k && self.col_dominates(k, j) {
+                    return false;
+                }
+                true
+            });
+            if dominated {
+                // Drop k from every row that contains it.
+                let with_k = self.zdd.subset1(self.rows, Var::from(k));
+                let without_k = self.zdd.subset0(self.rows, Var::from(k));
+                self.rows = self.zdd.union(without_k, with_k);
+                removed.push(k);
+            }
+        }
+        removed
+    }
+
+    /// Runs implicit reductions (row dominance + essentials + column
+    /// dominance) to a fixpoint. Returns all essential columns fixed,
+    /// ascending.
+    pub fn reduce(&mut self) -> Vec<usize> {
+        let mut fixed = Vec::new();
+        loop {
+            let shrank = self.row_dominance();
+            let ess = self.essential_pass();
+            let dom = self.column_dominance_pass();
+            let progressed = shrank || !ess.is_empty() || !dom.is_empty();
+            fixed.extend(ess);
+            if !progressed {
+                break;
+            }
+        }
+        fixed.sort_unstable();
+        fixed
+    }
+
+    /// Runs implicit reductions until stable **or** until the explicit size
+    /// drops under `(max_rows, max_cols)` — the `MaxR`/`MaxC` early exit of
+    /// Fig. 2. Returns the essential columns fixed.
+    pub fn reduce_until_small(&mut self, max_rows: u128, max_cols: usize) -> Vec<usize> {
+        let mut fixed = Vec::new();
+        loop {
+            if self.num_rows() <= max_rows && self.live_cols().len() <= max_cols {
+                break;
+            }
+            let shrank = self.row_dominance();
+            let ess = self.essential_pass();
+            if !shrank && ess.is_empty() {
+                break;
+            }
+            fixed.extend(ess);
+        }
+        fixed.sort_unstable();
+        fixed
+    }
+
+    /// Decodes the residual family into an explicit matrix.
+    ///
+    /// Returns `(matrix, col_map)` where `col_map[j']` is the original index
+    /// of decoded column `j'`. Rows come out in enumeration order.
+    pub fn decode(&self) -> (CoverMatrix, Vec<usize>) {
+        let col_map = self.live_cols();
+        let mut col_inv = vec![usize::MAX; self.num_cols];
+        for (new, &old) in col_map.iter().enumerate() {
+            col_inv[old] = new;
+        }
+        let rows: Vec<Vec<usize>> = self
+            .zdd
+            .to_sets(self.rows)
+            .into_iter()
+            .map(|s| s.into_iter().map(|v| col_inv[v.index()]).collect())
+            .collect();
+        let costs: Vec<f64> = col_map.iter().map(|&j| self.costs[j]).collect();
+        (CoverMatrix::with_costs(col_map.len(), rows, costs), col_map)
+    }
+
+    /// Returns `true` if the family is empty (every row covered).
+    pub fn is_done(&self) -> bool {
+        self.rows == NodeId::EMPTY
+    }
+
+    /// Returns `true` if some row became uncoverable (the empty set is a
+    /// member — no column can cover it).
+    pub fn infeasible(&self) -> bool {
+        self.zdd.contains_empty(self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_roundtrip() {
+        let m = CoverMatrix::from_rows(4, vec![vec![0, 2], vec![1, 3], vec![0, 2]]);
+        let im = ImplicitMatrix::encode(&m);
+        // Duplicate rows collapse in the set representation.
+        assert_eq!(im.num_rows(), 2);
+        let (dec, col_map) = im.decode();
+        assert_eq!(dec.num_rows(), 2);
+        assert_eq!(col_map, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn implicit_row_dominance() {
+        let m = CoverMatrix::from_rows(3, vec![vec![0], vec![0, 1], vec![1, 2]]);
+        let mut im = ImplicitMatrix::encode(&m);
+        assert!(im.row_dominance());
+        assert_eq!(im.num_rows(), 2); // {0} dominates {0,1}
+    }
+
+    #[test]
+    fn essential_extraction_covers_rows() {
+        let m = CoverMatrix::from_rows(3, vec![vec![0], vec![0, 1], vec![1, 2]]);
+        let mut im = ImplicitMatrix::encode(&m);
+        let ess = im.essential_pass();
+        assert_eq!(ess, vec![0]);
+        // Rows {0} and {0,1} are covered; {1,2} remains.
+        assert_eq!(im.num_rows(), 1);
+    }
+
+    #[test]
+    fn full_reduce_matches_explicit_reducer() {
+        use crate::reduce::Reducer;
+        let m = CoverMatrix::from_rows(
+            5,
+            vec![vec![0], vec![0, 1, 2], vec![2, 3], vec![3], vec![1, 4]],
+        );
+        let mut im = ImplicitMatrix::encode(&m);
+        let ess = im.reduce();
+        let mut r = Reducer::new(&m);
+        r.reduce_to_fixpoint();
+        let mut explicit_fixed = r.fixed().to_vec();
+        explicit_fixed.sort_unstable();
+        assert_eq!(ess, explicit_fixed);
+        // Both engines should leave cores of the same size.
+        assert_eq!(im.num_rows(), r.active_rows() as u128);
+    }
+
+    #[test]
+    fn cyclic_family_is_stable() {
+        let m = CoverMatrix::from_rows(
+            5,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+        );
+        let mut im = ImplicitMatrix::encode(&m);
+        let ess = im.reduce();
+        assert!(ess.is_empty());
+        assert_eq!(im.num_rows(), 5);
+        assert!(!im.is_done());
+        assert!(!im.infeasible());
+    }
+
+    #[test]
+    fn reduce_until_small_stops_early() {
+        let m = CoverMatrix::from_rows(3, vec![vec![0], vec![0, 1], vec![1, 2]]);
+        let mut im = ImplicitMatrix::encode(&m);
+        // Already below the bound: nothing happens.
+        let ess = im.reduce_until_small(100, 100);
+        assert!(ess.is_empty());
+        assert_eq!(im.num_rows(), 3);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let m = CoverMatrix::from_rows(2, vec![vec![], vec![0]]);
+        let im = ImplicitMatrix::encode(&m);
+        assert!(im.infeasible());
+    }
+}

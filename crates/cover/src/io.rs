@@ -1,0 +1,206 @@
+//! A plain-text exchange format for covering instances.
+//!
+//! ```text
+//! # comment
+//! p ucp <rows> <cols>
+//! c <cost_0> <cost_1> … <cost_{cols-1}>     (optional; default all 1)
+//! r <col> <col> …                           (one line per row)
+//! ```
+//!
+//! The format is line-oriented and diff-friendly; `c` may appear at most
+//! once, before the first `r` line.
+
+use crate::matrix::CoverMatrix;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error from parsing the text format.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ParseMatrixError {
+    /// The `p ucp R C` header is missing or malformed.
+    BadHeader(String),
+    /// A malformed `c` or `r` line.
+    BadLine { line: usize, reason: String },
+    /// Row/column counts disagree with the header.
+    Inconsistent(String),
+}
+
+impl fmt::Display for ParseMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMatrixError::BadHeader(h) => write!(f, "bad header: {h}"),
+            ParseMatrixError::BadLine { line, reason } => {
+                write!(f, "bad line {line}: {reason}")
+            }
+            ParseMatrixError::Inconsistent(why) => write!(f, "inconsistent instance: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseMatrixError {}
+
+impl CoverMatrix {
+    /// Serialises to the text format.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cover::CoverMatrix;
+    /// let m = CoverMatrix::from_rows(3, vec![vec![0, 1], vec![2]]);
+    /// let text = m.to_text();
+    /// let back: CoverMatrix = text.parse()?;
+    /// assert_eq!(m, back);
+    /// # Ok::<(), cover::ParseMatrixError>(())
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = format!("p ucp {} {}\n", self.num_rows(), self.num_cols());
+        if !self.costs().iter().all(|&c| c == 1.0) {
+            out.push('c');
+            for c in self.costs() {
+                out.push_str(&format!(" {c}"));
+            }
+            out.push('\n');
+        }
+        for row in self.rows() {
+            out.push('r');
+            for j in row {
+                out.push_str(&format!(" {j}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FromStr for CoverMatrix {
+    type Err = ParseMatrixError;
+
+    fn from_str(s: &str) -> Result<Self, ParseMatrixError> {
+        let mut dims: Option<(usize, usize)> = None;
+        let mut costs: Option<Vec<f64>> = None;
+        let mut rows: Vec<Vec<usize>> = Vec::new();
+        for (lineno, raw) in s.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            match it.next() {
+                Some("p") => {
+                    if it.next() != Some("ucp") {
+                        return Err(ParseMatrixError::BadHeader(line.to_string()));
+                    }
+                    let r = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| ParseMatrixError::BadHeader(line.to_string()))?;
+                    let c = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| ParseMatrixError::BadHeader(line.to_string()))?;
+                    dims = Some((r, c));
+                }
+                Some("c") => {
+                    if costs.is_some() || !rows.is_empty() {
+                        return Err(ParseMatrixError::BadLine {
+                            line: lineno + 1,
+                            reason: "cost line must be unique and precede rows".into(),
+                        });
+                    }
+                    let parsed: Result<Vec<f64>, _> = it.map(|t| t.parse::<f64>()).collect();
+                    costs = Some(parsed.map_err(|e| ParseMatrixError::BadLine {
+                        line: lineno + 1,
+                        reason: e.to_string(),
+                    })?);
+                }
+                Some("r") => {
+                    let parsed: Result<Vec<usize>, _> = it.map(|t| t.parse::<usize>()).collect();
+                    rows.push(parsed.map_err(|e| ParseMatrixError::BadLine {
+                        line: lineno + 1,
+                        reason: e.to_string(),
+                    })?);
+                }
+                _ => {
+                    return Err(ParseMatrixError::BadLine {
+                        line: lineno + 1,
+                        reason: format!("unknown record {line:?}"),
+                    })
+                }
+            }
+        }
+        let (r, c) = dims.ok_or_else(|| ParseMatrixError::BadHeader("missing".into()))?;
+        if rows.len() != r {
+            return Err(ParseMatrixError::Inconsistent(format!(
+                "header says {r} rows, found {}",
+                rows.len()
+            )));
+        }
+        let costs = costs.unwrap_or_else(|| vec![1.0; c]);
+        if costs.len() != c {
+            return Err(ParseMatrixError::Inconsistent(format!(
+                "header says {c} columns, cost line has {}",
+                costs.len()
+            )));
+        }
+        if let Some(bad) = rows.iter().flatten().find(|&&j| j >= c) {
+            return Err(ParseMatrixError::Inconsistent(format!(
+                "column index {bad} out of range (< {c})"
+            )));
+        }
+        Ok(CoverMatrix::with_costs(c, rows, costs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_unit_costs() {
+        let m = CoverMatrix::from_rows(4, vec![vec![0, 2], vec![1, 3], vec![2]]);
+        let back: CoverMatrix = m.to_text().parse().unwrap();
+        assert_eq!(m, back);
+        assert!(!m.to_text().contains("\nc "));
+    }
+
+    #[test]
+    fn roundtrip_with_costs() {
+        let m = CoverMatrix::with_costs(2, vec![vec![0, 1]], vec![2.0, 5.0]);
+        let text = m.to_text();
+        assert!(text.contains("c 2 5"));
+        let back: CoverMatrix = text.parse().unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "# hello\np ucp 1 2\n\n# mid\nr 0 1\n";
+        let m: CoverMatrix = src.parse().unwrap();
+        assert_eq!(m.num_rows(), 1);
+        assert_eq!(m.num_cols(), 2);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(matches!(
+            "r 0".parse::<CoverMatrix>(),
+            Err(ParseMatrixError::BadHeader(_))
+        ));
+        assert!(matches!(
+            "p ucp 2 2\nr 0\n".parse::<CoverMatrix>(),
+            Err(ParseMatrixError::Inconsistent(_))
+        ));
+        assert!(matches!(
+            "p ucp 1 2\nr 5\n".parse::<CoverMatrix>(),
+            Err(ParseMatrixError::Inconsistent(_))
+        ));
+        assert!(matches!(
+            "p ucp 1 1\nr x\n".parse::<CoverMatrix>(),
+            Err(ParseMatrixError::BadLine { .. })
+        ));
+        assert!(matches!(
+            "p ucp 1 2\nc 1\nr 0\n".parse::<CoverMatrix>(),
+            Err(ParseMatrixError::Inconsistent(_))
+        ));
+    }
+}

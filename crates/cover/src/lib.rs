@@ -1,0 +1,44 @@
+//! Covering matrices, reductions and cyclic cores for the unate covering
+//! problem (UCP).
+//!
+//! A UCP instance `(M, P, R, c)` is a 0/1 matrix `A` (rows `M` = objects to
+//! cover, columns `P` = candidate covers, `R` = the covering relation) plus a
+//! column cost vector `c`; the goal is a minimum-cost set of columns hitting
+//! every row. This crate provides:
+//!
+//! * [`CoverMatrix`] — the sparse instance representation, and [`Solution`],
+//! * [`Reducer`] — the classical *explicit* reductions (essential columns,
+//!   row dominance, column dominance) iterated to a fixpoint,
+//! * [`ImplicitMatrix`] — the *implicit* ZDD-encoded row family with
+//!   ZDD-based row dominance and essential extraction, as used in the first
+//!   phase of `ZDD_SCG` (Fig. 2 of the paper),
+//! * [`cyclic_core`] — the combined driver: implicit phase until stable or
+//!   small (`MaxR`/`MaxC`), then decode and explicit phase, yielding the
+//!   cyclic core plus the essential columns found along the way.
+//!
+//! # Example
+//!
+//! ```
+//! use cover::{cyclic_core, CoreOptions, CoverMatrix};
+//!
+//! // Row 0 is covered only by column 0, so column 0 is essential; the
+//! // cascade of reductions then solves the rest outright.
+//! let m = CoverMatrix::from_rows(3, vec![vec![0], vec![0, 1], vec![1, 2]]);
+//! let core = cyclic_core(&m, &CoreOptions::default());
+//! assert_eq!(core.fixed_cols, vec![0, 1]);
+//! assert!(core.is_solved());
+//! ```
+
+mod core_driver;
+mod io;
+mod implicit;
+mod matrix;
+mod partition;
+mod reduce;
+
+pub use core_driver::{cyclic_core, CoreOptions, CoreResult};
+pub use io::ParseMatrixError;
+pub use implicit::ImplicitMatrix;
+pub use matrix::{CoverMatrix, Solution};
+pub use partition::{is_partitionable, partition, partition_count, Block};
+pub use reduce::{ReductionStats, Reducer};

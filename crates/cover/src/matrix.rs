@@ -1,0 +1,416 @@
+//! The sparse covering-matrix representation and solutions.
+
+use std::fmt;
+
+/// A unate covering instance: a sparse 0/1 matrix with column costs.
+///
+/// Rows are stored as sorted lists of the column indices covering them.
+/// Costs default to 1 for every column (the cardinality objective of
+/// two-level minimisation).
+///
+/// # Example
+///
+/// ```
+/// use cover::CoverMatrix;
+/// let m = CoverMatrix::from_rows(3, vec![vec![0, 1], vec![1, 2]]);
+/// assert_eq!(m.num_rows(), 2);
+/// assert_eq!(m.num_cols(), 3);
+/// assert_eq!(m.col_rows(1), &[0, 1]);
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CoverMatrix {
+    num_cols: usize,
+    rows: Vec<Vec<usize>>,
+    cols: Vec<Vec<usize>>,
+    costs: Vec<f64>,
+}
+
+impl CoverMatrix {
+    /// Builds an instance with unit costs from row lists.
+    ///
+    /// Column indices are deduplicated and sorted; they must be below
+    /// `num_cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row references a column `≥ num_cols`.
+    pub fn from_rows(num_cols: usize, rows: Vec<Vec<usize>>) -> Self {
+        Self::with_costs(num_cols, rows, vec![1.0; num_cols])
+    }
+
+    /// Builds an instance with explicit column costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs.len() != num_cols`, if any cost is negative or
+    /// non-finite, or if a row references a column `≥ num_cols`.
+    pub fn with_costs(num_cols: usize, mut rows: Vec<Vec<usize>>, costs: Vec<f64>) -> Self {
+        assert_eq!(costs.len(), num_cols, "one cost per column required");
+        assert!(
+            costs.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "costs must be finite and non-negative"
+        );
+        let mut cols = vec![Vec::new(); num_cols];
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.sort_unstable();
+            row.dedup();
+            for &j in row.iter() {
+                assert!(j < num_cols, "row {i} references column {j} ≥ {num_cols}");
+                cols[j].push(i);
+            }
+        }
+        CoverMatrix {
+            num_cols,
+            rows,
+            cols,
+            costs,
+        }
+    }
+
+    /// Number of rows (objects to cover).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns (candidate covers).
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// The sorted column list of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[usize] {
+        &self.rows[i]
+    }
+
+    /// All rows.
+    #[inline]
+    pub fn rows(&self) -> &[Vec<usize>] {
+        &self.rows
+    }
+
+    /// The sorted row list of column `j` (transpose access).
+    #[inline]
+    pub fn col_rows(&self, j: usize) -> &[usize] {
+        &self.cols[j]
+    }
+
+    /// Cost of column `j`.
+    #[inline]
+    pub fn cost(&self, j: usize) -> f64 {
+        self.costs[j]
+    }
+
+    /// The full cost vector.
+    #[inline]
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// Returns `true` if all costs are integral (the paper's standing
+    /// assumption, enabling the `⌈LB⌉ = z_best` optimality certificate).
+    pub fn integer_costs(&self) -> bool {
+        self.costs.iter().all(|c| c.fract() == 0.0)
+    }
+
+    /// Returns `true` if every row can be covered (no empty rows).
+    pub fn is_coverable(&self) -> bool {
+        self.rows.iter().all(|r| !r.is_empty())
+    }
+
+    /// Entry test `a[i][j] == 1`.
+    pub fn covers(&self, i: usize, j: usize) -> bool {
+        self.rows[i].binary_search(&j).is_ok()
+    }
+
+    /// The minimum cost among columns covering row `i` (`c̄_i` in the paper).
+    ///
+    /// Returns `f64::INFINITY` for an uncoverable row.
+    pub fn min_row_cost(&self, i: usize) -> f64 {
+        self.rows[i]
+            .iter()
+            .map(|&j| self.costs[j])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Density: `nnz / (rows × cols)`.
+    pub fn density(&self) -> f64 {
+        if self.rows.is_empty() || self.num_cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.num_rows() * self.num_cols) as f64
+    }
+}
+
+impl fmt::Display for CoverMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "CoverMatrix {}×{} (nnz {})",
+            self.num_rows(),
+            self.num_cols(),
+            self.nnz()
+        )?;
+        for (i, row) in self.rows.iter().enumerate() {
+            write!(f, "  r{i}:")?;
+            for j in row {
+                write!(f, " {j}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A (not necessarily feasible) selection of columns.
+///
+/// # Example
+///
+/// ```
+/// use cover::{CoverMatrix, Solution};
+/// let m = CoverMatrix::from_rows(3, vec![vec![0, 1], vec![1, 2]]);
+/// let s = Solution::from_cols(vec![1]);
+/// assert!(s.is_feasible(&m));
+/// assert_eq!(s.cost(&m), 1.0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Solution {
+    cols: Vec<usize>,
+}
+
+impl Solution {
+    /// Creates an empty selection.
+    pub fn new() -> Self {
+        Solution::default()
+    }
+
+    /// Creates a selection from explicit column indices (deduplicated).
+    pub fn from_cols(mut cols: Vec<usize>) -> Self {
+        cols.sort_unstable();
+        cols.dedup();
+        Solution { cols }
+    }
+
+    /// The selected columns, sorted ascending.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Number of selected columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Returns `true` if no column is selected.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Adds a column (keeps the list sorted and unique).
+    pub fn insert(&mut self, j: usize) {
+        if let Err(pos) = self.cols.binary_search(&j) {
+            self.cols.insert(pos, j);
+        }
+    }
+
+    /// Removes a column if present; reports whether it was selected.
+    pub fn remove(&mut self, j: usize) -> bool {
+        if let Ok(pos) = self.cols.binary_search(&j) {
+            self.cols.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, j: usize) -> bool {
+        self.cols.binary_search(&j).is_ok()
+    }
+
+    /// Total cost under the instance's cost vector.
+    pub fn cost(&self, m: &CoverMatrix) -> f64 {
+        self.cols.iter().map(|&j| m.cost(j)).sum()
+    }
+
+    /// Checks whether every row of `m` is covered.
+    pub fn is_feasible(&self, m: &CoverMatrix) -> bool {
+        m.rows()
+            .iter()
+            .all(|row| row.iter().any(|j| self.contains(*j)))
+    }
+
+    /// Removes redundant columns greedily, highest cost first (the paper's
+    /// final clean-up: *"Remove the highest cost redundant column"*).
+    ///
+    /// A column is redundant if every row it covers is covered by another
+    /// selected column. The result is an irredundant cover whenever the
+    /// input was feasible.
+    pub fn make_irredundant(&mut self, m: &CoverMatrix) {
+        // cover_count[i] = how many selected columns cover row i.
+        let mut cover_count = vec![0usize; m.num_rows()];
+        for &j in &self.cols {
+            for &i in m.col_rows(j) {
+                cover_count[i] += 1;
+            }
+        }
+        loop {
+            // Find the highest-cost redundant column.
+            let mut candidate: Option<usize> = None;
+            for &j in &self.cols {
+                let redundant = m.col_rows(j).iter().all(|&i| cover_count[i] >= 2);
+                if redundant {
+                    match candidate {
+                        Some(best) if m.cost(best) >= m.cost(j) => {}
+                        _ => candidate = Some(j),
+                    }
+                }
+            }
+            match candidate {
+                Some(j) => {
+                    self.remove(j);
+                    for &i in m.col_rows(j) {
+                        cover_count[i] -= 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Remaps the columns through `col_map` (e.g. core-local indices back to
+    /// the original instance) and merges with already-fixed columns.
+    pub fn lift(&self, col_map: &[usize], fixed: &[usize]) -> Solution {
+        let mut cols: Vec<usize> = self.cols.iter().map(|&j| col_map[j]).collect();
+        cols.extend_from_slice(fixed);
+        Solution::from_cols(cols)
+    }
+}
+
+impl FromIterator<usize> for Solution {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        Solution::from_cols(iter.into_iter().collect())
+    }
+}
+
+impl Extend<usize> for Solution {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for j in iter {
+            self.insert(j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CoverMatrix {
+        CoverMatrix::from_rows(
+            4,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = sample();
+        assert_eq!(m.num_rows(), 4);
+        assert_eq!(m.num_cols(), 4);
+        assert_eq!(m.nnz(), 8);
+        assert_eq!(m.row(0), &[0, 1]);
+        assert_eq!(m.col_rows(0), &[0, 3]);
+        assert!(m.covers(1, 2));
+        assert!(!m.covers(1, 0));
+        assert!(m.integer_costs());
+        assert!(m.is_coverable());
+        assert!((m.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_are_sorted_and_deduped() {
+        let m = CoverMatrix::from_rows(3, vec![vec![2, 0, 2]]);
+        assert_eq!(m.row(0), &[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references column")]
+    fn out_of_range_column_panics() {
+        let _ = CoverMatrix::from_rows(2, vec![vec![2]]);
+    }
+
+    #[test]
+    fn min_row_cost_uses_costs() {
+        let m = CoverMatrix::with_costs(2, vec![vec![0, 1]], vec![3.0, 2.0]);
+        assert_eq!(m.min_row_cost(0), 2.0);
+        let empty = CoverMatrix::from_rows(2, vec![vec![]]);
+        assert!(empty.min_row_cost(0).is_infinite());
+        assert!(!empty.is_coverable());
+    }
+
+    #[test]
+    fn solution_feasibility_and_cost() {
+        let m = sample();
+        let s = Solution::from_cols(vec![1, 3]);
+        assert!(s.is_feasible(&m));
+        assert_eq!(s.cost(&m), 2.0);
+        let t = Solution::from_cols(vec![0]);
+        assert!(!t.is_feasible(&m));
+    }
+
+    #[test]
+    fn irredundant_removal() {
+        let m = sample();
+        let mut s = Solution::from_cols(vec![0, 1, 2, 3]);
+        s.make_irredundant(&m);
+        assert!(s.is_feasible(&m));
+        assert_eq!(s.len(), 2, "diagonal pairs suffice: {:?}", s.cols());
+    }
+
+    #[test]
+    fn irredundant_respects_cost_order() {
+        // Column 0 covers both rows at cost 3; columns 1 and 2 cover one row
+        // each at cost 1. Starting from all three, the expensive redundant
+        // column is dropped first, leaving the cheap pair.
+        let m = CoverMatrix::with_costs(3, vec![vec![0, 1], vec![0, 2]], vec![3.0, 1.0, 1.0]);
+        let mut s = Solution::from_cols(vec![0, 1, 2]);
+        s.make_irredundant(&m);
+        assert_eq!(s.cols(), &[1, 2]);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = Solution::new();
+        assert!(s.is_empty());
+        s.insert(5);
+        s.insert(2);
+        s.insert(5);
+        assert_eq!(s.cols(), &[2, 5]);
+        assert!(s.contains(5));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn lift_remaps_and_merges() {
+        let s = Solution::from_cols(vec![0, 2]);
+        let lifted = s.lift(&[10, 11, 12], &[7]);
+        assert_eq!(lifted.cols(), &[7, 10, 12]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: Solution = [3usize, 1, 3].into_iter().collect();
+        assert_eq!(s.cols(), &[1, 3]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Partitioning: the first of the classical reductions listed in §2 of the
+//! paper. If the bipartite row/column graph of the matrix is disconnected,
+//! each connected component is an independent covering problem; optima (and
+//! bounds) add up.
+
+use crate::matrix::CoverMatrix;
+
+/// One independent block of a partitioned instance.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// The block's own covering matrix.
+    pub matrix: CoverMatrix,
+    /// Original index of each block row.
+    pub row_map: Vec<usize>,
+    /// Original index of each block column.
+    pub col_map: Vec<usize>,
+}
+
+/// Splits `m` into its connected components.
+///
+/// Columns covering no row are dropped (they belong to no block and can
+/// never be part of a minimal cover). The blocks' `row_map`s partition the
+/// original row set.
+///
+/// # Example
+///
+/// ```
+/// use cover::partition;
+/// use cover::CoverMatrix;
+///
+/// // Two independent 2-cycles.
+/// let m = CoverMatrix::from_rows(4, vec![
+///     vec![0, 1], vec![1, 0],
+///     vec![2, 3], vec![3, 2],
+/// ]);
+/// let blocks = partition(&m);
+/// assert_eq!(blocks.len(), 2);
+/// assert_eq!(blocks[0].matrix.num_rows(), 2);
+/// ```
+pub fn partition(m: &CoverMatrix) -> Vec<Block> {
+    let nr = m.num_rows();
+    let nc = m.num_cols();
+    // Union-find over rows (nodes 0..nr) and columns (nodes nr..nr+nc).
+    let mut parent: Vec<usize> = (0..nr + nc).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for i in 0..nr {
+        for &j in m.row(i) {
+            let a = find(&mut parent, i);
+            let b = find(&mut parent, nr + j);
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    // Group rows by root, keeping first-appearance order.
+    let mut block_of_root: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    let mut blocks_rows: Vec<Vec<usize>> = Vec::new();
+    for i in 0..nr {
+        let root = find(&mut parent, i);
+        let b = *block_of_root.entry(root).or_insert_with(|| {
+            blocks_rows.push(Vec::new());
+            blocks_rows.len() - 1
+        });
+        blocks_rows[b].push(i);
+    }
+    blocks_rows
+        .into_iter()
+        .map(|rows| {
+            let mut col_seen = vec![false; nc];
+            for &i in &rows {
+                for &j in m.row(i) {
+                    col_seen[j] = true;
+                }
+            }
+            let col_map: Vec<usize> = (0..nc).filter(|&j| col_seen[j]).collect();
+            let mut inv = vec![usize::MAX; nc];
+            for (new, &old) in col_map.iter().enumerate() {
+                inv[old] = new;
+            }
+            let block_rows: Vec<Vec<usize>> = rows
+                .iter()
+                .map(|&i| m.row(i).iter().map(|&j| inv[j]).collect())
+                .collect();
+            let costs: Vec<f64> = col_map.iter().map(|&j| m.cost(j)).collect();
+            Block {
+                matrix: CoverMatrix::with_costs(col_map.len(), block_rows, costs),
+                row_map: rows,
+                col_map,
+            }
+        })
+        .collect()
+}
+
+/// Returns `true` when the matrix has at least two independent blocks.
+pub fn is_partitionable(m: &CoverMatrix) -> bool {
+    // Cheap check without building the blocks.
+    partition_count(m) > 1
+}
+
+/// Number of connected components (of rows; empty instances report 0).
+pub fn partition_count(m: &CoverMatrix) -> usize {
+    let nr = m.num_rows();
+    let nc = m.num_cols();
+    let mut parent: Vec<usize> = (0..nr + nc).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for i in 0..nr {
+        for &j in m.row(i) {
+            let a = find(&mut parent, i);
+            let b = find(&mut parent, nr + j);
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    let mut roots = std::collections::HashSet::new();
+    for i in 0..nr {
+        let r = find(&mut parent, i);
+        roots.insert(r);
+    }
+    roots.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Solution;
+
+    #[test]
+    fn connected_matrix_is_one_block() {
+        let m = CoverMatrix::from_rows(3, vec![vec![0, 1], vec![1, 2]]);
+        let blocks = partition(&m);
+        assert_eq!(blocks.len(), 1);
+        assert!(!is_partitionable(&m));
+        assert_eq!(blocks[0].matrix.num_rows(), 2);
+        assert_eq!(blocks[0].col_map, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn independent_blocks_split() {
+        let m = CoverMatrix::from_rows(
+            5,
+            vec![vec![0, 1], vec![1], vec![2, 3], vec![3, 4], vec![4, 2]],
+        );
+        let blocks = partition(&m);
+        assert_eq!(blocks.len(), 2);
+        assert!(is_partitionable(&m));
+        assert_eq!(partition_count(&m), 2);
+        // Row maps partition the rows.
+        let mut all_rows: Vec<usize> = blocks.iter().flat_map(|b| b.row_map.clone()).collect();
+        all_rows.sort_unstable();
+        assert_eq!(all_rows, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn uncovered_columns_dropped() {
+        // Column 2 covers nothing.
+        let m = CoverMatrix::from_rows(3, vec![vec![0, 1]]);
+        let blocks = partition(&m);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].col_map, vec![0, 1]);
+    }
+
+    #[test]
+    fn block_solutions_lift_to_global() {
+        let m = CoverMatrix::from_rows(
+            4,
+            vec![vec![0, 1], vec![1], vec![2, 3], vec![3]],
+        );
+        let blocks = partition(&m);
+        let mut global = Solution::new();
+        for b in &blocks {
+            // Cover each block trivially: pick each row's first column.
+            let mut local = Solution::new();
+            for i in 0..b.matrix.num_rows() {
+                let row = b.matrix.row(i);
+                if !row.iter().any(|&j| local.contains(j)) {
+                    local.insert(row[0]);
+                }
+            }
+            assert!(local.is_feasible(&b.matrix));
+            global.extend(local.cols().iter().map(|&j| b.col_map[j]));
+        }
+        assert!(global.is_feasible(&m));
+    }
+
+    #[test]
+    fn empty_matrix_has_no_blocks() {
+        let m = CoverMatrix::from_rows(3, vec![]);
+        assert!(partition(&m).is_empty());
+        assert_eq!(partition_count(&m), 0);
+    }
+
+    #[test]
+    fn costs_carried_into_blocks() {
+        let m = CoverMatrix::with_costs(
+            3,
+            vec![vec![0], vec![1, 2]],
+            vec![5.0, 2.0, 3.0],
+        );
+        let blocks = partition(&m);
+        assert_eq!(blocks.len(), 2);
+        let b0 = blocks.iter().find(|b| b.row_map == vec![0]).unwrap();
+        assert_eq!(b0.matrix.cost(0), 5.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Parity between the implicit (ZDD) and explicit reduction engines on
+//! random instances: same essential columns, same-size cores.
+
+use cover::{CoverMatrix, ImplicitMatrix, Reducer};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn instance_strategy() -> impl Strategy<Value = CoverMatrix> {
+    (2usize..=10).prop_flat_map(|cols| {
+        let row = prop::collection::btree_set(0..cols, 1..=cols.min(4));
+        let rows = prop::collection::vec(row, 1..=12);
+        rows.prop_map(move |rows| {
+            CoverMatrix::from_rows(
+                cols,
+                rows.into_iter().map(|r| r.into_iter().collect()).collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn engines_agree_on_unit_cost_instances(m in instance_strategy()) {
+        let mut im = ImplicitMatrix::encode(&m);
+        let implicit_fixed: BTreeSet<usize> = im.reduce().into_iter().collect();
+
+        let mut red = Reducer::new(&m);
+        red.reduce_to_fixpoint();
+        let explicit_fixed: BTreeSet<usize> = red.fixed().iter().copied().collect();
+
+        prop_assert_eq!(&implicit_fixed, &explicit_fixed,
+            "different essentials on {:?}", m);
+        prop_assert_eq!(im.num_rows(), red.active_rows() as u128);
+        // Same live column support.
+        let implicit_cols: BTreeSet<usize> = im.live_cols().into_iter().collect();
+        let explicit_cols: BTreeSet<usize> = (0..m.num_cols())
+            .filter(|&j| red.col_active(j) && !red.fixed().contains(&j))
+            // Only columns still covering an active row count as live.
+            .filter(|&j| m.col_rows(j).iter().any(|&i| red.row_active(i)))
+            .collect();
+        prop_assert_eq!(implicit_cols, explicit_cols);
+    }
+
+    #[test]
+    fn implicit_row_dominance_monotone(m in instance_strategy()) {
+        let mut im = ImplicitMatrix::encode(&m);
+        let before = im.num_rows();
+        im.row_dominance();
+        prop_assert!(im.num_rows() <= before);
+        // Dominance is a closure: reapplying changes nothing.
+        prop_assert!(!im.row_dominance());
+    }
+
+    #[test]
+    fn implicit_column_dominance_preserves_coverability(m in instance_strategy()) {
+        let mut im = ImplicitMatrix::encode(&m);
+        prop_assume!(!im.infeasible());
+        im.column_dominance_pass();
+        prop_assert!(!im.infeasible(),
+            "column dominance made the instance uncoverable");
+    }
+}

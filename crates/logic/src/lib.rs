@@ -1,0 +1,48 @@
+//! Two-level logic: cube algebra, PLA parsing, prime implicants, and the
+//! Quine–McCluskey reduction of two-level minimisation to unate covering.
+//!
+//! This crate is the front end of the pipeline the paper evaluates on the
+//! Berkeley PLA test set:
+//!
+//! 1. parse a [`Pla`] (Berkeley `.pla` format, with don't-cares),
+//! 2. build BDDs of every output's ON/DC sets ([`Pla::output_functions`]),
+//! 3. generate all **prime implicants** — implicitly via the Coudert–Madre
+//!    BDD→ZDD recursion ([`primes::prime_implicants`]) or explicitly by
+//!    iterated consensus ([`primes::primes_by_consensus`]),
+//! 4. emit the covering matrix whose rows are ON-set minterms and whose
+//!    columns are primes ([`covering::build_covering`]), ready for any
+//!    solver in `ucp-core`/`ucp-solvers`,
+//! 5. turn a covering solution back into a minimised PLA
+//!    ([`covering::UcpInstance::solution_to_pla`]).
+//!
+//! # Example: minimising a tiny function end to end
+//!
+//! ```
+//! use logic::{covering::build_covering, Pla};
+//!
+//! let src = "\
+//! .i 3
+//! .o 1
+//! 11- 1
+//! 1-1 1
+//! 011 1
+//! .e
+//! ";
+//! let pla: Pla = src.parse()?;
+//! let inst = build_covering(&pla)?;
+//! // Every ON-minterm is a row; every prime a column.
+//! assert!(inst.matrix.num_rows() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod covering;
+pub mod espresso;
+pub mod cube;
+pub mod cubelist;
+pub mod pla;
+pub mod primes;
+
+pub use covering::{build_covering, build_covering_with, TermCost, UcpInstance};
+pub use cube::Cube;
+pub use cubelist::CubeList;
+pub use pla::{Pla, PlaType, ParsePlaError};

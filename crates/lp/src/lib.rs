@@ -1,0 +1,38 @@
+//! A dense primal simplex solver for linear programs of covering shape.
+//!
+//! The unate covering paper (Cordone et al., DATE 2000) compares four lower
+//! bounds: maximal-independent-set, dual ascent, the Lagrangian bound, and
+//! the linear-programming relaxation `z*_P` (Proposition 1 / Figure 1). This
+//! crate supplies the last one exactly: a textbook Big-M simplex over dense
+//! tableaus, adequate for the cyclic cores the bound is evaluated on (the
+//! paper itself cites Liao–Devadas for using LP relaxation bounds inside
+//! covering solvers).
+//!
+//! Problems have the fixed shape
+//!
+//! ```text
+//! min c'x    subject to    A x ≥ b,   x ≥ 0
+//! ```
+//!
+//! which is exactly the covering relaxation once the redundant `x ≤ 1` upper
+//! bounds are dropped (they never bind at an optimum when `c ≥ 0`).
+//!
+//! # Example
+//!
+//! ```
+//! use lp::DenseLp;
+//!
+//! // The 5-cycle covering LP: optimum 2.5 at x = (½,…,½).
+//! let lp = DenseLp::covering(
+//!     5,
+//!     &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+//!     &[1.0; 5],
+//! );
+//! let sol = lp.solve()?;
+//! assert!((sol.objective - 2.5).abs() < 1e-9);
+//! # Ok::<(), lp::SolveLpError>(())
+//! ```
+
+mod simplex;
+
+pub use simplex::{DenseLp, LpSolution, SolveLpError};

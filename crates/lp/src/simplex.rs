@@ -1,0 +1,371 @@
+//! Big-M primal simplex over a dense tableau, with dual extraction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Tolerance for reduced-cost and pivot decisions.
+const EPS: f64 = 1e-9;
+
+/// A linear program `min c'x  s.t.  A x ≥ b, x ≥ 0` in dense form.
+///
+/// # Example
+///
+/// ```
+/// use lp::DenseLp;
+/// // min x0 + x1  s.t.  x0 + x1 ≥ 1
+/// let lp = DenseLp::new(vec![1.0, 1.0], vec![vec![1.0, 1.0]], vec![1.0]);
+/// let sol = lp.solve()?;
+/// assert!((sol.objective - 1.0).abs() < 1e-9);
+/// # Ok::<(), lp::SolveLpError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DenseLp {
+    costs: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+}
+
+/// An optimal solution with its dual certificate.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Optimal objective value `c'x* = b'y*`.
+    pub objective: f64,
+    /// Optimal primal variables.
+    pub primal: Vec<f64>,
+    /// Optimal dual variables (one per constraint, non-negative).
+    pub dual: Vec<f64>,
+}
+
+/// Why the solve failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveLpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The pivot count exceeded the safety limit.
+    IterationLimit,
+}
+
+impl fmt::Display for SolveLpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveLpError::Infeasible => write!(f, "linear program is infeasible"),
+            SolveLpError::Unbounded => write!(f, "linear program is unbounded"),
+            SolveLpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl Error for SolveLpError {}
+
+impl DenseLp {
+    /// Creates a program from dense data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row lengths disagree with `costs.len()`, if `rhs.len()`
+    /// disagrees with the row count, or if any `rhs` entry is negative
+    /// (covering problems always have `b = 1`; general negative right-hand
+    /// sides are out of scope).
+    pub fn new(costs: Vec<f64>, rows: Vec<Vec<f64>>, rhs: Vec<f64>) -> Self {
+        assert_eq!(rows.len(), rhs.len(), "one rhs entry per row");
+        for row in &rows {
+            assert_eq!(row.len(), costs.len(), "row width must match cost vector");
+        }
+        assert!(rhs.iter().all(|&b| b >= 0.0), "rhs must be non-negative");
+        DenseLp { costs, rows, rhs }
+    }
+
+    /// Builds the LP relaxation of a covering instance given sparse rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row references a column `≥ num_cols`.
+    pub fn covering(num_cols: usize, sparse_rows: &[Vec<usize>], costs: &[f64]) -> Self {
+        assert_eq!(costs.len(), num_cols);
+        let rows: Vec<Vec<f64>> = sparse_rows
+            .iter()
+            .map(|r| {
+                let mut dense = vec![0.0; num_cols];
+                for &j in r {
+                    dense[j] = 1.0;
+                }
+                dense
+            })
+            .collect();
+        let rhs = vec![1.0; sparse_rows.len()];
+        DenseLp::new(costs.to_vec(), rows, rhs)
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Solves the program with Big-M simplex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveLpError::Infeasible`] / [`SolveLpError::Unbounded`]
+    /// for such programs, and [`SolveLpError::IterationLimit`] if pivoting
+    /// does not converge within the safety budget.
+    #[allow(clippy::needless_range_loop)] // dense tableau code reads best with indices
+    pub fn solve(&self) -> Result<LpSolution, SolveLpError> {
+        let n = self.num_vars();
+        let m = self.num_rows();
+        if m == 0 {
+            // Only x ≥ 0: optimum is x = 0 unless some cost is negative.
+            if self.costs.iter().any(|&c| c < -EPS) {
+                return Err(SolveLpError::Unbounded);
+            }
+            return Ok(LpSolution {
+                objective: 0.0,
+                primal: vec![0.0; n],
+                dual: Vec::new(),
+            });
+        }
+
+        // Columns: [x (n)] [surplus (m)] [artificial (m)] [rhs].
+        let width = n + 2 * m + 1;
+        let max_abs_cost = self.costs.iter().fold(1.0f64, |a, c| a.max(c.abs()));
+        let big_m = 1e7 * max_abs_cost;
+
+        let mut tab = vec![vec![0.0; width]; m + 1];
+        for (i, row) in self.rows.iter().enumerate() {
+            tab[i][..n].copy_from_slice(row);
+            tab[i][n + i] = -1.0; // surplus
+            tab[i][n + m + i] = 1.0; // artificial
+            tab[i][width - 1] = self.rhs[i];
+        }
+        // Objective row holds reduced costs z_j - c_j negated: we store
+        // c_j - z_j and pivot while some entry is < -EPS.
+        let obj = m;
+        for j in 0..n {
+            tab[obj][j] = self.costs[j];
+        }
+        for i in 0..m {
+            tab[obj][n + m + i] = big_m;
+        }
+        // Price out the initial basis (artificials): subtract M * row_i.
+        let mut basis: Vec<usize> = (0..m).map(|i| n + m + i).collect();
+        for i in 0..m {
+            for j in 0..width {
+                tab[obj][j] -= big_m * tab[i][j];
+            }
+        }
+
+        let limit = 200 * (n + m).max(50);
+        let mut iters = 0usize;
+        loop {
+            iters += 1;
+            if iters > limit {
+                return Err(SolveLpError::IterationLimit);
+            }
+            // Entering column: Dantzig at first, Bland after a while to
+            // guarantee termination on degenerate problems.
+            let bland = iters > 50 * (n + m).max(10);
+            let mut enter: Option<usize> = None;
+            let mut best = -EPS;
+            for j in 0..width - 1 {
+                let rc = tab[obj][j];
+                if rc < -EPS {
+                    if bland {
+                        enter = Some(j);
+                        break;
+                    }
+                    if rc < best {
+                        best = rc;
+                        enter = Some(j);
+                    }
+                }
+            }
+            let enter = match enter {
+                Some(j) => j,
+                None => break, // optimal
+            };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..m {
+                let a = tab[i][enter];
+                if a > EPS {
+                    let ratio = tab[i][width - 1] / a;
+                    if ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| basis[i] < basis[l]))
+                    {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let leave = match leave {
+                Some(i) => i,
+                None => return Err(SolveLpError::Unbounded),
+            };
+            // Pivot.
+            let piv = tab[leave][enter];
+            for v in tab[leave].iter_mut() {
+                *v /= piv;
+            }
+            for i in 0..=m {
+                if i == leave {
+                    continue;
+                }
+                let factor = tab[i][enter];
+                if factor.abs() > 0.0 {
+                    // Split borrows: copy the pivot row values lazily.
+                    for j in 0..width {
+                        let upd = tab[leave][j] * factor;
+                        tab[i][j] -= upd;
+                    }
+                }
+            }
+            basis[leave] = enter;
+        }
+
+        // Any artificial still basic at positive level ⇒ infeasible.
+        for i in 0..m {
+            if basis[i] >= n + m && tab[i][width - 1] > 1e-6 {
+                return Err(SolveLpError::Infeasible);
+            }
+        }
+
+        let mut primal = vec![0.0; n];
+        for i in 0..m {
+            if basis[i] < n {
+                primal[basis[i]] = tab[i][width - 1];
+            }
+        }
+        let objective = self
+            .costs
+            .iter()
+            .zip(&primal)
+            .map(|(c, x)| c * x)
+            .sum::<f64>();
+        // Dual: the objective row holds reduced costs c_j − z_j; for
+        // artificial column i (cost M, constraint column e_i) that is
+        // M − y_i, hence y_i = M − objrow. Clamp numerical noise to zero.
+        let dual: Vec<f64> = (0..m)
+            .map(|i| {
+                let y = big_m - tab[obj][n + m + i];
+                if y.abs() < 1e-6 {
+                    0.0
+                } else {
+                    y
+                }
+            })
+            .collect();
+        Ok(LpSolution {
+            objective,
+            primal,
+            dual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn single_constraint() {
+        let lp = DenseLp::new(vec![2.0, 3.0], vec![vec![1.0, 1.0]], vec![4.0]);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 8.0);
+        assert_close(sol.primal[0], 4.0);
+        assert_close(sol.dual[0], 2.0);
+    }
+
+    #[test]
+    fn five_cycle_half_integral() {
+        let rows = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]];
+        let lp = DenseLp::covering(5, &rows, &[1.0; 5]);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 2.5);
+        for x in &sol.primal {
+            assert_close(*x, 0.5);
+        }
+        // Dual feasibility: each column's dual load ≤ cost 1.
+        for j in 0..5 {
+            let load: f64 = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(&j))
+                .map(|(i, _)| sol.dual[i])
+                .sum();
+            assert!(load <= 1.0 + 1e-6);
+        }
+        let dual_obj: f64 = sol.dual.iter().sum();
+        assert_close(dual_obj, 2.5);
+    }
+
+    #[test]
+    fn integral_when_matrix_is_interval() {
+        // Interval matrices are totally unimodular: LP = IP.
+        let rows = vec![vec![0, 1], vec![1, 2], vec![2]];
+        let lp = DenseLp::covering(3, &rows, &[1.0, 1.0, 1.0]);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn respects_costs() {
+        // Cover row {0,1} with cost(0)=5, cost(1)=1: pick column 1.
+        let lp = DenseLp::covering(2, &[vec![0, 1]], &[5.0, 1.0]);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 1.0);
+        assert_close(sol.primal[1], 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // 0·x ≥ 1 is infeasible.
+        let lp = DenseLp::new(vec![1.0], vec![vec![0.0]], vec![1.0]);
+        assert_eq!(lp.solve().unwrap_err(), SolveLpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let lp = DenseLp::new(vec![-1.0], vec![], vec![]);
+        assert_eq!(lp.solve().unwrap_err(), SolveLpError::Unbounded);
+    }
+
+    #[test]
+    fn no_constraints_zero_optimum() {
+        let lp = DenseLp::new(vec![3.0, 4.0], vec![], vec![]);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 0.0);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn strong_duality_on_fixed_instance() {
+        let rows = vec![vec![0, 2], vec![1, 2], vec![0, 1], vec![2, 3]];
+        let costs = [3.0, 2.0, 4.0, 1.0];
+        let lp = DenseLp::covering(4, &rows, &costs);
+        let sol = lp.solve().unwrap();
+        let dual_obj: f64 = sol.dual.iter().sum();
+        assert_close(sol.objective, dual_obj);
+        // Dual feasibility A'y ≤ c.
+        for j in 0..4 {
+            let load: f64 = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(&j))
+                .map(|(i, _)| sol.dual[i])
+                .sum();
+            assert!(load <= costs[j] + 1e-6, "column {j} violated");
+        }
+    }
+}

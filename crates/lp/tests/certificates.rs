@@ -1,0 +1,104 @@
+//! Property tests: every solved covering LP must come with a valid
+//! primal/dual optimality certificate (feasibility + strong duality), and
+//! the LP bound must lie between trivial bounds.
+
+use lp::DenseLp;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Instance {
+    num_cols: usize,
+    rows: Vec<Vec<usize>>,
+    costs: Vec<f64>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (2usize..=8).prop_flat_map(|cols| {
+        let row = prop::collection::btree_set(0..cols, 1..=cols);
+        let rows = prop::collection::vec(row, 1..=8);
+        let costs = prop::collection::vec(1u8..=6, cols);
+        (rows, costs).prop_map(move |(rows, costs)| Instance {
+            num_cols: cols,
+            rows: rows.into_iter().map(|r| r.into_iter().collect()).collect(),
+            costs: costs.into_iter().map(f64::from).collect(),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn optimality_certificate(inst in instance_strategy()) {
+        let lp = DenseLp::covering(inst.num_cols, &inst.rows, &inst.costs);
+        let sol = lp.solve().expect("covering LPs with non-empty rows are feasible");
+
+        // Primal feasibility: Ax ≥ 1, x ≥ 0.
+        for row in &inst.rows {
+            let cover: f64 = row.iter().map(|&j| sol.primal[j]).sum();
+            prop_assert!(cover >= 1.0 - 1e-6, "row undercovered: {cover}");
+        }
+        for &x in &sol.primal {
+            prop_assert!(x >= -1e-9);
+        }
+
+        // Dual feasibility: A'y ≤ c, y ≥ 0.
+        for j in 0..inst.num_cols {
+            let load: f64 = inst
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(&j))
+                .map(|(i, _)| sol.dual[i])
+                .sum();
+            prop_assert!(load <= inst.costs[j] + 1e-6);
+        }
+        for &y in &sol.dual {
+            prop_assert!(y >= -1e-9);
+        }
+
+        // Strong duality.
+        let dual_obj: f64 = sol.dual.iter().sum();
+        prop_assert!((sol.objective - dual_obj).abs() < 1e-5,
+            "duality gap: {} vs {}", sol.objective, dual_obj);
+
+        // Sandwich: max over rows of the cheapest covering column is a lower
+        // bound on nothing in general, but the single cheapest row cover is a
+        // lower bound, and covering each row separately an upper bound.
+        let min_single: f64 = inst
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|&j| inst.costs[j]).fold(f64::INFINITY, f64::min))
+            .fold(0.0f64, f64::max);
+        let sum_all: f64 = inst
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|&j| inst.costs[j]).fold(f64::INFINITY, f64::min))
+            .sum();
+        prop_assert!(sol.objective >= min_single - 1e-6);
+        prop_assert!(sol.objective <= sum_all + 1e-6);
+    }
+
+    #[test]
+    fn lp_lower_bounds_integer_optimum(inst in instance_strategy()) {
+        // Brute-force the ILP (≤ 8 columns) and compare.
+        let lp = DenseLp::covering(inst.num_cols, &inst.rows, &inst.costs);
+        let sol = lp.solve().expect("feasible");
+        let n = inst.num_cols;
+        let mut best = f64::INFINITY;
+        'mask: for mask in 0u32..(1 << n) {
+            for row in &inst.rows {
+                if !row.iter().any(|&j| mask >> j & 1 == 1) {
+                    continue 'mask;
+                }
+            }
+            let cost: f64 = (0..n)
+                .filter(|&j| mask >> j & 1 == 1)
+                .map(|j| inst.costs[j])
+                .sum();
+            best = best.min(cost);
+        }
+        prop_assert!(sol.objective <= best + 1e-6,
+            "LP bound {} exceeds integer optimum {}", sol.objective, best);
+    }
+}

@@ -1,0 +1,153 @@
+//! The classical greedy covering heuristic and the MIS lower bound.
+
+use cover::{CoverMatrix, Solution};
+
+/// Chvátal's greedy heuristic: repeatedly take the column minimising
+/// `c_j / n_j` (cost per newly covered row), then strip redundancies.
+///
+/// Returns `None` when some row is uncoverable.
+///
+/// # Example
+///
+/// ```
+/// use cover::CoverMatrix;
+/// use solvers::chvatal_greedy;
+///
+/// let m = CoverMatrix::from_rows(3, vec![vec![0, 1], vec![1, 2]]);
+/// let sol = chvatal_greedy(&m).unwrap();
+/// assert_eq!(sol.cols(), &[1]);
+/// ```
+pub fn chvatal_greedy(a: &CoverMatrix) -> Option<Solution> {
+    greedy_with_tiebreak(a, |_j| 0)
+}
+
+/// Greedy with a caller-chosen tie-break key (smaller wins after the ratio);
+/// used by the randomised restarts of the espresso-like strong mode.
+#[allow(clippy::needless_range_loop)] // scanning all columns by index is the clearest form
+pub(crate) fn greedy_with_tiebreak<F>(a: &CoverMatrix, tiebreak: F) -> Option<Solution>
+where
+    F: Fn(usize) -> u64,
+{
+    let mut covered = vec![false; a.num_rows()];
+    let mut uncovered = a.num_rows();
+    let mut selected = vec![false; a.num_cols()];
+
+    while uncovered > 0 {
+        let mut best: Option<(f64, u64, usize)> = None;
+        for j in 0..a.num_cols() {
+            if selected[j] {
+                continue;
+            }
+            let n_j = a.col_rows(j).iter().filter(|&&i| !covered[i]).count();
+            if n_j == 0 {
+                continue;
+            }
+            let ratio = a.cost(j) / n_j as f64;
+            let key = (ratio, tiebreak(j), j);
+            let better = match best {
+                None => true,
+                Some((br, bt, bj)) => {
+                    key.0 < br - 1e-12
+                        || ((key.0 - br).abs() <= 1e-12 && (key.1, key.2) < (bt, bj))
+                }
+            };
+            if better {
+                best = Some((ratio, key.1, j));
+            }
+        }
+        let (_, _, j) = best?;
+        selected[j] = true;
+        for &i in a.col_rows(j) {
+            if !covered[i] {
+                covered[i] = true;
+                uncovered -= 1;
+            }
+        }
+    }
+    let mut sol: Solution = (0..a.num_cols()).filter(|&j| selected[j]).collect();
+    sol.make_irredundant(a);
+    Some(sol)
+}
+
+/// The maximal-independent-set lower bound used by the branch-and-bound:
+/// greedily pick pairwise column-disjoint rows (smallest rows first) and sum
+/// each one's cheapest covering cost.
+///
+/// Returns `(bound, picked_rows)` so the caller can reuse the set for
+/// limit-bound pruning.
+pub fn mis_lower_bound(a: &CoverMatrix) -> (f64, Vec<usize>) {
+    let mut order: Vec<usize> = (0..a.num_rows()).collect();
+    order.sort_by_key(|&i| (a.row(i).len(), i));
+    let mut used = vec![false; a.num_cols()];
+    let mut picked = Vec::new();
+    let mut bound = 0.0;
+    for i in order {
+        if a.row(i).iter().any(|&j| used[j]) {
+            continue;
+        }
+        picked.push(i);
+        bound += a.min_row_cost(i);
+        for &j in a.row(i) {
+            used[j] = true;
+        }
+    }
+    picked.sort_unstable();
+    (bound, picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_is_feasible_on_cycles() {
+        for n in [5usize, 8, 11] {
+            let m = CoverMatrix::from_rows(n, (0..n).map(|i| vec![i, (i + 1) % n]).collect());
+            let sol = chvatal_greedy(&m).expect("coverable");
+            assert!(sol.is_feasible(&m), "C{n}");
+        }
+    }
+
+    #[test]
+    fn greedy_none_on_uncoverable() {
+        let m = CoverMatrix::from_rows(1, vec![vec![0], vec![]]);
+        assert!(chvatal_greedy(&m).is_none());
+    }
+
+    #[test]
+    fn greedy_achieves_log_guarantee_on_stars() {
+        // One big column covering everything at cost 2 vs n singletons at 1:
+        // greedy takes the big one (ratio 2/n < 1).
+        let n = 6;
+        let mut rows: Vec<Vec<usize>> = (0..n).map(|i| vec![i, n]).collect();
+        rows.push(vec![n]);
+        let mut costs = vec![1.0; n];
+        costs.push(2.0);
+        let m = CoverMatrix::with_costs(n + 1, rows, costs);
+        let sol = chvatal_greedy(&m).unwrap();
+        assert_eq!(sol.cols(), &[n]);
+    }
+
+    #[test]
+    fn mis_bound_on_disjoint_rows_is_exact() {
+        let m = CoverMatrix::with_costs(
+            3,
+            vec![vec![0], vec![1], vec![2]],
+            vec![2.0, 3.0, 4.0],
+        );
+        let (b, rows) = mis_lower_bound(&m);
+        assert_eq!(b, 9.0);
+        assert_eq!(rows, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mis_bound_never_exceeds_greedy_cost() {
+        let m = CoverMatrix::from_rows(
+            6,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![5, 0]],
+        );
+        let (b, _) = mis_lower_bound(&m);
+        let g = chvatal_greedy(&m).unwrap().cost(&m);
+        assert!(b <= g);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests: the branch-and-bound optimum matches brute force, and
+//! every heuristic stays between the optimum and feasibility.
+
+use cover::CoverMatrix;
+use proptest::prelude::*;
+use solvers::{branch_and_bound, chvatal_greedy, espresso_like, BnbOptions, EspressoMode};
+
+fn brute(m: &CoverMatrix) -> Option<f64> {
+    let n = m.num_cols();
+    let mut best: Option<f64> = None;
+    'mask: for mask in 0u32..(1 << n) {
+        for row in m.rows() {
+            if !row.iter().any(|&j| mask >> j & 1 == 1) {
+                continue 'mask;
+            }
+        }
+        let c: f64 = (0..n)
+            .filter(|&j| mask >> j & 1 == 1)
+            .map(|j| m.cost(j))
+            .sum();
+        best = Some(best.map_or(c, |b: f64| b.min(c)));
+    }
+    best
+}
+
+fn instance_strategy() -> impl Strategy<Value = CoverMatrix> {
+    (2usize..=11).prop_flat_map(|cols| {
+        let row = prop::collection::btree_set(0..cols, 1..=cols.min(4));
+        let rows = prop::collection::vec(row, 1..=12);
+        let costs = prop::collection::vec(1u8..=4, cols);
+        (rows, costs).prop_map(move |(rows, costs)| {
+            CoverMatrix::with_costs(
+                cols,
+                rows.into_iter().map(|r| r.into_iter().collect()).collect(),
+                costs.into_iter().map(f64::from).collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bnb_matches_brute_force(m in instance_strategy()) {
+        let r = branch_and_bound(&m, &BnbOptions::default());
+        prop_assert!(r.optimal);
+        prop_assert_eq!(Some(r.cost), brute(&m));
+        let sol = r.solution.unwrap();
+        prop_assert!(sol.is_feasible(&m));
+        prop_assert_eq!(sol.cost(&m), r.cost);
+    }
+
+    #[test]
+    fn heuristics_sandwiched(m in instance_strategy()) {
+        let opt = brute(&m).unwrap();
+        for sol in [
+            chvatal_greedy(&m).unwrap(),
+            espresso_like(&m, EspressoMode::Normal).unwrap(),
+            espresso_like(&m, EspressoMode::Strong).unwrap(),
+        ] {
+            prop_assert!(sol.is_feasible(&m));
+            prop_assert!(sol.cost(&m) >= opt - 1e-9);
+        }
+    }
+}

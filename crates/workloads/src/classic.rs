@@ -1,0 +1,148 @@
+//! Classic Berkeley-benchmark functions that are *semantically defined* —
+//! unlike the distributed `.pla` files, these can be regenerated exactly
+//! from their mathematical definitions, giving the reproduction a handful
+//! of genuine paper-era instances:
+//!
+//! * `rdXY` — the "rd" counters: X inputs, Y outputs, the outputs being
+//!   the binary encoding of the input popcount (`rd53`, `rd73`, `rd84` are
+//!   all in the Berkeley set);
+//! * `9sym` — symmetric: 1 iff the popcount of 9 inputs is between 3 and 6;
+//! * `xor5` — 5-input parity (its minimum SOP is exactly the 16 odd
+//!   minterms: parity admits no cube merging);
+//! * `majN` — N-input majority (its primes are the ⌈N/2⌉-subsets).
+
+use logic::{Cube, Pla};
+
+/// Builds a PLA from a truth function over `inputs ≤ 16` variables and
+/// `outputs ≤ 16` bits: one minterm line per input assignment with a
+/// non-zero output mask.
+pub fn pla_from_function<F>(inputs: usize, outputs: usize, f: F) -> Pla
+where
+    F: Fn(u64) -> u64,
+{
+    assert!(inputs <= 16, "truth-table expansion guard");
+    let mut pla = Pla::new(inputs, outputs);
+    for a in 0..1u64 << inputs {
+        let mask = f(a);
+        if mask != 0 {
+            pla.push_term(Cube::minterm(a, inputs), mask, 0);
+        }
+    }
+    pla
+}
+
+/// The `rd53` benchmark: 5 inputs, 3 outputs = binary popcount.
+pub fn rd53() -> Pla {
+    pla_from_function(5, 3, |a| (a.count_ones() as u64) & 0b111)
+}
+
+/// The `rd73` benchmark: 7 inputs, 3 outputs = binary popcount.
+pub fn rd73() -> Pla {
+    pla_from_function(7, 3, |a| (a.count_ones() as u64) & 0b111)
+}
+
+/// The `rd84` benchmark: 8 inputs, 4 outputs = binary popcount.
+pub fn rd84() -> Pla {
+    pla_from_function(8, 4, |a| (a.count_ones() as u64) & 0b1111)
+}
+
+/// The `9sym` benchmark: 9 inputs, 1 output, true iff popcount ∈ 3..=6.
+pub fn nine_sym() -> Pla {
+    pla_from_function(9, 1, |a| u64::from((3..=6).contains(&a.count_ones())))
+}
+
+/// 5-input parity.
+pub fn xor5() -> Pla {
+    pla_from_function(5, 1, |a| u64::from(a.count_ones() % 2 == 1))
+}
+
+/// N-input majority (N odd).
+///
+/// # Panics
+///
+/// Panics if `n` is even or exceeds 15.
+pub fn majority(n: usize) -> Pla {
+    assert!(n % 2 == 1 && n <= 15);
+    let threshold = (n / 2 + 1) as u32;
+    pla_from_function(n, 1, move |a| u64::from(a.count_ones() >= threshold))
+}
+
+/// All the classic functions with their names, smallest first.
+pub fn all_classics() -> Vec<(&'static str, Pla)> {
+    vec![
+        ("xor5", xor5()),
+        ("rd53", rd53()),
+        ("maj5", majority(5)),
+        ("maj7", majority(7)),
+        ("rd73", rd73()),
+        ("rd84", rd84()),
+        ("9sym", nine_sym()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rd53_shape() {
+        let pla = rd53();
+        assert_eq!(pla.num_inputs(), 5);
+        assert_eq!(pla.num_outputs(), 3);
+        // 31 of the 32 assignments have non-zero popcount.
+        assert_eq!(pla.terms().len(), 31);
+    }
+
+    #[test]
+    fn rd53_semantics() {
+        let pla = rd53();
+        // Check a few rows: popcount(0b10110) = 3 → outputs 011 (bit0,bit1).
+        let on0 = pla.on_cover(0);
+        let on1 = pla.on_cover(1);
+        let on2 = pla.on_cover(2);
+        for a in 0..32u64 {
+            let pc = a.count_ones() as u64;
+            assert_eq!(on0.eval(a), pc & 1 == 1, "bit0 at {a:05b}");
+            assert_eq!(on1.eval(a), pc >> 1 & 1 == 1, "bit1 at {a:05b}");
+            assert_eq!(on2.eval(a), pc >> 2 & 1 == 1, "bit2 at {a:05b}");
+        }
+    }
+
+    #[test]
+    fn nine_sym_is_symmetric() {
+        let pla = nine_sym();
+        let on = pla.on_cover(0);
+        // Symmetric: permuting inputs never changes the output — test via
+        // popcount equivalence classes.
+        for a in 0..512u64 {
+            assert_eq!(on.eval(a), (3..=6).contains(&a.count_ones()));
+        }
+        assert_eq!(pla.terms().len(), (3..=6).map(|k| binom(9, k)).sum::<usize>());
+    }
+
+    fn binom(n: usize, k: usize) -> usize {
+        (1..=k).fold(1, |acc, i| acc * (n - i + 1) / i)
+    }
+
+    #[test]
+    fn xor5_has_sixteen_minterms() {
+        assert_eq!(xor5().terms().len(), 16);
+    }
+
+    #[test]
+    fn majority_threshold() {
+        let pla = majority(5);
+        let on = pla.on_cover(0);
+        assert!(on.eval(0b00111));
+        assert!(!on.eval(0b00011));
+        assert_eq!(pla.terms().len(), (3..=5).map(|k| binom(5, k)).sum::<usize>());
+    }
+
+    #[test]
+    fn classics_are_well_formed() {
+        for (name, pla) in all_classics() {
+            assert!(!pla.terms().is_empty(), "{name}");
+            assert!(pla.num_inputs() <= 9, "{name}");
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The instance generators.
+
+use cover::CoverMatrix;
+use logic::{Cube, Pla};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How column costs are drawn.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CostModel {
+    /// Every column costs 1 (the common VLSI case).
+    #[default]
+    Unit,
+    /// Integer costs drawn uniformly from `1..=max`.
+    Uniform {
+        /// Upper bound (inclusive).
+        max: u32,
+    },
+}
+
+/// Parameters for [`random_ucp`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomUcpConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Minimum columns per row (≥ 1 keeps the instance coverable).
+    pub min_row_degree: usize,
+    /// Maximum columns per row.
+    pub max_row_degree: usize,
+    /// Column cost model.
+    pub costs: CostModel,
+}
+
+impl Default for RandomUcpConfig {
+    fn default() -> Self {
+        RandomUcpConfig {
+            rows: 50,
+            cols: 80,
+            min_row_degree: 2,
+            max_row_degree: 6,
+            costs: CostModel::Unit,
+        }
+    }
+}
+
+/// Generates a random coverable instance, deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if the degree bounds are inconsistent or exceed `cols`.
+///
+/// # Example
+///
+/// ```
+/// use workloads::{random_ucp, RandomUcpConfig};
+/// let m = random_ucp(&RandomUcpConfig::default(), 42);
+/// assert_eq!(m.num_rows(), 50);
+/// assert!(m.is_coverable());
+/// let again = random_ucp(&RandomUcpConfig::default(), 42);
+/// assert_eq!(m, again);
+/// ```
+pub fn random_ucp(cfg: &RandomUcpConfig, seed: u64) -> CoverMatrix {
+    assert!(cfg.min_row_degree >= 1, "rows must be coverable");
+    assert!(cfg.min_row_degree <= cfg.max_row_degree);
+    assert!(cfg.max_row_degree <= cfg.cols);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<usize>> = (0..cfg.rows)
+        .map(|_| {
+            let deg = rng.random_range(cfg.min_row_degree..=cfg.max_row_degree);
+            sample_distinct(&mut rng, cfg.cols, deg)
+        })
+        .collect();
+    let costs: Vec<f64> = (0..cfg.cols)
+        .map(|_| match cfg.costs {
+            CostModel::Unit => 1.0,
+            CostModel::Uniform { max } => f64::from(rng.random_range(1..=max)),
+        })
+        .collect();
+    CoverMatrix::with_costs(cfg.cols, rows, costs)
+}
+
+fn sample_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    // Floyd's algorithm.
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// The circulant covering matrix `C(n, k)`: row `i` is covered by columns
+/// `i, i+1, …, i+k−1 (mod n)`. Unit costs.
+///
+/// No reduction applies (for `2 ≤ k < n`), making these canonical cyclic
+/// cores; the LP bound is `n/k` and the integer optimum `⌈n/k⌉`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k ≤ n`.
+pub fn circulant(n: usize, k: usize) -> CoverMatrix {
+    assert!(k >= 1 && k <= n);
+    let rows: Vec<Vec<usize>> = (0..n)
+        .map(|i| (0..k).map(|d| (i + d) % n).collect())
+        .collect();
+    CoverMatrix::from_rows(n, rows)
+}
+
+/// The Steiner-triple covering instance `A(STS(n))`: rows are the triples
+/// of a Steiner triple system on `n` points (Bose construction), columns
+/// the points; a point covers the triples containing it. Unit costs.
+///
+/// These are the classic hard set-covering instances (Fulkerson et al.).
+///
+/// # Panics
+///
+/// Panics unless `n ≡ 3 (mod 6)`.
+pub fn steiner_triple(n: usize) -> CoverMatrix {
+    assert!(n % 6 == 3, "Bose construction needs n ≡ 3 (mod 6)");
+    let m = n / 3; // odd modulus
+    let point = |a: usize, class: usize| -> usize { a + class * m };
+    let mut rows: Vec<Vec<usize>> = Vec::new();
+    // {(a,0),(a,1),(a,2)}
+    for a in 0..m {
+        rows.push(vec![point(a, 0), point(a, 1), point(a, 2)]);
+    }
+    // {(a,i),(b,i),((a+b)/2, i+1)} for a < b
+    let half = m.div_ceil(2); // inverse of 2 mod m (m odd)
+    for i in 0..3 {
+        for a in 0..m {
+            for b in (a + 1)..m {
+                let c = (a + b) * half % m;
+                rows.push(vec![point(a, i), point(b, i), point(c, (i + 1) % 3)]);
+            }
+        }
+    }
+    CoverMatrix::from_rows(n, rows)
+}
+
+/// Generates a random `fd`-type PLA, deterministic in `seed`.
+///
+/// `dc_per_mille` of the terms (0–1000) assert a don't-care instead of an
+/// ON output.
+///
+/// # Panics
+///
+/// Panics if `inputs > 24` or `outputs > 16` (kept small so the
+/// Quine–McCluskey expansion stays explicit).
+pub fn random_pla(
+    inputs: usize,
+    outputs: usize,
+    terms: usize,
+    dc_per_mille: u32,
+    seed: u64,
+) -> Pla {
+    assert!(inputs <= 24 && outputs <= 16);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pla = Pla::new(inputs, outputs);
+    for _ in 0..terms {
+        let mut pos = 0u64;
+        let mut neg = 0u64;
+        for v in 0..inputs {
+            match rng.random_range(0..3u32) {
+                0 => pos |= 1 << v,
+                1 => neg |= 1 << v,
+                _ => {}
+            }
+        }
+        let o = rng.random_range(0..outputs);
+        let is_dc = rng.random_range(0..1000) < dc_per_mille;
+        let (on, dc) = if is_dc { (0, 1u64 << o) } else { (1u64 << o, 0) };
+        pla.push_term(Cube::new(pos, neg), on, dc);
+    }
+    pla
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_and_coverable() {
+        let cfg = RandomUcpConfig::default();
+        let a = random_ucp(&cfg, 7);
+        let b = random_ucp(&cfg, 7);
+        let c = random_ucp(&cfg, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.is_coverable());
+        for i in 0..a.num_rows() {
+            let d = a.row(i).len();
+            assert!((cfg.min_row_degree..=cfg.max_row_degree).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniform_costs_in_range() {
+        let cfg = RandomUcpConfig {
+            costs: CostModel::Uniform { max: 5 },
+            ..RandomUcpConfig::default()
+        };
+        let m = random_ucp(&cfg, 3);
+        assert!(m.costs().iter().all(|&c| (1.0..=5.0).contains(&c)));
+        assert!(m.integer_costs());
+    }
+
+    #[test]
+    fn circulant_structure() {
+        let m = circulant(7, 3);
+        assert_eq!(m.num_rows(), 7);
+        assert_eq!(m.num_cols(), 7);
+        assert_eq!(m.row(5), &[0, 5, 6]);
+        // Every column covers exactly k rows.
+        for j in 0..7 {
+            assert_eq!(m.col_rows(j).len(), 3);
+        }
+    }
+
+    #[test]
+    fn steiner_is_a_triple_system() {
+        for n in [9usize, 15, 21] {
+            let m = steiner_triple(n);
+            assert_eq!(m.num_rows(), n * (n - 1) / 6, "n = {n}");
+            assert_eq!(m.num_cols(), n);
+            // Every row a triple; every pair of points in exactly one triple.
+            for i in 0..m.num_rows() {
+                assert_eq!(m.row(i).len(), 3, "row {i} of STS({n})");
+            }
+            let mut pair_count = std::collections::HashMap::new();
+            for i in 0..m.num_rows() {
+                let r = m.row(i);
+                for x in 0..3 {
+                    for y in (x + 1)..3 {
+                        *pair_count.entry((r[x], r[y])).or_insert(0usize) += 1;
+                    }
+                }
+            }
+            assert_eq!(pair_count.len(), n * (n - 1) / 2);
+            assert!(pair_count.values().all(|&c| c == 1), "STS({n}) pair property");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mod 6")]
+    fn steiner_rejects_bad_n() {
+        let _ = steiner_triple(10);
+    }
+
+    #[test]
+    fn random_pla_is_deterministic() {
+        let a = random_pla(6, 2, 12, 100, 5);
+        let b = random_pla(6, 2, 12, 100, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.terms().len(), 12);
+        assert_eq!(a.num_inputs(), 6);
+    }
+}
+
+/// An *interval* covering instance: every column covers a contiguous range
+/// of rows. Interval matrices are totally unimodular, so the LP relaxation
+/// is integral and the Lagrangian certificate always closes — a useful
+/// sanity family for certification tests.
+///
+/// Row `i` is covered by every column whose interval contains it; intervals
+/// are seeded deterministically.
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0`.
+pub fn interval_ucp(rows: usize, cols: usize, seed: u64) -> CoverMatrix {
+    assert!(rows > 0 && cols > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Build intervals ensuring every row is covered: tile first, then noise.
+    let mut intervals: Vec<(usize, usize)> = Vec::with_capacity(cols);
+    let base = rows.div_ceil(cols.min(rows));
+    let mut start = 0usize;
+    while start < rows && intervals.len() < cols {
+        let end = (start + base).min(rows);
+        intervals.push((start, end));
+        start = end;
+    }
+    while intervals.len() < cols {
+        let a = rng.random_range(0..rows);
+        let len = rng.random_range(1..=(rows - a).min(base + 2));
+        intervals.push((a, a + len));
+    }
+    let matrix_rows: Vec<Vec<usize>> = (0..rows)
+        .map(|i| {
+            intervals
+                .iter()
+                .enumerate()
+                .filter(|(_, &(a, b))| a <= i && i < b)
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect();
+    CoverMatrix::from_rows(cols, matrix_rows)
+}
+
+#[cfg(test)]
+mod interval_tests {
+    use super::*;
+
+    #[test]
+    fn interval_instances_are_coverable_and_deterministic() {
+        let a = interval_ucp(20, 8, 1);
+        let b = interval_ucp(20, 8, 1);
+        assert_eq!(a, b);
+        assert!(a.is_coverable());
+    }
+
+    #[test]
+    fn columns_are_contiguous() {
+        let m = interval_ucp(15, 6, 2);
+        for j in 0..m.num_cols() {
+            let rows = m.col_rows(j);
+            if rows.len() > 1 {
+                for w in rows.windows(2) {
+                    assert_eq!(w[1], w[0] + 1, "column {j} not contiguous");
+                }
+            }
+        }
+    }
+}

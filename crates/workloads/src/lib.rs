@@ -1,0 +1,39 @@
+//! Seeded synthetic benchmark instances for unate covering.
+//!
+//! The paper evaluates on the Berkeley PLA test set (72 instances in three
+//! difficulty categories), which is not distributable with this
+//! reproduction. This crate generates *synthetic* instances with the same
+//! structural character (see `DESIGN.md` → Substitutions):
+//!
+//! * [`random_ucp`] — random sparse covering matrices with controlled
+//!   row degrees and cost models;
+//! * [`circulant`] — cyclic covering matrices (the canonical cyclic cores:
+//!   no reduction applies, LP bound `n/k`);
+//! * [`steiner_triple`] — Steiner-triple-system covering instances (Bose
+//!   construction), the classic hard unate covering family;
+//! * [`random_pla`] — random PLAs, fed through the `ucp-logic` pipeline to
+//!   produce Quine–McCluskey covering matrices;
+//! * [`suite`] — the named benchmark suite mirroring the paper's three
+//!   categories (easy cyclic / difficult cyclic / challenging), each
+//!   instance deterministic given its name.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{circulant, steiner_triple};
+//!
+//! let c = circulant(9, 2);
+//! assert_eq!(c.num_rows(), 9);
+//! let s = steiner_triple(9);
+//! assert_eq!(s.num_rows(), 9 * 8 / 6);
+//! assert_eq!(s.num_cols(), 9);
+//! ```
+
+pub mod classic;
+mod generators;
+pub mod suite;
+
+pub use generators::{
+    circulant, interval_ucp, random_pla, random_ucp, steiner_triple, CostModel, RandomUcpConfig,
+};
+pub use suite::{Category, Instance};

@@ -1,0 +1,92 @@
+//! Counting members and nodes of a family.
+
+use crate::hash::FxHashMap;
+use crate::node::NodeId;
+use crate::Zdd;
+
+impl Zdd {
+    /// Number of sets in the family, saturating at `u128::MAX`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use zdd::{Var, Zdd};
+    /// let mut z = Zdd::new();
+    /// let f = z.from_sets([vec![Var(0)], vec![Var(1)], vec![]]);
+    /// assert_eq!(z.count(f), 3);
+    /// ```
+    pub fn count(&self, f: NodeId) -> u128 {
+        let mut memo: FxHashMap<NodeId, u128> = FxHashMap::default();
+        self.count_rec(f, &mut memo)
+    }
+
+    fn count_rec(&self, f: NodeId, memo: &mut FxHashMap<NodeId, u128>) -> u128 {
+        match f {
+            NodeId::EMPTY => 0,
+            NodeId::BASE => 1,
+            _ => {
+                if let Some(&c) = memo.get(&f) {
+                    return c;
+                }
+                let c = self
+                    .count_rec(self.lo(f), memo)
+                    .saturating_add(self.count_rec(self.hi(f), memo));
+                memo.insert(f, c);
+                c
+            }
+        }
+    }
+
+    /// Number of distinct internal nodes reachable from `f` (terminals
+    /// excluded) — the "size" of the diagram.
+    pub fn node_count(&self, f: NodeId) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            stack.push(self.lo(n));
+            stack.push(self.hi(n));
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NodeId, Var, Zdd};
+
+    #[test]
+    fn terminal_counts() {
+        let z = Zdd::new();
+        assert_eq!(z.count(NodeId::EMPTY), 0);
+        assert_eq!(z.count(NodeId::BASE), 1);
+        assert_eq!(z.node_count(NodeId::BASE), 0);
+    }
+
+    #[test]
+    fn counts_with_sharing() {
+        let mut z = Zdd::new();
+        // Power set of {0,1,2} minus the empty set: 7 members.
+        let mut f = z.base();
+        for v in (0..3).rev() {
+            f = z.node(Var(v), f, f);
+        }
+        let base = z.base();
+        let f = z.difference(f, base);
+        assert_eq!(z.count(f), 7);
+    }
+
+    #[test]
+    fn node_count_counts_shared_once() {
+        let mut z = Zdd::new();
+        let mut f = z.base();
+        for v in (0..10).rev() {
+            f = z.node(Var(v), f, f);
+        }
+        // Fully shared chain: 10 internal nodes, 2^10 members.
+        assert_eq!(z.node_count(f), 10);
+        assert_eq!(z.count(f), 1024);
+    }
+}

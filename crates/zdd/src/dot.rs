@@ -1,0 +1,55 @@
+//! Graphviz DOT export for debugging and documentation.
+
+use crate::node::NodeId;
+use crate::Zdd;
+use std::fmt::Write as _;
+
+impl Zdd {
+    /// Renders the diagram rooted at `f` in Graphviz DOT syntax.
+    ///
+    /// Solid edges are `hi` (variable present), dashed edges are `lo`.
+    pub fn to_dot(&self, f: NodeId) -> String {
+        let mut out = String::from("digraph zdd {\n  rankdir=TB;\n");
+        out.push_str("  t0 [label=\"⊥\", shape=box];\n");
+        out.push_str("  t1 [label=\"⊤\", shape=box];\n");
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let name = |n: NodeId| -> String {
+            match n {
+                NodeId::EMPTY => "t0".into(),
+                NodeId::BASE => "t1".into(),
+                NodeId(i) => format!("n{i}"),
+            }
+        };
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            let v = self.var_of(n);
+            let _ = writeln!(out, "  {} [label=\"{}\"];", name(n), v);
+            let _ = writeln!(out, "  {} -> {} [style=dashed];", name(n), name(self.lo(n)));
+            let _ = writeln!(out, "  {} -> {};", name(n), name(self.hi(n)));
+            stack.push(self.lo(n));
+            stack.push(self.hi(n));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Var, Zdd};
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut z = Zdd::new();
+        let f = z.from_sets([vec![Var(0), Var(1)], vec![Var(1)]]);
+        let dot = z.to_dot(f);
+        assert!(dot.starts_with("digraph zdd {"));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,91 @@
+//! A small, fast, non-cryptographic hasher (FxHash) for the unique table and
+//! operation caches.
+//!
+//! Decision-diagram packages are dominated by hash-table lookups on tiny
+//! fixed-size keys; `SipHash` (the `std` default) leaves a lot of throughput
+//! on the table. This is the classic Firefox `FxHash` mix, self-contained so
+//! the crate stays dependency-free.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` state plugging [`FxHasher`] in as the default hasher.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash word-at-a-time multiplicative hasher.
+#[derive(Default, Clone, Debug)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let hash = |data: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(data);
+            h.finish()
+        };
+        assert_eq!(hash(b"abc"), hash(b"abc"));
+        assert_ne!(hash(b"abc"), hash(b"abd"));
+        assert_ne!(hash(b"a"), hash(b"b"));
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        m.insert((1, 2), 3);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        assert_eq!(m.get(&(2, 1)), None);
+    }
+}

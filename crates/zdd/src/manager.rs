@@ -1,0 +1,313 @@
+//! The ZDD manager: hash-consed node storage and structural queries.
+
+use crate::hash::FxHashMap;
+use crate::node::{Node, NodeId, Var, TERMINAL_VAR};
+
+/// Operation tags for the binary-operation cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum Op {
+    Union,
+    Intersect,
+    Difference,
+    Product,
+    NonSupersets,
+    NonSubsets,
+    Minimal,
+    Maximal,
+    Subset0,
+    Quotient,
+    Subset1,
+    Change,
+}
+
+/// A hash-consed store of ZDD nodes.
+///
+/// All families live inside one manager and are referenced by [`NodeId`];
+/// structural sharing makes equality testing O(1). The manager is the
+/// receiver of every operation (the functional style of CUDD's ZDD API, which
+/// the paper's implementation used).
+///
+/// # Example
+///
+/// ```
+/// use zdd::{Var, Zdd};
+///
+/// let mut z = Zdd::new();
+/// let a = z.from_sets([vec![Var(0)], vec![Var(1)]]);
+/// let b = z.from_sets([vec![Var(1)], vec![Var(2)]]);
+/// let u = z.union(a, b);
+/// assert_eq!(z.count(u), 3);
+/// ```
+#[derive(Debug)]
+pub struct Zdd {
+    pub(crate) nodes: Vec<Node>,
+    unique: FxHashMap<Node, NodeId>,
+    pub(crate) cache: FxHashMap<(Op, NodeId, NodeId), NodeId>,
+}
+
+impl Default for Zdd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Zdd {
+    /// Creates an empty manager containing only the two terminal nodes.
+    pub fn new() -> Self {
+        let terminal = |_| Node {
+            var: TERMINAL_VAR,
+            lo: NodeId::EMPTY,
+            hi: NodeId::EMPTY,
+        };
+        Zdd {
+            nodes: vec![terminal(0), terminal(1)],
+            unique: FxHashMap::default(),
+            cache: FxHashMap::default(),
+        }
+    }
+
+    /// The empty family `∅`.
+    #[inline]
+    pub fn empty(&self) -> NodeId {
+        NodeId::EMPTY
+    }
+
+    /// The unit family `{∅}`.
+    #[inline]
+    pub fn base(&self) -> NodeId {
+        NodeId::BASE
+    }
+
+    /// Returns the decision variable of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal node.
+    #[inline]
+    pub fn var_of(&self, f: NodeId) -> Var {
+        debug_assert!(!f.is_terminal(), "terminals have no variable");
+        Var(self.nodes[f.index()].var)
+    }
+
+    /// Raw variable index with terminals mapping to `u32::MAX`, so that the
+    /// top variable of two nodes is simply the minimum.
+    #[inline]
+    pub(crate) fn raw_var(&self, f: NodeId) -> u32 {
+        self.nodes[f.index()].var
+    }
+
+    /// The `lo` child (subfamily of sets *not* containing `var_of(f)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `f` is a terminal.
+    #[inline]
+    pub fn lo(&self, f: NodeId) -> NodeId {
+        debug_assert!(!f.is_terminal());
+        self.nodes[f.index()].lo
+    }
+
+    /// The `hi` child (subfamily of sets containing `var_of(f)`, with the
+    /// variable stripped).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `f` is a terminal.
+    #[inline]
+    pub fn hi(&self, f: NodeId) -> NodeId {
+        debug_assert!(!f.is_terminal());
+        self.nodes[f.index()].hi
+    }
+
+    /// Creates (or retrieves) the node `(var, lo, hi)`, applying the
+    /// zero-suppression rule: if `hi` is the empty family the node reduces to
+    /// `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `lo` or `hi` has a top variable that is not
+    /// strictly below `var` in the order (i.e. not strictly greater index).
+    pub fn node(&mut self, var: Var, lo: NodeId, hi: NodeId) -> NodeId {
+        if hi == NodeId::EMPTY {
+            return lo;
+        }
+        debug_assert!(self.raw_var(lo) > var.0, "variable order violated (lo)");
+        debug_assert!(self.raw_var(hi) > var.0, "variable order violated (hi)");
+        let key = Node { var: var.0, lo, hi };
+        if let Some(&id) = self.unique.get(&key) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("ZDD node store overflow"));
+        self.nodes.push(key);
+        self.unique.insert(key, id);
+        id
+    }
+
+    /// The family `{{var}}` containing the single singleton set.
+    pub fn single(&mut self, var: Var) -> NodeId {
+        self.node(var, NodeId::EMPTY, NodeId::BASE)
+    }
+
+    /// Builds the family containing exactly the given set.
+    ///
+    /// Duplicate variables in `set` are tolerated.
+    pub fn set<I>(&mut self, set: I) -> NodeId
+    where
+        I: IntoIterator<Item = Var>,
+    {
+        let mut vars: Vec<Var> = set.into_iter().collect();
+        vars.sort_unstable();
+        vars.dedup();
+        let mut acc = NodeId::BASE;
+        for v in vars.into_iter().rev() {
+            acc = self.node(v, NodeId::EMPTY, acc);
+        }
+        acc
+    }
+
+    /// Builds a family from an iterator of sets.
+    pub fn from_sets<I, S>(&mut self, sets: I) -> NodeId
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = Var>,
+    {
+        let mut acc = NodeId::EMPTY;
+        for s in sets {
+            let one = self.set(s);
+            acc = self.union(acc, one);
+        }
+        acc
+    }
+
+    /// Returns `true` if the empty set `∅` is a member of `f`.
+    pub fn contains_empty(&self, mut f: NodeId) -> bool {
+        while !f.is_terminal() {
+            f = self.lo(f);
+        }
+        f == NodeId::BASE
+    }
+
+    /// Membership test for an explicit set.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use zdd::{Var, Zdd};
+    /// let mut z = Zdd::new();
+    /// let f = z.from_sets([vec![Var(0), Var(2)]]);
+    /// assert!(z.contains_set(f, &[Var(0), Var(2)]));
+    /// assert!(!z.contains_set(f, &[Var(0)]));
+    /// ```
+    pub fn contains_set(&self, f: NodeId, set: &[Var]) -> bool {
+        let mut vars: Vec<u32> = set.iter().map(|v| v.0).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        let mut cur = f;
+        let mut idx = 0;
+        loop {
+            if cur.is_terminal() {
+                return cur == NodeId::BASE && idx == vars.len();
+            }
+            let v = self.raw_var(cur);
+            if idx < vars.len() && vars[idx] == v {
+                cur = self.hi(cur);
+                idx += 1;
+            } else if idx < vars.len() && vars[idx] < v {
+                // The set demands a variable the diagram can no longer offer.
+                return false;
+            } else {
+                cur = self.lo(cur);
+            }
+        }
+    }
+
+    /// Number of live nodes in the whole store (including terminals).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the store holds only the two terminals.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 2
+    }
+
+    /// Drops the operation cache (node storage is retained).
+    ///
+    /// Useful to bound memory between phases of a long-running computation.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Swaps in a rebuilt unique table (GC support).
+    pub(crate) fn replace_unique(&mut self, unique: FxHashMap<Node, NodeId>) {
+        self.unique = unique;
+    }
+
+    /// Cofactors of `f` with respect to `v`: the pair `(f0, f1)` where `f0`
+    /// are the members without `v` and `f1` the members with `v` (stripped).
+    #[inline]
+    pub(crate) fn cofactors(&self, f: NodeId, v: u32) -> (NodeId, NodeId) {
+        if !f.is_terminal() && self.raw_var(f) == v {
+            (self.lo(f), self.hi(f))
+        } else {
+            (f, NodeId::EMPTY)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_exist() {
+        let z = Zdd::new();
+        assert_eq!(z.len(), 2);
+        assert!(z.is_empty());
+        assert!(z.contains_empty(NodeId::BASE));
+        assert!(!z.contains_empty(NodeId::EMPTY));
+    }
+
+    #[test]
+    fn zero_suppression() {
+        let mut z = Zdd::new();
+        let n = z.node(Var(3), NodeId::BASE, NodeId::EMPTY);
+        assert_eq!(n, NodeId::BASE);
+    }
+
+    #[test]
+    fn hash_consing_gives_equal_ids() {
+        let mut z = Zdd::new();
+        let a = z.set([Var(1), Var(4)]);
+        let b = z.set([Var(4), Var(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_dedups_variables() {
+        let mut z = Zdd::new();
+        let a = z.set([Var(2), Var(2), Var(5)]);
+        assert!(z.contains_set(a, &[Var(2), Var(5)]));
+        assert_eq!(z.count(a), 1);
+    }
+
+    #[test]
+    fn membership() {
+        let mut z = Zdd::new();
+        let f = z.from_sets([vec![Var(0), Var(1)], vec![Var(2)], vec![]]);
+        assert!(z.contains_set(f, &[Var(0), Var(1)]));
+        assert!(z.contains_set(f, &[Var(2)]));
+        assert!(z.contains_set(f, &[]));
+        assert!(!z.contains_set(f, &[Var(0)]));
+        assert!(!z.contains_set(f, &[Var(0), Var(1), Var(2)]));
+        assert!(z.contains_empty(f));
+    }
+
+    #[test]
+    fn single_is_singleton_family() {
+        let mut z = Zdd::new();
+        let s = z.single(Var(7));
+        assert_eq!(z.count(s), 1);
+        assert!(z.contains_set(s, &[Var(7)]));
+    }
+}

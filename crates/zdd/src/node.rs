@@ -1,0 +1,124 @@
+//! Node identifiers and variables for the ZDD store.
+
+use std::fmt;
+
+/// A variable (element of the universe) in a ZDD.
+///
+/// Variables are ordered by their index: smaller indices appear closer to the
+/// root of every diagram. In the unate-covering encoding a variable is a
+/// column index of the covering matrix.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Returns the raw index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<u32> for Var {
+    fn from(v: u32) -> Self {
+        Var(v)
+    }
+}
+
+impl From<usize> for Var {
+    fn from(v: usize) -> Self {
+        Var(u32::try_from(v).expect("variable index exceeds u32"))
+    }
+}
+
+/// A handle to a node (and thus to the family it roots) in a [`Zdd`] store.
+///
+/// Two `NodeId`s obtained from the *same* manager are equal if and only if
+/// they represent the same family — ZDDs are canonical.
+///
+/// [`Zdd`]: crate::Zdd
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The empty family `∅` (no sets at all).
+    pub const EMPTY: NodeId = NodeId(0);
+    /// The unit family `{∅}` containing exactly the empty set.
+    pub const BASE: NodeId = NodeId(1);
+
+    /// Returns `true` for the two terminal nodes.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Returns `true` if this is the empty family.
+    #[inline]
+    pub fn is_empty_family(self) -> bool {
+        self == NodeId::EMPTY
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NodeId::EMPTY => write!(f, "⊥"),
+            NodeId::BASE => write!(f, "⊤"),
+            NodeId(n) => write!(f, "n{n}"),
+        }
+    }
+}
+
+/// Internal node representation: a decision on `var` with `lo` (var absent)
+/// and `hi` (var present) children. Zero-suppression guarantees `hi` is never
+/// [`NodeId::EMPTY`] for stored nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct Node {
+    pub var: u32,
+    pub lo: NodeId,
+    pub hi: NodeId,
+}
+
+/// Sentinel variable index used by terminal nodes so that `var_of` of a
+/// terminal compares greater than every real variable.
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_ordering_follows_index() {
+        assert!(Var(0) < Var(1));
+        assert!(Var(7) > Var(3));
+        assert_eq!(Var::from(5usize), Var(5));
+        assert_eq!(Var(4).index(), 4);
+    }
+
+    #[test]
+    fn terminals_are_terminal() {
+        assert!(NodeId::EMPTY.is_terminal());
+        assert!(NodeId::BASE.is_terminal());
+        assert!(!NodeId(2).is_terminal());
+        assert!(NodeId::EMPTY.is_empty_family());
+        assert!(!NodeId::BASE.is_empty_family());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId::EMPTY.to_string(), "⊥");
+        assert_eq!(NodeId::BASE.to_string(), "⊤");
+        assert_eq!(NodeId(9).to_string(), "n9");
+        assert_eq!(Var(3).to_string(), "x3");
+    }
+}

@@ -1,0 +1,248 @@
+//! Property tests: every ZDD operation is checked against a naive
+//! `BTreeSet<BTreeSet<u32>>` model of a set family.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use zdd::{NodeId, Var, Zdd};
+
+type Model = BTreeSet<BTreeSet<u32>>;
+
+fn build(z: &mut Zdd, m: &Model) -> NodeId {
+    let sets: Vec<Vec<Var>> = m
+        .iter()
+        .map(|s| s.iter().map(|&v| Var(v)).collect())
+        .collect();
+    z.from_sets(sets)
+}
+
+fn read(z: &Zdd, f: NodeId) -> Model {
+    z.to_sets(f)
+        .into_iter()
+        .map(|s| s.into_iter().map(|v| v.0).collect())
+        .collect()
+}
+
+fn family_strategy() -> impl Strategy<Value = Model> {
+    prop::collection::btree_set(prop::collection::btree_set(0u32..8, 0..5), 0..12)
+}
+
+fn model_minimal(m: &Model) -> Model {
+    m.iter()
+        .filter(|s| !m.iter().any(|t| *t != **s && t.is_subset(s)))
+        .cloned()
+        .collect()
+}
+
+fn model_maximal(m: &Model) -> Model {
+    m.iter()
+        .filter(|s| !m.iter().any(|t| *t != **s && t.is_superset(s)))
+        .cloned()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip(m in family_strategy()) {
+        let mut z = Zdd::new();
+        let f = build(&mut z, &m);
+        prop_assert_eq!(read(&z, f), m.clone());
+        prop_assert_eq!(z.count(f), m.len() as u128);
+    }
+
+    #[test]
+    fn union_matches_model(a in family_strategy(), b in family_strategy()) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let fb = build(&mut z, &b);
+        let u = z.union(fa, fb);
+        let expect: Model = a.union(&b).cloned().collect();
+        prop_assert_eq!(read(&z, u), expect);
+    }
+
+    #[test]
+    fn intersect_matches_model(a in family_strategy(), b in family_strategy()) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let fb = build(&mut z, &b);
+        let i = z.intersect(fa, fb);
+        let expect: Model = a.intersection(&b).cloned().collect();
+        prop_assert_eq!(read(&z, i), expect);
+    }
+
+    #[test]
+    fn difference_matches_model(a in family_strategy(), b in family_strategy()) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let fb = build(&mut z, &b);
+        let d = z.difference(fa, fb);
+        let expect: Model = a.difference(&b).cloned().collect();
+        prop_assert_eq!(read(&z, d), expect);
+    }
+
+    #[test]
+    fn product_matches_model(a in family_strategy(), b in family_strategy()) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let fb = build(&mut z, &b);
+        let p = z.product(fa, fb);
+        let mut expect: Model = Model::new();
+        for s in &a {
+            for t in &b {
+                expect.insert(s.union(t).cloned().collect());
+            }
+        }
+        prop_assert_eq!(read(&z, p), expect);
+    }
+
+    #[test]
+    fn minimal_matches_model(a in family_strategy()) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let m = z.minimal(fa);
+        prop_assert_eq!(read(&z, m), model_minimal(&a));
+    }
+
+    #[test]
+    fn maximal_matches_model(a in family_strategy()) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let m = z.maximal(fa);
+        prop_assert_eq!(read(&z, m), model_maximal(&a));
+    }
+
+    #[test]
+    fn nonsupersets_matches_model(a in family_strategy(), b in family_strategy()) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let fb = build(&mut z, &b);
+        let r = z.nonsupersets(fa, fb);
+        let expect: Model = a
+            .iter()
+            .filter(|s| !b.iter().any(|h| h.is_subset(s)))
+            .cloned()
+            .collect();
+        prop_assert_eq!(read(&z, r), expect);
+    }
+
+    #[test]
+    fn nonsubsets_matches_model(a in family_strategy(), b in family_strategy()) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let fb = build(&mut z, &b);
+        let r = z.nonsubsets(fa, fb);
+        let expect: Model = a
+            .iter()
+            .filter(|s| !b.iter().any(|h| s.is_subset(h)))
+            .cloned()
+            .collect();
+        prop_assert_eq!(read(&z, r), expect);
+    }
+
+    #[test]
+    fn subset_ops_match_model(a in family_strategy(), v in 0u32..8) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let s0 = z.subset0(fa, Var(v));
+        let s1 = z.subset1(fa, Var(v));
+        let e0: Model = a.iter().filter(|s| !s.contains(&v)).cloned().collect();
+        let e1: Model = a
+            .iter()
+            .filter(|s| s.contains(&v))
+            .map(|s| s.iter().copied().filter(|&x| x != v).collect())
+            .collect();
+        prop_assert_eq!(read(&z, s0), e0);
+        prop_assert_eq!(read(&z, s1), e1);
+    }
+
+    #[test]
+    fn change_matches_model(a in family_strategy(), v in 0u32..8) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let c = z.change(fa, Var(v));
+        let expect: Model = a
+            .iter()
+            .map(|s| {
+                let mut t = s.clone();
+                if !t.remove(&v) {
+                    t.insert(v);
+                }
+                t
+            })
+            .collect();
+        prop_assert_eq!(read(&z, c), expect);
+    }
+
+    #[test]
+    fn singletons_match_model(a in family_strategy()) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let s = z.singletons(fa);
+        let expect: Model = a.iter().filter(|s| s.len() == 1).cloned().collect();
+        prop_assert_eq!(read(&z, s), expect);
+    }
+
+    #[test]
+    fn quotient_matches_model(a in family_strategy(), b in family_strategy()) {
+        prop_assume!(!b.is_empty());
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let fb = build(&mut z, &b);
+        let q = z.quotient(fa, fb);
+        // Model: ∩_{t ∈ b} { s ∖ t : s ∈ a, s ⊇ t }.
+        let mut expect: Option<Model> = None;
+        for t in &b {
+            let slice: Model = a
+                .iter()
+                .filter(|s| t.is_subset(s))
+                .map(|s| s.difference(t).copied().collect())
+                .collect();
+            expect = Some(match expect {
+                None => slice,
+                Some(acc) => acc.intersection(&slice).cloned().collect(),
+            });
+        }
+        prop_assert_eq!(read(&z, q), expect.unwrap());
+        // Division identity: a = b⋈q ∪ (a % b).
+        prop_assert!(z.check_division(fa, fb));
+    }
+
+    #[test]
+    fn gc_preserves_semantics(a in family_strategy(), b in family_strategy()) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let _dead = build(&mut z, &b);
+        let (roots, stats) = z.gc(&[fa]);
+        prop_assert!(stats.after <= stats.before);
+        prop_assert_eq!(read(&z, roots[0]), a);
+    }
+
+    #[test]
+    fn canonicity_equal_families_equal_ids(a in family_strategy(), b in family_strategy()) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let fb = build(&mut z, &b);
+        prop_assert_eq!(fa == fb, a == b);
+    }
+
+    #[test]
+    fn demorgan_like_laws(a in family_strategy(), b in family_strategy(), c in family_strategy()) {
+        let mut z = Zdd::new();
+        let fa = build(&mut z, &a);
+        let fb = build(&mut z, &b);
+        let fc = build(&mut z, &c);
+        // (a ∪ b) ∩ c == (a ∩ c) ∪ (b ∩ c)
+        let ab = z.union(fa, fb);
+        let lhs = z.intersect(ab, fc);
+        let ac = z.intersect(fa, fc);
+        let bc = z.intersect(fb, fc);
+        let rhs = z.union(ac, bc);
+        prop_assert_eq!(lhs, rhs);
+        // a ∖ b == a ∖ (a ∩ b)
+        let anb = z.intersect(fa, fb);
+        let d1 = z.difference(fa, fb);
+        let d2 = z.difference(fa, anb);
+        prop_assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,69 @@
+//! The point of the ZDD encoding: covering matrices whose *row count* is
+//! huge can have a tiny *implicit* representation, and dominance reductions
+//! run on the nodes, not the rows.
+//!
+//! This demo builds matrices with structured redundancy, compares explicit
+//! row counts against ZDD node counts, and times the two reduction engines.
+//!
+//! Run with: `cargo run --release --example implicit_reductions`
+
+use std::time::Instant;
+use ucp::cover::{CoverMatrix, ImplicitMatrix, Reducer};
+
+/// A matrix with combinatorial row structure: every row is a union of two
+/// "blocks"; block pairs share structure, so the ZDD collapses them.
+fn blocky(blocks: usize, block_size: usize) -> CoverMatrix {
+    let cols = blocks * block_size;
+    let block = |b: usize| -> Vec<usize> {
+        (0..block_size).map(|i| b * block_size + i).collect()
+    };
+    let mut rows = Vec::new();
+    for a in 0..blocks {
+        for b in 0..blocks {
+            if a == b {
+                continue;
+            }
+            let mut r = block(a);
+            r.extend(block(b));
+            rows.push(r);
+        }
+    }
+    CoverMatrix::from_rows(cols, rows)
+}
+
+fn main() {
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "blocks", "rows", "zdd nodes", "compression", "implicit(s)", "explicit(s)"
+    );
+    for blocks in [6usize, 10, 14, 18] {
+        let m = blocky(blocks, 4);
+        let im = ImplicitMatrix::encode(&m);
+        let nodes = im.node_count();
+        let rows = m.num_rows();
+
+        let t = Instant::now();
+        let mut im2 = ImplicitMatrix::encode(&m);
+        im2.reduce();
+        let implicit_time = t.elapsed();
+
+        let t = Instant::now();
+        let mut red = Reducer::new(&m);
+        red.reduce_to_fixpoint();
+        let explicit_time = t.elapsed();
+
+        println!(
+            "{:>8} {:>8} {:>10} {:>11.1}x {:>11.4}s {:>11.4}s",
+            blocks,
+            rows,
+            nodes,
+            rows as f64 * 8.0 / nodes as f64, // sets vs nodes, both ~entries
+            implicit_time.as_secs_f64(),
+            explicit_time.as_secs_f64(),
+        );
+        // Both engines agree on what remains.
+        assert_eq!(im2.num_rows(), red.active_rows() as u128);
+    }
+    println!("\nThe ZDD grows with structural variety, not row count —");
+    println!("the reason the paper's implicit phase survives 2^n-row matrices.");
+}

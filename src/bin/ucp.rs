@@ -1,0 +1,249 @@
+//! `ucp` — command-line front end to the covering solver suite.
+//!
+//! ```text
+//! ucp minimize <file.pla> [-o out.pla] [--exact]   two-level minimisation
+//! ucp solve <file.ucp> [--exact] [--all-bounds]    solve a covering instance
+//! ucp bounds <file.ucp>                            print the bound chain
+//! ucp suite [easy|difficult|challenging]           describe the benchmark suite
+//! ```
+//!
+//! Matrix files use the `p ucp R C` text format (see `cover::ParseMatrixError`
+//! docs); PLA files use the Berkeley format.
+
+use std::process::ExitCode;
+use ucp::cover::CoverMatrix;
+use ucp::logic::{build_covering, Pla};
+use ucp::lp::DenseLp;
+use ucp::solvers::{branch_and_bound, BnbOptions};
+use ucp::ucp_core::bounds::bounds_report;
+use ucp::ucp_core::{Scg, ScgOptions};
+use ucp::workloads::suite;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("minimize") => cmd_minimize(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("suite") => cmd_suite(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("classic") => cmd_classic(&args[1..]),
+        _ => {
+            eprintln!("usage: ucp <minimize|solve|bounds|suite> …");
+            eprintln!("  minimize <file.pla> [-o out.pla] [--exact]");
+            eprintln!("  solve    <file.ucp> [--exact]");
+            eprintln!("  bounds   <file.ucp>");
+            eprintln!("  suite    [easy|difficult|challenging]");
+            eprintln!("  generate <instance-name> [-o out.ucp]");
+            eprintln!("  classic  <rd53|rd73|rd84|9sym|xor5|maj5|maj7> [-o out.pla]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_minimize(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("minimize needs a .pla file")?;
+    let exact = args.iter().any(|a| a == "--exact");
+    let espresso = args.iter().any(|a| a == "--espresso");
+    let out_path = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1));
+    let src = std::fs::read_to_string(path)?;
+    let pla: Pla = src.parse()?;
+    eprintln!(
+        "parsed {path}: {} inputs, {} outputs, {} terms",
+        pla.num_inputs(),
+        pla.num_outputs(),
+        pla.terms().len()
+    );
+    if espresso {
+        // Cube-level EXPAND/IRREDUNDANT/REDUCE, no covering matrix at all.
+        let minimised = ucp::logic::espresso::minimize(&pla, &Default::default());
+        eprintln!(
+            "minimised to {} products (espresso-style heuristic, verified)",
+            minimised.terms().len()
+        );
+        match out_path {
+            Some(p) => std::fs::write(p, minimised.to_pla_string())?,
+            None => print!("{minimised}"),
+        }
+        return Ok(());
+    }
+    let inst = build_covering(&pla)?;
+    eprintln!(
+        "covering matrix: {} rows × {} columns",
+        inst.matrix.num_rows(),
+        inst.matrix.num_cols()
+    );
+    let (solution, cost, certified) = if exact {
+        let r = branch_and_bound(&inst.matrix, &BnbOptions::default());
+        let sol = r.solution.ok_or("instance is infeasible")?;
+        (sol, r.cost, r.optimal)
+    } else {
+        let out = Scg::new(ScgOptions::default()).solve(&inst.matrix);
+        if out.infeasible {
+            return Err("instance is infeasible".into());
+        }
+        (out.solution, out.cost, out.proven_optimal)
+    };
+    let minimised = inst.solution_to_pla(&solution);
+    if !inst.verify_against(&pla, &minimised) {
+        return Err("internal error: minimised PLA failed verification".into());
+    }
+    eprintln!(
+        "minimised to {cost} products ({}, verified against the spec)",
+        if certified { "certified optimal" } else { "heuristic" }
+    );
+    match out_path {
+        Some(p) => std::fs::write(p, minimised.to_pla_string())?,
+        None => print!("{minimised}"),
+    }
+    Ok(())
+}
+
+fn read_matrix(path: &str) -> Result<CoverMatrix, Box<dyn std::error::Error>> {
+    Ok(std::fs::read_to_string(path)?.parse::<CoverMatrix>()?)
+}
+
+fn cmd_solve(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("solve needs a matrix file")?;
+    let exact = args.iter().any(|a| a == "--exact");
+    let m = read_matrix(path)?;
+    if exact {
+        let r = branch_and_bound(&m, &BnbOptions::default());
+        match r.solution {
+            Some(sol) if r.optimal => {
+                println!("optimal cost {} with columns {:?}", r.cost, sol.cols());
+                println!("nodes: {}, time: {:.3}s", r.nodes, r.elapsed.as_secs_f64());
+            }
+            Some(sol) => {
+                println!(
+                    "budget exhausted: best {} (lower bound {}), columns {:?}",
+                    r.cost,
+                    r.lower_bound,
+                    sol.cols()
+                );
+            }
+            None => return Err("instance is infeasible".into()),
+        }
+    } else {
+        let out = Scg::new(ScgOptions::default()).solve(&m);
+        if out.infeasible {
+            return Err("instance is infeasible".into());
+        }
+        println!(
+            "cost {} (lower bound {}, {}), columns {:?}",
+            out.cost,
+            out.lower_bound,
+            if out.proven_optimal {
+                "certified optimal"
+            } else {
+                "heuristic"
+            },
+            out.solution.cols()
+        );
+        println!(
+            "core {}×{}, {} restarts, {} subgradient iterations, {:.3}s",
+            out.core_rows,
+            out.core_cols,
+            out.iterations,
+            out.subgradient_iterations,
+            out.total_time.as_secs_f64()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bounds(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("bounds needs a matrix file")?;
+    let m = read_matrix(path)?;
+    let b = bounds_report(&m);
+    println!("LB_MIS  = {}", b.mis);
+    println!("LB_DA   = {}", b.dual_ascent);
+    println!("LB_Lagr = {:.4}", b.lagrangian);
+    match DenseLp::covering(m.num_cols(), m.rows(), m.costs()).solve() {
+        Ok(lp) => println!("LB_LR   = {:.4}", lp.objective),
+        Err(e) => println!("LB_LR   unavailable: {e}"),
+    }
+    Ok(())
+}
+
+fn cmd_suite(args: &[String]) -> CliResult {
+    let instances = match args.first().map(String::as_str) {
+        Some("easy") => suite::easy_cyclic(),
+        Some("challenging") => suite::challenging(),
+        Some("difficult") | None => suite::difficult_cyclic(),
+        Some(other) => return Err(format!("unknown category {other:?}").into()),
+    };
+    println!("{:>10}  {:>6}  {:>6}  {:>8}  description", "name", "rows", "cols", "nnz");
+    for inst in instances {
+        println!(
+            "{:>10}  {:>6}  {:>6}  {:>8}  {}",
+            inst.name,
+            inst.matrix.num_rows(),
+            inst.matrix.num_cols(),
+            inst.matrix.nnz(),
+            inst.description
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("generate needs an instance name (see `ucp suite`)")?;
+    let out_path = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1));
+    let all = suite::all();
+    let inst = all
+        .iter()
+        .find(|i| &i.name == name)
+        .ok_or_else(|| format!("unknown instance {name:?}; see `ucp suite <category>`"))?;
+    let text = format!(
+        "# {} ({}): {}\n{}",
+        inst.name, inst.category, inst.description,
+        inst.matrix.to_text()
+    );
+    match out_path {
+        Some(p) => std::fs::write(p, text)?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_classic(args: &[String]) -> CliResult {
+    let name = args
+        .first()
+        .ok_or("classic needs a function name (rd53, rd73, rd84, 9sym, xor5, maj5, maj7)")?;
+    let out_path = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1));
+    use ucp::workloads::classic;
+    let pla = match name.as_str() {
+        "rd53" => classic::rd53(),
+        "rd73" => classic::rd73(),
+        "rd84" => classic::rd84(),
+        "9sym" => classic::nine_sym(),
+        "xor5" => classic::xor5(),
+        "maj5" => classic::majority(5),
+        "maj7" => classic::majority(7),
+        other => return Err(format!("unknown classic function {other:?}").into()),
+    };
+    match out_path {
+        Some(p) => std::fs::write(p, pla.to_pla_string())?,
+        None => print!("{pla}"),
+    }
+    Ok(())
+}

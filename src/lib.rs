@@ -1,0 +1,54 @@
+//! `ucp` — a complete Rust reproduction of *"An Efficient Heuristic Approach
+//! to Solve the Unate Covering Problem"* (Cordone, Ferrandi, Sciuto,
+//! Wolfler Calvo — DATE 2000).
+//!
+//! The crate bundles the whole system the paper describes:
+//!
+//! * [`zdd`] — zero-suppressed decision diagrams (the implicit covering
+//!   matrix representation),
+//! * [`bdd`] — binary decision diagrams (Boolean function substrate),
+//! * [`logic`] — cube algebra, PLA parsing, prime-implicant generation, and
+//!   the Quine–McCluskey reduction of two-level minimisation to unate
+//!   covering,
+//! * [`cover`] — covering matrices, explicit/implicit reductions, cyclic
+//!   cores,
+//! * [`lp`] — a dense simplex solver for the linear-programming relaxation
+//!   bound,
+//! * [`ucp_core`] — the paper's contribution: Lagrangian subgradient ascent
+//!   on the primal and dual relaxations, dual ascent, penalty tests, and the
+//!   `ZDD_SCG` constructive heuristic,
+//! * [`solvers`] — baselines: Chvátal greedy, espresso-like heuristics, and
+//!   an exact scherzo-like branch-and-bound,
+//! * [`workloads`] — seeded synthetic benchmark instances standing in for
+//!   the (unavailable) Berkeley PLA test set,
+//! * [`binate`] — the binate generalisation (§1) with unit propagation and
+//!   an exact solver.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ucp::cover::CoverMatrix;
+//! use ucp::ucp_core::{Scg, ScgOptions};
+//!
+//! // Rows are the sets of columns covering them; all columns cost 1.
+//! let matrix = CoverMatrix::from_rows(5, vec![
+//!     vec![0, 1],
+//!     vec![1, 2],
+//!     vec![2, 3],
+//!     vec![3, 4],
+//!     vec![4, 0],
+//! ]);
+//! let outcome = Scg::new(ScgOptions::default()).solve(&matrix);
+//! assert!(outcome.solution.is_feasible(&matrix));
+//! assert_eq!(outcome.solution.cost(&matrix), 3.0);
+//! ```
+
+pub use bdd;
+pub use binate;
+pub use cover;
+pub use logic;
+pub use lp;
+pub use solvers;
+pub use ucp_core;
+pub use workloads;
+pub use zdd;

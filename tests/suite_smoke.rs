@@ -1,0 +1,67 @@
+//! Smoke tests over the full named benchmark suite with the fast preset:
+//! every instance must be solved feasibly with a consistent bound.
+
+use ucp::ucp_core::{Scg, ScgOptions};
+use ucp::workloads::suite;
+
+#[test]
+fn easy_cyclic_all_certified_with_default_options() {
+    // The paper's experiment 1: all 49 easy-cyclic instances solved to
+    // proven optimality by the heuristic alone.
+    let mut certified = 0usize;
+    let instances = suite::easy_cyclic();
+    for inst in &instances {
+        let out = Scg::new(ScgOptions::default()).solve(&inst.matrix);
+        assert!(out.solution.is_feasible(&inst.matrix), "{}", inst.name);
+        assert!(out.cost >= out.lower_bound - 1e-9, "{}", inst.name);
+        certified += usize::from(out.proven_optimal);
+    }
+    assert!(
+        certified >= instances.len() - 2,
+        "only {certified}/{} easy instances certified",
+        instances.len()
+    );
+}
+
+#[test]
+fn difficult_cyclic_feasible_and_bounded() {
+    for inst in suite::difficult_cyclic() {
+        let out = Scg::new(ScgOptions::fast()).solve(&inst.matrix);
+        assert!(out.solution.is_feasible(&inst.matrix), "{}", inst.name);
+        assert!(out.lower_bound <= out.cost + 1e-9, "{}", inst.name);
+        assert!(out.lower_bound > 0.0, "{} has trivial bound", inst.name);
+    }
+}
+
+#[test]
+fn challenging_feasible_and_bounded() {
+    for inst in suite::challenging() {
+        let out = Scg::new(ScgOptions::fast()).solve(&inst.matrix);
+        assert!(out.solution.is_feasible(&inst.matrix), "{}", inst.name);
+        assert!(out.lower_bound <= out.cost + 1e-9, "{}", inst.name);
+    }
+}
+
+#[test]
+fn steiner_instances_have_known_structure() {
+    // STS(n) covers: the minimum cover of a Steiner triple system on n
+    // points is well studied; sanity bounds: at least (n-1)/2 points are
+    // needed (each point covers (n-1)/2 triples of the n(n-1)/6).
+    for inst in suite::difficult_cyclic()
+        .into_iter()
+        .filter(|i| i.description.contains("Steiner"))
+    {
+        let n = inst.matrix.num_cols() as f64;
+        let triples = inst.matrix.num_rows() as f64;
+        let per_point = (n - 1.0) / 2.0;
+        let counting_lb = (triples / per_point).ceil();
+        let out = Scg::new(ScgOptions::fast()).solve(&inst.matrix);
+        assert!(
+            out.cost >= counting_lb - 1e-9,
+            "{}: cover {} below counting bound {}",
+            inst.name,
+            out.cost,
+            counting_lb
+        );
+    }
+}
