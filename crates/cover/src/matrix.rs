@@ -18,7 +18,6 @@ use std::fmt;
 /// assert_eq!(m.col_rows(1), &[0, 1]);
 /// ```
 #[derive(Clone, PartialEq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoverMatrix {
     num_cols: usize,
     rows: Vec<Vec<usize>>,
@@ -182,7 +181,6 @@ impl fmt::Display for CoverMatrix {
 /// assert_eq!(s.cost(&m), 1.0);
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Solution {
     cols: Vec<usize>,
 }

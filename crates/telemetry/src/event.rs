@@ -1,0 +1,207 @@
+//! Trace event payloads emitted by the solver.
+
+use crate::json::JsonObj;
+use crate::phase::Phase;
+
+/// Which penalty test eliminated columns during a constructive run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PenaltyKind {
+    /// Lagrangian cost test: `c̃_j > ub - lb` excludes column j (§3.6).
+    Lagrangian,
+    /// Dual (row-surplus) test on small cores (§3.6).
+    Dual,
+}
+
+impl PenaltyKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            PenaltyKind::Lagrangian => "lagrangian",
+            PenaltyKind::Dual => "dual",
+        }
+    }
+}
+
+/// Why a column entered the partial solution during a constructive run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FixReason {
+    /// Promising column committed before the run (§3.7 fixing rule).
+    Promising,
+    /// Rated pick by minimum σ_j = c̃_j − α·μ_j during construction.
+    RatedPick,
+    /// Essential column surfaced by re-reduction inside the run.
+    Essential,
+}
+
+impl FixReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            FixReason::Promising => "promising",
+            FixReason::RatedPick => "rated_pick",
+            FixReason::Essential => "essential",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Payloads are plain numbers so that building an event is cheap; sites
+/// that would do real work to assemble one guard on [`crate::Probe::enabled`].
+/// Column and row indices refer to the matrix the emitting phase works on
+/// (the cyclic core during subgradient/constructive phases).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A pipeline phase started.
+    PhaseBegin { phase: Phase },
+    /// A pipeline phase finished after `seconds`.
+    PhaseEnd { phase: Phase, seconds: f64 },
+    /// One iteration of subgradient ascent.
+    SubgradientIter {
+        /// Iteration index within this ascent (0-based).
+        iter: usize,
+        /// Lagrangian value z(λ) at this iterate.
+        z_lambda: f64,
+        /// Best lower bound so far (monotone non-decreasing).
+        lb: f64,
+        /// Best Lagrangian-heuristic upper bound so far.
+        ub: f64,
+        /// Current step size t.
+        step: f64,
+        /// Squared Euclidean norm of the subgradient (violation) vector.
+        violation_norm2: f64,
+    },
+    /// A penalty test removed `removed` columns from the current core.
+    PenaltyElim { kind: PenaltyKind, removed: usize },
+    /// A column was fixed into the partial solution.
+    ColumnFix {
+        col: usize,
+        /// Rating σ_j = c̃_j − α·μ_j at the moment of fixing, when the
+        /// fix came from a rated pick; the fixing threshold value for
+        /// promising-column fixes.
+        sigma: f64,
+        /// Dual multiplier μ_j of the column (0 when not applicable).
+        mu: f64,
+        reason: FixReason,
+    },
+    /// A constructive run (restart) began.
+    RestartBegin { run: usize },
+    /// A constructive run finished with `cost`; `best_cost` is the
+    /// incumbent after accounting for this run.
+    RestartEnd { run: usize, cost: f64, best_cost: f64 },
+}
+
+impl Event {
+    /// Stable event-type tag used in JSONL traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::PhaseBegin { .. } => "phase_begin",
+            Event::PhaseEnd { .. } => "phase_end",
+            Event::SubgradientIter { .. } => "subgradient_iter",
+            Event::PenaltyElim { .. } => "penalty_elim",
+            Event::ColumnFix { .. } => "column_fix",
+            Event::RestartBegin { .. } => "restart_begin",
+            Event::RestartEnd { .. } => "restart_end",
+        }
+    }
+
+    /// Appends this event's payload fields to a JSON object under
+    /// construction (the sink has already written `schema`/`t`/`event`).
+    pub fn write_fields(&self, obj: &mut JsonObj) {
+        match self {
+            Event::PhaseBegin { phase } => {
+                obj.field_str("phase", phase.name());
+            }
+            Event::PhaseEnd { phase, seconds } => {
+                obj.field_str("phase", phase.name());
+                obj.field_f64("seconds", *seconds);
+            }
+            Event::SubgradientIter {
+                iter,
+                z_lambda,
+                lb,
+                ub,
+                step,
+                violation_norm2,
+            } => {
+                obj.field_u64("iter", *iter as u64);
+                obj.field_f64("z_lambda", *z_lambda);
+                obj.field_f64("lb", *lb);
+                obj.field_f64("ub", *ub);
+                obj.field_f64("step", *step);
+                obj.field_f64("violation_norm2", *violation_norm2);
+            }
+            Event::PenaltyElim { kind, removed } => {
+                obj.field_str("kind", kind.name());
+                obj.field_u64("removed", *removed as u64);
+            }
+            Event::ColumnFix {
+                col,
+                sigma,
+                mu,
+                reason,
+            } => {
+                obj.field_u64("col", *col as u64);
+                obj.field_f64("sigma", *sigma);
+                obj.field_f64("mu", *mu);
+                obj.field_str("reason", reason.name());
+            }
+            Event::RestartBegin { run } => {
+                obj.field_u64("run", *run as u64);
+            }
+            Event::RestartEnd {
+                run,
+                cost,
+                best_cost,
+            } => {
+                obj.field_u64("run", *run as u64);
+                obj.field_f64("cost", *cost);
+                obj.field_f64("best_cost", *best_cost);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let events = [
+            Event::PhaseBegin {
+                phase: Phase::Subgradient,
+            },
+            Event::PhaseEnd {
+                phase: Phase::Subgradient,
+                seconds: 0.0,
+            },
+            Event::SubgradientIter {
+                iter: 0,
+                z_lambda: 0.0,
+                lb: 0.0,
+                ub: 0.0,
+                step: 0.0,
+                violation_norm2: 0.0,
+            },
+            Event::PenaltyElim {
+                kind: PenaltyKind::Lagrangian,
+                removed: 0,
+            },
+            Event::ColumnFix {
+                col: 0,
+                sigma: 0.0,
+                mu: 0.0,
+                reason: FixReason::RatedPick,
+            },
+            Event::RestartBegin { run: 0 },
+            Event::RestartEnd {
+                run: 0,
+                cost: 0.0,
+                best_cost: 0.0,
+            },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+}

@@ -1,0 +1,181 @@
+//! Streaming JSONL sink for trace events.
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+use crate::event::Event;
+use crate::json::JsonObj;
+use crate::probe::Probe;
+
+/// Schema identifier stamped on every trace line. Bump the suffix when
+/// the line format changes incompatibly so downstream tooling can detect
+/// traces it does not understand.
+pub const TRACE_SCHEMA: &str = "ucp-trace/1";
+
+/// Writes each recorded event as one JSON line:
+///
+/// ```json
+/// {"schema":"ucp-trace/1","t":0.0123,"event":"subgradient_iter","iter":4,...}
+/// ```
+///
+/// `t` is seconds since the sink was created. The sink buffers through
+/// `io::BufWriter`-style writers supplied by the caller; call [`finish`]
+/// (or drop) to flush. Write errors are sticky: the first one is kept
+/// and later events are dropped, so a full disk cannot poison a solve —
+/// callers check [`finish`] for the verdict.
+///
+/// [`finish`]: JsonlSink::finish
+pub struct JsonlSink<W: Write> {
+    out: W,
+    start: Instant,
+    error: Option<io::Error>,
+    lines: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            start: Instant::now(),
+            error: None,
+            lines: 0,
+        }
+    }
+
+    /// Number of lines successfully written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Writes an arbitrary pre-built JSON object as one trace line with
+    /// the standard `schema`/`t`/`event` envelope. Used by the CLI and
+    /// bench binaries for lines that are not solver [`Event`]s (run
+    /// headers, result summaries).
+    pub fn write_line(&mut self, event_kind: &str, fill: impl FnOnce(&mut JsonObj)) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut obj = JsonObj::new();
+        obj.field_str("schema", TRACE_SCHEMA);
+        obj.field_f64("t", self.start.elapsed().as_secs_f64());
+        obj.field_str("event", event_kind);
+        fill(&mut obj);
+        let mut line = obj.finish();
+        line.push('\n');
+        // One write_all per line so a partial write can't interleave lines.
+        if let Err(e) = self.out.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        } else {
+            self.lines += 1;
+        }
+    }
+
+    /// Flushes and returns the first write error, if any occurred.
+    pub fn finish(mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+impl<W: Write> Probe for JsonlSink<W> {
+    fn record(&mut self, event: Event) {
+        self.write_line(event.kind(), |obj| event.write_fields(obj));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FixReason, PenaltyKind};
+    use crate::phase::Phase;
+
+    fn lines(buf: &[u8]) -> Vec<String> {
+        String::from_utf8(buf.to_vec())
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn emits_enveloped_jsonl() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut buf);
+            sink.record(Event::PhaseBegin {
+                phase: Phase::ImplicitReduction,
+            });
+            sink.record(Event::ColumnFix {
+                col: 3,
+                sigma: 1.25,
+                mu: 0.5,
+                reason: FixReason::Promising,
+            });
+            sink.record(Event::PenaltyElim {
+                kind: PenaltyKind::Dual,
+                removed: 4,
+            });
+            assert_eq!(sink.lines_written(), 3);
+            sink.finish().unwrap();
+        }
+        let lines = lines(&buf);
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with(r#"{"schema":"ucp-trace/1","t":"#), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains(r#""event":"phase_begin""#));
+        assert!(lines[0].contains(r#""phase":"implicit_reduction""#));
+        assert!(lines[1].contains(r#""col":3"#));
+        assert!(lines[1].contains(r#""sigma":1.25"#));
+        assert!(lines[1].contains(r#""reason":"promising""#));
+        assert!(lines[2].contains(r#""kind":"dual""#));
+        assert!(lines[2].contains(r#""removed":4"#));
+    }
+
+    #[test]
+    fn custom_lines_share_envelope() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut buf);
+            sink.write_line("run_header", |o| {
+                o.field_str("instance", "cyclic10");
+                o.field_u64("rows", 10);
+            });
+            sink.finish().unwrap();
+        }
+        let lines = lines(&buf);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains(r#""event":"run_header""#));
+        assert!(lines[0].contains(r#""instance":"cyclic10""#));
+    }
+
+    struct FailAfter {
+        remaining: usize,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.remaining == 0 {
+                return Err(io::Error::new(io::ErrorKind::Other, "disk full"));
+            }
+            self.remaining -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_errors_are_sticky_and_reported() {
+        let mut sink = JsonlSink::new(FailAfter { remaining: 1 });
+        sink.record(Event::RestartBegin { run: 0 }); // ok
+        sink.record(Event::RestartBegin { run: 1 }); // fails
+        sink.record(Event::RestartBegin { run: 2 }); // dropped silently
+        assert_eq!(sink.lines_written(), 1);
+        assert!(sink.finish().is_err());
+    }
+}

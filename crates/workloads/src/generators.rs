@@ -174,7 +174,7 @@ pub fn random_pla(
             }
         }
         let o = rng.random_range(0..outputs);
-        let is_dc = rng.random_range(0..1000) < dc_per_mille;
+        let is_dc = rng.random_range(0..1000u32) < dc_per_mille;
         let (on, dc) = if is_dc { (0, 1u64 << o) } else { (1u64 << o, 0) };
         pla.push_term(Cube::new(pos, neg), on, dc);
     }

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements the small benchmarking surface the workspace's `benches/` use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. It measures wall-clock
+//! time with a short auto-calibrated loop and prints a one-line summary per
+//! benchmark — no statistics, plots or HTML reports. Timings are indicative,
+//! not rigorous; the point is that `cargo bench` builds, runs and surfaces
+//! regressions at order-of-magnitude resolution without the real crate.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working like upstream.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are grouped between setup calls. The shim times each
+/// routine invocation individually, so the variants are equivalent here.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`, as in upstream criterion.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibration pass: run once to size the measurement loop so each
+        // sample takes roughly TARGET per-sample wall time.
+        f(&mut b, input);
+        const TARGET: Duration = Duration::from_millis(20);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b, input);
+            let per_iter = b.elapsed / iters as u32;
+            best = best.min(per_iter);
+            total += per_iter;
+        }
+        let mean = total / self.sample_size as u32;
+        eprintln!(
+            "  {}/{}: mean {:>12?}  best {:>12?}  ({} iters x {} samples)",
+            self.name, id.name, mean, best, iters, self.sample_size
+        );
+        self
+    }
+
+    /// Runs one benchmark with no external input.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &()),
+    {
+        self.bench_with_input(BenchmarkId::from_parameter(name), &(), f)
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated number of iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, excluding per-iteration `setup` cost.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Bundles benchmark functions into a single runner, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("batched", 8), &8usize, |b, &n| {
+            b.iter_batched(
+                || vec![1u64; n],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, demo_bench);
+
+    #[test]
+    fn runner_completes() {
+        smoke();
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_upstream() {
+        let id = BenchmarkId::new("reduce", 42);
+        assert_eq!(id.name, "reduce/42");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+}
