@@ -20,8 +20,8 @@ impl std::hash::Hasher for FxHasher {
         for chunk in bytes.chunks(8) {
             let mut buf = [0u8; 8];
             buf[..chunk.len()].copy_from_slice(chunk);
-            self.state =
-                (self.state.rotate_left(5) ^ u64::from_le_bytes(buf)).wrapping_mul(0x517cc1b727220a95);
+            self.state = (self.state.rotate_left(5) ^ u64::from_le_bytes(buf))
+                .wrapping_mul(0x517cc1b727220a95);
         }
     }
     #[inline]

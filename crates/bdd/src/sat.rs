@@ -27,7 +27,11 @@ impl Bdd {
         let mut memo: HashMap<BddId, u128> = HashMap::new();
         // count(f) with top-var compensation: each skipped level doubles.
         let c = self.sat_count_rec(f, num_vars, &mut memo);
-        let top = if f.is_const() { num_vars } else { self.raw_var(f) };
+        let top = if f.is_const() {
+            num_vars
+        } else {
+            self.raw_var(f)
+        };
         assert!(top <= num_vars || f.is_const(), "variable outside universe");
         c << top.min(num_vars)
     }
@@ -94,7 +98,10 @@ impl Bdd {
     /// Panics if `num_vars > 63` (use sampling for larger universes) or if
     /// `f` depends on a variable outside the universe.
     pub fn minterms(&self, f: BddId, num_vars: u32) -> Vec<u64> {
-        assert!(num_vars <= 63, "explicit minterm expansion limited to 63 vars");
+        assert!(
+            num_vars <= 63,
+            "explicit minterm expansion limited to 63 vars"
+        );
         let mut out = Vec::new();
         self.minterms_rec(f, 0, num_vars, 0, &mut out);
         out

@@ -43,7 +43,13 @@ fn main() {
     } else {
         ScgOptions::default()
     };
-    let mut t = Table::new(["configuration", "total cost", "total LB", "certified", "T(s)"]);
+    let mut t = Table::new([
+        "configuration",
+        "total cost",
+        "total LB",
+        "certified",
+        "T(s)",
+    ]);
 
     run("baseline (α=2, NumIter=4, DualPen=100)", base, &mut t);
     for alpha in [0.0, 1.0, 4.0] {

@@ -29,8 +29,10 @@ fn main() {
             }
         };
         let scg = run_scg(&inst.matrix, ScgOptions::default());
-        let (en, _) = run_espresso(&inst.matrix, EspressoMode::Normal);
-        let (es, _) = run_espresso(&inst.matrix, EspressoMode::Strong);
+        let (en, _) = run_espresso(&inst.matrix, EspressoMode::Normal)
+            .unwrap_or_else(|e| panic!("espresso (normal) failed on {name}: {e}"));
+        let (es, _) = run_espresso(&inst.matrix, EspressoMode::Strong)
+            .unwrap_or_else(|e| panic!("espresso (strong) failed on {name}: {e}"));
         let exact = run_exact(&inst.matrix, 2_000_000, Duration::from_secs(30));
         let exact_str = if exact.optimal {
             format!("{}", exact.cost)

@@ -4,7 +4,10 @@
 //!
 //! Usage: `cargo run -p ucp-bench --release --bin convergence [instance]`
 
-use ucp_core::{subgradient_ascent, SubgradientOptions};
+use std::fs::{self, File};
+use std::io::BufWriter;
+use ucp_core::{subgradient_ascent_probed, SubgradientOptions};
+use ucp_telemetry::JsonlSink;
 use workloads::suite;
 
 fn main() {
@@ -15,14 +18,35 @@ fn main() {
         .find(|i| i.name == which)
         .unwrap_or_else(|| {
             eprintln!("unknown instance {which:?}; defaulting to bench1");
-            instances.iter().find(|i| i.name == "bench1").expect("suite")
+            instances
+                .iter()
+                .find(|i| i.name == "bench1")
+                .expect("suite")
         });
     let opts = SubgradientOptions {
         record_history: true,
         max_iters: 200,
         ..SubgradientOptions::default()
     };
-    let r = subgradient_ascent(&inst.matrix, &opts, None, None);
+    // The JSONL trace is the solver's own event stream (one
+    // `subgradient_iter` line per iteration), not a rendering of `history`.
+    fs::create_dir_all("results").expect("create results/");
+    let file = File::create("results/convergence.jsonl").expect("create results/convergence.jsonl");
+    let mut sink = JsonlSink::new(BufWriter::new(file));
+    sink.write_line("bench_header", |o| {
+        o.field_str("bench", "convergence");
+        o.field_str("instance", &inst.name);
+        o.field_u64("rows", inst.matrix.num_rows() as u64);
+        o.field_u64("cols", inst.matrix.num_cols() as u64);
+    });
+    let r = subgradient_ascent_probed(&inst.matrix, &opts, None, None, &mut sink);
+    sink.write_line("result", |o| {
+        o.field_f64("lb", r.lb);
+        o.field_f64("best_cost", r.best_cost);
+        o.field_u64("iterations", r.iterations as u64);
+    });
+    sink.finish().expect("write results/convergence.jsonl");
+    eprintln!("results: results/convergence.jsonl");
 
     println!(
         "subgradient trace on {} ({}×{}), final LB {:.2}, incumbent {}",
@@ -48,7 +72,10 @@ fn main() {
             .round()
             .clamp(0.0, width as f64 - 1.0) as usize
     };
-    println!("{:>5}  {:<width$}  {:>8} {:>8} {:>8}", "iter", "z=· LB=# UB=|", "z_λ", "LB", "UB_LD");
+    println!(
+        "{:>5}  {:<width$}  {:>8} {:>8} {:>8}",
+        "iter", "z=· LB=# UB=|", "z_λ", "LB", "UB_LD"
+    );
     for (k, h) in r.history.iter().enumerate() {
         if k % 5 != 0 && k + 1 != r.history.len() {
             continue;
@@ -71,7 +98,10 @@ fn main() {
     }
     // The monotonicity the paper describes.
     let lb_monotone = r.history.windows(2).all(|w| w[1].lb >= w[0].lb - 1e-12);
-    let ub_monotone = r.history.windows(2).all(|w| w[1].ub_ld <= w[0].ub_ld + 1e-12);
+    let ub_monotone = r
+        .history
+        .windows(2)
+        .all(|w| w[1].ub_ld <= w[0].ub_ld + 1e-12);
     println!(
         "LB monotone non-decreasing: {}; UB_LD monotone non-increasing: {}",
         if lb_monotone { "YES" } else { "NO" },

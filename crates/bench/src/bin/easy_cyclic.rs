@@ -38,8 +38,10 @@ fn main() {
 
     for inst in &instances {
         let scg = run_scg(&inst.matrix, opts);
-        let (en, tn) = run_espresso(&inst.matrix, EspressoMode::Normal);
-        let (es, ts) = run_espresso(&inst.matrix, EspressoMode::Strong);
+        let (en, tn) = run_espresso(&inst.matrix, EspressoMode::Normal)
+            .unwrap_or_else(|e| panic!("espresso (normal) failed on {}: {e}", inst.name));
+        let (es, ts) = run_espresso(&inst.matrix, EspressoMode::Strong)
+            .unwrap_or_else(|e| panic!("espresso (strong) failed on {}: {e}", inst.name));
         let exact = run_exact(
             &inst.matrix,
             if quick { 200_000 } else { 2_000_000 },
@@ -72,7 +74,10 @@ fn main() {
         "gap to lower bound",
         &format!("{:.2}%", 100.0 * (total_scg - total_lb) / total_lb.max(1.0)),
     ]);
-    t.row(["certified optimal", &format!("{proven}/{}", instances.len())]);
+    t.row([
+        "certified optimal",
+        &format!("{proven}/{}", instances.len()),
+    ]);
     t.row([
         "matches exact optimum",
         &format!("{scg_hits_opt}/{exact_known} (of those B&B closed)"),

@@ -11,26 +11,30 @@
 use cover::CoverMatrix;
 use lp::DenseLp;
 use std::time::Duration;
-use ucp_bench::{run_exact, Table};
+use ucp_bench::{finish_log, run_exact, BenchLog, Table};
 use ucp_core::bounds::{bounds_report, BoundsReport};
 use workloads::{circulant, suite};
 
 fn lp_bound(m: &CoverMatrix) -> f64 {
-    DenseLp::covering(
-        m.num_cols(),
-        m.rows(),
-        m.costs(),
-    )
-    .solve()
-    .map(|s| s.objective)
-    .unwrap_or(f64::NAN)
+    DenseLp::covering(m.num_cols(), m.rows(), m.costs())
+        .solve()
+        .map(|s| s.objective)
+        .unwrap_or(f64::NAN)
 }
 
-fn row(t: &mut Table, name: &str, m: &CoverMatrix) -> (BoundsReport, f64, f64) {
+fn row(t: &mut Table, log: &mut BenchLog, name: &str, m: &CoverMatrix) -> (BoundsReport, f64, f64) {
     let b = bounds_report(m);
     let lr = lp_bound(m);
     let exact = run_exact(m, 2_000_000, Duration::from_secs(30));
     let opt = if exact.optimal { exact.cost } else { f64::NAN };
+    log.row("figure1_row", |o| {
+        o.field_str("instance", name);
+        o.field_f64("lb_mis", b.mis);
+        o.field_f64("lb_da", b.dual_ascent);
+        o.field_f64("lb_lagr", b.lagrangian);
+        o.field_f64("lb_lr", lr);
+        o.field_f64("optimum", opt);
+    });
     t.row([
         name.to_string(),
         format!("{:.2}", b.mis),
@@ -44,14 +48,22 @@ fn row(t: &mut Table, name: &str, m: &CoverMatrix) -> (BoundsReport, f64, f64) {
 }
 
 fn main() {
-    let mut t = Table::new(["instance", "LB_MIS", "LB_DA", "LB_Lagr", "LB_LR", "ceil", "z*"]);
-    let (b, lr, opt) = row(&mut t, "figure1", &suite::figure1());
-    let (bu, _, _) = row(&mut t, "figure1-uniform", &suite::figure1_uniform());
+    let mut log = BenchLog::create("figure1").expect("create results/figure1.jsonl");
+    let mut t = Table::new([
+        "instance", "LB_MIS", "LB_DA", "LB_Lagr", "LB_LR", "ceil", "z*",
+    ]);
+    let (b, lr, opt) = row(&mut t, &mut log, "figure1", &suite::figure1());
+    let (bu, _, _) = row(
+        &mut t,
+        &mut log,
+        "figure1-uniform",
+        &suite::figure1_uniform(),
+    );
     for n in [5usize, 9, 13] {
-        row(&mut t, &format!("C({n},2)"), &circulant(n, 2));
+        row(&mut t, &mut log, &format!("C({n},2)"), &circulant(n, 2));
     }
     for (n, k) in [(12usize, 3usize), (20, 4)] {
-        row(&mut t, &format!("C({n},{k})"), &circulant(n, k));
+        row(&mut t, &mut log, &format!("C({n},{k})"), &circulant(n, k));
     }
     println!("Figure 1 — lower-bound comparison (paper example: 1 < 2 < 2.5 → 3)");
     println!("{}", t.render());
@@ -69,4 +81,5 @@ fn main() {
             "VIOLATED"
         }
     );
+    finish_log(log);
 }

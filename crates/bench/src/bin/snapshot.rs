@@ -1,0 +1,59 @@
+//! `snapshot` — one-shot performance snapshot of the `ZDD_SCG` solver.
+//!
+//! Runs the difficult-cyclic suite and writes `results/BENCH_scg.json`, a
+//! single JSON document with per-instance cost / lower bound / wall time /
+//! phase breakdown plus aggregate totals — the file a CI job can archive or
+//! diff to track solver performance over time.
+//!
+//! Usage: `cargo run -p ucp-bench --release --bin snapshot [--quick]`
+
+use std::fs;
+use ucp_bench::{run_scg, scg_fields};
+use ucp_core::ScgOptions;
+use ucp_telemetry::JsonObj;
+use workloads::suite;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick {
+        ScgOptions::fast()
+    } else {
+        ScgOptions::default()
+    };
+    let mut runs: Vec<String> = Vec::new();
+    let mut total_seconds = 0.0f64;
+    let mut certified = 0usize;
+    for inst in suite::difficult_cyclic() {
+        let out = run_scg(&inst.matrix, opts);
+        total_seconds += out.total_time.as_secs_f64();
+        if out.proven_optimal {
+            certified += 1;
+        }
+        let mut o = JsonObj::new();
+        o.field_str("instance", &inst.name);
+        o.field_u64("rows", inst.matrix.num_rows() as u64);
+        o.field_u64("cols", inst.matrix.num_cols() as u64);
+        scg_fields(&mut o, &out);
+        runs.push(o.finish());
+        println!(
+            "{:>10}  cost {:>6}  lb {:>8.2}  {:>7.3}s",
+            inst.name,
+            out.cost,
+            out.lower_bound,
+            out.total_time.as_secs_f64()
+        );
+    }
+    let mut doc = JsonObj::new();
+    doc.field_str("schema", "ucp-bench-snapshot/1");
+    doc.field_str("preset", if quick { "fast" } else { "default" });
+    doc.field_u64("instances", runs.len() as u64);
+    doc.field_u64("certified_optimal", certified as u64);
+    doc.field_f64("total_seconds", total_seconds);
+    doc.field_raw("runs", &format!("[{}]", runs.join(",")));
+    fs::create_dir_all("results").expect("create results/");
+    fs::write("results/BENCH_scg.json", doc.finish() + "\n").expect("write results/BENCH_scg.json");
+    println!(
+        "snapshot: {} instances, {certified} certified optimal, {total_seconds:.2}s total -> results/BENCH_scg.json",
+        runs.len()
+    );
+}

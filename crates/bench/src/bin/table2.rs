@@ -8,7 +8,7 @@
 //! Usage: `cargo run -p ucp-bench --release --bin table2 [--quick]`
 
 use solvers::EspressoMode;
-use ucp_bench::{run_espresso, run_scg, secs, Table};
+use ucp_bench::{finish_log, run_espresso, run_scg, scg_fields, secs, BenchLog, Table};
 use ucp_core::ScgOptions;
 use workloads::suite;
 
@@ -19,8 +19,16 @@ fn main() {
     } else {
         ScgOptions::default()
     };
+    let mut log = BenchLog::create("table2").expect("create results/table2.jsonl");
     let mut t = Table::new([
-        "Name", "Sol", "CC(s)", "T(s)", "Core", "Espr Sol", "Espr T(s)", "Strong Sol",
+        "Name",
+        "Sol",
+        "CC(s)",
+        "T(s)",
+        "Core",
+        "Espr Sol",
+        "Espr T(s)",
+        "Strong Sol",
         "Strong T(s)",
     ]);
     let mut wins = 0usize;
@@ -28,9 +36,19 @@ fn main() {
     let mut losses = 0usize;
     for inst in suite::challenging() {
         let scg = run_scg(&inst.matrix, opts);
-        let (en, tn) = run_espresso(&inst.matrix, EspressoMode::Normal);
-        let (es, ts) = run_espresso(&inst.matrix, EspressoMode::Strong);
+        let (en, tn) = run_espresso(&inst.matrix, EspressoMode::Normal)
+            .unwrap_or_else(|e| panic!("espresso (normal) failed on {}: {e}", inst.name));
+        let (es, ts) = run_espresso(&inst.matrix, EspressoMode::Strong)
+            .unwrap_or_else(|e| panic!("espresso (strong) failed on {}: {e}", inst.name));
         let best_esp = en.min(es);
+        log.row("table2_row", |o| {
+            o.field_str("instance", &inst.name);
+            scg_fields(o, &scg);
+            o.field_f64("espresso_cost", en);
+            o.field_f64("espresso_seconds", tn.as_secs_f64());
+            o.field_f64("espresso_strong_cost", es);
+            o.field_f64("espresso_strong_seconds", ts.as_secs_f64());
+        });
         if scg.cost < best_esp {
             wins += 1;
         } else if scg.cost == best_esp {
@@ -54,4 +72,5 @@ fn main() {
     println!("Table 2 — challenging problems (a * marks a certified optimum)");
     println!("{}", t.render());
     println!("ZDD_SCG vs best espresso-like: {wins} better, {ties} equal, {losses} worse");
+    finish_log(log);
 }

@@ -11,7 +11,7 @@
 //! Usage: `cargo run -p ucp-bench --release --bin table3 [--quick]`
 
 use std::time::Duration;
-use ucp_bench::{run_exact, run_scg, secs, Table};
+use ucp_bench::{finish_log, run_exact, run_scg, scg_fields, secs, BenchLog, Table};
 use ucp_core::ScgOptions;
 use workloads::suite;
 
@@ -28,13 +28,27 @@ fn main() {
         (5_000_000, Duration::from_secs(60))
     };
     let mut t = Table::new([
-        "Name", "SCG Sol(LB)", "SCG T(s)", "MaxIter", "Exact Sol", "Exact T(s)",
+        "Name",
+        "SCG Sol(LB)",
+        "SCG T(s)",
+        "MaxIter",
+        "Exact Sol",
+        "Exact T(s)",
     ]);
+    let mut log = BenchLog::create("table3").expect("create results/table3.jsonl");
     let mut matched = 0usize;
     let mut closed = 0usize;
     for inst in suite::difficult_cyclic() {
         let scg = run_scg(&inst.matrix, opts);
         let exact = run_exact(&inst.matrix, nodes, budget);
+        log.row("table3_row", |o| {
+            o.field_str("instance", &inst.name);
+            scg_fields(o, &scg);
+            o.field_f64("exact_cost", exact.cost);
+            o.field_bool("exact_optimal", exact.optimal);
+            o.field_u64("exact_nodes", exact.nodes);
+            o.field_f64("exact_seconds", exact.elapsed.as_secs_f64());
+        });
         let sol = if scg.proven_optimal {
             format!("{}*", scg.cost)
         } else {
@@ -61,4 +75,5 @@ fn main() {
     println!("Table 3 — difficult cyclic vs exact (`*` proven by SCG's own bound, `H` = exact budget exhausted)");
     println!("{}", t.render());
     println!("SCG matched the exact optimum on {matched}/{closed} closed instances");
+    finish_log(log);
 }

@@ -10,7 +10,7 @@
 //! Usage: `cargo run -p ucp-bench --release --bin table4 [--quick]`
 
 use std::time::Duration;
-use ucp_bench::{run_exact, run_scg, secs, Table};
+use ucp_bench::{finish_log, run_exact, run_scg, scg_fields, secs, BenchLog, Table};
 use ucp_core::ScgOptions;
 use workloads::suite;
 
@@ -27,12 +27,27 @@ fn main() {
         (3_000_000, Duration::from_secs(45))
     };
     let mut t = Table::new([
-        "Name", "SCG Sol(LB)", "SCG T(s)", "MaxIter", "Exact Sol", "Exact T(s)", "Gap",
+        "Name",
+        "SCG Sol(LB)",
+        "SCG T(s)",
+        "MaxIter",
+        "Exact Sol",
+        "Exact T(s)",
+        "Gap",
     ]);
+    let mut log = BenchLog::create("table4").expect("create results/table4.jsonl");
     let mut certified = 0usize;
     for inst in suite::challenging() {
         let scg = run_scg(&inst.matrix, opts);
         let exact = run_exact(&inst.matrix, nodes, budget);
+        log.row("table4_row", |o| {
+            o.field_str("instance", &inst.name);
+            scg_fields(o, &scg);
+            o.field_f64("exact_cost", exact.cost);
+            o.field_bool("exact_optimal", exact.optimal);
+            o.field_u64("exact_nodes", exact.nodes);
+            o.field_f64("exact_seconds", exact.elapsed.as_secs_f64());
+        });
         if scg.proven_optimal {
             certified += 1;
         }
@@ -47,7 +62,10 @@ fn main() {
             format!("{}H", exact.cost)
         };
         let gap = if scg.lower_bound > 0.0 {
-            format!("{:.1}%", 100.0 * (scg.cost - scg.lower_bound) / scg.lower_bound)
+            format!(
+                "{:.1}%",
+                100.0 * (scg.cost - scg.lower_bound) / scg.lower_bound
+            )
         } else {
             "-".to_string()
         };
@@ -64,4 +82,5 @@ fn main() {
     println!("Table 4 — challenging vs exact (`*` proven by SCG's own bound, `H` = exact budget exhausted)");
     println!("{}", t.render());
     println!("instances certified optimal by ZDD_SCG alone: {certified}/16 (paper: 11/16)");
+    finish_log(log);
 }

@@ -17,8 +17,13 @@
 
 use cover::CoverMatrix;
 use solvers::{branch_and_bound, espresso_like, BnbOptions, EspressoMode};
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufWriter};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 use ucp_core::{Scg, ScgOptions, ScgOutcome};
+use ucp_telemetry::{JsonObj, JsonlSink};
 
 /// Formats seconds with two decimals (the tables' `T(s)` style).
 pub fn secs(d: Duration) -> String {
@@ -30,13 +35,33 @@ pub fn run_scg(m: &CoverMatrix, opts: ScgOptions) -> ScgOutcome {
     Scg::new(opts).solve(m)
 }
 
+/// The espresso-like baseline produced no cover (some row is uncoverable).
+#[derive(Clone, Copy, Debug)]
+pub struct EspressoFailed;
+
+impl fmt::Display for EspressoFailed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("espresso-like baseline found no cover (instance infeasible?)")
+    }
+}
+
+impl std::error::Error for EspressoFailed {}
+
 /// Runs the espresso-like baseline; returns `(cost, wall time)`.
-pub fn run_espresso(m: &CoverMatrix, mode: EspressoMode) -> (f64, Duration) {
+///
+/// # Errors
+///
+/// Fails when the baseline cannot build a cover at all. Earlier versions
+/// folded that case into a silent `f64::INFINITY` cost, which made a broken
+/// baseline look like a (spectacularly bad) result in the tables; callers
+/// must now surface it.
+pub fn run_espresso(
+    m: &CoverMatrix,
+    mode: EspressoMode,
+) -> Result<(f64, Duration), EspressoFailed> {
     let t = Instant::now();
-    let cost = espresso_like(m, mode)
-        .map(|s| s.cost(m))
-        .unwrap_or(f64::INFINITY);
-    (cost, t.elapsed())
+    let solution = espresso_like(m, mode).ok_or(EspressoFailed)?;
+    Ok((solution.cost(m), t.elapsed()))
 }
 
 /// Runs the exact branch-and-bound under a budget; returns the result.
@@ -49,6 +74,81 @@ pub fn run_exact(m: &CoverMatrix, node_limit: u64, time_limit: Duration) -> solv
             ..BnbOptions::default()
         },
     )
+}
+
+/// Machine-readable results writer for the table/figure binaries.
+///
+/// Each experiment gets `results/<name>.jsonl` (relative to the working
+/// directory — the workspace root under `cargo run`), one schema-versioned
+/// JSON line per instance, opened with a `bench_header` line naming the
+/// experiment. Write errors are sticky inside the sink and surface from
+/// [`BenchLog::finish`] — a bench run cannot silently produce a truncated
+/// results file.
+pub struct BenchLog {
+    sink: JsonlSink<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl BenchLog {
+    /// Creates (or truncates) `results/<name>.jsonl`.
+    pub fn create(name: &str) -> io::Result<BenchLog> {
+        let dir = Path::new("results");
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.jsonl"));
+        let file = File::create(&path)?;
+        let mut sink = JsonlSink::new(BufWriter::new(file));
+        sink.write_line("bench_header", |o| {
+            o.field_str("bench", name);
+        });
+        Ok(BenchLog { sink, path })
+    }
+
+    /// The file this log writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one result row with the given event kind.
+    pub fn row(&mut self, kind: &str, fill: impl FnOnce(&mut JsonObj)) {
+        self.sink.write_line(kind, fill);
+    }
+
+    /// Flushes and reports where the results landed; propagates the first
+    /// write error if any row was lost.
+    pub fn finish(self) -> io::Result<PathBuf> {
+        self.sink.finish()?;
+        Ok(self.path)
+    }
+}
+
+/// Convenience: finish a log and print where it wrote, aborting the bench
+/// binary with a clear message when the results file could not be written.
+pub fn finish_log(log: BenchLog) {
+    match log.finish() {
+        Ok(path) => eprintln!("results: {}", path.display()),
+        Err(e) => {
+            eprintln!("error: failed to write results file: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Appends the standard `ZDD_SCG` outcome fields to a results row.
+pub fn scg_fields(o: &mut JsonObj, out: &ScgOutcome) {
+    o.field_f64("cost", out.cost);
+    o.field_f64("lower_bound", out.lower_bound);
+    o.field_bool("proven_optimal", out.proven_optimal);
+    o.field_bool("infeasible", out.infeasible);
+    o.field_u64("iterations", out.iterations as u64);
+    o.field_u64("subgradient_iterations", out.subgradient_iterations as u64);
+    o.field_f64("cc_seconds", out.cc_time.as_secs_f64());
+    o.field_f64("total_seconds", out.total_time.as_secs_f64());
+    o.field_u64("core_rows", out.core_rows as u64);
+    o.field_u64("core_cols", out.core_cols as u64);
+    o.field_raw("phase_times", &out.phase_times.to_json());
+    o.field_u64("zdd_cache_hits", out.zdd_stats.cache_hits);
+    o.field_u64("zdd_cache_misses", out.zdd_stats.cache_misses);
+    o.field_u64("zdd_peak_nodes", out.zdd_stats.peak_nodes as u64);
 }
 
 /// A minimal fixed-width table printer.
@@ -127,11 +227,18 @@ mod tests {
         );
         let scg = run_scg(&m, ScgOptions::fast());
         assert_eq!(scg.cost, 3.0);
-        let (e, _) = run_espresso(&m, EspressoMode::Normal);
+        let (e, _) = run_espresso(&m, EspressoMode::Normal).expect("feasible instance");
         assert!(e >= 3.0);
         let exact = run_exact(&m, 10_000, Duration::from_secs(5));
         assert!(exact.optimal);
         assert_eq!(exact.cost, 3.0);
+    }
+
+    #[test]
+    fn espresso_failure_is_surfaced() {
+        // An uncoverable row must be an error, not a silent infinite cost.
+        let m = CoverMatrix::from_rows(1, vec![vec![]]);
+        assert!(run_espresso(&m, EspressoMode::Normal).is_err());
     }
 
     #[test]

@@ -391,12 +391,7 @@ pub fn solve(m: &BinateMatrix, opts: &BinateOptions) -> BinateResult {
         if red.conflict() {
             return;
         }
-        let cost: f64 = base_cost
-            + red
-                .chosen()
-                .iter()
-                .map(|&j| m.costs[j])
-                .sum::<f64>();
+        let cost: f64 = base_cost + red.chosen().iter().map(|&j| m.costs[j]).sum::<f64>();
         if cost >= ctx.best_cost - 1e-9 {
             return;
         }

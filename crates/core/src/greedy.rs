@@ -87,8 +87,7 @@ pub fn lagrangian_greedy(a: &CoverMatrix, c_tilde: &[f64], rule: GammaRule) -> O
                 None => true,
                 Some((bj, bg)) => {
                     gamma < bg - 1e-12
-                        || ((gamma - bg).abs() <= 1e-12
-                            && (a.cost(j), j) < (a.cost(bj), bj))
+                        || ((gamma - bg).abs() <= 1e-12 && (a.cost(j), j) < (a.cost(bj), bj))
                 }
             };
             if better {
@@ -218,10 +217,7 @@ mod tests {
     fn occurrence_rule_prioritises_rare_rows() {
         // Row 1 is covered by a single column (1): rule 4 must pick it first
         // even though column 0 covers more rows.
-        let m = CoverMatrix::from_rows(
-            3,
-            vec![vec![0, 1], vec![1], vec![0, 2], vec![0, 2]],
-        );
+        let m = CoverMatrix::from_rows(3, vec![vec![0, 1], vec![1], vec![0, 2], vec![0, 2]]);
         let sol = lagrangian_greedy(&m, m.costs(), GammaRule::Occurrence).unwrap();
         assert!(sol.contains(1));
         assert!(sol.is_feasible(&m));

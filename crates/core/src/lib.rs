@@ -44,4 +44,7 @@ pub mod scg;
 pub mod subgradient;
 
 pub use scg::{Scg, ScgOptions, ScgOutcome};
-pub use subgradient::{subgradient_ascent, HistoryPoint, SubgradientOptions, SubgradientResult};
+pub use subgradient::{
+    subgradient_ascent, subgradient_ascent_probed, HistoryPoint, SubgradientOptions,
+    SubgradientResult,
+};

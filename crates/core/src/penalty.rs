@@ -76,11 +76,7 @@ pub fn lagrangian_penalties(c_tilde: &[f64], lb: f64, ub: f64) -> PenaltyOutcome
 /// vector; phase 1 repairs it). Cost overrides: `c_j := +∞` proves
 /// `p_j = 1`; `c_j := 0` (value then re-increased by `c_j`) proves
 /// `p_j = 0`.
-pub fn dual_penalties(
-    a: &CoverMatrix,
-    base_m: &[f64],
-    ub: f64,
-) -> PenaltyOutcome {
+pub fn dual_penalties(a: &CoverMatrix, base_m: &[f64], ub: f64) -> PenaltyOutcome {
     let mut out = PenaltyOutcome::default();
     if !ub.is_finite() {
         return out;
@@ -136,9 +132,7 @@ pub fn limit_bound_removals(
         in_mis[i] = true;
     }
     (0..a.num_cols())
-        .filter(|&j| {
-            a.col_rows(j).iter().all(|&i| !in_mis[i]) && lb_mis + a.cost(j) >= ub - EPS
-        })
+        .filter(|&j| a.col_rows(j).iter().all(|&i| !in_mis[i]) && lb_mis + a.cost(j) >= ub - EPS)
         .collect()
 }
 
@@ -202,8 +196,7 @@ mod tests {
         let dual_removed = dual_penalties(&a, &[1.0, 1.0, 0.0], ub);
         for j in lb_removed {
             assert!(
-                dual_removed.fix_out.contains(&j)
-                    || dual_removed.no_improvement_possible,
+                dual_removed.fix_out.contains(&j) || dual_removed.no_improvement_possible,
                 "column {j} removed by limit bound but not by dual penalties"
             );
         }

@@ -11,11 +11,12 @@
 
 use crate::dual::dual_ascent;
 use crate::penalty::{dual_penalties, lagrangian_penalties};
-use crate::subgradient::{subgradient_ascent, SubgradientOptions, SubgradientResult};
-use cover::{cyclic_core, CoreOptions, CoverMatrix, Reducer, Solution};
+use crate::subgradient::{subgradient_ascent_probed, SubgradientOptions, SubgradientResult};
+use cover::{cyclic_core_probed, CoreOptions, CoverMatrix, Reducer, Solution};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::time::{Duration, Instant};
+use ucp_telemetry::{Event, FixReason, NoopProbe, PenaltyKind, Phase, PhaseTimes, Probe};
 
 /// All tunables of the `ZDD_SCG` solver. Field defaults are the paper's
 /// published values where given.
@@ -109,6 +110,14 @@ pub struct ScgOutcome {
     pub core_rows: usize,
     /// See [`ScgOutcome::core_rows`].
     pub core_cols: usize,
+    /// Wall-clock breakdown over the pipeline phases. For sequential solves
+    /// `phase_times.total()` closely tracks `total_time`; partitioned solves
+    /// accumulate the per-block breakdowns.
+    pub phase_times: PhaseTimes,
+    /// ZDD manager counters from the implicit reduction phase (merged
+    /// across blocks in partitioned solves; all zero when the implicit
+    /// phase was disabled).
+    pub zdd_stats: cover::ZddStats,
 }
 
 impl ScgOutcome {
@@ -153,14 +162,28 @@ struct Incumbent {
 }
 
 impl Incumbent {
-    fn offer(&mut self, ae: &CoverMatrix, mut sol: Solution) {
+    /// Offers a candidate cover; returns its (irredundant) cost.
+    fn offer(&mut self, ae: &CoverMatrix, mut sol: Solution) -> f64 {
         sol.make_irredundant(ae);
         let cost = sol.cost(ae);
         if cost < self.cost {
             self.cost = cost;
             self.solution = Some(sol);
         }
+        cost
     }
+}
+
+/// What one constructive run spent and produced.
+struct RunReport {
+    /// Subgradient iterations executed by the run's nested ascents.
+    sub_iters: usize,
+    /// Wall-clock seconds of those ascents (credited to the subgradient
+    /// phase in the breakdown, not to the constructive phase).
+    sub_seconds: f64,
+    /// Best complete cover cost the run produced (`+∞` if it aborted
+    /// without completing one).
+    cost: f64,
 }
 
 impl Scg {
@@ -176,11 +199,38 @@ impl Scg {
 
     /// Solves the unate covering instance `m`.
     pub fn solve(&self, m: &CoverMatrix) -> ScgOutcome {
+        self.solve_with_probe(m, &mut NoopProbe)
+    }
+
+    /// [`Scg::solve`] with a telemetry probe observing the pipeline.
+    ///
+    /// The probe receives [`Event::PhaseBegin`]/[`Event::PhaseEnd`] pairs for
+    /// every phase of Fig. 2 (implicit and explicit reduction, partitioning,
+    /// each subgradient ascent — including the warm-started ones nested in
+    /// constructive runs — the constructive phase, and postprocessing), one
+    /// [`Event::SubgradientIter`] per ascent iteration, and, inside the
+    /// constructive runs, [`Event::RestartBegin`]/[`Event::RestartEnd`],
+    /// [`Event::ColumnFix`] and [`Event::PenaltyElim`] events. Column indices
+    /// in `ColumnFix` events refer to the cyclic core.
+    ///
+    /// With [`NoopProbe`] (what [`Scg::solve`] passes) all instrumentation
+    /// monomorphises away; the phase wall-clock breakdown in
+    /// [`ScgOutcome::phase_times`] is filled in either way.
+    pub fn solve_with_probe<P: Probe>(&self, m: &CoverMatrix, probe: &mut P) -> ScgOutcome {
         let start = Instant::now();
         let integer_costs = m.integer_costs();
+        let mut phases = PhaseTimes::default();
 
         // ---- Reductions to the cyclic core (implicit + explicit). ----
-        let core_res = cyclic_core(m, &self.opts.core);
+        let core_res = cyclic_core_probed(m, &self.opts.core, &mut *probe);
+        phases.add(
+            Phase::ImplicitReduction,
+            core_res.implicit_time.as_secs_f64(),
+        );
+        phases.add(
+            Phase::ExplicitReduction,
+            core_res.explicit_time.as_secs_f64(),
+        );
         if core_res.infeasible {
             return ScgOutcome {
                 solution: Solution::new(),
@@ -194,6 +244,8 @@ impl Scg {
                 total_time: start.elapsed(),
                 core_rows: core_res.core.num_rows(),
                 core_cols: core_res.core.num_cols(),
+                phase_times: phases,
+                zdd_stats: core_res.zdd_stats,
             };
         }
         let fixed_cost: f64 = core_res.fixed_cols.iter().map(|&j| m.cost(j)).sum();
@@ -213,21 +265,43 @@ impl Scg {
                 core_rows: 0,
                 core_cols: 0,
                 solution,
+                phase_times: phases,
+                zdd_stats: core_res.zdd_stats,
             };
         }
 
         // ---- Partitioning (§2): independent blocks solve independently. ----
         if self.opts.partition {
+            probe.record(Event::PhaseBegin {
+                phase: Phase::Partition,
+            });
+            let partition_start = Instant::now();
             let blocks = cover::partition(ae);
+            let partition_time = partition_start.elapsed().as_secs_f64();
+            phases.add(Phase::Partition, partition_time);
+            probe.record(Event::PhaseEnd {
+                phase: Phase::Partition,
+                seconds: partition_time,
+            });
             if blocks.len() > 1 {
-                return self.solve_blocks(m, &core_res, blocks, start);
+                return self.solve_blocks(m, &core_res, blocks, start, phases, probe);
             }
         }
 
         // ---- Initial subgradient phase on the exact cyclic core. ----
         let mut sub_opts = self.opts.subgradient;
         sub_opts.occurrence_heuristic = true;
-        let sub0 = subgradient_ascent(ae, &sub_opts, None, None);
+        probe.record(Event::PhaseBegin {
+            phase: Phase::Subgradient,
+        });
+        let sub_start = Instant::now();
+        let sub0 = subgradient_ascent_probed(ae, &sub_opts, None, None, &mut *probe);
+        let sub_time = sub_start.elapsed().as_secs_f64();
+        phases.add(Phase::Subgradient, sub_time);
+        probe.record(Event::PhaseEnd {
+            phase: Phase::Subgradient,
+            seconds: sub_time,
+        });
         let mut sub_iters = sub0.iterations;
 
         let mut incumbent = Incumbent {
@@ -238,12 +312,21 @@ impl Scg {
             incumbent.offer(ae, sol);
         }
 
-        let core_lb = if integer_costs { sub0.lb_ceil() } else { sub0.lb };
+        let core_lb = if integer_costs {
+            sub0.lb_ceil()
+        } else {
+            sub0.lb
+        };
         let global_lb = fixed_cost + core_lb.max(0.0);
 
         let mut iterations = 0usize;
         if !(integer_costs && incumbent.cost <= core_lb + 1e-9) {
             // ---- NumIter constructive runs. ----
+            probe.record(Event::PhaseBegin {
+                phase: Phase::Constructive,
+            });
+            let constructive_start = Instant::now();
+            let mut nested_sub_time = 0.0f64;
             let mut rng = StdRng::seed_from_u64(self.opts.seed);
             for iter in 1..=self.opts.num_iter {
                 if self
@@ -259,19 +342,50 @@ impl Scg {
                 } else {
                     (1 + (iter - 1) * self.opts.best_col_growth).min(16)
                 };
-                sub_iters += self.constructive_run(ae, &sub0, best_col, &mut rng, &mut incumbent);
+                probe.record(Event::RestartBegin { run: iter });
+                let run =
+                    self.constructive_run(ae, &sub0, best_col, &mut rng, &mut incumbent, probe);
+                sub_iters += run.sub_iters;
+                nested_sub_time += run.sub_seconds;
+                if probe.enabled() {
+                    probe.record(Event::RestartEnd {
+                        run: iter,
+                        cost: run.cost,
+                        best_cost: incumbent.cost,
+                    });
+                }
                 if integer_costs && incumbent.cost <= core_lb + 1e-9 {
                     break;
                 }
             }
+            // Nested ascents report under Subgradient; the constructive
+            // phase keeps only the time spent outside them.
+            let constructive_time =
+                (constructive_start.elapsed().as_secs_f64() - nested_sub_time).max(0.0);
+            phases.add(Phase::Constructive, constructive_time);
+            phases.add(Phase::Subgradient, nested_sub_time);
+            probe.record(Event::PhaseEnd {
+                phase: Phase::Constructive,
+                seconds: constructive_time,
+            });
         }
 
+        probe.record(Event::PhaseBegin {
+            phase: Phase::Postprocess,
+        });
+        let post_start = Instant::now();
         let solution = match incumbent.solution {
             Some(core_sol) => core_sol.lift(&core_res.col_map, &core_res.fixed_cols),
             None => Solution::from_cols(core_res.fixed_cols.clone()),
         };
         let cost = solution.cost(m);
         let proven_optimal = integer_costs && cost <= global_lb + 1e-9;
+        let post_time = post_start.elapsed().as_secs_f64();
+        phases.add(Phase::Postprocess, post_time);
+        probe.record(Event::PhaseEnd {
+            phase: Phase::Postprocess,
+            seconds: post_time,
+        });
         ScgOutcome {
             solution,
             cost,
@@ -284,16 +398,20 @@ impl Scg {
             total_time: start.elapsed(),
             core_rows: ae.num_rows(),
             core_cols: ae.num_cols(),
+            phase_times: phases,
+            zdd_stats: core_res.zdd_stats,
         }
     }
 
     /// Solves a partitioned cyclic core block by block and recombines.
-    fn solve_blocks(
+    fn solve_blocks<P: Probe>(
         &self,
         m: &CoverMatrix,
         core_res: &cover::CoreResult,
         blocks: Vec<cover::Block>,
         start: Instant,
+        mut phases: PhaseTimes,
+        probe: &mut P,
     ) -> ScgOutcome {
         let fixed_cost: f64 = core_res.fixed_cols.iter().map(|&j| m.cost(j)).sum();
         let mut solution = Solution::from_cols(core_res.fixed_cols.clone());
@@ -304,8 +422,11 @@ impl Scg {
             partition: false, // blocks are connected by construction
             ..self.opts
         };
+        let mut zdd_stats = core_res.zdd_stats;
         for block in blocks {
-            let sub = Scg::new(sub_opts).solve(&block.matrix);
+            let sub = Scg::new(sub_opts).solve_with_probe(&block.matrix, &mut *probe);
+            phases.merge(&sub.phase_times);
+            zdd_stats.merge(&sub.zdd_stats);
             sub_iters += sub.subgradient_iterations;
             iterations = iterations.max(sub.iterations);
             if sub.infeasible {
@@ -321,6 +442,8 @@ impl Scg {
                     total_time: start.elapsed(),
                     core_rows: core_res.core.num_rows(),
                     core_cols: core_res.core.num_cols(),
+                    phase_times: phases,
+                    zdd_stats,
                 };
             }
             lower_bound += sub.lower_bound;
@@ -345,19 +468,23 @@ impl Scg {
             total_time: start.elapsed(),
             core_rows: core_res.core.num_rows(),
             core_cols: core_res.core.num_cols(),
+            phase_times: phases,
+            zdd_stats,
         }
     }
 
     /// One constructive run over the saved cyclic core `ae`. Updates the
-    /// incumbent; returns the subgradient iterations spent.
-    fn constructive_run(
+    /// incumbent; reports the subgradient effort spent and the best cover
+    /// cost this run produced.
+    fn constructive_run<P: Probe>(
         &self,
         ae: &CoverMatrix,
         sub0: &SubgradientResult,
         best_col: usize,
         rng: &mut StdRng,
         incumbent: &mut Incumbent,
-    ) -> usize {
+        probe: &mut P,
+    ) -> RunReport {
         let mut cur = ae.clone();
         // cur column j corresponds to core column cur_to_core[j].
         let mut cur_to_core: Vec<usize> = (0..ae.num_cols()).collect();
@@ -365,7 +492,11 @@ impl Scg {
         let mut chosen_cost = 0.0f64;
         let mut lambda = sub0.lambda.clone();
         let mut sub: SubgradientResult = sub0.clone();
-        let mut spent = 0usize;
+        let mut report = RunReport {
+            sub_iters: 0,
+            sub_seconds: 0.0,
+            cost: f64::INFINITY,
+        };
         let max_rounds = ae.num_cols() + 2;
 
         for _round in 0..max_rounds {
@@ -373,7 +504,7 @@ impl Scg {
             // This branch cannot beat the incumbent: stop (the pseudocode's
             // `z_best ≤ ⌈LB⌉` exit).
             if sub.lb >= local_ub - 1e-9 {
-                return spent;
+                return report;
             }
 
             // §3.7 promising columns + §3.6 penalties.
@@ -383,14 +514,45 @@ impl Scg {
                         && sub.mu[j] >= self.opts.fix_mu_threshold
                 })
                 .collect();
+            // Columns whose fixes were already announced to the probe, in
+            // `cur` indices; red.fixed() minus these are Essential events.
+            let mut announced = if probe.enabled() {
+                for &j in &take {
+                    probe.record(Event::ColumnFix {
+                        col: cur_to_core[j],
+                        sigma: sub.c_tilde[j],
+                        mu: sub.mu[j],
+                        reason: FixReason::Promising,
+                    });
+                }
+                let mut seen = vec![false; cur.num_cols()];
+                for &j in &take {
+                    seen[j] = true;
+                }
+                seen
+            } else {
+                Vec::new()
+            };
             let pen = lagrangian_penalties(&sub.c_tilde, sub.lb, local_ub);
             take.extend(pen.fix_in.iter().copied());
             let mut exclude = pen.fix_out;
+            if probe.enabled() && !exclude.is_empty() {
+                probe.record(Event::PenaltyElim {
+                    kind: PenaltyKind::Lagrangian,
+                    removed: exclude.len(),
+                });
+            }
             if cur.num_cols() <= self.opts.dual_pen_limit {
                 let base = dual_ascent(&cur, cur.costs(), Some(&sub.lambda)).m;
                 let dpen = dual_penalties(&cur, &base, local_ub);
                 if dpen.no_improvement_possible {
-                    return spent;
+                    return report;
+                }
+                if probe.enabled() && !dpen.fix_out.is_empty() {
+                    probe.record(Event::PenaltyElim {
+                        kind: PenaltyKind::Dual,
+                        removed: dpen.fix_out.len(),
+                    });
                 }
                 take.extend(dpen.fix_in);
                 exclude.extend(dpen.fix_out);
@@ -402,7 +564,7 @@ impl Scg {
             // A column proven both ways means no improvement below the
             // incumbent exists on this branch.
             if take.iter().any(|j| exclude.binary_search(j).is_ok()) {
-                return spent;
+                return report;
             }
 
             // The mandatory σ-rated pick (guarantees progress).
@@ -412,15 +574,22 @@ impl Scg {
                 .collect();
             rated.sort_by(|a, b| a.partial_cmp(b).expect("σ ratings are finite"));
             if take.is_empty() && rated.is_empty() {
-                return spent; // everything excluded: dead branch
+                return report; // everything excluded: dead branch
             }
-            if let Some(&(_, pick)) = rated
-                .get(if best_col <= 1 || rated.len() <= 1 {
-                    0
-                } else {
-                    rng.random_range(0..best_col.min(rated.len()))
-                })
-            {
+            if let Some(&(sigma, pick)) = rated.get(if best_col <= 1 || rated.len() <= 1 {
+                0
+            } else {
+                rng.random_range(0..best_col.min(rated.len()))
+            }) {
+                if probe.enabled() {
+                    probe.record(Event::ColumnFix {
+                        col: cur_to_core[pick],
+                        sigma,
+                        mu: sub.mu[pick],
+                        reason: FixReason::RatedPick,
+                    });
+                    announced[pick] = true;
+                }
                 take.push(pick);
             }
 
@@ -428,9 +597,17 @@ impl Scg {
             let mut red = Reducer::with_state(&cur, &take, &exclude);
             red.reduce_to_fixpoint();
             if red.infeasible() {
-                return spent; // exclusions killed the branch: incumbent stands
+                return report; // exclusions killed the branch: incumbent stands
             }
             for &j in red.fixed() {
+                if probe.enabled() && !announced[j] {
+                    probe.record(Event::ColumnFix {
+                        col: cur_to_core[j],
+                        sigma: sub.c_tilde[j],
+                        mu: sub.mu[j],
+                        reason: FixReason::Essential,
+                    });
+                }
                 chosen.push(cur_to_core[j]);
                 chosen_cost += cur.cost(j);
             }
@@ -440,23 +617,38 @@ impl Scg {
             cur = next;
 
             if cur.num_rows() == 0 {
-                incumbent.offer(ae, Solution::from_cols(chosen));
-                return spent;
+                let offered = incumbent.offer(ae, Solution::from_cols(chosen));
+                report.cost = report.cost.min(offered);
+                return report;
             }
 
-            // Subgradient on the reduced matrix, warm-started.
+            // Subgradient on the reduced matrix, warm-started. The ascent
+            // reports its own begin/end pair so traces show nested phases;
+            // its seconds are credited to Subgradient, not Constructive.
             let mut sopts = self.opts.subgradient;
             sopts.occurrence_heuristic = false;
-            sub = subgradient_ascent(&cur, &sopts, Some(&lambda), Some(local_ub));
-            spent += sub.iterations;
+            probe.record(Event::PhaseBegin {
+                phase: Phase::Subgradient,
+            });
+            let ascent_start = Instant::now();
+            sub =
+                subgradient_ascent_probed(&cur, &sopts, Some(&lambda), Some(local_ub), &mut *probe);
+            let ascent_seconds = ascent_start.elapsed().as_secs_f64();
+            report.sub_seconds += ascent_seconds;
+            probe.record(Event::PhaseEnd {
+                phase: Phase::Subgradient,
+                seconds: ascent_seconds,
+            });
+            report.sub_iters += sub.iterations;
             lambda = sub.lambda.clone();
             if let Some(part) = &sub.best_solution {
                 let mut full = Solution::from_cols(chosen.clone());
                 full.extend(part.cols().iter().map(|&j| cur_to_core[j]));
-                incumbent.offer(ae, full);
+                let offered = incumbent.offer(ae, full);
+                report.cost = report.cost.min(offered);
             }
         }
-        spent
+        report
     }
 }
 
@@ -534,11 +726,7 @@ mod tests {
     #[test]
     fn non_uniform_costs_respected() {
         // Two disjoint rows with a cheap and an expensive option each.
-        let m = CoverMatrix::with_costs(
-            4,
-            vec![vec![0, 1], vec![2, 3]],
-            vec![1.0, 9.0, 9.0, 1.0],
-        );
+        let m = CoverMatrix::with_costs(4, vec![vec![0, 1], vec![2, 3]], vec![1.0, 9.0, 9.0, 1.0]);
         let out = Scg::with_defaults().solve(&m);
         assert_eq!(out.cost, 2.0);
         assert_eq!(out.solution.cols(), &[0, 3]);
@@ -644,7 +832,10 @@ impl Scg {
                     scope.spawn(move || Scg::new(opts).solve(m))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         let best_lb = outcomes
             .iter()

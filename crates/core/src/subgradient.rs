@@ -6,6 +6,7 @@ use crate::dual::{dual_ascent, eval_dual_lagrangian, step_mu};
 use crate::greedy::{best_greedy, lagrangian_greedy, GammaRule};
 use crate::relax::{eval_primal, step_lambda};
 use cover::{CoverMatrix, Solution};
+use ucp_telemetry::{Event, NoopProbe, Probe};
 
 /// Tunables of one subgradient phase. Defaults follow the paper where it
 /// gives values and common Held–Karp practice where it does not.
@@ -127,6 +128,20 @@ pub fn subgradient_ascent(
     lambda0: Option<&[f64]>,
     ub_hint: Option<f64>,
 ) -> SubgradientResult {
+    subgradient_ascent_probed(a, opts, lambda0, ub_hint, &mut NoopProbe)
+}
+
+/// [`subgradient_ascent`] with a telemetry probe receiving one
+/// [`Event::SubgradientIter`] per iteration (current `z_λ`, monotone LB,
+/// best UB, step size `t` and the violation norm `‖s‖²`). With
+/// [`NoopProbe`] this monomorphises to exactly the uninstrumented loop.
+pub fn subgradient_ascent_probed<P: Probe>(
+    a: &CoverMatrix,
+    opts: &SubgradientOptions,
+    lambda0: Option<&[f64]>,
+    ub_hint: Option<f64>,
+    probe: &mut P,
+) -> SubgradientResult {
     let integer_costs = a.integer_costs();
 
     // λ0: warm start or dual ascent (§3.3).
@@ -219,6 +234,16 @@ pub fn subgradient_ascent(
                 t,
             });
         }
+        if probe.enabled() {
+            probe.record(Event::SubgradientIter {
+                iter: k,
+                z_lambda: p_eval.value,
+                lb,
+                ub,
+                step: t,
+                violation_norm2: p_eval.subgradient_norm2,
+            });
+        }
 
         // Optimality certificate for integer costs.
         if integer_costs && lb.is_finite() && best_cost <= (lb - 1e-6).ceil() + 1e-9 {
@@ -237,7 +262,11 @@ pub fn subgradient_ascent(
             break;
         }
 
-        let ub_for_step = if ub.is_finite() { ub } else { p_eval.value + 1.0 };
+        let ub_for_step = if ub.is_finite() {
+            ub
+        } else {
+            p_eval.value + 1.0
+        };
         lambda = step_lambda(lambda, &p_eval, t, ub_for_step);
         let lb_for_step = if lb.is_finite() { lb } else { 0.0 };
         mu = step_mu(mu, &d_eval, t, lb_for_step);
@@ -302,12 +331,7 @@ mod tests {
     #[test]
     fn warm_start_with_good_lambda_converges_fast() {
         let m = cycle(5);
-        let r = subgradient_ascent(
-            &m,
-            &SubgradientOptions::default(),
-            Some(&[0.5; 5]),
-            None,
-        );
+        let r = subgradient_ascent(&m, &SubgradientOptions::default(), Some(&[0.5; 5]), None);
         assert!((r.lb - 2.5).abs() < 1e-9);
         assert!(r.iterations <= 5, "took {} iterations", r.iterations);
     }
@@ -327,11 +351,7 @@ mod tests {
     #[test]
     fn non_uniform_costs() {
         // Two rows, the shared column cheap: optimum = 1 column of cost 2.
-        let m = CoverMatrix::with_costs(
-            3,
-            vec![vec![0, 2], vec![1, 2]],
-            vec![2.0, 2.0, 2.0],
-        );
+        let m = CoverMatrix::with_costs(3, vec![vec![0, 2], vec![1, 2]], vec![2.0, 2.0, 2.0]);
         let r = subgradient_ascent(&m, &SubgradientOptions::default(), None, None);
         assert_eq!(r.best_cost, 2.0);
         assert!(r.proven_optimal);

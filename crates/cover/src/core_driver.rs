@@ -9,6 +9,7 @@ use crate::implicit::ImplicitMatrix;
 use crate::matrix::CoverMatrix;
 use crate::reduce::Reducer;
 use std::time::{Duration, Instant};
+use ucp_telemetry::{Event, NoopProbe, Phase, Probe};
 
 /// Tunables for the cyclic-core computation.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +49,13 @@ pub struct CoreResult {
     /// Wall-clock time of the whole core computation (the `CC(s)` column of
     /// the paper's tables).
     pub cc_time: Duration,
+    /// Portion of `cc_time` spent in the implicit (ZDD) phase.
+    pub implicit_time: Duration,
+    /// Portion of `cc_time` spent in the explicit reduction phase.
+    pub explicit_time: Duration,
+    /// Counters of the ZDD manager used by the implicit phase (all zero
+    /// when the implicit phase was skipped).
+    pub zdd_stats: zdd::ZddStats,
     /// `true` if some row cannot be covered at all.
     pub infeasible: bool,
 }
@@ -75,6 +83,16 @@ impl CoreResult {
 /// assert!(core.fixed_cols.is_empty());
 /// ```
 pub fn cyclic_core(m: &CoverMatrix, opts: &CoreOptions) -> CoreResult {
+    cyclic_core_probed(m, opts, &mut NoopProbe)
+}
+
+/// [`cyclic_core`] with a telemetry probe observing the two reduction
+/// phases (begin/end events and wall-clock split).
+pub fn cyclic_core_probed<P: Probe>(
+    m: &CoverMatrix,
+    opts: &CoreOptions,
+    probe: &mut P,
+) -> CoreResult {
     let start = Instant::now();
     if !m.is_coverable() {
         return CoreResult {
@@ -83,26 +101,40 @@ pub fn cyclic_core(m: &CoverMatrix, opts: &CoreOptions) -> CoreResult {
             row_map: (0..m.num_rows()).collect(),
             col_map: (0..m.num_cols()).collect(),
             cc_time: start.elapsed(),
+            implicit_time: Duration::ZERO,
+            explicit_time: Duration::ZERO,
+            zdd_stats: zdd::ZddStats::default(),
             infeasible: true,
         };
     }
 
     // Phase 1: implicit reductions on the ZDD row family.
+    probe.record(Event::PhaseBegin {
+        phase: Phase::ImplicitReduction,
+    });
+    let implicit_start = Instant::now();
+    let mut zdd_stats = zdd::ZddStats::default();
     let (explicit, implicit_fixed, col_map_a): (CoverMatrix, Vec<usize>, Vec<usize>) =
         if opts.use_implicit {
             let mut im = ImplicitMatrix::encode(m);
             let fixed = im.reduce_until_small(opts.max_rows, opts.max_cols);
             let (dec, col_map) = im.decode();
+            zdd_stats = im.zdd_stats();
             (dec, fixed, col_map)
         } else {
-            (
-                m.clone(),
-                Vec::new(),
-                (0..m.num_cols()).collect(),
-            )
+            (m.clone(), Vec::new(), (0..m.num_cols()).collect())
         };
+    let implicit_time = implicit_start.elapsed();
+    probe.record(Event::PhaseEnd {
+        phase: Phase::ImplicitReduction,
+        seconds: implicit_time.as_secs_f64(),
+    });
 
     // Phase 2: explicit reductions to the fixpoint.
+    probe.record(Event::PhaseBegin {
+        phase: Phase::ExplicitReduction,
+    });
+    let explicit_start = Instant::now();
     let mut red = Reducer::new(&explicit);
     red.reduce_to_fixpoint();
     let infeasible = red.infeasible();
@@ -118,6 +150,11 @@ pub fn cyclic_core(m: &CoverMatrix, opts: &CoreOptions) -> CoreResult {
     // Row provenance: the implicit phase permutes/merges rows, so core rows
     // are matched back to original rows by content when possible.
     let row_map = match_rows(m, &core, &col_map, &row_map_b);
+    let explicit_time = explicit_start.elapsed();
+    probe.record(Event::PhaseEnd {
+        phase: Phase::ExplicitReduction,
+        seconds: explicit_time.as_secs_f64(),
+    });
 
     CoreResult {
         core,
@@ -125,6 +162,9 @@ pub fn cyclic_core(m: &CoverMatrix, opts: &CoreOptions) -> CoreResult {
         row_map,
         col_map,
         cc_time: start.elapsed(),
+        implicit_time,
+        explicit_time,
+        zdd_stats,
         infeasible,
     }
 }
@@ -223,7 +263,9 @@ mod tests {
         );
         let res = cyclic_core(&m, &CoreOptions::default());
         for (core_i, &orig_i) in res.row_map.iter().enumerate() {
-            let orig_cols: Vec<usize> = res.core.row(core_i)
+            let orig_cols: Vec<usize> = res
+                .core
+                .row(core_i)
                 .iter()
                 .map(|&j| res.col_map[j])
                 .collect();

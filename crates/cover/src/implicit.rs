@@ -67,9 +67,20 @@ impl ImplicitMatrix {
         self.zdd.node_count(self.rows)
     }
 
+    /// Counters of the underlying ZDD manager (unique-table and memo-cache
+    /// hit/miss, node high-water mark, GC activity) accumulated over all
+    /// implicit operations on this matrix.
+    pub fn zdd_stats(&self) -> zdd::ZddStats {
+        self.zdd.stats()
+    }
+
     /// Columns still occurring in some row.
     pub fn live_cols(&self) -> Vec<usize> {
-        self.zdd.support(self.rows).into_iter().map(|v| v.index()).collect()
+        self.zdd
+            .support(self.rows)
+            .into_iter()
+            .map(|v| v.index())
+            .collect()
     }
 
     /// One implicit row-dominance pass ([`Zdd::minimal`]). Returns `true`

@@ -30,15 +30,16 @@
 //! ```
 
 mod core_driver;
-mod io;
 mod implicit;
+mod io;
 mod matrix;
 mod partition;
 mod reduce;
 
-pub use core_driver::{cyclic_core, CoreOptions, CoreResult};
-pub use io::ParseMatrixError;
+pub use core_driver::{cyclic_core, cyclic_core_probed, CoreOptions, CoreResult};
 pub use implicit::ImplicitMatrix;
+pub use io::ParseMatrixError;
 pub use matrix::{CoverMatrix, Solution};
 pub use partition::{is_partitionable, partition, partition_count, Block};
-pub use reduce::{ReductionStats, Reducer};
+pub use reduce::{Reducer, ReductionStats};
+pub use zdd::ZddStats;

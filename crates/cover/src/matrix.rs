@@ -313,10 +313,7 @@ mod tests {
     use super::*;
 
     fn sample() -> CoverMatrix {
-        CoverMatrix::from_rows(
-            4,
-            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]],
-        )
+        CoverMatrix::from_rows(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]])
     }
 
     #[test]

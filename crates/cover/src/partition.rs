@@ -175,10 +175,7 @@ mod tests {
 
     #[test]
     fn block_solutions_lift_to_global() {
-        let m = CoverMatrix::from_rows(
-            4,
-            vec![vec![0, 1], vec![1], vec![2, 3], vec![3]],
-        );
+        let m = CoverMatrix::from_rows(4, vec![vec![0, 1], vec![1], vec![2, 3], vec![3]]);
         let blocks = partition(&m);
         let mut global = Solution::new();
         for b in &blocks {
@@ -205,11 +202,7 @@ mod tests {
 
     #[test]
     fn costs_carried_into_blocks() {
-        let m = CoverMatrix::with_costs(
-            3,
-            vec![vec![0], vec![1, 2]],
-            vec![5.0, 2.0, 3.0],
-        );
+        let m = CoverMatrix::with_costs(3, vec![vec![0], vec![1, 2]], vec![5.0, 2.0, 3.0]);
         let blocks = partition(&m);
         assert_eq!(blocks.len(), 2);
         let b0 = blocks.iter().find(|b| b.row_map == vec![0]).unwrap();

@@ -284,8 +284,7 @@ impl<'a> Reducer<'a> {
                 if self.m.cost(j) > self.m.cost(k) {
                     continue;
                 }
-                if self.col_deg[j] == self.col_deg[k] && self.m.cost(j) == self.m.cost(k) && j > k
-                {
+                if self.col_deg[j] == self.col_deg[k] && self.m.cost(j) == self.m.cost(k) && j > k {
                     // Possibly identical columns: deterministic tie-break,
                     // keep the smaller index.
                     continue;
@@ -306,7 +305,8 @@ impl<'a> Reducer<'a> {
     pub fn reduce_to_fixpoint(&mut self) -> ReductionStats {
         loop {
             self.stats.passes += 1;
-            let changed = self.essential_pass() + self.row_dominance_pass() + self.col_dominance_pass();
+            let changed =
+                self.essential_pass() + self.row_dominance_pass() + self.col_dominance_pass();
             if changed == 0 {
                 break;
             }

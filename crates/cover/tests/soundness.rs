@@ -15,7 +15,10 @@ fn brute_force(m: &CoverMatrix) -> Option<f64> {
                 continue 'mask;
             }
         }
-        let cost: f64 = (0..n).filter(|&j| mask >> j & 1 == 1).map(|j| m.cost(j)).sum();
+        let cost: f64 = (0..n)
+            .filter(|&j| mask >> j & 1 == 1)
+            .map(|j| m.cost(j))
+            .sum();
         best = Some(match best {
             Some(b) if b <= cost => b,
             _ => cost,

@@ -49,7 +49,10 @@ impl fmt::Display for BuildCoveringError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildCoveringError::TooManyInputs(n) => {
-                write!(f, "explicit minterm rows need ≤ {MAX_EXPANSION_INPUTS} inputs, got {n}")
+                write!(
+                    f,
+                    "explicit minterm rows need ≤ {MAX_EXPANSION_INPUTS} inputs, got {n}"
+                )
             }
         }
     }
@@ -155,24 +158,24 @@ pub fn build_covering(pla: &Pla) -> Result<UcpInstance, BuildCoveringError> {
 /// # Errors
 ///
 /// See [`build_covering`].
-pub fn build_covering_with(
-    pla: &Pla,
-    cost: TermCost,
-) -> Result<UcpInstance, BuildCoveringError> {
+pub fn build_covering_with(pla: &Pla, cost: TermCost) -> Result<UcpInstance, BuildCoveringError> {
     let n = pla.num_inputs();
     if n > MAX_EXPANSION_INPUTS {
         return Err(BuildCoveringError::TooManyInputs(n));
     }
     let mut mgr = Bdd::new();
     let funcs = pla.output_functions(&mut mgr);
-    let uppers: Vec<BddId> = funcs.iter().map(|f| {
-        let mut m = f.on;
-        m = {
-            let dc = f.dc;
-            mgr.or(m, dc)
-        };
-        m
-    }).collect();
+    let uppers: Vec<BddId> = funcs
+        .iter()
+        .map(|f| {
+            let mut m = f.on;
+            m = {
+                let dc = f.dc;
+                mgr.or(m, dc)
+            };
+            m
+        })
+        .collect();
 
     // Per-output primes with their maximal output sets.
     let mut col_mask: HashMap<Cube, u64> = HashMap::new();
@@ -196,8 +199,7 @@ pub fn build_covering_with(
             if col_mask.len() >= MAX_COLUMNS {
                 break;
             }
-            let snapshot: Vec<(Cube, u64)> =
-                col_mask.iter().map(|(c, m)| (*c, *m)).collect();
+            let snapshot: Vec<(Cube, u64)> = col_mask.iter().map(|(c, m)| (*c, *m)).collect();
             let mask_a = col_mask[&a];
             for (b, mask_b) in snapshot {
                 if mask_a & !mask_b == 0 && mask_b & !mask_a == 0 {
@@ -208,9 +210,7 @@ pub fn build_covering_with(
                         continue;
                     }
                     let mask_c = output_set(&mut mgr, &uppers, &c, n);
-                    if mask_c & !(mask_a | mask_b) != 0
-                        || (mask_c != mask_a && mask_c != mask_b)
-                    {
+                    if mask_c & !(mask_a | mask_b) != 0 || (mask_c != mask_a && mask_c != mask_b) {
                         col_mask.insert(c, mask_c);
                         worklist.push(c);
                     }
@@ -227,14 +227,10 @@ pub fn build_covering_with(
     columns.sort();
     // Drop columns that cover no ON-minterm of any output they serve
     // (pure-DC primes).
-    let on_minterms: Vec<Vec<u64>> = funcs
-        .iter()
-        .map(|f| mgr.minterms(f.on, n as u32))
-        .collect();
+    let on_minterms: Vec<Vec<u64>> = funcs.iter().map(|f| mgr.minterms(f.on, n as u32)).collect();
     columns.retain(|(cube, mask)| {
-        (0..pla.num_outputs()).any(|o| {
-            mask >> o & 1 == 1 && on_minterms[o].iter().any(|&m| cube.eval(m))
-        })
+        (0..pla.num_outputs())
+            .any(|o| mask >> o & 1 == 1 && on_minterms[o].iter().any(|&m| cube.eval(m)))
     });
 
     // Rows and the sparse matrix.
@@ -370,7 +366,11 @@ mod tests {
             .columns
             .iter()
             .any(|&(c, mask)| mask == 0b11 && c == "111".parse().unwrap());
-        assert!(shared, "closure should add the shared term: {:?}", inst.columns);
+        assert!(
+            shared,
+            "closure should add the shared term: {:?}",
+            inst.columns
+        );
     }
 
     #[test]

@@ -220,7 +220,11 @@ pub struct ParseCubeError {
 
 impl fmt::Display for ParseCubeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid cube character {:?} at index {}", self.ch, self.index)
+        write!(
+            f,
+            "invalid cube character {:?} at index {}",
+            self.ch, self.index
+        )
     }
 }
 

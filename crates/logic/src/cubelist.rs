@@ -144,7 +144,10 @@ impl CubeList {
     ///
     /// Panics if `num_inputs > 24` (explicit expansion guard).
     pub fn minterms(&self) -> Vec<u64> {
-        assert!(self.num_inputs <= 24, "explicit minterm expansion too large");
+        assert!(
+            self.num_inputs <= 24,
+            "explicit minterm expansion too large"
+        );
         (0..1u64 << self.num_inputs)
             .filter(|&a| self.eval(a))
             .collect()
@@ -240,7 +243,9 @@ mod tests {
     fn tautology_cases() {
         assert!(CubeList::parse(1, &["-"]).unwrap().is_tautology());
         assert!(CubeList::parse(2, &["1-", "0-"]).unwrap().is_tautology());
-        assert!(CubeList::parse(2, &["11", "10", "0-"]).unwrap().is_tautology());
+        assert!(CubeList::parse(2, &["11", "10", "0-"])
+            .unwrap()
+            .is_tautology());
         assert!(!CubeList::parse(2, &["11", "00"]).unwrap().is_tautology());
         assert!(!CubeList::new(2).is_tautology());
     }

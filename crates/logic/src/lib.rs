@@ -36,13 +36,13 @@
 //! ```
 
 pub mod covering;
-pub mod espresso;
 pub mod cube;
 pub mod cubelist;
+pub mod espresso;
 pub mod pla;
 pub mod primes;
 
 pub use covering::{build_covering, build_covering_with, TermCost, UcpInstance};
 pub use cube::Cube;
 pub use cubelist::CubeList;
-pub use pla::{Pla, PlaType, ParsePlaError};
+pub use pla::{ParsePlaError, Pla, PlaType};

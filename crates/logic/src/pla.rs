@@ -174,7 +174,10 @@ impl Pla {
     /// Serialises back to `.pla` text.
     pub fn to_pla_string(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(".i {}\n.o {}\n", self.num_inputs, self.num_outputs));
+        out.push_str(&format!(
+            ".i {}\n.o {}\n",
+            self.num_inputs, self.num_outputs
+        ));
         if let Some(labels) = &self.input_labels {
             out.push_str(&format!(".ilb {}\n", labels.join(" ")));
         }
@@ -278,9 +281,7 @@ impl FromStr for Pla {
                             Some("fr") => PlaType::Fr,
                             Some("f") => PlaType::F,
                             other => {
-                                return Err(ParsePlaError::BadDirective(format!(
-                                    ".type {other:?}"
-                                )))
+                                return Err(ParsePlaError::BadDirective(format!(".type {other:?}")))
                             }
                         };
                     }
@@ -415,7 +416,10 @@ mod tests {
 
     #[test]
     fn errors_are_informative() {
-        assert_eq!("11 1".parse::<Pla>().unwrap_err(), ParsePlaError::MissingHeader);
+        assert_eq!(
+            "11 1".parse::<Pla>().unwrap_err(),
+            ParsePlaError::MissingHeader
+        );
         let bad = ".i 2\n.o 1\n111 1\n.e\n";
         assert!(matches!(
             bad.parse::<Pla>().unwrap_err(),
@@ -445,7 +449,10 @@ mod tests {
     fn labels_roundtrip() {
         let src = ".i 2\n.o 1\n.ilb a b\n.ob f\n11 1\n.e\n";
         let pla: Pla = src.parse().unwrap();
-        assert_eq!(pla.input_labels(), Some(&["a".to_string(), "b".to_string()][..]));
+        assert_eq!(
+            pla.input_labels(),
+            Some(&["a".to_string(), "b".to_string()][..])
+        );
         assert_eq!(pla.output_labels(), Some(&["f".to_string()][..]));
         let again: Pla = pla.to_pla_string().parse().unwrap();
         assert_eq!(pla, again);

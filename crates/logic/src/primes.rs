@@ -58,12 +58,7 @@ pub fn prime_implicants(mgr: &mut Bdd, zdd: &mut Zdd, f: BddId) -> NodeId {
     primes_rec(mgr, zdd, f, &mut memo)
 }
 
-fn primes_rec(
-    mgr: &mut Bdd,
-    zdd: &mut Zdd,
-    f: BddId,
-    memo: &mut HashMap<BddId, NodeId>,
-) -> NodeId {
+fn primes_rec(mgr: &mut Bdd, zdd: &mut Zdd, f: BddId, memo: &mut HashMap<BddId, NodeId>) -> NodeId {
     if f.is_false() {
         return NodeId::EMPTY;
     }
@@ -188,7 +183,14 @@ mod tests {
     fn all_primes_brute(f: &dyn Fn(u64) -> bool, n: usize) -> Vec<Cube> {
         let mut out = Vec::new();
         // Enumerate all 3^n cubes.
-        fn rec(v: usize, n: usize, pos: u64, neg: u64, f: &dyn Fn(u64) -> bool, out: &mut Vec<Cube>) {
+        fn rec(
+            v: usize,
+            n: usize,
+            pos: u64,
+            neg: u64,
+            f: &dyn Fn(u64) -> bool,
+            out: &mut Vec<Cube>,
+        ) {
             if v == n {
                 let c = Cube::new(pos, neg);
                 if is_prime(&c, f, n) {
@@ -323,7 +325,11 @@ pub fn primes_covering_minterm(zdd: &mut Zdd, primes: NodeId, m: u64, n: usize) 
     let mut f = primes;
     for v in 0..n as u32 {
         // A prime covers m iff it has no literal contradicting m at v.
-        let bad = if m >> v & 1 == 1 { neg_lit(v) } else { pos_lit(v) };
+        let bad = if m >> v & 1 == 1 {
+            neg_lit(v)
+        } else {
+            pos_lit(v)
+        };
         f = zdd.subset0(f, bad);
     }
     f
@@ -346,8 +352,7 @@ mod implicit_filter_tests {
             let filtered = primes_covering_minterm(&mut z, primes, m, 4);
             let mut implicit = decode_primes(&z, filtered);
             implicit.sort();
-            let mut explicit: Vec<Cube> =
-                all.iter().copied().filter(|c| c.eval(m)).collect();
+            let mut explicit: Vec<Cube> = all.iter().copied().filter(|c| c.eval(m)).collect();
             explicit.sort();
             assert_eq!(implicit, explicit, "minterm {m:04b}");
         }

@@ -23,8 +23,7 @@ fn random_cover() -> impl Strategy<Value = CubeList> {
         }
         Cube::new(pos, neg)
     });
-    prop::collection::vec(cube, 1..6)
-        .prop_map(|cubes| CubeList::from_cubes(N, cubes))
+    prop::collection::vec(cube, 1..6).prop_map(|cubes| CubeList::from_cubes(N, cubes))
 }
 
 fn truth_table(f: &CubeList) -> u16 {

@@ -197,8 +197,7 @@ impl DenseLp {
                 if a > EPS {
                     let ratio = tab[i][width - 1] / a;
                     if ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && leave.is_some_and(|l| basis[i] < basis[l]))
+                        || (ratio < best_ratio + EPS && leave.is_some_and(|l| basis[i] < basis[l]))
                     {
                         best_ratio = ratio;
                         leave = Some(i);

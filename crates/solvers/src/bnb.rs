@@ -87,8 +87,7 @@ impl SearchCtx {
         if let BoundKind::Lpr { max_cols } = self.bound {
             if core.num_cols() <= max_cols {
                 if let Ok(sol) =
-                    lp::DenseLp::covering(core.num_cols(), core.rows(), core.costs())
-                        .solve()
+                    lp::DenseLp::covering(core.num_cols(), core.rows(), core.costs()).solve()
                 {
                     let lpr = if self.integer_costs {
                         (sol.objective - 1e-6).ceil()
@@ -169,9 +168,7 @@ fn recurse(
     ctx: &mut SearchCtx,
 ) {
     ctx.nodes += 1;
-    if ctx.nodes > ctx.node_limit
-        || ctx.deadline.is_some_and(|d| Instant::now() > d)
-    {
+    if ctx.nodes > ctx.node_limit || ctx.deadline.is_some_and(|d| Instant::now() > d) {
         ctx.aborted = true;
         ctx.open_bound = ctx.open_bound.min(chosen_cost);
         return;
@@ -343,7 +340,10 @@ mod tests {
                     continue 'mask;
                 }
             }
-            let c: f64 = (0..n).filter(|&j| mask >> j & 1 == 1).map(|j| m.cost(j)).sum();
+            let c: f64 = (0..n)
+                .filter(|&j| mask >> j & 1 == 1)
+                .map(|j| m.cost(j))
+                .sum();
             best = Some(best.map_or(c, |b: f64| b.min(c)));
         }
         best
@@ -365,7 +365,13 @@ mod tests {
         let cases: Vec<CoverMatrix> = vec![
             CoverMatrix::from_rows(
                 6,
-                vec![vec![0, 3], vec![1, 3, 4], vec![2, 4], vec![0, 5], vec![1, 5]],
+                vec![
+                    vec![0, 3],
+                    vec![1, 3, 4],
+                    vec![2, 4],
+                    vec![0, 5],
+                    vec![1, 5],
+                ],
             ),
             CoverMatrix::with_costs(
                 5,
@@ -452,8 +458,17 @@ mod lpr_tests {
                 ..BnbOptions::default()
             },
         );
-        assert!(lpr.nodes <= mis.nodes, "LPR {} vs MIS {}", lpr.nodes, mis.nodes);
-        assert!(lpr.nodes <= 3, "LPR should close at the root, took {}", lpr.nodes);
+        assert!(
+            lpr.nodes <= mis.nodes,
+            "LPR {} vs MIS {}",
+            lpr.nodes,
+            mis.nodes
+        );
+        assert!(
+            lpr.nodes <= 3,
+            "LPR should close at the root, took {}",
+            lpr.nodes
+        );
     }
 
     #[test]
@@ -565,11 +580,7 @@ mod enumeration_tests {
     #[test]
     fn unique_optimum_detected() {
         // One column covers everything at cost 1: the unique optimum.
-        let m = CoverMatrix::with_costs(
-            3,
-            vec![vec![0, 2], vec![1, 2]],
-            vec![1.0, 1.0, 1.0],
-        );
+        let m = CoverMatrix::with_costs(3, vec![vec![0, 2], vec![1, 2]], vec![1.0, 1.0, 1.0]);
         let (cost, covers) = all_optima(&m, 10);
         assert_eq!(cost, 1.0);
         assert_eq!(covers.len(), 1);

@@ -47,8 +47,7 @@ where
             let better = match best {
                 None => true,
                 Some((br, bt, bj)) => {
-                    key.0 < br - 1e-12
-                        || ((key.0 - br).abs() <= 1e-12 && (key.1, key.2) < (bt, bj))
+                    key.0 < br - 1e-12 || ((key.0 - br).abs() <= 1e-12 && (key.1, key.2) < (bt, bj))
                 }
             };
             if better {
@@ -130,11 +129,7 @@ mod tests {
 
     #[test]
     fn mis_bound_on_disjoint_rows_is_exact() {
-        let m = CoverMatrix::with_costs(
-            3,
-            vec![vec![0], vec![1], vec![2]],
-            vec![2.0, 3.0, 4.0],
-        );
+        let m = CoverMatrix::with_costs(3, vec![vec![0], vec![1], vec![2]], vec![2.0, 3.0, 4.0]);
         let (b, rows) = mis_lower_bound(&m);
         assert_eq!(b, 9.0);
         assert_eq!(rows, vec![0, 1, 2]);
@@ -144,7 +139,14 @@ mod tests {
     fn mis_bound_never_exceeds_greedy_cost() {
         let m = CoverMatrix::from_rows(
             6,
-            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![5, 0]],
+            vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 4],
+                vec![4, 5],
+                vec![5, 0],
+            ],
         );
         let (b, _) = mis_lower_bound(&m);
         let g = chvatal_greedy(&m).unwrap().cost(&m);

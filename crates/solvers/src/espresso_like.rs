@@ -55,7 +55,9 @@ pub fn espresso_like(a: &CoverMatrix, mode: EspressoMode) -> Option<Solution> {
             let mut rng = StdRng::seed_from_u64(0xE5B0_55A0);
             for _ in 0..restarts {
                 // Randomised tie-break: perturb equal-ratio choices.
-                let noise: Vec<u64> = (0..a.num_cols()).map(|_| rng.random_range(0..1024)).collect();
+                let noise: Vec<u64> = (0..a.num_cols())
+                    .map(|_| rng.random_range(0..1024))
+                    .collect();
                 if let Some(mut cand) = greedy_with_tiebreak(a, |j| noise[j]) {
                     improve_1_exchange(a, &mut cand);
                     let c = cand.cost(a);
@@ -108,9 +110,7 @@ fn improve_1_exchange(a: &CoverMatrix, sol: &mut Solution) {
                 if k == j || sol.contains(k) || a.cost(k) >= a.cost(j) {
                     continue;
                 }
-                let covers_all = critical
-                    .iter()
-                    .all(|&i| a.row(i).binary_search(&k).is_ok());
+                let covers_all = critical.iter().all(|&i| a.row(i).binary_search(&k).is_ok());
                 if covers_all {
                     sol.remove(j);
                     for &i in a.col_rows(j) {

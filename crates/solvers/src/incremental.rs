@@ -109,12 +109,10 @@ pub fn incremental_mis_bound(m: &CoverMatrix, opts: &IncrementalOptions) -> f64 
     }
     for _ in 0..opts.max_extra_rows {
         // Most promising next row: smallest (overlap, degree).
-        let next = (0..m.num_rows())
-            .filter(|&i| !in_set[i])
-            .min_by_key(|&i| {
-                let overlap = m.row(i).iter().filter(|&&j| col_used[j]).count();
-                (overlap, m.row(i).len(), i)
-            });
+        let next = (0..m.num_rows()).filter(|&i| !in_set[i]).min_by_key(|&i| {
+            let overlap = m.row(i).iter().filter(|&&j| col_used[j]).count();
+            (overlap, m.row(i).len(), i)
+        });
         let i = match next {
             Some(i) => i,
             None => break, // every row already in the sub-problem
@@ -156,7 +154,13 @@ mod tests {
     fn never_exceeds_optimum() {
         let m = CoverMatrix::from_rows(
             6,
-            vec![vec![0, 3], vec![1, 3, 4], vec![2, 4], vec![0, 5], vec![1, 5]],
+            vec![
+                vec![0, 3],
+                vec![1, 3, 4],
+                vec![2, 4],
+                vec![0, 5],
+                vec![1, 5],
+            ],
         );
         let exact = branch_and_bound(&m, &BnbOptions::default());
         let inc = incremental_mis_bound(&m, &IncrementalOptions::default());

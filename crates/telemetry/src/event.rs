@@ -28,7 +28,8 @@ pub enum FixReason {
     Promising,
     /// Rated pick by minimum σ_j = c̃_j − α·μ_j during construction.
     RatedPick,
-    /// Essential column surfaced by re-reduction inside the run.
+    /// Column proven into the solution inside the run — by a penalty test
+    /// or as an essential column surfaced by re-reduction.
     Essential,
 }
 
@@ -86,7 +87,11 @@ pub enum Event {
     RestartBegin { run: usize },
     /// A constructive run finished with `cost`; `best_cost` is the
     /// incumbent after accounting for this run.
-    RestartEnd { run: usize, cost: f64, best_cost: f64 },
+    RestartEnd {
+        run: usize,
+        cost: f64,
+        best_cost: f64,
+    },
 }
 
 impl Event {

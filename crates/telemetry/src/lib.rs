@@ -30,7 +30,7 @@ mod probe;
 mod sink;
 
 pub use event::{Event, FixReason, PenaltyKind};
-pub use json::{escape_json, JsonObj};
+pub use json::{escape_json, u64_array, JsonObj};
 pub use phase::{Phase, PhaseTimes};
 pub use probe::{NoopProbe, Probe, RecordingProbe, TimedEvent};
 pub use sink::{JsonlSink, TRACE_SCHEMA};

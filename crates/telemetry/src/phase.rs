@@ -135,7 +135,11 @@ mod tests {
         let t = PhaseTimes::default();
         let json = t.to_json();
         for phase in Phase::ALL {
-            assert!(json.contains(phase.name()), "{json} missing {}", phase.name());
+            assert!(
+                json.contains(phase.name()),
+                "{json} missing {}",
+                phase.name()
+            );
         }
     }
 }

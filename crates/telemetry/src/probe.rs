@@ -152,8 +152,7 @@ impl RecordingProbe {
                         phase.name(),
                         open.name()
                     )),
-                    None => problems
-                        .push(format!("phase_end {} with no open phase", phase.name())),
+                    None => problems.push(format!("phase_end {} with no open phase", phase.name())),
                 },
                 _ => {}
             }

@@ -123,7 +123,10 @@ mod tests {
         let lines = lines(&buf);
         assert_eq!(lines.len(), 3);
         for line in &lines {
-            assert!(line.starts_with(r#"{"schema":"ucp-trace/1","t":"#), "{line}");
+            assert!(
+                line.starts_with(r#"{"schema":"ucp-trace/1","t":"#),
+                "{line}"
+            );
             assert!(line.ends_with('}'), "{line}");
         }
         assert!(lines[0].contains(r#""event":"phase_begin""#));
@@ -159,7 +162,7 @@ mod tests {
     impl Write for FailAfter {
         fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
             if self.remaining == 0 {
-                return Err(io::Error::new(io::ErrorKind::Other, "disk full"));
+                return Err(io::Error::other("disk full"));
             }
             self.remaining -= 1;
             Ok(buf.len())

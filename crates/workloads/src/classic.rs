@@ -117,7 +117,10 @@ mod tests {
         for a in 0..512u64 {
             assert_eq!(on.eval(a), (3..=6).contains(&a.count_ones()));
         }
-        assert_eq!(pla.terms().len(), (3..=6).map(|k| binom(9, k)).sum::<usize>());
+        assert_eq!(
+            pla.terms().len(),
+            (3..=6).map(|k| binom(9, k)).sum::<usize>()
+        );
     }
 
     fn binom(n: usize, k: usize) -> usize {
@@ -135,7 +138,10 @@ mod tests {
         let on = pla.on_cover(0);
         assert!(on.eval(0b00111));
         assert!(!on.eval(0b00011));
-        assert_eq!(pla.terms().len(), (3..=5).map(|k| binom(5, k)).sum::<usize>());
+        assert_eq!(
+            pla.terms().len(),
+            (3..=5).map(|k| binom(5, k)).sum::<usize>()
+        );
     }
 
     #[test]

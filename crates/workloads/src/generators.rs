@@ -175,7 +175,11 @@ pub fn random_pla(
         }
         let o = rng.random_range(0..outputs);
         let is_dc = rng.random_range(0..1000u32) < dc_per_mille;
-        let (on, dc) = if is_dc { (0, 1u64 << o) } else { (1u64 << o, 0) };
+        let (on, dc) = if is_dc {
+            (0, 1u64 << o)
+        } else {
+            (1u64 << o, 0)
+        };
         pla.push_term(Cube::new(pos, neg), on, dc);
     }
     pla
@@ -243,7 +247,10 @@ mod tests {
                 }
             }
             assert_eq!(pair_count.len(), n * (n - 1) / 2);
-            assert!(pair_count.values().all(|&c| c == 1), "STS({n}) pair property");
+            assert!(
+                pair_count.values().all(|&c| c == 1),
+                "STS({n}) pair property"
+            );
         }
     }
 

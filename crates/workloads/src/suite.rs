@@ -5,7 +5,9 @@
 //! `ex5`, `test2`, …) to make the regenerated tables easy to read next to
 //! the originals, but the matrices are synthetic — see `DESIGN.md`.
 
-use crate::generators::{circulant, random_pla, random_ucp, steiner_triple, CostModel, RandomUcpConfig};
+use crate::generators::{
+    circulant, random_pla, random_ucp, steiner_triple, CostModel, RandomUcpConfig,
+};
 use cover::CoverMatrix;
 use logic::covering::build_covering;
 
@@ -111,7 +113,10 @@ pub fn easy_cyclic() -> Vec<Instance> {
         ));
     }
     // 4 small Quine–McCluskey instances from random PLAs.
-    for (i, (ni, terms)) in [(7usize, 18usize), (8, 22), (8, 26), (9, 30)].iter().enumerate() {
+    for (i, (ni, terms)) in [(7usize, 18usize), (8, 22), (8, 26), (9, 30)]
+        .iter()
+        .enumerate()
+    {
         let pla = random_pla(*ni, 1, *terms, 150, 3000 + i as u64);
         let inst = build_covering(&pla).expect("small PLA");
         out.push(Instance::new(
@@ -288,10 +293,10 @@ pub fn figure1() -> CoverMatrix {
     CoverMatrix::with_costs(
         5,
         vec![
-            vec![0, 3],       // r1: cheap p1, shared expensive p4
-            vec![1, 3],       // r2
-            vec![0, 1, 4],    // r3
-            vec![2, 3, 4],    // r4
+            vec![0, 3],    // r1: cheap p1, shared expensive p4
+            vec![1, 3],    // r2
+            vec![0, 1, 4], // r3
+            vec![2, 3, 4], // r4
         ],
         vec![1.0, 1.0, 1.0, 2.0, 2.0],
     )

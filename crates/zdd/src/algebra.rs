@@ -15,7 +15,7 @@ impl Zdd {
         }
         // Commutative: canonicalise the cache key.
         let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
-        if let Some(&r) = self.cache.get(&(Op::Union, a, b)) {
+        if let Some(r) = self.cache_get((Op::Union, a, b)) {
             return r;
         }
         let (vf, vg) = (self.raw_var(f), self.raw_var(g));
@@ -25,7 +25,7 @@ impl Zdd {
         let lo = self.union(f0, g0);
         let hi = self.union(f1, g1);
         let r = self.node(Var(v), lo, hi);
-        self.cache.insert((Op::Union, a, b), r);
+        self.cache_put((Op::Union, a, b), r);
         r
     }
 
@@ -38,7 +38,7 @@ impl Zdd {
             return NodeId::EMPTY;
         }
         let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
-        if let Some(&r) = self.cache.get(&(Op::Intersect, a, b)) {
+        if let Some(r) = self.cache_get((Op::Intersect, a, b)) {
             return r;
         }
         let (vf, vg) = (self.raw_var(f), self.raw_var(g));
@@ -48,7 +48,7 @@ impl Zdd {
         let lo = self.intersect(f0, g0);
         let hi = self.intersect(f1, g1);
         let r = self.node(Var(v), lo, hi);
-        self.cache.insert((Op::Intersect, a, b), r);
+        self.cache_put((Op::Intersect, a, b), r);
         r
     }
 
@@ -60,7 +60,7 @@ impl Zdd {
         if g == NodeId::EMPTY {
             return f;
         }
-        if let Some(&r) = self.cache.get(&(Op::Difference, f, g)) {
+        if let Some(r) = self.cache_get((Op::Difference, f, g)) {
             return r;
         }
         let (vf, vg) = (self.raw_var(f), self.raw_var(g));
@@ -70,7 +70,7 @@ impl Zdd {
         let lo = self.difference(f0, g0);
         let hi = self.difference(f1, g1);
         let r = self.node(Var(v), lo, hi);
-        self.cache.insert((Op::Difference, f, g), r);
+        self.cache_put((Op::Difference, f, g), r);
         r
     }
 
@@ -89,7 +89,7 @@ impl Zdd {
             return f;
         }
         let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
-        if let Some(&r) = self.cache.get(&(Op::Product, a, b)) {
+        if let Some(r) = self.cache_get((Op::Product, a, b)) {
             return r;
         }
         let (vf, vg) = (self.raw_var(f), self.raw_var(g));
@@ -104,7 +104,7 @@ impl Zdd {
         let hi = self.union(u1, p01);
         let lo = self.product(f0, g0);
         let r = self.node(Var(v), lo, hi);
-        self.cache.insert((Op::Product, a, b), r);
+        self.cache_put((Op::Product, a, b), r);
         r
     }
 }

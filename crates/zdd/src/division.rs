@@ -44,7 +44,7 @@ impl Zdd {
         if f == g {
             return NodeId::BASE;
         }
-        if let Some(&r) = self.cache.get(&(Op::Quotient, f, g)) {
+        if let Some(r) = self.cache_get((Op::Quotient, f, g)) {
             return r;
         }
         let v = self.raw_var(g);
@@ -59,7 +59,7 @@ impl Zdd {
             let q0 = self.quot_rec(f0, g0);
             q = self.intersect(q, q0);
         }
-        self.cache.insert((Op::Quotient, f, g), q);
+        self.cache_put((Op::Quotient, f, g), q);
         q
     }
 

@@ -87,8 +87,10 @@ impl Zdd {
         }
         self.nodes = new_nodes;
         self.replace_unique(unique);
-        self.cache.clear();
+        self.clear_cache();
         let after = self.nodes.len();
+        self.stats.gc_runs += 1;
+        self.stats.gc_reclaimed += (before - after) as u64;
         (
             roots.iter().map(|r| remap[r.index()]).collect(),
             GcStats { before, after },

@@ -31,7 +31,7 @@ impl Zdd {
                 NodeId::BASE
             };
         }
-        if let Some(&r) = self.cache.get(&(Op::NonSupersets, f, g)) {
+        if let Some(r) = self.cache_get((Op::NonSupersets, f, g)) {
             return r;
         }
         let v = self.raw_var(f).min(self.raw_var(g));
@@ -41,7 +41,7 @@ impl Zdd {
         let h1 = self.nonsupersets(f1, g1);
         let hi = self.nonsupersets(h1, g0);
         let r = self.node(Var(v), lo, hi);
-        self.cache.insert((Op::NonSupersets, f, g), r);
+        self.cache_put((Op::NonSupersets, f, g), r);
         r
     }
 
@@ -69,7 +69,7 @@ impl Zdd {
                 f
             };
         }
-        if let Some(&r) = self.cache.get(&(Op::NonSubsets, f, g)) {
+        if let Some(r) = self.cache_get((Op::NonSubsets, f, g)) {
             return r;
         }
         let v = self.raw_var(f).min(self.raw_var(g));
@@ -79,7 +79,7 @@ impl Zdd {
         let lo = self.nonsubsets(l0, g1);
         let hi = self.nonsubsets(f1, g1);
         let r = self.node(Var(v), lo, hi);
-        self.cache.insert((Op::NonSubsets, f, g), r);
+        self.cache_put((Op::NonSubsets, f, g), r);
         r
     }
 
@@ -91,7 +91,7 @@ impl Zdd {
         if f.is_terminal() {
             return f;
         }
-        if let Some(&r) = self.cache.get(&(Op::Minimal, f, f)) {
+        if let Some(r) = self.cache_get((Op::Minimal, f, f)) {
             return r;
         }
         let v = self.raw_var(f);
@@ -101,7 +101,7 @@ impl Zdd {
         // A member t∪{v} survives only if no member u (without v) has u ⊆ t.
         let h = self.nonsupersets(m1, m0);
         let r = self.node(Var(v), m0, h);
-        self.cache.insert((Op::Minimal, f, f), r);
+        self.cache_put((Op::Minimal, f, f), r);
         r
     }
 
@@ -110,7 +110,7 @@ impl Zdd {
         if f.is_terminal() {
             return f;
         }
-        if let Some(&r) = self.cache.get(&(Op::Maximal, f, f)) {
+        if let Some(r) = self.cache_get((Op::Maximal, f, f)) {
             return r;
         }
         let v = self.raw_var(f);
@@ -120,7 +120,7 @@ impl Zdd {
         // A member s (without v) survives only if no member t∪{v} has s ⊆ t.
         let l = self.nonsubsets(m0, m1);
         let r = self.node(Var(v), l, m1);
-        self.cache.insert((Op::Maximal, f, f), r);
+        self.cache_put((Op::Maximal, f, f), r);
         r
     }
 

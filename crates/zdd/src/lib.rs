@@ -16,7 +16,9 @@
 //! * the set-inclusion operators at the heart of implicit dominance
 //!   reductions — [`Zdd::minimal`], [`Zdd::maximal`],
 //!   [`Zdd::nonsupersets`], [`Zdd::nonsubsets`],
-//! * counting, enumeration and DOT export.
+//! * counting, enumeration and DOT export,
+//! * performance counters — unique-table and computed-cache hit rates,
+//!   node high-water mark and GC reclamation ([`Zdd::stats`]).
 //!
 //! # Example
 //!
@@ -40,9 +42,11 @@ mod inclusion;
 mod iter;
 mod manager;
 mod node;
+mod stats;
 mod subset;
 
 pub use gc::GcStats;
 pub use iter::SetsIter;
 pub use manager::Zdd;
 pub use node::{NodeId, Var};
+pub use stats::ZddStats;

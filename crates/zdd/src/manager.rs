@@ -2,6 +2,7 @@
 
 use crate::hash::FxHashMap;
 use crate::node::{Node, NodeId, Var, TERMINAL_VAR};
+use crate::stats::ZddStats;
 
 /// Operation tags for the binary-operation cache.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -42,7 +43,8 @@ pub(crate) enum Op {
 pub struct Zdd {
     pub(crate) nodes: Vec<Node>,
     unique: FxHashMap<Node, NodeId>,
-    pub(crate) cache: FxHashMap<(Op, NodeId, NodeId), NodeId>,
+    cache: FxHashMap<(Op, NodeId, NodeId), NodeId>,
+    pub(crate) stats: ZddStats,
 }
 
 impl Default for Zdd {
@@ -63,7 +65,50 @@ impl Zdd {
             nodes: vec![terminal(0), terminal(1)],
             unique: FxHashMap::default(),
             cache: FxHashMap::default(),
+            stats: ZddStats {
+                peak_nodes: 2,
+                ..ZddStats::default()
+            },
         }
+    }
+
+    /// A snapshot of the manager's performance counters.
+    ///
+    /// See [`ZddStats`] for what is counted; by construction
+    /// `stats().cache_lookups()` equals the number of memo-cache probes the
+    /// recursive operations performed.
+    #[inline]
+    pub fn stats(&self) -> ZddStats {
+        self.stats
+    }
+
+    /// Resets all counters to zero (the node high-water mark restarts from
+    /// the current store size).
+    pub fn reset_stats(&mut self) {
+        self.stats = ZddStats {
+            peak_nodes: self.nodes.len(),
+            ..ZddStats::default()
+        };
+    }
+
+    /// Memo-cache lookup: the single choke point through which every
+    /// recursive operation probes the computed cache, so hit/miss counters
+    /// account for every lookup.
+    #[inline]
+    pub(crate) fn cache_get(&mut self, key: (Op, NodeId, NodeId)) -> Option<NodeId> {
+        let r = self.cache.get(&key).copied();
+        if r.is_some() {
+            self.stats.cache_hits += 1;
+        } else {
+            self.stats.cache_misses += 1;
+        }
+        r
+    }
+
+    /// Memoises the result of `key`.
+    #[inline]
+    pub(crate) fn cache_put(&mut self, key: (Op, NodeId, NodeId), r: NodeId) {
+        self.cache.insert(key, r);
     }
 
     /// The empty family `∅`.
@@ -135,11 +180,14 @@ impl Zdd {
         debug_assert!(self.raw_var(hi) > var.0, "variable order violated (hi)");
         let key = Node { var: var.0, lo, hi };
         if let Some(&id) = self.unique.get(&key) {
+            self.stats.unique_hits += 1;
             return id;
         }
+        self.stats.unique_misses += 1;
         let id = NodeId(u32::try_from(self.nodes.len()).expect("ZDD node store overflow"));
         self.nodes.push(key);
         self.unique.insert(key, id);
+        self.stats.peak_nodes = self.stats.peak_nodes.max(self.nodes.len());
         id
     }
 

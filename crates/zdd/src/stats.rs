@@ -1,0 +1,122 @@
+//! Manager-level performance counters.
+
+/// A snapshot of the manager's internal counters.
+///
+/// Counters accumulate from manager creation (or the last
+/// [`Zdd::reset_stats`](crate::Zdd::reset_stats)) and are cheap plain-field
+/// increments on the hot paths they observe:
+///
+/// * **unique table** — every non-trivial call to `node()` is either a hit
+///   (structural sharing found an existing node) or a miss (a fresh node
+///   was interned). Zero-suppressed shortcuts (`hi = ∅`) never reach the
+///   table and are not counted.
+/// * **computed cache** — every memo lookup performed by the recursive
+///   operations (union, product, minimal, quotient, …) is either a hit or
+///   a miss, counted at a single choke point, so
+///   `cache_hits + cache_misses` equals the total number of lookups by
+///   construction.
+/// * **node store** — `peak_nodes` is the high-water mark of live nodes
+///   (terminals included), surviving GC compactions.
+/// * **GC** — runs and total nodes reclaimed.
+///
+/// # Example
+///
+/// ```
+/// use zdd::{Var, Zdd};
+/// let mut z = Zdd::new();
+/// let a = z.from_sets([vec![Var(0)], vec![Var(1)]]);
+/// let b = z.from_sets([vec![Var(1)], vec![Var(2)]]);
+/// let _ = z.union(a, b);
+/// let s = z.stats();
+/// assert_eq!(s.cache_lookups(), s.cache_hits + s.cache_misses);
+/// assert!(s.peak_nodes >= z.len());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ZddStats {
+    /// Unique-table lookups that found an existing node.
+    pub unique_hits: u64,
+    /// Unique-table lookups that interned a fresh node.
+    pub unique_misses: u64,
+    /// Computed-cache lookups that found a memoised result.
+    pub cache_hits: u64,
+    /// Computed-cache lookups that missed (and will memoise).
+    pub cache_misses: u64,
+    /// High-water mark of live nodes in the store, terminals included.
+    pub peak_nodes: usize,
+    /// Number of garbage collections performed.
+    pub gc_runs: u64,
+    /// Total nodes reclaimed across all collections.
+    pub gc_reclaimed: u64,
+}
+
+impl ZddStats {
+    /// Total unique-table lookups (`hits + misses`).
+    pub fn unique_lookups(&self) -> u64 {
+        self.unique_hits + self.unique_misses
+    }
+
+    /// Total computed-cache lookups (`hits + misses`).
+    pub fn cache_lookups(&self) -> u64 {
+        self.cache_hits + self.cache_misses
+    }
+
+    /// Computed-cache hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Unique-table hit (sharing) rate in `[0, 1]`; 0 when no lookups.
+    pub fn unique_hit_rate(&self) -> f64 {
+        let total = self.unique_lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.unique_hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another snapshot into this one: counters add, the node
+    /// high-water mark takes the maximum. Used to aggregate the managers of
+    /// independent solves (e.g. partition blocks) into one report.
+    pub fn merge(&mut self, other: &ZddStats) {
+        self.unique_hits += other.unique_hits;
+        self.unique_misses += other.unique_misses;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.peak_nodes = self.peak_nodes.max(other.peak_nodes);
+        self.gc_runs += other.gc_runs;
+        self.gc_reclaimed += other.gc_reclaimed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_lookups() {
+        let s = ZddStats::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.unique_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_and_totals() {
+        let s = ZddStats {
+            unique_hits: 3,
+            unique_misses: 1,
+            cache_hits: 1,
+            cache_misses: 3,
+            ..ZddStats::default()
+        };
+        assert_eq!(s.unique_lookups(), 4);
+        assert_eq!(s.cache_lookups(), 4);
+        assert!((s.unique_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.cache_hit_rate() - 0.25).abs() < 1e-12);
+    }
+}

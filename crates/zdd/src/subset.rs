@@ -17,14 +17,14 @@ impl Zdd {
             return self.lo(f);
         }
         let key = (Op::Subset0, f, NodeId(v.0));
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache_get(key) {
             return r;
         }
         let (lo, hi) = (self.lo(f), self.hi(f));
         let nlo = self.subset0(lo, v);
         let nhi = self.subset0(hi, v);
         let r = self.node(Var(top), nlo, nhi);
-        self.cache.insert(key, r);
+        self.cache_put(key, r);
         r
     }
 
@@ -41,14 +41,14 @@ impl Zdd {
             return self.hi(f);
         }
         let key = (Op::Subset1, f, NodeId(v.0));
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache_get(key) {
             return r;
         }
         let (lo, hi) = (self.lo(f), self.hi(f));
         let nlo = self.subset1(lo, v);
         let nhi = self.subset1(hi, v);
         let r = self.node(Var(top), nlo, nhi);
-        self.cache.insert(key, r);
+        self.cache_put(key, r);
         r
     }
 
@@ -66,14 +66,14 @@ impl Zdd {
             return self.node(v, hi, lo);
         }
         let key = (Op::Change, f, NodeId(v.0));
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache_get(key) {
             return r;
         }
         let (lo, hi) = (self.lo(f), self.hi(f));
         let nlo = self.change(lo, v);
         let nhi = self.change(hi, v);
         let r = self.node(Var(top), nlo, nhi);
-        self.cache.insert(key, r);
+        self.cache_put(key, r);
         r
     }
 

@@ -1,0 +1,107 @@
+//! Accounting invariants of the manager's performance counters.
+
+use zdd::{Var, Zdd};
+
+/// Builds a family of `n` staircase sets {i, i+1, i+2} over a small universe.
+fn staircase(z: &mut Zdd, n: u32) -> zdd::NodeId {
+    let sets: Vec<Vec<Var>> = (0..n)
+        .map(|i| vec![Var(i), Var(i + 1), Var(i + 2)])
+        .collect();
+    z.from_sets(sets)
+}
+
+#[test]
+fn cache_hits_plus_misses_equals_lookups_on_scripted_sequence() {
+    let mut z = Zdd::new();
+    let f = staircase(&mut z, 12);
+    let g = staircase(&mut z, 8);
+
+    // A scripted mix of cached recursive operations, including repeats
+    // that must hit the memo cache.
+    let u = z.union(f, g);
+    let _ = z.union(f, g); // repeat: top-level cache hit
+    let p = z.product(f, g);
+    let _ = z.intersect(u, p);
+    let _ = z.difference(u, p);
+    let m = z.minimal(u);
+    let _ = z.maximal(u);
+    let _ = z.nonsupersets(u, m);
+    let q = z.quotient(p, f);
+    let _ = z.subset0(u, Var(5));
+    let _ = z.subset1(u, Var(5));
+    let _ = z.change(q, Var(3));
+
+    let s = z.stats();
+    assert_eq!(
+        s.cache_hits + s.cache_misses,
+        s.cache_lookups(),
+        "lookup identity must hold by construction"
+    );
+    assert!(
+        s.cache_lookups() > 0,
+        "scripted sequence must probe the cache"
+    );
+    assert!(
+        s.cache_hits > 0,
+        "repeated identical operation must hit the memo cache"
+    );
+    assert_eq!(
+        s.unique_lookups(),
+        s.unique_hits + s.unique_misses,
+        "unique-table identity"
+    );
+    // Every interned node is live in the store: misses created exactly the
+    // non-terminal nodes present (nothing was GC'd in this test).
+    assert_eq!(s.unique_misses as usize, z.len() - 2);
+    assert_eq!(s.peak_nodes, z.len());
+    assert!(s.cache_hit_rate() > 0.0 && s.cache_hit_rate() < 1.0);
+}
+
+#[test]
+fn repeat_of_cached_op_is_pure_hit() {
+    let mut z = Zdd::new();
+    let f = staircase(&mut z, 10);
+    let g = staircase(&mut z, 6);
+    let _ = z.union(f, g);
+    let before = z.stats();
+    let _ = z.union(f, g);
+    let after = z.stats();
+    assert_eq!(after.cache_hits, before.cache_hits + 1);
+    assert_eq!(after.cache_misses, before.cache_misses);
+    assert_eq!(after.unique_lookups(), before.unique_lookups());
+}
+
+#[test]
+fn gc_counters_and_peak_nodes() {
+    let mut z = Zdd::new();
+    let keep = staircase(&mut z, 6);
+    for i in 0..30 {
+        let _ = z.from_sets([vec![Var(i), Var(i + 7), Var(i + 13)]]);
+    }
+    let peak_before = z.stats().peak_nodes;
+    assert_eq!(peak_before, z.len());
+    let (roots, gc) = z.gc(&[keep]);
+    let s = z.stats();
+    assert_eq!(s.gc_runs, 1);
+    assert_eq!(s.gc_reclaimed, gc.freed() as u64);
+    assert!(gc.freed() > 0);
+    // The high-water mark survives compaction.
+    assert_eq!(s.peak_nodes, peak_before);
+    assert!(z.len() < peak_before);
+    assert!(z.contains_set(roots[0], &[Var(0), Var(1), Var(2)]));
+}
+
+#[test]
+fn reset_stats_zeroes_counters() {
+    let mut z = Zdd::new();
+    let f = staircase(&mut z, 5);
+    let g = staircase(&mut z, 3);
+    let _ = z.union(f, g);
+    assert!(z.stats().cache_lookups() > 0);
+    z.reset_stats();
+    let s = z.stats();
+    assert_eq!(s.cache_lookups(), 0);
+    assert_eq!(s.unique_lookups(), 0);
+    assert_eq!(s.gc_runs, 0);
+    assert_eq!(s.peak_nodes, z.len());
+}

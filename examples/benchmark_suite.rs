@@ -12,7 +12,9 @@ use ucp::ucp_core::{Scg, ScgOptions};
 use ucp::workloads::suite;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "difficult".into());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "difficult".into());
     let instances = match which.as_str() {
         "easy" => suite::easy_cyclic(),
         "challenging" => suite::challenging(),
@@ -56,5 +58,7 @@ fn main() {
         );
         assert!(scg.solution.is_feasible(&inst.matrix));
     }
-    println!("(* = certified optimal by ZDD_SCG's own Lagrangian bound; H = exact budget exhausted)");
+    println!(
+        "(* = certified optimal by ZDD_SCG's own Lagrangian bound; H = exact budget exhausted)"
+    );
 }

@@ -14,9 +14,7 @@ use ucp::cover::{CoverMatrix, ImplicitMatrix, Reducer};
 /// "blocks"; block pairs share structure, so the ZDD collapses them.
 fn blocky(blocks: usize, block_size: usize) -> CoverMatrix {
     let cols = blocks * block_size;
-    let block = |b: usize| -> Vec<usize> {
-        (0..block_size).map(|i| b * block_size + i).collect()
-    };
+    let block = |b: usize| -> Vec<usize> { (0..block_size).map(|i| b * block_size + i).collect() };
     let mut rows = Vec::new();
     for a in 0..blocks {
         for b in 0..blocks {

@@ -24,7 +24,11 @@ fn main() {
 
     let outcome = Scg::new(ScgOptions::default()).solve(&matrix);
 
-    println!("instance: {} rows × {} cols", matrix.num_rows(), matrix.num_cols());
+    println!(
+        "instance: {} rows × {} cols",
+        matrix.num_rows(),
+        matrix.num_cols()
+    );
     println!("cover found: columns {:?}", outcome.solution.cols());
     println!("cost: {}", outcome.cost);
     println!("lower bound: {}", outcome.lower_bound);

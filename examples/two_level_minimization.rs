@@ -29,7 +29,12 @@ const SOURCE: &str = "\
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pla: Pla = SOURCE.parse()?;
-    println!("input PLA: {} terms, {} inputs, {} outputs", pla.terms().len(), pla.num_inputs(), pla.num_outputs());
+    println!(
+        "input PLA: {} terms, {} inputs, {} outputs",
+        pla.terms().len(),
+        pla.num_inputs(),
+        pla.num_outputs()
+    );
 
     // Quine–McCluskey reformulation.
     let inst = build_covering(&pla)?;

@@ -2,21 +2,30 @@
 //!
 //! ```text
 //! ucp minimize <file.pla> [-o out.pla] [--exact]   two-level minimisation
-//! ucp solve <file.ucp> [--exact] [--all-bounds]    solve a covering instance
+//! ucp solve <instance> [--exact] [--trace <path>] [--stats]
 //! ucp bounds <file.ucp>                            print the bound chain
 //! ucp suite [easy|difficult|challenging]           describe the benchmark suite
 //! ```
 //!
-//! Matrix files use the `p ucp R C` text format (see `cover::ParseMatrixError`
-//! docs); PLA files use the Berkeley format.
+//! `<instance>` is a matrix file in the `p ucp R C` text format (see
+//! `cover::ParseMatrixError` docs) or the name of a built-in suite instance
+//! (see `ucp suite`); PLA files use the Berkeley format. The `solve`
+//! subcommand may be omitted: `ucp --trace out.jsonl file.ucp` solves.
+//!
+//! `--trace <path>` streams the solver's telemetry events (phase begin/end,
+//! per-iteration subgradient state, penalty eliminations, column fixes,
+//! restarts) as schema-versioned JSON lines; `--stats` prints the phase
+//! wall-clock breakdown and ZDD manager counters after the solve.
 
+use std::io::Write;
 use std::process::ExitCode;
 use ucp::cover::CoverMatrix;
 use ucp::logic::{build_covering, Pla};
 use ucp::lp::DenseLp;
 use ucp::solvers::{branch_and_bound, BnbOptions};
 use ucp::ucp_core::bounds::bounds_report;
-use ucp::ucp_core::{Scg, ScgOptions};
+use ucp::ucp_core::{Scg, ScgOptions, ScgOutcome};
+use ucp::ucp_telemetry::JsonlSink;
 use ucp::workloads::suite;
 
 fn main() -> ExitCode {
@@ -28,10 +37,13 @@ fn main() -> ExitCode {
         Some("suite") => cmd_suite(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("classic") => cmd_classic(&args[1..]),
-        _ => {
+        // Anything else that still carries arguments is an implicit `solve`
+        // (so `ucp --trace out.jsonl instance.ucp` works as documented).
+        Some(_) => cmd_solve(&args),
+        None => {
             eprintln!("usage: ucp <minimize|solve|bounds|suite> …");
             eprintln!("  minimize <file.pla> [-o out.pla] [--exact]");
-            eprintln!("  solve    <file.ucp> [--exact]");
+            eprintln!("  solve    <instance> [--exact] [--trace <path>] [--stats]");
             eprintln!("  bounds   <file.ucp>");
             eprintln!("  suite    [easy|difficult|challenging]");
             eprintln!("  generate <instance-name> [-o out.ucp]");
@@ -102,7 +114,11 @@ fn cmd_minimize(args: &[String]) -> CliResult {
     }
     eprintln!(
         "minimised to {cost} products ({}, verified against the spec)",
-        if certified { "certified optimal" } else { "heuristic" }
+        if certified {
+            "certified optimal"
+        } else {
+            "heuristic"
+        }
     );
     match out_path {
         Some(p) => std::fs::write(p, minimised.to_pla_string())?,
@@ -111,13 +127,48 @@ fn cmd_minimize(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Loads an instance from a matrix file, falling back to the built-in
+/// suite when the argument names a suite instance instead of a file.
 fn read_matrix(path: &str) -> Result<CoverMatrix, Box<dyn std::error::Error>> {
-    Ok(std::fs::read_to_string(path)?.parse::<CoverMatrix>()?)
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(text.parse::<CoverMatrix>()?),
+        Err(io_err) => match suite::all().into_iter().find(|i| i.name == path) {
+            Some(inst) => Ok(inst.matrix),
+            None => Err(format!("{path}: {io_err} (and no suite instance has that name)").into()),
+        },
+    }
 }
 
 fn cmd_solve(args: &[String]) -> CliResult {
-    let path = args.first().ok_or("solve needs a matrix file")?;
     let exact = args.iter().any(|a| a == "--exact");
+    let stats = args.iter().any(|a| a == "--stats");
+    let trace_path = match args.iter().position(|a| a == "--trace") {
+        Some(i) => Some(
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .ok_or("--trace needs a file path")?,
+        ),
+        None => None,
+    };
+    // The instance is the first positional argument (skipping flag values).
+    let mut path: Option<&String> = None;
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--trace" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        path = Some(a);
+        break;
+    }
+    let path = path.ok_or("solve needs a matrix file or suite instance name")?;
     let m = read_matrix(path)?;
     if exact {
         let r = branch_and_bound(&m, &BnbOptions::default());
@@ -136,31 +187,108 @@ fn cmd_solve(args: &[String]) -> CliResult {
             }
             None => return Err("instance is infeasible".into()),
         }
-    } else {
-        let out = Scg::new(ScgOptions::default()).solve(&m);
-        if out.infeasible {
-            return Err("instance is infeasible".into());
-        }
-        println!(
-            "cost {} (lower bound {}, {}), columns {:?}",
-            out.cost,
-            out.lower_bound,
-            if out.proven_optimal {
-                "certified optimal"
-            } else {
-                "heuristic"
-            },
-            out.solution.cols()
-        );
-        println!(
-            "core {}×{}, {} restarts, {} subgradient iterations, {:.3}s",
-            out.core_rows,
-            out.core_cols,
-            out.iterations,
-            out.subgradient_iterations,
-            out.total_time.as_secs_f64()
-        );
+        return Ok(());
     }
+
+    let solver = Scg::new(ScgOptions::default());
+    let out = match trace_path {
+        Some(trace) => {
+            let file = std::fs::File::create(trace)
+                .map_err(|e| format!("cannot create trace file {trace}: {e}"))?;
+            let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+            sink.write_line("run_header", |o| {
+                o.field_str("instance", path);
+                o.field_u64("rows", m.num_rows() as u64);
+                o.field_u64("cols", m.num_cols() as u64);
+            });
+            let out = solver.solve_with_probe(&m, &mut sink);
+            sink.write_line("result", |o| {
+                o.field_f64("cost", out.cost);
+                o.field_f64("lower_bound", out.lower_bound);
+                o.field_bool("proven_optimal", out.proven_optimal);
+                o.field_bool("infeasible", out.infeasible);
+                o.field_f64("total_seconds", out.total_time.as_secs_f64());
+                o.field_raw("phase_times", &out.phase_times.to_json());
+            });
+            let lines = sink.lines_written();
+            sink.finish()
+                .map_err(|e| format!("failed writing trace {trace}: {e}"))?;
+            eprintln!("trace: {lines} events -> {trace}");
+            out
+        }
+        None => solver.solve(&m),
+    };
+    if out.infeasible {
+        return Err("instance is infeasible".into());
+    }
+    println!(
+        "cost {} (lower bound {}, {}), columns {:?}",
+        out.cost,
+        out.lower_bound,
+        if out.proven_optimal {
+            "certified optimal"
+        } else {
+            "heuristic"
+        },
+        out.solution.cols()
+    );
+    println!(
+        "core {}×{}, {} restarts, {} subgradient iterations, {:.3}s",
+        out.core_rows,
+        out.core_cols,
+        out.iterations,
+        out.subgradient_iterations,
+        out.total_time.as_secs_f64()
+    );
+    if stats {
+        print_stats(&out)?;
+    }
+    Ok(())
+}
+
+/// Renders the `--stats` report: phase wall-clock breakdown and ZDD
+/// manager counters.
+fn print_stats(out: &ScgOutcome) -> CliResult {
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    let total = out.total_time.as_secs_f64();
+    writeln!(w, "phase breakdown:")?;
+    for phase in ucp::ucp_telemetry::Phase::ALL {
+        let secs = out.phase_times.get(phase);
+        let share = if total > 0.0 {
+            100.0 * secs / total
+        } else {
+            0.0
+        };
+        writeln!(w, "  {:<20} {secs:>9.4}s  {share:>5.1}%", phase.name())?;
+    }
+    writeln!(
+        w,
+        "  {:<20} {:>9.4}s  (solve total {total:.4}s)",
+        "sum",
+        out.phase_times.total()
+    )?;
+    let z = &out.zdd_stats;
+    writeln!(w, "zdd manager:")?;
+    writeln!(
+        w,
+        "  unique table  {:>12} hits  {:>12} misses  ({:.1}% shared)",
+        z.unique_hits,
+        z.unique_misses,
+        100.0 * z.unique_hit_rate()
+    )?;
+    writeln!(
+        w,
+        "  computed cache{:>12} hits  {:>12} misses  ({:.1}% hit rate)",
+        z.cache_hits,
+        z.cache_misses,
+        100.0 * z.cache_hit_rate()
+    )?;
+    writeln!(
+        w,
+        "  peak nodes    {:>12}   gc runs {}  reclaimed {}",
+        z.peak_nodes, z.gc_runs, z.gc_reclaimed
+    )?;
     Ok(())
 }
 
@@ -185,7 +313,10 @@ fn cmd_suite(args: &[String]) -> CliResult {
         Some("difficult") | None => suite::difficult_cyclic(),
         Some(other) => return Err(format!("unknown category {other:?}").into()),
     };
-    println!("{:>10}  {:>6}  {:>6}  {:>8}  description", "name", "rows", "cols", "nnz");
+    println!(
+        "{:>10}  {:>6}  {:>6}  {:>8}  description",
+        "name", "rows", "cols", "nnz"
+    );
     for inst in instances {
         println!(
             "{:>10}  {:>6}  {:>6}  {:>8}  {}",
@@ -200,7 +331,9 @@ fn cmd_suite(args: &[String]) -> CliResult {
 }
 
 fn cmd_generate(args: &[String]) -> CliResult {
-    let name = args.first().ok_or("generate needs an instance name (see `ucp suite`)")?;
+    let name = args
+        .first()
+        .ok_or("generate needs an instance name (see `ucp suite`)")?;
     let out_path = args
         .iter()
         .position(|a| a == "-o")
@@ -212,7 +345,9 @@ fn cmd_generate(args: &[String]) -> CliResult {
         .ok_or_else(|| format!("unknown instance {name:?}; see `ucp suite <category>`"))?;
     let text = format!(
         "# {} ({}): {}\n{}",
-        inst.name, inst.category, inst.description,
+        inst.name,
+        inst.category,
+        inst.description,
         inst.matrix.to_text()
     );
     match out_path {

@@ -21,6 +21,8 @@
 //!   an exact scherzo-like branch-and-bound,
 //! * [`workloads`] — seeded synthetic benchmark instances standing in for
 //!   the (unavailable) Berkeley PLA test set,
+//! * [`ucp_telemetry`] — the observability layer: probes, structured trace
+//!   events, and the JSONL sink behind `ucp solve --trace`,
 //! * [`binate`] — the binate generalisation (§1) with unit propagation and
 //!   an exact solver.
 //!
@@ -50,5 +52,6 @@ pub use logic;
 pub use lp;
 pub use solvers;
 pub use ucp_core;
+pub use ucp_telemetry;
 pub use workloads;
 pub use zdd;

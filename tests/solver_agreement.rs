@@ -119,11 +119,7 @@ fn steiner_nine_closed_and_matched() {
 fn zero_cost_columns_are_free() {
     // A zero-cost column covering everything: the optimum is 0 and every
     // solver must find it (and the certificate must hold: LB = 0 = cost).
-    let m = CoverMatrix::with_costs(
-        3,
-        vec![vec![0, 2], vec![1, 2]],
-        vec![4.0, 4.0, 0.0],
-    );
+    let m = CoverMatrix::with_costs(3, vec![vec![0, 2], vec![1, 2]], vec![4.0, 4.0, 0.0]);
     let scg = Scg::new(ScgOptions::default()).solve(&m);
     assert_eq!(scg.cost, 0.0);
     assert!(scg.proven_optimal);
@@ -153,8 +149,7 @@ fn interval_instances_always_certify() {
         assert!(
             out.proven_optimal,
             "seed {seed}: TU instance not certified (cost {}, LB {})",
-            out.cost,
-            out.lower_bound
+            out.cost, out.lower_bound
         );
         assert!((out.gap() - 0.0).abs() < 1e-12, "seed {seed}");
     }

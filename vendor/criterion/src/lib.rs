@@ -64,9 +64,9 @@ impl Criterion {
         let name = name.into();
         eprintln!("group {name}");
         BenchmarkGroup {
+            sample_size: self.sample_size,
             _c: self,
             name,
-            sample_size: 10,
         }
     }
 }
@@ -86,7 +86,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark with a borrowed input value.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
