@@ -3,7 +3,10 @@
 //! Runs the difficult-cyclic suite and writes `results/BENCH_scg.json`, a
 //! single JSON document with per-instance cost / lower bound / wall time /
 //! phase breakdown plus aggregate totals — the file a CI job can archive or
-//! diff to track solver performance over time.
+//! diff to track solver performance over time. Each instance is solved
+//! twice, serially and through the shared-core parallel restart engine, so
+//! the snapshot also carries a `parallel` speedup row (the two solves
+//! return the identical answer by construction; the snapshot asserts it).
 //!
 //! Usage: `cargo run -p ucp-bench --release --bin snapshot [--quick]`
 
@@ -20,12 +23,27 @@ fn main() {
     } else {
         ScgOptions::default()
     };
+    // At least 2 so the pooled path is exercised even on one-core boxes
+    // (where the speedup honestly reports ~1.0).
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, 8);
     let mut runs: Vec<String> = Vec::new();
     let mut total_seconds = 0.0f64;
+    let mut parallel_seconds = 0.0f64;
     let mut certified = 0usize;
     for inst in suite::difficult_cyclic() {
         let out = run_scg(&inst.matrix, opts);
+        let par = run_scg(&inst.matrix, ScgOptions { workers, ..opts });
+        assert_eq!(
+            (out.cost, out.solution.cols()),
+            (par.cost, par.solution.cols()),
+            "{}: parallel solve diverged from serial",
+            inst.name
+        );
         total_seconds += out.total_time.as_secs_f64();
+        parallel_seconds += par.total_time.as_secs_f64();
         if out.proven_optimal {
             certified += 1;
         }
@@ -34,26 +52,38 @@ fn main() {
         o.field_u64("rows", inst.matrix.num_rows() as u64);
         o.field_u64("cols", inst.matrix.num_cols() as u64);
         scg_fields(&mut o, &out);
+        o.field_f64("parallel_seconds", par.total_time.as_secs_f64());
         runs.push(o.finish());
         println!(
-            "{:>10}  cost {:>6}  lb {:>8.2}  {:>7.3}s",
+            "{:>10}  cost {:>6}  lb {:>8.2}  {:>7.3}s  ({:>7.3}s with {workers} workers)",
             inst.name,
             out.cost,
             out.lower_bound,
-            out.total_time.as_secs_f64()
+            out.total_time.as_secs_f64(),
+            par.total_time.as_secs_f64()
         );
     }
+    let speedup = if parallel_seconds > 0.0 {
+        total_seconds / parallel_seconds
+    } else {
+        1.0
+    };
     let mut doc = JsonObj::new();
     doc.field_str("schema", "ucp-bench-snapshot/1");
     doc.field_str("preset", if quick { "fast" } else { "default" });
     doc.field_u64("instances", runs.len() as u64);
     doc.field_u64("certified_optimal", certified as u64);
     doc.field_f64("total_seconds", total_seconds);
+    let mut par_row = JsonObj::new();
+    par_row.field_u64("workers", workers as u64);
+    par_row.field_f64("total_seconds", parallel_seconds);
+    par_row.field_f64("speedup", speedup);
+    doc.field_raw("parallel", &par_row.finish());
     doc.field_raw("runs", &format!("[{}]", runs.join(",")));
     fs::create_dir_all("results").expect("create results/");
     fs::write("results/BENCH_scg.json", doc.finish() + "\n").expect("write results/BENCH_scg.json");
     println!(
-        "snapshot: {} instances, {certified} certified optimal, {total_seconds:.2}s total -> results/BENCH_scg.json",
+        "snapshot: {} instances, {certified} certified optimal, {total_seconds:.2}s serial / {parallel_seconds:.2}s with {workers} workers ({speedup:.2}x) -> results/BENCH_scg.json",
         runs.len()
     );
 }

@@ -18,7 +18,9 @@
 //!   (eqs. 5–6), the generalisation of the limit-bound theorem (§3.6);
 //! * [`bounds`] — the four lower bounds of Proposition 1 side by side;
 //! * [`scg`] — the full constructive driver of Fig. 2 with its stochastic
-//!   restarts ([`Scg`]).
+//!   restarts ([`Scg`]);
+//! * [`restart`] — the shared-core parallel restart engine scheduling
+//!   those runs over worker threads without changing the answer.
 //!
 //! # Example
 //!
@@ -40,9 +42,11 @@ pub mod dual;
 pub mod greedy;
 pub mod penalty;
 pub mod relax;
+pub mod restart;
 pub mod scg;
 pub mod subgradient;
 
+pub use restart::{restart_seed, splitmix64};
 pub use scg::{Scg, ScgOptions, ScgOutcome};
 pub use subgradient::{
     subgradient_ascent, subgradient_ascent_probed, HistoryPoint, SubgradientOptions,

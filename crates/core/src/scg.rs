@@ -1,20 +1,30 @@
 //! The `ZDD_SCG` constructive driver (Fig. 2 of the paper).
 //!
-//! Flow: implicit + explicit reductions to the cyclic core → subgradient
-//! ascent → (if not proven optimal) `NumIter` constructive runs, each
-//! repeatedly *fixing* columns — the provably-optimal ones from penalty
-//! tests, the "promising" ones from the §3.7 thresholds, and always one
-//! best-rated column by `σ_j = c̃_j − α·μ_j` (randomised among the top
-//! `BestCol` in the restarts) — then re-reducing and re-running the
-//! subgradient, until the residual matrix empties or the local bound proves
-//! no improvement is possible. Finally redundant columns are stripped.
+//! The solve runs in two stages. The *reduce* stage — implicit + explicit
+//! reductions to the cyclic core, partitioning, and the initial subgradient
+//! ascent — is deterministic and runs exactly once per solve. The *restarts*
+//! stage then executes the `NumIter` constructive runs, each repeatedly
+//! *fixing* columns — the provably-optimal ones from penalty tests, the
+//! "promising" ones from the §3.7 thresholds, and always one best-rated
+//! column by `σ_j = c̃_j − α·μ_j` (randomised among the top `BestCol` in
+//! the restarts) — then re-reducing and re-running the subgradient, until
+//! the residual matrix empties or the local bound proves no improvement is
+//! possible. Finally redundant columns are stripped.
+//!
+//! With [`ScgOptions::workers`] > 1 the restarts stage distributes runs
+//! (and disconnected partition blocks) over a scoped thread pool sharing
+//! one incumbent; see [`crate::restart`] for the engine and its
+//! determinism contract — the answer is identical for every worker count.
 
 use crate::dual::dual_ascent;
 use crate::penalty::{dual_penalties, lagrangian_penalties};
+use crate::restart::{past, restart_seed, BufferProbe, RestartCtx, SharedIncumbent};
 use crate::subgradient::{subgradient_ascent_probed, SubgradientOptions, SubgradientResult};
 use cover::{cyclic_core_probed, CoreOptions, CoverMatrix, Reducer, Solution};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use ucp_telemetry::{Event, FixReason, NoopProbe, PenaltyKind, Phase, PhaseTimes, Probe};
 
@@ -41,14 +51,23 @@ pub struct ScgOptions {
     /// `DualPen`: run dual penalties only when the matrix has at most this
     /// many columns (paper: 100).
     pub dual_pen_limit: usize,
-    /// RNG seed for the stochastic restarts.
+    /// RNG seed for the stochastic restarts. Each restart draws its own
+    /// generator seed via [`restart_seed`], so the restart set — and
+    /// therefore the answer — does not depend on scheduling.
     pub seed: u64,
-    /// Optional overall wall-clock budget: once exceeded, no further
-    /// constructive runs start (the current one finishes its round).
+    /// Optional overall wall-clock budget, shared by the whole solve: one
+    /// deadline spans all partition blocks and all restarts. Once it
+    /// passes, no further constructive work starts and in-flight runs
+    /// abort at their next round boundary.
     pub time_limit: Option<std::time::Duration>,
     /// Apply the partitioning reduction (§2): disconnected blocks of the
     /// cyclic core are solved independently and their bounds added.
     pub partition: bool,
+    /// Worker threads for the restarts stage (and for disconnected
+    /// partition blocks). `1` solves inline on the calling thread; `0`
+    /// means "all available parallelism". The answer is the same for
+    /// every value — see [`crate::restart`].
+    pub workers: usize,
 }
 
 impl Default for ScgOptions {
@@ -65,6 +84,7 @@ impl Default for ScgOptions {
             seed: 0xDA7E_2000,
             time_limit: None,
             partition: true,
+            workers: 1,
         }
     }
 }
@@ -100,7 +120,7 @@ pub struct ScgOutcome {
     pub infeasible: bool,
     /// Constructive runs actually executed (`MaxIter` column of Tables 3–4).
     pub iterations: usize,
-    /// Total subgradient iterations across all phases.
+    /// Total subgradient iterations across all phases and workers.
     pub subgradient_iterations: usize,
     /// Cyclic-core computation time (`CC(s)` column of Tables 1–2).
     pub cc_time: Duration,
@@ -110,13 +130,14 @@ pub struct ScgOutcome {
     pub core_rows: usize,
     /// See [`ScgOutcome::core_rows`].
     pub core_cols: usize,
-    /// Wall-clock breakdown over the pipeline phases. For sequential solves
-    /// `phase_times.total()` closely tracks `total_time`; partitioned solves
-    /// accumulate the per-block breakdowns.
+    /// Per-phase time breakdown, summed over all workers and partition
+    /// blocks (CPU seconds, not wall clock: a parallel solve's phase total
+    /// can exceed `total_time`). For sequential solves `phase_times.total()`
+    /// closely tracks `total_time`.
     pub phase_times: PhaseTimes,
-    /// ZDD manager counters from the implicit reduction phase (merged
-    /// across blocks in partitioned solves; all zero when the implicit
-    /// phase was disabled).
+    /// ZDD manager counters from the implicit reduction phase (all zero
+    /// when the implicit phase was disabled). The reduce stage runs once
+    /// per solve, so these are independent of the worker count.
     pub zdd_stats: cover::ZddStats,
 }
 
@@ -155,25 +176,6 @@ pub struct Scg {
     opts: ScgOptions,
 }
 
-/// Best core-level solution tracker shared across constructive runs.
-struct Incumbent {
-    solution: Option<Solution>,
-    cost: f64,
-}
-
-impl Incumbent {
-    /// Offers a candidate cover; returns its (irredundant) cost.
-    fn offer(&mut self, ae: &CoverMatrix, mut sol: Solution) -> f64 {
-        sol.make_irredundant(ae);
-        let cost = sol.cost(ae);
-        if cost < self.cost {
-            self.cost = cost;
-            self.solution = Some(sol);
-        }
-        cost
-    }
-}
-
 /// What one constructive run spent and produced.
 struct RunReport {
     /// Subgradient iterations executed by the run's nested ascents.
@@ -182,8 +184,55 @@ struct RunReport {
     /// phase in the breakdown, not to the constructive phase).
     sub_seconds: f64,
     /// Best complete cover cost the run produced (`+∞` if it aborted
-    /// without completing one).
+    /// without completing one). Doubles as the run's own pruning bound.
     cost: f64,
+}
+
+/// What the restarts stage of one core solve spent.
+#[derive(Default)]
+struct RestartsResult {
+    /// Restarts actually executed.
+    iterations: usize,
+    sub_iters: usize,
+    sub_seconds: f64,
+    /// Seconds inside restarts net of their nested ascents, summed over
+    /// workers (CPU seconds).
+    constructive_seconds: f64,
+}
+
+impl RestartsResult {
+    fn absorb(&mut self, report: &RunReport, wall_seconds: f64) {
+        self.iterations += 1;
+        self.sub_iters += report.sub_iters;
+        self.sub_seconds += report.sub_seconds;
+        self.constructive_seconds += (wall_seconds - report.sub_seconds).max(0.0);
+    }
+}
+
+/// Everything `solve_core` learned about one connected cyclic core.
+struct CoreOutcome {
+    /// Best core-level cover found (`None` only if even the initial
+    /// ascent produced no heuristic cover).
+    solution: Option<Solution>,
+    /// The core's Lagrangian lower bound (rounded up under integer costs).
+    lb: f64,
+    iterations: usize,
+    sub_iters: usize,
+    sub_seconds: f64,
+    constructive_seconds: f64,
+}
+
+/// A partition block's result slot: its core outcome plus the telemetry
+/// its worker buffered, claimed by the merge in block order.
+type BlockSlot = Mutex<Option<(CoreOutcome, Vec<Event>)>>;
+
+/// One restart's buffered telemetry, kept until the merge in restart order.
+struct RestartRecord {
+    run: usize,
+    worker: usize,
+    wall_seconds: f64,
+    report: RunReport,
+    events: Vec<Event>,
 }
 
 impl Scg {
@@ -195,6 +244,16 @@ impl Scg {
     /// Convenience constructor with default options.
     pub fn with_defaults() -> Self {
         Scg::new(ScgOptions::default())
+    }
+
+    /// Worker threads to actually use (`workers == 0` means "all cores").
+    fn effective_workers(&self) -> usize {
+        match self.opts.workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            w => w,
+        }
     }
 
     /// Solves the unate covering instance `m`.
@@ -213,15 +272,24 @@ impl Scg {
     /// [`Event::ColumnFix`] and [`Event::PenaltyElim`] events. Column indices
     /// in `ColumnFix` events refer to the cyclic core.
     ///
+    /// The probe never crosses threads: with `workers > 1`, restarts (and
+    /// partition blocks) record into per-worker buffers that are replayed
+    /// into this probe in restart order (block order for blocks) after the
+    /// pool joins, so a parallel trace reads like a sequential one apart
+    /// from the `worker` tags on restart events.
+    ///
     /// With [`NoopProbe`] (what [`Scg::solve`] passes) all instrumentation
-    /// monomorphises away; the phase wall-clock breakdown in
-    /// [`ScgOutcome::phase_times`] is filled in either way.
+    /// monomorphises away; the phase breakdown in [`ScgOutcome::phase_times`]
+    /// is filled in either way.
     pub fn solve_with_probe<P: Probe>(&self, m: &CoverMatrix, probe: &mut P) -> ScgOutcome {
         let start = Instant::now();
+        // One deadline for the whole solve: every block and every restart
+        // races the same clock.
+        let deadline = self.opts.time_limit.map(|budget| start + budget);
         let integer_costs = m.integer_costs();
         let mut phases = PhaseTimes::default();
 
-        // ---- Reductions to the cyclic core (implicit + explicit). ----
+        // ---- Reduce stage: reductions to the cyclic core (run once). ----
         let core_res = cyclic_core_probed(m, &self.opts.core, &mut *probe);
         phases.add(
             Phase::ImplicitReduction,
@@ -284,97 +352,21 @@ impl Scg {
                 seconds: partition_time,
             });
             if blocks.len() > 1 {
-                return self.solve_blocks(m, &core_res, blocks, start, phases, probe);
+                return self.solve_blocks(m, &core_res, blocks, start, deadline, phases, probe);
             }
         }
 
-        // ---- Initial subgradient phase on the exact cyclic core. ----
-        let mut sub_opts = self.opts.subgradient;
-        sub_opts.occurrence_heuristic = true;
-        probe.record(Event::PhaseBegin {
-            phase: Phase::Subgradient,
-        });
-        let sub_start = Instant::now();
-        let sub0 = subgradient_ascent_probed(ae, &sub_opts, None, None, &mut *probe);
-        let sub_time = sub_start.elapsed().as_secs_f64();
-        phases.add(Phase::Subgradient, sub_time);
-        probe.record(Event::PhaseEnd {
-            phase: Phase::Subgradient,
-            seconds: sub_time,
-        });
-        let mut sub_iters = sub0.iterations;
-
-        let mut incumbent = Incumbent {
-            solution: None,
-            cost: f64::INFINITY,
-        };
-        if let Some(sol) = sub0.best_solution.clone() {
-            incumbent.offer(ae, sol);
-        }
-
-        let core_lb = if integer_costs {
-            sub0.lb_ceil()
-        } else {
-            sub0.lb
-        };
-        let global_lb = fixed_cost + core_lb.max(0.0);
-
-        let mut iterations = 0usize;
-        if !(integer_costs && incumbent.cost <= core_lb + 1e-9) {
-            // ---- NumIter constructive runs. ----
-            probe.record(Event::PhaseBegin {
-                phase: Phase::Constructive,
-            });
-            let constructive_start = Instant::now();
-            let mut nested_sub_time = 0.0f64;
-            let mut rng = StdRng::seed_from_u64(self.opts.seed);
-            for iter in 1..=self.opts.num_iter {
-                if self
-                    .opts
-                    .time_limit
-                    .is_some_and(|budget| start.elapsed() > budget)
-                {
-                    break;
-                }
-                iterations = iter;
-                let best_col = if iter == 1 {
-                    1
-                } else {
-                    (1 + (iter - 1) * self.opts.best_col_growth).min(16)
-                };
-                probe.record(Event::RestartBegin { run: iter });
-                let run =
-                    self.constructive_run(ae, &sub0, best_col, &mut rng, &mut incumbent, probe);
-                sub_iters += run.sub_iters;
-                nested_sub_time += run.sub_seconds;
-                if probe.enabled() {
-                    probe.record(Event::RestartEnd {
-                        run: iter,
-                        cost: run.cost,
-                        best_cost: incumbent.cost,
-                    });
-                }
-                if integer_costs && incumbent.cost <= core_lb + 1e-9 {
-                    break;
-                }
-            }
-            // Nested ascents report under Subgradient; the constructive
-            // phase keeps only the time spent outside them.
-            let constructive_time =
-                (constructive_start.elapsed().as_secs_f64() - nested_sub_time).max(0.0);
-            phases.add(Phase::Constructive, constructive_time);
-            phases.add(Phase::Subgradient, nested_sub_time);
-            probe.record(Event::PhaseEnd {
-                phase: Phase::Constructive,
-                seconds: constructive_time,
-            });
-        }
+        // ---- Restarts stage on the single connected core. ----
+        let co = self.solve_core(ae, integer_costs, deadline, 0, false, &mut *probe);
+        phases.add(Phase::Subgradient, co.sub_seconds);
+        phases.add(Phase::Constructive, co.constructive_seconds);
+        let global_lb = fixed_cost + co.lb.max(0.0);
 
         probe.record(Event::PhaseBegin {
             phase: Phase::Postprocess,
         });
         let post_start = Instant::now();
-        let solution = match incumbent.solution {
+        let solution = match co.solution {
             Some(core_sol) => core_sol.lift(&core_res.col_map, &core_res.fixed_cols),
             None => Solution::from_cols(core_res.fixed_cols.clone()),
         };
@@ -392,8 +384,8 @@ impl Scg {
             lower_bound: global_lb,
             proven_optimal,
             infeasible: false,
-            iterations,
-            subgradient_iterations: sub_iters,
+            iterations: co.iterations,
+            subgradient_iterations: co.sub_iters,
             cc_time: core_res.cc_time,
             total_time: start.elapsed(),
             core_rows: ae.num_rows(),
@@ -403,13 +395,24 @@ impl Scg {
         }
     }
 
-    /// Solves a partitioned cyclic core block by block and recombines.
+    /// Solves the disconnected blocks of an already-reduced cyclic core
+    /// and recombines.
+    ///
+    /// Blocks of a matrix at the reduction fixpoint are themselves at the
+    /// fixpoint (no reduction rule crosses disjoint components), so each
+    /// block goes straight to its ascent + restarts — the cyclic core is
+    /// computed exactly once per solve and the ZDD counters describe that
+    /// single computation. With `workers > 1` the blocks themselves solve
+    /// concurrently (restarts inside each block then run inline), their
+    /// telemetry buffered per block and replayed in block order.
+    #[allow(clippy::too_many_arguments)]
     fn solve_blocks<P: Probe>(
         &self,
         m: &CoverMatrix,
         core_res: &cover::CoreResult,
         blocks: Vec<cover::Block>,
         start: Instant,
+        deadline: Option<Instant>,
         mut phases: PhaseTimes,
         probe: &mut P,
     ) -> ScgOutcome {
@@ -418,44 +421,92 @@ impl Scg {
         let mut lower_bound = fixed_cost;
         let mut iterations = 0usize;
         let mut sub_iters = 0usize;
-        let sub_opts = ScgOptions {
-            partition: false, // blocks are connected by construction
-            ..self.opts
+        let workers = self.effective_workers();
+
+        let outcomes: Vec<CoreOutcome> = if workers > 1 && blocks.len() > 1 {
+            let enabled = probe.enabled();
+            let next = AtomicUsize::new(0);
+            let slots: Vec<BlockSlot> = blocks.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for w in 0..workers.min(blocks.len()) {
+                    let next = &next;
+                    let slots = &slots;
+                    let blocks = &blocks;
+                    scope.spawn(move || loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= blocks.len() {
+                            break;
+                        }
+                        let block = &blocks[b];
+                        let mut buf = BufferProbe::new(enabled);
+                        let co = self.solve_core(
+                            &block.matrix,
+                            block.matrix.integer_costs(),
+                            deadline,
+                            w,
+                            true,
+                            &mut buf,
+                        );
+                        *slots[b].lock().expect("block slot lock") = Some((co, buf.into_events()));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    let (co, events) = slot
+                        .into_inner()
+                        .expect("block slot lock")
+                        .expect("every block is solved");
+                    for event in events {
+                        probe.record(event);
+                    }
+                    co
+                })
+                .collect()
+        } else {
+            blocks
+                .iter()
+                .map(|block| {
+                    self.solve_core(
+                        &block.matrix,
+                        block.matrix.integer_costs(),
+                        deadline,
+                        0,
+                        false,
+                        &mut *probe,
+                    )
+                })
+                .collect()
         };
-        let mut zdd_stats = core_res.zdd_stats;
-        for block in blocks {
-            let sub = Scg::new(sub_opts).solve_with_probe(&block.matrix, &mut *probe);
-            phases.merge(&sub.phase_times);
-            zdd_stats.merge(&sub.zdd_stats);
-            sub_iters += sub.subgradient_iterations;
-            iterations = iterations.max(sub.iterations);
-            if sub.infeasible {
-                return ScgOutcome {
-                    solution: Solution::new(),
-                    cost: f64::INFINITY,
-                    lower_bound: f64::INFINITY,
-                    proven_optimal: false,
-                    infeasible: true,
-                    iterations,
-                    subgradient_iterations: sub_iters,
-                    cc_time: core_res.cc_time,
-                    total_time: start.elapsed(),
-                    core_rows: core_res.core.num_rows(),
-                    core_cols: core_res.core.num_cols(),
-                    phase_times: phases,
-                    zdd_stats,
-                };
+
+        for (block, co) in blocks.iter().zip(&outcomes) {
+            phases.add(Phase::Subgradient, co.sub_seconds);
+            phases.add(Phase::Constructive, co.constructive_seconds);
+            sub_iters += co.sub_iters;
+            iterations = iterations.max(co.iterations);
+            lower_bound += co.lb.max(0.0);
+            if let Some(sol) = &co.solution {
+                solution.extend(
+                    sol.cols()
+                        .iter()
+                        .map(|&j| core_res.col_map[block.col_map[j]]),
+                );
             }
-            lower_bound += sub.lower_bound;
-            solution.extend(
-                sub.solution
-                    .cols()
-                    .iter()
-                    .map(|&j| core_res.col_map[block.col_map[j]]),
-            );
         }
+
+        probe.record(Event::PhaseBegin {
+            phase: Phase::Postprocess,
+        });
+        let post_start = Instant::now();
         let cost = solution.cost(m);
         let proven_optimal = m.integer_costs() && cost <= lower_bound + 1e-9;
+        let post_time = post_start.elapsed().as_secs_f64();
+        phases.add(Phase::Postprocess, post_time);
+        probe.record(Event::PhaseEnd {
+            phase: Phase::Postprocess,
+            seconds: post_time,
+        });
         ScgOutcome {
             solution,
             cost,
@@ -469,20 +520,241 @@ impl Scg {
             core_rows: core_res.core.num_rows(),
             core_cols: core_res.core.num_cols(),
             phase_times: phases,
-            zdd_stats,
+            zdd_stats: core_res.zdd_stats,
         }
     }
 
-    /// One constructive run over the saved cyclic core `ae`. Updates the
-    /// incumbent; reports the subgradient effort spent and the best cover
-    /// cost this run produced.
+    /// Restarts stage for one connected, fully-reduced core: the initial
+    /// subgradient ascent (run once) followed by the `NumIter` restarts.
+    ///
+    /// `worker_tag` labels this core's restart events when they run inline;
+    /// `force_serial` keeps restarts on the calling thread (used when the
+    /// caller already parallelised across partition blocks).
+    #[allow(clippy::too_many_arguments)]
+    fn solve_core<P: Probe>(
+        &self,
+        ae: &CoverMatrix,
+        integer_costs: bool,
+        deadline: Option<Instant>,
+        worker_tag: usize,
+        force_serial: bool,
+        probe: &mut P,
+    ) -> CoreOutcome {
+        // ---- Initial subgradient ascent (deterministic, run once). ----
+        let mut sub_opts = self.opts.subgradient;
+        sub_opts.occurrence_heuristic = true;
+        probe.record(Event::PhaseBegin {
+            phase: Phase::Subgradient,
+        });
+        let sub_start = Instant::now();
+        let sub0 = subgradient_ascent_probed(ae, &sub_opts, None, None, &mut *probe);
+        let sub_time = sub_start.elapsed().as_secs_f64();
+        probe.record(Event::PhaseEnd {
+            phase: Phase::Subgradient,
+            seconds: sub_time,
+        });
+
+        let core_lb = if integer_costs {
+            sub0.lb_ceil()
+        } else {
+            sub0.lb
+        };
+        let incumbent = SharedIncumbent::new();
+        if let Some(sol) = sub0.best_solution.clone() {
+            // Index 0: the initial ascent's heuristic cover, so every
+            // restart loses ties against it.
+            incumbent.offer(ae, sol, 0);
+        }
+        let base_ub = incumbent.best_cost();
+
+        let mut restarts = RestartsResult::default();
+        // A cover at the bound floor cannot be improved: skip the restarts.
+        if base_ub > core_lb + 1e-9 {
+            probe.record(Event::PhaseBegin {
+                phase: Phase::Constructive,
+            });
+            restarts = self.run_restarts(
+                ae,
+                &sub0,
+                core_lb,
+                base_ub,
+                deadline,
+                worker_tag,
+                force_serial,
+                &incumbent,
+                probe,
+            );
+            probe.record(Event::PhaseEnd {
+                phase: Phase::Constructive,
+                seconds: restarts.constructive_seconds,
+            });
+        }
+
+        let (_cost, solution) = incumbent.into_best();
+        CoreOutcome {
+            solution,
+            lb: core_lb,
+            iterations: restarts.iterations,
+            sub_iters: sub0.iterations + restarts.sub_iters,
+            sub_seconds: sub_time + restarts.sub_seconds,
+            constructive_seconds: restarts.constructive_seconds,
+        }
+    }
+
+    /// Schedules the `NumIter` constructive runs, inline or across a
+    /// scoped worker pool. Either way restart `k` runs with the seed
+    /// `restart_seed(opts.seed, k)` and the deterministic pruning bound
+    /// described in [`crate::restart`], so the set of offers — and hence
+    /// the answer — is the same.
+    #[allow(clippy::too_many_arguments)]
+    fn run_restarts<P: Probe>(
+        &self,
+        ae: &CoverMatrix,
+        sub0: &SubgradientResult,
+        core_lb: f64,
+        base_ub: f64,
+        deadline: Option<Instant>,
+        worker_tag: usize,
+        force_serial: bool,
+        incumbent: &SharedIncumbent,
+        probe: &mut P,
+    ) -> RestartsResult {
+        let num_iter = self.opts.num_iter;
+        let pool = if force_serial {
+            1
+        } else {
+            self.effective_workers().min(num_iter.max(1))
+        };
+        let mut result = RestartsResult::default();
+
+        if pool <= 1 {
+            for run in 1..=num_iter {
+                if past(deadline) || incumbent.superseded(run) {
+                    break;
+                }
+                probe.record(Event::RestartBegin {
+                    run,
+                    worker: worker_tag,
+                });
+                let run_start = Instant::now();
+                let report =
+                    self.restart_run(ae, sub0, run, core_lb, base_ub, deadline, incumbent, probe);
+                let wall = run_start.elapsed().as_secs_f64();
+                if probe.enabled() {
+                    probe.record(Event::RestartEnd {
+                        run,
+                        worker: worker_tag,
+                        cost: report.cost,
+                        best_cost: incumbent.best_cost(),
+                    });
+                }
+                result.absorb(&report, wall);
+            }
+            return result;
+        }
+
+        // Pooled path: workers pull restart indices from a shared counter
+        // and buffer their events; buffers are replayed in restart order
+        // afterwards so the merged trace is schedule-independent apart
+        // from the worker tags.
+        let enabled = probe.enabled();
+        let next = AtomicUsize::new(1);
+        let records: Mutex<Vec<RestartRecord>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for worker in 0..pool {
+                let next = &next;
+                let records = &records;
+                scope.spawn(move || loop {
+                    let run = next.fetch_add(1, Ordering::Relaxed);
+                    if run > num_iter || past(deadline) || incumbent.superseded(run) {
+                        break;
+                    }
+                    let mut buf = BufferProbe::new(enabled);
+                    let run_start = Instant::now();
+                    let report = self.restart_run(
+                        ae, sub0, run, core_lb, base_ub, deadline, incumbent, &mut buf,
+                    );
+                    records
+                        .lock()
+                        .expect("restart records lock")
+                        .push(RestartRecord {
+                            run,
+                            worker,
+                            wall_seconds: run_start.elapsed().as_secs_f64(),
+                            report,
+                            events: buf.into_events(),
+                        });
+                });
+            }
+        });
+
+        let mut records = records.into_inner().expect("restart records lock");
+        records.sort_by_key(|r| r.run);
+        // Replay in restart order, reconstructing the best-so-far prefix so
+        // `RestartEnd::best_cost` is monotone exactly as in a serial trace.
+        let mut best = base_ub;
+        for rec in records {
+            best = best.min(rec.report.cost);
+            if enabled {
+                probe.record(Event::RestartBegin {
+                    run: rec.run,
+                    worker: rec.worker,
+                });
+                for event in rec.events {
+                    probe.record(event);
+                }
+                probe.record(Event::RestartEnd {
+                    run: rec.run,
+                    worker: rec.worker,
+                    cost: rec.report.cost,
+                    best_cost: best,
+                });
+            }
+            result.absorb(&rec.report, rec.wall_seconds);
+        }
+        result
+    }
+
+    /// Runs constructive restart `run` (1-based) with its derived seed and
+    /// `BestCol` width.
+    #[allow(clippy::too_many_arguments)]
+    fn restart_run<P: Probe>(
+        &self,
+        ae: &CoverMatrix,
+        sub0: &SubgradientResult,
+        run: usize,
+        core_lb: f64,
+        base_ub: f64,
+        deadline: Option<Instant>,
+        incumbent: &SharedIncumbent,
+        probe: &mut P,
+    ) -> RunReport {
+        let best_col = if run == 1 {
+            1
+        } else {
+            (1 + (run - 1) * self.opts.best_col_growth).min(16)
+        };
+        let mut rng = StdRng::seed_from_u64(restart_seed(self.opts.seed, run));
+        let ctx = RestartCtx {
+            incumbent,
+            restart: run,
+            base_ub,
+            core_lb,
+            deadline,
+        };
+        self.constructive_run(ae, sub0, best_col, &mut rng, &ctx, probe)
+    }
+
+    /// One constructive run over the saved cyclic core `ae`. Offers covers
+    /// to the shared incumbent; reports the subgradient effort spent and
+    /// the best cover cost this run produced.
     fn constructive_run<P: Probe>(
         &self,
         ae: &CoverMatrix,
         sub0: &SubgradientResult,
         best_col: usize,
         rng: &mut StdRng,
-        incumbent: &mut Incumbent,
+        ctx: &RestartCtx<'_>,
         probe: &mut P,
     ) -> RunReport {
         let mut cur = ae.clone();
@@ -500,8 +772,16 @@ impl Scg {
         let max_rounds = ae.num_cols() + 2;
 
         for _round in 0..max_rounds {
-            let local_ub = incumbent.cost - chosen_cost;
-            // This branch cannot beat the incumbent: stop (the pseudocode's
+            // A sibling certified at the bound floor, or the deadline
+            // passed: this run's offers can no longer matter.
+            if ctx.should_abort() {
+                return report;
+            }
+            // The pruning bound is deterministic — the initial incumbent
+            // and this run's own offers, never a sibling's (see
+            // crate::restart for why that distinction is load-bearing).
+            let local_ub = ctx.path_ub(report.cost) - chosen_cost;
+            // This branch cannot beat the bound: stop (the pseudocode's
             // `z_best ≤ ⌈LB⌉` exit).
             if sub.lb >= local_ub - 1e-9 {
                 return report;
@@ -617,7 +897,7 @@ impl Scg {
             cur = next;
 
             if cur.num_rows() == 0 {
-                let offered = incumbent.offer(ae, Solution::from_cols(chosen));
+                let offered = ctx.offer(ae, Solution::from_cols(chosen));
                 report.cost = report.cost.min(offered);
                 return report;
             }
@@ -644,7 +924,7 @@ impl Scg {
             if let Some(part) = &sub.best_solution {
                 let mut full = Solution::from_cols(chosen.clone());
                 full.extend(part.cols().iter().map(|&j| cur_to_core[j]));
-                let offered = incumbent.offer(ae, full);
+                let offered = ctx.offer(ae, full);
                 report.cost = report.cost.min(offered);
             }
         }
@@ -788,21 +1068,38 @@ mod partition_tests {
         // The initial subgradient always runs; restarts are skipped.
         assert!(out.solution.is_feasible(&m));
     }
+
+    #[test]
+    fn concurrent_blocks_match_serial_blocks() {
+        let m = two_cycles(9);
+        let serial = Scg::with_defaults().solve(&m);
+        let parallel = Scg::new(ScgOptions {
+            workers: 4,
+            ..ScgOptions::default()
+        })
+        .solve(&m);
+        assert_eq!(serial.cost, parallel.cost);
+        assert_eq!(serial.solution.cols(), parallel.solution.cols());
+        assert_eq!(serial.lower_bound, parallel.lower_bound);
+    }
 }
 
 impl Scg {
-    /// Runs `workers` independent solves with distinct seeds in parallel and
-    /// returns the best outcome (ties broken towards certified results).
+    /// Solves `m` with the shared-core restart engine spread over `workers`
+    /// threads — shorthand for setting [`ScgOptions::workers`].
     ///
-    /// Restarts are the paper's own diversification mechanism; running them
-    /// concurrently changes nothing semantically — every worker is a
-    /// deterministic `solve` with seed `opts.seed + k` — but uses the
-    /// machine. Lower bounds from all workers are combined (each is valid,
-    /// so the maximum is too).
+    /// Reductions, partitioning and the initial subgradient ascent run
+    /// once; only the `NumIter` constructive restarts (and disconnected
+    /// partition blocks) are distributed. All workers share one incumbent,
+    /// stop as soon as any restart certifies `cost ≤ ⌈LB⌉`, and their
+    /// phase/iteration counters are aggregated, so the outcome — cost,
+    /// solution, bound, and work accounting — is exactly the single-worker
+    /// outcome, only faster.
     ///
     /// # Panics
     ///
-    /// Panics if `workers == 0`.
+    /// Panics if `workers == 0` (pass [`ScgOptions::workers`]` = 0` for
+    /// "all cores" instead, where the meaning is unambiguous).
     ///
     /// # Example
     ///
@@ -818,41 +1115,24 @@ impl Scg {
     /// assert_eq!(out.cost, 3.0);
     /// ```
     pub fn solve_parallel(&self, m: &CoverMatrix, workers: usize) -> ScgOutcome {
+        self.solve_parallel_with_probe(m, workers, &mut NoopProbe)
+    }
+
+    /// [`Scg::solve_parallel`] with a telemetry probe: the parallel path
+    /// is fully observable (worker-tagged restart events, merged in
+    /// restart order).
+    pub fn solve_parallel_with_probe<P: Probe>(
+        &self,
+        m: &CoverMatrix,
+        workers: usize,
+        probe: &mut P,
+    ) -> ScgOutcome {
         assert!(workers > 0, "need at least one worker");
-        if workers == 1 {
-            return self.solve(m);
-        }
-        let outcomes: Vec<ScgOutcome> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|k| {
-                    let opts = ScgOptions {
-                        seed: self.opts.seed.wrapping_add(k as u64),
-                        ..self.opts
-                    };
-                    scope.spawn(move || Scg::new(opts).solve(m))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        let best_lb = outcomes
-            .iter()
-            .map(|o| o.lower_bound)
-            .fold(f64::NEG_INFINITY, f64::max);
-        let mut best = outcomes
-            .into_iter()
-            .min_by(|a, b| {
-                (a.cost, !a.proven_optimal)
-                    .partial_cmp(&(b.cost, !b.proven_optimal))
-                    .expect("costs are comparable")
-            })
-            .expect("workers > 0");
-        best.lower_bound = best.lower_bound.max(best_lb);
-        best.proven_optimal =
-            best.proven_optimal || (m.integer_costs() && best.cost <= best.lower_bound + 1e-9);
-        best
+        Scg::new(ScgOptions {
+            workers,
+            ..self.opts
+        })
+        .solve_with_probe(m, probe)
     }
 }
 
@@ -884,5 +1164,36 @@ mod parallel_tests {
     fn zero_workers_panics() {
         let m = CoverMatrix::from_rows(1, vec![vec![0]]);
         let _ = Scg::with_defaults().solve_parallel(&m, 0);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_answer() {
+        // Bit-exact determinism across worker counts is the engine's core
+        // contract; the integration suite exercises harder instances.
+        let m = CoverMatrix::from_rows(11, (0..11).map(|i| vec![i, (i + 1) % 11]).collect());
+        let base = Scg::with_defaults().solve(&m);
+        for workers in [2usize, 3, 8] {
+            let out = Scg::with_defaults().solve_parallel(&m, workers);
+            assert_eq!(out.cost, base.cost, "workers = {workers}");
+            assert_eq!(
+                out.solution.cols(),
+                base.solution.cols(),
+                "workers = {workers}"
+            );
+            assert_eq!(out.lower_bound, base.lower_bound, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn workers_zero_in_options_means_all_cores() {
+        let m = CoverMatrix::from_rows(7, (0..7).map(|i| vec![i, (i + 1) % 7]).collect());
+        let out = Scg::new(ScgOptions {
+            workers: 0,
+            ..ScgOptions::default()
+        })
+        .solve(&m);
+        let base = Scg::with_defaults().solve(&m);
+        assert_eq!(out.cost, base.cost);
+        assert_eq!(out.solution.cols(), base.solution.cols());
     }
 }

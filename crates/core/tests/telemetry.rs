@@ -116,7 +116,7 @@ fn restarts_bracket_and_track_the_incumbent() {
     let mut last_best = f64::INFINITY;
     for te in probe.events() {
         match te.event {
-            Event::RestartBegin { run } => {
+            Event::RestartBegin { run, .. } => {
                 assert!(open.is_none(), "restart {run} began inside another");
                 open = Some(run);
             }
@@ -124,6 +124,7 @@ fn restarts_bracket_and_track_the_incumbent() {
                 run,
                 cost,
                 best_cost,
+                ..
             } => {
                 assert_eq!(open.take(), Some(run), "unmatched RestartEnd");
                 assert!(best_cost <= cost, "incumbent worse than the run's cover");

@@ -83,12 +83,15 @@ pub enum Event {
         mu: f64,
         reason: FixReason,
     },
-    /// A constructive run (restart) began.
-    RestartBegin { run: usize },
+    /// A constructive run (restart) began on worker `worker`.
+    RestartBegin { run: usize, worker: usize },
     /// A constructive run finished with `cost`; `best_cost` is the
-    /// incumbent after accounting for this run.
+    /// shared incumbent after accounting for runs up to this one
+    /// (restart-order prefix, so it is monotone in merged traces even
+    /// when runs executed concurrently on several workers).
     RestartEnd {
         run: usize,
+        worker: usize,
         cost: f64,
         best_cost: f64,
     },
@@ -149,15 +152,18 @@ impl Event {
                 obj.field_f64("mu", *mu);
                 obj.field_str("reason", reason.name());
             }
-            Event::RestartBegin { run } => {
+            Event::RestartBegin { run, worker } => {
                 obj.field_u64("run", *run as u64);
+                obj.field_u64("worker", *worker as u64);
             }
             Event::RestartEnd {
                 run,
+                worker,
                 cost,
                 best_cost,
             } => {
                 obj.field_u64("run", *run as u64);
+                obj.field_u64("worker", *worker as u64);
                 obj.field_f64("cost", *cost);
                 obj.field_f64("best_cost", *best_cost);
             }
@@ -197,9 +203,10 @@ mod tests {
                 mu: 0.0,
                 reason: FixReason::RatedPick,
             },
-            Event::RestartBegin { run: 0 },
+            Event::RestartBegin { run: 0, worker: 0 },
             Event::RestartEnd {
                 run: 0,
+                worker: 0,
                 cost: 0.0,
                 best_cost: 0.0,
             },

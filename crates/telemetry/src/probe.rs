@@ -181,7 +181,7 @@ mod tests {
     fn noop_is_disabled() {
         let mut p = NoopProbe;
         assert!(!p.enabled());
-        p.record(Event::RestartBegin { run: 0 }); // must be a no-op, not a panic
+        p.record(Event::RestartBegin { run: 0, worker: 0 }); // must be a no-op, not a panic
     }
 
     #[test]
@@ -231,7 +231,7 @@ mod tests {
     #[test]
     fn probe_usable_through_mut_ref() {
         fn takes_probe<P: Probe>(p: &mut P) {
-            p.record(Event::RestartBegin { run: 1 });
+            p.record(Event::RestartBegin { run: 1, worker: 0 });
         }
         let mut rec = RecordingProbe::new();
         takes_probe(&mut &mut rec);

@@ -175,9 +175,9 @@ mod tests {
     #[test]
     fn write_errors_are_sticky_and_reported() {
         let mut sink = JsonlSink::new(FailAfter { remaining: 1 });
-        sink.record(Event::RestartBegin { run: 0 }); // ok
-        sink.record(Event::RestartBegin { run: 1 }); // fails
-        sink.record(Event::RestartBegin { run: 2 }); // dropped silently
+        sink.record(Event::RestartBegin { run: 0, worker: 0 }); // ok
+        sink.record(Event::RestartBegin { run: 1, worker: 0 }); // fails
+        sink.record(Event::RestartBegin { run: 2, worker: 0 }); // dropped silently
         assert_eq!(sink.lines_written(), 1);
         assert!(sink.finish().is_err());
     }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ucp minimize <file.pla> [-o out.pla] [--exact]   two-level minimisation
-//! ucp solve <instance> [--exact] [--trace <path>] [--stats]
+//! ucp solve <instance> [--exact] [-j N|--workers N] [--trace <path>] [--stats]
 //! ucp bounds <file.ucp>                            print the bound chain
 //! ucp suite [easy|difficult|challenging]           describe the benchmark suite
 //! ```
@@ -15,7 +15,13 @@
 //! `--trace <path>` streams the solver's telemetry events (phase begin/end,
 //! per-iteration subgradient state, penalty eliminations, column fixes,
 //! restarts) as schema-versioned JSON lines; `--stats` prints the phase
-//! wall-clock breakdown and ZDD manager counters after the solve.
+//! breakdown and ZDD manager counters after the solve.
+//!
+//! `-j N` / `--workers N` spreads the constructive restarts (and
+//! disconnected partition blocks) over `N` threads sharing one incumbent;
+//! `-j 0` uses all cores. The answer is identical for every `N` — only
+//! the wall clock changes. Traces stay complete: restart events carry a
+//! `worker` tag and are merged in restart order.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -43,7 +49,9 @@ fn main() -> ExitCode {
         None => {
             eprintln!("usage: ucp <minimize|solve|bounds|suite> …");
             eprintln!("  minimize <file.pla> [-o out.pla] [--exact]");
-            eprintln!("  solve    <instance> [--exact] [--trace <path>] [--stats]");
+            eprintln!(
+                "  solve    <instance> [--exact] [-j N|--workers N] [--trace <path>] [--stats]"
+            );
             eprintln!("  bounds   <file.ucp>");
             eprintln!("  suite    [easy|difficult|challenging]");
             eprintln!("  generate <instance-name> [-o out.ucp]");
@@ -150,6 +158,13 @@ fn cmd_solve(args: &[String]) -> CliResult {
         ),
         None => None,
     };
+    let workers = match args.iter().position(|a| a == "-j" || a == "--workers") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|n| n.parse::<usize>().ok())
+            .ok_or("-j/--workers needs a thread count (0 = all cores)")?,
+        None => 1,
+    };
     // The instance is the first positional argument (skipping flag values).
     let mut path: Option<&String> = None;
     let mut skip_next = false;
@@ -158,7 +173,7 @@ fn cmd_solve(args: &[String]) -> CliResult {
             skip_next = false;
             continue;
         }
-        if a == "--trace" {
+        if a == "--trace" || a == "-j" || a == "--workers" {
             skip_next = true;
             continue;
         }
@@ -190,7 +205,10 @@ fn cmd_solve(args: &[String]) -> CliResult {
         return Ok(());
     }
 
-    let solver = Scg::new(ScgOptions::default());
+    let solver = Scg::new(ScgOptions {
+        workers,
+        ..ScgOptions::default()
+    });
     let out = match trace_path {
         Some(trace) => {
             let file = std::fs::File::create(trace)

@@ -1,0 +1,178 @@
+//! Integration tests for the shared-core parallel restart engine: the
+//! answer must be byte-identical for every worker count, the reduce
+//! stage must run exactly once per solve, telemetry must merge cleanly
+//! across workers, and one `time_limit` deadline must span all
+//! partition blocks.
+
+use std::time::{Duration, Instant};
+use ucp::cover::CoverMatrix;
+use ucp::ucp_core::{Scg, ScgOptions};
+use ucp::ucp_telemetry::{Event, Phase, RecordingProbe};
+
+/// The Steiner triple system STS(9) as a point-cover problem. Its
+/// Lagrangian bound (3) sits strictly below the optimum cover (5), so
+/// no restart can certify at the bound floor and the whole `NumIter`
+/// schedule runs — the right fixture for exercising worker pools.
+fn sts9_rows() -> Vec<Vec<usize>> {
+    vec![
+        vec![0, 1, 2],
+        vec![3, 4, 5],
+        vec![6, 7, 8],
+        vec![0, 3, 6],
+        vec![1, 4, 7],
+        vec![2, 5, 8],
+        vec![0, 4, 8],
+        vec![1, 5, 6],
+        vec![2, 3, 7],
+        vec![0, 5, 7],
+        vec![1, 3, 8],
+        vec![2, 4, 6],
+    ]
+}
+
+fn sts9() -> CoverMatrix {
+    CoverMatrix::from_rows(9, sts9_rows())
+}
+
+/// `k` disjoint copies of STS(9): reduction-stable (no rule crosses
+/// components), so the cyclic core partitions into `k` blocks that the
+/// engine solves independently.
+fn sts9_blocks(k: usize) -> CoverMatrix {
+    let mut rows = Vec::new();
+    for b in 0..k {
+        for line in sts9_rows() {
+            rows.push(line.into_iter().map(|j| j + 9 * b).collect());
+        }
+    }
+    CoverMatrix::from_rows(9 * k, rows)
+}
+
+fn opts_with(workers: usize, num_iter: usize) -> ScgOptions {
+    ScgOptions {
+        workers,
+        num_iter,
+        ..ScgOptions::default()
+    }
+}
+
+#[test]
+fn worker_count_never_changes_the_answer() {
+    for m in [sts9(), sts9_blocks(3)] {
+        let base = Scg::new(opts_with(1, 12)).solve(&m);
+        assert!(base.solution.is_feasible(&m));
+        for workers in [2, 8] {
+            let par = Scg::new(opts_with(workers, 12)).solve(&m);
+            assert_eq!(base.cost, par.cost, "cost diverged at {workers} workers");
+            assert_eq!(
+                base.solution.cols(),
+                par.solution.cols(),
+                "solution diverged at {workers} workers"
+            );
+            assert_eq!(base.lower_bound, par.lower_bound);
+            assert_eq!(base.iterations, par.iterations);
+        }
+    }
+}
+
+#[test]
+fn solve_parallel_matches_the_options_route() {
+    let m = sts9();
+    let via_opts = Scg::new(opts_with(4, 8)).solve(&m);
+    let via_api = Scg::new(opts_with(1, 8)).solve_parallel(&m, 4);
+    assert_eq!(via_opts.cost, via_api.cost);
+    assert_eq!(via_opts.solution.cols(), via_api.solution.cols());
+}
+
+#[test]
+fn reduce_stage_runs_exactly_once_with_a_worker_pool() {
+    let m = sts9_blocks(3);
+    let mut probe = RecordingProbe::new();
+    let par = Scg::new(opts_with(8, 8)).solve_with_probe(&m, &mut probe);
+    let (mut implicit, mut explicit) = (0usize, 0usize);
+    for te in probe.events() {
+        if let Event::PhaseBegin { phase } = te.event {
+            match phase {
+                Phase::ImplicitReduction => implicit += 1,
+                Phase::ExplicitReduction => explicit += 1,
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(implicit, 1, "implicit reduction must run once per solve");
+    assert_eq!(explicit, 1, "explicit reduction must run once per solve");
+    // The ZDD counters describe that single reduction, so they cannot
+    // depend on the worker count.
+    let serial = Scg::new(opts_with(1, 8)).solve(&m);
+    assert_eq!(par.zdd_stats, serial.zdd_stats);
+}
+
+#[test]
+fn parallel_trace_is_ordered_and_worker_tagged() {
+    let mut probe = RecordingProbe::new();
+    let out = Scg::new(opts_with(8, 10)).solve_with_probe(&sts9(), &mut probe);
+    let mut expected_run = 1usize;
+    let mut last_best = f64::INFINITY;
+    let mut ends = 0usize;
+    for te in probe.events() {
+        match te.event {
+            Event::RestartBegin { run, .. } => {
+                assert_eq!(run, expected_run, "restarts must replay in run order");
+            }
+            Event::RestartEnd {
+                run,
+                cost,
+                best_cost,
+                ..
+            } => {
+                assert_eq!(run, expected_run);
+                expected_run += 1;
+                ends += 1;
+                assert!(best_cost <= cost, "incumbent worse than the run's cover");
+                assert!(best_cost <= last_best, "merged best_cost not monotone");
+                last_best = best_cost;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(ends, out.iterations, "one begin/end pair per restart");
+    assert_eq!(last_best, out.cost, "final incumbent matches the outcome");
+}
+
+#[test]
+fn recording_a_parallel_solve_does_not_perturb_it() {
+    let m = sts9_blocks(2);
+    let plain = Scg::new(opts_with(4, 8)).solve(&m);
+    let mut probe = RecordingProbe::new();
+    let recorded = Scg::new(opts_with(4, 8)).solve_with_probe(&m, &mut probe);
+    assert_eq!(plain.cost, recorded.cost);
+    assert_eq!(plain.solution.cols(), recorded.solution.cols());
+    assert_eq!(plain.lower_bound, recorded.lower_bound);
+    assert_eq!(plain.iterations, recorded.iterations);
+    assert!(
+        !probe.events().is_empty(),
+        "recorded trace must not be empty"
+    );
+}
+
+#[test]
+fn one_deadline_spans_all_partition_blocks() {
+    // Six gap blocks and a restart schedule far too long for the budget.
+    // The old per-block accounting gave every block its own full budget
+    // (≥ 6 × limit in the worst case); the shared deadline must finish in
+    // roughly one budget plus a restart's slack, and still return the
+    // feasible cover built from each block's initial ascent.
+    let m = sts9_blocks(6);
+    let budget = Duration::from_millis(500);
+    let opts = ScgOptions {
+        time_limit: Some(budget),
+        ..opts_with(1, 50_000)
+    };
+    let start = Instant::now();
+    let out = Scg::new(opts).solve(&m);
+    let elapsed = start.elapsed();
+    assert!(out.solution.is_feasible(&m));
+    assert!(
+        elapsed < budget * 3,
+        "solve took {elapsed:?} against a {budget:?} shared budget"
+    );
+}
