@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use solvers::{branch_and_bound, chvatal_greedy, espresso_like, BnbOptions, EspressoMode};
 use std::hint::black_box;
-use ucp_core::{Scg, ScgOptions};
+use ucp_core::{Preset, Scg, ScgOptions, SolveRequest};
 use workloads::{random_ucp, RandomUcpConfig};
 
 fn bench_solvers(c: &mut Criterion) {
@@ -28,12 +28,24 @@ fn bench_solvers(c: &mut Criterion) {
             b.iter(|| black_box(espresso_like(m, EspressoMode::Strong).map(|s| s.cost(m))))
         });
         group.bench_with_input(BenchmarkId::new("scg_fast", rows), &m, |b, m| {
-            let opts = ScgOptions::fast();
-            b.iter(|| black_box(Scg::new(opts).solve(m).cost))
+            let opts = Preset::Fast.options();
+            b.iter(|| {
+                black_box(
+                    Scg::run(SolveRequest::for_matrix(m).options(opts))
+                        .unwrap()
+                        .cost,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("scg_default", rows), &m, |b, m| {
             let opts = ScgOptions::default();
-            b.iter(|| black_box(Scg::new(opts).solve(m).cost))
+            b.iter(|| {
+                black_box(
+                    Scg::run(SolveRequest::for_matrix(m).options(opts))
+                        .unwrap()
+                        .cost,
+                )
+            })
         });
         if rows <= 90 {
             group.bench_with_input(BenchmarkId::new("bnb", rows), &m, |b, m| {

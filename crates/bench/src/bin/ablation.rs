@@ -10,8 +10,8 @@
 
 use cover::CoreOptions;
 use std::time::Duration;
-use ucp_bench::{secs, Table};
-use ucp_core::{Scg, ScgOptions};
+use ucp_bench::{run_scg, secs, Table};
+use ucp_core::{Preset, ScgOptions};
 use workloads::suite;
 
 fn run(label: &str, opts: ScgOptions, t: &mut Table) {
@@ -21,7 +21,7 @@ fn run(label: &str, opts: ScgOptions, t: &mut Table) {
     let mut time = Duration::ZERO;
     let instances = suite::difficult_cyclic();
     for inst in &instances {
-        let out = Scg::new(opts).solve(&inst.matrix);
+        let out = run_scg(&inst.matrix, opts);
         total += out.cost;
         lb += out.lower_bound;
         proven += usize::from(out.proven_optimal);
@@ -39,7 +39,7 @@ fn run(label: &str, opts: ScgOptions, t: &mut Table) {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let base = if quick {
-        ScgOptions::fast()
+        Preset::Fast.options()
     } else {
         ScgOptions::default()
     };

@@ -15,7 +15,7 @@ use lp::DenseLp;
 use solvers::{incremental_mis_bound, IncrementalOptions};
 use ucp_bench::{run_scg, Table};
 use ucp_core::bounds::bounds_report;
-use ucp_core::ScgOptions;
+use ucp_core::Preset;
 use workloads::suite;
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
         } else {
             None
         };
-        let scg = run_scg(m, ScgOptions::fast());
+        let scg = run_scg(m, Preset::Fast.options());
         chain_ok &= b.satisfies_proposition_1();
         if let Some(lr) = lr {
             chain_ok &= b.lagrangian <= lr + 1e-5;

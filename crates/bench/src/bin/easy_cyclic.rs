@@ -12,14 +12,14 @@
 use solvers::EspressoMode;
 use std::time::Duration;
 use ucp_bench::{run_espresso, run_exact, run_scg, secs, Table};
-use ucp_core::ScgOptions;
+use ucp_core::{Preset, ScgOptions};
 use workloads::suite;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let instances = suite::easy_cyclic();
     let opts = if quick {
-        ScgOptions::fast()
+        Preset::Fast.options()
     } else {
         ScgOptions::default()
     };

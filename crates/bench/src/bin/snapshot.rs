@@ -7,19 +7,54 @@
 //! twice, serially and through the shared-core parallel restart engine, so
 //! the snapshot also carries a `parallel` speedup row (the two solves
 //! return the identical answer by construction; the snapshot asserts it).
+//! A third pass re-runs the whole suite through the `ucp-engine` batch
+//! scheduler at 1 and N workers and records an `engine` throughput row
+//! (jobs/sec and batch speedup), again asserting identical outcomes.
 //!
 //! Usage: `cargo run -p ucp-bench --release --bin snapshot [--quick]`
 
 use std::fs;
+use std::sync::Arc;
+use std::time::Instant;
 use ucp_bench::{run_scg, scg_fields};
-use ucp_core::ScgOptions;
+use ucp_core::{Preset, ScgOptions, ScgOutcome, SolveRequest};
+use ucp_engine::{Engine, EngineConfig};
 use ucp_telemetry::JsonObj;
 use workloads::suite;
+
+/// Runs every instance as one engine job; returns outcomes in
+/// submission order plus the batch wall time.
+fn engine_pass(
+    instances: &[Arc<cover::CoverMatrix>],
+    opts: ScgOptions,
+    workers: usize,
+) -> (Vec<ScgOutcome>, f64) {
+    let engine = Engine::start(EngineConfig {
+        workers,
+        queue_capacity: instances.len().max(1),
+    });
+    let start = Instant::now();
+    let jobs: Vec<_> = instances
+        .iter()
+        .map(|m| {
+            engine
+                .submit(SolveRequest::for_shared(Arc::clone(m)).options(opts))
+                .expect("engine accepts the suite")
+        })
+        .collect();
+    let outs: Vec<ScgOutcome> = jobs
+        .into_iter()
+        .map(|j| j.wait().expect("engine job completed"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    engine.shutdown();
+    (outs, elapsed)
+}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let opts = if quick {
-        ScgOptions::fast()
+        Preset::Fast.options()
     } else {
         ScgOptions::default()
     };
@@ -33,7 +68,9 @@ fn main() {
     let mut total_seconds = 0.0f64;
     let mut parallel_seconds = 0.0f64;
     let mut certified = 0usize;
-    for inst in suite::difficult_cyclic() {
+    let mut serial_outcomes: Vec<ScgOutcome> = Vec::new();
+    let instances = suite::difficult_cyclic();
+    for inst in &instances {
         let out = run_scg(&inst.matrix, opts);
         let par = run_scg(&inst.matrix, ScgOptions { workers, ..opts });
         assert_eq!(
@@ -62,9 +99,37 @@ fn main() {
             out.total_time.as_secs_f64(),
             par.total_time.as_secs_f64()
         );
+        serial_outcomes.push(out);
     }
     let speedup = if parallel_seconds > 0.0 {
         total_seconds / parallel_seconds
+    } else {
+        1.0
+    };
+
+    // Engine throughput: the same suite as a batch of jobs, once on a
+    // single engine worker and once on the full pool. Outcomes must
+    // match the serial loop exactly — the batch determinism contract.
+    let shared: Vec<Arc<cover::CoverMatrix>> = instances
+        .iter()
+        .map(|i| Arc::new(i.matrix.clone()))
+        .collect();
+    let (engine_serial, secs_1w) = engine_pass(&shared, opts, 1);
+    let (engine_pooled, secs_nw) = engine_pass(&shared, opts, workers);
+    for (i, inst) in instances.iter().enumerate() {
+        for outs in [&engine_serial, &engine_pooled] {
+            assert_eq!(
+                (serial_outcomes[i].cost, serial_outcomes[i].solution.cols()),
+                (outs[i].cost, outs[i].solution.cols()),
+                "{}: engine batch diverged from serial",
+                inst.name
+            );
+        }
+    }
+    let jobs = instances.len() as f64;
+    let (jps_1w, jps_nw) = (jobs / secs_1w.max(1e-9), jobs / secs_nw.max(1e-9));
+    let engine_speedup = if secs_nw > 0.0 {
+        secs_1w / secs_nw
     } else {
         1.0
     };
@@ -79,11 +144,20 @@ fn main() {
     par_row.field_f64("total_seconds", parallel_seconds);
     par_row.field_f64("speedup", speedup);
     doc.field_raw("parallel", &par_row.finish());
+    let mut eng_row = JsonObj::new();
+    eng_row.field_u64("workers", workers as u64);
+    eng_row.field_f64("jobs_per_sec_1_worker", jps_1w);
+    eng_row.field_f64("jobs_per_sec_pooled", jps_nw);
+    eng_row.field_f64("batch_speedup", engine_speedup);
+    doc.field_raw("engine", &eng_row.finish());
     doc.field_raw("runs", &format!("[{}]", runs.join(",")));
     fs::create_dir_all("results").expect("create results/");
     fs::write("results/BENCH_scg.json", doc.finish() + "\n").expect("write results/BENCH_scg.json");
     println!(
         "snapshot: {} instances, {certified} certified optimal, {total_seconds:.2}s serial / {parallel_seconds:.2}s with {workers} workers ({speedup:.2}x) -> results/BENCH_scg.json",
         runs.len()
+    );
+    println!(
+        "engine: {jps_1w:.2} jobs/s at 1 worker, {jps_nw:.2} jobs/s at {workers} workers ({engine_speedup:.2}x batch speedup)"
     );
 }

@@ -9,13 +9,13 @@
 
 use solvers::EspressoMode;
 use ucp_bench::{finish_log, run_espresso, run_scg, scg_fields, secs, BenchLog, Table};
-use ucp_core::ScgOptions;
+use ucp_core::{Preset, ScgOptions};
 use workloads::suite;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let opts = if quick {
-        ScgOptions::fast()
+        Preset::Fast.options()
     } else {
         ScgOptions::default()
     };

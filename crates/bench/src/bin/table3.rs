@@ -12,13 +12,13 @@
 
 use std::time::Duration;
 use ucp_bench::{finish_log, run_exact, run_scg, scg_fields, secs, BenchLog, Table};
-use ucp_core::ScgOptions;
+use ucp_core::{Preset, ScgOptions};
 use workloads::suite;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let opts = if quick {
-        ScgOptions::fast()
+        Preset::Fast.options()
     } else {
         ScgOptions::default()
     };

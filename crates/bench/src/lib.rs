@@ -22,7 +22,7 @@ use std::fs::{self, File};
 use std::io::{self, BufWriter};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
-use ucp_core::{Scg, ScgOptions, ScgOutcome};
+use ucp_core::{Scg, ScgOptions, ScgOutcome, SolveRequest};
 use ucp_telemetry::{JsonObj, JsonlSink};
 
 /// Formats seconds with two decimals (the tables' `T(s)` style).
@@ -32,7 +32,7 @@ pub fn secs(d: Duration) -> String {
 
 /// Runs `ZDD_SCG` with the given options and returns the outcome.
 pub fn run_scg(m: &CoverMatrix, opts: ScgOptions) -> ScgOutcome {
-    Scg::new(opts).solve(m)
+    Scg::run(SolveRequest::for_matrix(m).options(opts)).expect("no cancel flag")
 }
 
 /// The espresso-like baseline produced no cover (some row is uncoverable).
@@ -225,7 +225,7 @@ mod tests {
             5,
             vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
         );
-        let scg = run_scg(&m, ScgOptions::fast());
+        let scg = run_scg(&m, ucp_core::Preset::Fast.options());
         assert_eq!(scg.cost, 3.0);
         let (e, _) = run_espresso(&m, EspressoMode::Normal).expect("feasible instance");
         assert!(e >= 3.0);

@@ -20,18 +20,21 @@
 //! * [`scg`] — the full constructive driver of Fig. 2 with its stochastic
 //!   restarts ([`Scg`]);
 //! * [`restart`] — the shared-core parallel restart engine scheduling
-//!   those runs over worker threads without changing the answer.
+//!   those runs over worker threads without changing the answer;
+//! * [`request`] — the unified solve API: build a [`SolveRequest`]
+//!   (instance + [`Preset`]/options + deadline + seed + probe +
+//!   [`CancelFlag`]) and pass it to [`Scg::run`].
 //!
 //! # Example
 //!
 //! ```
 //! use cover::CoverMatrix;
-//! use ucp_core::{Scg, ScgOptions};
+//! use ucp_core::{Scg, SolveRequest};
 //!
 //! let m = CoverMatrix::from_rows(5, vec![
 //!     vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0],
 //! ]);
-//! let outcome = Scg::new(ScgOptions::default()).solve(&m);
+//! let outcome = Scg::run(SolveRequest::for_matrix(&m)).unwrap();
 //! assert!(outcome.solution.is_feasible(&m));
 //! assert_eq!(outcome.cost, 3.0);
 //! assert!(outcome.proven_optimal); // ⌈2.5⌉ = 3 certificate
@@ -42,10 +45,12 @@ pub mod dual;
 pub mod greedy;
 pub mod penalty;
 pub mod relax;
+pub mod request;
 pub mod restart;
 pub mod scg;
 pub mod subgradient;
 
+pub use request::{CancelFlag, Preset, SolveError, SolveRequest};
 pub use restart::{restart_seed, splitmix64};
 pub use scg::{Scg, ScgOptions, ScgOutcome};
 pub use subgradient::{

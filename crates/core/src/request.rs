@@ -1,0 +1,574 @@
+//! The unified solve API: [`SolveRequest`], [`Preset`], [`CancelFlag`]
+//! and [`SolveError`].
+//!
+//! Historically the solver grew four entrypoints (`solve`,
+//! `solve_with_probe`, `solve_parallel`, `solve_parallel_with_probe`)
+//! plus an ad-hoc `ScgOptions::fast()` preset. They all collapse into
+//! one call:
+//!
+//! ```
+//! use cover::CoverMatrix;
+//! use ucp_core::{Scg, SolveRequest};
+//!
+//! let m = CoverMatrix::from_rows(
+//!     5,
+//!     vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+//! );
+//! let out = Scg::run(SolveRequest::for_matrix(&m).workers(4)).unwrap();
+//! assert_eq!(out.cost, 3.0);
+//! ```
+//!
+//! A request describes *everything* about one solve: the instance, the
+//! tunables (usually via a [`Preset`]), the worker count, an optional
+//! wall-clock deadline, the RNG seed, an optional telemetry probe, and
+//! an optional [`CancelFlag`] that aborts the solve cooperatively from
+//! another thread. Requests built from an owned matrix
+//! ([`SolveRequest::for_shared`]) are `Send + 'static`, which is what
+//! lets `ucp-engine` queue them across a long-lived worker pool.
+
+use crate::scg::{Scg, ScgOptions, ScgOutcome};
+use crate::subgradient::SubgradientOptions;
+use cover::CoverMatrix;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use ucp_telemetry::{Event, NoopProbe, Probe};
+
+/// A cooperative cancellation handle shared between a solve and its
+/// controller.
+///
+/// Cloning is cheap (an `Arc` bump); every clone observes the same
+/// flag. The solver polls the flag at its restart/round boundaries —
+/// the same points where it polls the deadline — so cancellation lands
+/// within one constructive round, and [`Scg::run`] reports it as
+/// [`SolveError::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, un-tripped flag.
+    pub fn new() -> Self {
+        CancelFlag::default()
+    }
+
+    /// Trips the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`CancelFlag::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Named option presets replacing the old `ScgOptions::fast()`/default
+/// split.
+///
+/// Each preset pins the paper's headline knobs — `NumIter` (number of
+/// constructive runs), the `BestCol` randomisation width growth, and
+/// the rating weight `α` in `σ_j = c̃_j − α·μ_j` — plus the subgradient
+/// iteration cap:
+///
+/// | preset | `NumIter` | `BestCol` growth | `α` | subgradient iters |
+/// |---|---|---|---|---|
+/// | [`Preset::Paper`] | 4 | 1 (width `min(k, 16)`) | 2.0 | 300 |
+/// | [`Preset::Fast`] | 1 | 1 (deterministic run only) | 2.0 | 120 |
+/// | [`Preset::Thorough`] | 12 | 2 (width `min(2k−1, 16)`) | 2.0 | 600 |
+///
+/// `Paper` is the published configuration (and `ScgOptions::default()`).
+/// `Fast` is for tests and large sweeps: the single deterministic run,
+/// shorter ascents. `Thorough` spends ~3× the paper's restart schedule
+/// with wider randomisation and longer ascents for hard instances where
+/// the certificate does not close early. All other fields (`ĉ`, `μ̂`,
+/// `DualPen`, seed, partitioning) keep their paper defaults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Preset {
+    /// The paper's published parameters (`ScgOptions::default()`).
+    #[default]
+    Paper,
+    /// Single deterministic run, short ascents: tests and sweeps.
+    Fast,
+    /// Triple restart schedule, wider `BestCol`, longer ascents.
+    Thorough,
+}
+
+impl Preset {
+    /// All presets, in increasing effort order.
+    pub const ALL: [Preset; 3] = [Preset::Fast, Preset::Paper, Preset::Thorough];
+
+    /// The full option set this preset names.
+    pub fn options(self) -> ScgOptions {
+        match self {
+            Preset::Paper => ScgOptions::default(),
+            Preset::Fast => ScgOptions {
+                num_iter: 1,
+                subgradient: SubgradientOptions {
+                    max_iters: 120,
+                    ..SubgradientOptions::default()
+                },
+                ..ScgOptions::default()
+            },
+            Preset::Thorough => ScgOptions {
+                num_iter: 12,
+                best_col_growth: 2,
+                subgradient: SubgradientOptions {
+                    max_iters: 600,
+                    ..SubgradientOptions::default()
+                },
+                ..ScgOptions::default()
+            },
+        }
+    }
+
+    /// The CLI-facing name (`paper`, `fast`, `thorough`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Paper => "paper",
+            Preset::Fast => "fast",
+            Preset::Thorough => "thorough",
+        }
+    }
+}
+
+impl std::fmt::Display for Preset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Preset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "paper" | "default" => Ok(Preset::Paper),
+            "fast" => Ok(Preset::Fast),
+            "thorough" => Ok(Preset::Thorough),
+            other => Err(format!(
+                "unknown preset {other:?} (expected paper, fast or thorough)"
+            )),
+        }
+    }
+}
+
+/// Why [`Scg::run`] returned no outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The request's [`CancelFlag`] tripped before or during the solve.
+    /// Whatever partial work was done is discarded.
+    Cancelled,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Cancelled => f.write_str("solve cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// The instance a request solves: borrowed for inline calls, shared
+/// (`Arc`) for requests that outlive their builder, e.g. engine jobs.
+enum MatrixSource<'a> {
+    Borrowed(&'a CoverMatrix),
+    Shared(Arc<CoverMatrix>),
+}
+
+impl MatrixSource<'_> {
+    fn get(&self) -> &CoverMatrix {
+        match self {
+            MatrixSource::Borrowed(m) => m,
+            MatrixSource::Shared(m) => m,
+        }
+    }
+}
+
+/// Where a request's telemetry goes. Probes are `Send` in both forms so
+/// a `SolveRequest<'static>` can cross threads whole.
+enum ProbeSlot<'a> {
+    Borrowed(&'a mut (dyn Probe + Send)),
+    Boxed(Box<dyn Probe + Send + 'a>),
+}
+
+impl ProbeSlot<'_> {
+    fn get(&mut self) -> &mut (dyn Probe + Send) {
+        match self {
+            ProbeSlot::Borrowed(p) => *p,
+            ProbeSlot::Boxed(p) => &mut **p,
+        }
+    }
+}
+
+/// Adapter running the monomorphised solver over a dynamic probe.
+struct DynProbe<'a>(&'a mut (dyn Probe + Send));
+
+impl Probe for DynProbe<'_> {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        self.0.record(event);
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.0.enabled()
+    }
+}
+
+/// One fully-described solve: instance, options, deadline, seed, probe
+/// and cancellation — the single argument of [`Scg::run`].
+///
+/// Build with [`SolveRequest::for_matrix`] (borrowing) or
+/// [`SolveRequest::for_shared`] (owning, `Send + 'static`), then chain
+/// the builder methods:
+///
+/// ```
+/// use cover::CoverMatrix;
+/// use std::time::Duration;
+/// use ucp_core::{Preset, Scg, SolveRequest};
+/// use ucp_telemetry::RecordingProbe;
+///
+/// let m = CoverMatrix::from_rows(3, vec![vec![0, 1], vec![1, 2], vec![2, 0]]);
+/// let mut probe = RecordingProbe::new();
+/// let req = SolveRequest::for_matrix(&m)
+///     .preset(Preset::Fast)
+///     .workers(2)
+///     .seed(7)
+///     .deadline(Duration::from_secs(5))
+///     .probe(&mut probe);
+/// let out = Scg::run(req).unwrap();
+/// assert_eq!(out.cost, 2.0);
+/// assert!(!probe.events().is_empty());
+/// ```
+pub struct SolveRequest<'a> {
+    matrix: MatrixSource<'a>,
+    options: ScgOptions,
+    cancel: Option<CancelFlag>,
+    probe: Option<ProbeSlot<'a>>,
+}
+
+impl<'a> SolveRequest<'a> {
+    /// A request borrowing `m`, with [`Preset::Paper`] options.
+    pub fn for_matrix(m: &'a CoverMatrix) -> Self {
+        SolveRequest {
+            matrix: MatrixSource::Borrowed(m),
+            options: ScgOptions::default(),
+            cancel: None,
+            probe: None,
+        }
+    }
+
+    /// A request owning its matrix through an `Arc`. With a boxed (or
+    /// no) probe the result is `Send + 'static` — the form
+    /// `ucp_engine::Engine::submit` requires.
+    pub fn for_shared(m: Arc<CoverMatrix>) -> Self {
+        SolveRequest {
+            matrix: MatrixSource::Shared(m),
+            options: ScgOptions::default(),
+            cancel: None,
+            probe: None,
+        }
+    }
+
+    /// Replaces the whole option set. Call before the per-field
+    /// builders below, which edit the current set.
+    pub fn options(mut self, options: ScgOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the option set with a named [`Preset`]'s.
+    pub fn preset(self, preset: Preset) -> Self {
+        self.options(preset.options())
+    }
+
+    /// Worker threads for the restarts stage (`0` = all cores). The
+    /// answer is identical for every value — see [`crate::restart`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.options.workers = workers;
+        self
+    }
+
+    /// RNG seed for the stochastic restarts.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Wall-clock budget for the whole solve (one deadline spanning all
+    /// partition blocks and restarts). `ucp-engine` measures this
+    /// budget from *submission*, so queue time counts against it.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.options.time_limit = Some(budget);
+        self
+    }
+
+    /// Attaches a borrowed telemetry probe (see
+    /// [`Scg::solve_with_probe`] for the event contract).
+    pub fn probe<P: Probe + Send>(mut self, probe: &'a mut P) -> Self {
+        self.probe = Some(ProbeSlot::Borrowed(probe));
+        self
+    }
+
+    /// Attaches an owned telemetry sink — the form engine jobs use,
+    /// since their requests outlive the submitting scope.
+    pub fn trace_sink(mut self, sink: Box<dyn Probe + Send + 'a>) -> Self {
+        self.probe = Some(ProbeSlot::Boxed(sink));
+        self
+    }
+
+    /// Attaches a cancellation flag (a clone of `flag`; trip any clone
+    /// to abort).
+    pub fn cancel(mut self, flag: &CancelFlag) -> Self {
+        self.cancel = Some(flag.clone());
+        self
+    }
+
+    /// The request's cancellation flag, creating one if absent — how
+    /// the engine guarantees every queued job is cancellable.
+    pub fn cancel_flag(&mut self) -> CancelFlag {
+        self.cancel.get_or_insert_with(CancelFlag::new).clone()
+    }
+
+    /// The instance this request solves.
+    pub fn matrix(&self) -> &CoverMatrix {
+        self.matrix.get()
+    }
+
+    /// The current option set.
+    pub fn opts(&self) -> &ScgOptions {
+        &self.options
+    }
+
+    /// `true` once the request's cancel flag (if any) has tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled)
+    }
+}
+
+impl std::fmt::Debug for SolveRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveRequest")
+            .field("rows", &self.matrix().num_rows())
+            .field("cols", &self.matrix().num_cols())
+            .field("options", &self.options)
+            .field("cancellable", &self.cancel.is_some())
+            .field("probed", &self.probe.is_some())
+            .finish()
+    }
+}
+
+impl Scg {
+    /// Runs the solve described by `req` — the unified entrypoint
+    /// subsuming the deprecated `solve`, `solve_with_probe`,
+    /// `solve_parallel` and `solve_parallel_with_probe`.
+    ///
+    /// The request's options are authoritative: presets, worker count,
+    /// seed and deadline all travel inside it, so a request fully
+    /// reproduces its solve.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Cancelled`] when the request carries a
+    /// [`CancelFlag`] that tripped before or during the solve. A
+    /// request without a flag cannot fail.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cover::CoverMatrix;
+    /// use ucp_core::{Preset, Scg, SolveRequest};
+    ///
+    /// let m = CoverMatrix::from_rows(
+    ///     5,
+    ///     vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+    /// );
+    /// let out = Scg::run(SolveRequest::for_matrix(&m).preset(Preset::Paper)).unwrap();
+    /// assert_eq!(out.cost, 3.0);
+    /// assert!(out.proven_optimal);
+    /// ```
+    pub fn run(req: SolveRequest<'_>) -> Result<ScgOutcome, SolveError> {
+        let SolveRequest {
+            matrix,
+            options,
+            cancel,
+            mut probe,
+        } = req;
+        let solver = Scg::new(options);
+        let m = matrix.get();
+        let cancel_ref = cancel.as_ref();
+        // Refuse cancelled requests up front so a job cancelled while
+        // queued never starts reducing at all.
+        if cancel_ref.is_some_and(CancelFlag::is_cancelled) {
+            return Err(SolveError::Cancelled);
+        }
+        let out = match probe.as_mut() {
+            Some(slot) => solver.solve_impl(m, cancel_ref, &mut DynProbe(slot.get())),
+            None => solver.solve_impl(m, cancel_ref, &mut NoopProbe),
+        };
+        if cancel_ref.is_some_and(CancelFlag::is_cancelled) {
+            return Err(SolveError::Cancelled);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucp_telemetry::RecordingProbe;
+
+    fn cycle(n: usize) -> CoverMatrix {
+        CoverMatrix::from_rows(n, (0..n).map(|i| vec![i, (i + 1) % n]).collect())
+    }
+
+    #[test]
+    fn run_matches_deprecated_solve() {
+        let m = cycle(9);
+        #[allow(deprecated)]
+        let old = Scg::with_defaults().solve(&m);
+        let new = Scg::run(SolveRequest::for_matrix(&m)).unwrap();
+        assert_eq!(old.cost, new.cost);
+        assert_eq!(old.solution.cols(), new.solution.cols());
+        assert_eq!(old.lower_bound, new.lower_bound);
+    }
+
+    #[test]
+    fn preset_paper_is_the_default_options() {
+        let paper = Preset::Paper.options();
+        let dflt = ScgOptions::default();
+        assert_eq!(paper.num_iter, dflt.num_iter);
+        assert_eq!(paper.alpha, dflt.alpha);
+        assert_eq!(paper.subgradient.max_iters, dflt.subgradient.max_iters);
+    }
+
+    #[test]
+    fn presets_parse_and_roundtrip() {
+        for p in Preset::ALL {
+            assert_eq!(p.name().parse::<Preset>().unwrap(), p);
+        }
+        assert!("warp".parse::<Preset>().is_err());
+        assert_eq!("default".parse::<Preset>().unwrap(), Preset::Paper);
+    }
+
+    #[test]
+    fn preset_effort_is_ordered() {
+        assert!(Preset::Fast.options().num_iter < Preset::Paper.options().num_iter);
+        assert!(Preset::Paper.options().num_iter < Preset::Thorough.options().num_iter);
+        assert!(
+            Preset::Fast.options().subgradient.max_iters
+                < Preset::Thorough.options().subgradient.max_iters
+        );
+    }
+
+    #[test]
+    fn builder_fields_reach_the_options() {
+        let m = cycle(5);
+        let req = SolveRequest::for_matrix(&m)
+            .preset(Preset::Fast)
+            .workers(3)
+            .seed(99)
+            .deadline(Duration::from_secs(9));
+        assert_eq!(req.opts().workers, 3);
+        assert_eq!(req.opts().seed, 99);
+        assert_eq!(req.opts().time_limit, Some(Duration::from_secs(9)));
+        assert_eq!(req.opts().num_iter, Preset::Fast.options().num_iter);
+    }
+
+    #[test]
+    fn pre_cancelled_request_never_solves() {
+        let m = cycle(7);
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let err = Scg::run(SolveRequest::for_matrix(&m).cancel(&flag)).unwrap_err();
+        assert_eq!(err, SolveError::Cancelled);
+    }
+
+    #[test]
+    fn mid_run_cancellation_aborts_the_solve() {
+        // STS(9): the Lagrangian bound (3) sits strictly below the
+        // optimum (5), so restarts never certify and this schedule
+        // would otherwise grind through millions of runs.
+        let m = CoverMatrix::from_rows(
+            9,
+            vec![
+                vec![0, 1, 2],
+                vec![3, 4, 5],
+                vec![6, 7, 8],
+                vec![0, 3, 6],
+                vec![1, 4, 7],
+                vec![2, 5, 8],
+                vec![0, 4, 8],
+                vec![1, 5, 6],
+                vec![2, 3, 7],
+                vec![0, 5, 7],
+                vec![1, 3, 8],
+                vec![2, 4, 6],
+            ],
+        );
+        let flag = CancelFlag::new();
+        let tripper = flag.clone();
+        let start = std::time::Instant::now();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            tripper.cancel();
+        });
+        let opts = ScgOptions {
+            num_iter: 5_000_000,
+            ..ScgOptions::default()
+        };
+        let err = Scg::run(SolveRequest::for_matrix(&m).options(opts).cancel(&flag)).unwrap_err();
+        canceller.join().unwrap();
+        assert_eq!(err, SolveError::Cancelled);
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "cancellation failed to interrupt the restart schedule"
+        );
+    }
+
+    #[test]
+    fn uncancelled_flag_does_not_interfere() {
+        let m = cycle(7);
+        let flag = CancelFlag::new();
+        let out = Scg::run(SolveRequest::for_matrix(&m).cancel(&flag)).unwrap();
+        assert!(out.solution.is_feasible(&m));
+    }
+
+    #[test]
+    fn probed_run_records_events() {
+        let m = cycle(7);
+        let mut probe = RecordingProbe::new();
+        let out = Scg::run(SolveRequest::for_matrix(&m).probe(&mut probe)).unwrap();
+        assert!(out.solution.is_feasible(&m));
+        assert!(!probe.events().is_empty());
+        assert!(probe.unbalanced_phases().is_empty());
+    }
+
+    #[test]
+    fn shared_matrix_request_is_send_and_static() {
+        fn assert_send<T: Send + 'static>(_: &T) {}
+        let m = Arc::new(cycle(5));
+        let req = SolveRequest::for_shared(Arc::clone(&m)).preset(Preset::Fast);
+        assert_send(&req);
+        let out = Scg::run(req).unwrap();
+        assert_eq!(out.cost, 3.0);
+    }
+
+    #[test]
+    fn trace_sink_receives_events() {
+        struct CountProbe(Arc<std::sync::atomic::AtomicUsize>);
+        impl Probe for CountProbe {
+            fn record(&mut self, _: Event) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let m = cycle(7);
+        let n = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let sink = Box::new(CountProbe(Arc::clone(&n)));
+        Scg::run(SolveRequest::for_shared(Arc::new(m)).trace_sink(sink)).unwrap();
+        assert!(n.load(Ordering::Relaxed) > 0);
+    }
+}

@@ -27,18 +27,19 @@
 //!   irredundancy strip can drop a cover below `chosen + LB(residual)`, so
 //!   a "dominated" branch can still produce the winning cover.
 //! * The winner is the offer minimising `(cost, restart index)` — a total
-//!   order independent of arrival order, maintained by [`SharedIncumbent`].
+//!   order independent of arrival order, maintained by `SharedIncumbent`.
 //! * Workers do prune against each other's best where it is provably safe:
 //!   once any restart's cover reaches the core's bound floor
 //!   (`cost ≤ ⌈LB⌉`, the certification condition), no later-indexed
 //!   restart can win the selection — every cover costs at least the floor
-//!   and ties lose by index. [`SharedIncumbent::certify`] publishes the
+//!   and ties lose by index. `SharedIncumbent::certify` publishes the
 //!   smallest such index; restarts above it stop, mid-run.
 //!
 //! A `time_limit` deadline is also checked mid-run; it trades the
 //! determinism promise for budget adherence, which is what a wall-clock
 //! budget asks for.
 
+use crate::request::CancelFlag;
 use cover::{CoverMatrix, Solution};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -149,9 +150,9 @@ pub(crate) struct RestartCtx<'a> {
     /// The core's lower bound (`⌈LB⌉` under integer costs): any cover
     /// reaching it is optimal and stops the whole restart stage.
     pub core_lb: f64,
-    /// Shared wall-clock deadline (one per solve, spanning all partition
+    /// Shared halt condition (one per solve, spanning all partition
     /// blocks and restarts).
-    pub deadline: Option<Instant>,
+    pub halt: Halt<'a>,
 }
 
 impl RestartCtx<'_> {
@@ -173,15 +174,31 @@ impl RestartCtx<'_> {
     }
 
     /// `true` when the restart should stop mid-run: a lower-indexed
-    /// sibling reached the bound floor, or the solve's deadline passed.
+    /// sibling reached the bound floor, or the solve's halt condition
+    /// (deadline or cancellation) fired.
     pub fn should_abort(&self) -> bool {
-        self.incumbent.superseded(self.restart) || past(self.deadline)
+        self.incumbent.superseded(self.restart) || self.halt.reached()
     }
 }
 
-/// `true` once `deadline` (if any) lies in the past.
-pub(crate) fn past(deadline: Option<Instant>) -> bool {
-    deadline.is_some_and(|d| Instant::now() > d)
+/// The solve-wide halt condition: one wall-clock deadline plus one
+/// optional [`CancelFlag`], shared by every partition block and every
+/// restart. Both trade the determinism promise for responsiveness —
+/// which is exactly what a budget or a cancellation asks for.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct Halt<'a> {
+    pub deadline: Option<Instant>,
+    pub cancel: Option<&'a CancelFlag>,
+}
+
+impl Halt<'_> {
+    /// `true` once the deadline passed or the cancel flag tripped; the
+    /// solve stops starting new constructive work and in-flight runs
+    /// abort at their next round boundary.
+    pub fn reached(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() > d)
+            || self.cancel.is_some_and(CancelFlag::is_cancelled)
+    }
 }
 
 /// A [`Probe`] that buffers events in memory on a worker thread; the

@@ -18,7 +18,10 @@
 
 use crate::dual::dual_ascent;
 use crate::penalty::{dual_penalties, lagrangian_penalties};
-use crate::restart::{past, restart_seed, BufferProbe, RestartCtx, SharedIncumbent};
+#[cfg(test)]
+use crate::request::SolveRequest;
+use crate::request::{CancelFlag, Preset};
+use crate::restart::{restart_seed, BufferProbe, Halt, RestartCtx, SharedIncumbent};
 use crate::subgradient::{subgradient_ascent_probed, SubgradientOptions, SubgradientResult};
 use cover::{cyclic_core_probed, CoreOptions, CoverMatrix, Reducer, Solution};
 use rand::rngs::StdRng;
@@ -92,15 +95,15 @@ impl Default for ScgOptions {
 impl ScgOptions {
     /// A cheaper preset for tests and very large sweeps: single run,
     /// shorter subgradient phases.
+    #[deprecated(note = "use `Preset::Fast.options()` (see `ucp_core::Preset`)")]
     pub fn fast() -> Self {
-        ScgOptions {
-            num_iter: 1,
-            subgradient: SubgradientOptions {
-                max_iters: 120,
-                ..SubgradientOptions::default()
-            },
-            ..ScgOptions::default()
-        }
+        Preset::Fast.options()
+    }
+
+    /// The option set of a named [`Preset`] — shorthand for
+    /// [`Preset::options`].
+    pub fn preset(preset: Preset) -> Self {
+        preset.options()
     }
 }
 
@@ -161,13 +164,13 @@ impl ScgOutcome {
 ///
 /// ```
 /// use cover::CoverMatrix;
-/// use ucp_core::{Scg, ScgOptions};
+/// use ucp_core::{Scg, SolveRequest};
 ///
 /// let m = CoverMatrix::from_rows(
 ///     5,
 ///     vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
 /// );
-/// let out = Scg::new(ScgOptions::default()).solve(&m);
+/// let out = Scg::run(SolveRequest::for_matrix(&m)).unwrap();
 /// assert_eq!(out.cost, 3.0);
 /// assert!(out.proven_optimal);
 /// ```
@@ -257,8 +260,9 @@ impl Scg {
     }
 
     /// Solves the unate covering instance `m`.
+    #[deprecated(note = "use `Scg::run` with a `SolveRequest` (see the README migration table)")]
     pub fn solve(&self, m: &CoverMatrix) -> ScgOutcome {
-        self.solve_with_probe(m, &mut NoopProbe)
+        self.solve_impl(m, None, &mut NoopProbe)
     }
 
     /// [`Scg::solve`] with a telemetry probe observing the pipeline.
@@ -281,11 +285,30 @@ impl Scg {
     /// With [`NoopProbe`] (what [`Scg::solve`] passes) all instrumentation
     /// monomorphises away; the phase breakdown in [`ScgOutcome::phase_times`]
     /// is filled in either way.
+    #[deprecated(
+        note = "use `Scg::run` with `SolveRequest::for_matrix(m).probe(&mut p)` \
+                (see the README migration table)"
+    )]
     pub fn solve_with_probe<P: Probe>(&self, m: &CoverMatrix, probe: &mut P) -> ScgOutcome {
+        self.solve_impl(m, None, probe)
+    }
+
+    /// The one solve pipeline behind [`Scg::run`] and all deprecated
+    /// entrypoints: reduce once, partition, then the restarts stage, with
+    /// one [`Halt`] (deadline + cancellation) spanning everything.
+    pub(crate) fn solve_impl<P: Probe>(
+        &self,
+        m: &CoverMatrix,
+        cancel: Option<&CancelFlag>,
+        probe: &mut P,
+    ) -> ScgOutcome {
         let start = Instant::now();
-        // One deadline for the whole solve: every block and every restart
-        // races the same clock.
-        let deadline = self.opts.time_limit.map(|budget| start + budget);
+        // One halt condition for the whole solve: every block and every
+        // restart races the same clock and watches the same cancel flag.
+        let halt = Halt {
+            deadline: self.opts.time_limit.map(|budget| start + budget),
+            cancel,
+        };
         let integer_costs = m.integer_costs();
         let mut phases = PhaseTimes::default();
 
@@ -352,12 +375,12 @@ impl Scg {
                 seconds: partition_time,
             });
             if blocks.len() > 1 {
-                return self.solve_blocks(m, &core_res, blocks, start, deadline, phases, probe);
+                return self.solve_blocks(m, &core_res, blocks, start, halt, phases, probe);
             }
         }
 
         // ---- Restarts stage on the single connected core. ----
-        let co = self.solve_core(ae, integer_costs, deadline, 0, false, &mut *probe);
+        let co = self.solve_core(ae, integer_costs, halt, 0, false, &mut *probe);
         phases.add(Phase::Subgradient, co.sub_seconds);
         phases.add(Phase::Constructive, co.constructive_seconds);
         let global_lb = fixed_cost + co.lb.max(0.0);
@@ -412,7 +435,7 @@ impl Scg {
         core_res: &cover::CoreResult,
         blocks: Vec<cover::Block>,
         start: Instant,
-        deadline: Option<Instant>,
+        halt: Halt<'_>,
         mut phases: PhaseTimes,
         probe: &mut P,
     ) -> ScgOutcome {
@@ -442,7 +465,7 @@ impl Scg {
                         let co = self.solve_core(
                             &block.matrix,
                             block.matrix.integer_costs(),
-                            deadline,
+                            halt,
                             w,
                             true,
                             &mut buf,
@@ -471,7 +494,7 @@ impl Scg {
                     self.solve_core(
                         &block.matrix,
                         block.matrix.integer_costs(),
-                        deadline,
+                        halt,
                         0,
                         false,
                         &mut *probe,
@@ -535,7 +558,7 @@ impl Scg {
         &self,
         ae: &CoverMatrix,
         integer_costs: bool,
-        deadline: Option<Instant>,
+        halt: Halt<'_>,
         worker_tag: usize,
         force_serial: bool,
         probe: &mut P,
@@ -578,7 +601,7 @@ impl Scg {
                 &sub0,
                 core_lb,
                 base_ub,
-                deadline,
+                halt,
                 worker_tag,
                 force_serial,
                 &incumbent,
@@ -613,7 +636,7 @@ impl Scg {
         sub0: &SubgradientResult,
         core_lb: f64,
         base_ub: f64,
-        deadline: Option<Instant>,
+        halt: Halt<'_>,
         worker_tag: usize,
         force_serial: bool,
         incumbent: &SharedIncumbent,
@@ -629,7 +652,7 @@ impl Scg {
 
         if pool <= 1 {
             for run in 1..=num_iter {
-                if past(deadline) || incumbent.superseded(run) {
+                if halt.reached() || incumbent.superseded(run) {
                     break;
                 }
                 probe.record(Event::RestartBegin {
@@ -638,7 +661,7 @@ impl Scg {
                 });
                 let run_start = Instant::now();
                 let report =
-                    self.restart_run(ae, sub0, run, core_lb, base_ub, deadline, incumbent, probe);
+                    self.restart_run(ae, sub0, run, core_lb, base_ub, halt, incumbent, probe);
                 let wall = run_start.elapsed().as_secs_f64();
                 if probe.enabled() {
                     probe.record(Event::RestartEnd {
@@ -666,14 +689,13 @@ impl Scg {
                 let records = &records;
                 scope.spawn(move || loop {
                     let run = next.fetch_add(1, Ordering::Relaxed);
-                    if run > num_iter || past(deadline) || incumbent.superseded(run) {
+                    if run > num_iter || halt.reached() || incumbent.superseded(run) {
                         break;
                     }
                     let mut buf = BufferProbe::new(enabled);
                     let run_start = Instant::now();
-                    let report = self.restart_run(
-                        ae, sub0, run, core_lb, base_ub, deadline, incumbent, &mut buf,
-                    );
+                    let report = self
+                        .restart_run(ae, sub0, run, core_lb, base_ub, halt, incumbent, &mut buf);
                     records
                         .lock()
                         .expect("restart records lock")
@@ -725,7 +747,7 @@ impl Scg {
         run: usize,
         core_lb: f64,
         base_ub: f64,
-        deadline: Option<Instant>,
+        halt: Halt<'_>,
         incumbent: &SharedIncumbent,
         probe: &mut P,
     ) -> RunReport {
@@ -740,7 +762,7 @@ impl Scg {
             restart: run,
             base_ub,
             core_lb,
-            deadline,
+            halt,
         };
         self.constructive_run(ae, sub0, best_col, &mut rng, &ctx, probe)
     }
@@ -932,6 +954,19 @@ impl Scg {
     }
 }
 
+/// Test shorthand: [`Scg::run`] with default options (a request with no
+/// cancel flag cannot fail).
+#[cfg(test)]
+fn run_default(m: &CoverMatrix) -> ScgOutcome {
+    Scg::run(SolveRequest::for_matrix(m)).expect("no cancel flag")
+}
+
+/// Test shorthand: [`Scg::run`] with explicit options.
+#[cfg(test)]
+fn run_opts(m: &CoverMatrix, opts: ScgOptions) -> ScgOutcome {
+    Scg::run(SolveRequest::for_matrix(m).options(opts)).expect("no cancel flag")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -944,7 +979,7 @@ mod tests {
     fn solves_cycles_optimally() {
         for n in [5usize, 7, 9, 11] {
             let m = cycle(n);
-            let out = Scg::with_defaults().solve(&m);
+            let out = run_default(&m);
             assert!(out.solution.is_feasible(&m));
             assert_eq!(out.cost, (n / 2 + 1) as f64, "C{n}");
             assert!(out.proven_optimal, "C{n} not certified");
@@ -955,7 +990,7 @@ mod tests {
     fn reductions_alone_solve_trees() {
         // An "interval" instance collapses entirely under reductions.
         let m = CoverMatrix::from_rows(4, vec![vec![0], vec![0, 1], vec![1, 2], vec![3]]);
-        let out = Scg::with_defaults().solve(&m);
+        let out = run_default(&m);
         assert!(out.proven_optimal);
         assert_eq!(out.iterations, 0);
         assert!(out.solution.is_feasible(&m));
@@ -964,7 +999,7 @@ mod tests {
     #[test]
     fn infeasible_instance_reported() {
         let m = CoverMatrix::from_rows(2, vec![vec![0], vec![]]);
-        let out = Scg::with_defaults().solve(&m);
+        let out = run_default(&m);
         assert!(out.infeasible);
         assert!(out.cost.is_infinite());
     }
@@ -972,7 +1007,7 @@ mod tests {
     #[test]
     fn empty_instance_trivially_optimal() {
         let m = CoverMatrix::from_rows(3, vec![]);
-        let out = Scg::with_defaults().solve(&m);
+        let out = run_default(&m);
         assert!(out.proven_optimal);
         assert_eq!(out.cost, 0.0);
         assert!(out.solution.is_empty());
@@ -981,7 +1016,7 @@ mod tests {
     #[test]
     fn cost_at_least_lower_bound() {
         let m = cycle(13);
-        let out = Scg::with_defaults().solve(&m);
+        let out = run_default(&m);
         assert!(out.cost >= out.lower_bound - 1e-9);
         assert!(out.solution.is_feasible(&m));
     }
@@ -989,8 +1024,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let m = cycle(9);
-        let a = Scg::with_defaults().solve(&m);
-        let b = Scg::with_defaults().solve(&m);
+        let a = run_default(&m);
+        let b = run_default(&m);
         assert_eq!(a.cost, b.cost);
         assert_eq!(a.solution.cols(), b.solution.cols());
     }
@@ -998,16 +1033,25 @@ mod tests {
     #[test]
     fn fast_preset_still_feasible() {
         let m = cycle(15);
-        let out = Scg::new(ScgOptions::fast()).solve(&m);
+        let out = run_opts(&m, Preset::Fast.options());
         assert!(out.solution.is_feasible(&m));
         assert!(out.cost >= 8.0); // optimum of C15
+    }
+
+    #[test]
+    fn deprecated_fast_shim_matches_the_preset() {
+        #[allow(deprecated)]
+        let shim = ScgOptions::fast();
+        let preset = Preset::Fast.options();
+        assert_eq!(shim.num_iter, preset.num_iter);
+        assert_eq!(shim.subgradient.max_iters, preset.subgradient.max_iters);
     }
 
     #[test]
     fn non_uniform_costs_respected() {
         // Two disjoint rows with a cheap and an expensive option each.
         let m = CoverMatrix::with_costs(4, vec![vec![0, 1], vec![2, 3]], vec![1.0, 9.0, 9.0, 1.0]);
-        let out = Scg::with_defaults().solve(&m);
+        let out = run_default(&m);
         assert_eq!(out.cost, 2.0);
         assert_eq!(out.solution.cols(), &[0, 3]);
         assert!(out.proven_optimal);
@@ -1028,7 +1072,7 @@ mod partition_tests {
     #[test]
     fn partitioned_solve_is_optimal_and_certified() {
         let m = two_cycles(7);
-        let out = Scg::with_defaults().solve(&m);
+        let out = run_default(&m);
         assert!(out.solution.is_feasible(&m));
         assert_eq!(out.cost, 2.0 * (7 / 2 + 1) as f64);
         assert!(out.proven_optimal);
@@ -1037,12 +1081,14 @@ mod partition_tests {
     #[test]
     fn partitioning_agrees_with_monolithic_solve() {
         let m = two_cycles(5);
-        let with = Scg::with_defaults().solve(&m);
-        let without = Scg::new(ScgOptions {
-            partition: false,
-            ..ScgOptions::default()
-        })
-        .solve(&m);
+        let with = run_default(&m);
+        let without = run_opts(
+            &m,
+            ScgOptions {
+                partition: false,
+                ..ScgOptions::default()
+            },
+        );
         assert_eq!(with.cost, without.cost);
         assert!(with.solution.is_feasible(&m));
         assert!(without.solution.is_feasible(&m));
@@ -1052,19 +1098,21 @@ mod partition_tests {
     fn partitioned_infeasible_block_detected() {
         // Second block has an uncoverable row.
         let m = CoverMatrix::from_rows(3, vec![vec![0, 1], vec![1, 0], vec![2], vec![]]);
-        let out = Scg::with_defaults().solve(&m);
+        let out = run_default(&m);
         assert!(out.infeasible);
     }
 
     #[test]
     fn time_limit_caps_restarts() {
         let m = two_cycles(9);
-        let out = Scg::new(ScgOptions {
-            num_iter: 50,
-            time_limit: Some(Duration::from_millis(0)),
-            ..ScgOptions::default()
-        })
-        .solve(&m);
+        let out = run_opts(
+            &m,
+            ScgOptions {
+                num_iter: 50,
+                time_limit: Some(Duration::from_millis(0)),
+                ..ScgOptions::default()
+            },
+        );
         // The initial subgradient always runs; restarts are skipped.
         assert!(out.solution.is_feasible(&m));
     }
@@ -1072,12 +1120,14 @@ mod partition_tests {
     #[test]
     fn concurrent_blocks_match_serial_blocks() {
         let m = two_cycles(9);
-        let serial = Scg::with_defaults().solve(&m);
-        let parallel = Scg::new(ScgOptions {
-            workers: 4,
-            ..ScgOptions::default()
-        })
-        .solve(&m);
+        let serial = run_default(&m);
+        let parallel = run_opts(
+            &m,
+            ScgOptions {
+                workers: 4,
+                ..ScgOptions::default()
+            },
+        );
         assert_eq!(serial.cost, parallel.cost);
         assert_eq!(serial.solution.cols(), parallel.solution.cols());
         assert_eq!(serial.lower_bound, parallel.lower_bound);
@@ -1105,22 +1155,31 @@ impl Scg {
     ///
     /// ```
     /// use cover::CoverMatrix;
-    /// use ucp_core::{Scg, ScgOptions};
+    /// use ucp_core::{Scg, SolveRequest};
     ///
     /// let m = CoverMatrix::from_rows(
     ///     5,
     ///     vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
     /// );
-    /// let out = Scg::new(ScgOptions::default()).solve_parallel(&m, 4);
+    /// let out = Scg::run(SolveRequest::for_matrix(&m).workers(4)).unwrap();
     /// assert_eq!(out.cost, 3.0);
     /// ```
+    #[deprecated(note = "use `Scg::run` with `SolveRequest::for_matrix(m).workers(n)`")]
     pub fn solve_parallel(&self, m: &CoverMatrix, workers: usize) -> ScgOutcome {
-        self.solve_parallel_with_probe(m, workers, &mut NoopProbe)
+        assert!(workers > 0, "need at least one worker");
+        Scg::new(ScgOptions {
+            workers,
+            ..self.opts
+        })
+        .solve_impl(m, None, &mut NoopProbe)
     }
 
     /// [`Scg::solve_parallel`] with a telemetry probe: the parallel path
     /// is fully observable (worker-tagged restart events, merged in
     /// restart order).
+    #[deprecated(
+        note = "use `Scg::run` with `SolveRequest::for_matrix(m).workers(n).probe(&mut p)`"
+    )]
     pub fn solve_parallel_with_probe<P: Probe>(
         &self,
         m: &CoverMatrix,
@@ -1132,18 +1191,21 @@ impl Scg {
             workers,
             ..self.opts
         })
-        .solve_with_probe(m, probe)
+        .solve_impl(m, None, probe)
     }
 }
 
 #[cfg(test)]
 mod parallel_tests {
+    // This module deliberately exercises the deprecated shims so they
+    // stay equivalent to `Scg::run` until removal.
+    #![allow(deprecated)]
     use super::*;
 
     #[test]
     fn parallel_matches_serial_quality() {
         let m = CoverMatrix::from_rows(9, (0..9).map(|i| vec![i, (i + 1) % 9]).collect());
-        let serial = Scg::with_defaults().solve(&m);
+        let serial = run_default(&m);
         let parallel = Scg::with_defaults().solve_parallel(&m, 4);
         assert!(parallel.cost <= serial.cost);
         assert!(parallel.solution.is_feasible(&m));
@@ -1153,7 +1215,7 @@ mod parallel_tests {
     #[test]
     fn single_worker_is_plain_solve() {
         let m = CoverMatrix::from_rows(5, (0..5).map(|i| vec![i, (i + 1) % 5]).collect());
-        let a = Scg::with_defaults().solve(&m);
+        let a = run_default(&m);
         let b = Scg::with_defaults().solve_parallel(&m, 1);
         assert_eq!(a.cost, b.cost);
         assert_eq!(a.solution.cols(), b.solution.cols());
@@ -1171,7 +1233,7 @@ mod parallel_tests {
         // Bit-exact determinism across worker counts is the engine's core
         // contract; the integration suite exercises harder instances.
         let m = CoverMatrix::from_rows(11, (0..11).map(|i| vec![i, (i + 1) % 11]).collect());
-        let base = Scg::with_defaults().solve(&m);
+        let base = run_default(&m);
         for workers in [2usize, 3, 8] {
             let out = Scg::with_defaults().solve_parallel(&m, workers);
             assert_eq!(out.cost, base.cost, "workers = {workers}");
@@ -1187,12 +1249,14 @@ mod parallel_tests {
     #[test]
     fn workers_zero_in_options_means_all_cores() {
         let m = CoverMatrix::from_rows(7, (0..7).map(|i| vec![i, (i + 1) % 7]).collect());
-        let out = Scg::new(ScgOptions {
-            workers: 0,
-            ..ScgOptions::default()
-        })
-        .solve(&m);
-        let base = Scg::with_defaults().solve(&m);
+        let out = run_opts(
+            &m,
+            ScgOptions {
+                workers: 0,
+                ..ScgOptions::default()
+            },
+        );
+        let base = run_default(&m);
         assert_eq!(out.cost, base.cost);
         assert_eq!(out.solution.cols(), base.solution.cols());
     }

@@ -5,7 +5,7 @@
 //! account for essentially all of the solve time.
 
 use cover::CoverMatrix;
-use ucp_core::{Scg, ScgOptions};
+use ucp_core::{Scg, SolveRequest};
 use ucp_telemetry::{Event, Phase, RecordingProbe};
 
 /// An odd cycle `C_n` as a covering matrix: row `i` is covered by
@@ -44,7 +44,7 @@ fn sts9() -> CoverMatrix {
 
 fn solve_recorded(m: &CoverMatrix) -> (RecordingProbe, ucp_core::ScgOutcome) {
     let mut probe = RecordingProbe::new();
-    let out = Scg::new(ScgOptions::default()).solve_with_probe(m, &mut probe);
+    let out = Scg::run(SolveRequest::for_matrix(m).probe(&mut probe)).unwrap();
     (probe, out)
 }
 
@@ -165,7 +165,7 @@ fn phase_breakdown_accounts_for_the_solve() {
 #[test]
 fn noop_and_recording_solves_agree() {
     let m = odd_cycle(21);
-    let plain = Scg::new(ScgOptions::default()).solve(&m);
+    let plain = Scg::run(SolveRequest::for_matrix(&m)).unwrap();
     let (_, recorded) = solve_recorded(&m);
     // Instrumentation must not perturb the algorithm: same seed, same
     // deterministic trajectory, same answer.

@@ -1,0 +1,656 @@
+//! Batch solve engine: a long-lived worker pool scheduling many
+//! concurrent [`SolveRequest`] jobs.
+//!
+//! Where `ucp_core::restart` parallelises *one* solve across threads,
+//! this crate parallelises *many* solves: an [`Engine`] owns a fixed
+//! pool of workers and a bounded job queue, and callers stream
+//! [`SolveRequest`]s through it. Each request keeps its own options,
+//! seed, deadline and trace sink, so every job reproduces exactly what
+//! a standalone [`Scg::run`] call would compute — the batch integration
+//! test pins that bit-for-bit.
+//!
+//! The scheduling contract:
+//!
+//! * **Backpressure** — [`Engine::submit`] blocks while the queue is at
+//!   capacity; [`Engine::try_submit`] refuses instead
+//!   ([`SubmitError::QueueFull`]), for callers doing their own
+//!   admission control.
+//! * **Cancellation** — every job carries a [`CancelFlag`];
+//!   [`JobHandle::cancel`] aborts a queued job before it starts and a
+//!   running job at its next round boundary, yielding
+//!   [`JobError::Cancelled`] without disturbing any other job.
+//! * **Deadlines** — a request's [`SolveRequest::deadline`] budget is
+//!   measured from *submission*: queue wait counts against it, and a
+//!   budget fully spent in the queue resolves to [`JobError::Expired`]
+//!   without starting the solve.
+//! * **Panic isolation** — a panicking solve (or probe) is caught per
+//!   job ([`JobError::Panicked`]); the worker thread survives and the
+//!   engine keeps serving.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cover::CoverMatrix;
+//! use ucp_core::{Preset, SolveRequest};
+//! use ucp_engine::{Engine, EngineConfig};
+//!
+//! let engine = Engine::start(EngineConfig {
+//!     workers: 2,
+//!     queue_capacity: 8,
+//! });
+//! let m = Arc::new(CoverMatrix::from_rows(
+//!     5,
+//!     vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]],
+//! ));
+//! let jobs: Vec<_> = (0..4)
+//!     .map(|seed| {
+//!         let req = SolveRequest::for_shared(Arc::clone(&m))
+//!             .preset(Preset::Fast)
+//!             .seed(seed);
+//!         engine.submit(req).unwrap()
+//!     })
+//!     .collect();
+//! for job in jobs {
+//!     assert_eq!(job.wait().unwrap().cost, 3.0);
+//! }
+//! engine.shutdown();
+//! ```
+
+mod job;
+
+pub use job::{JobError, JobHandle, JobId, JobResult, SubmitError};
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+use ucp_core::{CancelFlag, Scg, SolveError, SolveRequest};
+
+/// How an [`Engine`] is sized.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads draining the queue; `0` means one per available
+    /// core.
+    pub workers: usize,
+    /// Bounded queue capacity — the backpressure knob. [`Engine::submit`]
+    /// blocks and [`Engine::try_submit`] refuses once this many jobs
+    /// are waiting (running jobs don't count).
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            queue_capacity: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            thread::available_parallelism().map_or(1, usize::from)
+        }
+    }
+}
+
+/// A point-in-time snapshot of the engine's counters (see
+/// [`Engine::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs accepted by `submit`/`try_submit` since start.
+    pub submitted: u64,
+    /// Jobs that resolved to an [`ScgOutcome`](ucp_core::ScgOutcome).
+    pub completed: u64,
+    /// Jobs that resolved to [`JobError::Cancelled`].
+    pub cancelled: u64,
+    /// Jobs that resolved to [`JobError::Expired`].
+    pub expired: u64,
+    /// Jobs that resolved to [`JobError::Panicked`].
+    pub panicked: u64,
+    /// Jobs currently waiting in the queue.
+    pub queued: u64,
+    /// Jobs currently running on a worker.
+    pub running: u64,
+}
+
+/// One queued unit of work. The id lives on the [`JobHandle`] side;
+/// workers identify jobs only by queue position.
+struct Job {
+    request: SolveRequest<'static>,
+    cancel: CancelFlag,
+    submitted_at: Instant,
+    tx: mpsc::Sender<JobResult>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    expired: AtomicU64,
+    panicked: AtomicU64,
+    running: AtomicU64,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    counters: Counters,
+}
+
+/// A long-lived batch solve engine (see the crate docs for the
+/// scheduling contract).
+///
+/// Dropping the engine performs the same graceful [`Engine::shutdown`]:
+/// already-queued jobs still run to completion.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Engine {
+    /// Starts the worker pool. Workers idle until jobs arrive and live
+    /// until [`Engine::shutdown`] (or drop).
+    pub fn start(config: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            counters: Counters::default(),
+        });
+        let workers = (0..config.resolved_workers())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("ucp-engine-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine {
+            shared,
+            workers,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Submits a job, blocking while the queue is at capacity — the
+    /// backpressure path for bulk producers that should simply run at
+    /// the engine's pace.
+    ///
+    /// The request must be `'static` (build it with
+    /// [`SolveRequest::for_shared`]); its deadline budget, if any,
+    /// starts counting now, queue wait included.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] once [`Engine::shutdown`] has begun.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use cover::CoverMatrix;
+    /// use ucp_core::{Preset, SolveRequest};
+    /// use ucp_engine::Engine;
+    ///
+    /// let engine = Engine::start(Default::default());
+    /// let m = Arc::new(CoverMatrix::from_rows(
+    ///     3,
+    ///     vec![vec![0, 1], vec![1, 2], vec![2, 0]],
+    /// ));
+    /// let job = engine
+    ///     .submit(SolveRequest::for_shared(m).preset(Preset::Fast))
+    ///     .unwrap();
+    /// assert_eq!(job.wait().unwrap().cost, 2.0);
+    /// ```
+    pub fn submit(&self, request: SolveRequest<'static>) -> Result<JobHandle, SubmitError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.closed {
+                return Err(SubmitError::Closed);
+            }
+            if state.jobs.len() < self.shared.capacity {
+                return Ok(self.enqueue(state, request));
+            }
+            state = self.shared.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Non-blocking [`Engine::submit`]: refuses with
+    /// [`SubmitError::QueueFull`] instead of waiting, so callers can
+    /// shed or defer load themselves.
+    pub fn try_submit(&self, request: SolveRequest<'static>) -> Result<JobHandle, SubmitError> {
+        let state = self.shared.state.lock().unwrap();
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.jobs.len() >= self.shared.capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        Ok(self.enqueue(state, request))
+    }
+
+    fn enqueue(
+        &self,
+        mut state: std::sync::MutexGuard<'_, QueueState>,
+        mut request: SolveRequest<'static>,
+    ) -> JobHandle {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let cancel = request.cancel_flag();
+        let (tx, rx) = mpsc::channel();
+        state.jobs.push_back(Job {
+            request,
+            cancel: cancel.clone(),
+            submitted_at: Instant::now(),
+            tx,
+        });
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        JobHandle { id, cancel, rx }
+    }
+
+    /// A snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        let queued = self.shared.state.lock().unwrap().jobs.len() as u64;
+        let c = &self.shared.counters;
+        EngineStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            panicked: c.panicked.load(Ordering::Relaxed),
+            queued,
+            running: c.running.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The pool size this engine resolved to.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Graceful shutdown: stops accepting new jobs, lets the workers
+    /// drain everything already queued, joins them, and returns the
+    /// final counters.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.closed = true;
+        }
+        // Wake idle workers so they observe `closed`, and blocked
+        // submitters so they fail with `Closed`.
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.closed {
+                    return;
+                }
+                state = shared.not_empty.wait(state).unwrap();
+            }
+        };
+        shared.not_full.notify_one();
+        shared.counters.running.fetch_add(1, Ordering::Relaxed);
+        let result = run_job(job.request, &job.cancel, job.submitted_at);
+        shared.counters.running.fetch_sub(1, Ordering::Relaxed);
+        let counter = match &result {
+            Ok(_) => &shared.counters.completed,
+            Err(JobError::Cancelled) => &shared.counters.cancelled,
+            Err(JobError::Expired) => &shared.counters.expired,
+            Err(JobError::Panicked(_)) => &shared.counters.panicked,
+            Err(_) => &shared.counters.completed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        // The submitter may have dropped its handle; that abandons the
+        // result, not the accounting above.
+        let _ = job.tx.send(result);
+    }
+}
+
+fn run_job(
+    mut request: SolveRequest<'static>,
+    cancel: &CancelFlag,
+    submitted_at: Instant,
+) -> JobResult {
+    if cancel.is_cancelled() {
+        return Err(JobError::Cancelled);
+    }
+    // The deadline budget is measured from submission: shrink it by the
+    // time the job spent queued, and expire it outright if the queue
+    // already ate the whole budget.
+    if let Some(budget) = request.opts().time_limit {
+        match budget.checked_sub(submitted_at.elapsed()) {
+            Some(remaining) => request = request.deadline(remaining),
+            None => return Err(JobError::Expired),
+        }
+    }
+    match catch_unwind(AssertUnwindSafe(move || Scg::run(request))) {
+        Ok(Ok(outcome)) => Ok(outcome),
+        Ok(Err(SolveError::Cancelled)) => Err(JobError::Cancelled),
+        Ok(Err(other)) => Err(JobError::Panicked(format!(
+            "unexpected solve error: {other}"
+        ))),
+        Err(payload) => Err(JobError::Panicked(panic_message(&payload))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(inner) = payload.downcast_ref::<Box<dyn std::any::Any + Send>>() {
+        // A panic that crossed `std::thread::scope` (the restart pool)
+        // arrives re-boxed; unwrap to the original payload.
+        panic_message(&**inner)
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cover::CoverMatrix;
+    use std::time::Duration;
+    use ucp_core::Preset;
+    use ucp_telemetry::{Event, Probe};
+
+    fn cycle(n: usize) -> Arc<CoverMatrix> {
+        Arc::new(CoverMatrix::from_rows(
+            n,
+            (0..n).map(|i| vec![i, (i + 1) % n]).collect(),
+        ))
+    }
+
+    fn fast_request(m: &Arc<CoverMatrix>) -> SolveRequest<'static> {
+        SolveRequest::for_shared(Arc::clone(m)).preset(Preset::Fast)
+    }
+
+    /// A job that runs until cancelled: on STS(9) the Lagrangian bound
+    /// sits strictly below the optimum, so the huge restart schedule
+    /// never certifies and never stops early. (A cycle instance would
+    /// certify instantly and finish, which is useless for parking a
+    /// worker.)
+    fn blocker_request() -> SolveRequest<'static> {
+        let m = Arc::new(CoverMatrix::from_rows(
+            9,
+            vec![
+                vec![0, 1, 2],
+                vec![3, 4, 5],
+                vec![6, 7, 8],
+                vec![0, 3, 6],
+                vec![1, 4, 7],
+                vec![2, 5, 8],
+                vec![0, 4, 8],
+                vec![1, 5, 6],
+                vec![2, 3, 7],
+                vec![0, 5, 7],
+                vec![1, 3, 8],
+                vec![2, 4, 6],
+            ],
+        ));
+        SolveRequest::for_shared(m).options(ucp_core::ScgOptions {
+            num_iter: 5_000_000,
+            ..ucp_core::ScgOptions::default()
+        })
+    }
+
+    /// A trace sink that panics on the first event — the panic-injection
+    /// vehicle for isolation tests, since probes run inside the solve.
+    struct PanicProbe;
+
+    impl Probe for PanicProbe {
+        fn record(&mut self, _: Event) {
+            panic!("probe detonated on purpose");
+        }
+    }
+
+    #[test]
+    fn jobs_resolve_to_the_standalone_answer() {
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            queue_capacity: 4,
+        });
+        let m = cycle(9);
+        let serial = Scg::run(fast_request(&m)).unwrap();
+        let jobs: Vec<_> = (0..6)
+            .map(|_| engine.submit(fast_request(&m)).unwrap())
+            .collect();
+        for job in jobs {
+            let out = job.wait().expect("job failed");
+            assert_eq!(out.cost, serial.cost);
+            assert_eq!(out.solution.cols(), serial.solution.cols());
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn job_ids_are_unique_and_ordered() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let m = cycle(5);
+        let a = engine.submit(fast_request(&m)).unwrap();
+        let b = engine.submit(fast_request(&m)).unwrap();
+        assert!(a.id() < b.id());
+    }
+
+    #[test]
+    fn try_submit_refuses_when_full() {
+        // No workers drain the queue while we probe capacity: park the
+        // single worker on a cancelled-later blocker job first.
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 2,
+        });
+        let m = cycle(5);
+        let blocker = engine.submit(blocker_request()).unwrap();
+        // Wait until the worker has actually dequeued the blocker.
+        while engine.stats().running == 0 {
+            thread::yield_now();
+        }
+        let q1 = engine.try_submit(fast_request(&m)).unwrap();
+        let q2 = engine.try_submit(fast_request(&m)).unwrap();
+        assert_eq!(
+            engine.try_submit(fast_request(&m)).unwrap_err(),
+            SubmitError::QueueFull
+        );
+        blocker.cancel();
+        assert_eq!(blocker.wait().unwrap_err(), JobError::Cancelled);
+        assert!(q1.wait().is_ok());
+        assert!(q2.wait().is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn submit_blocks_until_a_slot_frees() {
+        let engine = Arc::new(Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+        }));
+        let m = cycle(5);
+        let blocker = engine.submit(blocker_request()).unwrap();
+        while engine.stats().running == 0 {
+            thread::yield_now();
+        }
+        let filler = engine.submit(fast_request(&m)).unwrap();
+        // Queue is now full; a second submit must block until the
+        // blocker is cancelled and the filler drains.
+        let submitter = {
+            let engine = Arc::clone(&engine);
+            let req = fast_request(&m);
+            thread::spawn(move || engine.submit(req).unwrap().wait())
+        };
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(engine.stats().queued, 1, "submit should still be blocked");
+        blocker.cancel();
+        assert_eq!(blocker.wait().unwrap_err(), JobError::Cancelled);
+        assert!(filler.wait().is_ok());
+        assert!(submitter.join().unwrap().is_ok());
+        Arc::try_unwrap(engine).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 2,
+        });
+        let m = cycle(5);
+        let stats = engine.shutdown();
+        assert_eq!(stats.submitted, 0);
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 2,
+        });
+        {
+            let mut state = engine.shared.state.lock().unwrap();
+            state.closed = true;
+        }
+        assert_eq!(
+            engine.try_submit(fast_request(&m)).unwrap_err(),
+            SubmitError::Closed
+        );
+        assert_eq!(
+            engine.submit(fast_request(&m)).unwrap_err(),
+            SubmitError::Closed
+        );
+    }
+
+    #[test]
+    fn queue_spent_deadline_expires_without_solving() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 4,
+        });
+        let m = cycle(5);
+        let blocker = engine.submit(blocker_request()).unwrap();
+        while engine.stats().running == 0 {
+            thread::yield_now();
+        }
+        // 1ns of budget cannot survive any queue wait.
+        let doomed = engine
+            .submit(fast_request(&m).deadline(Duration::from_nanos(1)))
+            .unwrap();
+        thread::sleep(Duration::from_millis(20));
+        blocker.cancel();
+        assert_eq!(blocker.wait().unwrap_err(), JobError::Cancelled);
+        assert_eq!(doomed.wait().unwrap_err(), JobError::Expired);
+        let stats = engine.shutdown();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.cancelled, 1);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 4,
+        });
+        let m = cycle(9);
+        let bomb = engine
+            .submit(fast_request(&m).trace_sink(Box::new(PanicProbe)))
+            .unwrap();
+        let healthy = engine.submit(fast_request(&m)).unwrap();
+        match bomb.wait() {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("detonated"), "got: {msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // Same worker thread — the panic must not have killed it.
+        assert!(healthy.wait().is_ok());
+        let stats = engine.shutdown();
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn cancelled_queued_job_never_starts() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 4,
+        });
+        let m = cycle(9);
+        let blocker = engine.submit(blocker_request()).unwrap();
+        while engine.stats().running == 0 {
+            thread::yield_now();
+        }
+        let victim = engine.submit(fast_request(&m)).unwrap();
+        let survivor = engine.submit(fast_request(&m)).unwrap();
+        victim.cancel();
+        blocker.cancel();
+        assert_eq!(blocker.wait().unwrap_err(), JobError::Cancelled);
+        assert_eq!(victim.wait().unwrap_err(), JobError::Cancelled);
+        assert!(
+            survivor.wait().is_ok(),
+            "cancellation must not poison later jobs"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            queue_capacity: 8,
+        });
+        let m = cycle(7);
+        let jobs: Vec<_> = (0..5)
+            .map(|_| engine.submit(fast_request(&m)).unwrap())
+            .collect();
+        drop(engine);
+        for job in jobs {
+            assert!(
+                job.wait().is_ok(),
+                "drop must drain, not abandon, the queue"
+            );
+        }
+    }
+}

@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 use ucp::solvers::{branch_and_bound, chvatal_greedy, espresso_like, BnbOptions, EspressoMode};
-use ucp::ucp_core::{Scg, ScgOptions};
+use ucp::ucp_core::{Preset, Scg, SolveRequest};
 use ucp::workloads::suite;
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
         "name", "scg", "greedy", "strong", "exact", "scg-time"
     );
     for inst in instances {
-        let scg = Scg::new(ScgOptions::fast()).solve(&inst.matrix);
+        let scg = Scg::run(SolveRequest::for_matrix(&inst.matrix).preset(Preset::Fast)).unwrap();
         let greedy = chvatal_greedy(&inst.matrix)
             .map(|s| s.cost(&inst.matrix))
             .unwrap_or(f64::NAN);

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use ucp::cover::CoverMatrix;
-use ucp::ucp_core::{Scg, ScgOptions};
+use ucp::ucp_core::{Scg, SolveRequest};
 
 fn main() {
     // A covering instance: rows are objects to cover, listed as the sets of
@@ -22,7 +22,7 @@ fn main() {
         ],
     );
 
-    let outcome = Scg::new(ScgOptions::default()).solve(&matrix);
+    let outcome = Scg::run(SolveRequest::for_matrix(&matrix)).unwrap();
 
     println!(
         "instance: {} rows × {} cols",

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --example two_level_minimization`
 
 use ucp::logic::{build_covering, Pla};
-use ucp::ucp_core::{Scg, ScgOptions};
+use ucp::ucp_core::{Scg, SolveRequest};
 
 const SOURCE: &str = "\
 # A 4-input, 2-output function with don't-cares.
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Solve the unate covering problem.
-    let outcome = Scg::new(ScgOptions::default()).solve(&inst.matrix);
+    let outcome = Scg::run(SolveRequest::for_matrix(&inst.matrix)).unwrap();
     println!(
         "minimum cover: {} products (lower bound {}, certified: {})",
         outcome.cost, outcome.lower_bound, outcome.proven_optimal

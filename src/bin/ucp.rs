@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ucp minimize <file.pla> [-o out.pla] [--exact]   two-level minimisation
-//! ucp solve <instance> [--exact] [-j N|--workers N] [--trace <path>] [--stats]
+//! ucp solve <instance> [--exact] [--preset P] [-j N|--workers N] [--trace <path>] [--stats]
+//! ucp batch <suite> [-j N] [--preset P] [--seed S]  solve a whole suite on the engine
 //! ucp bounds <file.ucp>                            print the bound chain
 //! ucp suite [easy|difficult|challenging]           describe the benchmark suite
 //! ```
@@ -11,6 +12,9 @@
 //! `cover::ParseMatrixError` docs) or the name of a built-in suite instance
 //! (see `ucp suite`); PLA files use the Berkeley format. The `solve`
 //! subcommand may be omitted: `ucp --trace out.jsonl file.ucp` solves.
+//!
+//! `--preset <paper|fast|thorough>` picks a named option set (the paper's
+//! published parameters by default — see `ucp_core::Preset`).
 //!
 //! `--trace <path>` streams the solver's telemetry events (phase begin/end,
 //! per-iteration subgradient state, penalty eliminations, column fixes,
@@ -22,15 +26,24 @@
 //! `-j 0` uses all cores. The answer is identical for every `N` — only
 //! the wall clock changes. Traces stay complete: restart events carry a
 //! `worker` tag and are merged in restart order.
+//!
+//! `ucp batch <easy|difficult|challenging|all>` runs every instance of a
+//! suite as one job each through the `ucp_engine` worker pool: `-j N` sets
+//! the number of *engine workers* (concurrent solves), each job prints a
+//! live completion line, and the footer reports throughput. Per-job results
+//! are identical to a serial `solve` loop for every `-j`.
 
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 use ucp::cover::CoverMatrix;
 use ucp::logic::{build_covering, Pla};
 use ucp::lp::DenseLp;
 use ucp::solvers::{branch_and_bound, BnbOptions};
 use ucp::ucp_core::bounds::bounds_report;
-use ucp::ucp_core::{Scg, ScgOptions, ScgOutcome};
+use ucp::ucp_core::{Preset, Scg, ScgOutcome, SolveRequest};
+use ucp::ucp_engine::{Engine, EngineConfig, JobError};
 use ucp::ucp_telemetry::JsonlSink;
 use ucp::workloads::suite;
 
@@ -39,28 +52,30 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("minimize") => cmd_minimize(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("classic") => cmd_classic(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            print_usage(&mut std::io::stdout().lock());
+            return ExitCode::SUCCESS;
+        }
         // Anything else that still carries arguments is an implicit `solve`
         // (so `ucp --trace out.jsonl instance.ucp` works as documented).
         Some(_) => cmd_solve(&args),
-        None => {
-            eprintln!("usage: ucp <minimize|solve|bounds|suite> …");
-            eprintln!("  minimize <file.pla> [-o out.pla] [--exact]");
-            eprintln!(
-                "  solve    <instance> [--exact] [-j N|--workers N] [--trace <path>] [--stats]"
-            );
-            eprintln!("  bounds   <file.ucp>");
-            eprintln!("  suite    [easy|difficult|challenging]");
-            eprintln!("  generate <instance-name> [-o out.ucp]");
-            eprintln!("  classic  <rd53|rd73|rd84|9sym|xor5|maj5|maj7> [-o out.pla]");
-            return ExitCode::FAILURE;
-        }
+        None => Err(usage("no command given")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
+        // One error path for everything: argument mistakes print the usage
+        // hint and exit 2; runtime failures exit 1.
+        Err(e) if e.is::<UsageError>() => {
+            eprintln!("error: {e}");
+            eprintln!();
+            print_usage(&mut std::io::stderr().lock());
+            ExitCode::from(2)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -68,10 +83,74 @@ fn main() -> ExitCode {
     }
 }
 
+fn print_usage(w: &mut dyn Write) {
+    let _ = writeln!(w, "usage: ucp <minimize|solve|batch|bounds|suite> …");
+    let _ = writeln!(w, "  minimize <file.pla> [-o out.pla] [--exact]");
+    let _ = writeln!(
+        w,
+        "  solve    <instance> [--exact] [--preset P] [-j N|--workers N] [--trace <path>] [--stats]"
+    );
+    let _ = writeln!(
+        w,
+        "  batch    <easy|difficult|challenging|all> [-j N] [--preset P] [--seed S]"
+    );
+    let _ = writeln!(w, "  bounds   <file.ucp>");
+    let _ = writeln!(w, "  suite    [easy|difficult|challenging]");
+    let _ = writeln!(w, "  generate <instance-name> [-o out.ucp]");
+    let _ = writeln!(
+        w,
+        "  classic  <rd53|rd73|rd84|9sym|xor5|maj5|maj7> [-o out.pla]"
+    );
+    let _ = writeln!(w, "  help");
+    let _ = writeln!(w, "presets: paper (default), fast, thorough");
+}
+
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
+/// An argument mistake, as opposed to a runtime failure. `main`
+/// downcasts to pick the exit code and whether to print the usage hint.
+#[derive(Debug)]
+struct UsageError(String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn usage(msg: impl Into<String>) -> Box<dyn std::error::Error> {
+    Box::new(UsageError(msg.into()))
+}
+
+/// Parses `--preset <name>`, defaulting to the paper's parameters.
+fn parse_preset(args: &[String]) -> Result<Preset, Box<dyn std::error::Error>> {
+    match args.iter().position(|a| a == "--preset") {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| usage("--preset needs a name (paper, fast or thorough)"))?
+            .parse::<Preset>()
+            .map_err(usage),
+        None => Ok(Preset::Paper),
+    }
+}
+
+/// Parses `-j N` / `--workers N` (`0` = all cores), defaulting to `default`.
+fn parse_workers(args: &[String], default: usize) -> Result<usize, Box<dyn std::error::Error>> {
+    match args.iter().position(|a| a == "-j" || a == "--workers") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|n| n.parse::<usize>().ok())
+            .ok_or_else(|| usage("-j/--workers needs a thread count (0 = all cores)")),
+        None => Ok(default),
+    }
+}
+
 fn cmd_minimize(args: &[String]) -> CliResult {
-    let path = args.first().ok_or("minimize needs a .pla file")?;
+    let path = args
+        .first()
+        .ok_or_else(|| usage("minimize needs a .pla file"))?;
     let exact = args.iter().any(|a| a == "--exact");
     let espresso = args.iter().any(|a| a == "--espresso");
     let out_path = args
@@ -110,7 +189,7 @@ fn cmd_minimize(args: &[String]) -> CliResult {
         let sol = r.solution.ok_or("instance is infeasible")?;
         (sol, r.cost, r.optimal)
     } else {
-        let out = Scg::new(ScgOptions::default()).solve(&inst.matrix);
+        let out = Scg::run(SolveRequest::for_matrix(&inst.matrix)).expect("no cancel flag");
         if out.infeasible {
             return Err("instance is infeasible".into());
         }
@@ -154,17 +233,12 @@ fn cmd_solve(args: &[String]) -> CliResult {
         Some(i) => Some(
             args.get(i + 1)
                 .filter(|p| !p.starts_with("--"))
-                .ok_or("--trace needs a file path")?,
+                .ok_or_else(|| usage("--trace needs a file path"))?,
         ),
         None => None,
     };
-    let workers = match args.iter().position(|a| a == "-j" || a == "--workers") {
-        Some(i) => args
-            .get(i + 1)
-            .and_then(|n| n.parse::<usize>().ok())
-            .ok_or("-j/--workers needs a thread count (0 = all cores)")?,
-        None => 1,
-    };
+    let workers = parse_workers(args, 1)?;
+    let preset = parse_preset(args)?;
     // The instance is the first positional argument (skipping flag values).
     let mut path: Option<&String> = None;
     let mut skip_next = false;
@@ -173,7 +247,7 @@ fn cmd_solve(args: &[String]) -> CliResult {
             skip_next = false;
             continue;
         }
-        if a == "--trace" || a == "-j" || a == "--workers" {
+        if a == "--trace" || a == "-j" || a == "--workers" || a == "--preset" {
             skip_next = true;
             continue;
         }
@@ -183,7 +257,7 @@ fn cmd_solve(args: &[String]) -> CliResult {
         path = Some(a);
         break;
     }
-    let path = path.ok_or("solve needs a matrix file or suite instance name")?;
+    let path = path.ok_or_else(|| usage("solve needs a matrix file or suite instance name"))?;
     let m = read_matrix(path)?;
     if exact {
         let r = branch_and_bound(&m, &BnbOptions::default());
@@ -205,10 +279,7 @@ fn cmd_solve(args: &[String]) -> CliResult {
         return Ok(());
     }
 
-    let solver = Scg::new(ScgOptions {
-        workers,
-        ..ScgOptions::default()
-    });
+    let request = SolveRequest::for_matrix(&m).preset(preset).workers(workers);
     let out = match trace_path {
         Some(trace) => {
             let file = std::fs::File::create(trace)
@@ -219,7 +290,7 @@ fn cmd_solve(args: &[String]) -> CliResult {
                 o.field_u64("rows", m.num_rows() as u64);
                 o.field_u64("cols", m.num_cols() as u64);
             });
-            let out = solver.solve_with_probe(&m, &mut sink);
+            let out = Scg::run(request.probe(&mut sink)).expect("no cancel flag");
             sink.write_line("result", |o| {
                 o.field_f64("cost", out.cost);
                 o.field_f64("lower_bound", out.lower_bound);
@@ -234,7 +305,7 @@ fn cmd_solve(args: &[String]) -> CliResult {
             eprintln!("trace: {lines} events -> {trace}");
             out
         }
-        None => solver.solve(&m),
+        None => Scg::run(request).expect("no cancel flag"),
     };
     if out.infeasible {
         return Err("instance is infeasible".into());
@@ -260,6 +331,118 @@ fn cmd_solve(args: &[String]) -> CliResult {
     );
     if stats {
         print_stats(&out)?;
+    }
+    Ok(())
+}
+
+/// `ucp batch <suite> [-j N] [--preset P] [--seed S]`: one engine job per
+/// suite instance, a live completion line per job, and a throughput
+/// footer. Results are identical to a serial `solve` loop regardless of
+/// the worker count.
+fn cmd_batch(args: &[String]) -> CliResult {
+    // The suite is the first positional argument (skipping flag values).
+    let mut category: Option<&String> = None;
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "-j" || a == "--workers" || a == "--preset" || a == "--seed" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with('-') {
+            continue;
+        }
+        category = Some(a);
+        break;
+    }
+    let category = category
+        .ok_or_else(|| usage("batch needs a suite (easy, difficult, challenging or all)"))?;
+    let instances = match category.as_str() {
+        "easy" => suite::easy_cyclic(),
+        "difficult" => suite::difficult_cyclic(),
+        "challenging" => suite::challenging(),
+        "all" => suite::all(),
+        other => return Err(usage(format!("unknown suite {other:?}"))),
+    };
+    let workers = parse_workers(args, 0)?;
+    let preset = parse_preset(args)?;
+    let seed = match args.iter().position(|a| a == "--seed") {
+        Some(i) => Some(
+            args.get(i + 1)
+                .and_then(|n| n.parse::<u64>().ok())
+                .ok_or_else(|| usage("--seed needs an unsigned integer"))?,
+        ),
+        None => None,
+    };
+
+    let total = instances.len();
+    let engine = Engine::start(EngineConfig {
+        workers,
+        queue_capacity: total.max(1),
+    });
+    println!(
+        "batch: {total} jobs ({category} suite) on {} engine workers, preset {preset}",
+        engine.workers()
+    );
+    let start = Instant::now();
+    let jobs: Vec<_> = instances
+        .iter()
+        .map(|inst| {
+            let mut req = SolveRequest::for_shared(Arc::new(inst.matrix.clone())).preset(preset);
+            if let Some(s) = seed {
+                req = req.seed(s);
+            }
+            engine
+                .submit(req)
+                .map_err(|e| format!("submit failed: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut done = 0usize;
+    let mut failed = 0usize;
+    let mut cost_sum = 0.0f64;
+    let mut optimal = 0usize;
+    for (inst, job) in instances.iter().zip(jobs) {
+        match job.wait() {
+            Ok(out) => {
+                done += 1;
+                cost_sum += out.cost;
+                optimal += usize::from(out.proven_optimal);
+                println!(
+                    "[{done}/{total}] {:<12} cost {:>6} (lb {:>8.2}, {}) {:>8.3}s",
+                    inst.name,
+                    out.cost,
+                    out.lower_bound,
+                    if out.proven_optimal {
+                        "optimal"
+                    } else {
+                        "heuristic"
+                    },
+                    out.total_time.as_secs_f64()
+                );
+            }
+            Err(JobError::Cancelled) => {
+                failed += 1;
+                println!("[-/{total}] {:<12} cancelled", inst.name);
+            }
+            Err(e) => {
+                failed += 1;
+                println!("[-/{total}] {:<12} failed: {e}", inst.name);
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    let stats = engine.shutdown();
+    println!(
+        "{done}/{total} jobs in {:.3}s ({:.2} jobs/s), {optimal} certified optimal, total cost {cost_sum}",
+        elapsed.as_secs_f64(),
+        done as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    if failed > 0 {
+        return Err(format!("{failed} of {total} jobs failed (stats: {stats:?})").into());
     }
     Ok(())
 }
@@ -311,7 +494,9 @@ fn print_stats(out: &ScgOutcome) -> CliResult {
 }
 
 fn cmd_bounds(args: &[String]) -> CliResult {
-    let path = args.first().ok_or("bounds needs a matrix file")?;
+    let path = args
+        .first()
+        .ok_or_else(|| usage("bounds needs a matrix file"))?;
     let m = read_matrix(path)?;
     let b = bounds_report(&m);
     println!("LB_MIS  = {}", b.mis);
@@ -329,7 +514,7 @@ fn cmd_suite(args: &[String]) -> CliResult {
         Some("easy") => suite::easy_cyclic(),
         Some("challenging") => suite::challenging(),
         Some("difficult") | None => suite::difficult_cyclic(),
-        Some(other) => return Err(format!("unknown category {other:?}").into()),
+        Some(other) => return Err(usage(format!("unknown category {other:?}"))),
     };
     println!(
         "{:>10}  {:>6}  {:>6}  {:>8}  description",
@@ -351,16 +536,17 @@ fn cmd_suite(args: &[String]) -> CliResult {
 fn cmd_generate(args: &[String]) -> CliResult {
     let name = args
         .first()
-        .ok_or("generate needs an instance name (see `ucp suite`)")?;
+        .ok_or_else(|| usage("generate needs an instance name (see `ucp suite`)"))?;
     let out_path = args
         .iter()
         .position(|a| a == "-o")
         .and_then(|i| args.get(i + 1));
     let all = suite::all();
-    let inst = all
-        .iter()
-        .find(|i| &i.name == name)
-        .ok_or_else(|| format!("unknown instance {name:?}; see `ucp suite <category>`"))?;
+    let inst = all.iter().find(|i| &i.name == name).ok_or_else(|| {
+        usage(format!(
+            "unknown instance {name:?}; see `ucp suite <category>`"
+        ))
+    })?;
     let text = format!(
         "# {} ({}): {}\n{}",
         inst.name,
@@ -376,9 +562,9 @@ fn cmd_generate(args: &[String]) -> CliResult {
 }
 
 fn cmd_classic(args: &[String]) -> CliResult {
-    let name = args
-        .first()
-        .ok_or("classic needs a function name (rd53, rd73, rd84, 9sym, xor5, maj5, maj7)")?;
+    let name = args.first().ok_or_else(|| {
+        usage("classic needs a function name (rd53, rd73, rd84, 9sym, xor5, maj5, maj7)")
+    })?;
     let out_path = args
         .iter()
         .position(|a| a == "-o")
@@ -392,7 +578,7 @@ fn cmd_classic(args: &[String]) -> CliResult {
         "xor5" => classic::xor5(),
         "maj5" => classic::majority(5),
         "maj7" => classic::majority(7),
-        other => return Err(format!("unknown classic function {other:?}").into()),
+        other => return Err(usage(format!("unknown classic function {other:?}"))),
     };
     match out_path {
         Some(p) => std::fs::write(p, pla.to_pla_string())?,

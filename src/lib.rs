@@ -17,6 +17,9 @@
 //! * [`ucp_core`] — the paper's contribution: Lagrangian subgradient ascent
 //!   on the primal and dual relaxations, dual ascent, penalty tests, and the
 //!   `ZDD_SCG` constructive heuristic,
+//! * [`ucp_engine`] — the batch solve engine: a long-lived worker pool
+//!   scheduling many concurrent solve jobs with cancellation, deadlines
+//!   and panic isolation (behind `ucp batch`),
 //! * [`solvers`] — baselines: Chvátal greedy, espresso-like heuristics, and
 //!   an exact scherzo-like branch-and-bound,
 //! * [`workloads`] — seeded synthetic benchmark instances standing in for
@@ -30,7 +33,7 @@
 //!
 //! ```
 //! use ucp::cover::CoverMatrix;
-//! use ucp::ucp_core::{Scg, ScgOptions};
+//! use ucp::ucp_core::{Scg, SolveRequest};
 //!
 //! // Rows are the sets of columns covering them; all columns cost 1.
 //! let matrix = CoverMatrix::from_rows(5, vec![
@@ -40,7 +43,7 @@
 //!     vec![3, 4],
 //!     vec![4, 0],
 //! ]);
-//! let outcome = Scg::new(ScgOptions::default()).solve(&matrix);
+//! let outcome = Scg::run(SolveRequest::for_matrix(&matrix)).unwrap();
 //! assert!(outcome.solution.is_feasible(&matrix));
 //! assert_eq!(outcome.solution.cost(&matrix), 3.0);
 //! ```
@@ -52,6 +55,7 @@ pub use logic;
 pub use lp;
 pub use solvers;
 pub use ucp_core;
+pub use ucp_engine;
 pub use ucp_telemetry;
 pub use workloads;
 pub use zdd;

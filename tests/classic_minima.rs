@@ -4,12 +4,12 @@
 //! certificate.
 
 use ucp::logic::build_covering;
-use ucp::ucp_core::{Scg, ScgOptions};
+use ucp::ucp_core::{Scg, SolveRequest};
 use ucp::workloads::classic;
 
 fn solve_products(pla: &ucp::logic::Pla) -> (f64, bool) {
     let inst = build_covering(pla).expect("classics fit the pipeline");
-    let out = Scg::new(ScgOptions::default()).solve(&inst.matrix);
+    let out = Scg::run(SolveRequest::for_matrix(&inst.matrix)).unwrap();
     let minimised = inst.solution_to_pla(&out.solution);
     assert!(inst.verify_against(pla, &minimised));
     (out.cost, out.proven_optimal)

@@ -6,7 +6,7 @@
 
 use std::time::{Duration, Instant};
 use ucp::cover::CoverMatrix;
-use ucp::ucp_core::{Scg, ScgOptions};
+use ucp::ucp_core::{Scg, ScgOptions, SolveRequest};
 use ucp::ucp_telemetry::{Event, Phase, RecordingProbe};
 
 /// The Steiner triple system STS(9) as a point-cover problem. Its
@@ -55,13 +55,17 @@ fn opts_with(workers: usize, num_iter: usize) -> ScgOptions {
     }
 }
 
+fn run_with(m: &CoverMatrix, workers: usize, num_iter: usize) -> ucp::ucp_core::ScgOutcome {
+    Scg::run(SolveRequest::for_matrix(m).options(opts_with(workers, num_iter))).unwrap()
+}
+
 #[test]
 fn worker_count_never_changes_the_answer() {
     for m in [sts9(), sts9_blocks(3)] {
-        let base = Scg::new(opts_with(1, 12)).solve(&m);
+        let base = run_with(&m, 1, 12);
         assert!(base.solution.is_feasible(&m));
         for workers in [2, 8] {
-            let par = Scg::new(opts_with(workers, 12)).solve(&m);
+            let par = run_with(&m, workers, 12);
             assert_eq!(base.cost, par.cost, "cost diverged at {workers} workers");
             assert_eq!(
                 base.solution.cols(),
@@ -74,20 +78,32 @@ fn worker_count_never_changes_the_answer() {
     }
 }
 
+/// The deprecated entrypoints are shims over `Scg::run`; until they are
+/// removed, they must keep returning exactly what the request route does.
 #[test]
-fn solve_parallel_matches_the_options_route() {
+#[allow(deprecated)]
+fn deprecated_entrypoints_match_the_request_route() {
     let m = sts9();
-    let via_opts = Scg::new(opts_with(4, 8)).solve(&m);
-    let via_api = Scg::new(opts_with(1, 8)).solve_parallel(&m, 4);
-    assert_eq!(via_opts.cost, via_api.cost);
-    assert_eq!(via_opts.solution.cols(), via_api.solution.cols());
+    let via_request = run_with(&m, 4, 8);
+    let via_solve = Scg::new(opts_with(4, 8)).solve(&m);
+    let via_parallel = Scg::new(opts_with(1, 8)).solve_parallel(&m, 4);
+    for old in [&via_solve, &via_parallel] {
+        assert_eq!(via_request.cost, old.cost);
+        assert_eq!(via_request.solution.cols(), old.solution.cols());
+        assert_eq!(via_request.lower_bound, old.lower_bound);
+    }
 }
 
 #[test]
 fn reduce_stage_runs_exactly_once_with_a_worker_pool() {
     let m = sts9_blocks(3);
     let mut probe = RecordingProbe::new();
-    let par = Scg::new(opts_with(8, 8)).solve_with_probe(&m, &mut probe);
+    let par = Scg::run(
+        SolveRequest::for_matrix(&m)
+            .options(opts_with(8, 8))
+            .probe(&mut probe),
+    )
+    .unwrap();
     let (mut implicit, mut explicit) = (0usize, 0usize);
     for te in probe.events() {
         if let Event::PhaseBegin { phase } = te.event {
@@ -102,14 +118,20 @@ fn reduce_stage_runs_exactly_once_with_a_worker_pool() {
     assert_eq!(explicit, 1, "explicit reduction must run once per solve");
     // The ZDD counters describe that single reduction, so they cannot
     // depend on the worker count.
-    let serial = Scg::new(opts_with(1, 8)).solve(&m);
+    let serial = run_with(&m, 1, 8);
     assert_eq!(par.zdd_stats, serial.zdd_stats);
 }
 
 #[test]
 fn parallel_trace_is_ordered_and_worker_tagged() {
     let mut probe = RecordingProbe::new();
-    let out = Scg::new(opts_with(8, 10)).solve_with_probe(&sts9(), &mut probe);
+    let m = sts9();
+    let out = Scg::run(
+        SolveRequest::for_matrix(&m)
+            .options(opts_with(8, 10))
+            .probe(&mut probe),
+    )
+    .unwrap();
     let mut expected_run = 1usize;
     let mut last_best = f64::INFINITY;
     let mut ends = 0usize;
@@ -141,9 +163,14 @@ fn parallel_trace_is_ordered_and_worker_tagged() {
 #[test]
 fn recording_a_parallel_solve_does_not_perturb_it() {
     let m = sts9_blocks(2);
-    let plain = Scg::new(opts_with(4, 8)).solve(&m);
+    let plain = run_with(&m, 4, 8);
     let mut probe = RecordingProbe::new();
-    let recorded = Scg::new(opts_with(4, 8)).solve_with_probe(&m, &mut probe);
+    let recorded = Scg::run(
+        SolveRequest::for_matrix(&m)
+            .options(opts_with(4, 8))
+            .probe(&mut probe),
+    )
+    .unwrap();
     assert_eq!(plain.cost, recorded.cost);
     assert_eq!(plain.solution.cols(), recorded.solution.cols());
     assert_eq!(plain.lower_bound, recorded.lower_bound);
@@ -168,7 +195,7 @@ fn one_deadline_spans_all_partition_blocks() {
         ..opts_with(1, 50_000)
     };
     let start = Instant::now();
-    let out = Scg::new(opts).solve(&m);
+    let out = Scg::run(SolveRequest::for_matrix(&m).options(opts)).unwrap();
     let elapsed = start.elapsed();
     assert!(out.solution.is_feasible(&m));
     assert!(

@@ -3,12 +3,12 @@
 
 use ucp::logic::{build_covering, Pla};
 use ucp::solvers::{branch_and_bound, BnbOptions};
-use ucp::ucp_core::{Scg, ScgOptions};
+use ucp::ucp_core::{Scg, SolveRequest};
 use ucp::workloads::random_pla;
 
 fn minimise_and_verify(pla: &Pla) -> (f64, f64, bool) {
     let inst = build_covering(pla).expect("within input limits");
-    let outcome = Scg::new(ScgOptions::default()).solve(&inst.matrix);
+    let outcome = Scg::run(SolveRequest::for_matrix(&inst.matrix)).unwrap();
     assert!(
         outcome.solution.is_feasible(&inst.matrix),
         "cover must be feasible"
@@ -87,7 +87,7 @@ fn scg_matches_exact_on_random_pla_matrices() {
         }
         let exact = branch_and_bound(&inst.matrix, &BnbOptions::default());
         assert!(exact.optimal, "seed {seed}");
-        let scg = Scg::new(ScgOptions::default()).solve(&inst.matrix);
+        let scg = Scg::run(SolveRequest::for_matrix(&inst.matrix)).unwrap();
         assert!(
             scg.cost >= exact.cost - 1e-9,
             "seed {seed}: heuristic beat the optimum?!"
@@ -162,8 +162,8 @@ fn literal_objective_end_to_end() {
     let pla: ucp::logic::Pla = ".i 3\n.o 1\n11- 1\n1-1 1\n011 1\n.e\n".parse().unwrap();
     let unit = build_covering(&pla).unwrap();
     let lex = build_covering_with(&pla, TermCost::ProductsThenLiterals).unwrap();
-    let unit_out = Scg::new(ScgOptions::default()).solve(&unit.matrix);
-    let lex_out = Scg::new(ScgOptions::default()).solve(&lex.matrix);
+    let unit_out = Scg::run(SolveRequest::for_matrix(&unit.matrix)).unwrap();
+    let lex_out = Scg::run(SolveRequest::for_matrix(&lex.matrix)).unwrap();
     // Same number of products (the primary objective survives the ε-costs).
     assert_eq!(unit_out.solution.len(), lex_out.solution.len());
     let min = lex.solution_to_pla(&lex_out.solution);

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use ucp::cover::CoverMatrix;
 use ucp::solvers::{branch_and_bound, chvatal_greedy, espresso_like, BnbOptions, EspressoMode};
-use ucp::ucp_core::{Scg, ScgOptions};
+use ucp::ucp_core::{Scg, SolveRequest};
 
 fn instance_strategy() -> impl Strategy<Value = CoverMatrix> {
     (3usize..=12).prop_flat_map(|cols| {
@@ -30,7 +30,7 @@ proptest! {
         prop_assert!(exact.optimal);
         let opt = exact.cost;
 
-        let scg = Scg::new(ScgOptions::default()).solve(&m);
+        let scg = Scg::run(SolveRequest::for_matrix(&m)).unwrap();
         prop_assert!(scg.solution.is_feasible(&m));
         prop_assert!((scg.solution.cost(&m) - scg.cost).abs() < 1e-9);
         prop_assert!(scg.cost >= opt - 1e-9, "heuristic below optimum");
@@ -51,7 +51,7 @@ proptest! {
 
     #[test]
     fn scg_not_worse_than_greedy_baselines(m in instance_strategy()) {
-        let scg = Scg::new(ScgOptions::default()).solve(&m);
+        let scg = Scg::run(SolveRequest::for_matrix(&m)).unwrap();
         let greedy = chvatal_greedy(&m).unwrap().cost(&m);
         let strong = espresso_like(&m, EspressoMode::Strong).unwrap().cost(&m);
         // On these small instances the Lagrangian heuristic should never
@@ -83,7 +83,7 @@ fn scg_hits_optimum_on_most_fixed_seeds() {
         );
         let exact = branch_and_bound(&m, &BnbOptions::default());
         assert!(exact.optimal, "seed {seed}");
-        let scg = Scg::new(ScgOptions::default()).solve(&m);
+        let scg = Scg::run(SolveRequest::for_matrix(&m)).unwrap();
         assert!(
             scg.cost <= exact.cost + 1.0 + 1e-9,
             "seed {seed}: SCG {} vs optimum {}",
@@ -109,7 +109,7 @@ fn steiner_nine_closed_and_matched() {
     let m = steiner_triple(9);
     let exact = branch_and_bound(&m, &BnbOptions::default());
     assert!(exact.optimal);
-    let scg = Scg::new(ScgOptions::default()).solve(&m);
+    let scg = Scg::run(SolveRequest::for_matrix(&m)).unwrap();
     assert!(scg.solution.is_feasible(&m));
     assert!(scg.cost <= exact.cost + 1.0);
     assert!(scg.lower_bound <= exact.cost + 1e-9);
@@ -120,7 +120,7 @@ fn zero_cost_columns_are_free() {
     // A zero-cost column covering everything: the optimum is 0 and every
     // solver must find it (and the certificate must hold: LB = 0 = cost).
     let m = CoverMatrix::with_costs(3, vec![vec![0, 2], vec![1, 2]], vec![4.0, 4.0, 0.0]);
-    let scg = Scg::new(ScgOptions::default()).solve(&m);
+    let scg = Scg::run(SolveRequest::for_matrix(&m)).unwrap();
     assert_eq!(scg.cost, 0.0);
     assert!(scg.proven_optimal);
     let exact = branch_and_bound(&m, &BnbOptions::default());
@@ -131,7 +131,7 @@ fn zero_cost_columns_are_free() {
 #[test]
 fn single_row_single_column() {
     let m = CoverMatrix::from_rows(1, vec![vec![0]]);
-    let scg = Scg::new(ScgOptions::default()).solve(&m);
+    let scg = Scg::run(SolveRequest::for_matrix(&m)).unwrap();
     assert_eq!(scg.cost, 1.0);
     assert!(scg.proven_optimal);
     assert_eq!(scg.solution.cols(), &[0]);
@@ -144,7 +144,7 @@ fn interval_instances_always_certify() {
     use ucp::workloads::interval_ucp;
     for seed in 0..12u64 {
         let m = interval_ucp(30, 12, seed);
-        let out = Scg::new(ScgOptions::default()).solve(&m);
+        let out = Scg::run(SolveRequest::for_matrix(&m)).unwrap();
         assert!(out.solution.is_feasible(&m), "seed {seed}");
         assert!(
             out.proven_optimal,

@@ -8,7 +8,7 @@
 //! to run both tiers).
 
 use ucp::solvers::{branch_and_bound, BnbOptions};
-use ucp::ucp_core::{Scg, ScgOptions};
+use ucp::ucp_core::{Preset, Scg, SolveRequest};
 use ucp::workloads::suite;
 
 #[test]
@@ -21,7 +21,7 @@ fn easy_cyclic_all_certified_with_default_options() {
     // cover is in fact optimal.
     let mut gap_confirmed = 0usize;
     for inst in suite::easy_cyclic() {
-        let out = Scg::new(ScgOptions::default()).solve(&inst.matrix);
+        let out = Scg::run(SolveRequest::for_matrix(&inst.matrix)).unwrap();
         assert!(out.solution.is_feasible(&inst.matrix), "{}", inst.name);
         assert!(out.cost >= out.lower_bound - 1e-9, "{}", inst.name);
         if !out.proven_optimal {
@@ -46,7 +46,7 @@ fn easy_cyclic_all_certified_with_default_options() {
 #[test]
 fn difficult_cyclic_feasible_and_bounded() {
     for inst in suite::difficult_cyclic() {
-        let out = Scg::new(ScgOptions::fast()).solve(&inst.matrix);
+        let out = Scg::run(SolveRequest::for_matrix(&inst.matrix).preset(Preset::Fast)).unwrap();
         assert!(out.solution.is_feasible(&inst.matrix), "{}", inst.name);
         assert!(out.lower_bound <= out.cost + 1e-9, "{}", inst.name);
         assert!(out.lower_bound > 0.0, "{} has trivial bound", inst.name);
@@ -65,7 +65,7 @@ fn check_challenging(max_rows: Option<usize>) {
         .into_iter()
         .filter(|i| max_rows.is_none_or(|cap| i.matrix.num_rows() <= cap))
     {
-        let out = Scg::new(ScgOptions::fast()).solve(&inst.matrix);
+        let out = Scg::run(SolveRequest::for_matrix(&inst.matrix).preset(Preset::Fast)).unwrap();
         assert!(out.solution.is_feasible(&inst.matrix), "{}", inst.name);
         assert!(out.lower_bound <= out.cost + 1e-9, "{}", inst.name);
         covered += 1;
@@ -101,7 +101,7 @@ fn steiner_instances_have_known_structure() {
         let triples = inst.matrix.num_rows() as f64;
         let per_point = (n - 1.0) / 2.0;
         let counting_lb = (triples / per_point).ceil();
-        let out = Scg::new(ScgOptions::fast()).solve(&inst.matrix);
+        let out = Scg::run(SolveRequest::for_matrix(&inst.matrix).preset(Preset::Fast)).unwrap();
         assert!(
             out.cost >= counting_lb - 1e-9,
             "{}: cover {} below counting bound {}",

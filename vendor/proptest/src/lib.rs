@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment cannot reach crates.io, so this crate reimplements
-//! the slice of proptest this workspace uses: the [`Strategy`] trait with
+//! the slice of proptest this workspace uses: the [`strategy::Strategy`] trait with
 //! `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`, range and
 //! tuple strategies, `prop::collection::{vec, btree_set}`, the
 //! [`proptest!`][crate::proptest] test macro with `#![proptest_config(..)]`,
@@ -375,7 +375,7 @@ pub mod prop {
             }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Clone)]
         pub struct VecStrategy<S> {
             element: S,
