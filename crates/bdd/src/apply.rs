@@ -143,7 +143,7 @@ mod tests {
 
     #[test]
     fn basic_identities() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let y = b.var(1);
         let nx = b.not(x);
@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn double_negation() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let y = b.var(1);
         let f = b.xor(x, y);
@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn ite_selects() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let t = b.var(1);
         let e = b.var(2);
@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn implication_order() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let y = b.var(1);
         let xy = b.and(x, y);
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn and_or_all() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let vars: Vec<_> = (0..4).map(|i| b.var(i)).collect();
         let all = b.and_all(vars.clone());
         let any = b.or_all(vars);

@@ -42,7 +42,7 @@ mod tests {
 
     #[test]
     fn dot_structure() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let y = b.var(1);
         let f = b.xor(x, y);

@@ -10,12 +10,15 @@
 //! [Bryant 1986]; diagrams are reduced and ordered, so equality of
 //! [`BddId`]s is semantic equality of functions.
 //!
+//! The manager is constructed through the [`BddOptions`] builder — the
+//! same construction idiom as the ZDD manager in `ucp-zdd`.
+//!
 //! # Example
 //!
 //! ```
-//! use bdd::Bdd;
+//! use bdd::BddOptions;
 //!
-//! let mut b = Bdd::new();
+//! let mut b = BddOptions::new().build();
 //! let x = b.var(0);
 //! let y = b.var(1);
 //! let f = b.and(x, y);
@@ -30,8 +33,10 @@ mod apply;
 mod dot;
 mod manager;
 mod node;
+mod options;
 mod quant;
 mod sat;
 
 pub use manager::Bdd;
 pub use node::BddId;
+pub use options::BddOptions;

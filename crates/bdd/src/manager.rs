@@ -52,27 +52,49 @@ pub(crate) enum BOp {
 /// A hash-consed store of reduced ordered BDD nodes.
 ///
 /// Variables are `u32` indices ordered by value (smaller = nearer the root).
+/// Managers are constructed through the [`BddOptions`](crate::BddOptions)
+/// builder (`Bdd::default()` is shorthand for
+/// `BddOptions::default().build()`), the same construction idiom as the
+/// ZDD manager.
 ///
 /// # Example
 ///
 /// ```
-/// use bdd::Bdd;
-/// let mut b = Bdd::new();
+/// use bdd::BddOptions;
+/// let mut b = BddOptions::new().build();
 /// let x0 = b.var(0);
 /// let nx0 = b.not(x0);
 /// let t = b.or(x0, nx0);
 /// assert!(t.is_true());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Bdd {
     pub(crate) nodes: Vec<BddNode>,
     unique: FxMap<BddNode, BddId>,
     pub(crate) cache: FxMap<(BOp, BddId, BddId), BddId>,
 }
 
+impl Default for Bdd {
+    /// Equivalent to `BddOptions::default().build()`.
+    ///
+    /// (The previous derived `Default` produced a store with *no*
+    /// constant nodes — any use would have indexed out of bounds.)
+    fn default() -> Self {
+        crate::BddOptions::default().build()
+    }
+}
+
 impl Bdd {
     /// Creates a manager holding only the constants.
+    #[deprecated(since = "0.5.0", note = "use `BddOptions::new().build()` instead")]
     pub fn new() -> Self {
+        crate::BddOptions::default().build()
+    }
+
+    /// Constructs a manager from validated options
+    /// ([`BddOptions::build`](crate::BddOptions::build) is the public
+    /// entry).
+    pub(crate) fn with_options(opts: crate::BddOptions) -> Self {
         let t = |_| BddNode {
             var: TERMINAL_VAR,
             lo: BddId::FALSE,
@@ -80,8 +102,8 @@ impl Bdd {
         };
         Bdd {
             nodes: vec![t(0), t(1)],
-            unique: FxMap::default(),
-            cache: FxMap::default(),
+            unique: FxMap::with_capacity_and_hasher(opts.unique_capacity, Default::default()),
+            cache: FxMap::with_capacity_and_hasher(opts.cache_capacity, Default::default()),
         }
     }
 
@@ -196,14 +218,14 @@ mod tests {
 
     #[test]
     fn reduction_rule() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let f = b.mk(0, BddId::TRUE, BddId::TRUE);
         assert!(f.is_true());
     }
 
     #[test]
     fn hash_consing() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(3);
         let y = b.var(3);
         assert_eq!(x, y);
@@ -212,7 +234,7 @@ mod tests {
 
     #[test]
     fn cofactors_of_var() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(2);
         assert_eq!(b.cofactors(x, 2), (BddId::FALSE, BddId::TRUE));
         assert_eq!(b.cofactors(x, 0), (x, x));

@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn restrict_fixes_variable() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let y = b.var(1);
         let f = b.and(x, y);
@@ -119,7 +119,7 @@ mod tests {
 
     #[test]
     fn exists_removes_dependency() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let y = b.var(1);
         let f = b.and(x, y);
@@ -130,7 +130,7 @@ mod tests {
 
     #[test]
     fn forall_of_conjunction() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let y = b.var(1);
         let f = b.or(x, y);
@@ -143,7 +143,7 @@ mod tests {
 
     #[test]
     fn exists_many_quantifies_everything() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let y = b.var(1);
         let f = b.and(x, y);
@@ -153,7 +153,7 @@ mod tests {
 
     #[test]
     fn support_of_middle_var() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let z = b.var(5);
         let f = b.xor(x, z);

@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn eval_basic() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let y = b.var(1);
         let f = b.xor(x, y);
@@ -144,7 +144,7 @@ mod tests {
 
     #[test]
     fn sat_count_matches_truth_table() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let y = b.var(1);
         let z = b.var(2);
@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn sat_count_skipped_levels() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let z = b.var(2);
         // f = x2 over a universe of 4 vars: half the 16 rows.
         assert_eq!(b.sat_count(z, 4), 8);
@@ -166,7 +166,7 @@ mod tests {
 
     #[test]
     fn one_sat_satisfies() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let ny = b.nvar(1);
         let f = b.and(x, ny);
@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn minterms_enumeration() {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let x = b.var(0);
         let y = b.var(1);
         let f = b.or(x, y);

@@ -88,14 +88,14 @@ proptest! {
 
     #[test]
     fn semantics_match_truth_table(e in expr_strategy()) {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let f = build(&mut b, &e);
         prop_assert_eq!(table_of_bdd(&b, f), truth_table(&e));
     }
 
     #[test]
     fn canonical_equality(a in expr_strategy(), c in expr_strategy()) {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let fa = build(&mut b, &a);
         let fc = build(&mut b, &c);
         prop_assert_eq!(fa == fc, truth_table(&a) == truth_table(&c));
@@ -103,7 +103,7 @@ proptest! {
 
     #[test]
     fn sat_count_matches(e in expr_strategy()) {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let f = build(&mut b, &e);
         prop_assert_eq!(b.sat_count(f, VARS), truth_table(&e).count_ones() as u128);
         prop_assert_eq!(b.minterms(f, VARS).len(), truth_table(&e).count_ones() as usize);
@@ -111,7 +111,7 @@ proptest! {
 
     #[test]
     fn exists_matches(e in expr_strategy(), v in 0u32..VARS) {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let f = build(&mut b, &e);
         let ex = b.exists(f, v);
         let r0 = b.restrict(f, v, false);
@@ -125,7 +125,7 @@ proptest! {
 
     #[test]
     fn one_sat_is_satisfying(e in expr_strategy()) {
-        let mut b = Bdd::new();
+        let mut b = Bdd::default();
         let f = build(&mut b, &e);
         if let Some(path) = b.one_sat(f) {
             let mut assignment = vec![false; VARS as usize];

@@ -26,7 +26,7 @@ fn bench_zdd(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("union", sets), &sets, |b, &sets| {
             b.iter_batched(
                 || {
-                    let mut z = Zdd::new();
+                    let mut z = Zdd::default();
                     let f = random_family(&mut z, 64, sets, 1);
                     let g = random_family(&mut z, 64, sets, 2);
                     (z, f, g)
@@ -38,7 +38,7 @@ fn bench_zdd(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("minimal", sets), &sets, |b, &sets| {
             b.iter_batched(
                 || {
-                    let mut z = Zdd::new();
+                    let mut z = Zdd::default();
                     let f = random_family(&mut z, 64, sets, 3);
                     (z, f)
                 },
@@ -49,7 +49,7 @@ fn bench_zdd(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("product", sets), &sets, |b, &sets| {
             b.iter_batched(
                 || {
-                    let mut z = Zdd::new();
+                    let mut z = Zdd::default();
                     let f = random_family(&mut z, 64, sets.min(200), 4);
                     let g = random_family(&mut z, 64, sets.min(200), 5);
                     (z, f, g)

@@ -10,6 +10,8 @@
 //! A third pass re-runs the whole suite through the `ucp-engine` batch
 //! scheduler at 1 and N workers and records an `engine` throughput row
 //! (jobs/sec and batch speedup), again asserting identical outcomes.
+//! A final `zdd_kernel` row times full implicit reductions over the
+//! challenging suite — the manager-level regression signal CI greps for.
 //!
 //! Usage: `cargo run -p ucp-bench --release --bin snapshot [--quick]`
 
@@ -49,6 +51,43 @@ fn engine_pass(
     let elapsed = start.elapsed().as_secs_f64();
     engine.shutdown();
     (outs, elapsed)
+}
+
+/// Kernel microbench: full implicit reduction (`reduce()`, no MaxR/MaxC
+/// early exit) over the challenging suite on the default kernel. This is
+/// the row CI smoke-checks for — it tracks the ZDD manager itself
+/// (unique-table probing, computed-cache hit rate, GC) independent of
+/// the subgradient heuristic.
+fn kernel_pass(quick: bool) -> String {
+    let mut insts = suite::challenging();
+    if quick {
+        insts.truncate(4);
+    }
+    let mut stats = cover::ZddStats::default();
+    let start = Instant::now();
+    for inst in &insts {
+        let mut im = cover::ImplicitMatrix::encode(&inst.matrix);
+        let _fixed = im.reduce();
+        stats.merge(&im.zdd_stats());
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let mut row = JsonObj::new();
+    row.field_str("suite", "challenging");
+    row.field_u64("instances", insts.len() as u64);
+    row.field_f64("implicit_reduce_seconds", secs);
+    row.field_f64("cache_hit_rate", stats.cache_hit_rate());
+    row.field_f64("unique_hit_rate", stats.unique_hit_rate());
+    row.field_u64("peak_live_nodes", stats.peak_nodes as u64);
+    row.field_u64("gc_runs", stats.gc_runs);
+    row.field_u64("gc_reclaimed", stats.gc_reclaimed);
+    println!(
+        "zdd_kernel: {secs:.3}s implicit reduce over {} instances, cache {:.2}% hit, unique {:.2}% hit, peak {} nodes",
+        insts.len(),
+        100.0 * stats.cache_hit_rate(),
+        100.0 * stats.unique_hit_rate(),
+        stats.peak_nodes
+    );
+    row.finish()
 }
 
 fn main() {
@@ -150,6 +189,7 @@ fn main() {
     eng_row.field_f64("jobs_per_sec_pooled", jps_nw);
     eng_row.field_f64("batch_speedup", engine_speedup);
     doc.field_raw("engine", &eng_row.finish());
+    doc.field_raw("zdd_kernel", &kernel_pass(quick));
     doc.field_raw("runs", &format!("[{}]", runs.join(",")));
     fs::create_dir_all("results").expect("create results/");
     fs::write("results/BENCH_scg.json", doc.finish() + "\n").expect("write results/BENCH_scg.json");

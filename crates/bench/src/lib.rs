@@ -148,7 +148,12 @@ pub fn scg_fields(o: &mut JsonObj, out: &ScgOutcome) {
     o.field_raw("phase_times", &out.phase_times.to_json());
     o.field_u64("zdd_cache_hits", out.zdd_stats.cache_hits);
     o.field_u64("zdd_cache_misses", out.zdd_stats.cache_misses);
+    o.field_u64("zdd_cache_evictions", out.zdd_stats.cache_evictions);
     o.field_u64("zdd_peak_nodes", out.zdd_stats.peak_nodes as u64);
+    o.field_u64("zdd_live_nodes", out.zdd_stats.live_nodes as u64);
+    o.field_u64("zdd_unique_relocations", out.zdd_stats.unique_relocations);
+    o.field_u64("zdd_gc_runs", out.zdd_stats.gc_runs);
+    o.field_u64("zdd_gc_reclaimed", out.zdd_stats.gc_reclaimed);
 }
 
 /// A minimal fixed-width table printer.

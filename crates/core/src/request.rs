@@ -28,7 +28,7 @@
 
 use crate::scg::{Scg, ScgOptions, ScgOutcome};
 use crate::subgradient::SubgradientOptions;
-use cover::CoverMatrix;
+use cover::{CoreOptions, CoverMatrix, ZddOptions};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -98,6 +98,15 @@ impl Preset {
     pub const ALL: [Preset; 3] = [Preset::Fast, Preset::Paper, Preset::Thorough];
 
     /// The full option set this preset names.
+    ///
+    /// Besides the heuristic knobs, each preset also selects ZDD kernel
+    /// tunables for the implicit phase (threaded through
+    /// [`CoreOptions::kernel`]): `Fast` shrinks the tables and collects
+    /// eagerly to keep many concurrent sweep solves memory-lean,
+    /// `Thorough` pre-sizes for hard instances and lets the store grow
+    /// further between collections. Kernel settings never change
+    /// results — only speed and memory — so every preset stays
+    /// bit-identical to itself across kernel revisions.
     pub fn options(self) -> ScgOptions {
         match self {
             Preset::Paper => ScgOptions::default(),
@@ -107,6 +116,13 @@ impl Preset {
                     max_iters: 120,
                     ..SubgradientOptions::default()
                 },
+                core: CoreOptions {
+                    kernel: ZddOptions::new()
+                        .unique_capacity(1 << 10)
+                        .cache_capacity(1 << 13)
+                        .gc_threshold(1 << 14),
+                    ..CoreOptions::default()
+                },
                 ..ScgOptions::default()
             },
             Preset::Thorough => ScgOptions {
@@ -115,6 +131,13 @@ impl Preset {
                 subgradient: SubgradientOptions {
                     max_iters: 600,
                     ..SubgradientOptions::default()
+                },
+                core: CoreOptions {
+                    kernel: ZddOptions::new()
+                        .unique_capacity(1 << 14)
+                        .cache_capacity(1 << 17)
+                        .gc_threshold(1 << 18),
+                    ..CoreOptions::default()
                 },
                 ..ScgOptions::default()
             },
@@ -298,6 +321,15 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// ZDD kernel tunables for the implicit-reduction phase (unique
+    /// table and computed-cache sizing, GC schedule). Overrides whatever
+    /// the preset selected. Kernel settings never change the solver's
+    /// answer — only speed and memory.
+    pub fn kernel(mut self, kernel: ZddOptions) -> Self {
+        self.options.core.kernel = kernel;
+        self
+    }
+
     /// Wall-clock budget for the whole solve (one deadline spanning all
     /// partition blocks and restarts). `ucp-engine` measures this
     /// budget from *submission*, so queue time counts against it.
@@ -306,8 +338,16 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
-    /// Attaches a borrowed telemetry probe (see
-    /// [`Scg::solve_with_probe`] for the event contract).
+    /// Attaches a borrowed telemetry probe.
+    ///
+    /// The probe receives `PhaseBegin`/`PhaseEnd` pairs for every phase
+    /// of Fig. 2, one `SubgradientIter` per ascent iteration, a
+    /// `ZddKernel` counter snapshot after the implicit phase, and —
+    /// inside the constructive runs — `RestartBegin`/`RestartEnd`,
+    /// `ColumnFix` and `PenaltyElim` events. With `workers > 1`,
+    /// per-worker buffers are replayed into this probe in restart order
+    /// after the pool joins, so a parallel trace reads like a
+    /// sequential one apart from the `worker` tags.
     pub fn probe<P: Probe + Send>(mut self, probe: &'a mut P) -> Self {
         self.probe = Some(ProbeSlot::Borrowed(probe));
         self
@@ -425,6 +465,7 @@ mod tests {
         CoverMatrix::from_rows(n, (0..n).map(|i| vec![i, (i + 1) % n]).collect())
     }
 
+    #[cfg(feature = "legacy-api")]
     #[test]
     fn run_matches_deprecated_solve() {
         let m = cycle(9);
@@ -452,6 +493,43 @@ mod tests {
         }
         assert!("warp".parse::<Preset>().is_err());
         assert_eq!("default".parse::<Preset>().unwrap(), Preset::Paper);
+    }
+
+    #[test]
+    fn presets_select_kernel_tunables() {
+        let fast = Preset::Fast.options().core.kernel;
+        let paper = Preset::Paper.options().core.kernel;
+        let thorough = Preset::Thorough.options().core.kernel;
+        assert_eq!(paper, ZddOptions::default());
+        assert!(fast.get_cache_capacity() < paper.get_cache_capacity());
+        assert!(paper.get_cache_capacity() < thorough.get_cache_capacity());
+        assert!(fast.get_gc_threshold() < thorough.get_gc_threshold());
+    }
+
+    #[test]
+    fn kernel_builder_overrides_preset_choice() {
+        let m = cycle(5);
+        let kernel = ZddOptions::new().cache_capacity(1 << 9).auto_gc(false);
+        let req = SolveRequest::for_matrix(&m)
+            .preset(Preset::Fast)
+            .kernel(kernel);
+        assert_eq!(req.opts().core.kernel, kernel);
+    }
+
+    #[test]
+    fn kernel_tunables_do_not_change_the_answer() {
+        let m = cycle(9);
+        let reference = Scg::run(SolveRequest::for_matrix(&m)).unwrap();
+        for kernel in [
+            ZddOptions::new().unique_capacity(1).cache_capacity(1),
+            ZddOptions::new().gc_threshold(4).gc_ratio(1.1),
+            Preset::Thorough.options().core.kernel,
+        ] {
+            let out = Scg::run(SolveRequest::for_matrix(&m).kernel(kernel)).unwrap();
+            assert_eq!(out.cost, reference.cost);
+            assert_eq!(out.solution.cols(), reference.solution.cols());
+            assert_eq!(out.lower_bound, reference.lower_bound);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The shared-core parallel restart engine.
 //!
-//! [`Scg::solve_with_probe`](crate::Scg::solve_with_probe) runs in two
+//! [`Scg::run`](crate::Scg::run) runs in two
 //! stages. The *reduce* stage — implicit + explicit reductions,
 //! partitioning and the initial subgradient ascent — is deterministic and
 //! runs exactly once per solve, whatever the worker count. The *restarts*

@@ -29,7 +29,9 @@ use rand::{RngExt, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use ucp_telemetry::{Event, FixReason, NoopProbe, PenaltyKind, Phase, PhaseTimes, Probe};
+#[cfg(feature = "legacy-api")]
+use ucp_telemetry::NoopProbe;
+use ucp_telemetry::{Event, FixReason, PenaltyKind, Phase, PhaseTimes, Probe};
 
 /// All tunables of the `ZDD_SCG` solver. Field defaults are the paper's
 /// published values where given.
@@ -95,6 +97,10 @@ impl Default for ScgOptions {
 impl ScgOptions {
     /// A cheaper preset for tests and very large sweeps: single run,
     /// shorter subgradient phases.
+    ///
+    /// Only available with the `legacy-api` cargo feature (off by
+    /// default).
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `Preset::Fast.options()` (see `ucp_core::Preset`)")]
     pub fn fast() -> Self {
         Preset::Fast.options()
@@ -107,7 +113,7 @@ impl ScgOptions {
     }
 }
 
-/// The result of a [`Scg::solve`] call.
+/// The result of a [`Scg::run`](crate::Scg::run) call.
 #[derive(Clone, Debug)]
 pub struct ScgOutcome {
     /// Best cover found, in original column indices.
@@ -260,12 +266,16 @@ impl Scg {
     }
 
     /// Solves the unate covering instance `m`.
+    ///
+    /// Only available with the `legacy-api` cargo feature (off by
+    /// default).
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `Scg::run` with a `SolveRequest` (see the README migration table)")]
     pub fn solve(&self, m: &CoverMatrix) -> ScgOutcome {
         self.solve_impl(m, None, &mut NoopProbe)
     }
 
-    /// [`Scg::solve`] with a telemetry probe observing the pipeline.
+    /// `solve` with a telemetry probe observing the pipeline.
     ///
     /// The probe receives [`Event::PhaseBegin`]/[`Event::PhaseEnd`] pairs for
     /// every phase of Fig. 2 (implicit and explicit reduction, partitioning,
@@ -282,9 +292,13 @@ impl Scg {
     /// pool joins, so a parallel trace reads like a sequential one apart
     /// from the `worker` tags on restart events.
     ///
-    /// With [`NoopProbe`] (what [`Scg::solve`] passes) all instrumentation
+    /// With [`NoopProbe`] (what `solve` passes) all instrumentation
     /// monomorphises away; the phase breakdown in [`ScgOutcome::phase_times`]
     /// is filled in either way.
+    ///
+    /// Only available with the `legacy-api` cargo feature (off by
+    /// default).
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         note = "use `Scg::run` with `SolveRequest::for_matrix(m).probe(&mut p)` \
                 (see the README migration table)"
@@ -1039,15 +1053,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_fast_shim_matches_the_preset() {
-        #[allow(deprecated)]
-        let shim = ScgOptions::fast();
-        let preset = Preset::Fast.options();
-        assert_eq!(shim.num_iter, preset.num_iter);
-        assert_eq!(shim.subgradient.max_iters, preset.subgradient.max_iters);
-    }
-
-    #[test]
     fn non_uniform_costs_respected() {
         // Two disjoint rows with a cheap and an expensive option each.
         let m = CoverMatrix::with_costs(4, vec![vec![0, 1], vec![2, 3]], vec![1.0, 9.0, 9.0, 1.0]);
@@ -1164,6 +1169,10 @@ impl Scg {
     /// let out = Scg::run(SolveRequest::for_matrix(&m).workers(4)).unwrap();
     /// assert_eq!(out.cost, 3.0);
     /// ```
+    ///
+    /// Only available with the `legacy-api` cargo feature (off by
+    /// default).
+    #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `Scg::run` with `SolveRequest::for_matrix(m).workers(n)`")]
     pub fn solve_parallel(&self, m: &CoverMatrix, workers: usize) -> ScgOutcome {
         assert!(workers > 0, "need at least one worker");
@@ -1174,9 +1183,13 @@ impl Scg {
         .solve_impl(m, None, &mut NoopProbe)
     }
 
-    /// [`Scg::solve_parallel`] with a telemetry probe: the parallel path
+    /// `solve_parallel` with a telemetry probe: the parallel path
     /// is fully observable (worker-tagged restart events, merged in
     /// restart order).
+    ///
+    /// Only available with the `legacy-api` cargo feature (off by
+    /// default).
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         note = "use `Scg::run` with `SolveRequest::for_matrix(m).workers(n).probe(&mut p)`"
     )]
@@ -1197,16 +1210,23 @@ impl Scg {
 
 #[cfg(test)]
 mod parallel_tests {
-    // This module deliberately exercises the deprecated shims so they
-    // stay equivalent to `Scg::run` until removal.
-    #![allow(deprecated)]
     use super::*;
+
+    fn run_workers(m: &CoverMatrix, workers: usize) -> ScgOutcome {
+        run_opts(
+            m,
+            ScgOptions {
+                workers,
+                ..ScgOptions::default()
+            },
+        )
+    }
 
     #[test]
     fn parallel_matches_serial_quality() {
         let m = CoverMatrix::from_rows(9, (0..9).map(|i| vec![i, (i + 1) % 9]).collect());
         let serial = run_default(&m);
-        let parallel = Scg::with_defaults().solve_parallel(&m, 4);
+        let parallel = run_workers(&m, 4);
         assert!(parallel.cost <= serial.cost);
         assert!(parallel.solution.is_feasible(&m));
         assert!(parallel.lower_bound >= serial.lower_bound - 1e-9);
@@ -1216,16 +1236,9 @@ mod parallel_tests {
     fn single_worker_is_plain_solve() {
         let m = CoverMatrix::from_rows(5, (0..5).map(|i| vec![i, (i + 1) % 5]).collect());
         let a = run_default(&m);
-        let b = Scg::with_defaults().solve_parallel(&m, 1);
+        let b = run_workers(&m, 1);
         assert_eq!(a.cost, b.cost);
         assert_eq!(a.solution.cols(), b.solution.cols());
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_panics() {
-        let m = CoverMatrix::from_rows(1, vec![vec![0]]);
-        let _ = Scg::with_defaults().solve_parallel(&m, 0);
     }
 
     #[test]
@@ -1235,7 +1248,7 @@ mod parallel_tests {
         let m = CoverMatrix::from_rows(11, (0..11).map(|i| vec![i, (i + 1) % 11]).collect());
         let base = run_default(&m);
         for workers in [2usize, 3, 8] {
-            let out = Scg::with_defaults().solve_parallel(&m, workers);
+            let out = run_workers(&m, workers);
             assert_eq!(out.cost, base.cost, "workers = {workers}");
             assert_eq!(
                 out.solution.cols(),
@@ -1259,5 +1272,44 @@ mod parallel_tests {
         let base = run_default(&m);
         assert_eq!(out.cost, base.cost);
         assert_eq!(out.solution.cols(), base.solution.cols());
+    }
+}
+
+#[cfg(all(test, feature = "legacy-api"))]
+mod legacy_shim_tests {
+    // This module deliberately exercises the feature-gated deprecated
+    // shims so they stay equivalent to `Scg::run` until removal.
+    #![allow(deprecated)]
+    use super::*;
+
+    #[test]
+    fn solve_parallel_shim_matches_the_request_route() {
+        let m = CoverMatrix::from_rows(9, (0..9).map(|i| vec![i, (i + 1) % 9]).collect());
+        let shim = Scg::with_defaults().solve_parallel(&m, 4);
+        let new = run_opts(
+            &m,
+            ScgOptions {
+                workers: 4,
+                ..ScgOptions::default()
+            },
+        );
+        assert_eq!(shim.cost, new.cost);
+        assert_eq!(shim.solution.cols(), new.solution.cols());
+        assert_eq!(shim.lower_bound, new.lower_bound);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let m = CoverMatrix::from_rows(1, vec![vec![0]]);
+        let _ = Scg::with_defaults().solve_parallel(&m, 0);
+    }
+
+    #[test]
+    fn deprecated_fast_shim_matches_the_preset() {
+        let shim = ScgOptions::fast();
+        let preset = Preset::Fast.options();
+        assert_eq!(shim.num_iter, preset.num_iter);
+        assert_eq!(shim.subgradient.max_iters, preset.subgradient.max_iters);
     }
 }

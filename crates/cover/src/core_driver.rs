@@ -21,6 +21,10 @@ pub struct CoreOptions {
     pub max_cols: usize,
     /// Skip the implicit phase entirely (for ablation benchmarks).
     pub use_implicit: bool,
+    /// ZDD kernel tunables (table/cache sizing, GC schedule) for the
+    /// implicit phase's manager. Kernel settings never change results,
+    /// only speed and memory.
+    pub kernel: zdd::ZddOptions,
 }
 
 impl Default for CoreOptions {
@@ -30,6 +34,7 @@ impl Default for CoreOptions {
             max_rows: 5000,
             max_cols: 10_000,
             use_implicit: true,
+            kernel: zdd::ZddOptions::default(),
         }
     }
 }
@@ -116,7 +121,7 @@ pub fn cyclic_core_probed<P: Probe>(
     let mut zdd_stats = zdd::ZddStats::default();
     let (explicit, implicit_fixed, col_map_a): (CoverMatrix, Vec<usize>, Vec<usize>) =
         if opts.use_implicit {
-            let mut im = ImplicitMatrix::encode(m);
+            let mut im = ImplicitMatrix::encode_with(m, opts.kernel);
             let fixed = im.reduce_until_small(opts.max_rows, opts.max_cols);
             let (dec, col_map) = im.decode();
             zdd_stats = im.zdd_stats();
@@ -129,6 +134,18 @@ pub fn cyclic_core_probed<P: Probe>(
         phase: Phase::ImplicitReduction,
         seconds: implicit_time.as_secs_f64(),
     });
+    if opts.use_implicit {
+        probe.record(Event::ZddKernel {
+            cache_hits: zdd_stats.cache_hits,
+            cache_misses: zdd_stats.cache_misses,
+            cache_evictions: zdd_stats.cache_evictions,
+            unique_relocations: zdd_stats.unique_relocations,
+            peak_nodes: zdd_stats.peak_nodes as u64,
+            live_nodes: zdd_stats.live_nodes as u64,
+            gc_runs: zdd_stats.gc_runs,
+            gc_reclaimed: zdd_stats.gc_reclaimed,
+        });
+    }
 
     // Phase 2: explicit reductions to the fixpoint.
     probe.record(Event::PhaseBegin {

@@ -16,7 +16,7 @@
 //! note).
 
 use crate::matrix::CoverMatrix;
-use zdd::{NodeId, Var, Zdd};
+use zdd::{NodeId, RootId, Var, Zdd, ZddOptions};
 
 /// A covering matrix held implicitly as a ZDD row family.
 ///
@@ -36,24 +36,46 @@ use zdd::{NodeId, Var, Zdd};
 pub struct ImplicitMatrix {
     zdd: Zdd,
     rows: NodeId,
+    /// Registered GC root pinning `rows`, so mid-solve collections can
+    /// reclaim every intermediate family while keeping the matrix alive.
+    root: RootId,
     costs: Vec<f64>,
     num_cols: usize,
 }
 
 impl ImplicitMatrix {
-    /// Encodes an explicit matrix into a ZDD row family.
+    /// Encodes an explicit matrix into a ZDD row family using default
+    /// kernel options.
     pub fn encode(m: &CoverMatrix) -> Self {
-        let mut zdd = Zdd::new();
+        Self::encode_with(m, ZddOptions::default())
+    }
+
+    /// Encodes an explicit matrix into a ZDD row family, constructing the
+    /// manager from the given kernel options.
+    pub fn encode_with(m: &CoverMatrix, opts: ZddOptions) -> Self {
+        let mut zdd = opts.build();
         let rows = zdd.from_sets(
             m.rows()
                 .iter()
                 .map(|row| row.iter().map(|&j| Var::from(j)).collect::<Vec<_>>()),
         );
+        let root = zdd.register_root(rows);
         ImplicitMatrix {
             zdd,
             rows,
+            root,
             costs: m.costs().to_vec(),
             num_cols: m.num_cols(),
+        }
+    }
+
+    /// Operation-boundary checkpoint: publishes the current row family to
+    /// the registered root and gives the manager a safe point to collect
+    /// (no temporary [`NodeId`]s are live here).
+    fn checkpoint(&mut self) {
+        self.zdd.set_root(self.root, self.rows);
+        if self.zdd.maybe_gc().is_some() {
+            self.rows = self.zdd.root(self.root);
         }
     }
 
@@ -88,7 +110,9 @@ impl ImplicitMatrix {
     pub fn row_dominance(&mut self) -> bool {
         let before = self.rows;
         self.rows = self.zdd.minimal(self.rows);
-        self.rows != before
+        let shrank = self.rows != before;
+        self.checkpoint();
+        shrank
     }
 
     /// Extracts essential columns (singleton rows), fixes them — removing
@@ -111,6 +135,7 @@ impl ImplicitMatrix {
                 self.rows = self.zdd.subset0(self.rows, Var::from(j));
             }
             fixed.extend(cols);
+            self.checkpoint();
         }
         fixed.sort_unstable();
         fixed
@@ -156,6 +181,7 @@ impl ImplicitMatrix {
                 let without_k = self.zdd.subset0(self.rows, Var::from(k));
                 self.rows = self.zdd.union(without_k, with_k);
                 removed.push(k);
+                self.checkpoint();
             }
         }
         removed
@@ -305,6 +331,37 @@ mod tests {
         let ess = im.reduce_until_small(100, 100);
         assert!(ess.is_empty());
         assert_eq!(im.num_rows(), 3);
+    }
+
+    #[test]
+    fn reduce_with_aggressive_gc_matches_default_kernel() {
+        let m = CoverMatrix::from_rows(
+            6,
+            vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![3, 4],
+                vec![4, 5],
+                vec![5, 0],
+                vec![0, 2, 4],
+                vec![1, 3, 5],
+            ],
+        );
+        let mut plain = ImplicitMatrix::encode(&m);
+        let ess_plain = plain.reduce();
+        let gc_opts = zdd::ZddOptions::new().gc_threshold(8).gc_ratio(1.1);
+        let mut gcd = ImplicitMatrix::encode_with(&m, gc_opts);
+        let ess_gcd = gcd.reduce();
+        assert_eq!(ess_plain, ess_gcd);
+        assert_eq!(plain.num_rows(), gcd.num_rows());
+        let (dp, _) = plain.decode();
+        let (dg, _) = gcd.decode();
+        assert_eq!(dp.rows(), dg.rows());
+        assert!(
+            gcd.zdd_stats().gc_runs > 0,
+            "tiny threshold never collected"
+        );
     }
 
     #[test]

@@ -163,7 +163,7 @@ pub fn build_covering_with(pla: &Pla, cost: TermCost) -> Result<UcpInstance, Bui
     if n > MAX_EXPANSION_INPUTS {
         return Err(BuildCoveringError::TooManyInputs(n));
     }
-    let mut mgr = Bdd::new();
+    let mut mgr = Bdd::default();
     let funcs = pla.output_functions(&mut mgr);
     let uppers: Vec<BddId> = funcs
         .iter()

@@ -260,7 +260,7 @@ mod tests {
         ];
         for cubes in covers {
             let f = CubeList::parse(3, &cubes).unwrap();
-            let mut mgr = Bdd::new();
+            let mut mgr = Bdd::default();
             let b = f.to_bdd(&mut mgr);
             assert_eq!(f.is_tautology(), b.is_true(), "cover {cubes:?}");
         }
@@ -278,7 +278,7 @@ mod tests {
     #[test]
     fn to_bdd_matches_eval() {
         let f = CubeList::parse(4, &["1--0", "01-1", "--11"]).unwrap();
-        let mut mgr = Bdd::new();
+        let mut mgr = Bdd::default();
         let b = f.to_bdd(&mut mgr);
         for a in 0..16u64 {
             let bits: Vec<bool> = (0..4).map(|v| a >> v & 1 == 1).collect();

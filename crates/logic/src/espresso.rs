@@ -55,7 +55,7 @@ impl Default for EspressoOptions {
 /// ```
 pub fn minimize(pla: &Pla, opts: &EspressoOptions) -> Pla {
     let n = pla.num_inputs();
-    let mut mgr = Bdd::new();
+    let mut mgr = Bdd::default();
     let funcs = pla.output_functions(&mut mgr);
     let uppers: Vec<BddId> = funcs
         .iter()
@@ -107,7 +107,7 @@ pub fn realizes(original: &Pla, candidate: &Pla) -> bool {
     {
         return false;
     }
-    let mut mgr = Bdd::new();
+    let mut mgr = Bdd::default();
     let spec = original.output_functions(&mut mgr);
     let got = candidate.output_functions(&mut mgr);
     for (s, g) in spec.iter().zip(&got) {
@@ -288,7 +288,7 @@ mod tests {
 
     #[test]
     fn smallest_cube_helper() {
-        let mut mgr = Bdd::new();
+        let mut mgr = Bdd::default();
         let x = mgr.var(0);
         let y = mgr.var(1);
         // f = x ∧ (y ∨ ¬y) restricted… onset {10, 11}: smallest cube is "1-".

@@ -435,7 +435,7 @@ mod tests {
     #[test]
     fn output_functions_agree_with_covers() {
         let pla: Pla = SAMPLE.parse().unwrap();
-        let mut mgr = Bdd::new();
+        let mut mgr = Bdd::default();
         let fs = pla.output_functions(&mut mgr);
         assert_eq!(fs.len(), 2);
         for a in 0..8u64 {

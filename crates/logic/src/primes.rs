@@ -44,11 +44,11 @@ fn neg_lit(v: u32) -> Var {
 /// use logic::primes::{prime_implicants, decode_primes};
 /// use zdd::Zdd;
 ///
-/// let mut mgr = Bdd::new();
+/// let mut mgr = Bdd::default();
 /// let x = mgr.var(0);
 /// let y = mgr.var(1);
 /// let f = mgr.or(x, y);
-/// let mut z = Zdd::new();
+/// let mut z = Zdd::default();
 /// let p = prime_implicants(&mut mgr, &mut z, f);
 /// let cubes = decode_primes(&z, p);
 /// assert_eq!(cubes.len(), 2); // x and y are the only primes of x ∨ y
@@ -106,7 +106,7 @@ pub fn decode_primes(zdd: &Zdd, primes: NodeId) -> Vec<Cube> {
 
 /// Convenience: primes of `f` directly as sorted cubes.
 pub fn prime_cubes(mgr: &mut Bdd, f: BddId) -> Vec<Cube> {
-    let mut zdd = Zdd::new();
+    let mut zdd = Zdd::default();
     let p = prime_implicants(mgr, &mut zdd, f);
     let mut cubes = decode_primes(&zdd, p);
     cubes.sort();
@@ -210,7 +210,7 @@ mod tests {
 
     #[test]
     fn primes_of_or() {
-        let mut mgr = Bdd::new();
+        let mut mgr = Bdd::default();
         let x = mgr.var(0);
         let y = mgr.var(1);
         let f = mgr.or(x, y);
@@ -222,7 +222,7 @@ mod tests {
 
     #[test]
     fn primes_of_xor_are_the_minterm_pairs() {
-        let mut mgr = Bdd::new();
+        let mut mgr = Bdd::default();
         let x = mgr.var(0);
         let y = mgr.var(1);
         let f = mgr.xor(x, y);
@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn tautology_has_universal_prime() {
-        let mut mgr = Bdd::new();
+        let mut mgr = Bdd::default();
         let primes = prime_cubes(&mut mgr, BddId::TRUE);
         assert_eq!(primes, vec![Cube::UNIVERSE]);
         let none = prime_cubes(&mut mgr, BddId::FALSE);
@@ -260,7 +260,7 @@ mod tests {
         ];
         for cubes in covers {
             let cover = CubeList::parse(3, &cubes).unwrap();
-            let mut mgr = Bdd::new();
+            let mut mgr = Bdd::default();
             let f_bdd = cover.to_bdd(&mut mgr);
             let implicit = prime_cubes(&mut mgr, f_bdd);
             let consensus = primes_by_consensus(cover.cubes());
@@ -276,7 +276,7 @@ mod tests {
         // Every ON-minterm is covered by at least one prime, and every prime
         // is an implicant.
         let cover = CubeList::parse(4, &["1--0", "01-1", "--11", "0000"]).unwrap();
-        let mut mgr = Bdd::new();
+        let mut mgr = Bdd::default();
         let f_bdd = cover.to_bdd(&mut mgr);
         let primes = prime_cubes(&mut mgr, f_bdd);
         for a in 0..16u64 {
@@ -309,11 +309,11 @@ mod tests {
 /// use logic::primes::{decode_primes, prime_implicants, primes_covering_minterm};
 /// use zdd::Zdd;
 ///
-/// let mut mgr = Bdd::new();
+/// let mut mgr = Bdd::default();
 /// let x = mgr.var(0);
 /// let y = mgr.var(1);
 /// let f = mgr.or(x, y);
-/// let mut z = Zdd::new();
+/// let mut z = Zdd::default();
 /// let primes = prime_implicants(&mut mgr, &mut z, f);
 /// // Minterm 01 (x=1, y=0) is covered only by the prime `x`.
 /// let covering = primes_covering_minterm(&mut z, primes, 0b01, 2);
@@ -343,9 +343,9 @@ mod implicit_filter_tests {
     #[test]
     fn implicit_filter_agrees_with_explicit_eval() {
         let cover = CubeList::parse(4, &["1--0", "01-1", "--11", "0000"]).unwrap();
-        let mut mgr = Bdd::new();
+        let mut mgr = Bdd::default();
         let f = cover.to_bdd(&mut mgr);
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let primes = prime_implicants(&mut mgr, &mut z, f);
         let all = decode_primes(&z, primes);
         for m in 0..16u64 {
@@ -361,9 +361,9 @@ mod implicit_filter_tests {
     #[test]
     fn off_minterms_have_no_covering_primes() {
         let cover = CubeList::parse(3, &["11-"]).unwrap();
-        let mut mgr = Bdd::new();
+        let mut mgr = Bdd::default();
         let f = cover.to_bdd(&mut mgr);
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let primes = prime_implicants(&mut mgr, &mut z, f);
         let filtered = primes_covering_minterm(&mut z, primes, 0b000, 3);
         assert_eq!(z.count(filtered), 0);

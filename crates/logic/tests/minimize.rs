@@ -41,7 +41,7 @@ proptest! {
 
     #[test]
     fn implicit_primes_match_consensus(f in random_cover()) {
-        let mut mgr = bdd::Bdd::new();
+        let mut mgr = bdd::Bdd::default();
         let b = f.to_bdd(&mut mgr);
         let implicit = prime_cubes(&mut mgr, b);
         let consensus = primes_by_consensus(f.cubes());
@@ -50,7 +50,7 @@ proptest! {
 
     #[test]
     fn primes_are_implicants_and_maximal(f in random_cover()) {
-        let mut mgr = bdd::Bdd::new();
+        let mut mgr = bdd::Bdd::default();
         let b = f.to_bdd(&mut mgr);
         let primes = prime_cubes(&mut mgr, b);
         let tt = truth_table(&f);

@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn union_basic() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let a = family(&mut z, &[&[0], &[1, 2]]);
         let b = family(&mut z, &[&[1, 2], &[3]]);
         let u = z.union(a, b);
@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn intersect_basic() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let a = family(&mut z, &[&[0], &[1, 2], &[]]);
         let b = family(&mut z, &[&[1, 2], &[3], &[]]);
         let i = z.intersect(a, b);
@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn difference_basic() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let a = family(&mut z, &[&[0], &[1, 2], &[4]]);
         let b = family(&mut z, &[&[1, 2]]);
         let d = z.difference(a, b);
@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn union_idempotent_and_commutative() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let a = family(&mut z, &[&[0, 3], &[2]]);
         let b = family(&mut z, &[&[1]]);
         assert_eq!(z.union(a, a), a);
@@ -168,7 +168,7 @@ mod tests {
 
     #[test]
     fn product_joins_members() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let a = family(&mut z, &[&[0], &[1]]);
         let b = family(&mut z, &[&[2], &[3]]);
         let p = z.product(a, b);
@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn product_with_overlap_collapses_duplicates() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let a = family(&mut z, &[&[0], &[0, 1]]);
         let b = family(&mut z, &[&[0]]);
         let p = z.product(a, b);
@@ -189,7 +189,7 @@ mod tests {
 
     #[test]
     fn product_base_is_identity() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let a = family(&mut z, &[&[0, 2], &[1]]);
         let b = z.base();
         assert_eq!(z.product(a, b), a);

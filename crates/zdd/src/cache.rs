@@ -1,0 +1,174 @@
+//! The computed cache: a fixed-size, direct-mapped, generational memo
+//! table for binary ZDD operations.
+//!
+//! The seed kernel memoised into an unbounded `HashMap`, which grows
+//! without limit over a long batch run and must be rebuilt (full
+//! deallocation + reallocation) on every GC. This cache is a flat array
+//! of 16-byte slots, sized once at construction:
+//!
+//! * **direct-mapped** — a colliding entry overwrites (an *eviction*);
+//!   losing a memo entry only costs recomputation, never correctness,
+//!   because recomputation interns identical canonical nodes.
+//! * **generational** — each slot's `meta` word packs the operation tag
+//!   (high 8 bits) with a 24-bit generation stamp. GC invalidates the
+//!   whole cache by bumping the live generation: O(1), no memory
+//!   traffic. The table is zeroed only on the (rare) 24-bit wraparound.
+
+use crate::node::NodeId;
+
+/// Bits of `meta` holding the generation stamp.
+const GEN_BITS: u32 = 24;
+const GEN_MASK: u32 = (1 << GEN_BITS) - 1;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One cache line entry: operands, result, and op-tag + generation.
+#[derive(Clone, Copy, Default)]
+struct Slot {
+    a: u32,
+    b: u32,
+    r: u32,
+    meta: u32,
+}
+
+/// Fixed-size direct-mapped memo table keyed by `(op, a, b)`.
+pub(crate) struct ComputedCache {
+    slots: Box<[Slot]>,
+    mask: usize,
+    /// Current generation; slot entries from older generations are dead.
+    /// Starts at 1 so zeroed slots (gen 0) never match.
+    gen: u32,
+    /// Live-slot overwrites by a different key (for stats).
+    evictions: u64,
+}
+
+impl std::fmt::Debug for ComputedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComputedCache")
+            .field("capacity", &self.capacity())
+            .field("gen", &self.gen)
+            .finish_non_exhaustive()
+    }
+}
+
+#[inline]
+fn slot_index(op: u8, a: u32, b: u32, mask: usize) -> usize {
+    let mut h = (op as u64).wrapping_mul(SEED);
+    h = (h.rotate_left(5) ^ a as u64).wrapping_mul(SEED);
+    h = (h.rotate_left(5) ^ b as u64).wrapping_mul(SEED);
+    (h as usize) & mask
+}
+
+impl ComputedCache {
+    /// A cache with `capacity` slots, rounded up to a power of two ≥ 16.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(16);
+        ComputedCache {
+            slots: vec![Slot::default(); cap].into_boxed_slice(),
+            mask: cap - 1,
+            gen: 1,
+            evictions: 0,
+        }
+    }
+
+    /// Slot count (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Live-entry overwrites since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up the memoised result of `op(a, b)` for the live
+    /// generation.
+    #[inline]
+    pub fn get(&self, op: u8, a: NodeId, b: NodeId) -> Option<NodeId> {
+        let s = &self.slots[slot_index(op, a.0, b.0, self.mask)];
+        if s.meta == (op as u32) << GEN_BITS | self.gen && s.a == a.0 && s.b == b.0 {
+            Some(NodeId(s.r))
+        } else {
+            None
+        }
+    }
+
+    /// Memoises `op(a, b) = r`, overwriting whatever occupied the slot.
+    #[inline]
+    pub fn put(&mut self, op: u8, a: NodeId, b: NodeId, r: NodeId) {
+        let s = &mut self.slots[slot_index(op, a.0, b.0, self.mask)];
+        let meta = (op as u32) << GEN_BITS | self.gen;
+        if s.meta & GEN_MASK == self.gen && (s.meta != meta || s.a != a.0 || s.b != b.0) {
+            self.evictions += 1;
+        }
+        *s = Slot {
+            a: a.0,
+            b: b.0,
+            r: r.0,
+            meta,
+        };
+    }
+
+    /// Drops every entry in O(1) by advancing the generation. Node ids
+    /// cached before a GC compaction are dangling, so this must be
+    /// called whenever ids are remapped.
+    pub fn invalidate_all(&mut self) {
+        self.gen += 1;
+        if self.gen > GEN_MASK {
+            // 24-bit wraparound: stamps from 16M generations ago would
+            // alias, so pay for one real flush.
+            self.slots.fill(Slot::default());
+            self.gen = 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_roundtrip_per_op() {
+        let mut c = ComputedCache::with_capacity(64);
+        let (a, b) = (NodeId(7), NodeId(9));
+        c.put(3, a, b, NodeId(42));
+        assert_eq!(c.get(3, a, b), Some(NodeId(42)));
+        // Same operands under a different op tag miss.
+        assert_eq!(c.get(4, a, b), None);
+    }
+
+    #[test]
+    fn invalidate_all_drops_entries() {
+        let mut c = ComputedCache::with_capacity(64);
+        c.put(1, NodeId(2), NodeId(3), NodeId(5));
+        c.invalidate_all();
+        assert_eq!(c.get(1, NodeId(2), NodeId(3)), None);
+        // The slot is reusable in the new generation.
+        c.put(1, NodeId(2), NodeId(3), NodeId(8));
+        assert_eq!(c.get(1, NodeId(2), NodeId(3)), Some(NodeId(8)));
+    }
+
+    #[test]
+    fn collisions_evict_and_are_counted() {
+        // Capacity 16 (minimum): flood with distinct keys; with only 16
+        // slots some must collide and evict.
+        let mut c = ComputedCache::with_capacity(1);
+        assert_eq!(c.capacity(), 16);
+        for i in 0..64u32 {
+            c.put(1, NodeId(i), NodeId(i + 1), NodeId(i + 2));
+        }
+        assert!(c.evictions() > 0);
+    }
+
+    #[test]
+    fn generation_wraparound_flushes() {
+        let mut c = ComputedCache::with_capacity(16);
+        c.put(1, NodeId(2), NodeId(3), NodeId(5));
+        for _ in 0..=GEN_MASK {
+            c.invalidate_all();
+        }
+        // One full 24-bit cycle later the stamp would alias without the
+        // wraparound flush.
+        assert_eq!(c.get(1, NodeId(2), NodeId(3)), None);
+    }
+}

@@ -11,7 +11,7 @@ impl Zdd {
     ///
     /// ```
     /// use zdd::{Var, Zdd};
-    /// let mut z = Zdd::new();
+    /// let mut z = Zdd::default();
     /// let f = z.from_sets([vec![Var(0)], vec![Var(1)], vec![]]);
     /// assert_eq!(z.count(f), 3);
     /// ```
@@ -59,7 +59,7 @@ mod tests {
 
     #[test]
     fn terminal_counts() {
-        let z = Zdd::new();
+        let z = Zdd::default();
         assert_eq!(z.count(NodeId::EMPTY), 0);
         assert_eq!(z.count(NodeId::BASE), 1);
         assert_eq!(z.node_count(NodeId::BASE), 0);
@@ -67,7 +67,7 @@ mod tests {
 
     #[test]
     fn counts_with_sharing() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         // Power set of {0,1,2} minus the empty set: 7 members.
         let mut f = z.base();
         for v in (0..3).rev() {
@@ -80,7 +80,7 @@ mod tests {
 
     #[test]
     fn node_count_counts_shared_once() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let mut f = z.base();
         for v in (0..10).rev() {
             f = z.node(Var(v), f, f);

@@ -20,7 +20,7 @@ impl Zdd {
     ///
     /// ```
     /// use zdd::{Var, Zdd};
-    /// let mut z = Zdd::new();
+    /// let mut z = Zdd::default();
     /// let f = z.from_sets([vec![Var(0), Var(2)], vec![Var(1), Var(2)], vec![Var(0)]]);
     /// let g = z.from_sets([vec![Var(2)]]);
     /// let q = z.quotient(f, g);
@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn quotient_by_single_variable() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0, 2], &[1, 2], &[0]]);
         let g = family(&mut z, &[&[2]]);
         let q = z.quotient(f, g);
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn quotient_by_base_is_identity() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0], &[1, 2]]);
         let b = z.base();
         assert_eq!(z.quotient(f, b), f);
@@ -122,7 +122,7 @@ mod tests {
     #[test]
     fn quotient_by_multi_member_divisor() {
         // f = {ab, ac, bb?}: divide {a·x, b·x} patterns.
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         // f = {0,2},{1,2},{0,3},{1,3}: (x0+x1)(x2+x3) expanded.
         let f = family(&mut z, &[&[0, 2], &[1, 2], &[0, 3], &[1, 3]]);
         let g = family(&mut z, &[&[0], &[1]]);
@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn remainder_collects_unmatched() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0, 2], &[1]]);
         let g = family(&mut z, &[&[0]]);
         let q = z.quotient(f, g);
@@ -150,7 +150,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "division by the empty family")]
     fn division_by_empty_panics() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = z.base();
         let _ = z.quotient(f, NodeId::EMPTY);
     }

@@ -43,7 +43,7 @@ mod tests {
 
     #[test]
     fn dot_contains_nodes_and_edges() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = z.from_sets([vec![Var(0), Var(1)], vec![Var(1)]]);
         let dot = z.to_dot(f);
         assert!(dot.starts_with("digraph zdd {"));

@@ -3,10 +3,16 @@
 //! The covering pipeline builds many intermediate families (reduction
 //! rounds, prime generation); long runs benefit from reclaiming dead nodes.
 //! Because node ids are dense indices, collection *remaps* surviving ids:
-//! callers pass their live roots and receive the remapped handles back.
+//! callers either pass their live roots explicitly and receive the remapped
+//! handles back, or register long-lived families as roots
+//! ([`Zdd::register_root`](crate::Zdd::register_root)) and let every
+//! collection update the registered slots in place.
+//!
+//! After compaction the unique table is rebuilt over the surviving store
+//! and the computed cache is invalidated in O(1) by a generation bump.
 
-use crate::hash::FxHashMap;
 use crate::node::{Node, NodeId};
+use crate::table::UniqueTable;
 use crate::Zdd;
 
 /// What a collection accomplished.
@@ -26,17 +32,18 @@ impl GcStats {
 }
 
 impl Zdd {
-    /// Collects all nodes unreachable from `roots`, compacting the store.
+    /// Collects all nodes unreachable from `roots` (plus any registered
+    /// root slots), compacting the store.
     ///
-    /// Returns the remapped roots (same order) and statistics. All other
-    /// outstanding [`NodeId`]s are invalidated; the operation cache is
-    /// cleared.
+    /// Returns the remapped roots (same order) and statistics. Registered
+    /// root slots are remapped in place; all other outstanding
+    /// [`NodeId`]s are invalidated and the computed cache is dropped.
     ///
     /// # Example
     ///
     /// ```
-    /// use zdd::{Var, Zdd};
-    /// let mut z = Zdd::new();
+    /// use zdd::{Var, ZddOptions};
+    /// let mut z = ZddOptions::new().build();
     /// let keep = z.from_sets([vec![Var(0), Var(1)]]);
     /// let _dead = z.from_sets([vec![Var(2), Var(3)], vec![Var(4)]]);
     /// let before = z.len();
@@ -47,11 +54,15 @@ impl Zdd {
     /// ```
     pub fn gc(&mut self, roots: &[NodeId]) -> (Vec<NodeId>, GcStats) {
         let before = self.nodes.len();
-        // Mark.
+        // A collection is a peak-sampling boundary: the store is about to
+        // shrink, so record the high-water mark it reached first.
+        self.stats.peak_nodes = self.stats.peak_nodes.max(before);
+        // Mark from the explicit roots and every registered slot.
         let mut reachable = vec![false; self.nodes.len()];
         reachable[0] = true;
         reachable[1] = true;
         let mut stack: Vec<NodeId> = roots.to_vec();
+        stack.extend(self.roots.iter().flatten());
         while let Some(n) = stack.pop() {
             let i = n.index();
             if reachable[i] {
@@ -69,7 +80,6 @@ impl Zdd {
         let mut new_nodes: Vec<Node> = Vec::with_capacity(self.nodes.len());
         new_nodes.push(self.nodes[0]);
         new_nodes.push(self.nodes[1]);
-        let mut unique: FxHashMap<Node, NodeId> = FxHashMap::default();
         for i in 2..self.nodes.len() {
             if !reachable[i] {
                 continue;
@@ -82,13 +92,22 @@ impl Zdd {
             };
             let id = NodeId(u32::try_from(new_nodes.len()).expect("store overflow"));
             new_nodes.push(node);
-            unique.insert(node, id);
             remap[i] = id;
         }
         self.nodes = new_nodes;
-        self.replace_unique(unique);
-        self.clear_cache();
+        self.unique = UniqueTable::rebuild(&self.nodes, self.opts.unique_capacity);
+        self.cache.invalidate_all();
+        for slot in self.roots.iter_mut().flatten() {
+            *slot = remap[slot.index()];
+        }
         let after = self.nodes.len();
+        // Geometric re-arm: don't collect again until the live set grows
+        // by the configured ratio (never below the floor threshold).
+        self.gc_at = self
+            .opts
+            .gc_threshold
+            .max((after as f64 * self.opts.gc_ratio) as usize)
+            .max(4);
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += (before - after) as u64;
         (
@@ -101,11 +120,15 @@ impl Zdd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Var;
+    use crate::{Var, ZddOptions};
+
+    fn manager() -> Zdd {
+        ZddOptions::new().auto_gc(false).build()
+    }
 
     #[test]
     fn gc_preserves_root_semantics() {
-        let mut z = Zdd::new();
+        let mut z = manager();
         let keep = z.from_sets([vec![Var(0), Var(2)], vec![Var(1)], vec![]]);
         let sets_before = z.to_sets(keep);
         for i in 0..20 {
@@ -118,7 +141,7 @@ mod tests {
 
     #[test]
     fn gc_keeps_hash_consing_working() {
-        let mut z = Zdd::new();
+        let mut z = manager();
         let a = z.from_sets([vec![Var(0)], vec![Var(1)]]);
         let (roots, _) = z.gc(&[a]);
         // Rebuilding the same family must alias the surviving nodes.
@@ -128,7 +151,7 @@ mod tests {
 
     #[test]
     fn gc_with_multiple_roots() {
-        let mut z = Zdd::new();
+        let mut z = manager();
         let a = z.from_sets([vec![Var(0), Var(1)]]);
         let b = z.from_sets([vec![Var(1), Var(2)]]);
         let _dead = z.from_sets([vec![Var(5), Var(6), Var(7)]]);
@@ -139,7 +162,7 @@ mod tests {
 
     #[test]
     fn gc_of_terminals_only() {
-        let mut z = Zdd::new();
+        let mut z = manager();
         let _dead = z.from_sets([vec![Var(0)]]);
         let (roots, stats) = z.gc(&[NodeId::BASE, NodeId::EMPTY]);
         assert_eq!(roots, vec![NodeId::BASE, NodeId::EMPTY]);
@@ -148,7 +171,7 @@ mod tests {
 
     #[test]
     fn operations_work_after_gc() {
-        let mut z = Zdd::new();
+        let mut z = manager();
         let a = z.from_sets([vec![Var(0)], vec![Var(1), Var(2)]]);
         let _garbage = z.from_sets([vec![Var(9)]]);
         let (roots, _) = z.gc(&[a]);
@@ -158,5 +181,20 @@ mod tests {
         assert_eq!(z.count(u), 3);
         let m = z.minimal(u);
         assert_eq!(z.count(m), 3);
+    }
+
+    #[test]
+    fn gc_samples_peak_at_the_boundary() {
+        let mut z = manager();
+        let keep = z.from_sets([vec![Var(0)]]);
+        for i in 0..50 {
+            let _ = z.from_sets([vec![Var(i), Var(i + 1)]]);
+        }
+        let high = z.len();
+        let (_, _) = z.gc(&[keep]);
+        // The store shrank, but the stats must still report the pre-GC
+        // high-water mark.
+        assert!(z.len() < high);
+        assert!(z.stats().peak_nodes >= high);
     }
 }

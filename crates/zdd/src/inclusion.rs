@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn minimal_removes_supersets() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0], &[0, 1], &[1, 2], &[2]]);
         let m = z.minimal(f);
         assert_eq!(z.count(m), 2);
@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn minimal_with_empty_set_collapses() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[], &[0], &[1, 2]]);
         let m = z.minimal(f);
         assert_eq!(m, NodeId::BASE);
@@ -178,7 +178,7 @@ mod tests {
 
     #[test]
     fn maximal_removes_subsets() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0], &[0, 1], &[1, 2], &[2]]);
         let m = z.maximal(f);
         assert_eq!(z.count(m), 2);
@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn nonsupersets_filters() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0, 1], &[2], &[0, 2]]);
         let g = family(&mut z, &[&[0]]);
         let r = z.nonsupersets(f, g);
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn nonsupersets_removes_duplicates() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0, 1], &[2]]);
         let g = family(&mut z, &[&[0, 1]]);
         let r = z.nonsupersets(f, g);
@@ -207,7 +207,7 @@ mod tests {
 
     #[test]
     fn nonsubsets_filters() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0], &[1, 2], &[3]]);
         let g = family(&mut z, &[&[0, 1], &[3]]);
         let r = z.nonsubsets(f, g);
@@ -218,7 +218,7 @@ mod tests {
 
     #[test]
     fn singletons_extraction() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0], &[1, 2], &[3], &[]]);
         let s = z.singletons(f);
         assert_eq!(z.count(s), 2);
@@ -228,7 +228,7 @@ mod tests {
 
     #[test]
     fn minimal_idempotent() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0, 1, 2], &[1], &[2, 3], &[0, 3]]);
         let m = z.minimal(f);
         assert_eq!(z.minimal(m), m);
@@ -262,7 +262,7 @@ mod supsub_tests {
 
     #[test]
     fn supersets_and_subsets_partition_f() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = z.from_sets([
             vec![Var(0)],
             vec![Var(0), Var(1)],

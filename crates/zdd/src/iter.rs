@@ -42,7 +42,7 @@ impl Zdd {
     ///
     /// ```
     /// use zdd::{Var, Zdd};
-    /// let mut z = Zdd::new();
+    /// let mut z = Zdd::default();
     /// let f = z.from_sets([vec![Var(0)], vec![Var(1), Var(2)]]);
     /// let mut sets: Vec<Vec<Var>> = z.sets(f).collect();
     /// sets.sort();
@@ -67,7 +67,7 @@ mod tests {
 
     #[test]
     fn enumerates_all_members() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let input: Vec<Vec<Var>> = vec![
             vec![],
             vec![Var(0)],
@@ -84,14 +84,14 @@ mod tests {
 
     #[test]
     fn empty_family_yields_nothing() {
-        let z = Zdd::new();
+        let z = Zdd::default();
         assert_eq!(z.sets(NodeId::EMPTY).count(), 0);
         assert_eq!(z.sets(NodeId::BASE).count(), 1);
     }
 
     #[test]
     fn iteration_matches_count() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let mut f = z.base();
         for v in (0..6).rev() {
             f = z.node(Var(v), f, f);

@@ -9,7 +9,13 @@
 //!
 //! The crate implements:
 //!
-//! * hash-consed node storage with a unique table ([`Zdd`]),
+//! * hash-consed node storage behind an open-addressing unique table with
+//!   incremental rehashing ([`Zdd`]), constructed through the
+//!   [`ZddOptions`] builder,
+//! * a fixed-size, generational computed cache (bounded memory, O(1)
+//!   invalidation on GC),
+//! * mark-and-compact garbage collection with registered root slots
+//!   ([`Zdd::register_root`], [`Zdd::maybe_gc`]),
 //! * the classical family algebra — [`Zdd::union`], [`Zdd::intersect`],
 //!   [`Zdd::difference`], [`Zdd::product`], [`Zdd::subset0`],
 //!   [`Zdd::subset1`], [`Zdd::change`],
@@ -18,14 +24,14 @@
 //!   [`Zdd::nonsupersets`], [`Zdd::nonsubsets`],
 //! * counting, enumeration and DOT export,
 //! * performance counters — unique-table and computed-cache hit rates,
-//!   node high-water mark and GC reclamation ([`Zdd::stats`]).
+//!   evictions, node high-water mark and GC reclamation ([`Zdd::stats`]).
 //!
 //! # Example
 //!
 //! ```
-//! use zdd::{Var, Zdd};
+//! use zdd::{Var, ZddOptions};
 //!
-//! let mut z = Zdd::new();
+//! let mut z = ZddOptions::new().build();
 //! let family = z.from_sets([vec![Var(0), Var(1)], vec![Var(0)], vec![Var(2)]]);
 //! // Row dominance: `{0,1}` is a superset of `{0}`, so it is not minimal.
 //! let minimal = z.minimal(family);
@@ -33,6 +39,7 @@
 //! ```
 
 mod algebra;
+mod cache;
 mod count;
 mod division;
 mod dot;
@@ -42,11 +49,14 @@ mod inclusion;
 mod iter;
 mod manager;
 mod node;
+mod options;
 mod stats;
 mod subset;
+mod table;
 
 pub use gc::GcStats;
 pub use iter::SetsIter;
-pub use manager::Zdd;
+pub use manager::{RootId, Zdd};
 pub use node::{NodeId, Var};
+pub use options::ZddOptions;
 pub use stats::ZddStats;

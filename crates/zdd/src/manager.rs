@@ -1,11 +1,15 @@
 //! The ZDD manager: hash-consed node storage and structural queries.
 
-use crate::hash::FxHashMap;
+use crate::cache::ComputedCache;
 use crate::node::{Node, NodeId, Var, TERMINAL_VAR};
+use crate::options::ZddOptions;
 use crate::stats::ZddStats;
+use crate::table::UniqueTable;
 
-/// Operation tags for the binary-operation cache.
+/// Operation tags for the binary-operation cache. The discriminant is
+/// packed into the computed cache's per-slot metadata word.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
 pub(crate) enum Op {
     Union,
     Intersect,
@@ -21,6 +25,15 @@ pub(crate) enum Op {
     Change,
 }
 
+/// A registered GC root slot: a handle the manager updates in place when
+/// a collection remaps node ids.
+///
+/// Obtained from [`Zdd::register_root`]; read the current (possibly
+/// remapped) id back with [`Zdd::root`]. Registered roots survive both
+/// explicit [`Zdd::gc`] calls and automatic collections.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RootId(pub(crate) usize);
+
 /// A hash-consed store of ZDD nodes.
 ///
 /// All families live inside one manager and are referenced by [`NodeId`];
@@ -28,12 +41,15 @@ pub(crate) enum Op {
 /// receiver of every operation (the functional style of CUDD's ZDD API, which
 /// the paper's implementation used).
 ///
+/// Managers are constructed through the [`ZddOptions`] builder
+/// (`Zdd::default()` is shorthand for `ZddOptions::default().build()`).
+///
 /// # Example
 ///
 /// ```
-/// use zdd::{Var, Zdd};
+/// use zdd::{Var, ZddOptions};
 ///
-/// let mut z = Zdd::new();
+/// let mut z = ZddOptions::new().build();
 /// let a = z.from_sets([vec![Var(0)], vec![Var(1)]]);
 /// let b = z.from_sets([vec![Var(1)], vec![Var(2)]]);
 /// let u = z.union(a, b);
@@ -42,20 +58,33 @@ pub(crate) enum Op {
 #[derive(Debug)]
 pub struct Zdd {
     pub(crate) nodes: Vec<Node>,
-    unique: FxHashMap<Node, NodeId>,
-    cache: FxHashMap<(Op, NodeId, NodeId), NodeId>,
+    pub(crate) unique: UniqueTable,
+    pub(crate) cache: ComputedCache,
+    /// Registered root slots; `None` marks a released slot.
+    pub(crate) roots: Vec<Option<NodeId>>,
+    pub(crate) opts: ZddOptions,
+    /// Store size at which the next automatic collection triggers.
+    pub(crate) gc_at: usize,
     pub(crate) stats: ZddStats,
 }
 
 impl Default for Zdd {
+    /// Equivalent to `ZddOptions::default().build()`.
     fn default() -> Self {
-        Self::new()
+        ZddOptions::default().build()
     }
 }
 
 impl Zdd {
     /// Creates an empty manager containing only the two terminal nodes.
+    #[deprecated(since = "0.5.0", note = "use `ZddOptions::new().build()` instead")]
     pub fn new() -> Self {
+        ZddOptions::default().build()
+    }
+
+    /// Constructs a manager from validated options ([`ZddOptions::build`]
+    /// is the public entry).
+    pub(crate) fn with_options(opts: ZddOptions) -> Self {
         let terminal = |_| Node {
             var: TERMINAL_VAR,
             lo: NodeId::EMPTY,
@@ -63,8 +92,11 @@ impl Zdd {
         };
         Zdd {
             nodes: vec![terminal(0), terminal(1)],
-            unique: FxHashMap::default(),
-            cache: FxHashMap::default(),
+            unique: UniqueTable::with_capacity(opts.unique_capacity),
+            cache: ComputedCache::with_capacity(opts.cache_capacity),
+            roots: Vec::new(),
+            gc_at: opts.gc_threshold.max(4),
+            opts,
             stats: ZddStats {
                 peak_nodes: 2,
                 ..ZddStats::default()
@@ -72,14 +104,30 @@ impl Zdd {
         }
     }
 
+    /// The options this manager was built with.
+    pub fn options(&self) -> ZddOptions {
+        self.opts
+    }
+
     /// A snapshot of the manager's performance counters.
+    ///
+    /// The snapshot samples the store at call time: `live_nodes` is the
+    /// current store size and `peak_nodes` is the high-water mark, which
+    /// the manager also samples at every GC boundary — a collection
+    /// between probes cannot hide the true peak.
     ///
     /// See [`ZddStats`] for what is counted; by construction
     /// `stats().cache_lookups()` equals the number of memo-cache probes the
     /// recursive operations performed.
     #[inline]
     pub fn stats(&self) -> ZddStats {
-        self.stats
+        ZddStats {
+            peak_nodes: self.stats.peak_nodes.max(self.nodes.len()),
+            live_nodes: self.nodes.len(),
+            cache_evictions: self.cache.evictions() - self.stats.cache_evictions,
+            unique_relocations: self.unique.migrations() - self.stats.unique_relocations,
+            ..self.stats
+        }
     }
 
     /// Resets all counters to zero (the node high-water mark restarts from
@@ -87,6 +135,11 @@ impl Zdd {
     pub fn reset_stats(&mut self) {
         self.stats = ZddStats {
             peak_nodes: self.nodes.len(),
+            live_nodes: self.nodes.len(),
+            // Baselines subtracted by `stats()`, so the snapshot restarts
+            // from zero without touching the monotone internal counters.
+            cache_evictions: self.cache.evictions(),
+            unique_relocations: self.unique.migrations(),
             ..ZddStats::default()
         };
     }
@@ -96,7 +149,7 @@ impl Zdd {
     /// account for every lookup.
     #[inline]
     pub(crate) fn cache_get(&mut self, key: (Op, NodeId, NodeId)) -> Option<NodeId> {
-        let r = self.cache.get(&key).copied();
+        let r = self.cache.get(key.0 as u8, key.1, key.2);
         if r.is_some() {
             self.stats.cache_hits += 1;
         } else {
@@ -108,7 +161,7 @@ impl Zdd {
     /// Memoises the result of `key`.
     #[inline]
     pub(crate) fn cache_put(&mut self, key: (Op, NodeId, NodeId), r: NodeId) {
-        self.cache.insert(key, r);
+        self.cache.put(key.0 as u8, key.1, key.2, r);
     }
 
     /// The empty family `∅`.
@@ -179,15 +232,14 @@ impl Zdd {
         debug_assert!(self.raw_var(lo) > var.0, "variable order violated (lo)");
         debug_assert!(self.raw_var(hi) > var.0, "variable order violated (hi)");
         let key = Node { var: var.0, lo, hi };
-        if let Some(&id) = self.unique.get(&key) {
+        if let Some(id) = self.unique.find(&self.nodes, &key) {
             self.stats.unique_hits += 1;
             return id;
         }
         self.stats.unique_misses += 1;
         let id = NodeId(u32::try_from(self.nodes.len()).expect("ZDD node store overflow"));
         self.nodes.push(key);
-        self.unique.insert(key, id);
-        self.stats.peak_nodes = self.stats.peak_nodes.max(self.nodes.len());
+        self.unique.insert(&self.nodes, id);
         id
     }
 
@@ -240,8 +292,8 @@ impl Zdd {
     /// # Example
     ///
     /// ```
-    /// use zdd::{Var, Zdd};
-    /// let mut z = Zdd::new();
+    /// use zdd::{Var, ZddOptions};
+    /// let mut z = ZddOptions::new().build();
     /// let f = z.from_sets([vec![Var(0), Var(2)]]);
     /// assert!(z.contains_set(f, &[Var(0), Var(2)]));
     /// assert!(!z.contains_set(f, &[Var(0)]));
@@ -282,13 +334,72 @@ impl Zdd {
     /// Drops the operation cache (node storage is retained).
     ///
     /// Useful to bound memory between phases of a long-running computation.
+    /// With the generational cache this is O(1).
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.cache.invalidate_all();
     }
 
-    /// Swaps in a rebuilt unique table (GC support).
-    pub(crate) fn replace_unique(&mut self, unique: FxHashMap<Node, NodeId>) {
-        self.unique = unique;
+    /// Registers `id` as a GC root and returns its slot handle.
+    ///
+    /// Registered roots are kept alive — and remapped in place — by every
+    /// collection, so a long-lived family can survive GCs without its
+    /// owner re-threading ids through [`Zdd::gc`]'s return value.
+    pub fn register_root(&mut self, id: NodeId) -> RootId {
+        // Reuse a released slot if one exists; the registry stays tiny.
+        if let Some(free) = self.roots.iter().position(Option::is_none) {
+            self.roots[free] = Some(id);
+            RootId(free)
+        } else {
+            self.roots.push(Some(id));
+            RootId(self.roots.len() - 1)
+        }
+    }
+
+    /// Updates the node id held by a registered root slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was released.
+    pub fn set_root(&mut self, slot: RootId, id: NodeId) {
+        let r = self.roots[slot.0].as_mut().expect("released root slot");
+        *r = id;
+    }
+
+    /// Reads the current (possibly GC-remapped) id of a registered root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was released.
+    pub fn root(&self, slot: RootId) -> NodeId {
+        self.roots[slot.0].expect("released root slot")
+    }
+
+    /// Releases a root slot; the family it pinned becomes collectable.
+    pub fn release_root(&mut self, slot: RootId) {
+        self.roots[slot.0] = None;
+    }
+
+    /// Runs a collection now if auto-GC is enabled and the store has
+    /// grown past the trigger point. Only registered roots (and their
+    /// descendants) survive; **all other outstanding [`NodeId`]s are
+    /// invalidated**, so call this only at points where every live family
+    /// is held in a registered root.
+    ///
+    /// Returns the collection's statistics if one ran.
+    pub fn maybe_gc(&mut self) -> Option<crate::GcStats> {
+        if self.opts.auto_gc && self.nodes.len() >= self.gc_at {
+            Some(self.collect())
+        } else {
+            None
+        }
+    }
+
+    /// Unconditionally collects, keeping only registered roots.
+    ///
+    /// See [`Zdd::maybe_gc`] for the invalidation caveat.
+    pub fn collect(&mut self) -> crate::GcStats {
+        let (_, stats) = self.gc(&[]);
+        stats
     }
 
     /// Cofactors of `f` with respect to `v`: the pair `(f0, f1)` where `f0`
@@ -309,7 +420,7 @@ mod tests {
 
     #[test]
     fn terminals_exist() {
-        let z = Zdd::new();
+        let z = Zdd::default();
         assert_eq!(z.len(), 2);
         assert!(z.is_empty());
         assert!(z.contains_empty(NodeId::BASE));
@@ -318,14 +429,14 @@ mod tests {
 
     #[test]
     fn zero_suppression() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let n = z.node(Var(3), NodeId::BASE, NodeId::EMPTY);
         assert_eq!(n, NodeId::BASE);
     }
 
     #[test]
     fn hash_consing_gives_equal_ids() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let a = z.set([Var(1), Var(4)]);
         let b = z.set([Var(4), Var(1)]);
         assert_eq!(a, b);
@@ -333,7 +444,7 @@ mod tests {
 
     #[test]
     fn set_dedups_variables() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let a = z.set([Var(2), Var(2), Var(5)]);
         assert!(z.contains_set(a, &[Var(2), Var(5)]));
         assert_eq!(z.count(a), 1);
@@ -341,7 +452,7 @@ mod tests {
 
     #[test]
     fn membership() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = z.from_sets([vec![Var(0), Var(1)], vec![Var(2)], vec![]]);
         assert!(z.contains_set(f, &[Var(0), Var(1)]));
         assert!(z.contains_set(f, &[Var(2)]));
@@ -353,9 +464,64 @@ mod tests {
 
     #[test]
     fn single_is_singleton_family() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let s = z.single(Var(7));
         assert_eq!(z.count(s), 1);
         assert!(z.contains_set(s, &[Var(7)]));
+    }
+
+    #[test]
+    fn registered_roots_survive_collection() {
+        let mut z = ZddOptions::new().auto_gc(false).build();
+        let keep = z.from_sets([vec![Var(0), Var(2)], vec![Var(1)]]);
+        let sets = z.to_sets(keep);
+        let slot = z.register_root(keep);
+        for i in 0..20 {
+            let _ = z.from_sets([vec![Var(i), Var(i + 1), Var(i + 2)]]);
+        }
+        let stats = z.collect();
+        assert!(stats.freed() > 0);
+        assert_eq!(z.to_sets(z.root(slot)), sets);
+    }
+
+    #[test]
+    fn released_roots_are_collected() {
+        let mut z = ZddOptions::new().auto_gc(false).build();
+        let f = z.from_sets([vec![Var(0), Var(1), Var(2)]]);
+        let slot = z.register_root(f);
+        z.release_root(slot);
+        let stats = z.collect();
+        assert_eq!(stats.after, 2);
+        // The slot is reusable.
+        let g = z.from_sets([vec![Var(3)]]);
+        let slot2 = z.register_root(g);
+        assert_eq!(slot, slot2);
+    }
+
+    #[test]
+    fn auto_gc_triggers_at_threshold() {
+        let mut z = ZddOptions::new().gc_threshold(64).build();
+        let keep = z.from_sets([vec![Var(0)], vec![Var(1)]]);
+        let slot = z.register_root(keep);
+        let mut collected = false;
+        for i in 0..200u32 {
+            let _ = z.from_sets([vec![Var(i), Var(i + 1)]]);
+            if z.maybe_gc().is_some() {
+                collected = true;
+                break;
+            }
+        }
+        assert!(collected, "auto GC never triggered past the threshold");
+        assert!(z.stats().gc_runs >= 1);
+        assert_eq!(z.count(z.root(slot)), 2);
+    }
+
+    #[test]
+    fn stats_sample_live_and_peak() {
+        let mut z = Zdd::default();
+        let _ = z.from_sets([vec![Var(0), Var(1)], vec![Var(2), Var(3)]]);
+        let s = z.stats();
+        assert_eq!(s.live_nodes, z.len());
+        assert!(s.peak_nodes >= s.live_nodes);
     }
 }

@@ -16,14 +16,20 @@
 ///   `cache_hits + cache_misses` equals the total number of lookups by
 ///   construction.
 /// * **node store** — `peak_nodes` is the high-water mark of live nodes
-///   (terminals included), surviving GC compactions.
+///   (terminals included). It is sampled both when a snapshot is taken
+///   and at every GC boundary, so a collection between probes cannot
+///   hide the true peak; `live_nodes` is the store size at snapshot time.
 /// * **GC** — runs and total nodes reclaimed.
+/// * **kernel structures** — `cache_evictions` counts memoised results
+///   overwritten by colliding entries in the fixed-size computed cache;
+///   `unique_relocations` counts entries moved by the unique table's
+///   incremental rehashing.
 ///
 /// # Example
 ///
 /// ```
-/// use zdd::{Var, Zdd};
-/// let mut z = Zdd::new();
+/// use zdd::{Var, ZddOptions};
+/// let mut z = ZddOptions::new().build();
 /// let a = z.from_sets([vec![Var(0)], vec![Var(1)]]);
 /// let b = z.from_sets([vec![Var(1)], vec![Var(2)]]);
 /// let _ = z.union(a, b);
@@ -42,11 +48,19 @@ pub struct ZddStats {
     /// Computed-cache lookups that missed (and will memoise).
     pub cache_misses: u64,
     /// High-water mark of live nodes in the store, terminals included.
+    /// Sampled at snapshot time *and* at every GC boundary.
     pub peak_nodes: usize,
+    /// Live nodes in the store when the snapshot was taken.
+    pub live_nodes: usize,
     /// Number of garbage collections performed.
     pub gc_runs: u64,
     /// Total nodes reclaimed across all collections.
     pub gc_reclaimed: u64,
+    /// Memoised results overwritten by colliding keys in the fixed-size
+    /// computed cache (each costs at most one recomputation).
+    pub cache_evictions: u64,
+    /// Entries moved between tables by incremental unique-table rehashing.
+    pub unique_relocations: u64,
 }
 
 impl ZddStats {
@@ -89,8 +103,11 @@ impl ZddStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.peak_nodes = self.peak_nodes.max(other.peak_nodes);
+        self.live_nodes = self.live_nodes.max(other.live_nodes);
         self.gc_runs += other.gc_runs;
         self.gc_reclaimed += other.gc_reclaimed;
+        self.cache_evictions += other.cache_evictions;
+        self.unique_relocations += other.unique_relocations;
     }
 }
 
@@ -118,5 +135,28 @@ mod tests {
         assert_eq!(s.cache_lookups(), 4);
         assert!((s.unique_hit_rate() - 0.75).abs() < 1e-12);
         assert!((s.cache_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let mut a = ZddStats {
+            cache_evictions: 2,
+            unique_relocations: 5,
+            peak_nodes: 10,
+            live_nodes: 4,
+            ..ZddStats::default()
+        };
+        let b = ZddStats {
+            cache_evictions: 3,
+            unique_relocations: 1,
+            peak_nodes: 7,
+            live_nodes: 6,
+            ..ZddStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cache_evictions, 5);
+        assert_eq!(a.unique_relocations, 6);
+        assert_eq!(a.peak_nodes, 10);
+        assert_eq!(a.live_nodes, 6);
     }
 }

@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn subset0_keeps_members_without_var() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0, 1], &[1], &[2]]);
         let s = z.subset0(f, Var(1));
         assert_eq!(z.count(s), 1);
@@ -119,7 +119,7 @@ mod tests {
 
     #[test]
     fn subset1_strips_the_var() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0, 1], &[1], &[2]]);
         let s = z.subset1(f, Var(1));
         assert_eq!(z.count(s), 2);
@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn subset_on_var_above_root() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[3]]);
         assert_eq!(z.subset0(f, Var(1)), f);
         assert_eq!(z.subset1(f, Var(1)), NodeId::EMPTY);
@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn change_toggles() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0], &[1]]);
         let c = z.change(f, Var(0));
         assert!(z.contains_empty(c));
@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn change_below_support() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[1], &[2]]);
         let c = z.change(f, Var(5));
         assert!(z.contains_set(c, &[Var(1), Var(5)]));
@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn support_collects_vars() {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0, 3], &[1]]);
         assert_eq!(z.support(f), vec![Var(0), Var(1), Var(3)]);
         assert!(z.support(NodeId::BASE).is_empty());
@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn decomposition_identity() {
         // f = subset0(f,v) ∪ change(subset1(f,v), v) for every v.
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = family(&mut z, &[&[0, 1], &[1, 2], &[0], &[]]);
         for v in 0..4 {
             let s0 = z.subset0(f, Var(v));

@@ -1,0 +1,108 @@
+//! GC correctness properties: a manager that collects aggressively
+//! mid-algebra must compute exactly what a GC-free manager computes.
+//!
+//! The managers differ only in kernel tunables (tiny caches, forced
+//! collections), which by design affect speed and memory — never
+//! results.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use zdd::{NodeId, Var, Zdd, ZddOptions};
+
+type Model = BTreeSet<BTreeSet<u32>>;
+
+fn build(z: &mut Zdd, m: &Model) -> NodeId {
+    let sets: Vec<Vec<Var>> = m
+        .iter()
+        .map(|s| s.iter().map(|&v| Var(v)).collect())
+        .collect();
+    z.from_sets(sets)
+}
+
+fn read(z: &Zdd, f: NodeId) -> Model {
+    z.to_sets(f)
+        .into_iter()
+        .map(|s| s.into_iter().map(|v| v.0).collect())
+        .collect()
+}
+
+fn family_strategy() -> impl Strategy<Value = Model> {
+    prop::collection::btree_set(prop::collection::btree_set(0u32..8, 0..5), 0..12)
+}
+
+/// Runs the same three-step algebra (union → product → minimal) on a
+/// GC-free manager and on one that is forcibly collected between every
+/// step, returning both final families as models.
+fn with_and_without_gc(a: &Model, b: &Model) -> (Model, Model) {
+    // Reference: no GC ever runs.
+    let mut plain = ZddOptions::new().auto_gc(false).build();
+    let (fa, fb) = (build(&mut plain, a), build(&mut plain, b));
+    let u = plain.union(fa, fb);
+    let p = plain.product(fa, fb);
+    let both = plain.union(u, p);
+    let min = plain.minimal(both);
+    let expect = read(&plain, min);
+
+    // Collected: degenerate cache, forced collection after each step.
+    let mut gcd = ZddOptions::new()
+        .unique_capacity(1)
+        .cache_capacity(1)
+        .auto_gc(false)
+        .build();
+    let fa = build(&mut gcd, a);
+    let ra = gcd.register_root(fa);
+    let fb = build(&mut gcd, b);
+    let rb = gcd.register_root(fb);
+    let u = gcd.union(gcd.root(ra), gcd.root(rb));
+    let ru = gcd.register_root(u);
+    gcd.collect();
+    let p = gcd.product(gcd.root(ra), gcd.root(rb));
+    let rp = gcd.register_root(p);
+    gcd.collect();
+    let both = gcd.union(gcd.root(ru), gcd.root(rp));
+    let rboth = gcd.register_root(both);
+    gcd.collect();
+    let m = gcd.minimal(gcd.root(rboth));
+    let got = read(&gcd, m);
+    assert!(gcd.stats().gc_runs >= 3);
+    (expect, got)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn collections_mid_algebra_do_not_change_results(
+        a in family_strategy(),
+        b in family_strategy(),
+    ) {
+        let (expect, got) = with_and_without_gc(&a, &b);
+        prop_assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn counts_survive_collection(m in family_strategy()) {
+        let mut z = ZddOptions::new().auto_gc(false).build();
+        let f = build(&mut z, &m);
+        let root = z.register_root(f);
+        let before = z.count(f);
+        for i in 0..10 {
+            let _ = z.from_sets([vec![Var(i), Var(i + 1)]]);
+        }
+        z.collect();
+        prop_assert_eq!(z.count(z.root(root)), before);
+        prop_assert_eq!(read(&z, z.root(root)), m);
+    }
+
+    #[test]
+    fn auto_gc_under_tiny_threshold_matches_model(m in family_strategy()) {
+        // Auto-GC at an absurdly low threshold: from_sets interleaves
+        // maybe_gc-free construction, then we collect explicitly via the
+        // root registry and compare against the model.
+        let mut z = ZddOptions::new().gc_threshold(4).gc_ratio(1.1).build();
+        let f = build(&mut z, &m);
+        let root = z.register_root(f);
+        z.maybe_gc();
+        prop_assert_eq!(read(&z, z.root(root)), m);
+    }
+}

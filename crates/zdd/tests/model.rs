@@ -45,7 +45,7 @@ proptest! {
 
     #[test]
     fn roundtrip(m in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let f = build(&mut z, &m);
         prop_assert_eq!(read(&z, f), m.clone());
         prop_assert_eq!(z.count(f), m.len() as u128);
@@ -53,7 +53,7 @@ proptest! {
 
     #[test]
     fn union_matches_model(a in family_strategy(), b in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let fb = build(&mut z, &b);
         let u = z.union(fa, fb);
@@ -63,7 +63,7 @@ proptest! {
 
     #[test]
     fn intersect_matches_model(a in family_strategy(), b in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let fb = build(&mut z, &b);
         let i = z.intersect(fa, fb);
@@ -73,7 +73,7 @@ proptest! {
 
     #[test]
     fn difference_matches_model(a in family_strategy(), b in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let fb = build(&mut z, &b);
         let d = z.difference(fa, fb);
@@ -83,7 +83,7 @@ proptest! {
 
     #[test]
     fn product_matches_model(a in family_strategy(), b in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let fb = build(&mut z, &b);
         let p = z.product(fa, fb);
@@ -98,7 +98,7 @@ proptest! {
 
     #[test]
     fn minimal_matches_model(a in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let m = z.minimal(fa);
         prop_assert_eq!(read(&z, m), model_minimal(&a));
@@ -106,7 +106,7 @@ proptest! {
 
     #[test]
     fn maximal_matches_model(a in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let m = z.maximal(fa);
         prop_assert_eq!(read(&z, m), model_maximal(&a));
@@ -114,7 +114,7 @@ proptest! {
 
     #[test]
     fn nonsupersets_matches_model(a in family_strategy(), b in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let fb = build(&mut z, &b);
         let r = z.nonsupersets(fa, fb);
@@ -128,7 +128,7 @@ proptest! {
 
     #[test]
     fn nonsubsets_matches_model(a in family_strategy(), b in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let fb = build(&mut z, &b);
         let r = z.nonsubsets(fa, fb);
@@ -142,7 +142,7 @@ proptest! {
 
     #[test]
     fn subset_ops_match_model(a in family_strategy(), v in 0u32..8) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let s0 = z.subset0(fa, Var(v));
         let s1 = z.subset1(fa, Var(v));
@@ -158,7 +158,7 @@ proptest! {
 
     #[test]
     fn change_matches_model(a in family_strategy(), v in 0u32..8) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let c = z.change(fa, Var(v));
         let expect: Model = a
@@ -176,7 +176,7 @@ proptest! {
 
     #[test]
     fn singletons_match_model(a in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let s = z.singletons(fa);
         let expect: Model = a.iter().filter(|s| s.len() == 1).cloned().collect();
@@ -186,7 +186,7 @@ proptest! {
     #[test]
     fn quotient_matches_model(a in family_strategy(), b in family_strategy()) {
         prop_assume!(!b.is_empty());
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let fb = build(&mut z, &b);
         let q = z.quotient(fa, fb);
@@ -210,7 +210,7 @@ proptest! {
 
     #[test]
     fn gc_preserves_semantics(a in family_strategy(), b in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let _dead = build(&mut z, &b);
         let (roots, stats) = z.gc(&[fa]);
@@ -220,7 +220,7 @@ proptest! {
 
     #[test]
     fn canonicity_equal_families_equal_ids(a in family_strategy(), b in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let fb = build(&mut z, &b);
         prop_assert_eq!(fa == fb, a == b);
@@ -228,7 +228,7 @@ proptest! {
 
     #[test]
     fn demorgan_like_laws(a in family_strategy(), b in family_strategy(), c in family_strategy()) {
-        let mut z = Zdd::new();
+        let mut z = Zdd::default();
         let fa = build(&mut z, &a);
         let fb = build(&mut z, &b);
         let fc = build(&mut z, &c);

@@ -12,7 +12,7 @@ fn staircase(z: &mut Zdd, n: u32) -> zdd::NodeId {
 
 #[test]
 fn cache_hits_plus_misses_equals_lookups_on_scripted_sequence() {
-    let mut z = Zdd::new();
+    let mut z = Zdd::default();
     let f = staircase(&mut z, 12);
     let g = staircase(&mut z, 8);
 
@@ -59,7 +59,7 @@ fn cache_hits_plus_misses_equals_lookups_on_scripted_sequence() {
 
 #[test]
 fn repeat_of_cached_op_is_pure_hit() {
-    let mut z = Zdd::new();
+    let mut z = Zdd::default();
     let f = staircase(&mut z, 10);
     let g = staircase(&mut z, 6);
     let _ = z.union(f, g);
@@ -73,7 +73,7 @@ fn repeat_of_cached_op_is_pure_hit() {
 
 #[test]
 fn gc_counters_and_peak_nodes() {
-    let mut z = Zdd::new();
+    let mut z = Zdd::default();
     let keep = staircase(&mut z, 6);
     for i in 0..30 {
         let _ = z.from_sets([vec![Var(i), Var(i + 7), Var(i + 13)]]);
@@ -93,7 +93,7 @@ fn gc_counters_and_peak_nodes() {
 
 #[test]
 fn reset_stats_zeroes_counters() {
-    let mut z = Zdd::new();
+    let mut z = Zdd::default();
     let f = staircase(&mut z, 5);
     let g = staircase(&mut z, 3);
     let _ = z.union(f, g);

@@ -480,15 +480,21 @@ fn print_stats(out: &ScgOutcome) -> CliResult {
     )?;
     writeln!(
         w,
-        "  computed cache{:>12} hits  {:>12} misses  ({:.1}% hit rate)",
+        "  computed cache{:>12} hits  {:>12} misses  ({:.1}% hit rate, {} evicted)",
         z.cache_hits,
         z.cache_misses,
-        100.0 * z.cache_hit_rate()
+        100.0 * z.cache_hit_rate(),
+        z.cache_evictions
     )?;
     writeln!(
         w,
-        "  peak nodes    {:>12}   gc runs {}  reclaimed {}",
-        z.peak_nodes, z.gc_runs, z.gc_reclaimed
+        "  nodes         {:>12} peak  {:>12} live   relocations {}",
+        z.peak_nodes, z.live_nodes, z.unique_relocations
+    )?;
+    writeln!(
+        w,
+        "  collector     {:>12} runs  {:>12} nodes reclaimed",
+        z.gc_runs, z.gc_reclaimed
     )?;
     Ok(())
 }

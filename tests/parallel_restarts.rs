@@ -78,8 +78,10 @@ fn worker_count_never_changes_the_answer() {
     }
 }
 
-/// The deprecated entrypoints are shims over `Scg::run`; until they are
-/// removed, they must keep returning exactly what the request route does.
+/// The deprecated entrypoints (behind the `legacy-api` feature) are
+/// shims over `Scg::run`; until they are removed, they must keep
+/// returning exactly what the request route does.
+#[cfg(feature = "legacy-api")]
 #[test]
 #[allow(deprecated)]
 fn deprecated_entrypoints_match_the_request_route() {
