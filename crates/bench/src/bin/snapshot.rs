@@ -13,7 +13,10 @@
 //! A final `zdd_kernel` row times full implicit reductions over the
 //! challenging suite — the manager-level regression signal CI greps for.
 //!
-//! Usage: `cargo run -p ucp-bench --release --bin snapshot [--quick]`
+//! Usage: `cargo run -p ucp-bench --release --bin snapshot [--quick]
+//! [--node-budget N]` — the budget applies to the `zdd_kernel` pass only
+//! and switches it to the fallible governed entry points, recording how
+//! many instances overflowed.
 
 use std::fs;
 use std::sync::Arc;
@@ -54,21 +57,45 @@ fn engine_pass(
 }
 
 /// Kernel microbench: full implicit reduction (`reduce()`, no MaxR/MaxC
-/// early exit) over the challenging suite on the default kernel. This is
-/// the row CI smoke-checks for — it tracks the ZDD manager itself
-/// (unique-table probing, computed-cache hit rate, GC) independent of
-/// the subgradient heuristic.
-fn kernel_pass(quick: bool) -> String {
+/// early exit) over the challenging suite. This is the row CI
+/// smoke-checks for — it tracks the ZDD manager itself (unique-table
+/// probing, computed-cache hit rate, GC) independent of the subgradient
+/// heuristic. With `--node-budget N` the pass runs on a capped kernel
+/// via the fallible entry points, recording how many instances
+/// overflowed — the governed-mode smoke signal.
+fn kernel_pass(quick: bool, node_budget: Option<usize>) -> String {
     let mut insts = suite::challenging();
     if quick {
         insts.truncate(4);
     }
     let mut stats = cover::ZddStats::default();
+    let mut overflowed = 0u64;
     let start = Instant::now();
     for inst in &insts {
-        let mut im = cover::ImplicitMatrix::encode(&inst.matrix);
-        let _fixed = im.reduce();
-        stats.merge(&im.zdd_stats());
+        match node_budget {
+            // The unbudgeted pass is the historical benchmark workload:
+            // keep it byte-identical so snapshots stay comparable.
+            None => {
+                let mut im = cover::ImplicitMatrix::encode(&inst.matrix);
+                let _fixed = im.reduce();
+                stats.merge(&im.zdd_stats());
+            }
+            Some(n) => {
+                let kernel = cover::ZddOptions::new().node_budget(n);
+                match cover::ImplicitMatrix::try_encode_with(&inst.matrix, kernel) {
+                    Ok(mut im) => {
+                        if im
+                            .try_reduce_until_small(0, 0, &cover::Halt::none())
+                            .is_err()
+                        {
+                            overflowed += 1;
+                        }
+                        stats.merge(&im.zdd_stats());
+                    }
+                    Err(_) => overflowed += 1,
+                }
+            }
+        }
     }
     let secs = start.elapsed().as_secs_f64();
     let mut row = JsonObj::new();
@@ -80,18 +107,32 @@ fn kernel_pass(quick: bool) -> String {
     row.field_u64("peak_live_nodes", stats.peak_nodes as u64);
     row.field_u64("gc_runs", stats.gc_runs);
     row.field_u64("gc_reclaimed", stats.gc_reclaimed);
+    if let Some(n) = node_budget {
+        row.field_u64("node_budget", n as u64);
+        row.field_u64("overflowed", overflowed);
+    }
     println!(
-        "zdd_kernel: {secs:.3}s implicit reduce over {} instances, cache {:.2}% hit, unique {:.2}% hit, peak {} nodes",
+        "zdd_kernel: {secs:.3}s implicit reduce over {} instances, cache {:.2}% hit, unique {:.2}% hit, peak {} nodes{}",
         insts.len(),
         100.0 * stats.cache_hit_rate(),
         100.0 * stats.unique_hit_rate(),
-        stats.peak_nodes
+        stats.peak_nodes,
+        match node_budget {
+            Some(n) => format!(", budget {n} ({overflowed} overflowed)"),
+            None => String::new(),
+        }
     );
     row.finish()
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let node_budget = args.iter().position(|a| a == "--node-budget").map(|i| {
+        args.get(i + 1)
+            .and_then(|n| n.parse::<usize>().ok())
+            .expect("--node-budget needs a node count")
+    });
     let opts = if quick {
         Preset::Fast.options()
     } else {
@@ -189,7 +230,7 @@ fn main() {
     eng_row.field_f64("jobs_per_sec_pooled", jps_nw);
     eng_row.field_f64("batch_speedup", engine_speedup);
     doc.field_raw("engine", &eng_row.finish());
-    doc.field_raw("zdd_kernel", &kernel_pass(quick));
+    doc.field_raw("zdd_kernel", &kernel_pass(quick, node_budget));
     doc.field_raw("runs", &format!("[{}]", runs.join(",")));
     fs::create_dir_all("results").expect("create results/");
     fs::write("results/BENCH_scg.json", doc.finish() + "\n").expect("write results/BENCH_scg.json");

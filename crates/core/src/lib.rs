@@ -50,7 +50,7 @@ pub mod restart;
 pub mod scg;
 pub mod subgradient;
 
-pub use cover::ZddOptions;
+pub use cover::{Halt, HaltReason, ZddOptions, ZddOverflow};
 pub use request::{CancelFlag, Preset, SolveError, SolveRequest};
 pub use restart::{restart_seed, splitmix64};
 pub use scg::{Scg, ScgOptions, ScgOutcome};

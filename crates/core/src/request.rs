@@ -28,39 +28,15 @@
 
 use crate::scg::{Scg, ScgOptions, ScgOutcome};
 use crate::subgradient::SubgradientOptions;
-use cover::{CoreOptions, CoverMatrix, ZddOptions};
-use std::sync::atomic::{AtomicBool, Ordering};
+use cover::{CoreOptions, CoverMatrix, ZddOptions, ZddOverflow};
 use std::sync::Arc;
 use std::time::Duration;
 use ucp_telemetry::{Event, NoopProbe, Probe};
 
-/// A cooperative cancellation handle shared between a solve and its
-/// controller.
-///
-/// Cloning is cheap (an `Arc` bump); every clone observes the same
-/// flag. The solver polls the flag at its restart/round boundaries —
-/// the same points where it polls the deadline — so cancellation lands
-/// within one constructive round, and [`Scg::run`] reports it as
-/// [`SolveError::Cancelled`].
-#[derive(Clone, Debug, Default)]
-pub struct CancelFlag(Arc<AtomicBool>);
-
-impl CancelFlag {
-    /// A fresh, un-tripped flag.
-    pub fn new() -> Self {
-        CancelFlag::default()
-    }
-
-    /// Trips the flag. Idempotent; never blocks.
-    pub fn cancel(&self) {
-        self.0.store(true, Ordering::SeqCst);
-    }
-
-    /// `true` once [`CancelFlag::cancel`] has been called on any clone.
-    pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::SeqCst)
-    }
-}
+// The cancellation primitive lives in `cover` (it is polled down inside
+// the implicit-reduction operation boundaries), re-exported here so the
+// solve API stays one import.
+pub use cover::CancelFlag;
 
 /// Named option presets replacing the old `ScgOptions::fast()`/default
 /// split.
@@ -182,17 +158,43 @@ pub enum SolveError {
     /// The request's [`CancelFlag`] tripped before or during the solve.
     /// Whatever partial work was done is discarded.
     Cancelled,
+    /// The request's deadline passed before the solve produced any
+    /// feasible cover — the budget ran out inside the reduction stage.
+    /// (A deadline reached *after* reduction degrades gracefully instead:
+    /// the restarts stop and the best cover so far is returned.)
+    Expired,
+    /// The ZDD kernel's node budget was exhausted with degradation
+    /// disabled ([`cover::CoreOptions::degrade`] `= false`). With the
+    /// default options this cannot happen: the solve falls back to the
+    /// explicit representation and reports
+    /// [`ScgOutcome::degraded`](crate::ScgOutcome) instead.
+    ResourceExhausted(ZddOverflow),
 }
 
 impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::Cancelled => f.write_str("solve cancelled"),
+            SolveError::Expired => f.write_str("solve deadline expired before a cover was found"),
+            SolveError::ResourceExhausted(_) => f.write_str("solve exhausted its resource budget"),
         }
     }
 }
 
-impl std::error::Error for SolveError {}
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::ResourceExhausted(e) => Some(e),
+            SolveError::Cancelled | SolveError::Expired => None,
+        }
+    }
+}
+
+impl From<ZddOverflow> for SolveError {
+    fn from(e: ZddOverflow) -> Self {
+        SolveError::ResourceExhausted(e)
+    }
+}
 
 /// The instance a request solves: borrowed for inline calls, shared
 /// (`Arc`) for requests that outlive their builder, e.g. engine jobs.
@@ -238,6 +240,11 @@ impl Probe for DynProbe<'_> {
     #[inline]
     fn enabled(&self) -> bool {
         self.0.enabled()
+    }
+
+    #[inline]
+    fn events_dropped(&self) -> u64 {
+        self.0.events_dropped()
     }
 }
 
@@ -378,6 +385,16 @@ impl<'a> SolveRequest<'a> {
         self.matrix.get()
     }
 
+    /// The shared handle behind a [`SolveRequest::for_shared`] request
+    /// (`None` for borrowing requests) — lets a scheduler rebuild a
+    /// follow-up request for the same instance without cloning it.
+    pub fn shared_matrix(&self) -> Option<Arc<CoverMatrix>> {
+        match &self.matrix {
+            MatrixSource::Borrowed(_) => None,
+            MatrixSource::Shared(m) => Some(Arc::clone(m)),
+        }
+    }
+
     /// The current option set.
     pub fn opts(&self) -> &ScgOptions {
         &self.options
@@ -412,9 +429,14 @@ impl Scg {
     ///
     /// # Errors
     ///
-    /// [`SolveError::Cancelled`] when the request carries a
-    /// [`CancelFlag`] that tripped before or during the solve. A
-    /// request without a flag cannot fail.
+    /// * [`SolveError::Cancelled`] when the request carries a
+    ///   [`CancelFlag`] that tripped before or during the solve.
+    /// * [`SolveError::Expired`] when the deadline passed before the
+    ///   reduction stage produced anything to return.
+    /// * [`SolveError::ResourceExhausted`] when the kernel's node budget
+    ///   tripped with [`cover::CoreOptions::degrade`] disabled.
+    ///
+    /// A request without a flag, deadline or node budget cannot fail.
     ///
     /// # Example
     ///
@@ -445,13 +467,18 @@ impl Scg {
         if cancel_ref.is_some_and(CancelFlag::is_cancelled) {
             return Err(SolveError::Cancelled);
         }
-        let out = match probe.as_mut() {
-            Some(slot) => solver.solve_impl(m, cancel_ref, &mut DynProbe(slot.get())),
-            None => solver.solve_impl(m, cancel_ref, &mut NoopProbe),
+        let (out, dropped) = match probe.as_mut() {
+            Some(slot) => {
+                let out = solver.solve_impl(m, cancel_ref, &mut DynProbe(slot.get()));
+                (out, slot.get().events_dropped())
+            }
+            None => (solver.solve_impl(m, cancel_ref, &mut NoopProbe), 0),
         };
+        let mut out = out?;
         if cancel_ref.is_some_and(CancelFlag::is_cancelled) {
             return Err(SolveError::Cancelled);
         }
+        out.dropped_events = dropped;
         Ok(out)
     }
 }
@@ -459,6 +486,7 @@ impl Scg {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
     use ucp_telemetry::RecordingProbe;
 
     fn cycle(n: usize) -> CoverMatrix {

@@ -39,11 +39,9 @@
 //! determinism promise for budget adherence, which is what a wall-clock
 //! budget asks for.
 
-use crate::request::CancelFlag;
-use cover::{CoverMatrix, Solution};
+use cover::{CoverMatrix, Halt, Solution};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 use ucp_telemetry::{Event, Probe};
 
 /// The SplitMix64 output function: maps `state` to a well-mixed 64-bit
@@ -152,7 +150,7 @@ pub(crate) struct RestartCtx<'a> {
     pub core_lb: f64,
     /// Shared halt condition (one per solve, spanning all partition
     /// blocks and restarts).
-    pub halt: Halt<'a>,
+    pub halt: &'a Halt,
 }
 
 impl RestartCtx<'_> {
@@ -178,26 +176,6 @@ impl RestartCtx<'_> {
     /// (deadline or cancellation) fired.
     pub fn should_abort(&self) -> bool {
         self.incumbent.superseded(self.restart) || self.halt.reached()
-    }
-}
-
-/// The solve-wide halt condition: one wall-clock deadline plus one
-/// optional [`CancelFlag`], shared by every partition block and every
-/// restart. Both trade the determinism promise for responsiveness —
-/// which is exactly what a budget or a cancellation asks for.
-#[derive(Clone, Copy, Default)]
-pub(crate) struct Halt<'a> {
-    pub deadline: Option<Instant>,
-    pub cancel: Option<&'a CancelFlag>,
-}
-
-impl Halt<'_> {
-    /// `true` once the deadline passed or the cancel flag tripped; the
-    /// solve stops starting new constructive work and in-flight runs
-    /// abort at their next round boundary.
-    pub fn reached(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() > d)
-            || self.cancel.is_some_and(CancelFlag::is_cancelled)
     }
 }
 

@@ -20,10 +20,12 @@ use crate::dual::dual_ascent;
 use crate::penalty::{dual_penalties, lagrangian_penalties};
 #[cfg(test)]
 use crate::request::SolveRequest;
-use crate::request::{CancelFlag, Preset};
-use crate::restart::{restart_seed, BufferProbe, Halt, RestartCtx, SharedIncumbent};
+use crate::request::{CancelFlag, Preset, SolveError};
+use crate::restart::{restart_seed, BufferProbe, RestartCtx, SharedIncumbent};
 use crate::subgradient::{subgradient_ascent_probed, SubgradientOptions, SubgradientResult};
-use cover::{cyclic_core_probed, CoreOptions, CoverMatrix, Reducer, Solution};
+use cover::{
+    cyclic_core_halted, CoreAbort, CoreOptions, CoverMatrix, Halt, HaltReason, Reducer, Solution,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -148,6 +150,14 @@ pub struct ScgOutcome {
     /// when the implicit phase was disabled). The reduce stage runs once
     /// per solve, so these are independent of the worker count.
     pub zdd_stats: cover::ZddStats,
+    /// `true` when the implicit phase exhausted its node budget and the
+    /// solve fell back to the explicit representation (the result is
+    /// still correct — only the reduction route changed).
+    pub degraded: bool,
+    /// Telemetry events the request's trace sink failed to persist (0
+    /// for in-memory probes and unprobed solves). Filled by
+    /// [`Scg::run`](crate::Scg::run) from the probe after the solve.
+    pub dropped_events: u64,
 }
 
 impl ScgOutcome {
@@ -273,6 +283,7 @@ impl Scg {
     #[deprecated(note = "use `Scg::run` with a `SolveRequest` (see the README migration table)")]
     pub fn solve(&self, m: &CoverMatrix) -> ScgOutcome {
         self.solve_impl(m, None, &mut NoopProbe)
+            .unwrap_or_else(|e| panic!("solve failed: {e}"))
     }
 
     /// `solve` with a telemetry probe observing the pipeline.
@@ -305,6 +316,7 @@ impl Scg {
     )]
     pub fn solve_with_probe<P: Probe>(&self, m: &CoverMatrix, probe: &mut P) -> ScgOutcome {
         self.solve_impl(m, None, probe)
+            .unwrap_or_else(|e| panic!("solve failed: {e}"))
     }
 
     /// The one solve pipeline behind [`Scg::run`] and all deprecated
@@ -315,19 +327,27 @@ impl Scg {
         m: &CoverMatrix,
         cancel: Option<&CancelFlag>,
         probe: &mut P,
-    ) -> ScgOutcome {
+    ) -> Result<ScgOutcome, SolveError> {
         let start = Instant::now();
         // One halt condition for the whole solve: every block and every
         // restart races the same clock and watches the same cancel flag.
+        // It reaches all the way into the implicit-reduction operation
+        // boundaries, so a deadline or cancellation lands mid-phase.
         let halt = Halt {
             deadline: self.opts.time_limit.map(|budget| start + budget),
-            cancel,
+            cancel: cancel.cloned(),
         };
         let integer_costs = m.integer_costs();
         let mut phases = PhaseTimes::default();
 
         // ---- Reduce stage: reductions to the cyclic core (run once). ----
-        let core_res = cyclic_core_probed(m, &self.opts.core, &mut *probe);
+        let core_res = cyclic_core_halted(m, &self.opts.core, &halt, &mut *probe).map_err(
+            |abort| match abort {
+                CoreAbort::Halted(HaltReason::Cancelled) => SolveError::Cancelled,
+                CoreAbort::Halted(HaltReason::Expired) => SolveError::Expired,
+                CoreAbort::Exhausted(e) => SolveError::ResourceExhausted(e),
+            },
+        )?;
         phases.add(
             Phase::ImplicitReduction,
             core_res.implicit_time.as_secs_f64(),
@@ -337,7 +357,7 @@ impl Scg {
             core_res.explicit_time.as_secs_f64(),
         );
         if core_res.infeasible {
-            return ScgOutcome {
+            return Ok(ScgOutcome {
                 solution: Solution::new(),
                 cost: f64::INFINITY,
                 lower_bound: f64::INFINITY,
@@ -351,14 +371,16 @@ impl Scg {
                 core_cols: core_res.core.num_cols(),
                 phase_times: phases,
                 zdd_stats: core_res.zdd_stats,
-            };
+                degraded: core_res.degraded,
+                dropped_events: 0,
+            });
         }
         let fixed_cost: f64 = core_res.fixed_cols.iter().map(|&j| m.cost(j)).sum();
         let ae = &core_res.core;
 
         if core_res.is_solved() {
             let solution = Solution::from_cols(core_res.fixed_cols.clone());
-            return ScgOutcome {
+            return Ok(ScgOutcome {
                 cost: fixed_cost,
                 lower_bound: fixed_cost,
                 proven_optimal: true,
@@ -372,7 +394,9 @@ impl Scg {
                 solution,
                 phase_times: phases,
                 zdd_stats: core_res.zdd_stats,
-            };
+                degraded: core_res.degraded,
+                dropped_events: 0,
+            });
         }
 
         // ---- Partitioning (§2): independent blocks solve independently. ----
@@ -389,12 +413,12 @@ impl Scg {
                 seconds: partition_time,
             });
             if blocks.len() > 1 {
-                return self.solve_blocks(m, &core_res, blocks, start, halt, phases, probe);
+                return Ok(self.solve_blocks(m, &core_res, blocks, start, &halt, phases, probe));
             }
         }
 
         // ---- Restarts stage on the single connected core. ----
-        let co = self.solve_core(ae, integer_costs, halt, 0, false, &mut *probe);
+        let co = self.solve_core(ae, integer_costs, &halt, 0, false, &mut *probe);
         phases.add(Phase::Subgradient, co.sub_seconds);
         phases.add(Phase::Constructive, co.constructive_seconds);
         let global_lb = fixed_cost + co.lb.max(0.0);
@@ -415,7 +439,7 @@ impl Scg {
             phase: Phase::Postprocess,
             seconds: post_time,
         });
-        ScgOutcome {
+        Ok(ScgOutcome {
             solution,
             cost,
             lower_bound: global_lb,
@@ -429,7 +453,9 @@ impl Scg {
             core_cols: ae.num_cols(),
             phase_times: phases,
             zdd_stats: core_res.zdd_stats,
-        }
+            degraded: core_res.degraded,
+            dropped_events: 0,
+        })
     }
 
     /// Solves the disconnected blocks of an already-reduced cyclic core
@@ -449,7 +475,7 @@ impl Scg {
         core_res: &cover::CoreResult,
         blocks: Vec<cover::Block>,
         start: Instant,
-        halt: Halt<'_>,
+        halt: &Halt,
         mut phases: PhaseTimes,
         probe: &mut P,
     ) -> ScgOutcome {
@@ -558,6 +584,8 @@ impl Scg {
             core_cols: core_res.core.num_cols(),
             phase_times: phases,
             zdd_stats: core_res.zdd_stats,
+            degraded: core_res.degraded,
+            dropped_events: 0,
         }
     }
 
@@ -572,7 +600,7 @@ impl Scg {
         &self,
         ae: &CoverMatrix,
         integer_costs: bool,
-        halt: Halt<'_>,
+        halt: &Halt,
         worker_tag: usize,
         force_serial: bool,
         probe: &mut P,
@@ -650,7 +678,7 @@ impl Scg {
         sub0: &SubgradientResult,
         core_lb: f64,
         base_ub: f64,
-        halt: Halt<'_>,
+        halt: &Halt,
         worker_tag: usize,
         force_serial: bool,
         incumbent: &SharedIncumbent,
@@ -761,7 +789,7 @@ impl Scg {
         run: usize,
         core_lb: f64,
         base_ub: f64,
-        halt: Halt<'_>,
+        halt: &Halt,
         incumbent: &SharedIncumbent,
         probe: &mut P,
     ) -> RunReport {
@@ -1108,17 +1136,33 @@ mod partition_tests {
     }
 
     #[test]
-    fn time_limit_caps_restarts() {
+    fn expired_deadline_before_reduction_reports_expired() {
+        // A 0ms budget expires before the implicit reduction reaches its
+        // first op boundary, so the solve reports `Expired` instead of
+        // silently returning a weaker cover.
+        let m = two_cycles(9);
+        let out = Scg::new(ScgOptions {
+            num_iter: 50,
+            time_limit: Some(Duration::from_millis(0)),
+            ..ScgOptions::default()
+        })
+        .solve_impl(&m, None, &mut ucp_telemetry::NoopProbe);
+        assert_eq!(out.unwrap_err(), SolveError::Expired);
+    }
+
+    #[test]
+    fn generous_time_limit_still_solves() {
+        // A deadline that outlives the reduce stage degrades gracefully:
+        // restarts stop at the budget but the cover stays feasible.
         let m = two_cycles(9);
         let out = run_opts(
             &m,
             ScgOptions {
                 num_iter: 50,
-                time_limit: Some(Duration::from_millis(0)),
+                time_limit: Some(Duration::from_secs(30)),
                 ..ScgOptions::default()
             },
         );
-        // The initial subgradient always runs; restarts are skipped.
         assert!(out.solution.is_feasible(&m));
     }
 
@@ -1181,6 +1225,7 @@ impl Scg {
             ..self.opts
         })
         .solve_impl(m, None, &mut NoopProbe)
+        .unwrap_or_else(|e| panic!("solve failed: {e}"))
     }
 
     /// `solve_parallel` with a telemetry probe: the parallel path
@@ -1205,6 +1250,7 @@ impl Scg {
             ..self.opts
         })
         .solve_impl(m, None, probe)
+        .unwrap_or_else(|e| panic!("solve failed: {e}"))
     }
 }
 

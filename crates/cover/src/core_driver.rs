@@ -5,11 +5,13 @@
 //! decode into a sparse matrix, then run the classical explicit reductions to
 //! a fixpoint. What is left is the (possibly empty) cyclic core.
 
-use crate::implicit::ImplicitMatrix;
+use crate::halt::{Halt, HaltReason};
+use crate::implicit::{ImplicitMatrix, ReduceAbort, ReduceInterrupt};
 use crate::matrix::CoverMatrix;
 use crate::reduce::Reducer;
 use std::time::{Duration, Instant};
-use ucp_telemetry::{Event, NoopProbe, Phase, Probe};
+use ucp_telemetry::{DegradeReason, Event, NoopProbe, Phase, Probe};
+use zdd::ZddOverflow;
 
 /// Tunables for the cyclic-core computation.
 #[derive(Clone, Copy, Debug)]
@@ -21,9 +23,16 @@ pub struct CoreOptions {
     pub max_cols: usize,
     /// Skip the implicit phase entirely (for ablation benchmarks).
     pub use_implicit: bool,
-    /// ZDD kernel tunables (table/cache sizing, GC schedule) for the
-    /// implicit phase's manager. Kernel settings never change results,
-    /// only speed and memory.
+    /// When the implicit phase exhausts the kernel's node budget, fall
+    /// back to the explicit representation (salvaging whatever the
+    /// implicit reductions achieved) instead of failing. Default `true`;
+    /// with `false`, [`cyclic_core_halted`] reports
+    /// [`CoreAbort::Exhausted`] and the infallible entry points panic.
+    pub degrade: bool,
+    /// ZDD kernel tunables (table/cache sizing, GC schedule, node budget)
+    /// for the implicit phase's manager. Kernel settings never change
+    /// results, only speed and memory — unless a node budget trips, in
+    /// which case `degrade` decides what happens.
     pub kernel: zdd::ZddOptions,
 }
 
@@ -34,7 +43,36 @@ impl Default for CoreOptions {
             max_rows: 5000,
             max_cols: 10_000,
             use_implicit: true,
+            degrade: true,
             kernel: zdd::ZddOptions::default(),
+        }
+    }
+}
+
+/// Why [`cyclic_core_halted`] stopped without producing a core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreAbort {
+    /// The [`Halt`] fired (deadline or cancellation).
+    Halted(HaltReason),
+    /// The kernel's node budget was exhausted and
+    /// [`CoreOptions::degrade`] is `false`.
+    Exhausted(ZddOverflow),
+}
+
+impl std::fmt::Display for CoreAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreAbort::Halted(r) => write!(f, "cyclic-core computation halted: {r}"),
+            CoreAbort::Exhausted(e) => write!(f, "cyclic-core computation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreAbort {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreAbort::Halted(_) => None,
+            CoreAbort::Exhausted(e) => Some(e),
         }
     }
 }
@@ -63,6 +101,9 @@ pub struct CoreResult {
     pub zdd_stats: zdd::ZddStats,
     /// `true` if some row cannot be covered at all.
     pub infeasible: bool,
+    /// `true` if the implicit phase exhausted its node budget and the
+    /// computation fell back to the explicit representation.
+    pub degraded: bool,
 }
 
 impl CoreResult {
@@ -93,14 +134,47 @@ pub fn cyclic_core(m: &CoverMatrix, opts: &CoreOptions) -> CoreResult {
 
 /// [`cyclic_core`] with a telemetry probe observing the two reduction
 /// phases (begin/end events and wall-clock split).
+///
+/// # Panics
+///
+/// Panics if the kernel's node budget is exhausted while
+/// [`CoreOptions::degrade`] is `false` — use [`cyclic_core_halted`] to
+/// recover instead.
 pub fn cyclic_core_probed<P: Probe>(
     m: &CoverMatrix,
     opts: &CoreOptions,
     probe: &mut P,
 ) -> CoreResult {
+    match cyclic_core_halted(m, opts, &Halt::none(), probe) {
+        Ok(res) => res,
+        Err(abort @ CoreAbort::Exhausted(_)) => {
+            panic!("{abort} (enable CoreOptions::degrade or raise the node budget)")
+        }
+        Err(CoreAbort::Halted(_)) => unreachable!("Halt::none never fires"),
+    }
+}
+
+/// [`cyclic_core_probed`] with cooperative halting and graceful
+/// degradation.
+///
+/// The [`Halt`] is polled at every implicit-operation boundary, so a
+/// deadline or a cancellation stops the computation within one ZDD
+/// operation. If the kernel's node budget trips and
+/// [`CoreOptions::degrade`] is on, the partially-reduced family is
+/// salvaged (implicit reductions only shrink the family, so it is always
+/// enumerable) — or, when the encoding itself overflowed, the original
+/// matrix is used as-is — and the explicit phase takes over; exactly one
+/// [`Event::Degraded`] is recorded per such fallback and the returned
+/// [`CoreResult::degraded`] flag is set.
+pub fn cyclic_core_halted<P: Probe>(
+    m: &CoverMatrix,
+    opts: &CoreOptions,
+    halt: &Halt,
+    probe: &mut P,
+) -> Result<CoreResult, CoreAbort> {
     let start = Instant::now();
     if !m.is_coverable() {
-        return CoreResult {
+        return Ok(CoreResult {
             core: m.clone(),
             fixed_cols: Vec::new(),
             row_map: (0..m.num_rows()).collect(),
@@ -110,7 +184,8 @@ pub fn cyclic_core_probed<P: Probe>(
             explicit_time: Duration::ZERO,
             zdd_stats: zdd::ZddStats::default(),
             infeasible: true,
-        };
+            degraded: false,
+        });
     }
 
     // Phase 1: implicit reductions on the ZDD row family.
@@ -119,21 +194,65 @@ pub fn cyclic_core_probed<P: Probe>(
     });
     let implicit_start = Instant::now();
     let mut zdd_stats = zdd::ZddStats::default();
-    let (explicit, implicit_fixed, col_map_a): (CoverMatrix, Vec<usize>, Vec<usize>) =
+    let mut degraded = false;
+    let implicit_outcome: Result<(CoverMatrix, Vec<usize>, Vec<usize>), CoreAbort> =
         if opts.use_implicit {
-            let mut im = ImplicitMatrix::encode_with(m, opts.kernel);
-            let fixed = im.reduce_until_small(opts.max_rows, opts.max_cols);
-            let (dec, col_map) = im.decode();
-            zdd_stats = im.zdd_stats();
-            (dec, fixed, col_map)
+            match ImplicitMatrix::try_encode_with(m, opts.kernel) {
+                Ok(mut im) => match im.try_reduce_until_small(opts.max_rows, opts.max_cols, halt) {
+                    Ok(fixed) => {
+                        let (dec, col_map) = im.decode();
+                        zdd_stats = im.zdd_stats();
+                        Ok((dec, fixed, col_map))
+                    }
+                    Err(ReduceAbort {
+                        interrupt: ReduceInterrupt::Halted(reason),
+                        ..
+                    }) => Err(CoreAbort::Halted(reason)),
+                    Err(ReduceAbort {
+                        fixed,
+                        interrupt: ReduceInterrupt::Overflow(e),
+                    }) => {
+                        if opts.degrade {
+                            // Salvage the partially-reduced family: the
+                            // reductions only ever shrink it, so decoding
+                            // is no larger than decoding the input.
+                            degraded = true;
+                            probe.record(Event::Degraded {
+                                reason: DegradeReason::NodeBudget,
+                                phase: Phase::ImplicitReduction,
+                            });
+                            let (dec, col_map) = im.decode();
+                            zdd_stats = im.zdd_stats();
+                            Ok((dec, fixed, col_map))
+                        } else {
+                            Err(CoreAbort::Exhausted(e))
+                        }
+                    }
+                },
+                Err(e) => {
+                    if opts.degrade {
+                        // The family never fit: rebuild explicitly from
+                        // the instance, skipping the implicit phase.
+                        degraded = true;
+                        probe.record(Event::Degraded {
+                            reason: DegradeReason::NodeBudget,
+                            phase: Phase::ImplicitReduction,
+                        });
+                        Ok((m.clone(), Vec::new(), (0..m.num_cols()).collect()))
+                    } else {
+                        Err(CoreAbort::Exhausted(e))
+                    }
+                }
+            }
         } else {
-            (m.clone(), Vec::new(), (0..m.num_cols()).collect())
+            Ok((m.clone(), Vec::new(), (0..m.num_cols()).collect()))
         };
     let implicit_time = implicit_start.elapsed();
     probe.record(Event::PhaseEnd {
         phase: Phase::ImplicitReduction,
         seconds: implicit_time.as_secs_f64(),
     });
+    let (explicit, implicit_fixed, col_map_a) = implicit_outcome?;
     if opts.use_implicit {
         probe.record(Event::ZddKernel {
             cache_hits: zdd_stats.cache_hits,
@@ -148,6 +267,9 @@ pub fn cyclic_core_probed<P: Probe>(
     }
 
     // Phase 2: explicit reductions to the fixpoint.
+    if let Some(reason) = halt.check() {
+        return Err(CoreAbort::Halted(reason));
+    }
     probe.record(Event::PhaseBegin {
         phase: Phase::ExplicitReduction,
     });
@@ -173,7 +295,7 @@ pub fn cyclic_core_probed<P: Probe>(
         seconds: explicit_time.as_secs_f64(),
     });
 
-    CoreResult {
+    Ok(CoreResult {
         core,
         fixed_cols,
         row_map,
@@ -183,7 +305,8 @@ pub fn cyclic_core_probed<P: Probe>(
         explicit_time,
         zdd_stats,
         infeasible,
-    }
+        degraded,
+    })
 }
 
 /// Best-effort mapping of core rows to original row indices by content.
@@ -270,6 +393,79 @@ mod tests {
         let res = cyclic_core(&m, &CoreOptions::default());
         assert!(res.infeasible);
         assert!(!res.is_solved());
+    }
+
+    fn hard_instance() -> CoverMatrix {
+        // A cyclic instance plus chords: enough structure that encoding
+        // and reducing need well over 16 nodes.
+        let n = 12usize;
+        let mut rows: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+        rows.push((0..n).step_by(2).collect());
+        rows.push((0..n).step_by(3).collect());
+        CoverMatrix::from_rows(n, rows)
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_explicit() {
+        use ucp_telemetry::RecordingProbe;
+        let m = hard_instance();
+        let tiny = CoreOptions {
+            kernel: zdd::ZddOptions::new().node_budget(16),
+            ..CoreOptions::default()
+        };
+        let mut probe = RecordingProbe::new();
+        let res = cyclic_core_halted(&m, &tiny, &Halt::none(), &mut probe)
+            .expect("degrade=true never aborts on overflow");
+        assert!(res.degraded);
+        let degraded_events = probe
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, Event::Degraded { .. }))
+            .count();
+        assert_eq!(degraded_events, 1, "exactly one Degraded per fallback");
+        assert!(probe.unbalanced_phases().is_empty());
+        // The degraded result matches the pure-explicit ablation.
+        let explicit_only = cyclic_core(
+            &m,
+            &CoreOptions {
+                use_implicit: false,
+                ..CoreOptions::default()
+            },
+        );
+        assert_eq!(res.fixed_cols, explicit_only.fixed_cols);
+        assert_eq!(res.core.num_rows(), explicit_only.core.num_rows());
+        assert_eq!(res.core.num_cols(), explicit_only.core.num_cols());
+    }
+
+    #[test]
+    fn degrade_off_reports_exhaustion() {
+        let m = hard_instance();
+        let opts = CoreOptions {
+            kernel: zdd::ZddOptions::new().node_budget(16),
+            degrade: false,
+            ..CoreOptions::default()
+        };
+        let err = cyclic_core_halted(&m, &opts, &Halt::none(), &mut NoopProbe).unwrap_err();
+        assert!(matches!(err, CoreAbort::Exhausted(_)), "{err}");
+        // The infallible wrapper turns the same condition into a panic.
+        let panicked = std::panic::catch_unwind(|| cyclic_core(&m, &opts)).unwrap_err();
+        let msg = panicked.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("node budget"), "{msg}");
+    }
+
+    #[test]
+    fn cancelled_halt_aborts_the_core() {
+        use crate::halt::CancelFlag;
+        let m = hard_instance();
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let halt = Halt {
+            deadline: None,
+            cancel: Some(flag),
+        };
+        let err =
+            cyclic_core_halted(&m, &CoreOptions::default(), &halt, &mut NoopProbe).unwrap_err();
+        assert_eq!(err, CoreAbort::Halted(HaltReason::Cancelled));
     }
 
     #[test]

@@ -15,8 +15,50 @@
 //! performs on the decoded explicit matrix (see `DESIGN.md` for the fidelity
 //! note).
 
+use crate::halt::{Halt, HaltReason};
 use crate::matrix::CoverMatrix;
-use zdd::{NodeId, RootId, Var, Zdd, ZddOptions};
+use zdd::{NodeId, RootId, Var, Zdd, ZddOptions, ZddOverflow};
+
+/// Why a fallible implicit reduction stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceInterrupt {
+    /// The ZDD kernel exhausted its node budget (even after a recovery
+    /// collection). The row family is intact at its last checkpoint.
+    Overflow(ZddOverflow),
+    /// The [`Halt`] fired at an operation boundary.
+    Halted(HaltReason),
+}
+
+/// An aborted implicit reduction: what was fixed before the interrupt.
+///
+/// The matrix itself remains valid — the row family holds the last
+/// completed operation's result, so callers can salvage it with
+/// [`ImplicitMatrix::decode`] and continue explicitly.
+#[derive(Debug)]
+pub struct ReduceAbort {
+    /// Essential columns fixed before the interrupt, ascending.
+    pub fixed: Vec<usize>,
+    /// Why the reduction stopped.
+    pub interrupt: ReduceInterrupt,
+}
+
+impl std::fmt::Display for ReduceAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.interrupt {
+            ReduceInterrupt::Overflow(e) => write!(f, "implicit reduction overflowed: {e}"),
+            ReduceInterrupt::Halted(r) => write!(f, "implicit reduction halted: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ReduceAbort {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.interrupt {
+            ReduceInterrupt::Overflow(e) => Some(e),
+            ReduceInterrupt::Halted(_) => None,
+        }
+    }
+}
 
 /// A covering matrix held implicitly as a ZDD row family.
 ///
@@ -52,21 +94,56 @@ impl ImplicitMatrix {
 
     /// Encodes an explicit matrix into a ZDD row family, constructing the
     /// manager from the given kernel options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager's node budget is exhausted while encoding
+    /// (see [`ImplicitMatrix::try_encode_with`]).
     pub fn encode_with(m: &CoverMatrix, opts: ZddOptions) -> Self {
+        Self::try_encode_with(m, opts).unwrap_or_else(|e| {
+            panic!("{e} while encoding the row family (use try_encode_with to recover)")
+        })
+    }
+
+    /// Fallible [`ImplicitMatrix::encode_with`] for budgeted managers.
+    ///
+    /// Builds the row family one row at a time, checkpointing after each,
+    /// so the kernel can collect intermediate unions. If a row still
+    /// overflows the node budget after a forced collection, the error is
+    /// returned and the partially-built manager is dropped.
+    pub fn try_encode_with(m: &CoverMatrix, opts: ZddOptions) -> Result<Self, ZddOverflow> {
         let mut zdd = opts.build();
-        let rows = zdd.from_sets(
-            m.rows()
-                .iter()
-                .map(|row| row.iter().map(|&j| Var::from(j)).collect::<Vec<_>>()),
-        );
+        let mut rows = NodeId::EMPTY;
         let root = zdd.register_root(rows);
-        ImplicitMatrix {
+        for row in m.rows() {
+            let vars: Vec<Var> = row.iter().map(|&j| Var::from(j)).collect();
+            let add = |z: &mut Zdd, rows: NodeId| -> Result<NodeId, ZddOverflow> {
+                let one = z.try_set(vars.iter().copied())?;
+                z.try_union(rows, one)
+            };
+            rows = match add(&mut zdd, rows) {
+                Ok(r) => r,
+                Err(_) => {
+                    // One recovery attempt: collect down to the rooted
+                    // prefix of the family, then retry the row.
+                    zdd.set_root(root, rows);
+                    zdd.collect();
+                    rows = zdd.root(root);
+                    add(&mut zdd, rows)?
+                }
+            };
+            zdd.set_root(root, rows);
+            if zdd.maybe_gc().is_some() {
+                rows = zdd.root(root);
+            }
+        }
+        Ok(ImplicitMatrix {
             zdd,
             rows,
             root,
             costs: m.costs().to_vec(),
             num_cols: m.num_cols(),
-        }
+        })
     }
 
     /// Operation-boundary checkpoint: publishes the current row family to
@@ -77,6 +154,33 @@ impl ImplicitMatrix {
         if self.zdd.maybe_gc().is_some() {
             self.rows = self.zdd.root(self.root);
         }
+    }
+
+    /// Runs one composite ZDD operation whose only live input is the row
+    /// family. On overflow, forces a collection down to the rooted family
+    /// and retries once — the recovery half of the kernel's
+    /// Healthy → Exhausted → recovered-after-GC protocol.
+    fn op_retry(
+        &mut self,
+        op: impl Fn(&mut Zdd, NodeId) -> Result<NodeId, ZddOverflow>,
+    ) -> Result<NodeId, ZddOverflow> {
+        match op(&mut self.zdd, self.rows) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                self.zdd.set_root(self.root, self.rows);
+                self.zdd.collect();
+                self.rows = self.zdd.root(self.root);
+                op(&mut self.zdd, self.rows)
+            }
+        }
+    }
+
+    /// Halt poll at an implicit-operation boundary. The failpoint lets
+    /// tests stall here to prove a deadline or cancellation lands within
+    /// one operation boundary.
+    fn halt_boundary(&self, halt: &Halt) -> Option<HaltReason> {
+        ucp_failpoints::fail_point!("cover::implicit_op");
+        halt.check()
     }
 
     /// Number of (implicit) rows currently in the family.
@@ -107,20 +211,57 @@ impl ImplicitMatrix {
 
     /// One implicit row-dominance pass ([`Zdd::minimal`]). Returns `true`
     /// if the family shrank.
+    ///
+    /// # Panics
+    ///
+    /// Panics on node-budget exhaustion (see
+    /// [`ImplicitMatrix::try_reduce_until_small`] for the fallible path).
     pub fn row_dominance(&mut self) -> bool {
+        self.row_dominance_f().unwrap_or_else(overflow_panic)
+    }
+
+    fn row_dominance_f(&mut self) -> Result<bool, ZddOverflow> {
         let before = self.rows;
-        self.rows = self.zdd.minimal(self.rows);
+        self.rows = self.op_retry(|z, rows| z.try_minimal(rows))?;
         let shrank = self.rows != before;
         self.checkpoint();
-        shrank
+        Ok(shrank)
     }
 
     /// Extracts essential columns (singleton rows), fixes them — removing
     /// every row they cover — and returns their indices, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics on node-budget exhaustion (see
+    /// [`ImplicitMatrix::try_reduce_until_small`] for the fallible path).
     pub fn essential_pass(&mut self) -> Vec<usize> {
         let mut fixed = Vec::new();
+        match self.essential_pass_f(&mut fixed, &Halt::none()) {
+            Ok(_) => {}
+            Err(ReduceInterrupt::Overflow(e)) => overflow_panic(e),
+            Err(ReduceInterrupt::Halted(_)) => unreachable!("Halt::none never fires"),
+        }
+        fixed.sort_unstable();
+        fixed
+    }
+
+    /// Fallible essential-column extraction. Appends fixed columns to
+    /// `fixed` (unsorted) as each one's rows are removed, so an interrupt
+    /// loses no completed work; returns whether anything was fixed.
+    fn essential_pass_f(
+        &mut self,
+        fixed: &mut Vec<usize>,
+        halt: &Halt,
+    ) -> Result<bool, ReduceInterrupt> {
+        let mut progressed = false;
         loop {
-            let singles = self.zdd.singletons(self.rows);
+            if let Some(reason) = self.halt_boundary(halt) {
+                return Err(ReduceInterrupt::Halted(reason));
+            }
+            let singles = self
+                .op_retry(|z, rows| z.try_singletons(rows))
+                .map_err(ReduceInterrupt::Overflow)?;
             if singles == NodeId::EMPTY {
                 break;
             }
@@ -131,32 +272,56 @@ impl ImplicitMatrix {
                 .map(|s| s[0].index())
                 .collect();
             for &j in &cols {
-                // Rows containing j are covered; keep only the others.
-                self.rows = self.zdd.subset0(self.rows, Var::from(j));
+                // Rows containing j are covered; keep only the others. A
+                // column only counts as fixed once its rows are removed —
+                // on overflow the unapplied essentials stay in the family
+                // for the explicit phase to rediscover.
+                self.rows = self
+                    .op_retry(|z, rows| z.try_subset0(rows, Var::from(j)))
+                    .map_err(ReduceInterrupt::Overflow)?;
+                fixed.push(j);
+                progressed = true;
             }
-            fixed.extend(cols);
             self.checkpoint();
         }
-        fixed.sort_unstable();
-        fixed
+        Ok(progressed)
     }
 
     /// Tests whether column `j` dominates column `k`: every (implicit) row
     /// containing `k` also contains `j`. Entirely on the ZDD:
     /// `subset0(subset1(R, k), j) = ∅`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on node-budget exhaustion.
     pub fn col_dominates(&mut self, j: usize, k: usize) -> bool {
+        self.col_dominates_f(j, k).unwrap_or_else(overflow_panic)
+    }
+
+    fn col_dominates_f(&mut self, j: usize, k: usize) -> Result<bool, ZddOverflow> {
         if j == k {
-            return true;
+            return Ok(true);
         }
-        let with_k = self.zdd.subset1(self.rows, Var::from(k));
-        let without_j = self.zdd.subset0(with_k, Var::from(j));
-        without_j == NodeId::EMPTY
+        let without_j = self.op_retry(|z, rows| {
+            let with_k = z.try_subset1(rows, Var::from(k))?;
+            z.try_subset0(with_k, Var::from(j))
+        })?;
+        Ok(without_j == NodeId::EMPTY)
     }
 
     /// One implicit column-dominance pass (cost-aware): removes every live
     /// column `k` for which some column `j` with `c_j ≤ c_k` covers a
     /// superset of `k`'s rows. Returns the removed columns, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics on node-budget exhaustion.
     pub fn column_dominance_pass(&mut self) -> Vec<usize> {
+        self.column_dominance_pass_f()
+            .unwrap_or_else(overflow_panic)
+    }
+
+    fn column_dominance_pass_f(&mut self) -> Result<Vec<usize>, ZddOverflow> {
         let mut removed: Vec<usize> = Vec::new();
         let support = self.live_cols();
         for &k in &support {
@@ -165,31 +330,40 @@ impl ImplicitMatrix {
                 .copied()
                 .filter(|&j| j != k && !removed.contains(&j) && self.costs[j] <= self.costs[k])
                 .collect();
-            let dominated = candidates.into_iter().any(|j| {
-                if !self.col_dominates(j, k) {
-                    return false;
+            let mut dominated = false;
+            for j in candidates {
+                if !self.col_dominates_f(j, k)? {
+                    continue;
                 }
                 // Identical columns at equal cost: keep the smaller index.
-                if self.costs[j] == self.costs[k] && j > k && self.col_dominates(k, j) {
-                    return false;
+                if self.costs[j] == self.costs[k] && j > k && self.col_dominates_f(k, j)? {
+                    continue;
                 }
-                true
-            });
+                dominated = true;
+                break;
+            }
             if dominated {
                 // Drop k from every row that contains it.
-                let with_k = self.zdd.subset1(self.rows, Var::from(k));
-                let without_k = self.zdd.subset0(self.rows, Var::from(k));
-                self.rows = self.zdd.union(without_k, with_k);
+                self.rows = self.op_retry(|z, rows| {
+                    let with_k = z.try_subset1(rows, Var::from(k))?;
+                    let without_k = z.try_subset0(rows, Var::from(k))?;
+                    z.try_union(without_k, with_k)
+                })?;
                 removed.push(k);
                 self.checkpoint();
             }
         }
-        removed
+        Ok(removed)
     }
 
     /// Runs implicit reductions (row dominance + essentials + column
     /// dominance) to a fixpoint. Returns all essential columns fixed,
     /// ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics on node-budget exhaustion (see
+    /// [`ImplicitMatrix::try_reduce_until_small`] for the fallible path).
     pub fn reduce(&mut self) -> Vec<usize> {
         let mut fixed = Vec::new();
         loop {
@@ -209,21 +383,59 @@ impl ImplicitMatrix {
     /// Runs implicit reductions until stable **or** until the explicit size
     /// drops under `(max_rows, max_cols)` — the `MaxR`/`MaxC` early exit of
     /// Fig. 2. Returns the essential columns fixed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on node-budget exhaustion (see
+    /// [`ImplicitMatrix::try_reduce_until_small`]).
     pub fn reduce_until_small(&mut self, max_rows: u128, max_cols: usize) -> Vec<usize> {
+        match self.try_reduce_until_small(max_rows, max_cols, &Halt::none()) {
+            Ok(fixed) => fixed,
+            Err(abort) => panic!("{abort} (use try_reduce_until_small to recover)"),
+        }
+    }
+
+    /// Fallible, haltable [`ImplicitMatrix::reduce_until_small`].
+    ///
+    /// Polls `halt` at every operation boundary, so a deadline or a
+    /// cancellation lands within one implicit operation; on node-budget
+    /// exhaustion each operation is retried once after a forced collection
+    /// before giving up. On interrupt the returned [`ReduceAbort`] carries
+    /// the columns already fixed, and the matrix stays valid at its last
+    /// completed operation — [`ImplicitMatrix::decode`] salvages it.
+    pub fn try_reduce_until_small(
+        &mut self,
+        max_rows: u128,
+        max_cols: usize,
+        halt: &Halt,
+    ) -> Result<Vec<usize>, ReduceAbort> {
         let mut fixed = Vec::new();
+        let abort = |fixed: &mut Vec<usize>, interrupt: ReduceInterrupt| {
+            let mut fixed = std::mem::take(fixed);
+            fixed.sort_unstable();
+            ReduceAbort { fixed, interrupt }
+        };
         loop {
+            if let Some(reason) = self.halt_boundary(halt) {
+                return Err(abort(&mut fixed, ReduceInterrupt::Halted(reason)));
+            }
             if self.num_rows() <= max_rows && self.live_cols().len() <= max_cols {
                 break;
             }
-            let shrank = self.row_dominance();
-            let ess = self.essential_pass();
-            if !shrank && ess.is_empty() {
+            let shrank = match self.row_dominance_f() {
+                Ok(s) => s,
+                Err(e) => return Err(abort(&mut fixed, ReduceInterrupt::Overflow(e))),
+            };
+            let progressed = match self.essential_pass_f(&mut fixed, halt) {
+                Ok(p) => p,
+                Err(interrupt) => return Err(abort(&mut fixed, interrupt)),
+            };
+            if !shrank && !progressed {
                 break;
             }
-            fixed.extend(ess);
         }
         fixed.sort_unstable();
-        fixed
+        Ok(fixed)
     }
 
     /// Decodes the residual family into an explicit matrix.
@@ -256,6 +468,10 @@ impl ImplicitMatrix {
     pub fn infeasible(&self) -> bool {
         self.zdd.contains_empty(self.rows)
     }
+}
+
+fn overflow_panic<T>(e: ZddOverflow) -> T {
+    panic!("{e} during implicit reduction (use try_reduce_until_small to recover)")
 }
 
 #[cfg(test)]

@@ -76,6 +76,9 @@ impl FromStr for CoverMatrix {
     type Err = ParseMatrixError;
 
     fn from_str(s: &str) -> Result<Self, ParseMatrixError> {
+        ucp_failpoints::fail_point!("cover::parse_matrix", |payload: String| Err(
+            ParseMatrixError::Inconsistent(payload)
+        ));
         let mut dims: Option<(usize, usize)> = None;
         let mut costs: Option<Vec<f64>> = None;
         let mut rows: Vec<Vec<usize>> = Vec::new();

@@ -30,16 +30,20 @@
 //! ```
 
 mod core_driver;
+mod halt;
 mod implicit;
 mod io;
 mod matrix;
 mod partition;
 mod reduce;
 
-pub use core_driver::{cyclic_core, cyclic_core_probed, CoreOptions, CoreResult};
-pub use implicit::ImplicitMatrix;
+pub use core_driver::{
+    cyclic_core, cyclic_core_halted, cyclic_core_probed, CoreAbort, CoreOptions, CoreResult,
+};
+pub use halt::{CancelFlag, Halt, HaltReason};
+pub use implicit::{ImplicitMatrix, ReduceAbort, ReduceInterrupt};
 pub use io::ParseMatrixError;
 pub use matrix::{CoverMatrix, Solution};
 pub use partition::{is_partitionable, partition, partition_count, Block};
 pub use reduce::{Reducer, ReductionStats};
-pub use zdd::{ZddOptions, ZddStats};
+pub use zdd::{ZddOptions, ZddOverflow, ZddStats};

@@ -2,7 +2,7 @@
 //! [`SubmitError`].
 
 use std::sync::mpsc;
-use ucp_core::{CancelFlag, ScgOutcome};
+use ucp_core::{CancelFlag, ScgOutcome, ZddOverflow};
 
 /// Engine-unique job identifier, in submission order starting at 1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -31,6 +31,9 @@ pub enum JobError {
     /// The solve panicked; the payload message is preserved. The worker
     /// thread survives and moves on to the next job.
     Panicked(String),
+    /// The solve exhausted its ZDD node budget, and so did the engine's
+    /// one automatic retry under the explicit-only degraded preset.
+    ResourceExhausted(ZddOverflow),
     /// The engine shut down before the job could report a result.
     EngineClosed,
 }
@@ -41,12 +44,22 @@ impl std::fmt::Display for JobError {
             JobError::Cancelled => f.write_str("job cancelled"),
             JobError::Expired => f.write_str("deadline budget spent before the job started"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::ResourceExhausted(_) => {
+                f.write_str("job exhausted its resource budget, even after a degraded retry")
+            }
             JobError::EngineClosed => f.write_str("engine shut down before the job finished"),
         }
     }
 }
 
-impl std::error::Error for JobError {}
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::ResourceExhausted(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Why [`Engine::submit`](crate::Engine::submit) refused a request —
 /// the admission-control half of the API.

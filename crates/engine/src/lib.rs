@@ -112,6 +112,16 @@ pub struct EngineStats {
     pub expired: u64,
     /// Jobs that resolved to [`JobError::Panicked`].
     pub panicked: u64,
+    /// Jobs whose solve fell back to the explicit representation after
+    /// exhausting its ZDD node budget — in-solve degradations and
+    /// successful engine-level degraded retries both count.
+    pub degraded: u64,
+    /// Jobs the engine retried once under the explicit-only degraded
+    /// preset after [`SolveError::ResourceExhausted`].
+    pub retried: u64,
+    /// Jobs that resolved to [`JobError::ResourceExhausted`] — the
+    /// degraded retry was impossible or also exhausted.
+    pub exhausted: u64,
     /// Jobs currently waiting in the queue.
     pub queued: u64,
     /// Jobs currently running on a worker.
@@ -140,6 +150,9 @@ struct Counters {
     cancelled: AtomicU64,
     expired: AtomicU64,
     panicked: AtomicU64,
+    degraded: AtomicU64,
+    retried: AtomicU64,
+    exhausted: AtomicU64,
     running: AtomicU64,
 }
 
@@ -279,6 +292,9 @@ impl Engine {
             cancelled: c.cancelled.load(Ordering::Relaxed),
             expired: c.expired.load(Ordering::Relaxed),
             panicked: c.panicked.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            retried: c.retried.load(Ordering::Relaxed),
+            exhausted: c.exhausted.load(Ordering::Relaxed),
             queued,
             running: c.running.load(Ordering::Relaxed),
         }
@@ -334,13 +350,14 @@ fn worker_loop(shared: &Shared) {
         };
         shared.not_full.notify_one();
         shared.counters.running.fetch_add(1, Ordering::Relaxed);
-        let result = run_job(job.request, &job.cancel, job.submitted_at);
+        let result = run_job(job.request, &job.cancel, job.submitted_at, &shared.counters);
         shared.counters.running.fetch_sub(1, Ordering::Relaxed);
         let counter = match &result {
             Ok(_) => &shared.counters.completed,
             Err(JobError::Cancelled) => &shared.counters.cancelled,
             Err(JobError::Expired) => &shared.counters.expired,
             Err(JobError::Panicked(_)) => &shared.counters.panicked,
+            Err(JobError::ResourceExhausted(_)) => &shared.counters.exhausted,
             Err(_) => &shared.counters.completed,
         };
         counter.fetch_add(1, Ordering::Relaxed);
@@ -354,7 +371,11 @@ fn run_job(
     mut request: SolveRequest<'static>,
     cancel: &CancelFlag,
     submitted_at: Instant,
+    counters: &Counters,
 ) -> JobResult {
+    ucp_failpoints::fail_point!("engine::job", |payload: String| Err(JobError::Panicked(
+        payload
+    )));
     if cancel.is_cancelled() {
         return Err(JobError::Cancelled);
     }
@@ -367,9 +388,51 @@ fn run_job(
             None => return Err(JobError::Expired),
         }
     }
-    match catch_unwind(AssertUnwindSafe(move || Scg::run(request))) {
-        Ok(Ok(outcome)) => Ok(outcome),
+    // Saved up front — the solve consumes the request, and a budget
+    // exhaustion earns one retry under the explicit-only degraded
+    // preset (which allocates no ZDD nodes at all).
+    let retry_matrix = request.shared_matrix();
+    let retry_opts = *request.opts();
+    let solve_started = Instant::now();
+    let exhausted = match catch_unwind(AssertUnwindSafe(move || Scg::run(request))) {
+        Ok(Ok(outcome)) => {
+            if outcome.degraded {
+                counters.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            return Ok(outcome);
+        }
+        Ok(Err(SolveError::Cancelled)) => return Err(JobError::Cancelled),
+        Ok(Err(SolveError::Expired)) => return Err(JobError::Expired),
+        Ok(Err(SolveError::ResourceExhausted(e))) => e,
+        Ok(Err(other)) => {
+            return Err(JobError::Panicked(format!(
+                "unexpected solve error: {other}"
+            )))
+        }
+        Err(payload) => return Err(JobError::Panicked(panic_message(&payload))),
+    };
+    let Some(m) = retry_matrix else {
+        return Err(JobError::ResourceExhausted(exhausted));
+    };
+    counters.retried.fetch_add(1, Ordering::Relaxed);
+    let mut opts = retry_opts;
+    opts.core.use_implicit = false;
+    // The retry still races the job's original deadline budget.
+    if let Some(budget) = opts.time_limit {
+        match budget.checked_sub(solve_started.elapsed()) {
+            Some(remaining) => opts.time_limit = Some(remaining),
+            None => return Err(JobError::Expired),
+        }
+    }
+    let retry = SolveRequest::for_shared(m).options(opts).cancel(cancel);
+    match catch_unwind(AssertUnwindSafe(move || Scg::run(retry))) {
+        Ok(Ok(outcome)) => {
+            counters.degraded.fetch_add(1, Ordering::Relaxed);
+            Ok(outcome)
+        }
         Ok(Err(SolveError::Cancelled)) => Err(JobError::Cancelled),
+        Ok(Err(SolveError::Expired)) => Err(JobError::Expired),
+        Ok(Err(SolveError::ResourceExhausted(e))) => Err(JobError::ResourceExhausted(e)),
         Ok(Err(other)) => Err(JobError::Panicked(format!(
             "unexpected solve error: {other}"
         ))),
@@ -587,6 +650,39 @@ mod tests {
         let stats = engine.shutdown();
         assert_eq!(stats.expired, 1);
         assert_eq!(stats.cancelled, 1);
+    }
+
+    #[test]
+    fn exhausted_job_is_retried_under_the_degraded_preset() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 4,
+        });
+        // A 12-cycle plus chords: encoding it needs well over 16 ZDD
+        // nodes, so the tiny budget (with in-solve degradation off)
+        // exhausts and the engine retries explicit-only.
+        let n = 12usize;
+        let mut rows: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+        rows.push((0..n).step_by(2).collect());
+        rows.push((0..n).step_by(3).collect());
+        let m = Arc::new(CoverMatrix::from_rows(n, rows));
+        let mut explicit = ucp_core::ScgOptions::default();
+        explicit.core.use_implicit = false;
+        let baseline =
+            Scg::run(SolveRequest::for_shared(Arc::clone(&m)).options(explicit)).unwrap();
+        let mut starved = ucp_core::ScgOptions::default();
+        starved.core.degrade = false;
+        starved.core.kernel = starved.core.kernel.node_budget(16);
+        let job = engine
+            .submit(SolveRequest::for_shared(Arc::clone(&m)).options(starved))
+            .unwrap();
+        let out = job.wait().expect("the degraded retry should succeed");
+        assert_eq!(out.cost, baseline.cost);
+        let stats = engine.shutdown();
+        assert_eq!(stats.retried, 1);
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.exhausted, 0);
     }
 
     #[test]

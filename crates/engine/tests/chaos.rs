@@ -1,0 +1,153 @@
+//! Engine chaos: a mixed batch of healthy, budget-starved, panicking,
+//! pre-cancelled and already-expired jobs, with a failpoint stalling the
+//! implicit reductions to shuffle worker timing. Every job must resolve
+//! to its own failure mode without contaminating a neighbour, and
+//! [`EngineStats`] must reconcile exactly with the batch composition.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ucp_core::{CancelFlag, Scg, ScgOptions, SolveRequest};
+use ucp_engine::{Engine, EngineConfig, JobError, JobHandle};
+use ucp_failpoints::{configure, FailConfig, FailScenario};
+use ucp_telemetry::{Event, Probe};
+
+/// A trace sink that detonates on the first event it sees.
+struct PanicProbe;
+
+impl Probe for PanicProbe {
+    fn record(&mut self, _event: Event) {
+        panic!("chaos probe detonated");
+    }
+}
+
+fn cycle(n: usize) -> cover::CoverMatrix {
+    cover::CoverMatrix::from_rows(n, (0..n).map(|i| vec![i, (i + 1) % n]).collect())
+}
+
+/// 12-cycle plus chords: encoding it needs well over 16 ZDD nodes, so a
+/// 16-node budget with in-solve degradation off forces the engine's
+/// explicit-only retry.
+fn hard_matrix() -> cover::CoverMatrix {
+    let n = 12usize;
+    let mut rows: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+    rows.push((0..n).step_by(2).collect());
+    rows.push((0..n).step_by(3).collect());
+    cover::CoverMatrix::from_rows(n, rows)
+}
+
+#[test]
+fn mixed_chaos_batch_reconciles_exactly() {
+    let _scenario = FailScenario::setup();
+    // Stall the first 16 implicit op boundaries by a millisecond each:
+    // perturbs worker interleaving without changing any outcome.
+    configure("cover::implicit_op", FailConfig::sleep_ms(1).times(16));
+
+    let plain_m = Arc::new(cycle(9));
+    let hard_m = Arc::new(hard_matrix());
+    let opts = ScgOptions {
+        num_iter: 20,
+        ..ScgOptions::default()
+    };
+    let mut starved = opts;
+    starved.core.degrade = false;
+    starved.core.kernel = starved.core.kernel.node_budget(16);
+    let mut explicit = opts;
+    explicit.core.use_implicit = false;
+    let baseline = Scg::run(SolveRequest::for_shared(Arc::clone(&hard_m)).options(explicit))
+        .expect("explicit baseline solves");
+
+    let engine = Engine::start(EngineConfig {
+        workers: 4,
+        queue_capacity: 32,
+    });
+    let mut plain: Vec<JobHandle> = Vec::new();
+    let mut budgeted: Vec<JobHandle> = Vec::new();
+    let mut panicking: Vec<JobHandle> = Vec::new();
+    let mut cancelled: Vec<JobHandle> = Vec::new();
+    let mut expired: Vec<JobHandle> = Vec::new();
+    // Round-robin submission so the failure modes interleave in the
+    // queue instead of arriving in tidy blocks.
+    for i in 0..8 {
+        plain.push(
+            engine
+                .submit(SolveRequest::for_shared(Arc::clone(&plain_m)).options(opts))
+                .unwrap(),
+        );
+        if i >= 6 {
+            continue;
+        }
+        budgeted.push(
+            engine
+                .submit(SolveRequest::for_shared(Arc::clone(&hard_m)).options(starved))
+                .unwrap(),
+        );
+        panicking.push(
+            engine
+                .submit(
+                    SolveRequest::for_shared(Arc::clone(&plain_m))
+                        .options(opts)
+                        .trace_sink(Box::new(PanicProbe)),
+                )
+                .unwrap(),
+        );
+        let pre_tripped = CancelFlag::new();
+        pre_tripped.cancel();
+        cancelled.push(
+            engine
+                .submit(
+                    SolveRequest::for_shared(Arc::clone(&plain_m))
+                        .options(opts)
+                        .cancel(&pre_tripped),
+                )
+                .unwrap(),
+        );
+        expired.push(
+            engine
+                .submit(
+                    SolveRequest::for_shared(Arc::clone(&plain_m))
+                        .options(opts)
+                        .deadline(Duration::from_nanos(1)),
+                )
+                .unwrap(),
+        );
+    }
+
+    for job in plain {
+        let out = job.wait().expect("plain job completes");
+        assert!(out.solution.is_feasible(&plain_m));
+        assert!(!out.degraded);
+    }
+    for job in budgeted {
+        let out = job.wait().expect("starved job completes via the retry");
+        assert_eq!(out.cost, baseline.cost, "retry changed the cover cost");
+    }
+    for job in panicking {
+        match job.wait() {
+            Err(JobError::Panicked(msg)) => {
+                assert!(msg.contains("detonated"), "got: {msg}")
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+    for job in cancelled {
+        assert_eq!(job.wait().unwrap_err(), JobError::Cancelled);
+    }
+    for job in expired {
+        assert_eq!(job.wait().unwrap_err(), JobError::Expired);
+    }
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.submitted, 32);
+    assert_eq!(stats.completed, 14, "8 plain + 6 retried");
+    assert_eq!(stats.panicked, 6);
+    assert_eq!(stats.cancelled, 6);
+    assert_eq!(stats.expired, 6);
+    assert_eq!(stats.retried, 6);
+    assert_eq!(stats.degraded, 6);
+    assert_eq!(stats.exhausted, 0);
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.running, 0);
+}

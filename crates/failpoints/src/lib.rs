@@ -1,0 +1,376 @@
+//! Deterministic named failpoints for fault-injection testing.
+//!
+//! A *failpoint* is a named hook compiled into production code paths —
+//! ZDD node allocation, the engine worker loop, the trace sink — that
+//! does nothing until a test arms it with a [`FailConfig`]. Armed sites
+//! can panic, stall, or short-circuit the enclosing function with an
+//! injected payload, which lets tests drive rare failure paths (node
+//! exhaustion, disk-full trace sinks, crashing workers) on demand.
+//!
+//! The design follows the `fail` crate (fail-rs):
+//!
+//! * Instrumented code calls [`fail_point!`] unconditionally. With the
+//!   `failpoints` cargo feature **off** (the default) the macro expands
+//!   to nothing, so instrumented crates compile exactly as if the sites
+//!   did not exist — zero runtime cost, zero code size.
+//! * With the feature **on**, every evaluation consults a global
+//!   registry keyed by site name. Unarmed sites cost one mutex lock and
+//!   a hash lookup; armed sites perform their configured action.
+//!
+//! Unlike fail-rs, activation is **deterministic**: a site triggers
+//! based on its per-name evaluation counter (skip the first `skip`
+//! evaluations, then act at most `times` times) and, optionally, on a
+//! seeded SplitMix64 stream ([`FailConfig::one_in`]) so "fail one in N,
+//! reproducibly" scenarios replay bit-identically across runs.
+//!
+//! Tests that arm failpoints share global state; wrap each one in a
+//! [`FailScenario`] to serialize against other such tests and to
+//! guarantee cleanup even on panic (the scenario clears the registry
+//! both when it starts and when it drops).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when it triggers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic with the given message (prefixed by the site name).
+    Panic(String),
+    /// Sleep for the given number of milliseconds, then continue.
+    Sleep(u64),
+    /// Short-circuit the enclosing function: the two-argument form of
+    /// [`fail_point!`] receives this payload and `return`s its closure's
+    /// value. The one-argument form ignores `Return` actions.
+    Return(String),
+}
+
+/// Arming descriptor for one failpoint site.
+///
+/// Built with [`FailConfig::panic`], [`FailConfig::sleep_ms`] or
+/// [`FailConfig::ret`], then refined with [`skip`](FailConfig::skip),
+/// [`times`](FailConfig::times) and [`one_in`](FailConfig::one_in).
+#[derive(Clone, Debug)]
+pub struct FailConfig {
+    action: FailAction,
+    skip: u64,
+    times: Option<u64>,
+    one_in: Option<(u64, u64)>,
+}
+
+impl FailConfig {
+    fn with_action(action: FailAction) -> Self {
+        FailConfig {
+            action,
+            skip: 0,
+            times: None,
+            one_in: None,
+        }
+    }
+
+    /// Panic when triggered.
+    pub fn panic() -> Self {
+        FailConfig::with_action(FailAction::Panic("injected panic".into()))
+    }
+
+    /// Panic with a custom message when triggered.
+    pub fn panic_msg(msg: impl Into<String>) -> Self {
+        FailConfig::with_action(FailAction::Panic(msg.into()))
+    }
+
+    /// Sleep for `ms` milliseconds when triggered, then continue.
+    pub fn sleep_ms(ms: u64) -> Self {
+        FailConfig::with_action(FailAction::Sleep(ms))
+    }
+
+    /// Short-circuit the enclosing function with `payload` (only at
+    /// sites using the two-argument [`fail_point!`] form).
+    pub fn ret(payload: impl Into<String>) -> Self {
+        FailConfig::with_action(FailAction::Return(payload.into()))
+    }
+
+    /// Skip the first `n` evaluations of the site before triggering.
+    pub fn skip(mut self, n: u64) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Trigger at most `n` times; later evaluations pass through.
+    pub fn times(mut self, n: u64) -> Self {
+        self.times = Some(n);
+        self
+    }
+
+    /// Trigger only on evaluations where a SplitMix64 stream seeded
+    /// with `seed` and indexed by the site's evaluation counter lands on
+    /// a multiple of `n` — a deterministic, replayable "one in N".
+    /// `n == 0` is treated as 1 (always eligible).
+    pub fn one_in(mut self, seed: u64, n: u64) -> Self {
+        self.one_in = Some((seed, n.max(1)));
+        self
+    }
+}
+
+struct Site {
+    config: Option<FailConfig>,
+    /// Evaluations seen (armed or not, triggered or not).
+    evals: u64,
+    /// Times the action actually ran.
+    fired: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Site>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_registry() -> MutexGuard<'static, HashMap<String, Site>> {
+    // A panic action fires *after* the lock is released, so poisoning
+    // only happens if a test itself dies elsewhere; recover the map.
+    registry()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The reference SplitMix64 step, kept local so the crate has no
+/// dependencies and the stream is stable forever.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Arms (or re-arms) the named site. Resets its counters.
+pub fn configure(name: impl Into<String>, config: FailConfig) {
+    let name = name.into();
+    lock_registry().insert(
+        name,
+        Site {
+            config: Some(config),
+            evals: 0,
+            fired: 0,
+        },
+    );
+}
+
+/// Arms the named site and returns a guard that disarms it on drop.
+#[must_use = "the failpoint is disarmed when the guard drops"]
+pub fn guard(name: impl Into<String>, config: FailConfig) -> FailGuard {
+    let name = name.into();
+    configure(name.clone(), config);
+    FailGuard { name }
+}
+
+/// Disarms the named site (its counters are forgotten).
+pub fn remove(name: &str) {
+    lock_registry().remove(name);
+}
+
+/// Disarms every site.
+pub fn clear_all() {
+    lock_registry().clear();
+}
+
+/// How many times the named site has been evaluated since it was armed.
+pub fn evals(name: &str) -> u64 {
+    lock_registry().get(name).map_or(0, |s| s.evals)
+}
+
+/// How many times the named site's action has fired since it was armed.
+pub fn fired(name: &str) -> u64 {
+    lock_registry().get(name).map_or(0, |s| s.fired)
+}
+
+/// RAII guard from [`guard`]: disarms its site when dropped.
+pub struct FailGuard {
+    name: String,
+}
+
+impl Drop for FailGuard {
+    fn drop(&mut self) {
+        remove(&self.name);
+    }
+}
+
+/// Serializes failpoint-using tests and guarantees a clean registry.
+///
+/// Holds a global lock for its lifetime; the registry is cleared both
+/// on [`setup`](FailScenario::setup) and on drop, so a panicking test
+/// cannot leak armed sites into the next scenario.
+pub struct FailScenario {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl FailScenario {
+    /// Begins a scenario: blocks until no other scenario is active,
+    /// then clears the registry.
+    pub fn setup() -> Self {
+        static SERIAL: Mutex<()> = Mutex::new(());
+        let serial = SERIAL
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        clear_all();
+        FailScenario { _serial: serial }
+    }
+}
+
+impl Drop for FailScenario {
+    fn drop(&mut self) {
+        clear_all();
+    }
+}
+
+/// Decides and performs the action for one evaluation of `name`.
+/// Returns the payload if the site fired a [`FailAction::Return`].
+///
+/// This is the runtime behind [`fail_point!`]; instrumented code should
+/// use the macro, not call this directly.
+pub fn eval_payload(name: &str) -> Option<String> {
+    let action = {
+        let mut reg = lock_registry();
+        let site = reg.get_mut(name)?;
+        let hit = site.evals;
+        site.evals += 1;
+        let config = site.config.as_ref()?;
+        if hit < config.skip {
+            return None;
+        }
+        if let Some(times) = config.times {
+            if site.fired >= times {
+                return None;
+            }
+        }
+        if let Some((seed, n)) = config.one_in {
+            if !splitmix64(seed.wrapping_add(hit)).is_multiple_of(n) {
+                return None;
+            }
+        }
+        site.fired += 1;
+        config.action.clone()
+        // Lock drops here: panic/sleep must not poison or hold it.
+    };
+    match action {
+        FailAction::Panic(msg) => panic!("failpoint {name}: {msg}"),
+        FailAction::Sleep(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        FailAction::Return(payload) => Some(payload),
+    }
+}
+
+/// Like [`eval_payload`] but for sites that cannot short-circuit:
+/// `Return` payloads are swallowed.
+pub fn eval(name: &str) {
+    let _ = eval_payload(name);
+}
+
+/// Marks a named fault-injection site.
+///
+/// `fail_point!("crate::site")` — evaluate the site; an armed `Panic`
+/// or `Sleep` action acts here, `Return` is ignored.
+///
+/// `fail_point!("crate::site", |payload: String| expr)` — additionally,
+/// an armed `Return` action makes the *enclosing function* `return` the
+/// closure's value.
+///
+/// With the `failpoints` feature off both forms expand to nothing.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        $crate::eval($name);
+    };
+    ($name:expr, $body:expr) => {
+        if let ::std::option::Option::Some(__fp_payload) = $crate::eval_payload($name) {
+            #[allow(clippy::redundant_closure_call)]
+            return ($body)(__fp_payload);
+        }
+    };
+}
+
+/// Marks a named fault-injection site (disabled build: expands to nothing).
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {};
+    ($name:expr, $body:expr) => {};
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_do_nothing() {
+        let _s = FailScenario::setup();
+        assert_eq!(eval_payload("nope"), None);
+        assert_eq!(evals("nope"), 0);
+    }
+
+    #[test]
+    fn skip_and_times_window_is_exact() {
+        let _s = FailScenario::setup();
+        configure("w", FailConfig::ret("x").skip(2).times(3));
+        let hits: Vec<bool> = (0..8).map(|_| eval_payload("w").is_some()).collect();
+        assert_eq!(hits, [false, false, true, true, true, false, false, false]);
+        assert_eq!(evals("w"), 8);
+        assert_eq!(fired("w"), 3);
+    }
+
+    #[test]
+    fn one_in_stream_is_deterministic() {
+        let _s = FailScenario::setup();
+        configure("d", FailConfig::ret("x").one_in(42, 4));
+        let first: Vec<bool> = (0..64).map(|_| eval_payload("d").is_some()).collect();
+        configure("d", FailConfig::ret("x").one_in(42, 4));
+        let second: Vec<bool> = (0..64).map(|_| eval_payload("d").is_some()).collect();
+        assert_eq!(first, second);
+        let expected: Vec<bool> = (0..64u64)
+            .map(|h| splitmix64(42 + h).is_multiple_of(4))
+            .collect();
+        assert_eq!(first, expected);
+        assert!(first.iter().any(|&b| b) && !first.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        let _s = FailScenario::setup();
+        {
+            let _g = guard("g", FailConfig::ret("x"));
+            assert_eq!(eval_payload("g"), Some("x".into()));
+        }
+        assert_eq!(eval_payload("g"), None);
+    }
+
+    #[test]
+    fn panic_action_panics_with_site_name() {
+        let _s = FailScenario::setup();
+        configure("boom", FailConfig::panic_msg("kapow"));
+        let err = std::panic::catch_unwind(|| eval("boom")).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("failpoint boom: kapow"), "{msg}");
+    }
+
+    #[test]
+    fn macro_return_form_short_circuits() {
+        let _s = FailScenario::setup();
+        fn site() -> Result<u32, String> {
+            crate::fail_point!("mret", Err);
+            Ok(7)
+        }
+        assert_eq!(site(), Ok(7));
+        configure("mret", FailConfig::ret("injected"));
+        assert_eq!(site(), Err("injected".into()));
+    }
+
+    #[test]
+    fn sleep_action_stalls() {
+        let _s = FailScenario::setup();
+        configure("z", FailConfig::sleep_ms(30));
+        let t = std::time::Instant::now();
+        eval("z");
+        assert!(t.elapsed() >= Duration::from_millis(25));
+    }
+}

@@ -42,7 +42,9 @@ pub mod espresso;
 pub mod pla;
 pub mod primes;
 
-pub use covering::{build_covering, build_covering_with, TermCost, UcpInstance};
+pub use covering::{
+    build_covering, build_covering_with, BuildCoveringError, TermCost, UcpInstance,
+};
 pub use cube::Cube;
 pub use cubelist::CubeList;
 pub use pla::{ParsePlaError, Pla, PlaType};

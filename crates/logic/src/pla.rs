@@ -247,6 +247,9 @@ impl FromStr for Pla {
     type Err = ParsePlaError;
 
     fn from_str(s: &str) -> Result<Self, ParsePlaError> {
+        ucp_failpoints::fail_point!("logic::parse_pla", |payload: String| Err(
+            ParsePlaError::BadDirective(payload)
+        ));
         let mut ni: Option<usize> = None;
         let mut no: Option<usize> = None;
         let mut pla_type = PlaType::default();

@@ -43,6 +43,21 @@ impl FixReason {
     }
 }
 
+/// Why a solve fell back from the implicit to the explicit representation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The ZDD kernel exhausted its node budget.
+    NodeBudget,
+}
+
+impl DegradeReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeReason::NodeBudget => "node_budget",
+        }
+    }
+}
+
 /// One structured trace event.
 ///
 /// Payloads are plain numbers so that building an event is cheap; sites
@@ -96,6 +111,10 @@ pub enum Event {
         gc_runs: u64,
         gc_reclaimed: u64,
     },
+    /// The solver degraded gracefully: the phase named could not finish
+    /// on its preferred (implicit) representation and the solve fell back
+    /// to the explicit path. Emitted exactly once per fallback.
+    Degraded { reason: DegradeReason, phase: Phase },
     /// A constructive run (restart) began on worker `worker`.
     RestartBegin { run: usize, worker: usize },
     /// A constructive run finished with `cost`; `best_cost` is the
@@ -120,6 +139,7 @@ impl Event {
             Event::PenaltyElim { .. } => "penalty_elim",
             Event::ColumnFix { .. } => "column_fix",
             Event::ZddKernel { .. } => "zdd_kernel",
+            Event::Degraded { .. } => "degraded",
             Event::RestartBegin { .. } => "restart_begin",
             Event::RestartEnd { .. } => "restart_end",
         }
@@ -185,6 +205,10 @@ impl Event {
                 obj.field_u64("gc_runs", *gc_runs);
                 obj.field_u64("gc_reclaimed", *gc_reclaimed);
             }
+            Event::Degraded { reason, phase } => {
+                obj.field_str("reason", reason.name());
+                obj.field_str("phase", phase.name());
+            }
             Event::RestartBegin { run, worker } => {
                 obj.field_u64("run", *run as u64);
                 obj.field_u64("worker", *worker as u64);
@@ -245,6 +269,10 @@ mod tests {
                 live_nodes: 0,
                 gc_runs: 0,
                 gc_reclaimed: 0,
+            },
+            Event::Degraded {
+                reason: DegradeReason::NodeBudget,
+                phase: Phase::ImplicitReduction,
             },
             Event::RestartBegin { run: 0, worker: 0 },
             Event::RestartEnd {

@@ -29,7 +29,7 @@ mod phase;
 mod probe;
 mod sink;
 
-pub use event::{Event, FixReason, PenaltyKind};
+pub use event::{DegradeReason, Event, FixReason, PenaltyKind};
 pub use json::{escape_json, u64_array, JsonObj};
 pub use phase::{Phase, PhaseTimes};
 pub use probe::{NoopProbe, Probe, RecordingProbe, TimedEvent};

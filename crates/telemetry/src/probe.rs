@@ -43,6 +43,14 @@ pub trait Probe {
     fn enabled(&self) -> bool {
         true
     }
+
+    /// Number of events this probe failed to persist (e.g. a JSONL sink
+    /// dropping lines after a sticky write error). In-memory probes never
+    /// drop, so the default is 0.
+    #[inline]
+    fn events_dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// Forwarding impl so helpers can take `&mut P` and hand it onward.
@@ -55,6 +63,11 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn enabled(&self) -> bool {
         (**self).enabled()
+    }
+
+    #[inline]
+    fn events_dropped(&self) -> u64 {
+        (**self).events_dropped()
     }
 }
 

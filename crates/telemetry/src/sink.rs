@@ -30,6 +30,7 @@ pub struct JsonlSink<W: Write> {
     start: Instant,
     error: Option<io::Error>,
     lines: u64,
+    dropped: u64,
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -39,6 +40,7 @@ impl<W: Write> JsonlSink<W> {
             start: Instant::now(),
             error: None,
             lines: 0,
+            dropped: 0,
         }
     }
 
@@ -47,14 +49,25 @@ impl<W: Write> JsonlSink<W> {
         self.lines
     }
 
+    /// Number of lines dropped because of a sticky write error (the line
+    /// that hit the error counts as dropped too).
+    pub fn lines_dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Writes an arbitrary pre-built JSON object as one trace line with
     /// the standard `schema`/`t`/`event` envelope. Used by the CLI and
     /// bench binaries for lines that are not solver [`Event`]s (run
     /// headers, result summaries).
     pub fn write_line(&mut self, event_kind: &str, fill: impl FnOnce(&mut JsonObj)) {
         if self.error.is_some() {
+            self.dropped += 1;
             return;
         }
+        ucp_failpoints::fail_point!("telemetry::sink_write", |payload: String| {
+            self.error = Some(io::Error::other(payload));
+            self.dropped += 1;
+        });
         let mut obj = JsonObj::new();
         obj.field_str("schema", TRACE_SCHEMA);
         obj.field_f64("t", self.start.elapsed().as_secs_f64());
@@ -65,6 +78,7 @@ impl<W: Write> JsonlSink<W> {
         // One write_all per line so a partial write can't interleave lines.
         if let Err(e) = self.out.write_all(line.as_bytes()) {
             self.error = Some(e);
+            self.dropped += 1;
         } else {
             self.lines += 1;
         }
@@ -82,6 +96,10 @@ impl<W: Write> JsonlSink<W> {
 impl<W: Write> Probe for JsonlSink<W> {
     fn record(&mut self, event: Event) {
         self.write_line(event.kind(), |obj| event.write_fields(obj));
+    }
+
+    fn events_dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -179,6 +197,8 @@ mod tests {
         sink.record(Event::RestartBegin { run: 1, worker: 0 }); // fails
         sink.record(Event::RestartBegin { run: 2, worker: 0 }); // dropped silently
         assert_eq!(sink.lines_written(), 1);
+        assert_eq!(sink.lines_dropped(), 2);
+        assert_eq!(sink.events_dropped(), 2);
         assert!(sink.finish().is_err());
     }
 }

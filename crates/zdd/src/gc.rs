@@ -53,6 +53,7 @@ impl Zdd {
     /// assert!(z.contains_set(roots[0], &[Var(0), Var(1)]));
     /// ```
     pub fn gc(&mut self, roots: &[NodeId]) -> (Vec<NodeId>, GcStats) {
+        ucp_failpoints::fail_point!("zdd::gc");
         let before = self.nodes.len();
         // A collection is a peak-sampling boundary: the store is about to
         // shrink, so record the high-water mark it reached first.
@@ -110,6 +111,11 @@ impl Zdd {
             .max(4);
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += (before - after) as u64;
+        // Exhaustion recovery: a collection that brings the store back
+        // under budget re-opens the manager for allocation.
+        if self.exhausted && after < self.opts.node_budget {
+            self.exhausted = false;
+        }
         (
             roots.iter().map(|r| remap[r.index()]).collect(),
             GcStats { before, after },

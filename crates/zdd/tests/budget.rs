@@ -1,0 +1,136 @@
+//! Node-budget exhaustion and recovery: the Healthy → Exhausted →
+//! recovered-after-GC state machine.
+
+use zdd::{NodeId, Var, ZddOptions, APPROX_BYTES_PER_NODE};
+
+fn families(z: &mut zdd::Zdd, n: u32) -> (NodeId, NodeId) {
+    let a = z.from_sets((0..n).map(|i| vec![Var(i), Var(i + 1)]));
+    let b = z.from_sets((0..n).map(|i| vec![Var(i + 2)]));
+    (a, b)
+}
+
+#[test]
+fn overflow_is_reported_not_fatal() {
+    let mut z = ZddOptions::new().node_budget(24).auto_gc(false).build();
+    // Fill the store right up to the budget.
+    let mut acc = z.base();
+    let mut v = 0u32;
+    while z.len() < 24 {
+        acc = z.try_node(Var(1000 - v), NodeId::EMPTY, acc).unwrap();
+        v += 1;
+    }
+    let err = z.try_node(Var(10), NodeId::EMPTY, acc).unwrap_err();
+    assert_eq!(err.budget, 24);
+    assert!(err.live >= 24);
+    assert!(z.is_exhausted());
+    // Sticky: every allocating op now fails fast.
+    let single = z.try_set([Var(999)]).unwrap_err();
+    assert_eq!(single.budget, 24);
+}
+
+#[test]
+fn gc_recovery_clears_exhaustion_and_ops_retry() {
+    let mut z = ZddOptions::new().node_budget(64).auto_gc(false).build();
+    let (a, b) = families(&mut z, 6);
+    let sa = z.register_root(a);
+    let sb = z.register_root(b);
+
+    // Burn the remaining headroom on garbage until an op overflows.
+    let mut overflowed = false;
+    for i in 0..200u32 {
+        if z.try_set([Var(100 + 3 * i), Var(101 + 3 * i), Var(102 + 3 * i)])
+            .is_err()
+        {
+            overflowed = true;
+            break;
+        }
+    }
+    assert!(overflowed, "budget never tripped");
+    assert!(z.is_exhausted());
+    assert!(z.try_union(z.root(sa), z.root(sb)).is_err());
+
+    // Recovery: collect down to the registered roots, then retry.
+    let stats = z.collect();
+    assert!(stats.after < 64, "roots alone must fit the budget");
+    assert!(!z.is_exhausted(), "GC under budget clears the sticky state");
+    let u = z
+        .try_union(z.root(sa), z.root(sb))
+        .expect("op succeeds after recovery");
+
+    // The budgeted result matches an unbudgeted manager's.
+    let mut free = ZddOptions::new().build();
+    let (fa, fb) = families(&mut free, 6);
+    let fu = free.union(fa, fb);
+    assert_eq!(z.to_sets(u), free.to_sets(fu));
+}
+
+#[test]
+fn exhausted_gc_still_over_budget_stays_exhausted() {
+    let mut z = ZddOptions::new().node_budget(16).auto_gc(false).build();
+    // Root a live chain that fills the whole budget, so even a full
+    // collection cannot get back under it.
+    let mut acc = z.base();
+    let mut v = 100u32;
+    while z.len() < 16 {
+        acc = z.try_node(Var(1000 - v), NodeId::EMPTY, acc).unwrap();
+        v += 1;
+    }
+    let slot = z.register_root(acc);
+    assert!(z.try_set([Var(5), Var(6)]).is_err());
+    assert!(z.is_exhausted());
+    z.collect();
+    assert!(z.len() >= 16, "the rooted chain must survive");
+    assert!(z.is_exhausted(), "still over budget after GC");
+    // Releasing the chain and collecting again recovers.
+    z.release_root(slot);
+    z.collect();
+    assert!(!z.is_exhausted());
+    assert!(z.try_set([Var(5), Var(6)]).is_ok());
+}
+
+#[test]
+fn infallible_ops_panic_with_recovery_hint() {
+    let mut z = ZddOptions::new().node_budget(16).auto_gc(false).build();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for i in 0..100u32 {
+            let _ = z.set([Var(3 * i), Var(3 * i + 1)]);
+        }
+    }))
+    .unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .expect("panic carries a message");
+    assert!(msg.contains("node budget exhausted"), "{msg}");
+    assert!(msg.contains("try_*"), "{msg}");
+}
+
+#[test]
+fn memory_budget_mirrors_node_budget() {
+    let opts = ZddOptions::new().memory_budget(100 * APPROX_BYTES_PER_NODE);
+    assert_eq!(opts.get_node_budget(), 100);
+    let mut z = opts.build();
+    let mut tripped = false;
+    for i in 0..300u32 {
+        if z.try_set([Var(2 * i), Var(2 * i + 1)]).is_err() {
+            tripped = true;
+            break;
+        }
+    }
+    assert!(tripped, "byte budget never tripped");
+}
+
+#[test]
+fn budget_does_not_change_completed_results() {
+    // A generous budget never trips, and results are bit-identical to
+    // the unbudgeted manager.
+    let mut tight = ZddOptions::new().node_budget(1 << 16).build();
+    let mut free = ZddOptions::new().build();
+    let (ta, tb) = families(&mut tight, 12);
+    let (fa, fb) = families(&mut free, 12);
+    let tu = tight.union(ta, tb);
+    let fu = free.union(fa, fb);
+    let tm = tight.minimal(tu);
+    let fm = free.minimal(fu);
+    assert_eq!(tight.to_sets(tm), free.to_sets(fm));
+    assert!(!tight.is_exhausted());
+}

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! ucp minimize <file.pla> [-o out.pla] [--exact]   two-level minimisation
-//! ucp solve <instance> [--exact] [--preset P] [-j N|--workers N] [--trace <path>] [--stats]
-//! ucp batch <suite> [-j N] [--preset P] [--seed S]  solve a whole suite on the engine
+//! ucp solve <instance> [--exact] [--preset P] [-j N|--workers N] [--node-budget N]
+//!           [--trace <path>] [--stats]
+//! ucp batch <suite> [-j N] [--preset P] [--seed S] [--node-budget N]
 //! ucp bounds <file.ucp>                            print the bound chain
 //! ucp suite [easy|difficult|challenging]           describe the benchmark suite
 //! ```
@@ -32,6 +33,12 @@
 //! the number of *engine workers* (concurrent solves), each job prints a
 //! live completion line, and the footer reports throughput. Per-job results
 //! are identical to a serial `solve` loop for every `-j`.
+//!
+//! `--node-budget N` caps the implicit phase's ZDD store at `N` live
+//! nodes. A solve that exhausts the budget degrades to the explicit
+//! reductions and still returns the same cover (`--stats` reports the
+//! fallback); engine jobs that fail outright are retried once
+//! explicit-only.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -88,11 +95,13 @@ fn print_usage(w: &mut dyn Write) {
     let _ = writeln!(w, "  minimize <file.pla> [-o out.pla] [--exact]");
     let _ = writeln!(
         w,
-        "  solve    <instance> [--exact] [--preset P] [-j N|--workers N] [--trace <path>] [--stats]"
+        "  solve    <instance> [--exact] [--preset P] [-j N|--workers N] [--node-budget N] \
+         [--trace <path>] [--stats]"
     );
     let _ = writeln!(
         w,
-        "  batch    <easy|difficult|challenging|all> [-j N] [--preset P] [--seed S]"
+        "  batch    <easy|difficult|challenging|all> [-j N] [--preset P] [--seed S] \
+         [--node-budget N]"
     );
     let _ = writeln!(w, "  bounds   <file.ucp>");
     let _ = writeln!(w, "  suite    [easy|difficult|challenging]");
@@ -144,6 +153,18 @@ fn parse_workers(args: &[String], default: usize) -> Result<usize, Box<dyn std::
             .and_then(|n| n.parse::<usize>().ok())
             .ok_or_else(|| usage("-j/--workers needs a thread count (0 = all cores)")),
         None => Ok(default),
+    }
+}
+
+/// Parses `--node-budget N` (a cap on live ZDD nodes; absent = unlimited).
+fn parse_node_budget(args: &[String]) -> Result<Option<usize>, Box<dyn std::error::Error>> {
+    match args.iter().position(|a| a == "--node-budget") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|n| n.parse::<usize>().ok())
+            .map(Some)
+            .ok_or_else(|| usage("--node-budget needs a node count")),
+        None => Ok(None),
     }
 }
 
@@ -239,6 +260,7 @@ fn cmd_solve(args: &[String]) -> CliResult {
     };
     let workers = parse_workers(args, 1)?;
     let preset = parse_preset(args)?;
+    let node_budget = parse_node_budget(args)?;
     // The instance is the first positional argument (skipping flag values).
     let mut path: Option<&String> = None;
     let mut skip_next = false;
@@ -247,7 +269,12 @@ fn cmd_solve(args: &[String]) -> CliResult {
             skip_next = false;
             continue;
         }
-        if a == "--trace" || a == "-j" || a == "--workers" || a == "--preset" {
+        if a == "--trace"
+            || a == "-j"
+            || a == "--workers"
+            || a == "--preset"
+            || a == "--node-budget"
+        {
             skip_next = true;
             continue;
         }
@@ -279,7 +306,12 @@ fn cmd_solve(args: &[String]) -> CliResult {
         return Ok(());
     }
 
-    let request = SolveRequest::for_matrix(&m).preset(preset).workers(workers);
+    let mut request = SolveRequest::for_matrix(&m).preset(preset).workers(workers);
+    if let Some(n) = node_budget {
+        let mut opts = *request.opts();
+        opts.core.kernel = opts.core.kernel.node_budget(n);
+        request = request.options(opts);
+    }
     let out = match trace_path {
         Some(trace) => {
             let file = std::fs::File::create(trace)
@@ -329,6 +361,9 @@ fn cmd_solve(args: &[String]) -> CliResult {
         out.subgradient_iterations,
         out.total_time.as_secs_f64()
     );
+    if out.degraded {
+        eprintln!("note: ZDD node budget exhausted; the solve fell back to explicit reductions");
+    }
     if stats {
         print_stats(&out)?;
     }
@@ -348,7 +383,8 @@ fn cmd_batch(args: &[String]) -> CliResult {
             skip_next = false;
             continue;
         }
-        if a == "-j" || a == "--workers" || a == "--preset" || a == "--seed" {
+        if a == "-j" || a == "--workers" || a == "--preset" || a == "--seed" || a == "--node-budget"
+        {
             skip_next = true;
             continue;
         }
@@ -369,6 +405,7 @@ fn cmd_batch(args: &[String]) -> CliResult {
     };
     let workers = parse_workers(args, 0)?;
     let preset = parse_preset(args)?;
+    let node_budget = parse_node_budget(args)?;
     let seed = match args.iter().position(|a| a == "--seed") {
         Some(i) => Some(
             args.get(i + 1)
@@ -394,6 +431,11 @@ fn cmd_batch(args: &[String]) -> CliResult {
             let mut req = SolveRequest::for_shared(Arc::new(inst.matrix.clone())).preset(preset);
             if let Some(s) = seed {
                 req = req.seed(s);
+            }
+            if let Some(n) = node_budget {
+                let mut opts = *req.opts();
+                opts.core.kernel = opts.core.kernel.node_budget(n);
+                req = req.options(opts);
             }
             engine
                 .submit(req)
@@ -441,6 +483,12 @@ fn cmd_batch(args: &[String]) -> CliResult {
         elapsed.as_secs_f64(),
         done as f64 / elapsed.as_secs_f64().max(1e-9),
     );
+    if stats.degraded > 0 || stats.retried > 0 {
+        println!(
+            "node budget pressure: {} degraded to explicit, {} retried, {} exhausted outright",
+            stats.degraded, stats.retried, stats.exhausted
+        );
+    }
     if failed > 0 {
         return Err(format!("{failed} of {total} jobs failed (stats: {stats:?})").into());
     }
@@ -495,6 +543,17 @@ fn print_stats(out: &ScgOutcome) -> CliResult {
         w,
         "  collector     {:>12} runs  {:>12} nodes reclaimed",
         z.gc_runs, z.gc_reclaimed
+    )?;
+    writeln!(w, "robustness:")?;
+    writeln!(
+        w,
+        "  degraded      {:>12}   (node budget exhausted, explicit fallback)",
+        if out.degraded { "yes" } else { "no" }
+    )?;
+    writeln!(
+        w,
+        "  dropped events{:>12}   (trace lines the sink failed to persist)",
+        out.dropped_events
     )?;
     Ok(())
 }

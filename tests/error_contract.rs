@@ -1,0 +1,90 @@
+//! Error-type contract: every public error enum in the workspace is a
+//! real `std::error::Error` — nonempty `Display`, a `source()` chain
+//! where a cause exists — so callers can box them, wrap them with
+//! `anyhow`-style adapters, and walk the chain uniformly.
+
+use std::error::Error;
+
+use ucp::cover::ParseMatrixError;
+use ucp::logic::{BuildCoveringError, ParsePlaError};
+use ucp::lp::SolveLpError;
+use ucp::ucp_core::{SolveError, ZddOverflow};
+use ucp::ucp_engine::{JobError, SubmitError};
+
+/// Walks a value through `&dyn Error`: Display must render nonempty,
+/// and the source chain must terminate.
+fn check(err: &dyn Error) {
+    assert!(!err.to_string().is_empty(), "empty Display: {err:?}");
+    let mut depth = 0usize;
+    let mut cur = err.source();
+    while let Some(e) = cur {
+        assert!(!e.to_string().is_empty(), "empty Display in chain: {e:?}");
+        depth += 1;
+        assert!(depth < 8, "unterminated source chain");
+        cur = e.source();
+    }
+}
+
+fn overflow() -> ZddOverflow {
+    ZddOverflow {
+        budget: 16,
+        live: 17,
+    }
+}
+
+#[test]
+fn every_public_error_enum_implements_error_uniformly() {
+    let errs: Vec<Box<dyn Error>> = vec![
+        Box::new(ParseMatrixError::BadHeader("p ucp".into())),
+        Box::new(ParseMatrixError::BadLine {
+            line: 3,
+            reason: "negative cost".into(),
+        }),
+        Box::new(ParseMatrixError::Inconsistent(
+            "2 rows, header said 3".into(),
+        )),
+        Box::new(ParsePlaError::MissingHeader),
+        Box::new(ParsePlaError::BadDirective(".i x".into())),
+        Box::new(ParsePlaError::BadCube {
+            line: 7,
+            reason: "wrong width".into(),
+        }),
+        Box::new(ParsePlaError::TooLarge),
+        Box::new(BuildCoveringError::TooManyInputs(99)),
+        Box::new(SolveLpError::Infeasible),
+        Box::new(SolveLpError::Unbounded),
+        Box::new(SolveLpError::IterationLimit),
+        Box::new(JobError::Cancelled),
+        Box::new(JobError::Expired),
+        Box::new(JobError::Panicked("boom".into())),
+        Box::new(JobError::ResourceExhausted(overflow())),
+        Box::new(JobError::EngineClosed),
+        Box::new(SubmitError::QueueFull),
+        Box::new(SubmitError::Closed),
+        Box::new(SolveError::Cancelled),
+        Box::new(SolveError::Expired),
+        Box::new(SolveError::ResourceExhausted(overflow())),
+        Box::new(overflow()),
+    ];
+    for err in &errs {
+        check(err.as_ref());
+    }
+}
+
+#[test]
+fn resource_exhaustion_chains_to_the_overflow_cause() {
+    for err in [
+        &JobError::ResourceExhausted(overflow()) as &dyn Error,
+        &SolveError::ResourceExhausted(overflow()) as &dyn Error,
+    ] {
+        let src = err.source().expect("exhaustion carries its cause");
+        assert_eq!(src.to_string(), overflow().to_string());
+        assert!(src.source().is_none(), "ZddOverflow is the chain root");
+    }
+}
+
+#[test]
+fn overflow_converts_into_solve_error() {
+    let e: SolveError = overflow().into();
+    assert_eq!(e, SolveError::ResourceExhausted(overflow()));
+}

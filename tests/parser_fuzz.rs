@@ -1,0 +1,68 @@
+//! Parser robustness fuzz: arbitrary byte soup and near-miss documents
+//! fed to the PLA and matrix parsers must come back as `Err`, never as a
+//! panic (a panicking parser would take down a whole batch job for one
+//! corrupt input file).
+
+use proptest::prelude::*;
+use ucp::cover::CoverMatrix;
+use ucp::logic::Pla;
+
+/// Raw soup: arbitrary bytes squeezed through lossy UTF-8.
+fn byte_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..=255, 0..256)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Near-miss documents: lines assembled from each format's own
+/// vocabulary, so the fuzz spends its cases just off the happy path
+/// (wrong widths, shuffled directives, truncated headers) instead of in
+/// the trivially-rejected region.
+fn token_soup(tokens: &'static [&'static str]) -> impl Strategy<Value = String> {
+    let token = (0..tokens.len()).prop_map(move |i| tokens[i]);
+    let line = prop::collection::vec(token, 0..6).prop_map(|ts| ts.join(" "));
+    prop::collection::vec(line, 0..12).prop_map(|ls| ls.join("\n"))
+}
+
+const PLA_TOKENS: &[&str] = &[
+    ".i", ".o", ".p", ".e", ".type", ".ilb", ".ob", "fr", "2", "3", "64", "-1", "01-", "10", "---",
+    "1", "0", "~", "#x",
+];
+
+const MATRIX_TOKENS: &[&str] = &[
+    "p",
+    "ucp",
+    "r",
+    "c",
+    "2",
+    "3",
+    "0",
+    "1",
+    "-1",
+    "99999999999999999999",
+    "#",
+    "row",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pla_parser_never_panics_on_byte_soup(s in byte_soup()) {
+        let _ = s.parse::<Pla>();
+    }
+
+    #[test]
+    fn pla_parser_never_panics_on_near_miss_documents(s in token_soup(PLA_TOKENS)) {
+        let _ = s.parse::<Pla>();
+    }
+
+    #[test]
+    fn matrix_parser_never_panics_on_byte_soup(s in byte_soup()) {
+        let _ = s.parse::<CoverMatrix>();
+    }
+
+    #[test]
+    fn matrix_parser_never_panics_on_near_miss_documents(s in token_soup(MATRIX_TOKENS)) {
+        let _ = s.parse::<CoverMatrix>();
+    }
+}
