@@ -27,6 +27,21 @@ use ucp_engine::{Engine, EngineConfig};
 use ucp_telemetry::JsonObj;
 use workloads::suite;
 
+/// The commit the snapshot was taken at, so archived `BENCH_scg.json`
+/// files can be lined up against history. `"unknown"` outside a git
+/// checkout (e.g. a source tarball).
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Runs every instance as one engine job; returns outcomes in
 /// submission order plus the batch wall time.
 fn engine_pass(
@@ -214,7 +229,9 @@ fn main() {
         1.0
     };
     let mut doc = JsonObj::new();
-    doc.field_str("schema", "ucp-bench-snapshot/1");
+    doc.field_str("schema", "ucp-bench-snapshot/2");
+    doc.field_u64("schema_version", 2);
+    doc.field_str("git_commit", &git_commit());
     doc.field_str("preset", if quick { "fast" } else { "default" });
     doc.field_u64("instances", runs.len() as u64);
     doc.field_u64("certified_optimal", certified as u64);

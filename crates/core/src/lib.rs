@@ -43,6 +43,7 @@
 pub mod bounds;
 pub mod dual;
 pub mod greedy;
+pub mod metrics;
 pub mod penalty;
 pub mod relax;
 pub mod request;
@@ -51,6 +52,7 @@ pub mod scg;
 pub mod subgradient;
 
 pub use cover::{Halt, HaltReason, ZddOptions, ZddOverflow};
+pub use metrics::SolveMetrics;
 pub use request::{CancelFlag, Preset, SolveError, SolveRequest};
 pub use restart::{restart_seed, splitmix64};
 pub use scg::{Scg, ScgOptions, ScgOutcome};

@@ -263,6 +263,10 @@ pub fn cyclic_core_halted<P: Probe>(
             live_nodes: zdd_stats.live_nodes as u64,
             gc_runs: zdd_stats.gc_runs,
             gc_reclaimed: zdd_stats.gc_reclaimed,
+            gc_pause_nanos: u64::try_from(zdd_stats.gc_pause.total().as_nanos())
+                .unwrap_or(u64::MAX),
+            gc_max_pause_nanos: u64::try_from(zdd_stats.gc_pause.max().as_nanos())
+                .unwrap_or(u64::MAX),
         });
     }
 

@@ -46,4 +46,4 @@ pub use io::ParseMatrixError;
 pub use matrix::{CoverMatrix, Solution};
 pub use partition::{is_partitionable, partition, partition_count, Block};
 pub use reduce::{Reducer, ReductionStats};
-pub use zdd::{ZddOptions, ZddOverflow, ZddStats};
+pub use zdd::{GcPauseHistogram, ZddOptions, ZddOverflow, ZddStats};

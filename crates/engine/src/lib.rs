@@ -65,7 +65,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
-use ucp_core::{CancelFlag, Scg, SolveError, SolveRequest};
+use ucp_core::{CancelFlag, Scg, SolveError, SolveMetrics, SolveRequest};
+use ucp_metrics::{Counter, Gauge, Histogram, MetricSnapshot, Registry};
 
 /// How an [`Engine`] is sized.
 #[derive(Clone, Copy, Debug)]
@@ -100,6 +101,11 @@ impl EngineConfig {
 
 /// A point-in-time snapshot of the engine's counters (see
 /// [`Engine::stats`]).
+///
+/// The numbers are read from the engine's metrics registry
+/// ([`Engine::registry`]), so this summary and a Prometheus scrape of
+/// the same engine always agree; [`Engine::metrics_snapshot`] adds the
+/// latency histograms this flat struct cannot carry.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Jobs accepted by `submit`/`try_submit` since start.
@@ -143,17 +149,100 @@ struct QueueState {
     closed: bool,
 }
 
-#[derive(Default)]
+/// Registry-backed engine counters: every field is an `Arc` handle into
+/// the engine's [`Registry`], so the scheduler's hot-path increments
+/// (one relaxed `fetch_add` each, same cost as the plain `AtomicU64`s
+/// they replaced) accumulate directly into the exposed metric families.
 struct Counters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    cancelled: AtomicU64,
-    expired: AtomicU64,
-    panicked: AtomicU64,
-    degraded: AtomicU64,
-    retried: AtomicU64,
-    exhausted: AtomicU64,
-    running: AtomicU64,
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    expired: Arc<Counter>,
+    panicked: Arc<Counter>,
+    degraded: Arc<Counter>,
+    retried: Arc<Counter>,
+    exhausted: Arc<Counter>,
+    running: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    /// Submission-to-dequeue wait per job. Every accepted job is
+    /// eventually dequeued (shutdown drains the queue), so this
+    /// histogram's count reconciles exactly with `submitted`.
+    queue_wait: Arc<Histogram>,
+    /// Worker-side wall clock per job, queue wait excluded. Every
+    /// dequeued job records exactly one observation whatever its
+    /// verdict, so the count reconciles with the terminal counters.
+    run_latency: Arc<Histogram>,
+    uptime: Arc<Gauge>,
+    jobs_per_second: Arc<Gauge>,
+    solve: SolveMetrics,
+}
+
+impl Counters {
+    fn register(registry: &Registry) -> Self {
+        Counters {
+            submitted: registry.counter(
+                "ucp_engine_jobs_submitted_total",
+                "Jobs accepted by submit/try_submit",
+            ),
+            completed: registry.counter(
+                "ucp_engine_jobs_completed_total",
+                "Jobs that resolved to an outcome",
+            ),
+            cancelled: registry.counter(
+                "ucp_engine_jobs_cancelled_total",
+                "Jobs that resolved to Cancelled",
+            ),
+            expired: registry.counter(
+                "ucp_engine_jobs_expired_total",
+                "Jobs whose deadline budget ran out",
+            ),
+            panicked: registry.counter(
+                "ucp_engine_jobs_panicked_total",
+                "Jobs whose solve panicked (isolated per job)",
+            ),
+            degraded: registry.counter(
+                "ucp_engine_jobs_degraded_total",
+                "Jobs that fell back to the explicit representation",
+            ),
+            retried: registry.counter(
+                "ucp_engine_jobs_retried_total",
+                "Jobs retried explicit-only after resource exhaustion",
+            ),
+            exhausted: registry.counter(
+                "ucp_engine_jobs_exhausted_total",
+                "Jobs that resolved to ResourceExhausted",
+            ),
+            running: registry.gauge("ucp_engine_jobs_running", "Jobs currently on a worker"),
+            queue_depth: registry.gauge("ucp_engine_queue_depth", "Jobs waiting in the queue"),
+            queue_wait: registry.histogram(
+                "ucp_engine_queue_wait_seconds",
+                "Submission-to-dequeue wait per job",
+                &Histogram::latency_buckets(),
+            ),
+            run_latency: registry.histogram(
+                "ucp_engine_run_seconds",
+                "Worker-side wall clock per job (queue wait excluded)",
+                &Histogram::latency_buckets(),
+            ),
+            uptime: registry.gauge(
+                "ucp_engine_uptime_seconds",
+                "Seconds since the engine started",
+            ),
+            jobs_per_second: registry.gauge(
+                "ucp_engine_jobs_per_second",
+                "Terminal jobs per second of uptime",
+            ),
+            solve: SolveMetrics::register(registry),
+        }
+    }
+
+    fn terminal(&self) -> u64 {
+        self.completed.get()
+            + self.cancelled.get()
+            + self.expired.get()
+            + self.panicked.get()
+            + self.exhausted.get()
+    }
 }
 
 struct Shared {
@@ -162,6 +251,8 @@ struct Shared {
     not_full: Condvar,
     capacity: usize,
     counters: Counters,
+    registry: Arc<Registry>,
+    started: Instant,
 }
 
 /// A long-lived batch solve engine (see the crate docs for the
@@ -179,12 +270,15 @@ impl Engine {
     /// Starts the worker pool. Workers idle until jobs arrive and live
     /// until [`Engine::shutdown`] (or drop).
     pub fn start(config: EngineConfig) -> Self {
+        let registry = Arc::new(Registry::new());
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState::default()),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: config.queue_capacity.max(1),
-            counters: Counters::default(),
+            counters: Counters::register(&registry),
+            registry,
+            started: Instant::now(),
         });
         let workers = (0..config.resolved_workers())
             .map(|i| {
@@ -273,10 +367,11 @@ impl Engine {
             submitted_at: Instant::now(),
             tx,
         });
+        self.shared.counters.submitted.inc();
         self.shared
             .counters
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
+            .queue_depth
+            .set(state.jobs.len() as f64);
         drop(state);
         self.shared.not_empty.notify_one();
         JobHandle { id, cancel, rx }
@@ -287,17 +382,49 @@ impl Engine {
         let queued = self.shared.state.lock().unwrap().jobs.len() as u64;
         let c = &self.shared.counters;
         EngineStats {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            cancelled: c.cancelled.load(Ordering::Relaxed),
-            expired: c.expired.load(Ordering::Relaxed),
-            panicked: c.panicked.load(Ordering::Relaxed),
-            degraded: c.degraded.load(Ordering::Relaxed),
-            retried: c.retried.load(Ordering::Relaxed),
-            exhausted: c.exhausted.load(Ordering::Relaxed),
+            submitted: c.submitted.get(),
+            completed: c.completed.get(),
+            cancelled: c.cancelled.get(),
+            expired: c.expired.get(),
+            panicked: c.panicked.get(),
+            degraded: c.degraded.get(),
+            retried: c.retried.get(),
+            exhausted: c.exhausted.get(),
             queued,
-            running: c.running.load(Ordering::Relaxed),
+            running: c.running.get() as u64,
         }
+    }
+
+    /// The engine's metrics registry. Live for the engine's whole life,
+    /// so a `/metrics` endpoint can hold the `Arc` and render
+    /// [`Registry::render_prometheus`] on every scrape — engine
+    /// scheduling families (`ucp_engine_*`), per-solve solver families
+    /// (`ucp_core_*`) and kernel families (`ucp_zdd_*`) included.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// A point-in-time snapshot of every metric series, with the derived
+    /// gauges (`ucp_engine_uptime_seconds`, `ucp_engine_jobs_per_second`
+    /// and `ucp_engine_queue_depth`) refreshed first.
+    ///
+    /// The histograms reconcile exactly with [`Engine::stats`]:
+    /// `ucp_engine_queue_wait_seconds` counts every *dequeued* job (==
+    /// `submitted` once the queue is empty) and `ucp_engine_run_seconds`
+    /// every terminal one (== `completed + cancelled + expired +
+    /// panicked + exhausted`). The chaos test pins both identities.
+    pub fn metrics_snapshot(&self) -> Vec<MetricSnapshot> {
+        let c = &self.shared.counters;
+        let uptime = self.shared.started.elapsed().as_secs_f64();
+        c.uptime.set(uptime);
+        c.jobs_per_second.set(if uptime > 0.0 {
+            c.terminal() as f64 / uptime
+        } else {
+            0.0
+        });
+        c.queue_depth
+            .set(self.shared.state.lock().unwrap().jobs.len() as f64);
+        self.shared.registry.snapshot()
     }
 
     /// The pool size this engine resolved to.
@@ -338,7 +465,7 @@ fn worker_loop(shared: &Shared) {
     loop {
         let job = {
             let mut state = shared.state.lock().unwrap();
-            loop {
+            let job = loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
                 }
@@ -346,21 +473,38 @@ fn worker_loop(shared: &Shared) {
                     return;
                 }
                 state = shared.not_empty.wait(state).unwrap();
-            }
+            };
+            shared.counters.queue_depth.set(state.jobs.len() as f64);
+            job
         };
         shared.not_full.notify_one();
-        shared.counters.running.fetch_add(1, Ordering::Relaxed);
+        // Every dequeued job records its queue wait — cancelled and
+        // expired ones included — so the histogram count reconciles
+        // with the `submitted` counter once the queue drains.
+        shared
+            .counters
+            .queue_wait
+            .observe_duration(job.submitted_at.elapsed());
+        shared.counters.running.add(1.0);
+        let run_started = Instant::now();
         let result = run_job(job.request, &job.cancel, job.submitted_at, &shared.counters);
-        shared.counters.running.fetch_sub(1, Ordering::Relaxed);
+        shared
+            .counters
+            .run_latency
+            .observe_duration(run_started.elapsed());
+        shared.counters.running.add(-1.0);
         let counter = match &result {
-            Ok(_) => &shared.counters.completed,
+            Ok(outcome) => {
+                shared.counters.solve.record(outcome);
+                &shared.counters.completed
+            }
             Err(JobError::Cancelled) => &shared.counters.cancelled,
             Err(JobError::Expired) => &shared.counters.expired,
             Err(JobError::Panicked(_)) => &shared.counters.panicked,
             Err(JobError::ResourceExhausted(_)) => &shared.counters.exhausted,
             Err(_) => &shared.counters.completed,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
         // The submitter may have dropped its handle; that abandons the
         // result, not the accounting above.
         let _ = job.tx.send(result);
@@ -397,7 +541,7 @@ fn run_job(
     let exhausted = match catch_unwind(AssertUnwindSafe(move || Scg::run(request))) {
         Ok(Ok(outcome)) => {
             if outcome.degraded {
-                counters.degraded.fetch_add(1, Ordering::Relaxed);
+                counters.degraded.inc();
             }
             return Ok(outcome);
         }
@@ -414,7 +558,7 @@ fn run_job(
     let Some(m) = retry_matrix else {
         return Err(JobError::ResourceExhausted(exhausted));
     };
-    counters.retried.fetch_add(1, Ordering::Relaxed);
+    counters.retried.inc();
     let mut opts = retry_opts;
     opts.core.use_implicit = false;
     // The retry still races the job's original deadline budget.
@@ -427,7 +571,7 @@ fn run_job(
     let retry = SolveRequest::for_shared(m).options(opts).cancel(cancel);
     match catch_unwind(AssertUnwindSafe(move || Scg::run(retry))) {
         Ok(Ok(outcome)) => {
-            counters.degraded.fetch_add(1, Ordering::Relaxed);
+            counters.degraded.inc();
             Ok(outcome)
         }
         Ok(Err(SolveError::Cancelled)) => Err(JobError::Cancelled),

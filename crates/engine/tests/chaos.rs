@@ -139,6 +139,80 @@ fn mixed_chaos_batch_reconciles_exactly() {
         assert_eq!(job.wait().unwrap_err(), JobError::Expired);
     }
 
+    // Every handle has resolved, so the registry is quiescent: the
+    // metric families must reconcile exactly with the flat stats.
+    let stats_before = engine.stats();
+    let snap = engine.metrics_snapshot();
+    let counter = |name: &str| -> u64 {
+        snap.iter()
+            .find(|s| s.name == name)
+            .and_then(|s| s.as_counter())
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    let histogram = |name: &str| {
+        snap.iter()
+            .find(|s| s.name == name)
+            .and_then(|s| s.as_histogram())
+            .unwrap_or_else(|| panic!("missing histogram {name}"))
+            .clone()
+    };
+    assert_eq!(
+        counter("ucp_engine_jobs_submitted_total"),
+        stats_before.submitted
+    );
+    assert_eq!(
+        counter("ucp_engine_jobs_completed_total"),
+        stats_before.completed
+    );
+    assert_eq!(
+        counter("ucp_engine_jobs_cancelled_total"),
+        stats_before.cancelled
+    );
+    assert_eq!(
+        counter("ucp_engine_jobs_expired_total"),
+        stats_before.expired
+    );
+    assert_eq!(
+        counter("ucp_engine_jobs_panicked_total"),
+        stats_before.panicked
+    );
+    assert_eq!(
+        counter("ucp_engine_jobs_retried_total"),
+        stats_before.retried
+    );
+    assert_eq!(
+        counter("ucp_engine_jobs_degraded_total"),
+        stats_before.degraded
+    );
+    // Every submitted job was dequeued exactly once (the queue drained),
+    // and every dequeued job ran to a terminal verdict exactly once.
+    let queue_wait = histogram("ucp_engine_queue_wait_seconds");
+    assert_eq!(queue_wait.count(), stats_before.submitted);
+    let run = histogram("ucp_engine_run_seconds");
+    assert_eq!(
+        run.count(),
+        stats_before.completed
+            + stats_before.cancelled
+            + stats_before.expired
+            + stats_before.panicked
+            + stats_before.exhausted
+    );
+    // Solver families record one observation per *completed* solve.
+    assert_eq!(counter("ucp_core_solves_total"), stats_before.completed);
+    // The engine's `degraded` counts explicit-only *retries*; the retry
+    // solve itself runs explicit from the start and never falls back
+    // in-solve, so the core-level family stays at zero.
+    assert_eq!(counter("ucp_core_degraded_total"), 0);
+    // The Prometheus rendering of the same registry parses line by line.
+    let text = engine.registry().render_prometheus();
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+            "unparseable exposition line: {line:?}"
+        );
+    }
+
     let stats = engine.shutdown();
     assert_eq!(stats.submitted, 32);
     assert_eq!(stats.completed, 14, "8 plain + 6 retried");

@@ -1,0 +1,251 @@
+//! Exposition: Prometheus text format and JSON snapshots.
+
+use crate::registry::{MetricSnapshot, MetricValue, Registry};
+use std::fmt::Write as _;
+use ucp_telemetry::{escape_json, JsonObj};
+
+/// Schema tag stamped on [`Registry::render_json`] output.
+pub const METRICS_SCHEMA: &str = "ucp-metrics/1";
+
+impl Registry {
+    /// Renders every series in the Prometheus text exposition format:
+    /// one `# HELP`/`# TYPE` pair per family, `_bucket`/`_sum`/`_count`
+    /// expansion for histograms, cumulative `le` buckets ending at
+    /// `+Inf`. The output is what a `/metrics` endpoint would serve.
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for m in &snap {
+            if !seen.contains(&m.name.as_str()) {
+                seen.push(&m.name);
+                let kind = match &m.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
+                let _ = writeln!(out, "# TYPE {} {kind}", m.name);
+                // Emit every series of the family together, in
+                // registration order.
+                for s in snap.iter().filter(|s| s.name == m.name) {
+                    render_series(&mut out, s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a JSON snapshot:
+    /// `{"schema":"ucp-metrics/1","metrics":[...]}` with one object per
+    /// series (histograms carry `bounds`/`counts`/`sum`/`count`). Flat
+    /// hand-rolled JSON, same dialect as the `ucp-trace/1` lines.
+    pub fn render_json(&self) -> String {
+        let series: Vec<String> = self.snapshot().iter().map(json_series).collect();
+        let mut doc = JsonObj::new();
+        doc.field_str("schema", METRICS_SCHEMA);
+        doc.field_raw("metrics", &format!("[{}]", series.join(",")));
+        doc.finish()
+    }
+}
+
+/// Prometheus HELP lines escape backslash and newline only.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Prometheus label values additionally escape the double quote.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a label set (possibly with an extra `le` pair) as
+/// `{k="v",...}`, or nothing when empty.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_series(out: &mut String, s: &MetricSnapshot) {
+    match &s.value {
+        MetricValue::Counter(v) => {
+            let _ = writeln!(out, "{}{} {v}", s.name, label_block(&s.labels, None));
+        }
+        MetricValue::Gauge(v) => {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                s.name,
+                label_block(&s.labels, None),
+                fmt_f64(*v)
+            );
+        }
+        MetricValue::Histogram(h) => {
+            let cumulative = h.cumulative();
+            for (i, cum) in cumulative.iter().enumerate() {
+                let le = match h.bounds.get(i) {
+                    Some(b) => fmt_f64(*b),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {cum}",
+                    s.name,
+                    label_block(&s.labels, Some(&le))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                s.name,
+                label_block(&s.labels, None),
+                fmt_f64(h.sum)
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                s.name,
+                label_block(&s.labels, None),
+                h.count()
+            );
+        }
+    }
+}
+
+fn json_series(s: &MetricSnapshot) -> String {
+    let mut obj = JsonObj::new();
+    obj.field_str("name", &s.name);
+    let labels: Vec<String> = s
+        .labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    obj.field_raw("labels", &format!("{{{}}}", labels.join(",")));
+    match &s.value {
+        MetricValue::Counter(v) => {
+            obj.field_str("type", "counter");
+            obj.field_u64("value", *v);
+        }
+        MetricValue::Gauge(v) => {
+            obj.field_str("type", "gauge");
+            obj.field_f64("value", *v);
+        }
+        MetricValue::Histogram(h) => {
+            obj.field_str("type", "histogram");
+            let bounds: Vec<String> = h.bounds.iter().map(|b| format!("{b}")).collect();
+            obj.field_raw("bounds", &format!("[{}]", bounds.join(",")));
+            obj.field_raw("counts", &ucp_telemetry::u64_array(&h.counts));
+            obj.field_f64("sum", h.sum);
+            obj.field_u64("count", h.count());
+        }
+    }
+    obj.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("ucp_jobs_total", "Jobs accepted").add(3);
+        r.gauge("ucp_queue_depth", "Jobs waiting").set(2.0);
+        let h = r.histogram("ucp_wait_seconds", "Queue wait", &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        r.histogram_with(
+            "ucp_phase_seconds",
+            "Per-phase time",
+            &[1.0],
+            &[("phase", "subgradient")],
+        )
+        .observe(0.25);
+        r
+    }
+
+    #[test]
+    fn prometheus_format_is_complete() {
+        let text = sample_registry().render_prometheus();
+        assert!(text.contains("# HELP ucp_jobs_total Jobs accepted"));
+        assert!(text.contains("# TYPE ucp_jobs_total counter"));
+        assert!(text.contains("ucp_jobs_total 3"));
+        assert!(text.contains("ucp_queue_depth 2"));
+        assert!(text.contains("# TYPE ucp_wait_seconds histogram"));
+        assert!(text.contains("ucp_wait_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("ucp_wait_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("ucp_wait_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("ucp_wait_seconds_count 3"));
+        assert!(text.contains("ucp_phase_seconds_bucket{phase=\"subgradient\",le=\"1\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_parses_line_by_line() {
+        // Minimal structural check a scraper performs: every non-comment
+        // line is `name[{labels}] value` with a parseable value.
+        let text = sample_registry().render_prometheus();
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "unparseable value in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn help_and_label_escaping() {
+        let r = Registry::new();
+        r.counter_with("esc_total", "multi\nline \\ help", &[("path", "a\"b\\c")])
+            .inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP esc_total multi\\nline \\\\ help"));
+        assert!(text.contains("esc_total{path=\"a\\\"b\\\\c\"} 1"));
+    }
+
+    #[test]
+    fn json_snapshot_carries_every_series() {
+        let json = sample_registry().render_json();
+        assert!(json.starts_with("{\"schema\":\"ucp-metrics/1\""));
+        assert!(json.contains("\"name\":\"ucp_jobs_total\""));
+        assert!(json.contains("\"type\":\"histogram\""));
+        assert!(json.contains("\"counts\":[1,1,1]"));
+        assert!(json.contains("\"labels\":{\"phase\":\"subgradient\"}"));
+    }
+
+    #[test]
+    fn latency_buckets_render_without_precision_noise() {
+        let r = Registry::new();
+        r.histogram("lat_seconds", "t", &Histogram::latency_buckets());
+        let text = r.render_prometheus();
+        assert!(text.contains("le=\"0.000001\"") || text.contains("le=\"1e-6\""));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+}

@@ -1,0 +1,328 @@
+//! Fixed-bucket histograms with atomic counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A histogram over fixed, strictly increasing upper bounds, plus an
+/// implicit `+Inf` bucket. Observation is one relaxed `fetch_add` on the
+/// owning bucket (found by binary search over at most a few dozen
+/// bounds) and a CAS loop on the running sum — no locks, no allocation.
+///
+/// Buckets are chosen once at construction. Latency-shaped metrics use
+/// [`Histogram::latency_buckets`] (log-spaced, 1µs to ~67s); count-shaped
+/// metrics (iterations per solve) typically use
+/// [`Histogram::log_buckets`] with a factor of 2.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `bounds` (finite, strictly increasing
+    /// upper bucket edges; the `+Inf` bucket is added automatically).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is empty, non-finite or not strictly
+    /// increasing — bucket layout is a registration-time programmer
+    /// decision, not a runtime input.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "histogram bounds must be strictly increasing");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// `count` log-spaced bounds starting at `start`, each `factor`
+    /// times the previous.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start <= 0`, `factor <= 1` or `count == 0`.
+    pub fn log_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+        assert!(start > 0.0 && factor > 1.0 && count > 0);
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        bounds
+    }
+
+    /// The standard latency layout: 14 log-spaced bounds from 1µs to
+    /// ~67s (factor 4), covering everything from a single queue hop to a
+    /// stuck multi-minute solve at ~2 significant figures.
+    pub fn latency_buckets() -> Vec<f64> {
+        Self::log_buckets(1e-6, 4.0, 14)
+    }
+
+    /// Records one observation. `NaN` is ignored (it belongs to no
+    /// bucket); negative values land in the first bucket.
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Records a wall-clock duration in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Merges externally accumulated per-bucket counts (e.g. the ZDD
+    /// kernel's `Copy` GC-pause histogram bridged into the registry after
+    /// a solve). `counts[i]` adds to bucket `i`; `sum` adds to the
+    /// running sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `counts.len()` differs from this histogram's bucket
+    /// count (bounds plus the `+Inf` bucket).
+    pub fn absorb(&self, counts: &[u64], sum: f64) {
+        assert_eq!(
+            counts.len(),
+            self.counts.len(),
+            "absorbed bucket layout must match"
+        );
+        for (slot, &n) in self.counts.iter().zip(counts) {
+            if n > 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        if sum != 0.0 {
+            let mut cur = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + sum).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// The configured finite upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// A point-in-time copy of the bucket state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: per-bucket (non-cumulative)
+/// counts, one per bound plus the final `+Inf` bucket.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite upper bucket edges.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Cumulative counts in Prometheus `le` order (the last entry is the
+    /// total).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) from the bucket layout:
+    /// the upper bound of the bucket holding the target rank (`+Inf`
+    /// reports the last finite bound). `NaN` when empty — a bucket
+    /// estimate, good to one bucket's resolution, for dashboards and
+    /// summaries rather than exact statistics.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.bounds.get(i).copied().unwrap_or_else(|| {
+                    // +Inf bucket: report the largest finite edge.
+                    *self.bounds.last().expect("bounds are non-empty")
+                });
+            }
+        }
+        *self.bounds.last().expect("bounds are non-empty")
+    }
+
+    /// Mean of the observed values (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            f64::NAN
+        } else {
+            self.sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_the_right_values() {
+        let h = Histogram::new(&[0.1, 1.0, 10.0]);
+        h.observe(0.05); // bucket 0 (≤ 0.1)
+        h.observe(0.1); // bucket 0 (le is inclusive)
+        h.observe(0.5); // bucket 1
+        h.observe(100.0); // +Inf bucket
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 0, 1]);
+        assert_eq!(s.count(), 4);
+        assert!((s.sum - 100.65).abs() < 1e-9);
+        assert_eq!(s.cumulative(), vec![2, 3, 3, 4]);
+    }
+
+    #[test]
+    fn negative_and_nan_observations() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(-3.0); // clamped into the first bucket
+        h.observe(f64::NAN); // ignored
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 0]);
+        assert_eq!(s.sum, -3.0);
+    }
+
+    #[test]
+    fn log_buckets_are_geometric() {
+        let b = Histogram::log_buckets(1e-6, 4.0, 5);
+        assert_eq!(b.len(), 5);
+        for w in b.windows(2) {
+            assert!((w[1] / w[0] - 4.0).abs() < 1e-12);
+        }
+        let lat = Histogram::latency_buckets();
+        assert_eq!(lat.len(), 14);
+        assert!(lat[0] == 1e-6 && *lat.last().unwrap() > 60.0);
+    }
+
+    #[test]
+    fn quantile_estimates_land_in_the_right_bucket() {
+        let h = Histogram::new(&Histogram::log_buckets(1.0, 2.0, 8));
+        for _ in 0..90 {
+            h.observe(1.5); // bucket le=2
+        }
+        for _ in 0..10 {
+            h.observe(100.0); // le=128
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.quantile(0.99), 128.0);
+        assert!((s.mean() - (90.0 * 1.5 + 10.0 * 100.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_nan() {
+        let h = Histogram::new(&[1.0]);
+        assert!(h.snapshot().quantile(0.5).is_nan());
+        assert!(h.snapshot().mean().is_nan());
+    }
+
+    #[test]
+    fn absorb_merges_external_buckets() {
+        let h = Histogram::new(&[0.1, 1.0]);
+        h.observe(0.05);
+        h.absorb(&[2, 1, 4], 9.5);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![3, 1, 4]);
+        assert!((s.sum - 9.55).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_bounds() {
+        Histogram::new(&[1.0, 0.5]);
+    }
+
+    #[test]
+    fn concurrent_observations_reconcile() {
+        let h = std::sync::Arc::new(Histogram::new(&Histogram::latency_buckets()));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.observe(1e-6 * (i % 100) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

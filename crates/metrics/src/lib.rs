@@ -1,0 +1,209 @@
+//! Lock-free metrics for long-lived solver processes.
+//!
+//! The ROADMAP's solve-as-a-service direction needs the engine to behave
+//! like a server: counters that accumulate forever, gauges that track the
+//! current state, and latency histograms a scraper can poll — not the
+//! one-shot `ZddStats`/`EngineStats` structs a CLI prints once and drops.
+//! This crate is that substrate:
+//!
+//! * [`Counter`] — a monotone `AtomicU64`; one relaxed `fetch_add` per
+//!   increment, cheap enough for scheduler hot paths.
+//! * [`Gauge`] — a settable `f64` stored as atomic bits (Prometheus
+//!   gauges are floats; integer uses round-trip exactly).
+//! * [`Histogram`] — fixed log-spaced buckets chosen at registration,
+//!   one relaxed `fetch_add` per observation plus a CAS loop for the
+//!   running sum. No locks, no allocation after construction.
+//! * [`Registry`] — names, help strings and label sets for a process's
+//!   metrics, handing out `Arc` handles that stay valid for the life of
+//!   the process. Registration is idempotent: asking for the same
+//!   `(name, labels)` again returns the existing handle, so independent
+//!   subsystems can share families without coordination.
+//!
+//! Exposition is pull-based: [`Registry::render_prometheus`] writes the
+//! Prometheus text format, [`Registry::render_json`] a schema-versioned
+//! JSON snapshot, and [`Registry::snapshot`] the raw values for
+//! programmatic reconciliation (the engine's chaos tests cross-check the
+//! histograms against its own counters this way).
+//!
+//! # Example
+//!
+//! ```
+//! use ucp_metrics::{Registry, Histogram};
+//!
+//! let registry = Registry::new();
+//! let jobs = registry.counter("ucp_engine_jobs_submitted_total", "Jobs accepted");
+//! let wait = registry.histogram(
+//!     "ucp_engine_queue_wait_seconds",
+//!     "Queue wait per job",
+//!     &Histogram::latency_buckets(),
+//! );
+//! jobs.inc();
+//! wait.observe(0.002);
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("ucp_engine_jobs_submitted_total 1"));
+//! assert!(text.contains("ucp_engine_queue_wait_seconds_count 1"));
+//! ```
+
+mod expose;
+mod histogram;
+mod registry;
+
+pub use expose::METRICS_SCHEMA;
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{MetricSnapshot, MetricValue, Registry};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone event counter.
+///
+/// Increments are single relaxed `fetch_add`s — the same cost as the
+/// plain `AtomicU64` fields they replace, so a counter can sit on a
+/// scheduler or solver hot path.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous measurement (queue depth, live nodes,
+/// uptime). Stored as `f64` bits in an `AtomicU64`: Prometheus gauges
+/// are floats, and integers up to 2^53 round-trip exactly.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative). A CAS loop, so concurrent adds
+    /// never lose updates; fine off the hottest paths.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Raises the value to `v` if `v` is larger (a high-water mark).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn counter_is_safe_under_contention() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_set_add_and_max() {
+        let g = Gauge::new();
+        g.set(3.0);
+        g.add(-1.5);
+        assert_eq!(g.get(), 1.5);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 1.5, "set_max must not lower the value");
+        g.set_max(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn gauge_adds_never_lose_updates() {
+        let g = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        g.add(1.0);
+                        g.add(-1.0);
+                    }
+                    g.add(1.0);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 4.0);
+    }
+}

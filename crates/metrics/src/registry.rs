@@ -1,0 +1,296 @@
+//! The metric registry: names, help text, labels and handle lifetime.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::{Counter, Gauge};
+use std::sync::{Arc, Mutex};
+
+/// One registered time series.
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A process-lifetime collection of named metrics.
+///
+/// Registration hands out `Arc` handles; the registry keeps one clone
+/// for exposition, so handles stay valid (and cheap to update) for as
+/// long as any holder lives. Registering the same `(name, labels)` pair
+/// again returns the existing handle — subsystems share families
+/// without coordinating — while re-registering a name as a different
+/// metric kind (or a histogram with different bounds) panics, since
+/// that is a wiring bug, not a runtime condition.
+///
+/// The registry itself is a `Mutex<Vec<..>>` touched only at
+/// registration and exposition time; recording goes straight through
+/// the lock-free handles.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// Metric names follow the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); label names drop the colon.
+fn valid_name(name: &str, allow_colon: bool) -> bool {
+    let mut chars = name.chars();
+    let head = match chars.next() {
+        Some(c) => c,
+        None => return false,
+    };
+    let head_ok = head.is_ascii_alphabetic() || head == '_' || (allow_colon && head == ':');
+    head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || (allow_colon && c == ':'))
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or retrieves) a counter named `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a counter carrying `labels`.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.intern(name, help, labels, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge named `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a gauge carrying `labels`.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.intern(name, help, labels, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram over `bounds` (see
+    /// [`Histogram::new`] for the bucket contract).
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Registers (or retrieves) a histogram carrying `labels`.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        let metric = self.intern(name, help, labels, || {
+            Metric::Histogram(Arc::new(Histogram::new(bounds)))
+        });
+        match metric {
+            Metric::Histogram(h) => {
+                assert_eq!(
+                    h.bounds(),
+                    bounds,
+                    "{name} already registered with different buckets"
+                );
+                h
+            }
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    fn intern(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        build: impl FnOnce() -> Metric,
+    ) -> Metric {
+        assert!(valid_name(name, true), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k, false), "invalid label name {k:?}");
+        }
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return clone_metric(&e.metric);
+        }
+        // Same family, new label set: the kind must agree across series.
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            let new = build();
+            assert_eq!(
+                e.metric.kind(),
+                new.kind(),
+                "{name} series disagree on metric kind"
+            );
+            let handle = clone_metric(&new);
+            entries.push(Entry {
+                name: name.to_string(),
+                help: help.to_string(),
+                labels,
+                metric: new,
+            });
+            return handle;
+        }
+        let metric = build();
+        let handle = clone_metric(&metric);
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            metric,
+        });
+        handle
+    }
+
+    /// Point-in-time values of every registered series, in registration
+    /// order.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                labels: e.labels.clone(),
+                value: match &e.metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+}
+
+fn clone_metric(m: &Metric) -> Metric {
+    match m {
+        Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+        Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+        Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+    }
+}
+
+/// A point-in-time copy of one series (see [`Registry::snapshot`]).
+#[derive(Clone, Debug)]
+pub struct MetricSnapshot {
+    pub name: String,
+    pub help: String,
+    pub labels: Vec<(String, String)>,
+    pub value: MetricValue,
+}
+
+/// The value half of a [`MetricSnapshot`].
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricSnapshot {
+    /// The counter value, if this series is a counter.
+    pub fn as_counter(&self) -> Option<u64> {
+        match &self.value {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge value, if this series is a gauge.
+    pub fn as_gauge(&self) -> Option<f64> {
+        match &self.value {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram state, if this series is a histogram.
+    pub fn as_histogram(&self) -> Option<&HistogramSnapshot> {
+        match &self.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("jobs_total", "jobs");
+        let b = r.counter("jobs_total", "jobs");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same name must share one counter");
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let r = Registry::new();
+        let sub = r.histogram_with("phase_seconds", "t", &[1.0], &[("phase", "subgradient")]);
+        let con = r.histogram_with("phase_seconds", "t", &[1.0], &[("phase", "constructive")]);
+        sub.observe(0.5);
+        assert_eq!(sub.count(), 1);
+        assert_eq!(con.count(), 0);
+        assert_eq!(r.snapshot().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x_total", "x");
+        r.gauge("x_total", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_panic() {
+        Registry::new().counter("bad name", "x");
+    }
+
+    #[test]
+    fn snapshot_reports_each_kind() {
+        let r = Registry::new();
+        r.counter("c_total", "c").add(7);
+        r.gauge("g", "g").set(2.5);
+        r.histogram("h_seconds", "h", &[1.0]).observe(0.2);
+        let snap = r.snapshot();
+        assert_eq!(snap[0].as_counter(), Some(7));
+        assert_eq!(snap[1].as_gauge(), Some(2.5));
+        assert_eq!(snap[2].as_histogram().unwrap().count(), 1);
+    }
+}

@@ -110,6 +110,11 @@ pub enum Event {
         live_nodes: u64,
         gc_runs: u64,
         gc_reclaimed: u64,
+        /// Total GC pause time across the `gc_runs` collections, in
+        /// nanoseconds.
+        gc_pause_nanos: u64,
+        /// Longest single GC pause, in nanoseconds.
+        gc_max_pause_nanos: u64,
     },
     /// The solver degraded gracefully: the phase named could not finish
     /// on its preferred (implicit) representation and the solve fell back
@@ -195,6 +200,8 @@ impl Event {
                 live_nodes,
                 gc_runs,
                 gc_reclaimed,
+                gc_pause_nanos,
+                gc_max_pause_nanos,
             } => {
                 obj.field_u64("cache_hits", *cache_hits);
                 obj.field_u64("cache_misses", *cache_misses);
@@ -204,6 +211,8 @@ impl Event {
                 obj.field_u64("live_nodes", *live_nodes);
                 obj.field_u64("gc_runs", *gc_runs);
                 obj.field_u64("gc_reclaimed", *gc_reclaimed);
+                obj.field_u64("gc_pause_nanos", *gc_pause_nanos);
+                obj.field_u64("gc_max_pause_nanos", *gc_max_pause_nanos);
             }
             Event::Degraded { reason, phase } => {
                 obj.field_str("reason", reason.name());
@@ -269,6 +278,8 @@ mod tests {
                 live_nodes: 0,
                 gc_runs: 0,
                 gc_reclaimed: 0,
+                gc_pause_nanos: 0,
+                gc_max_pause_nanos: 0,
             },
             Event::Degraded {
                 reason: DegradeReason::NodeBudget,

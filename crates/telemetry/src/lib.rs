@@ -28,9 +28,13 @@ mod json;
 mod phase;
 mod probe;
 mod sink;
+pub mod trace;
 
 pub use event::{DegradeReason, Event, FixReason, PenaltyKind};
 pub use json::{escape_json, u64_array, JsonObj};
 pub use phase::{Phase, PhaseTimes};
 pub use probe::{NoopProbe, Probe, RecordingProbe, TimedEvent};
 pub use sink::{JsonlSink, TRACE_SCHEMA};
+pub use trace::{
+    folded_stacks, parse_trace, JsonValue, SubgradientTrace, TraceEvent, TraceResult, TraceSummary,
+};

@@ -1,0 +1,683 @@
+//! Trace analytics: parse `ucp-trace/1` JSONL files back into structured
+//! events and derive profiles from them.
+//!
+//! [`JsonlSink`](crate::JsonlSink) writes traces; this module is the
+//! read side — what `ucp trace <file>` is built on. It contains:
+//!
+//! * a minimal recursive-descent JSON parser ([`JsonValue`]) for the flat
+//!   dialect the sink emits (the workspace has no serde),
+//! * [`parse_trace`], validating the schema tag line by line,
+//! * [`TraceSummary`], aggregating a trace into per-phase wall-clock
+//!   times, event-kind counts, subgradient-convergence statistics and
+//!   the solve's result line,
+//! * [`folded_stacks`], rendering the phase nesting as folded-stack
+//!   lines (`solve;subgradient 123456`) consumable by standard
+//!   flamegraph tooling (`inferno-flamegraph`, `flamegraph.pl`).
+
+use crate::phase::{Phase, PhaseTimes};
+use std::io::BufRead;
+
+/// One parsed JSON value from a trace line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match; the sink never emits
+    /// duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (used per trace line).
+pub fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs never occur in our traces
+                            // (the sink escapes control characters only);
+                            // map unpaired surrogates to the replacement
+                            // character rather than failing the line.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+}
+
+/// One line of a trace: the envelope plus the event payload.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Seconds since the sink was created.
+    pub t: f64,
+    /// The event kind tag (`phase_end`, `subgradient_iter`, …).
+    pub kind: String,
+    /// The full parsed line (payload fields included).
+    pub fields: JsonValue,
+}
+
+impl TraceEvent {
+    /// Numeric payload field.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.fields.get(key).and_then(JsonValue::as_f64)
+    }
+
+    /// String payload field.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).and_then(JsonValue::as_str)
+    }
+}
+
+/// Parses a `ucp-trace/1` JSONL stream, validating every line's schema
+/// tag and envelope. Empty lines are skipped; any malformed line fails
+/// the whole parse with its line number.
+pub fn parse_trace(reader: impl BufRead) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(|e| format!("line {lineno}: read error: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(&line).map_err(|e| format!("line {lineno}: {e}"))?;
+        match value.get("schema").and_then(JsonValue::as_str) {
+            Some(crate::sink::TRACE_SCHEMA) => {}
+            Some(other) => {
+                return Err(format!("line {lineno}: unsupported schema {other:?}"));
+            }
+            None => return Err(format!("line {lineno}: missing schema tag")),
+        }
+        let t = value
+            .get("t")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("line {lineno}: missing timestamp"))?;
+        let kind = value
+            .get("event")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing event kind"))?
+            .to_string();
+        events.push(TraceEvent {
+            t,
+            kind,
+            fields: value,
+        });
+    }
+    Ok(events)
+}
+
+/// Convergence statistics of the subgradient iterations in a trace.
+///
+/// Iteration counts are exact even for sampled traces
+/// (`SubgradientOptions::trace_every > 1`): the sampler always emits the
+/// final iteration of every ascent, and ascents are delimited by the
+/// `iter` index resetting, so `iterations` is the sum of `last + 1` over
+/// ascents regardless of how many interior events were thinned.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SubgradientTrace {
+    /// Independent ascents (initial solve, per-block, per-run re-ascents).
+    pub ascents: usize,
+    /// Total ascent iterations executed across the solve.
+    pub iterations: usize,
+    /// `subgradient_iter` events present in the trace (≤ `iterations`
+    /// when the trace was sampled).
+    pub events: usize,
+    /// Lower bound carried by the first iteration event.
+    pub first_lb: f64,
+    /// Lower bound after the last iteration event (the converged bound).
+    pub final_lb: f64,
+    /// Upper bound after the last iteration event.
+    pub final_ub: f64,
+}
+
+/// The solve's `result` line, when the trace has one.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TraceResult {
+    pub cost: f64,
+    pub lower_bound: f64,
+    pub proven_optimal: bool,
+    pub total_seconds: f64,
+}
+
+/// Aggregated view of one trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Total events (all kinds, envelope lines included).
+    pub events: usize,
+    /// Events per kind, in first-appearance order.
+    pub kind_counts: Vec<(String, u64)>,
+    /// Wall-clock seconds per phase, summed from `phase_end` events —
+    /// matches the solve's `ScgOutcome::phase_times` by construction
+    /// (both accumulate the same per-phase durations).
+    pub phase_times: PhaseTimes,
+    /// Constructive runs (`restart_end` events).
+    pub restarts: usize,
+    /// Subgradient convergence statistics, absent when the trace has no
+    /// iteration events.
+    pub subgradient: Option<SubgradientTrace>,
+    /// The final `result` line, when present.
+    pub result: Option<TraceResult>,
+}
+
+impl TraceSummary {
+    /// Builds the summary from parsed events.
+    pub fn from_events(events: &[TraceEvent]) -> TraceSummary {
+        let mut summary = TraceSummary {
+            events: events.len(),
+            ..TraceSummary::default()
+        };
+        let mut sub = SubgradientTrace::default();
+        let mut prev_iter: Option<usize> = None;
+        for ev in events {
+            match summary.kind_counts.iter_mut().find(|(k, _)| *k == ev.kind) {
+                Some((_, n)) => *n += 1,
+                None => summary.kind_counts.push((ev.kind.clone(), 1)),
+            }
+            match ev.kind.as_str() {
+                "phase_end" => {
+                    if let (Some(name), Some(secs)) = (ev.str_field("phase"), ev.num("seconds")) {
+                        if let Some(phase) = Phase::ALL.iter().find(|p| p.name() == name) {
+                            summary.phase_times.add(*phase, secs);
+                        }
+                    }
+                }
+                "restart_end" => summary.restarts += 1,
+                "subgradient_iter" => {
+                    let iter = ev.num("iter").unwrap_or(0.0) as usize;
+                    // `iter` resets to 0 at the start of every ascent (the
+                    // sampler always emits iteration 0), so a non-increase
+                    // delimits ascents.
+                    match prev_iter {
+                        Some(prev) if iter > prev => {}
+                        Some(prev) => {
+                            sub.ascents += 1;
+                            sub.iterations += prev + 1;
+                        }
+                        None => sub.first_lb = ev.num("lb").unwrap_or(f64::NEG_INFINITY),
+                    }
+                    prev_iter = Some(iter);
+                    sub.events += 1;
+                    sub.final_lb = ev.num("lb").unwrap_or(sub.final_lb);
+                    sub.final_ub = ev.num("ub").unwrap_or(sub.final_ub);
+                }
+                "result" => {
+                    summary.result = Some(TraceResult {
+                        cost: ev.num("cost").unwrap_or(f64::NAN),
+                        lower_bound: ev.num("lower_bound").unwrap_or(f64::NAN),
+                        proven_optimal: ev
+                            .fields
+                            .get("proven_optimal")
+                            .and_then(JsonValue::as_bool)
+                            .unwrap_or(false),
+                        total_seconds: ev.num("total_seconds").unwrap_or(f64::NAN),
+                    });
+                }
+                _ => {}
+            }
+        }
+        if let Some(prev) = prev_iter {
+            sub.ascents += 1;
+            sub.iterations += prev + 1;
+        }
+        if sub.events > 0 {
+            summary.subgradient = Some(sub);
+        }
+        summary
+    }
+}
+
+/// Renders the trace's phase nesting as folded-stack lines:
+/// `solve;implicit_reduction 2150` — semicolon-joined frames and the
+/// frame's *exclusive* time in integer microseconds, the input format of
+/// `inferno-flamegraph` / `flamegraph.pl`.
+///
+/// Every phase hangs under a synthetic `solve` root; time between phases
+/// (greedy seeding, solution lifting) is the root's exclusive time when
+/// the trace carries a `result` line with the total. Exclusive times come
+/// from the `seconds` declared on `phase_end` events minus the declared
+/// time of directly nested phases, so a partitioned solve whose blocks
+/// re-enter `subgradient` folds all of them into one frame, exactly like
+/// repeated calls in a profile.
+pub fn folded_stacks(events: &[TraceEvent]) -> Vec<(String, u64)> {
+    let micros = |secs: f64| -> u64 {
+        if secs.is_finite() && secs > 0.0 {
+            (secs * 1e6).round() as u64
+        } else {
+            0
+        }
+    };
+    let mut totals: Vec<(String, u64)> = Vec::new();
+    let mut add = |path: String, us: u64| match totals.iter_mut().find(|(p, _)| *p == path) {
+        Some((_, t)) => *t += us,
+        None => totals.push((path, us)),
+    };
+    // (phase name, seconds declared by directly nested phases)
+    let mut stack: Vec<(&str, f64)> = Vec::new();
+    let mut root_child_seconds = 0.0;
+    let mut total_seconds: Option<f64> = None;
+    for ev in events {
+        match ev.kind.as_str() {
+            "phase_begin" => {
+                if let Some(name) = ev.str_field("phase") {
+                    if let Some(phase) = Phase::ALL.iter().find(|p| p.name() == name) {
+                        stack.push((phase.name(), 0.0));
+                    }
+                }
+            }
+            "phase_end" => {
+                let (Some(name), Some(secs)) = (ev.str_field("phase"), ev.num("seconds")) else {
+                    continue;
+                };
+                // Tolerate truncated traces: unwind to the matching frame.
+                let Some(at) = stack.iter().rposition(|(n, _)| *n == name) else {
+                    continue;
+                };
+                stack.truncate(at + 1);
+                let (_, child_seconds) = stack.pop().expect("frame at rposition");
+                let mut path = String::from("solve");
+                for (frame, _) in &stack {
+                    path.push(';');
+                    path.push_str(frame);
+                }
+                path.push(';');
+                path.push_str(name);
+                add(path, micros((secs - child_seconds).max(0.0)));
+                match stack.last_mut() {
+                    Some((_, parent_children)) => *parent_children += secs,
+                    None => root_child_seconds += secs,
+                }
+            }
+            "result" => total_seconds = ev.num("total_seconds"),
+            _ => {}
+        }
+    }
+    if let Some(total) = total_seconds {
+        add(
+            "solve".to_string(),
+            micros((total - root_child_seconds).max(0.0)),
+        );
+    }
+    totals.sort_by(|a, b| a.0.cmp(&b.0));
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::sink::JsonlSink;
+    use crate::Probe;
+
+    fn sample_trace() -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut sink = JsonlSink::new(&mut buf);
+        sink.write_line("run_header", |o| {
+            o.field_str("instance", "t.ucp");
+            o.field_u64("rows", 5);
+        });
+        for (phase, secs) in [
+            (Phase::ImplicitReduction, 0.5),
+            (Phase::ExplicitReduction, 0.25),
+        ] {
+            sink.record(Event::PhaseBegin { phase });
+            sink.record(Event::PhaseEnd {
+                phase,
+                seconds: secs,
+            });
+        }
+        sink.record(Event::PhaseBegin {
+            phase: Phase::Subgradient,
+        });
+        for (ascent, last) in [(0usize, 4usize), (1, 2)] {
+            for k in 0..=last {
+                sink.record(Event::SubgradientIter {
+                    iter: k,
+                    z_lambda: 2.0 + k as f64 * 0.1,
+                    lb: 2.0 + ascent as f64 + k as f64 * 0.1,
+                    ub: 5.0,
+                    step: 2.0,
+                    violation_norm2: 1.0,
+                });
+            }
+        }
+        sink.record(Event::PhaseEnd {
+            phase: Phase::Subgradient,
+            seconds: 1.0,
+        });
+        sink.record(Event::RestartBegin { run: 0, worker: 0 });
+        sink.record(Event::RestartEnd {
+            run: 0,
+            worker: 0,
+            cost: 3.0,
+            best_cost: 3.0,
+        });
+        sink.write_line("result", |o| {
+            o.field_f64("cost", 3.0);
+            o.field_f64("lower_bound", 2.5);
+            o.field_bool("proven_optimal", true);
+            o.field_f64("total_seconds", 2.0);
+        });
+        sink.finish().unwrap();
+        buf
+    }
+
+    #[test]
+    fn json_parser_handles_the_sink_dialect() {
+        let v = parse_json(r#"{"a":1.5,"b":"x\"y","c":[1,2],"d":null,"e":true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\"y"));
+        assert_eq!(
+            v.get("c"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(2.0)
+            ]))
+        );
+        assert_eq!(v.get("d"), Some(&JsonValue::Null));
+        assert_eq!(v.get("e").unwrap().as_bool(), Some(true));
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("{\"a\":1} trailing").is_err());
+    }
+
+    #[test]
+    fn parse_trace_validates_schema() {
+        let events = parse_trace(sample_trace().as_slice()).unwrap();
+        assert!(events.iter().all(|e| !e.kind.is_empty()));
+        let bad = b"{\"schema\":\"other/9\",\"t\":0,\"event\":\"x\"}\n";
+        assert!(parse_trace(&bad[..]).unwrap_err().contains("unsupported"));
+        let missing = b"{\"t\":0,\"event\":\"x\"}\n";
+        assert!(parse_trace(&missing[..]).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn summary_aggregates_phases_and_subgradient() {
+        let events = parse_trace(sample_trace().as_slice()).unwrap();
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.phase_times.implicit_reduction, 0.5);
+        assert_eq!(s.phase_times.subgradient, 1.0);
+        assert_eq!(s.restarts, 1);
+        let sub = s.subgradient.unwrap();
+        assert_eq!(sub.ascents, 2);
+        assert_eq!(sub.iterations, 5 + 3);
+        assert_eq!(sub.events, 8);
+        assert_eq!(sub.final_ub, 5.0);
+        let r = s.result.unwrap();
+        assert_eq!(r.cost, 3.0);
+        assert!(r.proven_optimal);
+        assert!(s
+            .kind_counts
+            .iter()
+            .any(|(k, n)| k == "subgradient_iter" && *n == 8));
+    }
+
+    #[test]
+    fn sampled_traces_keep_exact_iteration_counts() {
+        // A sampled ascent: events 0, 10, 17 (last). The summary must
+        // still count 18 iterations.
+        let mut buf = Vec::new();
+        let mut sink = JsonlSink::new(&mut buf);
+        for k in [0usize, 10, 17] {
+            sink.record(Event::SubgradientIter {
+                iter: k,
+                z_lambda: 1.0,
+                lb: 1.0,
+                ub: 2.0,
+                step: 0.5,
+                violation_norm2: 1.0,
+            });
+        }
+        sink.finish().unwrap();
+        let events = parse_trace(buf.as_slice()).unwrap();
+        let sub = TraceSummary::from_events(&events).subgradient.unwrap();
+        assert_eq!(sub.ascents, 1);
+        assert_eq!(sub.iterations, 18);
+        assert_eq!(sub.events, 3);
+    }
+
+    #[test]
+    fn folded_stacks_render_exclusive_micros() {
+        let events = parse_trace(sample_trace().as_slice()).unwrap();
+        let folded = folded_stacks(&events);
+        let get = |path: &str| {
+            folded
+                .iter()
+                .find(|(p, _)| p == path)
+                .map(|(_, us)| *us)
+                .unwrap_or_else(|| panic!("missing {path} in {folded:?}"))
+        };
+        assert_eq!(get("solve;implicit_reduction"), 500_000);
+        assert_eq!(get("solve;explicit_reduction"), 250_000);
+        assert_eq!(get("solve;subgradient"), 1_000_000);
+        // Root exclusive = total (2.0s) − phases (1.75s).
+        assert_eq!(get("solve"), 250_000);
+        // Folded lines are the flamegraph input format: frame;frame count.
+        for (path, us) in &folded {
+            assert!(!path.contains(' '));
+            assert!(*us <= 2_000_000, "{path} {us}");
+        }
+    }
+
+    #[test]
+    fn folded_stacks_fold_repeated_phases() {
+        // Partitioned solves re-enter subgradient once per block.
+        let mut buf = Vec::new();
+        let mut sink = JsonlSink::new(&mut buf);
+        for _ in 0..3 {
+            sink.record(Event::PhaseBegin {
+                phase: Phase::Subgradient,
+            });
+            sink.record(Event::PhaseEnd {
+                phase: Phase::Subgradient,
+                seconds: 0.1,
+            });
+        }
+        sink.finish().unwrap();
+        let events = parse_trace(buf.as_slice()).unwrap();
+        let folded = folded_stacks(&events);
+        assert_eq!(folded.len(), 1);
+        assert_eq!(folded[0].0, "solve;subgradient");
+        assert_eq!(folded[0].1, 300_000);
+    }
+}

@@ -14,6 +14,7 @@
 use crate::node::{Node, NodeId};
 use crate::table::UniqueTable;
 use crate::Zdd;
+use std::time::Instant;
 
 /// What a collection accomplished.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -54,6 +55,7 @@ impl Zdd {
     /// ```
     pub fn gc(&mut self, roots: &[NodeId]) -> (Vec<NodeId>, GcStats) {
         ucp_failpoints::fail_point!("zdd::gc");
+        let pause_started = Instant::now();
         let before = self.nodes.len();
         // A collection is a peak-sampling boundary: the store is about to
         // shrink, so record the high-water mark it reached first.
@@ -111,6 +113,7 @@ impl Zdd {
             .max(4);
         self.stats.gc_runs += 1;
         self.stats.gc_reclaimed += (before - after) as u64;
+        self.stats.gc_pause.record(pause_started.elapsed());
         // Exhaustion recovery: a collection that brings the store back
         // under budget re-opens the manager for allocation.
         if self.exhausted && after < self.opts.node_budget {

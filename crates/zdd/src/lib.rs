@@ -59,4 +59,4 @@ pub use iter::SetsIter;
 pub use manager::{RootId, Zdd, ZddOverflow};
 pub use node::{NodeId, Var};
 pub use options::{ZddOptions, APPROX_BYTES_PER_NODE};
-pub use stats::ZddStats;
+pub use stats::{GcPauseHistogram, ZddStats, GC_PAUSE_BOUNDS_NANOS, GC_PAUSE_BUCKETS};

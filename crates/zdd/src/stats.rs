@@ -1,5 +1,92 @@
 //! Manager-level performance counters.
 
+use std::time::Duration;
+
+/// Number of GC-pause buckets: [`GC_PAUSE_BOUNDS_NANOS`] plus the
+/// implicit overflow (`+Inf`) bucket.
+pub const GC_PAUSE_BUCKETS: usize = 8;
+
+/// Upper bucket edges of the GC pause histogram, in nanoseconds:
+/// 10µs, 100µs, 1ms, 10ms, 100ms, 1s, 10s (plus `+Inf`). Log-spaced so
+/// one layout covers both the sub-millisecond collections of sweep
+/// solves and pathological multi-second compactions.
+pub const GC_PAUSE_BOUNDS_NANOS: [u64; GC_PAUSE_BUCKETS - 1] = [
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Fixed-bucket histogram of garbage-collection pause times.
+///
+/// A `Copy` value embedded in [`ZddStats`] rather than a registry-backed
+/// histogram: the kernel stays dependency-free and its stats remain a
+/// plain snapshot, while callers that keep a metrics registry bridge the
+/// buckets across after the solve (`counts()` matches the registry
+/// histogram layout bucket-for-bucket). Recording happens only inside
+/// `Zdd::gc`, so the cost is one array increment per collection —
+/// invisible next to the collection itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcPauseHistogram {
+    counts: [u64; GC_PAUSE_BUCKETS],
+    total_nanos: u64,
+    max_nanos: u64,
+}
+
+impl GcPauseHistogram {
+    /// Records one collection's pause.
+    pub fn record(&mut self, pause: Duration) {
+        let nanos = u64::try_from(pause.as_nanos()).unwrap_or(u64::MAX);
+        let idx = GC_PAUSE_BOUNDS_NANOS
+            .iter()
+            .position(|&b| nanos <= b)
+            .unwrap_or(GC_PAUSE_BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.total_nanos = self.total_nanos.saturating_add(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Per-bucket counts (non-cumulative), one per
+    /// [`GC_PAUSE_BOUNDS_NANOS`] edge plus the overflow bucket.
+    pub fn counts(&self) -> [u64; GC_PAUSE_BUCKETS] {
+        self.counts
+    }
+
+    /// The bucket edges in seconds, for bridging into latency
+    /// histograms keyed by `f64` bounds.
+    pub fn bounds_seconds() -> [f64; GC_PAUSE_BUCKETS - 1] {
+        GC_PAUSE_BOUNDS_NANOS.map(|n| n as f64 * 1e-9)
+    }
+
+    /// Collections recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total time spent collecting.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_nanos)
+    }
+
+    /// Longest single pause.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// Accumulates another histogram (counters add, the max pause takes
+    /// the maximum).
+    pub fn merge(&mut self, other: &GcPauseHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+}
+
 /// A snapshot of the manager's internal counters.
 ///
 /// Counters accumulate from manager creation (or the last
@@ -19,7 +106,8 @@
 ///   (terminals included). It is sampled both when a snapshot is taken
 ///   and at every GC boundary, so a collection between probes cannot
 ///   hide the true peak; `live_nodes` is the store size at snapshot time.
-/// * **GC** — runs and total nodes reclaimed.
+/// * **GC** — runs, total nodes reclaimed, and a fixed-bucket pause
+///   histogram ([`GcPauseHistogram`]) recorded once per collection.
 /// * **kernel structures** — `cache_evictions` counts memoised results
 ///   overwritten by colliding entries in the fixed-size computed cache;
 ///   `unique_relocations` counts entries moved by the unique table's
@@ -61,6 +149,8 @@ pub struct ZddStats {
     pub cache_evictions: u64,
     /// Entries moved between tables by incremental unique-table rehashing.
     pub unique_relocations: u64,
+    /// Pause-time histogram of the collections counted by `gc_runs`.
+    pub gc_pause: GcPauseHistogram,
 }
 
 impl ZddStats {
@@ -108,6 +198,7 @@ impl ZddStats {
         self.gc_reclaimed += other.gc_reclaimed;
         self.cache_evictions += other.cache_evictions;
         self.unique_relocations += other.unique_relocations;
+        self.gc_pause.merge(&other.gc_pause);
     }
 }
 
@@ -158,5 +249,46 @@ mod tests {
         assert_eq!(a.unique_relocations, 6);
         assert_eq!(a.peak_nodes, 10);
         assert_eq!(a.live_nodes, 6);
+    }
+
+    #[test]
+    fn gc_pauses_land_in_log_buckets() {
+        let mut h = GcPauseHistogram::default();
+        h.record(Duration::from_micros(5)); // ≤ 10µs
+        h.record(Duration::from_micros(10)); // edge is inclusive
+        h.record(Duration::from_millis(5)); // ≤ 10ms
+        h.record(Duration::from_secs(60)); // overflow bucket
+        let counts = h.counts();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[3], 1);
+        assert_eq!(counts[GC_PAUSE_BUCKETS - 1], 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), Duration::from_secs(60));
+        assert!(h.total() > Duration::from_secs(60));
+    }
+
+    #[test]
+    fn gc_pause_merge_accumulates() {
+        let mut a = GcPauseHistogram::default();
+        a.record(Duration::from_micros(1));
+        let mut b = GcPauseHistogram::default();
+        b.record(Duration::from_secs(2));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_secs(2));
+        let s = ZddStats {
+            gc_pause: a,
+            ..ZddStats::default()
+        };
+        let mut t = ZddStats::default();
+        t.merge(&s);
+        assert_eq!(t.gc_pause.count(), 2);
+    }
+
+    #[test]
+    fn pause_bounds_convert_to_seconds() {
+        let secs = GcPauseHistogram::bounds_seconds();
+        assert!((secs[0] - 1e-5).abs() < 1e-18);
+        assert!((secs[GC_PAUSE_BUCKETS - 2] - 10.0).abs() < 1e-9);
     }
 }

@@ -3,8 +3,9 @@
 //! ```text
 //! ucp minimize <file.pla> [-o out.pla] [--exact]   two-level minimisation
 //! ucp solve <instance> [--exact] [--preset P] [-j N|--workers N] [--node-budget N]
-//!           [--trace <path>] [--stats]
+//!           [--trace <path>] [--stats] [--metrics <path>]
 //! ucp batch <suite> [-j N] [--preset P] [--seed S] [--node-budget N]
+//! ucp trace <file.jsonl> [--folded <out>]          profile a recorded trace
 //! ucp bounds <file.ucp>                            print the bound chain
 //! ucp suite [easy|difficult|challenging]           describe the benchmark suite
 //! ```
@@ -20,7 +21,17 @@
 //! `--trace <path>` streams the solver's telemetry events (phase begin/end,
 //! per-iteration subgradient state, penalty eliminations, column fixes,
 //! restarts) as schema-versioned JSON lines; `--stats` prints the phase
-//! breakdown and ZDD manager counters after the solve.
+//! breakdown and ZDD manager counters after the solve; `--metrics <path>`
+//! writes the solve's metric families (solver counters, per-phase latency
+//! histograms, ZDD kernel traffic, GC pause histogram) in Prometheus text
+//! exposition format (`-` = stdout).
+//!
+//! `ucp trace <file.jsonl>` profiles a recorded trace offline: event-kind
+//! counts, the per-phase wall-clock breakdown, subgradient convergence
+//! statistics (ascents, exact iteration counts even for sampled traces,
+//! first/final bounds) and the solve's result line. `--folded <out>`
+//! additionally writes folded-stack lines (`solve;subgradient 123456`)
+//! consumable by standard flamegraph tooling.
 //!
 //! `-j N` / `--workers N` spreads the constructive restarts (and
 //! disconnected partition blocks) over `N` threads sharing one incumbent;
@@ -49,9 +60,10 @@ use ucp::logic::{build_covering, Pla};
 use ucp::lp::DenseLp;
 use ucp::solvers::{branch_and_bound, BnbOptions};
 use ucp::ucp_core::bounds::bounds_report;
-use ucp::ucp_core::{Preset, Scg, ScgOutcome, SolveRequest};
+use ucp::ucp_core::{Preset, Scg, ScgOutcome, SolveMetrics, SolveRequest};
 use ucp::ucp_engine::{Engine, EngineConfig, JobError};
-use ucp::ucp_telemetry::JsonlSink;
+use ucp::ucp_metrics::Registry;
+use ucp::ucp_telemetry::{folded_stacks, parse_trace, JsonlSink, TraceSummary};
 use ucp::workloads::suite;
 
 fn main() -> ExitCode {
@@ -60,6 +72,7 @@ fn main() -> ExitCode {
         Some("minimize") => cmd_minimize(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
@@ -91,18 +104,19 @@ fn main() -> ExitCode {
 }
 
 fn print_usage(w: &mut dyn Write) {
-    let _ = writeln!(w, "usage: ucp <minimize|solve|batch|bounds|suite> …");
+    let _ = writeln!(w, "usage: ucp <minimize|solve|batch|trace|bounds|suite> …");
     let _ = writeln!(w, "  minimize <file.pla> [-o out.pla] [--exact]");
     let _ = writeln!(
         w,
         "  solve    <instance> [--exact] [--preset P] [-j N|--workers N] [--node-budget N] \
-         [--trace <path>] [--stats]"
+         [--trace <path>] [--stats] [--metrics <path>]"
     );
     let _ = writeln!(
         w,
         "  batch    <easy|difficult|challenging|all> [-j N] [--preset P] [--seed S] \
          [--node-budget N]"
     );
+    let _ = writeln!(w, "  trace    <file.jsonl> [--folded <out>]");
     let _ = writeln!(w, "  bounds   <file.ucp>");
     let _ = writeln!(w, "  suite    [easy|difficult|challenging]");
     let _ = writeln!(w, "  generate <instance-name> [-o out.ucp]");
@@ -258,6 +272,14 @@ fn cmd_solve(args: &[String]) -> CliResult {
         ),
         None => None,
     };
+    let metrics_path = match args.iter().position(|a| a == "--metrics") {
+        Some(i) => Some(
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .ok_or_else(|| usage("--metrics needs a file path (or - for stdout)"))?,
+        ),
+        None => None,
+    };
     let workers = parse_workers(args, 1)?;
     let preset = parse_preset(args)?;
     let node_budget = parse_node_budget(args)?;
@@ -270,6 +292,7 @@ fn cmd_solve(args: &[String]) -> CliResult {
             continue;
         }
         if a == "--trace"
+            || a == "--metrics"
             || a == "-j"
             || a == "--workers"
             || a == "--preset"
@@ -366,6 +389,26 @@ fn cmd_solve(args: &[String]) -> CliResult {
     }
     if stats {
         print_stats(&out)?;
+    }
+    if let Some(path) = metrics_path {
+        write_metrics(&out, path)?;
+    }
+    Ok(())
+}
+
+/// Renders the solve's metric families (`ucp_core_*`, `ucp_zdd_*`) in
+/// Prometheus text exposition format to `path` (`-` = stdout).
+fn write_metrics(out: &ScgOutcome, path: &str) -> CliResult {
+    let registry = Registry::new();
+    SolveMetrics::register(&registry).record(out);
+    let text = registry.render_prometheus();
+    if path == "-" {
+        print!("{text}");
+    } else {
+        std::fs::write(path, &text)
+            .map_err(|e| format!("cannot write metrics file {path}: {e}"))?;
+        let families = text.lines().filter(|l| l.starts_with("# TYPE")).count();
+        eprintln!("metrics: {families} families -> {path}");
     }
     Ok(())
 }
@@ -491,6 +534,127 @@ fn cmd_batch(args: &[String]) -> CliResult {
     }
     if failed > 0 {
         return Err(format!("{failed} of {total} jobs failed (stats: {stats:?})").into());
+    }
+    Ok(())
+}
+
+/// `ucp trace <file.jsonl> [--folded <out>]`: offline profile of a
+/// recorded trace — event-kind counts, per-phase breakdown (same table as
+/// `solve --stats`), subgradient convergence and the result line, plus an
+/// optional folded-stack dump for flamegraph tooling.
+fn cmd_trace(args: &[String]) -> CliResult {
+    let folded_path = match args.iter().position(|a| a == "--folded") {
+        Some(i) => Some(
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .ok_or_else(|| usage("--folded needs a file path"))?,
+        ),
+        None => None,
+    };
+    // The trace file is the first positional argument (skipping flag values).
+    let mut path: Option<&String> = None;
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--folded" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        path = Some(a);
+        break;
+    }
+    let path = path.ok_or_else(|| usage("trace needs a .jsonl trace file"))?;
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open trace file {path}: {e}"))?;
+    let events = parse_trace(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    let summary = TraceSummary::from_events(&events);
+
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    writeln!(w, "trace: {path} ({} events)", summary.events)?;
+    writeln!(w, "event kinds:")?;
+    for (kind, n) in &summary.kind_counts {
+        writeln!(w, "  {kind:<20} {n:>9}")?;
+    }
+    // The same table `solve --stats` prints, reconstructed offline from
+    // the `phase_end` events alone.
+    let total = summary
+        .result
+        .map(|r| r.total_seconds)
+        .unwrap_or_else(|| summary.phase_times.total());
+    writeln!(w, "phase breakdown:")?;
+    for phase in ucp::ucp_telemetry::Phase::ALL {
+        let secs = summary.phase_times.get(phase);
+        let share = if total > 0.0 {
+            100.0 * secs / total
+        } else {
+            0.0
+        };
+        writeln!(w, "  {:<20} {secs:>9.4}s  {share:>5.1}%", phase.name())?;
+    }
+    writeln!(
+        w,
+        "  {:<20} {:>9.4}s  (solve total {total:.4}s)",
+        "sum",
+        summary.phase_times.total()
+    )?;
+    if let Some(sub) = summary.subgradient {
+        writeln!(w, "subgradient:")?;
+        writeln!(
+            w,
+            "  {} iterations across {} ascents ({} trace events{})",
+            sub.iterations,
+            sub.ascents,
+            sub.events,
+            if sub.events < sub.iterations {
+                ", sampled"
+            } else {
+                ""
+            }
+        )?;
+        writeln!(
+            w,
+            "  lower bound {:.4} -> {:.4}, final upper bound {:.4}",
+            sub.first_lb, sub.final_lb, sub.final_ub
+        )?;
+    }
+    if summary.restarts > 0 {
+        writeln!(w, "restarts: {}", summary.restarts)?;
+    }
+    match summary.result {
+        Some(r) => writeln!(
+            w,
+            "result: cost {} (lower bound {}, {}), {:.3}s",
+            r.cost,
+            r.lower_bound,
+            if r.proven_optimal {
+                "certified optimal"
+            } else {
+                "heuristic"
+            },
+            r.total_seconds
+        )?,
+        None => writeln!(w, "result: none (trace has no result line)")?,
+    }
+
+    if let Some(out_path) = folded_path {
+        let folded = folded_stacks(&events);
+        let mut text = String::new();
+        for (stack, micros) in &folded {
+            text.push_str(stack);
+            text.push(' ');
+            text.push_str(&micros.to_string());
+            text.push('\n');
+        }
+        std::fs::write(out_path, text)
+            .map_err(|e| format!("cannot write folded stacks to {out_path}: {e}"))?;
+        writeln!(w, "folded stacks: {} frames -> {out_path}", folded.len())?;
     }
     Ok(())
 }

@@ -25,7 +25,11 @@
 //! * [`workloads`] — seeded synthetic benchmark instances standing in for
 //!   the (unavailable) Berkeley PLA test set,
 //! * [`ucp_telemetry`] — the observability layer: probes, structured trace
-//!   events, and the JSONL sink behind `ucp solve --trace`,
+//!   events, the JSONL sink behind `ucp solve --trace`, and the trace
+//!   analytics behind `ucp trace`,
+//! * [`ucp_metrics`] — lock-free metrics registry (counters, gauges,
+//!   log-bucketed histograms) with Prometheus text exposition, fed by the
+//!   solver, the engine and the ZDD kernel,
 //! * [`binate`] — the binate generalisation (§1) with unit propagation and
 //!   an exact solver.
 //!
@@ -56,6 +60,7 @@ pub use lp;
 pub use solvers;
 pub use ucp_core;
 pub use ucp_engine;
+pub use ucp_metrics;
 pub use ucp_telemetry;
 pub use workloads;
 pub use zdd;
