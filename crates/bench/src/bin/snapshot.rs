@@ -24,7 +24,7 @@ use std::time::Instant;
 use ucp_bench::{run_scg, scg_fields};
 use ucp_core::{Preset, ScgOptions, ScgOutcome, SolveRequest};
 use ucp_engine::{Engine, EngineConfig};
-use ucp_telemetry::JsonObj;
+use ucp_telemetry::{JsonObj, Phase};
 use workloads::suite;
 
 /// The commit the snapshot was taken at, so archived `BENCH_scg.json`
@@ -162,20 +162,44 @@ fn main() {
     let mut runs: Vec<String> = Vec::new();
     let mut total_seconds = 0.0f64;
     let mut parallel_seconds = 0.0f64;
+    let mut forced_pool_seconds = 0.0f64;
+    let mut fallback_engaged = 0usize;
+    let mut subgradient_seconds = 0.0f64;
+    let mut subgradient_iters = 0u64;
     let mut certified = 0usize;
     let mut serial_outcomes: Vec<ScgOutcome> = Vec::new();
     let instances = suite::difficult_cyclic();
     for inst in &instances {
         let out = run_scg(&inst.matrix, opts);
+        // The honest parallel run: default small-core fallback in force,
+        // so its `restart_workers` records the scheduling decision.
         let par = run_scg(&inst.matrix, ScgOptions { workers, ..opts });
-        assert_eq!(
-            (out.cost, out.solution.cols()),
-            (par.cost, par.solution.cols()),
-            "{}: parallel solve diverged from serial",
-            inst.name
+        // And a forced-pool run (fallback off) so the pooled machinery
+        // itself stays under the determinism check.
+        let pooled = run_scg(
+            &inst.matrix,
+            ScgOptions {
+                workers,
+                parallel_nnz_threshold: 0,
+                ..opts
+            },
         );
+        for (label, other) in [("parallel", &par), ("forced-pool", &pooled)] {
+            assert_eq!(
+                (out.cost, out.solution.cols()),
+                (other.cost, other.solution.cols()),
+                "{}: {label} solve diverged from serial",
+                inst.name
+            );
+        }
         total_seconds += out.total_time.as_secs_f64();
         parallel_seconds += par.total_time.as_secs_f64();
+        forced_pool_seconds += pooled.total_time.as_secs_f64();
+        if par.restart_workers == 1 {
+            fallback_engaged += 1;
+        }
+        subgradient_seconds += out.phase_times.get(Phase::Subgradient);
+        subgradient_iters += out.subgradient_iterations as u64;
         if out.proven_optimal {
             certified += 1;
         }
@@ -229,17 +253,32 @@ fn main() {
         1.0
     };
     let mut doc = JsonObj::new();
-    doc.field_str("schema", "ucp-bench-snapshot/2");
-    doc.field_u64("schema_version", 2);
+    doc.field_str("schema", "ucp-bench-snapshot/3");
+    doc.field_u64("schema_version", 3);
     doc.field_str("git_commit", &git_commit());
     doc.field_str("preset", if quick { "fast" } else { "default" });
     doc.field_u64("instances", runs.len() as u64);
     doc.field_u64("certified_optimal", certified as u64);
     doc.field_f64("total_seconds", total_seconds);
+    // The CI perf-smoke row: CPU seconds inside the subgradient phase of
+    // the serial pass (summed over all ascents), plus the iteration count
+    // that contextualises it.
+    let mut sub_row = JsonObj::new();
+    sub_row.field_f64("phase_seconds", subgradient_seconds);
+    sub_row.field_u64("iterations", subgradient_iters);
+    doc.field_raw("subgradient", &sub_row.finish());
     let mut par_row = JsonObj::new();
     par_row.field_u64("workers", workers as u64);
     par_row.field_f64("total_seconds", parallel_seconds);
     par_row.field_f64("speedup", speedup);
+    // The small-core serial-fallback decision: threshold in force and how
+    // many of the suite's instances it collapsed to an inline solve.
+    par_row.field_u64(
+        "serial_fallback_nnz",
+        ScgOptions::default().parallel_nnz_threshold as u64,
+    );
+    par_row.field_u64("fallback_engaged", fallback_engaged as u64);
+    par_row.field_f64("forced_pool_seconds", forced_pool_seconds);
     doc.field_raw("parallel", &par_row.finish());
     let mut eng_row = JsonObj::new();
     eng_row.field_u64("workers", workers as u64);
@@ -252,9 +291,10 @@ fn main() {
     fs::create_dir_all("results").expect("create results/");
     fs::write("results/BENCH_scg.json", doc.finish() + "\n").expect("write results/BENCH_scg.json");
     println!(
-        "snapshot: {} instances, {certified} certified optimal, {total_seconds:.2}s serial / {parallel_seconds:.2}s with {workers} workers ({speedup:.2}x) -> results/BENCH_scg.json",
+        "snapshot: {} instances, {certified} certified optimal, {total_seconds:.2}s serial / {parallel_seconds:.2}s with {workers} workers ({speedup:.2}x, fallback on {fallback_engaged}) -> results/BENCH_scg.json",
         runs.len()
     );
+    println!("subgradient: {subgradient_seconds:.3}s in phase over {subgradient_iters} iterations");
     println!(
         "engine: {jps_1w:.2} jobs/s at 1 worker, {jps_nw:.2} jobs/s at {workers} workers ({engine_speedup:.2}x batch speedup)"
     );

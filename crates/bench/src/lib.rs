@@ -141,6 +141,7 @@ pub fn scg_fields(o: &mut JsonObj, out: &ScgOutcome) {
     o.field_bool("infeasible", out.infeasible);
     o.field_u64("iterations", out.iterations as u64);
     o.field_u64("subgradient_iterations", out.subgradient_iterations as u64);
+    o.field_u64("restart_workers", out.restart_workers as u64);
     o.field_f64("cc_seconds", out.cc_time.as_secs_f64());
     o.field_f64("total_seconds", out.total_time.as_secs_f64());
     o.field_u64("core_rows", out.core_rows as u64);

@@ -1,0 +1,372 @@
+//! The sparse, allocation-free inner-loop engine behind
+//! [`crate::subgradient_ascent`].
+//!
+//! One [`AscentWorkspace`] owns every buffer the two-sided subgradient
+//! scheme touches — `λ`, `c̃`, the relaxation solution `p`, per-row cover
+//! counts, the dual-side `μ`/`m`/gradient vectors and the best-so-far
+//! copies — allocated once per ascent and reused across all iterations.
+//! The matrix is iterated exclusively through the flat CSR/CSC `u32`
+//! slices of [`SparseView`], never the `Vec<Vec<usize>>` lists.
+//!
+//! # Incremental reduced-cost invariant
+//!
+//! Between iterations the workspace keeps `c_tilde[j]` equal — **bit for
+//! bit** — to what a full dense recompute would produce. A λ step records
+//! exactly the rows whose multiplier changed (`to_bits` comparison, so
+//! even a `-0.0`→`+0.0` store is replayed), and
+//! [`AscentWorkspace::refresh_primal`] recomputes each column of a
+//! changed row from `costs[j]` by subtracting the nonzero `λ_i` of its
+//! rows in ascending row order — the exact operation sequence the dense
+//! row-major rebuild applied per column. A clean column's inputs are
+//! unchanged, so its cached value is the recompute's value; by the same
+//! argument the refresh is free to recompute *more* columns than
+//! strictly necessary, and it does exactly that when the changed rows
+//! reach most of the matrix (the common regime mid-ascent), skipping the
+//! per-column dedup bookkeeping and sweeping all columns instead.
+//! Aggregates that feed stop predicates and step scaling (`‖s‖²`, cover
+//! counts) are integers maintained exactly in `i64`/`u32`; they equal
+//! the dense f64 accumulation whenever that accumulation is itself exact
+//! (`‖s‖² < 2⁵³`, astronomically beyond the `u32`-indexed instance
+//! sizes). `z_λ` and the whole dual-side evaluation are recomputed per
+//! iteration in the dense fold order. The equivalence suite
+//! (`tests/subgradient_equivalence.rs`) checks all of this against the
+//! preserved dense implementations in [`crate::reference`].
+
+use crate::dual::row_caps;
+use cover::{CoverMatrix, SparseView};
+
+/// Reusable state of one subgradient ascent (primal and dual side).
+pub(crate) struct AscentWorkspace<'a> {
+    view: &'a SparseView,
+    costs: &'a [f64],
+    /// Current multipliers `λ` (one per row).
+    pub lambda: Vec<f64>,
+    /// Current reduced costs `c̃ = c − A'λ` (one per column), kept in
+    /// sync with `lambda` by `refresh_primal`.
+    pub c_tilde: Vec<f64>,
+    /// Relaxation solution `p_j = 1 ⇔ c̃_j ≤ 0`.
+    p: Vec<bool>,
+    /// Per row: how many selected columns cover it (`(Ap)_i`).
+    covered: Vec<u32>,
+    /// Rows whose `λ` changed since the last refresh.
+    changed_rows: Vec<u32>,
+    /// Set when every column must be recomputed (initial state).
+    all_dirty: bool,
+    /// Per-column visit stamps deduplicating the sparse refresh path's
+    /// row→column scans (a column shared by two changed rows is
+    /// recomputed once).
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// `‖s‖² = Σ (1 − covered_i)²`, maintained exactly as an integer.
+    norm2: i64,
+    /// `λ`/`c̃` at the best Lagrangian bound seen.
+    pub best_lambda: Vec<f64>,
+    pub best_c_tilde: Vec<f64>,
+    /// Row caps `c̄_i`, a pure function of the fixed costs: computed once
+    /// (the dense path recomputed them every iteration).
+    caps: Vec<f64>,
+    /// Dual-Lagrangian multipliers `μ ∈ [0,1]ⁿ`.
+    pub mu: Vec<f64>,
+    /// The (LD) optimum's row variables `m*` of the latest `eval_dual`.
+    m_row: Vec<f64>,
+    /// Its gradient `g = c − A'm*` and `‖g‖²`.
+    gradient: Vec<f64>,
+    gradient_norm2: f64,
+}
+
+impl<'a> AscentWorkspace<'a> {
+    /// Builds the workspace for `a`, taking ownership of the starting
+    /// multipliers. All columns start dirty, so the first
+    /// `refresh_primal` performs the full initial evaluation.
+    pub fn new(a: &'a CoverMatrix, lambda: Vec<f64>) -> Self {
+        let view = a.sparse();
+        let costs = a.costs();
+        let (m, n) = (view.num_rows(), view.num_cols());
+        assert_eq!(lambda.len(), m, "one multiplier per row");
+        AscentWorkspace {
+            view,
+            costs,
+            best_lambda: lambda.clone(),
+            lambda,
+            c_tilde: costs.to_vec(),
+            p: vec![false; n],
+            covered: vec![0; m],
+            changed_rows: Vec::with_capacity(m),
+            all_dirty: true,
+            stamp: vec![0; n],
+            epoch: 0,
+            norm2: m as i64,
+            best_c_tilde: costs.to_vec(),
+            caps: row_caps(a, costs),
+            mu: vec![0.0; n],
+            m_row: vec![0.0; m],
+            gradient: vec![0.0; n],
+            gradient_norm2: 0.0,
+        }
+    }
+
+    /// Seeds `μ0` from a heuristic cover (§3.3: *"the initial estimate
+    /// for μ0 is determined by a primal heuristic"*).
+    pub fn seed_mu(&mut self, cols: &[usize]) {
+        for &j in cols {
+            self.mu[j] = 1.0;
+        }
+    }
+
+    /// Recomputes column `j` from scratch (ascending rows, skipping zero
+    /// multipliers — the dense rebuild's per-column operation sequence)
+    /// and replays any `p`-flip into the cover counts and `‖s‖²`.
+    #[inline]
+    fn recompute_col(&mut self, j: usize) {
+        let view = self.view;
+        let mut c = self.costs[j];
+        for &i in view.col(j) {
+            let l = self.lambda[i as usize];
+            if l != 0.0 {
+                c -= l;
+            }
+        }
+        self.c_tilde[j] = c;
+        let np = c <= 0.0;
+        if np != self.p[j] {
+            self.p[j] = np;
+            for &i in view.col(j) {
+                let i = i as usize;
+                let old = 1i64 - self.covered[i] as i64;
+                if np {
+                    self.covered[i] += 1;
+                } else {
+                    self.covered[i] -= 1;
+                }
+                let new = 1i64 - self.covered[i] as i64;
+                self.norm2 += new * new - old * old;
+            }
+        }
+    }
+
+    /// Brings `c_tilde`/`p`/`covered`/`‖s‖²` back in sync with `lambda`
+    /// and returns the Lagrangian value `z_λ = Σλ + Σ_{p_j} c̃_j`.
+    pub fn refresh_primal(&mut self) -> f64 {
+        let n = self.c_tilde.len();
+        if self.all_dirty {
+            self.all_dirty = false;
+            self.changed_rows.clear();
+            for j in 0..n {
+                self.recompute_col(j);
+            }
+        } else if !self.changed_rows.is_empty() {
+            // When the changed rows reach at least `n` column slots, the
+            // dedup bookkeeping costs as much as recomputing everything:
+            // sweep all columns instead (recomputing a clean column is a
+            // no-op bit-wise, see the module docs).
+            let view = self.view;
+            let touched: usize = self
+                .changed_rows
+                .iter()
+                .map(|&i| view.row(i as usize).len())
+                .sum();
+            if touched >= n {
+                self.changed_rows.clear();
+                for j in 0..n {
+                    self.recompute_col(j);
+                }
+            } else {
+                self.epoch = self.epoch.wrapping_add(1);
+                if self.epoch == 0 {
+                    self.stamp.fill(0);
+                    self.epoch = 1;
+                }
+                let rows = std::mem::take(&mut self.changed_rows);
+                for &i in &rows {
+                    for k in 0..view.row(i as usize).len() {
+                        let j = view.row(i as usize)[k] as usize;
+                        if self.stamp[j] != self.epoch {
+                            self.stamp[j] = self.epoch;
+                            self.recompute_col(j);
+                        }
+                    }
+                }
+                self.changed_rows = rows;
+                self.changed_rows.clear();
+            }
+        }
+        let mut value: f64 = self.lambda.iter().sum();
+        for (j, &sel) in self.p.iter().enumerate() {
+            if sel {
+                value += self.c_tilde[j];
+            }
+        }
+        value
+    }
+
+    /// `‖s‖²` of the current relaxation solution (exact).
+    pub fn subgradient_norm2(&self) -> f64 {
+        self.norm2 as f64
+    }
+
+    /// `‖g‖²` of the latest [`AscentWorkspace::eval_dual`].
+    pub fn gradient_norm2(&self) -> f64 {
+        self.gradient_norm2
+    }
+
+    /// Snapshots `lambda`/`c_tilde` as the best-so-far (the dense path
+    /// cloned both vectors here, every improving iteration).
+    pub fn save_best(&mut self) {
+        self.best_lambda.copy_from_slice(&self.lambda);
+        self.best_c_tilde.copy_from_slice(&self.c_tilde);
+    }
+
+    /// One subgradient ascent step on `λ` (eq. 2), in place:
+    /// `λ_i ← max(λ_i + t·s_i·|UB − z_λ| / ‖s‖², 0)`. Records every row
+    /// whose multiplier actually changed for the next refresh.
+    pub fn step_lambda(&mut self, t: f64, ub: f64, value: f64) {
+        if self.norm2 <= 0 {
+            return;
+        }
+        let scale = t * (ub - value).abs() / self.norm2 as f64;
+        for i in 0..self.lambda.len() {
+            let old = self.lambda[i];
+            let s = 1.0 - self.covered[i] as f64;
+            let new = (old + scale * s).max(0.0);
+            if new.to_bits() != old.to_bits() {
+                self.lambda[i] = new;
+                self.changed_rows.push(i as u32);
+            }
+        }
+    }
+
+    /// Evaluates the dual Lagrangian relaxation `(LD)` at the current
+    /// `μ` and returns its value (an upper bound on `z*_P`). One fused
+    /// row sweep computes `m*`, the value terms and the gradient
+    /// subtractions in the dense evaluation's exact per-row order; the
+    /// caps are the hoisted ones.
+    pub fn eval_dual(&mut self) -> f64 {
+        let view = self.view;
+        let costs = self.costs;
+        let mut value: f64 = self.mu.iter().zip(costs).map(|(&u, &c)| u * c).sum();
+        self.gradient.copy_from_slice(costs);
+        for i in 0..view.num_rows() {
+            let row = view.row(i);
+            let mut sum = 0.0f64;
+            for &j in row {
+                sum += self.mu[j as usize];
+            }
+            let e_tilde = 1.0 - sum;
+            let mi = if e_tilde > 0.0 && self.caps[i].is_finite() {
+                value += e_tilde * self.caps[i];
+                self.caps[i]
+            } else {
+                0.0
+            };
+            self.m_row[i] = mi;
+            if mi != 0.0 {
+                for &j in row {
+                    self.gradient[j as usize] -= mi;
+                }
+            }
+        }
+        self.gradient_norm2 = self.gradient.iter().map(|g| g * g).sum();
+        value
+    }
+
+    /// One subgradient *descent* step on `μ`, in place:
+    /// `μ_j ← clamp(μ_j − t·g_j·|w − LB| / ‖g‖², 0, 1)`.
+    pub fn step_mu(&mut self, t: f64, lb: f64, value: f64) {
+        if self.gradient_norm2 <= 0.0 {
+            return;
+        }
+        let scale = t * (value - lb).abs() / self.gradient_norm2;
+        for (u, &g) in self.mu.iter_mut().zip(&self.gradient) {
+            *u = (*u - scale * g).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Consumes the workspace, releasing the vectors the
+    /// [`crate::SubgradientResult`] reports: `(best λ, best c̃, μ)`.
+    pub fn into_result_parts(self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        (self.best_lambda, self.best_c_tilde, self.mu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{eval_dual_lagrangian_dense, eval_primal_dense};
+
+    fn cycle(n: usize) -> CoverMatrix {
+        CoverMatrix::from_rows(n, (0..n).map(|i| vec![i, (i + 1) % n]).collect())
+    }
+
+    #[test]
+    fn refresh_matches_dense_eval_after_steps() {
+        let m = cycle(7);
+        let mut ws = AscentWorkspace::new(&m, vec![0.3; 7]);
+        for step in 0..5 {
+            let value = ws.refresh_primal();
+            let dense = eval_primal_dense(&m, &ws.lambda);
+            assert_eq!(value, dense.value, "step {step}");
+            assert_eq!(ws.c_tilde, dense.c_tilde, "step {step}");
+            assert_eq!(ws.subgradient_norm2(), dense.subgradient_norm2);
+            ws.step_lambda(1.5, 4.0, value);
+        }
+    }
+
+    #[test]
+    fn dual_eval_matches_dense() {
+        let m = cycle(9);
+        let mut ws = AscentWorkspace::new(&m, vec![0.0; 9]);
+        ws.seed_mu(&[0, 2, 4, 6, 8]);
+        for step in 0..4 {
+            let value = ws.eval_dual();
+            let dense = eval_dual_lagrangian_dense(&m, m.costs(), &ws.mu);
+            assert_eq!(value, dense.value, "step {step}");
+            assert_eq!(ws.gradient, dense.gradient, "step {step}");
+            assert_eq!(ws.gradient_norm2(), dense.gradient_norm2);
+            ws.step_mu(2.0, 3.0, value);
+        }
+    }
+
+    #[test]
+    fn sparse_refresh_touches_only_changed_rows_columns() {
+        // Two disjoint rows: changing row 0 leaves row 1's columns on
+        // the dedup path (touched = 2 < n = 4) and must still match a
+        // dense rebuild exactly.
+        let m = CoverMatrix::from_rows(4, vec![vec![0, 1], vec![2, 3]]);
+        let mut ws = AscentWorkspace::new(&m, vec![0.0, 0.0]);
+        let value = ws.refresh_primal();
+        assert!(ws.changed_rows.is_empty() && !ws.all_dirty);
+        ws.lambda[0] = 0.7;
+        ws.changed_rows.push(0);
+        let v2 = ws.refresh_primal();
+        let dense = eval_primal_dense(&m, &ws.lambda);
+        assert_eq!(v2, dense.value);
+        assert_eq!(ws.c_tilde, dense.c_tilde);
+        assert!(v2 > value);
+    }
+
+    #[test]
+    fn wide_changes_take_the_full_sweep_and_still_match() {
+        // One changed row touching every column: the refresh sweeps all
+        // columns (touched >= n), which must be bit-identical too.
+        let m = CoverMatrix::from_rows(2, vec![vec![0, 1], vec![0, 1]]);
+        let mut ws = AscentWorkspace::new(&m, vec![0.1, 0.2]);
+        ws.refresh_primal();
+        ws.lambda[0] = 0.9;
+        ws.changed_rows.push(0);
+        let v = ws.refresh_primal();
+        let dense = eval_primal_dense(&m, &ws.lambda);
+        assert_eq!(v, dense.value);
+        assert_eq!(ws.c_tilde, dense.c_tilde);
+        assert_eq!(ws.subgradient_norm2(), dense.subgradient_norm2);
+    }
+
+    #[test]
+    fn empty_matrix_is_stationary() {
+        let m = CoverMatrix::default();
+        let mut ws = AscentWorkspace::new(&m, Vec::new());
+        assert_eq!(ws.refresh_primal(), 0.0);
+        assert_eq!(ws.subgradient_norm2(), 0.0);
+        assert_eq!(ws.eval_dual(), 0.0);
+        assert_eq!(ws.gradient_norm2(), 0.0);
+    }
+}

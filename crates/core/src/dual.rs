@@ -31,8 +31,10 @@ pub struct DualSolution {
 pub(crate) const BIG_CAP: f64 = 1e12;
 
 /// Per-row upper bounds `c̄_i = min_{j ∋ i} c_j` under an overridable cost
-/// vector, with infinite caps clamped to [`BIG_CAP`].
-fn row_caps(a: &CoverMatrix, costs: &[f64]) -> Vec<f64> {
+/// vector, with infinite caps clamped to [`BIG_CAP`]. A pure function of
+/// the costs, which is why the ascent workspace hoists it out of the
+/// iteration loop.
+pub(crate) fn row_caps(a: &CoverMatrix, costs: &[f64]) -> Vec<f64> {
     (0..a.num_rows())
         .map(|i| {
             a.row(i)
@@ -171,26 +173,35 @@ pub struct DualLagEval {
 /// max  ẽ'm + μ'c   s.t. 0 ≤ m ≤ c̄,    ẽ = e − Aμ
 /// ```
 ///
+/// Iterates the matrix's flat CSR view with the same fold orders as the
+/// historical dense walk, so results are bit-identical to it (checked by
+/// the equivalence suite against [`crate::reference`]).
+///
 /// # Panics
 ///
 /// Panics if `mu.len() != a.num_cols()`.
 pub fn eval_dual_lagrangian(a: &CoverMatrix, costs: &[f64], mu: &[f64]) -> DualLagEval {
     assert_eq!(mu.len(), a.num_cols(), "one multiplier per column");
+    let view = a.sparse();
     let caps = row_caps(a, costs);
     let mut value: f64 = mu.iter().zip(costs).map(|(&u, &c)| u * c).sum();
     let mut m = vec![0.0f64; a.num_rows()];
-    for (i, row) in a.rows().iter().enumerate() {
-        let e_tilde = 1.0 - row.iter().map(|&j| mu[j]).sum::<f64>();
-        if e_tilde > 0.0 && caps[i].is_finite() {
-            m[i] = caps[i];
-            value += e_tilde * caps[i];
+    for (i, cap) in caps.iter().enumerate() {
+        let mut sum = 0.0f64;
+        for &j in view.row(i) {
+            sum += mu[j as usize];
+        }
+        let e_tilde = 1.0 - sum;
+        if e_tilde > 0.0 && cap.is_finite() {
+            m[i] = *cap;
+            value += e_tilde * cap;
         }
     }
     let mut gradient: Vec<f64> = costs.to_vec();
-    for (i, row) in a.rows().iter().enumerate() {
-        if m[i] != 0.0 {
-            for &j in row {
-                gradient[j] -= m[i];
+    for (i, &mi) in m.iter().enumerate() {
+        if mi != 0.0 {
+            for &j in view.row(i) {
+                gradient[j as usize] -= mi;
             }
         }
     }

@@ -40,11 +40,14 @@
 //! assert!(outcome.proven_optimal); // ⌈2.5⌉ = 3 certificate
 //! ```
 
+mod ascent;
 pub mod bounds;
 pub mod dual;
 pub mod greedy;
 pub mod metrics;
 pub mod penalty;
+#[doc(hidden)]
+pub mod reference;
 pub mod relax;
 pub mod request;
 pub mod restart;

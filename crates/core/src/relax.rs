@@ -65,13 +65,18 @@ impl PrimalEval {
 /// ```
 pub fn eval_primal(a: &CoverMatrix, lambda: &[f64]) -> PrimalEval {
     assert_eq!(lambda.len(), a.num_rows(), "one multiplier per row");
+    let view = a.sparse();
     let n = a.num_cols();
+    // Each reduced cost is rebuilt over the CSC column slice in ascending
+    // row order — the same subtraction sequence per column as the
+    // historical dense row-major walk, so the floats are bit-identical
+    // (checked by the equivalence suite against `crate::reference`).
     let mut c_tilde: Vec<f64> = a.costs().to_vec();
-    for (i, row) in a.rows().iter().enumerate() {
-        let l = lambda[i];
-        if l != 0.0 {
-            for &j in row {
-                c_tilde[j] -= l;
+    for (j, c) in c_tilde.iter_mut().enumerate() {
+        for &i in view.col(j) {
+            let l = lambda[i as usize];
+            if l != 0.0 {
+                *c -= l;
             }
         }
     }
@@ -85,13 +90,13 @@ pub fn eval_primal(a: &CoverMatrix, lambda: &[f64]) -> PrimalEval {
     let mut subgradient = vec![0.0f64; a.num_rows()];
     let mut violated = 0usize;
     let mut norm2 = 0.0f64;
-    for (i, row) in a.rows().iter().enumerate() {
-        let covered = row.iter().filter(|&&j| p[j]).count() as f64;
+    for (i, s_out) in subgradient.iter_mut().enumerate() {
+        let covered = view.row(i).iter().filter(|&&j| p[j as usize]).count() as f64;
         let s = 1.0 - covered;
         if s > 0.0 {
             violated += 1;
         }
-        subgradient[i] = s;
+        *s_out = s;
         norm2 += s * s;
     }
     PrimalEval {

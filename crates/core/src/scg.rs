@@ -75,6 +75,17 @@ pub struct ScgOptions {
     /// means "all available parallelism". The answer is the same for
     /// every value — see [`crate::restart`].
     pub workers: usize,
+    /// Serial-fallback threshold for the restarts stage: cores with fewer
+    /// nonzeros than this solve inline even when [`ScgOptions::workers`]
+    /// asks for a pool. Benchmarks on the snapshot suite measured the
+    /// pooled path at 0.99× (restarts) and 0.966× (partition blocks) with
+    /// 2 workers — on small sub-second cores thread spawn/join and the
+    /// shared-incumbent traffic cost more than the restarts themselves,
+    /// and on single-core hosts any pool is pure overhead. The restart
+    /// engine's determinism contract guarantees the answer is identical
+    /// either way, so this only moves the scheduling break-even point.
+    /// `0` disables the fallback (always honor `workers`).
+    pub parallel_nnz_threshold: usize,
 }
 
 impl Default for ScgOptions {
@@ -92,6 +103,7 @@ impl Default for ScgOptions {
             time_limit: None,
             partition: true,
             workers: 1,
+            parallel_nnz_threshold: 16_384,
         }
     }
 }
@@ -133,6 +145,12 @@ pub struct ScgOutcome {
     pub iterations: usize,
     /// Total subgradient iterations across all phases and workers.
     pub subgradient_iterations: usize,
+    /// Pool size scheduled for the restarts stage (or the partition-block
+    /// pool) — the decision after the
+    /// [`ScgOptions::parallel_nnz_threshold`] serial fallback. `1` means
+    /// the stage ran inline: requested serially, solved before any
+    /// restart, or the core fell below the threshold.
+    pub restart_workers: usize,
     /// Cyclic-core computation time (`CC(s)` column of Tables 1–2).
     pub cc_time: Duration,
     /// End-to-end solve time (`T(s)` column).
@@ -275,6 +293,21 @@ impl Scg {
         }
     }
 
+    /// Pool size for the restarts stage on a core with `core_nnz`
+    /// nonzeros: the requested workers, collapsed to `1` when the core is
+    /// below [`ScgOptions::parallel_nnz_threshold`] (the measured
+    /// break-even for pool overhead). Deterministic in the instance, so
+    /// the recorded decision is reproducible.
+    fn restart_pool(&self, core_nnz: usize) -> usize {
+        let w = self.effective_workers();
+        let th = self.opts.parallel_nnz_threshold;
+        if w > 1 && th != 0 && core_nnz < th {
+            1
+        } else {
+            w
+        }
+    }
+
     /// Solves the unate covering instance `m`.
     ///
     /// Only available with the `legacy-api` cargo feature (off by
@@ -365,6 +398,7 @@ impl Scg {
                 infeasible: true,
                 iterations: 0,
                 subgradient_iterations: 0,
+                restart_workers: 1,
                 cc_time: core_res.cc_time,
                 total_time: start.elapsed(),
                 core_rows: core_res.core.num_rows(),
@@ -387,6 +421,7 @@ impl Scg {
                 infeasible: false,
                 iterations: 0,
                 subgradient_iterations: 0,
+                restart_workers: 1,
                 cc_time: core_res.cc_time,
                 total_time: start.elapsed(),
                 core_rows: 0,
@@ -447,6 +482,7 @@ impl Scg {
             infeasible: false,
             iterations: co.iterations,
             subgradient_iterations: co.sub_iters,
+            restart_workers: self.restart_pool(ae.nnz()).min(self.opts.num_iter.max(1)),
             cc_time: core_res.cc_time,
             total_time: start.elapsed(),
             core_rows: ae.num_rows(),
@@ -484,14 +520,18 @@ impl Scg {
         let mut lower_bound = fixed_cost;
         let mut iterations = 0usize;
         let mut sub_iters = 0usize;
-        let workers = self.effective_workers();
+        // The serial-fallback decision looks at the whole core: if it is
+        // too small to amortise a pool, its blocks certainly are.
+        let pool = self.restart_pool(core_res.core.nnz());
+        let pooled = pool > 1 && blocks.len() > 1;
+        let restart_workers = if pooled { pool.min(blocks.len()) } else { 1 };
 
-        let outcomes: Vec<CoreOutcome> = if workers > 1 && blocks.len() > 1 {
+        let outcomes: Vec<CoreOutcome> = if pooled {
             let enabled = probe.enabled();
             let next = AtomicUsize::new(0);
             let slots: Vec<BlockSlot> = blocks.iter().map(|_| Mutex::new(None)).collect();
             std::thread::scope(|scope| {
-                for w in 0..workers.min(blocks.len()) {
+                for w in 0..pool.min(blocks.len()) {
                     let next = &next;
                     let slots = &slots;
                     let blocks = &blocks;
@@ -578,6 +618,7 @@ impl Scg {
             infeasible: false,
             iterations,
             subgradient_iterations: sub_iters,
+            restart_workers,
             cc_time: core_res.cc_time,
             total_time: start.elapsed(),
             core_rows: core_res.core.num_rows(),
@@ -688,7 +729,7 @@ impl Scg {
         let pool = if force_serial {
             1
         } else {
-            self.effective_workers().min(num_iter.max(1))
+            self.restart_pool(ae.nnz()).min(num_iter.max(1))
         };
         let mut result = RestartsResult::default();
 
@@ -1170,16 +1211,21 @@ mod partition_tests {
     fn concurrent_blocks_match_serial_blocks() {
         let m = two_cycles(9);
         let serial = run_default(&m);
+        // threshold 0: force the block pool even on this tiny core so the
+        // concurrent path stays under test.
         let parallel = run_opts(
             &m,
             ScgOptions {
                 workers: 4,
+                parallel_nnz_threshold: 0,
                 ..ScgOptions::default()
             },
         );
         assert_eq!(serial.cost, parallel.cost);
         assert_eq!(serial.solution.cols(), parallel.solution.cols());
         assert_eq!(serial.lower_bound, parallel.lower_bound);
+        assert!(parallel.restart_workers > 1, "block pool should engage");
+        assert_eq!(serial.restart_workers, 1);
     }
 }
 
@@ -1258,11 +1304,15 @@ impl Scg {
 mod parallel_tests {
     use super::*;
 
+    /// Worker-count runs with the serial fallback disabled: these tests
+    /// exist to exercise the pooled machinery, which the nnz threshold
+    /// would otherwise bypass on such tiny fixtures.
     fn run_workers(m: &CoverMatrix, workers: usize) -> ScgOutcome {
         run_opts(
             m,
             ScgOptions {
                 workers,
+                parallel_nnz_threshold: 0,
                 ..ScgOptions::default()
             },
         )
@@ -1312,12 +1362,53 @@ mod parallel_tests {
             &m,
             ScgOptions {
                 workers: 0,
+                parallel_nnz_threshold: 0,
                 ..ScgOptions::default()
             },
         );
         let base = run_default(&m);
         assert_eq!(out.cost, base.cost);
         assert_eq!(out.solution.cols(), base.solution.cols());
+    }
+
+    #[test]
+    fn small_cores_fall_back_to_serial_restarts() {
+        // Regression for the measured parallel slowdown (0.99×/0.966× at 2
+        // workers on sub-second instances): with the default threshold, a
+        // tiny core must ignore the requested pool — identical answer,
+        // `restart_workers` records the decision.
+        let m = CoverMatrix::from_rows(11, (0..11).map(|i| vec![i, (i + 1) % 11]).collect());
+        let fallback = run_opts(
+            &m,
+            ScgOptions {
+                workers: 4,
+                ..ScgOptions::default()
+            },
+        );
+        assert_eq!(fallback.restart_workers, 1, "11 nnz ≪ default threshold");
+        let pooled = run_workers(&m, 4); // threshold 0 forces the pool
+        assert!(pooled.restart_workers > 1);
+        assert_eq!(fallback.cost, pooled.cost);
+        assert_eq!(fallback.solution.cols(), pooled.solution.cols());
+        assert_eq!(fallback.lower_bound, pooled.lower_bound);
+    }
+
+    #[test]
+    fn restart_pool_threshold_logic() {
+        let solver = |workers, threshold| {
+            Scg::new(ScgOptions {
+                workers,
+                parallel_nnz_threshold: threshold,
+                ..ScgOptions::default()
+            })
+        };
+        // Below the threshold: collapse to 1. At or above: honor workers.
+        assert_eq!(solver(4, 100).restart_pool(99), 1);
+        assert_eq!(solver(4, 100).restart_pool(100), 4);
+        // Threshold 0 disables the fallback entirely.
+        assert_eq!(solver(4, 0).restart_pool(1), 4);
+        // A serial request is untouched by the threshold.
+        assert_eq!(solver(1, 100).restart_pool(5), 1);
     }
 }
 

@@ -1,10 +1,19 @@
 //! The two-sided subgradient scheme (§3.2–3.3): ascent on the primal
 //! Lagrangian multipliers `λ`, descent on the dual Lagrangian multipliers
 //! `μ`, each feeding the other the bound it needs.
+//!
+//! The inner loop runs on a per-ascent `AscentWorkspace` over the
+//! matrix's flat CSR/CSC [`cover::SparseView`]: reduced costs are
+//! maintained incrementally (a λ step only touches columns of rows whose
+//! multiplier moved), the greedy heuristics reuse one
+//! `GreedyScratch`, and no vectors are cloned per iteration. Results
+//! are bit-identical to the dense implementations preserved in
+//! [`crate::reference`].
 
-use crate::dual::{dual_ascent, eval_dual_lagrangian, step_mu};
-use crate::greedy::{best_greedy, lagrangian_greedy, GammaRule};
-use crate::relax::{eval_primal, step_lambda};
+use crate::ascent::AscentWorkspace;
+use crate::dual::dual_ascent;
+
+use crate::greedy::{best_greedy_with_scratch, greedy_pass, GammaRule, GreedyScratch};
 use cover::{CoverMatrix, Solution};
 use ucp_telemetry::{Event, NoopProbe, Probe};
 
@@ -25,7 +34,9 @@ pub struct SubgradientOptions {
     /// Run the expensive occurrence-weighted greedy (rule 4) once at the
     /// start — the paper enables it on the initial problem only.
     pub occurrence_heuristic: bool,
-    /// Run a cheap greedy heuristic every this many iterations.
+    /// Run a cheap greedy heuristic every this many iterations. `0`
+    /// disables the periodic heuristic entirely (the initial greedy that
+    /// seeds the incumbent and `μ0` still runs).
     pub heuristic_period: usize,
     /// Record a per-iteration [`HistoryPoint`] trace (off by default; the
     /// trace is for convergence plots and diagnostics).
@@ -89,7 +100,9 @@ pub struct SubgradientResult {
     /// Iterations actually executed.
     pub iterations: usize,
     /// `true` when `⌈LB⌉ = best_cost` under integer costs — the heuristic
-    /// solution is optimal for this matrix.
+    /// solution is optimal for this matrix. Always equals
+    /// `certified``(integer_costs, lb, best_cost)`, the same predicate
+    /// that stops the loop early.
     pub proven_optimal: bool,
     /// Per-iteration trace (empty unless
     /// [`SubgradientOptions::record_history`] was set).
@@ -99,8 +112,23 @@ pub struct SubgradientResult {
 impl SubgradientResult {
     /// The rounded-up bound `⌈LB⌉`, valid for integer-cost instances.
     pub fn lb_ceil(&self) -> f64 {
-        (self.lb - 1e-6).ceil()
+        lb_ceil_of(self.lb)
     }
+}
+
+/// The rounded-up bound `⌈lb⌉` with the tolerance used everywhere the
+/// crate compares a bound against an integer incumbent.
+pub(crate) fn lb_ceil_of(lb: f64) -> f64 {
+    (lb - 1e-6).ceil()
+}
+
+/// The optimality certificate of §3.2: under integer costs, an incumbent
+/// matching `⌈LB⌉` is optimal. Single source of truth for both the
+/// mid-loop early stop and the reported `proven_optimal` flag (these were
+/// once two hand-expanded copies that could — and briefly did — drift).
+/// An infinite `best_cost` never certifies: `∞ ≤ ⌈LB⌉ + ε` is false.
+pub(crate) fn certified(integer_costs: bool, lb: f64, best_cost: f64) -> bool {
+    integer_costs && lb.is_finite() && best_cost <= lb_ceil_of(lb) + 1e-9
 }
 
 /// Runs subgradient ascent on `a`.
@@ -151,9 +179,10 @@ pub fn subgradient_ascent_probed<P: Probe>(
     probe: &mut P,
 ) -> SubgradientResult {
     let integer_costs = a.integer_costs();
+    let view = a.sparse();
 
     // λ0: warm start or dual ascent (§3.3).
-    let mut lambda: Vec<f64> = match lambda0 {
+    let lambda: Vec<f64> = match lambda0 {
         Some(l) => {
             assert_eq!(l.len(), a.num_rows(), "warm-start λ has wrong length");
             l.to_vec()
@@ -162,7 +191,8 @@ pub fn subgradient_ascent_probed<P: Probe>(
     };
 
     // Initial heuristic run (rule 4 included when requested) to seed μ0 and
-    // the incumbent.
+    // the incumbent. One greedy scratch serves this and every later pass.
+    let mut scratch = GreedyScratch::new(a);
     let mut best_solution: Option<Solution> = None;
     let mut best_cost = f64::INFINITY;
     let rules: &[GammaRule] = if opts.occurrence_heuristic {
@@ -175,22 +205,19 @@ pub fn subgradient_ascent_probed<P: Probe>(
     } else {
         &GammaRule::FAST
     };
-    if let Some((sol, cost)) = best_greedy(a, a.costs(), rules) {
+    if let Some((sol, cost)) = best_greedy_with_scratch(a, view, a.costs(), rules, &mut scratch) {
         best_cost = cost;
         best_solution = Some(sol);
     }
+
+    let mut ws = AscentWorkspace::new(a, lambda);
     // μ0 from the primal heuristic (§3.3: "the initial estimate for μ0 is
     // determined by a primal heuristic").
-    let mut mu = vec![0.0f64; a.num_cols()];
     if let Some(sol) = &best_solution {
-        for &j in sol.cols() {
-            mu[j] = 1.0;
-        }
+        ws.seed_mu(sol.cols());
     }
 
     let mut lb = f64::NEG_INFINITY;
-    let mut best_lambda = lambda.clone();
-    let mut best_c_tilde: Vec<f64> = a.costs().to_vec();
     let mut ub_ld = f64::INFINITY;
     let mut t = opts.t0;
     let mut since_improve = 0usize;
@@ -204,12 +231,11 @@ pub fn subgradient_ascent_probed<P: Probe>(
 
     for k in 0..opts.max_iters {
         iterations = k + 1;
-        let p_eval = eval_primal(a, &lambda);
-        let improved = p_eval.value > lb + 1e-12;
+        let value = ws.refresh_primal();
+        let improved = value > lb + 1e-12;
         if improved {
-            lb = p_eval.value;
-            best_lambda = lambda.clone();
-            best_c_tilde = p_eval.c_tilde.clone();
+            lb = value;
+            ws.save_best();
             since_improve = 0;
         } else {
             since_improve += 1;
@@ -219,25 +245,25 @@ pub fn subgradient_ascent_probed<P: Probe>(
             }
         }
 
-        // Auxiliary primal heuristic on the current Lagrangian costs.
-        if k % opts.heuristic_period == 0 {
+        // Auxiliary primal heuristic on the current Lagrangian costs
+        // (period 0 = off; `k % 0` would panic).
+        if opts.heuristic_period != 0 && k % opts.heuristic_period == 0 {
             let rule = GammaRule::FAST[k % GammaRule::FAST.len()];
-            if let Some(sol) = lagrangian_greedy(a, &p_eval.c_tilde, rule) {
-                let cost = sol.cost(a);
+            if let Some(cost) = greedy_pass(a, view, &ws.c_tilde, rule, &mut scratch) {
                 if cost < best_cost {
                     best_cost = cost;
-                    best_solution = Some(sol);
+                    best_solution = Some(scratch.extract_solution());
                 }
             }
         }
 
         // Dual side: evaluate (LD), tighten the upper bound, step μ.
-        let d_eval = eval_dual_lagrangian(a, a.costs(), &mu);
-        ub_ld = ub_ld.min(d_eval.value);
+        let d_value = ws.eval_dual();
+        ub_ld = ub_ld.min(d_value);
         let ub = target_ub(best_cost, ub_ld);
         if opts.record_history {
             history.push(HistoryPoint {
-                z_lambda: p_eval.value,
+                z_lambda: value,
                 lb,
                 ub_ld,
                 t,
@@ -246,13 +272,13 @@ pub fn subgradient_ascent_probed<P: Probe>(
         // Stop predicates, hoisted so the trace sampler below can tell
         // whether this is the ascent's final iteration before breaking.
         // Optimality certificate for integer costs.
-        let certificate = integer_costs && lb.is_finite() && best_cost <= (lb - 1e-6).ceil() + 1e-9;
+        let certificate = certified(integer_costs, lb, best_cost);
         // Gap stop.
-        let gap_closed = ub.is_finite() && ub - p_eval.value < opts.delta * ub.abs().max(1.0);
+        let gap_closed = ub.is_finite() && ub - value < opts.delta * ub.abs().max(1.0);
         // Step-size exhaustion.
         let step_exhausted = t < opts.t_min;
         // Stationary (feasible Lagrangian solution): nothing to update.
-        let stationary = p_eval.subgradient_norm2 <= 0.0 && d_eval.gradient_norm2 <= 0.0;
+        let stationary = ws.subgradient_norm2() <= 0.0 && ws.gradient_norm2() <= 0.0;
         let last_iter =
             certificate || gap_closed || step_exhausted || stationary || k + 1 == opts.max_iters;
 
@@ -264,11 +290,11 @@ pub fn subgradient_ascent_probed<P: Probe>(
             if n <= 1 || k == 0 || improved || last_iter || k % n == 0 {
                 probe.record(Event::SubgradientIter {
                     iter: k,
-                    z_lambda: p_eval.value,
+                    z_lambda: value,
                     lb,
                     ub,
                     step: t,
-                    violation_norm2: p_eval.subgradient_norm2,
+                    violation_norm2: ws.subgradient_norm2(),
                 });
             }
         }
@@ -277,20 +303,14 @@ pub fn subgradient_ascent_probed<P: Probe>(
             break;
         }
 
-        let ub_for_step = if ub.is_finite() {
-            ub
-        } else {
-            p_eval.value + 1.0
-        };
-        lambda = step_lambda(lambda, &p_eval, t, ub_for_step);
+        let ub_for_step = if ub.is_finite() { ub } else { value + 1.0 };
+        ws.step_lambda(t, ub_for_step, value);
         let lb_for_step = if lb.is_finite() { lb } else { 0.0 };
-        mu = step_mu(mu, &d_eval, t, lb_for_step);
+        ws.step_mu(t, lb_for_step, d_value);
     }
 
-    let proven_optimal = integer_costs
-        && lb.is_finite()
-        && best_cost.is_finite()
-        && best_cost <= (lb - 1e-6).ceil() + 1e-9;
+    let proven_optimal = certified(integer_costs, lb, best_cost);
+    let (best_lambda, best_c_tilde, mu) = ws.into_result_parts();
 
     SubgradientResult {
         lambda: best_lambda,
@@ -377,6 +397,50 @@ mod tests {
         let m = cycle(7);
         let r = subgradient_ascent(&m, &SubgradientOptions::default(), None, None);
         assert!(r.mu.iter().all(|&u| (-1e-12..=1.0 + 1e-12).contains(&u)));
+    }
+
+    #[test]
+    fn zero_heuristic_period_means_off() {
+        // Regression: `heuristic_period: 0` used to hit `k % 0` and panic
+        // on the very first iteration. It now means "periodic heuristic
+        // disabled" — the ascent still runs, still bounds, and still keeps
+        // the incumbent from the initial greedy.
+        let m = cycle(7);
+        let opts = SubgradientOptions {
+            heuristic_period: 0,
+            ..SubgradientOptions::default()
+        };
+        let r = subgradient_ascent(&m, &opts, None, None);
+        assert!(r.lb > 3.4, "LB {}", r.lb);
+        let sol = r.best_solution.expect("initial greedy still seeds");
+        assert!(sol.is_feasible(&m));
+        assert_eq!(r.best_cost, 4.0);
+    }
+
+    #[test]
+    fn certificate_early_stop_agrees_with_final_flag() {
+        // Regression: the mid-loop certificate and the reported
+        // `proven_optimal` were two hand-expanded copies of the same
+        // predicate. Both now route through `certified`, so a run that
+        // stops on the certificate must report it, and the flag must
+        // always equal what the result's own fields imply.
+        let m = cycle(5);
+        let opts = SubgradientOptions::default();
+        let r = subgradient_ascent(&m, &opts, None, None);
+        assert!(r.iterations < opts.max_iters, "should certify mid-loop");
+        assert!(r.proven_optimal);
+        assert!(r.best_cost <= r.lb_ceil() + 1e-9);
+
+        // A run capped before it can certify reports the same predicate.
+        let capped = SubgradientOptions {
+            max_iters: 2,
+            ..SubgradientOptions::default()
+        };
+        let r2 = subgradient_ascent(&cycle(9), &capped, None, None);
+        assert_eq!(
+            r2.proven_optimal,
+            r2.lb.is_finite() && r2.best_cost <= r2.lb_ceil() + 1e-9
+        );
     }
 }
 

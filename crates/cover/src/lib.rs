@@ -43,7 +43,7 @@ pub use core_driver::{
 pub use halt::{CancelFlag, Halt, HaltReason};
 pub use implicit::{ImplicitMatrix, ReduceAbort, ReduceInterrupt};
 pub use io::ParseMatrixError;
-pub use matrix::{CoverMatrix, Solution};
+pub use matrix::{CoverMatrix, Solution, SparseView};
 pub use partition::{is_partitionable, partition, partition_count, Block};
 pub use reduce::{Reducer, ReductionStats};
 pub use zdd::{GcPauseHistogram, ZddOptions, ZddOverflow, ZddStats};

@@ -1,6 +1,7 @@
 //! The sparse covering-matrix representation and solutions.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A unate covering instance: a sparse 0/1 matrix with column costs.
 ///
@@ -17,12 +18,103 @@ use std::fmt;
 /// assert_eq!(m.num_cols(), 3);
 /// assert_eq!(m.col_rows(1), &[0, 1]);
 /// ```
-#[derive(Clone, PartialEq, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct CoverMatrix {
     num_cols: usize,
     rows: Vec<Vec<usize>>,
     cols: Vec<Vec<usize>>,
     costs: Vec<f64>,
+    /// Lazily-built flat CSR/CSC index arrays (see [`SparseView`]). A
+    /// cache, not part of the matrix's identity: `PartialEq` ignores it.
+    view: OnceLock<SparseView>,
+}
+
+// The derived impl would compare the lazily-built `view` cache, making
+// two equal matrices compare unequal depending on which of them has been
+// solved already.
+impl PartialEq for CoverMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_cols == other.num_cols && self.rows == other.rows && self.costs == other.costs
+    }
+}
+
+/// Flat CSR + CSC index arrays over a [`CoverMatrix`], the cache-linear
+/// form the subgradient inner loop iterates.
+///
+/// `row(i)` is the sorted column list of row `i` and `col(j)` the sorted
+/// row list of column `j`, both as contiguous `u32` slices: one pointer
+/// array plus one index array per orientation instead of a `Vec` per
+/// row/column. Built once per matrix on first use via
+/// [`CoverMatrix::sparse`] and immutable afterwards (the matrix has no
+/// mutators).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SparseView {
+    row_ptr: Vec<u32>,
+    row_idx: Vec<u32>,
+    col_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+}
+
+impl SparseView {
+    fn build(m: &CoverMatrix) -> Self {
+        let nnz = m.nnz();
+        assert!(
+            nnz <= u32::MAX as usize
+                && m.num_rows() <= u32::MAX as usize
+                && m.num_cols() <= u32::MAX as usize,
+            "matrix too large for u32 index arrays"
+        );
+        let mut row_ptr = Vec::with_capacity(m.num_rows() + 1);
+        let mut row_idx = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for row in &m.rows {
+            row_idx.extend(row.iter().map(|&j| j as u32));
+            row_ptr.push(row_idx.len() as u32);
+        }
+        let mut col_ptr = Vec::with_capacity(m.num_cols() + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        col_ptr.push(0);
+        for col in &m.cols {
+            col_idx.extend(col.iter().map(|&i| i as u32));
+            col_ptr.push(col_idx.len() as u32);
+        }
+        SparseView {
+            row_ptr,
+            row_idx,
+            col_ptr,
+            col_idx,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Number of nonzero entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The sorted column indices of row `i` (CSR).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.row_idx[self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize]
+    }
+
+    /// The sorted row indices of column `j` (CSC).
+    #[inline]
+    pub fn col(&self, j: usize) -> &[u32] {
+        &self.col_idx[self.col_ptr[j] as usize..self.col_ptr[j + 1] as usize]
+    }
 }
 
 impl CoverMatrix {
@@ -64,7 +156,14 @@ impl CoverMatrix {
             rows,
             cols,
             costs,
+            view: OnceLock::new(),
         }
+    }
+
+    /// The flat CSR/CSC view of this matrix, built on first use and
+    /// cached (cloning the matrix clones the cache).
+    pub fn sparse(&self) -> &SparseView {
+        self.view.get_or_init(|| SparseView::build(self))
     }
 
     /// Number of rows (objects to cover).
@@ -329,6 +428,43 @@ mod tests {
         assert!(m.integer_costs());
         assert!(m.is_coverable());
         assert!((m.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_view_mirrors_row_and_col_lists() {
+        let m = sample();
+        let v = m.sparse();
+        assert_eq!(v.num_rows(), m.num_rows());
+        assert_eq!(v.num_cols(), m.num_cols());
+        assert_eq!(v.nnz(), m.nnz());
+        for i in 0..m.num_rows() {
+            let flat: Vec<usize> = v.row(i).iter().map(|&j| j as usize).collect();
+            assert_eq!(flat, m.row(i));
+        }
+        for j in 0..m.num_cols() {
+            let flat: Vec<usize> = v.col(j).iter().map(|&i| i as usize).collect();
+            assert_eq!(flat, m.col_rows(j));
+        }
+    }
+
+    #[test]
+    fn sparse_view_handles_empty_rows_and_cols() {
+        let m = CoverMatrix::from_rows(3, vec![vec![], vec![2]]);
+        let v = m.sparse();
+        assert_eq!(v.row(0), &[] as &[u32]);
+        assert_eq!(v.row(1), &[2]);
+        assert_eq!(v.col(0), &[] as &[u32]);
+        assert_eq!(v.col(2), &[1]);
+        let empty = CoverMatrix::default();
+        assert_eq!(empty.sparse().nnz(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_the_view_cache() {
+        let a = sample();
+        let b = sample();
+        let _ = a.sparse(); // build a's cache only
+        assert_eq!(a, b);
     }
 
     #[test]

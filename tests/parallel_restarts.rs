@@ -51,6 +51,9 @@ fn opts_with(workers: usize, num_iter: usize) -> ScgOptions {
     ScgOptions {
         workers,
         num_iter,
+        // These fixtures are tiny by design; disable the small-core serial
+        // fallback so the pooled machinery is what actually runs.
+        parallel_nnz_threshold: 0,
         ..ScgOptions::default()
     }
 }
