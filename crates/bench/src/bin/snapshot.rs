@@ -10,8 +10,13 @@
 //! A third pass re-runs the whole suite through the `ucp-engine` batch
 //! scheduler at 1 and N workers and records an `engine` throughput row
 //! (jobs/sec and batch speedup), again asserting identical outcomes.
-//! A final `zdd_kernel` row times full implicit reductions over the
+//! A further `zdd_kernel` row times full implicit reductions over the
 //! challenging suite — the manager-level regression signal CI greps for.
+//! Finally a `server` row starts an in-process `ucp-server` on an
+//! ephemeral port and pushes a load-generator burst through the whole
+//! `ucp-api/1` wire path (HTTP parse → DTO → admission → engine →
+//! poll), recording jobs/sec and p50/p99 submit→terminal latency; the
+//! pass asserts that no accepted job is ever lost.
 //!
 //! Usage: `cargo run -p ucp-bench --release --bin snapshot [--quick]
 //! [--node-budget N]` — the budget applies to the `zdd_kernel` pass only
@@ -140,6 +145,53 @@ fn kernel_pass(quick: bool, node_budget: Option<usize>) -> String {
     row.finish()
 }
 
+/// Wire-path throughput: an in-process server on an ephemeral port,
+/// saturated by the shared load generator (the same one behind
+/// `ucp-loadgen` and the CI smoke). Zero lost handles is asserted, not
+/// just reported — a dropped job is a bug, not a slow run.
+fn server_pass(quick: bool) -> String {
+    let jobs = if quick { 200 } else { 2000 };
+    let server = ucp_server::Server::start(ucp_server::ServerConfig {
+        queue_capacity: 1024,
+        ..ucp_server::ServerConfig::default()
+    })
+    .expect("server binds an ephemeral port");
+    let opts = ucp_server::LoadgenOptions {
+        jobs,
+        connections: 8,
+        ..ucp_server::LoadgenOptions::default()
+    };
+    let report =
+        ucp_server::loadgen::run(&server.addr().to_string(), &opts).expect("loadgen run completes");
+    assert_eq!(report.lost, 0, "server lost job handles: {report:?}");
+    assert_eq!(
+        report.completed + report.failed,
+        jobs as u64,
+        "not every job turned terminal: {report:?}"
+    );
+    server.shutdown();
+    let mut row = JsonObj::new();
+    row.field_u64("jobs", report.submitted);
+    row.field_u64("connections", opts.connections as u64);
+    row.field_u64("completed", report.completed);
+    row.field_u64("rejected_429", report.rejected_429);
+    row.field_u64("shed", report.shed);
+    row.field_f64("jobs_per_sec", report.jobs_per_sec);
+    row.field_f64("p50_ms", report.p50_ms);
+    row.field_f64("p99_ms", report.p99_ms);
+    println!(
+        "server: {} jobs over {} connections, {:.1} jobs/s, p50 {:.2}ms, p99 {:.2}ms ({} shed, {} 429s absorbed)",
+        report.submitted,
+        opts.connections,
+        report.jobs_per_sec,
+        report.p50_ms,
+        report.p99_ms,
+        report.shed,
+        report.rejected_429
+    );
+    row.finish()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -253,8 +305,8 @@ fn main() {
         1.0
     };
     let mut doc = JsonObj::new();
-    doc.field_str("schema", "ucp-bench-snapshot/3");
-    doc.field_u64("schema_version", 3);
+    doc.field_str("schema", "ucp-bench-snapshot/4");
+    doc.field_u64("schema_version", 4);
     doc.field_str("git_commit", &git_commit());
     doc.field_str("preset", if quick { "fast" } else { "default" });
     doc.field_u64("instances", runs.len() as u64);
@@ -287,6 +339,7 @@ fn main() {
     eng_row.field_f64("batch_speedup", engine_speedup);
     doc.field_raw("engine", &eng_row.finish());
     doc.field_raw("zdd_kernel", &kernel_pass(quick, node_budget));
+    doc.field_raw("server", &server_pass(quick));
     doc.field_raw("runs", &format!("[{}]", runs.join(",")));
     fs::create_dir_all("results").expect("create results/");
     fs::write("results/BENCH_scg.json", doc.finish() + "\n").expect("write results/BENCH_scg.json");

@@ -53,6 +53,7 @@ pub mod request;
 pub mod restart;
 pub mod scg;
 pub mod subgradient;
+pub mod wire;
 
 pub use cover::{Halt, HaltReason, ZddOptions, ZddOverflow};
 pub use metrics::SolveMetrics;
@@ -62,4 +63,7 @@ pub use scg::{Scg, ScgOptions, ScgOutcome};
 pub use subgradient::{
     subgradient_ascent, subgradient_ascent_probed, HistoryPoint, SubgradientOptions,
     SubgradientResult,
+};
+pub use wire::{
+    JobResultDto, JobSpec, JobState, JobStatusDto, SubmitBody, WireCode, WireError, WIRE_API,
 };

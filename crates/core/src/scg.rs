@@ -37,7 +37,7 @@ use ucp_telemetry::{Event, FixReason, PenaltyKind, Phase, PhaseTimes, Probe};
 
 /// All tunables of the `ZDD_SCG` solver. Field defaults are the paper's
 /// published values where given.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ScgOptions {
     /// Cyclic-core computation options (`MaxR`, `MaxC`, implicit on/off).
     pub core: CoreOptions,

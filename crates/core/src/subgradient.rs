@@ -19,7 +19,7 @@ use ucp_telemetry::{Event, NoopProbe, Probe};
 
 /// Tunables of one subgradient phase. Defaults follow the paper where it
 /// gives values and common Held–Karp practice where it does not.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SubgradientOptions {
     /// Hard iteration cap.
     pub max_iters: usize,

@@ -14,7 +14,7 @@ use ucp_telemetry::{DegradeReason, Event, NoopProbe, Phase, Probe};
 use zdd::ZddOverflow;
 
 /// Tunables for the cyclic-core computation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CoreOptions {
     /// `MaxR` of the paper: the implicit phase may stop once the explicit
     /// row count is at most this.

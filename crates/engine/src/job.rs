@@ -2,7 +2,7 @@
 //! [`SubmitError`].
 
 use std::sync::mpsc;
-use ucp_core::{CancelFlag, ScgOutcome, ZddOverflow};
+use ucp_core::{CancelFlag, ScgOutcome, WireCode, ZddOverflow};
 
 /// Engine-unique job identifier, in submission order starting at 1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -36,6 +36,30 @@ pub enum JobError {
     ResourceExhausted(ZddOverflow),
     /// The engine shut down before the job could report a result.
     EngineClosed,
+    /// The engine shut down and aborted this job while it was still
+    /// queued ([`Engine::shutdown_now`](crate::Engine::shutdown_now) /
+    /// [`Engine::abort_queued`](crate::Engine::abort_queued)). Unlike
+    /// [`JobError::EngineClosed`] — the handle-side fallback when the
+    /// result channel is gone — this is an explicit terminal verdict
+    /// sent for the job itself: every handle resolves, none hang.
+    Shutdown,
+}
+
+impl JobError {
+    /// This error's stable wire code (see
+    /// [`WireCode`] for the one code ↔ HTTP status table). The match is
+    /// exhaustive on purpose: adding a [`JobError`] variant without
+    /// mapping it into the taxonomy is a compile error here.
+    pub fn wire_code(&self) -> WireCode {
+        match self {
+            JobError::Cancelled => WireCode::Cancelled,
+            JobError::Expired => WireCode::Expired,
+            JobError::Panicked(_) => WireCode::Panicked,
+            JobError::ResourceExhausted(_) => WireCode::ResourceExhausted,
+            JobError::EngineClosed => WireCode::EngineClosed,
+            JobError::Shutdown => WireCode::Shutdown,
+        }
+    }
 }
 
 impl std::fmt::Display for JobError {
@@ -48,6 +72,9 @@ impl std::fmt::Display for JobError {
                 f.write_str("job exhausted its resource budget, even after a degraded retry")
             }
             JobError::EngineClosed => f.write_str("engine shut down before the job finished"),
+            JobError::Shutdown => {
+                f.write_str("engine shut down and aborted the job while it was queued")
+            }
         }
     }
 }
@@ -79,6 +106,17 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull => f.write_str("job queue is full"),
             SubmitError::Closed => f.write_str("engine is shut down"),
+        }
+    }
+}
+
+impl SubmitError {
+    /// This error's stable wire code (exhaustive on purpose, like
+    /// [`JobError::wire_code`]).
+    pub fn wire_code(&self) -> WireCode {
+        match self {
+            SubmitError::QueueFull => WireCode::QueueFull,
+            SubmitError::Closed => WireCode::EngineClosed,
         }
     }
 }

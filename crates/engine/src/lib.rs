@@ -128,6 +128,10 @@ pub struct EngineStats {
     /// Jobs that resolved to [`JobError::ResourceExhausted`] — the
     /// degraded retry was impossible or also exhausted.
     pub exhausted: u64,
+    /// Queued jobs aborted to [`JobError::Shutdown`] by
+    /// [`Engine::shutdown_now`] / [`Engine::abort_queued`] without
+    /// running.
+    pub aborted: u64,
     /// Jobs currently waiting in the queue.
     pub queued: u64,
     /// Jobs currently running on a worker.
@@ -136,11 +140,34 @@ pub struct EngineStats {
 
 /// One queued unit of work. The id lives on the [`JobHandle`] side;
 /// workers identify jobs only by queue position.
+///
+/// Both slots are `Option` so the drop guard can tell "resolved" from
+/// "discarded": a job dropped with its sender still in place (an
+/// aborted queue, a discarded engine) resolves its handle to
+/// [`JobError::Shutdown`] instead of leaving the submitter hanging on a
+/// channel that silently disconnects.
 struct Job {
-    request: SolveRequest<'static>,
+    request: Option<SolveRequest<'static>>,
     cancel: CancelFlag,
     submitted_at: Instant,
-    tx: mpsc::Sender<JobResult>,
+    tx: Option<mpsc::Sender<JobResult>>,
+}
+
+impl Job {
+    /// Delivers the job's terminal verdict (at most once; the drop
+    /// guard becomes a no-op afterwards). A submitter that dropped its
+    /// handle abandons the result, never the accounting around it.
+    fn resolve(&mut self, result: JobResult) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(result);
+        }
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        self.resolve(Err(JobError::Shutdown));
+    }
 }
 
 #[derive(Default)]
@@ -162,6 +189,8 @@ struct Counters {
     degraded: Arc<Counter>,
     retried: Arc<Counter>,
     exhausted: Arc<Counter>,
+    /// Queued jobs aborted to [`JobError::Shutdown`] without running.
+    aborted: Arc<Counter>,
     running: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
     /// Submission-to-dequeue wait per job. Every accepted job is
@@ -212,6 +241,10 @@ impl Counters {
                 "ucp_engine_jobs_exhausted_total",
                 "Jobs that resolved to ResourceExhausted",
             ),
+            aborted: registry.counter(
+                "ucp_engine_jobs_aborted_total",
+                "Queued jobs aborted to Shutdown without running",
+            ),
             running: registry.gauge("ucp_engine_jobs_running", "Jobs currently on a worker"),
             queue_depth: registry.gauge("ucp_engine_queue_depth", "Jobs waiting in the queue"),
             queue_wait: registry.histogram(
@@ -242,6 +275,7 @@ impl Counters {
             + self.expired.get()
             + self.panicked.get()
             + self.exhausted.get()
+            + self.aborted.get()
     }
 }
 
@@ -362,10 +396,10 @@ impl Engine {
         let cancel = request.cancel_flag();
         let (tx, rx) = mpsc::channel();
         state.jobs.push_back(Job {
-            request,
+            request: Some(request),
             cancel: cancel.clone(),
             submitted_at: Instant::now(),
-            tx,
+            tx: Some(tx),
         });
         self.shared.counters.submitted.inc();
         self.shared
@@ -390,6 +424,7 @@ impl Engine {
             degraded: c.degraded.get(),
             retried: c.retried.get(),
             exhausted: c.exhausted.get(),
+            aborted: c.aborted.get(),
             queued,
             running: c.running.get() as u64,
         }
@@ -410,9 +445,11 @@ impl Engine {
     ///
     /// The histograms reconcile exactly with [`Engine::stats`]:
     /// `ucp_engine_queue_wait_seconds` counts every *dequeued* job (==
-    /// `submitted` once the queue is empty) and `ucp_engine_run_seconds`
-    /// every terminal one (== `completed + cancelled + expired +
-    /// panicked + exhausted`). The chaos test pins both identities.
+    /// `submitted` once the queue is empty — [`Engine::abort_queued`]
+    /// records the wait of the jobs it drains too) and
+    /// `ucp_engine_run_seconds` every job that ran to a verdict (==
+    /// `completed + cancelled + expired + panicked + exhausted`;
+    /// aborted jobs never ran). The chaos test pins both identities.
     pub fn metrics_snapshot(&self) -> Vec<MetricSnapshot> {
         let c = &self.shared.counters;
         let uptime = self.shared.started.elapsed().as_secs_f64();
@@ -440,6 +477,50 @@ impl Engine {
         self.stats()
     }
 
+    /// Aborts every job still waiting in the queue: each one resolves
+    /// to [`JobError::Shutdown`] (no handle is left hanging) and counts
+    /// into `ucp_engine_jobs_aborted_total`. Running jobs are
+    /// untouched. Returns how many jobs were aborted.
+    pub fn abort_queued(&self) -> u64 {
+        let drained: Vec<Job> = {
+            let mut state = self.shared.state.lock().unwrap();
+            let drained: Vec<Job> = state.jobs.drain(..).collect();
+            self.shared.counters.queue_depth.set(0.0);
+            drained
+        };
+        // Blocked submitters can take the freed slots (or observe
+        // `closed` during a shutdown).
+        self.shared.not_full.notify_all();
+        let n = drained.len() as u64;
+        for mut job in drained {
+            // Aborted jobs still record their queue wait, keeping the
+            // histogram's count reconciled with `submitted` (every
+            // accepted job leaves the queue exactly once, whichever way).
+            self.shared
+                .counters
+                .queue_wait
+                .observe_duration(job.submitted_at.elapsed());
+            job.resolve(Err(JobError::Shutdown));
+        }
+        self.shared.counters.aborted.add(n);
+        n
+    }
+
+    /// Fast shutdown: stops accepting new jobs, aborts everything still
+    /// queued (each handle resolves to [`JobError::Shutdown`]), lets
+    /// in-flight jobs finish, joins the workers and returns the final
+    /// counters. Cancel running jobs through their handles first if
+    /// they should stop too.
+    pub fn shutdown_now(mut self) -> EngineStats {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.closed = true;
+        }
+        self.abort_queued();
+        self.close_and_join();
+        self.stats()
+    }
+
     fn close_and_join(&mut self) {
         {
             let mut state = self.shared.state.lock().unwrap();
@@ -463,7 +544,7 @@ impl Drop for Engine {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
+        let mut job = {
             let mut state = shared.state.lock().unwrap();
             let job = loop {
                 if let Some(job) = state.jobs.pop_front() {
@@ -487,7 +568,8 @@ fn worker_loop(shared: &Shared) {
             .observe_duration(job.submitted_at.elapsed());
         shared.counters.running.add(1.0);
         let run_started = Instant::now();
-        let result = run_job(job.request, &job.cancel, job.submitted_at, &shared.counters);
+        let request = job.request.take().expect("queued job carries its request");
+        let result = run_job(request, &job.cancel, job.submitted_at, &shared.counters);
         shared
             .counters
             .run_latency
@@ -505,9 +587,7 @@ fn worker_loop(shared: &Shared) {
             Err(_) => &shared.counters.completed,
         };
         counter.inc();
-        // The submitter may have dropped its handle; that abandons the
-        // result, not the accounting above.
-        let _ = job.tx.send(result);
+        job.resolve(result);
     }
 }
 
@@ -873,6 +953,64 @@ mod tests {
             "cancellation must not poison later jobs"
         );
         engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_now_resolves_every_queued_handle() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 8,
+        });
+        let blocker = engine.submit(blocker_request()).unwrap();
+        while engine.stats().running == 0 {
+            thread::yield_now();
+        }
+        let m = cycle(5);
+        let queued: Vec<_> = (0..3)
+            .map(|_| engine.submit(fast_request(&m)).unwrap())
+            .collect();
+        // Let the parked worker finish promptly once shutdown begins.
+        blocker.cancel();
+        let stats = engine.shutdown_now();
+        assert_eq!(stats.aborted, 3);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.queued, 0);
+        // The regression this pins: every handle to an aborted job gets
+        // an explicit terminal verdict, not a silent disconnect.
+        for job in queued {
+            assert_eq!(job.wait().unwrap_err(), JobError::Shutdown);
+        }
+        assert_eq!(blocker.wait().unwrap_err(), JobError::Cancelled);
+    }
+
+    #[test]
+    fn abort_queued_frees_slots_and_counts() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 2,
+        });
+        let blocker = engine.submit(blocker_request()).unwrap();
+        while engine.stats().running == 0 {
+            thread::yield_now();
+        }
+        let m = cycle(5);
+        let a = engine.submit(fast_request(&m)).unwrap();
+        let b = engine.submit(fast_request(&m)).unwrap();
+        assert_eq!(
+            engine.try_submit(fast_request(&m)).unwrap_err(),
+            SubmitError::QueueFull
+        );
+        assert_eq!(engine.abort_queued(), 2);
+        assert_eq!(a.wait().unwrap_err(), JobError::Shutdown);
+        assert_eq!(b.wait().unwrap_err(), JobError::Shutdown);
+        // The engine stays open for business after an abort.
+        let c = engine.try_submit(fast_request(&m)).unwrap();
+        blocker.cancel();
+        assert_eq!(blocker.wait().unwrap_err(), JobError::Cancelled);
+        assert!(c.wait().is_ok());
+        let stats = engine.shutdown();
+        assert_eq!(stats.aborted, 2);
+        assert_eq!(stats.completed, 1);
     }
 
     #[test]

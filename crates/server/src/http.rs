@@ -1,0 +1,265 @@
+//! A minimal HTTP/1.1 layer on `std::net` — just enough protocol for
+//! the `ucp-api/1` surface: request parsing with a body-size cap,
+//! fixed-length responses with keep-alive, and chunked transfer
+//! encoding for live trace streams.
+//!
+//! Hand-rolled on purpose: the workspace builds without registry
+//! access, so there is no async runtime or HTTP stack to lean on. The
+//! server is "async" at the job level instead — submission returns an
+//! id immediately and results are polled — which a blocking
+//! thread-per-connection front-end serves perfectly well.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One parsed HTTP request. Header names are lowercased at parse time;
+/// values keep their bytes (trimmed).
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read off the socket.
+#[derive(Debug)]
+pub enum RecvError {
+    /// Clean end of stream between requests — the peer hung up.
+    Closed,
+    /// The declared body exceeds the server's cap.
+    TooLarge {
+        limit: usize,
+    },
+    /// Anything else: malformed request line, bad header, short body.
+    Malformed(String),
+    Io(io::Error),
+}
+
+impl From<io::Error> for RecvError {
+    fn from(e: io::Error) -> Self {
+        RecvError::Io(e)
+    }
+}
+
+/// Caps on the request head, separate from the body cap: no header
+/// smaller than the body limit should be able to balloon memory either.
+const MAX_LINE: usize = 16 * 1024;
+const MAX_HEADERS: usize = 100;
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, RecvError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && line.is_empty() => {
+                return Err(RecvError::Closed);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| RecvError::Malformed("non-UTF-8 header line".into()));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE {
+            return Err(RecvError::Malformed("header line too long".into()));
+        }
+    }
+}
+
+/// Reads one request off the connection. `max_body` caps the declared
+/// `Content-Length`; an oversized body is *drained* (up to the cap's
+/// refusal) so the connection could in principle carry on, but the
+/// caller conventionally answers 413 and closes.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, RecvError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(RecvError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RecvError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader) {
+            Ok(line) => line,
+            Err(RecvError::Closed) => {
+                return Err(RecvError::Malformed("connection closed mid-headers".into()))
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RecvError::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > MAX_HEADERS {
+            return Err(RecvError::Malformed("too many headers".into()));
+        }
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| RecvError::Malformed(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(RecvError::TooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| RecvError::Malformed(format!("short body: {e}")))?;
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        headers,
+        body,
+    })
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response (keep-alive friendly).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason_phrase(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A `Transfer-Encoding: chunked` response in progress. Created by
+/// [`ChunkedWriter::begin`] (which writes the response head), fed with
+/// [`ChunkedWriter::chunk`], terminated by [`ChunkedWriter::finish`].
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> io::Result<ChunkedWriter<'a>> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\n\r\n",
+            reason_phrase(status)
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Sends one chunk and flushes, so a live trace consumer sees lines
+    /// as they happen, not when a buffer fills. Empty input is skipped
+    /// (a zero-length chunk would terminate the stream).
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Sends the terminating zero-length chunk.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Reads a chunked-encoded body off `reader` until the terminating
+/// chunk (the client half of [`ChunkedWriter`]).
+pub fn read_chunked(reader: &mut impl BufRead) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line)?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| io::Error::other(format!("bad chunk size {size_line:?}")))?;
+        if size == 0 {
+            let mut crlf = String::new();
+            reader.read_line(&mut crlf)?;
+            return Ok(body);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+    }
+}

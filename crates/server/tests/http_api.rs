@@ -1,0 +1,533 @@
+//! End-to-end tests of the `ucp-api/1` surface over real sockets:
+//! lifecycle, cancellation, admission control, load shedding, trace
+//! streaming, the malformed-body corpus and the wire-error taxonomy.
+
+use cover::CoverMatrix;
+use std::io::BufReader;
+use std::time::{Duration, Instant};
+use ucp_core::wire::{JobSpec, JobState, JobStatusDto, WireCode};
+use ucp_core::Preset;
+use ucp_server::{loadgen, HttpClient, Server, ServerConfig};
+use ucp_telemetry::parse_trace;
+
+fn cycle(n: usize) -> CoverMatrix {
+    CoverMatrix::from_rows(n, (0..n).map(|i| vec![i, (i + 1) % n]).collect())
+}
+
+/// STS(9): the Lagrangian bound sits strictly below the optimum, so a
+/// huge restart schedule never certifies — a job that runs until
+/// cancelled.
+fn blocker_matrix() -> CoverMatrix {
+    CoverMatrix::from_rows(
+        9,
+        vec![
+            vec![0, 1, 2],
+            vec![3, 4, 5],
+            vec![6, 7, 8],
+            vec![0, 3, 6],
+            vec![1, 4, 7],
+            vec![2, 5, 8],
+            vec![0, 4, 8],
+            vec![1, 5, 6],
+            vec![2, 3, 7],
+            vec![0, 5, 7],
+            vec![1, 3, 8],
+            vec![2, 4, 6],
+        ],
+    )
+}
+
+fn blocker_body() -> ucp_core::wire::SubmitBody {
+    let mut spec = JobSpec::new(Preset::Paper);
+    spec.num_iter = Some(5_000_000);
+    ucp_core::wire::SubmitBody {
+        matrix: blocker_matrix(),
+        spec,
+        tenant: None,
+        trace: false,
+    }
+}
+
+fn fast_body(seed: u64) -> ucp_core::wire::SubmitBody {
+    let mut spec = JobSpec::new(Preset::Fast);
+    spec.seed = Some(seed);
+    ucp_core::wire::SubmitBody {
+        matrix: cycle(9),
+        spec,
+        tenant: None,
+        trace: false,
+    }
+}
+
+/// Same instance at Paper effort — the shed policy visibly changes it.
+fn paper_body(seed: u64) -> ucp_core::wire::SubmitBody {
+    let mut body = fast_body(seed);
+    body.spec = JobSpec::new(Preset::Paper);
+    body.spec.seed = Some(seed);
+    body
+}
+
+fn poll_until_terminal(client: &mut HttpClient, id: &str) -> JobStatusDto {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = client.poll(id).unwrap().unwrap();
+        if status.state.is_terminal() {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "job {id} never turned terminal");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn wait_running(server: &Server, n: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.engine_stats().running < n {
+        assert!(Instant::now() < deadline, "worker never picked up the job");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn submit_poll_cancel_lifecycle() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = HttpClient::new(server.addr()).unwrap();
+
+    // A fast job resolves to done with the standalone answer.
+    let accepted = client.submit(&fast_body(1)).unwrap().unwrap();
+    assert_eq!(accepted.state, JobState::Pending);
+    assert!(accepted.id.starts_with("j-"), "{}", accepted.id);
+    let done = poll_until_terminal(&mut client, &accepted.id);
+    assert_eq!(done.state, JobState::Done);
+    let result = done.result.clone().expect("done job carries a result");
+    assert_eq!(result.cost, 5.0); // ⌈9/2⌉ on the 9-cycle
+    assert!(!result.columns.is_empty());
+
+    // Terminal status is stable across repeated polls.
+    let again = client.poll(&done.id).unwrap().unwrap();
+    assert_eq!(again, done);
+
+    // A blocker only ends by cancellation, through DELETE.
+    let blocker = client.submit(&blocker_body()).unwrap().unwrap();
+    wait_running(&server, 1);
+    let resp = client.delete(&format!("/v1/jobs/{}", blocker.id)).unwrap();
+    assert_eq!(resp.status, 200);
+    let cancelled = poll_until_terminal(&mut client, &blocker.id);
+    assert_eq!(cancelled.state, JobState::Failed);
+    let err = cancelled.error.expect("failed job carries an error");
+    assert_eq!(err.code, WireCode::Cancelled);
+    assert!(cancelled.cancel_requested);
+
+    // DELETE on a terminal job is idempotent.
+    let resp = client.delete(&format!("/v1/jobs/{}", blocker.id)).unwrap();
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_routes_and_jobs_get_wire_errors() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let mut client = HttpClient::new(server.addr()).unwrap();
+
+    let resp = client.get("/v1/jobs/j-99999").unwrap();
+    assert_eq!(resp.status, 404);
+    let err = ucp_server::parse_wire_error(&resp).unwrap();
+    assert_eq!(err.code, WireCode::NotFound);
+
+    let resp = client.get("/no/such/route").unwrap();
+    assert_eq!(resp.status, 404);
+
+    // Wrong method on a known route.
+    let resp = client.request("PUT", "/v1/jobs", &[], b"").unwrap();
+    assert_eq!(resp.status, 405);
+
+    // Bad id shapes are NotFound, not a crash.
+    for id in ["j-", "j-abc", "42", "j--1"] {
+        let resp = client.get(&format!("/v1/jobs/{id}")).unwrap();
+        assert_eq!(resp.status, 404, "id {id:?}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_bodies_get_400_with_wire_codes() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let mut client = HttpClient::new(server.addr()).unwrap();
+    // (body, expected code) — the parser-fuzz-style corpus: every entry
+    // must produce a clean 400 with a machine-readable code, never a
+    // hung connection or a worker panic.
+    let corpus: &[(&str, WireCode)] = &[
+        ("", WireCode::BadRequest),
+        ("{", WireCode::BadRequest),
+        ("[1,2,3]", WireCode::BadRequest),
+        ("not json at all", WireCode::BadRequest),
+        (r#"{"spec":{}}"#, WireCode::InvalidSpec),
+        (
+            r#"{"matrix":{"cols":3,"rows":[[7]]}}"#,
+            WireCode::InvalidSpec,
+        ),
+        (
+            r#"{"matrix":{"cols":3,"rows":[[0]],"costs":[1,2,-3]}}"#,
+            WireCode::InvalidSpec,
+        ),
+        (
+            r#"{"matrix":{"cols":3,"rows":[[0]]},"spec":{"preset":"warp"}}"#,
+            WireCode::InvalidSpec,
+        ),
+        (
+            r#"{"matrix":{"cols":3,"rows":[[0]]},"spec":{"bogus_knob":1}}"#,
+            WireCode::InvalidSpec,
+        ),
+        (
+            r#"{"matrix":{"cols":3,"rows":[[0]]},"spec":{"workers":1.5}}"#,
+            WireCode::InvalidSpec,
+        ),
+        (
+            r#"{"api":"ucp-api/2","matrix":{"cols":3,"rows":[[0]]}}"#,
+            WireCode::InvalidSpec,
+        ),
+        (
+            r#"{"matrix":{"cols":3,"rows":[[0]]},"tenant":""}"#,
+            WireCode::InvalidSpec,
+        ),
+    ];
+    for (body, expected) in corpus {
+        let resp = client.post("/v1/jobs", body.as_bytes()).unwrap();
+        assert_eq!(resp.status, 400, "body {body:?} → {}", resp.body_str());
+        let err = ucp_server::parse_wire_error(&resp).unwrap();
+        assert_eq!(err.code, *expected, "body {body:?}");
+    }
+    // The connection survived the whole corpus: a real job still works.
+    let ok = client.submit(&fast_body(7)).unwrap().unwrap();
+    let done = poll_until_terminal(&mut client, &ok.id);
+    assert_eq!(done.state, JobState::Done);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_gets_413_and_close() {
+    let server = Server::start(ServerConfig {
+        max_body_bytes: 1024,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = HttpClient::new(server.addr()).unwrap();
+    let big = vec![b'x'; 4096];
+    let resp = client.post("/v1/jobs", &big).unwrap();
+    assert_eq!(resp.status, 413);
+    let err = ucp_server::parse_wire_error(&resp).unwrap();
+    assert_eq!(err.code, WireCode::PayloadTooLarge);
+    // The client transparently reconnects afterwards.
+    let ok = client.submit(&fast_body(3)).unwrap().unwrap();
+    poll_until_terminal(&mut client, &ok.id);
+    server.shutdown();
+}
+
+#[test]
+fn saturation_returns_429_and_sheds_to_fast() {
+    // One worker, a 4-deep queue, shedding after a single high-water
+    // sighting: park the worker, fill the queue, watch the policy bite.
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        shed_after: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = HttpClient::new(server.addr()).unwrap();
+    let parked = client.submit(&blocker_body()).unwrap().unwrap();
+    wait_running(&server, 1);
+    let queued: Vec<JobStatusDto> = (0..3)
+        .map(|_| client.submit(&blocker_body()).unwrap().unwrap())
+        .collect();
+    assert!(
+        queued.iter().all(|s| !s.shed),
+        "depth was below the high-water mark for these"
+    );
+
+    // Depth is now 3 = ⌈¾·4⌉: the next submission observes sustained
+    // pressure, engages shedding and is degraded from Paper to Fast.
+    let shed = client.submit(&paper_body(1)).unwrap().unwrap();
+    assert!(shed.shed, "expected the shed flag under queue pressure");
+
+    // Queue full (4): refused with 429 + Retry-After + queue_full.
+    let resp = client
+        .post("/v1/jobs", paper_body(2).to_json().as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 429);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    let err = ucp_server::parse_wire_error(&resp).unwrap();
+    assert_eq!(err.code, WireCode::QueueFull);
+
+    // Shed accounting is visible on /metrics.
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_str();
+    assert!(
+        text.contains("ucp_server_jobs_shed_total 1"),
+        "shed counter missing:\n{text}"
+    );
+    assert!(text.contains("ucp_server_jobs_rejected_total{reason=\"queue_full\"} 1"));
+
+    // Unblock everything; the shed job (now Fast on a 9-cycle) finishes
+    // with the Fast answer, proving the degradation actually applied.
+    for job in [&parked].into_iter().chain(queued.iter()) {
+        client.delete(&format!("/v1/jobs/{}", job.id)).unwrap();
+    }
+    let done = poll_until_terminal(&mut client, &shed.id);
+    assert_eq!(done.state, JobState::Done);
+    assert!(done.shed);
+    assert_eq!(done.result.unwrap().cost, 5.0);
+    server.shutdown();
+}
+
+#[test]
+fn tenant_quota_isolates_tenants() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        tenant_inflight_cap: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = HttpClient::new(server.addr()).unwrap();
+    let mut acme = blocker_body();
+    acme.tenant = Some("acme".into());
+    let a1 = client.submit(&acme).unwrap().unwrap();
+    wait_running(&server, 1);
+    let a2 = client.submit(&acme).unwrap().unwrap();
+
+    // Third acme job: over quota → 429 tenant_quota.
+    let resp = client.post("/v1/jobs", acme.to_json().as_bytes()).unwrap();
+    assert_eq!(resp.status, 429);
+    let err = ucp_server::parse_wire_error(&resp).unwrap();
+    assert_eq!(err.code, WireCode::TenantQuota);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+
+    // A different tenant is unaffected — via the header this time.
+    let resp = client
+        .request(
+            "POST",
+            "/v1/jobs",
+            &[
+                ("Content-Type", "application/json"),
+                ("x-ucp-tenant", "zen"),
+            ],
+            fast_body(5).to_json().as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_str());
+    let zen = JobStatusDto::parse(resp.body_str()).unwrap();
+    assert_eq!(zen.tenant, "zen");
+
+    // Cancelling acme's jobs frees the quota (the admission sweep
+    // reclaims the slots without anyone polling first).
+    client.delete(&format!("/v1/jobs/{}", a1.id)).unwrap();
+    client.delete(&format!("/v1/jobs/{}", a2.id)).unwrap();
+    poll_until_terminal(&mut client, &a1.id);
+    poll_until_terminal(&mut client, &a2.id);
+    let a3 = client.submit(&acme).unwrap().unwrap();
+    client.delete(&format!("/v1/jobs/{}", a3.id)).unwrap();
+    poll_until_terminal(&mut client, &a3.id);
+    server.shutdown();
+}
+
+#[test]
+fn trace_stream_is_valid_ucp_trace_jsonl() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = HttpClient::new(server.addr()).unwrap();
+    let mut body = fast_body(11);
+    body.trace = true;
+    let accepted = client.submit(&body).unwrap().unwrap();
+    // GET blocks streaming until the job finishes, then returns the
+    // whole decoded chunked body.
+    let resp = client
+        .get(&format!("/v1/jobs/{}/trace", accepted.id))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("application/x-ndjson"));
+    let events = parse_trace(BufReader::new(resp.body.as_slice()))
+        .expect("trace stream must parse as ucp-trace/1");
+    assert!(events.len() > 2, "expected a real trace, got {events:?}");
+    assert!(events.iter().any(|e| e.kind == "phase_begin"));
+    let last = events.last().unwrap();
+    assert_eq!(last.kind, "job_result", "stream must end with the verdict");
+    assert_eq!(
+        last.fields.get("state").and_then(|v| v.as_str()),
+        Some("done")
+    );
+
+    // The connection is reusable after a chunked response.
+    let status = client.poll(&accepted.id).unwrap().unwrap();
+    assert_eq!(status.state, JobState::Done);
+
+    // A job submitted without trace: 404 on its trace route.
+    let untraced = client.submit(&fast_body(12)).unwrap().unwrap();
+    let resp = client
+        .get(&format!("/v1/jobs/{}/trace", untraced.id))
+        .unwrap();
+    assert_eq!(resp.status, 404);
+    poll_until_terminal(&mut client, &untraced.id);
+    server.shutdown();
+}
+
+#[test]
+fn trace_stream_of_cancelled_job_terminates() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = HttpClient::new(server.addr()).unwrap();
+    let mut body = blocker_body();
+    body.trace = true;
+    let accepted = client.submit(&body).unwrap().unwrap();
+    wait_running(&server, 1);
+    // Cancel from a second connection while the first streams: the
+    // stream must observe the terminal line and end rather than hang.
+    let id = accepted.id.clone();
+    let addr = server.addr();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        let mut client = HttpClient::new(addr).unwrap();
+        client.delete(&format!("/v1/jobs/{id}")).unwrap();
+    });
+    let resp = client
+        .get(&format!("/v1/jobs/{}/trace", accepted.id))
+        .unwrap();
+    canceller.join().unwrap();
+    assert_eq!(resp.status, 200);
+    let events = parse_trace(BufReader::new(resp.body.as_slice())).unwrap();
+    let last = events.last().expect("at least the job_result line");
+    assert_eq!(last.kind, "job_result");
+    assert_eq!(
+        last.fields.get("code").and_then(|v| v.as_str()),
+        Some("cancelled")
+    );
+    server.shutdown();
+}
+
+#[test]
+fn stats_and_metrics_expose_server_families() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = HttpClient::new(server.addr()).unwrap();
+    let job = client.submit(&fast_body(1)).unwrap().unwrap();
+    poll_until_terminal(&mut client, &job.id);
+
+    let resp = client.get("/v1/stats").unwrap();
+    assert_eq!(resp.status, 200);
+    let v = ucp_telemetry::trace::parse_json(resp.body_str()).unwrap();
+    assert_eq!(v.get("api").and_then(|a| a.as_str()), Some("ucp-api/1"));
+    assert_eq!(v.get("jobs_accepted").and_then(|n| n.as_f64()), Some(1.0));
+    assert_eq!(
+        v.get("engine")
+            .and_then(|e| e.get("completed"))
+            .and_then(|n| n.as_f64()),
+        Some(1.0)
+    );
+
+    let resp = client.get("/metrics").unwrap();
+    let text = resp.body_str();
+    for family in [
+        "ucp_server_http_requests_total",
+        "ucp_server_jobs_accepted_total",
+        "ucp_server_jobs_shed_total",
+        "ucp_server_jobs_tracked",
+        "ucp_engine_jobs_completed_total",
+    ] {
+        assert!(text.contains(family), "missing {family} in:\n{text}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_reconcile_with_zero_lost_jobs() {
+    let server = Server::start(ServerConfig {
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let report = loadgen::run(
+        &server.addr().to_string(),
+        &loadgen::LoadgenOptions {
+            jobs: 120,
+            connections: 6,
+            trace_every: 10,
+            ..loadgen::LoadgenOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.lost, 0, "{report:?}");
+    assert_eq!(report.completed, 120, "{report:?}");
+    assert_eq!(report.failed, 0, "{report:?}");
+    let stats = server.engine_stats();
+    assert_eq!(stats.submitted, 120); // every accepted job hit the engine
+    assert_eq!(stats.completed, 120);
+    server.shutdown();
+}
+
+/// The acceptance-criterion scale test: ≥1000 concurrent jobs, zero
+/// lost handles, every job terminal.
+#[test]
+fn thousand_concurrent_jobs_zero_lost() {
+    let server = Server::start(ServerConfig {
+        queue_capacity: 1024,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let report = loadgen::run(
+        &server.addr().to_string(),
+        &loadgen::LoadgenOptions {
+            jobs: 1000,
+            connections: 16,
+            rows: 7,
+            ..loadgen::LoadgenOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.lost, 0, "{report:?}");
+    assert_eq!(report.completed + report.failed, 1000, "{report:?}");
+    assert_eq!(report.failed, 0, "{report:?}");
+    assert!(report.jobs_per_sec > 0.0);
+    assert!(report.p99_ms >= report.p50_ms);
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 1000);
+    assert_eq!(stats.completed, 1000);
+}
+
+#[test]
+fn shutdown_aborts_queued_jobs_without_losing_handles() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = HttpClient::new(server.addr()).unwrap();
+    let _parked = client.submit(&blocker_body()).unwrap().unwrap();
+    wait_running(&server, 1);
+    for i in 0..3 {
+        client.submit(&fast_body(i)).unwrap().unwrap();
+    }
+    let stats = server.shutdown();
+    // The parked job was cancelled, the queued three aborted — nothing
+    // runs on, nothing is stuck.
+    assert_eq!(stats.running, 0);
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(
+        stats.aborted + stats.completed + stats.cancelled,
+        4,
+        "{stats:?}"
+    );
+}

@@ -5,6 +5,7 @@
 //! ucp solve <instance> [--exact] [--preset P] [-j N|--workers N] [--node-budget N]
 //!           [--trace <path>] [--stats] [--metrics <path>]
 //! ucp batch <suite> [-j N] [--preset P] [--seed S] [--node-budget N]
+//! ucp serve [--addr A] [-j N] [--queue-cap N]      HTTP solve service
 //! ucp trace <file.jsonl> [--folded <out>]          profile a recorded trace
 //! ucp bounds <file.ucp>                            print the bound chain
 //! ucp suite [easy|difficult|challenging]           describe the benchmark suite
@@ -45,6 +46,16 @@
 //! live completion line, and the footer reports throughput. Per-job results
 //! are identical to a serial `solve` loop for every `-j`.
 //!
+//! `ucp serve` turns the engine into a long-lived solve service speaking
+//! the versioned `ucp-api/1` wire protocol: `POST /v1/jobs` submits a
+//! matrix + `JobSpec` and returns a job id, `GET /v1/jobs/{id}` polls,
+//! `DELETE` cancels, `GET /v1/jobs/{id}/trace` streams the live
+//! `ucp-trace/1` JSONL and `GET /metrics` serves the Prometheus
+//! exposition. `--addr` sets the bind address (default
+//! `127.0.0.1:7171`, port `0` picks one), `-j N` the engine workers and
+//! `--queue-cap N` the admission queue. See the README's "Serving"
+//! section for the wire format and the error-code taxonomy.
+//!
 //! `--node-budget N` caps the implicit phase's ZDD store at `N` live
 //! nodes. A solve that exhausts the budget degrades to the explicit
 //! reductions and still returns the same cover (`--stats` reports the
@@ -60,9 +71,11 @@ use ucp::logic::{build_covering, Pla};
 use ucp::lp::DenseLp;
 use ucp::solvers::{branch_and_bound, BnbOptions};
 use ucp::ucp_core::bounds::bounds_report;
+use ucp::ucp_core::wire::JobSpec;
 use ucp::ucp_core::{Preset, Scg, ScgOutcome, SolveMetrics, SolveRequest};
 use ucp::ucp_engine::{Engine, EngineConfig, JobError};
 use ucp::ucp_metrics::Registry;
+use ucp::ucp_server::{Server, ServerConfig};
 use ucp::ucp_telemetry::{folded_stacks, parse_trace, JsonlSink, TraceSummary};
 use ucp::workloads::suite;
 
@@ -72,6 +85,7 @@ fn main() -> ExitCode {
         Some("minimize") => cmd_minimize(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
@@ -104,7 +118,10 @@ fn main() -> ExitCode {
 }
 
 fn print_usage(w: &mut dyn Write) {
-    let _ = writeln!(w, "usage: ucp <minimize|solve|batch|trace|bounds|suite> …");
+    let _ = writeln!(
+        w,
+        "usage: ucp <minimize|solve|batch|serve|trace|bounds|suite> …"
+    );
     let _ = writeln!(w, "  minimize <file.pla> [-o out.pla] [--exact]");
     let _ = writeln!(
         w,
@@ -115,6 +132,10 @@ fn print_usage(w: &mut dyn Write) {
         w,
         "  batch    <easy|difficult|challenging|all> [-j N] [--preset P] [--seed S] \
          [--node-budget N]"
+    );
+    let _ = writeln!(
+        w,
+        "  serve    [--addr host:port] [-j N|--workers N] [--queue-cap N]"
     );
     let _ = writeln!(w, "  trace    <file.jsonl> [--folded <out>]");
     let _ = writeln!(w, "  bounds   <file.ucp>");
@@ -468,18 +489,15 @@ fn cmd_batch(args: &[String]) -> CliResult {
         engine.workers()
     );
     let start = Instant::now();
+    // Every batch job goes through the same `JobSpec` DTO the wire API
+    // uses, so the CLI and the server build byte-identical requests.
+    let mut spec = JobSpec::new(preset);
+    spec.seed = seed;
+    spec.node_budget = node_budget;
     let jobs: Vec<_> = instances
         .iter()
         .map(|inst| {
-            let mut req = SolveRequest::for_shared(Arc::new(inst.matrix.clone())).preset(preset);
-            if let Some(s) = seed {
-                req = req.seed(s);
-            }
-            if let Some(n) = node_budget {
-                let mut opts = *req.opts();
-                opts.core.kernel = opts.core.kernel.node_budget(n);
-                req = req.options(opts);
-            }
+            let req = spec.to_request(Arc::new(inst.matrix.clone()));
             engine
                 .submit(req)
                 .map_err(|e| format!("submit failed: {e}"))
@@ -536,6 +554,44 @@ fn cmd_batch(args: &[String]) -> CliResult {
         return Err(format!("{failed} of {total} jobs failed (stats: {stats:?})").into());
     }
     Ok(())
+}
+
+/// `ucp serve [--addr A] [-j N] [--queue-cap N]`: runs the `ucp-api/1`
+/// HTTP solve service until the process is killed. Jobs arrive as
+/// matrix + `JobSpec` bodies on `POST /v1/jobs`; admission control,
+/// load shedding and the wire-code taxonomy are documented on
+/// `ucp_server` and in the README's "Serving" section.
+fn cmd_serve(args: &[String]) -> CliResult {
+    let addr = match args.iter().position(|a| a == "--addr") {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| usage("--addr needs a host:port bind address"))?
+            .clone(),
+        None => "127.0.0.1:7171".to_string(),
+    };
+    let workers = parse_workers(args, 0)?;
+    let queue_capacity = match args.iter().position(|a| a == "--queue-cap") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|n| *n > 0)
+            .ok_or_else(|| usage("--queue-cap needs a positive job count"))?,
+        None => ServerConfig::default().queue_capacity,
+    };
+    let server = Server::start(ServerConfig {
+        addr,
+        workers,
+        queue_capacity,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    println!("serving ucp-api/1 on http://{}", server.addr());
+    println!("  POST /v1/jobs  GET /v1/jobs/{{id}}[/trace]  DELETE /v1/jobs/{{id}}  GET /metrics");
+    // The service runs until the process is killed; `park` has no
+    // wake-up guarantee either way, hence the loop.
+    loop {
+        std::thread::park();
+    }
 }
 
 /// `ucp trace <file.jsonl> [--folded <out>]`: offline profile of a

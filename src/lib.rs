@@ -20,6 +20,10 @@
 //! * [`ucp_engine`] — the batch solve engine: a long-lived worker pool
 //!   scheduling many concurrent solve jobs with cancellation, deadlines
 //!   and panic isolation (behind `ucp batch`),
+//! * [`ucp_server`] — the solve service: an HTTP front-end on the engine
+//!   speaking the versioned `ucp-api/1` wire API with per-tenant
+//!   admission control, load shedding and live trace streaming (behind
+//!   `ucp serve`),
 //! * [`solvers`] — baselines: Chvátal greedy, espresso-like heuristics, and
 //!   an exact scherzo-like branch-and-bound,
 //! * [`workloads`] — seeded synthetic benchmark instances standing in for
@@ -61,6 +65,7 @@ pub use solvers;
 pub use ucp_core;
 pub use ucp_engine;
 pub use ucp_metrics;
+pub use ucp_server;
 pub use ucp_telemetry;
 pub use workloads;
 pub use zdd;

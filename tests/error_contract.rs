@@ -8,7 +8,8 @@ use std::error::Error;
 use ucp::cover::ParseMatrixError;
 use ucp::logic::{BuildCoveringError, ParsePlaError};
 use ucp::lp::SolveLpError;
-use ucp::ucp_core::{SolveError, ZddOverflow};
+use ucp::ucp_core::wire::WireCode;
+use ucp::ucp_core::{SolveError, WireError, ZddOverflow};
 use ucp::ucp_engine::{JobError, SubmitError};
 
 /// Walks a value through `&dyn Error`: Display must render nonempty,
@@ -59,6 +60,8 @@ fn every_public_error_enum_implements_error_uniformly() {
         Box::new(JobError::Panicked("boom".into())),
         Box::new(JobError::ResourceExhausted(overflow())),
         Box::new(JobError::EngineClosed),
+        Box::new(JobError::Shutdown),
+        Box::new(WireError::new(WireCode::QueueFull, "queue is full")),
         Box::new(SubmitError::QueueFull),
         Box::new(SubmitError::Closed),
         Box::new(SolveError::Cancelled),
@@ -87,4 +90,75 @@ fn resource_exhaustion_chains_to_the_overflow_cause() {
 fn overflow_converts_into_solve_error() {
     let e: SolveError = overflow().into();
     assert_eq!(e, SolveError::ResourceExhausted(overflow()));
+}
+
+/// The wire-code taxonomy is the single error surface of the HTTP API:
+/// every engine-facing error variant maps into it, the (code, status)
+/// table has no duplicates, and every code the server can emit is
+/// documented in the README's taxonomy table.
+#[test]
+fn every_error_variant_maps_to_a_documented_wire_code() {
+    // Exhaustive variant → code walk (compile-breaks when a variant is
+    // added without extending `wire_code()`).
+    let job_errors = [
+        (JobError::Cancelled, WireCode::Cancelled),
+        (JobError::Expired, WireCode::Expired),
+        (JobError::Panicked("boom".into()), WireCode::Panicked),
+        (
+            JobError::ResourceExhausted(overflow()),
+            WireCode::ResourceExhausted,
+        ),
+        (JobError::EngineClosed, WireCode::EngineClosed),
+        (JobError::Shutdown, WireCode::Shutdown),
+    ];
+    for (err, code) in &job_errors {
+        assert_eq!(err.wire_code(), *code, "{err}");
+    }
+    let submit_errors = [
+        (SubmitError::QueueFull, WireCode::QueueFull),
+        (SubmitError::Closed, WireCode::EngineClosed),
+    ];
+    for (err, code) in &submit_errors {
+        assert_eq!(err.wire_code(), *code, "{err}");
+    }
+    let solve_errors = [
+        (SolveError::Cancelled, WireCode::Cancelled),
+        (SolveError::Expired, WireCode::Expired),
+        (
+            SolveError::ResourceExhausted(overflow()),
+            WireCode::ResourceExhausted,
+        ),
+    ];
+    for (err, code) in &solve_errors {
+        assert_eq!(err.wire_code(), *code, "{err}");
+    }
+
+    // One row per code: strings and the code itself are unique, the
+    // HTTP status is in a sane range, and round-tripping holds.
+    let mut seen = Vec::new();
+    for code in WireCode::ALL {
+        assert!(!seen.contains(&code.as_str()), "duplicate {code}");
+        seen.push(code.as_str());
+        assert!((400..=599).contains(&code.http_status()), "{code}");
+        assert_eq!(WireCode::parse(code.as_str()), Some(code));
+    }
+
+    // Documentation is part of the contract: the README taxonomy table
+    // must list every code string with its status.
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md is checked in");
+    for code in WireCode::ALL {
+        let cell = format!("`{}`", code.as_str());
+        assert!(
+            readme.contains(&cell),
+            "README does not document wire code {}",
+            code.as_str()
+        );
+        assert!(
+            readme.contains(&code.http_status().to_string()),
+            "README does not mention status {} for {}",
+            code.http_status(),
+            code.as_str()
+        );
+    }
 }
