@@ -12,11 +12,15 @@
 //! (jobs/sec and batch speedup), again asserting identical outcomes.
 //! A further `zdd_kernel` row times full implicit reductions over the
 //! challenging suite — the manager-level regression signal CI greps for.
-//! Finally a `server` row starts an in-process `ucp-server` on an
-//! ephemeral port and pushes a load-generator burst through the whole
-//! `ucp-api/1` wire path (HTTP parse → DTO → admission → engine →
-//! poll), recording jobs/sec and p50/p99 submit→terminal latency; the
-//! pass asserts that no accepted job is ever lost.
+//! A `multicover` row solves the crew-scheduling set-multicover
+//! mini-suite through the constrained core (coverage demands + GUB
+//! groups), asserting every cover satisfies its constraints — the
+//! regression signal for the non-unate path. Finally a `server` row
+//! starts an in-process `ucp-server` on an ephemeral port and pushes a
+//! load-generator burst through the whole `ucp-api/2` wire path (HTTP
+//! parse → DTO → admission → engine → poll), recording jobs/sec and
+//! p50/p99 submit→terminal latency; the pass asserts that no accepted
+//! job is ever lost.
 //!
 //! Usage: `cargo run -p ucp-bench --release --bin snapshot [--quick]
 //! [--node-budget N]` — the budget applies to the `zdd_kernel` pass only
@@ -27,7 +31,7 @@ use std::fs;
 use std::sync::Arc;
 use std::time::Instant;
 use ucp_bench::{run_scg, scg_fields};
-use ucp_core::{Preset, ScgOptions, ScgOutcome, SolveRequest};
+use ucp_core::{Preset, Scg, ScgOptions, ScgOutcome, SolveRequest};
 use ucp_engine::{Engine, EngineConfig};
 use ucp_telemetry::{JsonObj, Phase};
 use workloads::suite;
@@ -141,6 +145,53 @@ fn kernel_pass(quick: bool, node_budget: Option<usize>) -> String {
             Some(n) => format!(", budget {n} ({overflowed} overflowed)"),
             None => String::new(),
         }
+    );
+    row.finish()
+}
+
+/// Constrained-core pass: the crew-scheduling set-multicover mini-suite
+/// (per-period staffing demands plus one GUB group per crew) through the
+/// full constrained solver. Every instance is feasible by construction,
+/// so the pass asserts a finite cover that satisfies its constraints
+/// with `lower_bound ≤ cost` — the regression signal for the non-unate
+/// path, which the unate rows above never touch.
+fn multicover_pass(opts: ScgOptions) -> String {
+    let insts = suite::multicover();
+    let start = Instant::now();
+    let mut total_cost = 0.0f64;
+    let mut total_lb = 0.0f64;
+    for (name, inst) in &insts {
+        let req = SolveRequest::for_matrix(&inst.matrix)
+            .options(opts)
+            .constraints(inst.constraints.clone());
+        let out = Scg::run(req).expect("multicover suite instances solve");
+        assert!(
+            out.cost.is_finite(),
+            "{name}: no cover found for a feasible-by-construction instance"
+        );
+        assert!(
+            inst.constraints.is_satisfied(&inst.matrix, &out.solution),
+            "{name}: returned cover violates its constraints"
+        );
+        assert!(
+            out.lower_bound <= out.cost + 1e-9,
+            "{name}: lower bound {} exceeds cost {}",
+            out.lower_bound,
+            out.cost
+        );
+        total_cost += out.cost;
+        total_lb += out.lower_bound;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let mut row = JsonObj::new();
+    row.field_str("suite", "multicover");
+    row.field_u64("instances", insts.len() as u64);
+    row.field_f64("total_seconds", secs);
+    row.field_f64("total_cost", total_cost);
+    row.field_f64("total_lower_bound", total_lb);
+    println!(
+        "multicover: {} crew-schedule instances in {secs:.3}s, total cost {total_cost}, total lb {total_lb:.2}",
+        insts.len()
     );
     row.finish()
 }
@@ -305,8 +356,8 @@ fn main() {
         1.0
     };
     let mut doc = JsonObj::new();
-    doc.field_str("schema", "ucp-bench-snapshot/4");
-    doc.field_u64("schema_version", 4);
+    doc.field_str("schema", "ucp-bench-snapshot/5");
+    doc.field_u64("schema_version", 5);
     doc.field_str("git_commit", &git_commit());
     doc.field_str("preset", if quick { "fast" } else { "default" });
     doc.field_u64("instances", runs.len() as u64);
@@ -339,6 +390,7 @@ fn main() {
     eng_row.field_f64("batch_speedup", engine_speedup);
     doc.field_raw("engine", &eng_row.finish());
     doc.field_raw("zdd_kernel", &kernel_pass(quick, node_budget));
+    doc.field_raw("multicover", &multicover_pass(opts));
     doc.field_raw("server", &server_pass(quick));
     doc.field_raw("runs", &format!("[{}]", runs.join(",")));
     fs::create_dir_all("results").expect("create results/");

@@ -52,12 +52,19 @@ pub(crate) struct AscentWorkspace<'a> {
     changed_rows: Vec<u32>,
     /// Set when every column must be recomputed (initial state).
     all_dirty: bool,
+    /// Per-row coverage requirement `b_i` as exact integers and as the
+    /// floats the value/step arithmetic multiplies by. All ones for the
+    /// unate specialization, where `b_i · x` and `b_i − y` reproduce the
+    /// historical `1.0`-literal arithmetic bit for bit.
+    demand_i: Vec<i64>,
+    demand_f: Vec<f64>,
     /// Per-column visit stamps deduplicating the sparse refresh path's
     /// row→column scans (a column shared by two changed rows is
     /// recomputed once).
     stamp: Vec<u32>,
     epoch: u32,
-    /// `‖s‖² = Σ (1 − covered_i)²`, maintained exactly as an integer.
+    /// `‖s‖² = Σ (b_i − covered_i)²`, maintained exactly as an integer
+    /// (`b_i ≡ 1` for unate).
     norm2: i64,
     /// `λ`/`c̃` at the best Lagrangian bound seen.
     pub best_lambda: Vec<f64>,
@@ -79,10 +86,28 @@ impl<'a> AscentWorkspace<'a> {
     /// multipliers. All columns start dirty, so the first
     /// `refresh_primal` performs the full initial evaluation.
     pub fn new(a: &'a CoverMatrix, lambda: Vec<f64>) -> Self {
+        Self::with_demand(a, lambda, None)
+    }
+
+    /// [`AscentWorkspace::new`] with per-row coverage requirements `b_i`
+    /// (`None` = all ones, the unate specialization). The residual `s_i`
+    /// becomes `b_i − covered_i` and the value term `Σ b_i λ_i`; with
+    /// `b_i ≡ 1` every operation reduces bit-exactly to the unate form.
+    pub fn with_demand(a: &'a CoverMatrix, lambda: Vec<f64>, demand: Option<&[u32]>) -> Self {
         let view = a.sparse();
         let costs = a.costs();
         let (m, n) = (view.num_rows(), view.num_cols());
         assert_eq!(lambda.len(), m, "one multiplier per row");
+        let demand_i: Vec<i64> = match demand {
+            Some(d) => {
+                assert_eq!(d.len(), m, "one coverage requirement per row");
+                d.iter().map(|&b| b as i64).collect()
+            }
+            None => vec![1; m],
+        };
+        let demand_f: Vec<f64> = demand_i.iter().map(|&b| b as f64).collect();
+        // `‖s‖²` at p = 0 is Σ b_i² (= m for unate).
+        let norm2: i64 = demand_i.iter().map(|&b| b * b).sum();
         AscentWorkspace {
             view,
             costs,
@@ -93,9 +118,11 @@ impl<'a> AscentWorkspace<'a> {
             covered: vec![0; m],
             changed_rows: Vec::with_capacity(m),
             all_dirty: true,
+            demand_i,
+            demand_f,
             stamp: vec![0; n],
             epoch: 0,
-            norm2: m as i64,
+            norm2,
             best_c_tilde: costs.to_vec(),
             caps: row_caps(a, costs),
             mu: vec![0.0; n],
@@ -132,13 +159,13 @@ impl<'a> AscentWorkspace<'a> {
             self.p[j] = np;
             for &i in view.col(j) {
                 let i = i as usize;
-                let old = 1i64 - self.covered[i] as i64;
+                let old = self.demand_i[i] - self.covered[i] as i64;
                 if np {
                     self.covered[i] += 1;
                 } else {
                     self.covered[i] -= 1;
                 }
-                let new = 1i64 - self.covered[i] as i64;
+                let new = self.demand_i[i] - self.covered[i] as i64;
                 self.norm2 += new * new - old * old;
             }
         }
@@ -190,7 +217,15 @@ impl<'a> AscentWorkspace<'a> {
                 self.changed_rows.clear();
             }
         }
-        let mut value: f64 = self.lambda.iter().sum();
+        // `Σ b_i λ_i` in the same left-fold order as the historical
+        // `Σ λ_i` — with `b_i ≡ 1` each term is `λ_i · 1.0 == λ_i`, so
+        // the sum is bit-identical to the unate accumulation.
+        let mut value: f64 = self
+            .lambda
+            .iter()
+            .zip(&self.demand_f)
+            .map(|(&l, &b)| l * b)
+            .sum();
         for (j, &sel) in self.p.iter().enumerate() {
             if sel {
                 value += self.c_tilde[j];
@@ -226,7 +261,7 @@ impl<'a> AscentWorkspace<'a> {
         let scale = t * (ub - value).abs() / self.norm2 as f64;
         for i in 0..self.lambda.len() {
             let old = self.lambda[i];
-            let s = 1.0 - self.covered[i] as f64;
+            let s = self.demand_f[i] - self.covered[i] as f64;
             let new = (old + scale * s).max(0.0);
             if new.to_bits() != old.to_bits() {
                 self.lambda[i] = new;
@@ -251,7 +286,7 @@ impl<'a> AscentWorkspace<'a> {
             for &j in row {
                 sum += self.mu[j as usize];
             }
-            let e_tilde = 1.0 - sum;
+            let e_tilde = self.demand_f[i] - sum;
             let mi = if e_tilde > 0.0 && self.caps[i].is_finite() {
                 value += e_tilde * self.caps[i];
                 self.caps[i]

@@ -22,8 +22,36 @@
 //! bit-identical to the historical recompute-everything pass preserved
 //! in [`crate::reference`], which the equivalence suite checks.
 
-use cover::{CoverMatrix, Solution, SparseView};
+use cover::{Constraints, CoverMatrix, Solution, SparseView};
 use std::cmp::Ordering;
+
+/// Precomputed constraint context for the multicover greedy passes and
+/// the constrained subgradient driver: per-row demand `b_i`, per-column
+/// group membership and per-group at-most bounds, flattened once per
+/// solve.
+pub(crate) struct MulticoverCtx {
+    /// Coverage requirement per row (`b_i ≥ 1`).
+    pub demand: Vec<u32>,
+    /// Group index per column; `usize::MAX` = ungrouped.
+    pub group_of: Vec<usize>,
+    /// At-most selection bound per group.
+    pub bounds: Vec<u32>,
+}
+
+impl MulticoverCtx {
+    /// Flattens a validated [`Constraints`] against `a`.
+    pub fn new(a: &CoverMatrix, cons: &Constraints) -> Self {
+        let demand = match cons.coverage_vec() {
+            Some(c) => c.to_vec(),
+            None => vec![1; a.num_rows()],
+        };
+        MulticoverCtx {
+            demand,
+            group_of: cons.group_index(a.num_cols()),
+            bounds: cons.groups().iter().map(|g| g.bound()).collect(),
+        }
+    }
+}
 
 /// The rating rule for the next column.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -93,6 +121,9 @@ pub(crate) struct GreedyScratch {
     cached_mask: Vec<u64>,
     cached_cost: f64,
     cached_sol: Vec<u32>,
+    /// Selected-columns-per-group counters for the constrained pass
+    /// (sized on first constrained use; untouched by the unate pass).
+    group_used: Vec<u32>,
 }
 
 impl GreedyScratch {
@@ -119,6 +150,7 @@ impl GreedyScratch {
             cached_mask: vec![0; a.num_cols().div_ceil(64)],
             cached_cost: f64::INFINITY,
             cached_sol: Vec::new(),
+            group_used: Vec::new(),
         }
     }
 
@@ -390,6 +422,262 @@ pub(crate) fn greedy_pass(
     Some(cost)
 }
 
+/// The constrained generalization of [`greedy_pass`]: set-multicover
+/// demand `b_i` per row plus at-most-`k` GUB group bounds. The unate
+/// pass is the `b ≡ 1`, no-groups specialization (and keeps its own
+/// hand-tuned loop above — the seed memo and the uniform-cost tie-break
+/// collapse rely on unate invariants). Differences:
+///
+/// * a row is *satisfied* once `b_i` distinct selected columns cover it;
+///   `n_j` counts a column's not-yet-satisfied rows (each selection adds
+///   one unit of supply per row);
+/// * seeding and picking skip columns whose GUB group is saturated, and
+///   the candidate scan skips already-selected columns — with `b_i ≥ 2`
+///   a selected column can still touch unsatisfied rows, an invariant
+///   break the unate pass never sees;
+/// * redundancy removal drops a column only when every row it covers
+///   retains `> b_i` covers (removals can never violate an at-most
+///   group bound).
+///
+/// Returns the cover's cost, or `None` when demand cannot be met under
+/// the group bounds (multicover feasibility under GUB is NP-hard; the
+/// structural pre-checks in [`Constraints::validate_for`] are necessary,
+/// not sufficient).
+#[allow(clippy::needless_range_loop)] // mirrors the unate pass's index scans
+pub(crate) fn greedy_pass_constrained(
+    a: &CoverMatrix,
+    view: &SparseView,
+    c_tilde: &[f64],
+    rule: GammaRule,
+    ctx: &MulticoverCtx,
+    ws: &mut GreedyScratch,
+) -> Option<f64> {
+    let m_rows = a.num_rows();
+    let costs = a.costs();
+    // The unate seed memo keys on the seed sign pattern alone, which is
+    // not sufficient under demand/groups: never reuse it across kinds.
+    ws.cache_valid = false;
+
+    ws.selected.fill(false);
+    ws.covered.fill(false);
+    ws.cover_count.fill(0);
+    ws.sol_cols.clear();
+    ws.group_used.clear();
+    ws.group_used.resize(ctx.bounds.len(), 0);
+    let mut uncovered = 0usize;
+    for i in 0..m_rows {
+        if ctx.demand[i] == 0 {
+            // Validation rejects b_i = 0, but treat it as "already
+            // satisfied" so this pass is locally safe regardless.
+            ws.covered[i] = true;
+        } else {
+            uncovered += 1;
+        }
+    }
+
+    // Seed with the relaxation solution, ascending, honouring the group
+    // bounds as we go (first-fit within each group).
+    for (j, &c) in c_tilde.iter().enumerate() {
+        if c > 0.0 {
+            continue;
+        }
+        let g = ctx.group_of[j];
+        if g != usize::MAX && ws.group_used[g] >= ctx.bounds[g] {
+            continue;
+        }
+        if g != usize::MAX {
+            ws.group_used[g] += 1;
+        }
+        ws.selected[j] = true;
+        ws.sol_cols.push(j as u32);
+        for &i in view.col(j) {
+            let i = i as usize;
+            ws.cover_count[i] += 1;
+            if ws.cover_count[i] == ctx.demand[i] {
+                ws.covered[i] = true;
+                uncovered -= 1;
+            }
+        }
+    }
+
+    if uncovered > 0 {
+        // `n_j` = unsatisfied rows covered by column `j`; candidates are
+        // the unselected columns that still help some row and whose
+        // group has capacity.
+        ws.n_uncov.fill(0);
+        for i in 0..m_rows {
+            if !ws.covered[i] {
+                for &j in view.row(i) {
+                    ws.n_uncov[j as usize] += 1;
+                }
+            }
+        }
+        ws.candidates.clear();
+        for (j, &c) in ws.n_uncov.iter().enumerate() {
+            // Skip selected columns: under `b_i ≥ 2` a selected column
+            // can still touch unsatisfied rows, but re-picking it adds
+            // no supply. (A no-op in the unate pass, where a selected
+            // column never retains uncovered rows.)
+            if c > 0 && !ws.selected[j] {
+                ws.candidates.push(j as u32);
+                ws.gamma_stale[j] = true;
+            }
+        }
+        while uncovered > 0 {
+            let mut best: Option<(usize, f64)> = None;
+            let mut kept = 0usize;
+            for r in 0..ws.candidates.len() {
+                let j = ws.candidates[r] as usize;
+                let n_j = ws.n_uncov[j] as usize;
+                if n_j == 0 {
+                    continue;
+                }
+                let g = ctx.group_of[j];
+                if g != usize::MAX && ws.group_used[g] >= ctx.bounds[g] {
+                    // Saturated group: out for the rest of the pass
+                    // (selections only grow `group_used`).
+                    continue;
+                }
+                ws.candidates[kept] = j as u32;
+                kept += 1;
+                let gamma = if ws.gamma_stale[j] {
+                    let g = rate(view, c_tilde, j, n_j, &ws.covered, &ws.log2_table, rule);
+                    ws.gamma[j] = g;
+                    ws.gamma_stale[j] = false;
+                    g
+                } else {
+                    ws.gamma[j]
+                };
+                let better = match best {
+                    None => true,
+                    Some((bj, bg)) => {
+                        gamma < bg - 1e-12
+                            || ((gamma - bg).abs() <= 1e-12 && (costs[j], j) < (costs[bj], bj))
+                    }
+                };
+                if better {
+                    best = Some((j, gamma));
+                }
+            }
+            ws.candidates.truncate(kept);
+            let Some((j, _)) = best else {
+                // No admissible column helps a remaining row: demand
+                // cannot be met under the group bounds.
+                return None;
+            };
+            ws.selected[j] = true;
+            ws.sol_cols.push(j as u32);
+            let g = ctx.group_of[j];
+            if g != usize::MAX {
+                ws.group_used[g] += 1;
+            }
+            if let Ok(slot) = ws.candidates.binary_search(&(j as u32)) {
+                ws.candidates.remove(slot);
+            }
+            for &i in view.col(j) {
+                let i = i as usize;
+                ws.cover_count[i] += 1;
+                if ws.cover_count[i] == ctx.demand[i] {
+                    ws.covered[i] = true;
+                    uncovered -= 1;
+                    for &jj in view.row(i) {
+                        ws.n_uncov[jj as usize] -= 1;
+                        ws.gamma_stale[jj as usize] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Redundancy elimination, highest original cost first (lowest index
+    // among ties): a column is redundant when every row it covers keeps
+    // strictly more covers than its demand. Removing columns only frees
+    // group capacity, so the at-most bounds stay satisfied.
+    ws.sol_cols.sort_unstable();
+    ws.by_priority.clone_from(&ws.sol_cols);
+    ws.by_priority.sort_unstable_by(|&x, &y| {
+        costs[y as usize]
+            .partial_cmp(&costs[x as usize])
+            .unwrap_or(Ordering::Equal)
+            .then(x.cmp(&y))
+    });
+    for idx in 0..ws.by_priority.len() {
+        let j = ws.by_priority[idx] as usize;
+        if view
+            .col(j)
+            .iter()
+            .all(|&i| ws.cover_count[i as usize] > ctx.demand[i as usize])
+        {
+            ws.selected[j] = false;
+            for &i in view.col(j) {
+                ws.cover_count[i as usize] -= 1;
+            }
+        }
+    }
+    ws.sol_cols.retain(|&j| ws.selected[j as usize]);
+    let mut cost = 0.0f64;
+    for &j in &ws.sol_cols {
+        cost += costs[j as usize];
+    }
+    Some(cost)
+}
+
+/// [`best_greedy_with_scratch`] for the constrained pass: every rule in
+/// `rules`, cheapest admissible cover wins.
+pub(crate) fn best_greedy_constrained_with_scratch(
+    a: &CoverMatrix,
+    view: &SparseView,
+    c_tilde: &[f64],
+    rules: &[GammaRule],
+    ctx: &MulticoverCtx,
+    ws: &mut GreedyScratch,
+) -> Option<(Solution, f64)> {
+    let mut best: Option<(Solution, f64)> = None;
+    for &rule in rules {
+        if let Some(cost) = greedy_pass_constrained(a, view, c_tilde, rule, ctx, ws) {
+            match &best {
+                Some((_, bc)) if *bc <= cost => {}
+                _ => best = Some((ws.extract_solution(), cost)),
+            }
+        }
+    }
+    best
+}
+
+/// Runs one constrained Lagrangian greedy pass under `cons` (multicover
+/// demand + GUB groups) and returns the cover, or `None` when the pass
+/// cannot meet demand under the group bounds.
+///
+/// # Panics
+///
+/// Panics if `c_tilde.len() != a.num_cols()` or `cons` does not validate
+/// against `a` (validate with [`Constraints::validate_for`] first).
+///
+/// # Example
+///
+/// ```
+/// use cover::{Constraints, CoverMatrix};
+/// use ucp_core::greedy::{lagrangian_greedy_constrained, GammaRule};
+///
+/// let m = CoverMatrix::from_rows(3, vec![vec![0, 1, 2], vec![1, 2]]);
+/// let cons = Constraints::new().coverage(vec![2, 1]);
+/// let sol = lagrangian_greedy_constrained(&m, m.costs(), GammaRule::Linear, &cons).unwrap();
+/// assert!(cons.is_satisfied(&m, &sol));
+/// ```
+pub fn lagrangian_greedy_constrained(
+    a: &CoverMatrix,
+    c_tilde: &[f64],
+    rule: GammaRule,
+    cons: &Constraints,
+) -> Option<Solution> {
+    assert_eq!(c_tilde.len(), a.num_cols(), "one rating cost per column");
+    cons.validate_for(a).expect("constraints fit the instance");
+    let ctx = MulticoverCtx::new(a, cons);
+    let mut ws = GreedyScratch::new(a);
+    greedy_pass_constrained(a, a.sparse(), c_tilde, rule, &ctx, &mut ws)?;
+    Some(ws.extract_solution())
+}
+
 /// Runs one Lagrangian greedy pass with the given rule.
 ///
 /// `c_tilde` are the Lagrangian costs steering the choice; the returned
@@ -488,6 +776,7 @@ pub fn best_greedy(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cover::GubGroup;
 
     fn cycle5() -> CoverMatrix {
         CoverMatrix::from_rows(
@@ -585,6 +874,93 @@ mod tests {
         let fresh = lagrangian_greedy(&m, m.costs(), GammaRule::Log).unwrap();
         assert_eq!(second, fresh);
         assert!(first.is_feasible(&m));
+    }
+
+    #[test]
+    fn constrained_pass_with_unit_demand_matches_unate() {
+        // b ≡ 1, no groups: the constrained pass must yield the same
+        // cover as the unate pass (same picks, same redundancy order).
+        let matrices = [
+            cycle5(),
+            CoverMatrix::with_costs(
+                4,
+                vec![vec![0, 1, 2], vec![1, 3], vec![0, 3], vec![2]],
+                vec![3.0, 1.0, 2.0, 2.0],
+            ),
+        ];
+        let cons = Constraints::new();
+        for m in &matrices {
+            let ctx = MulticoverCtx::new(m, &cons);
+            for rule in GammaRule::FAST {
+                let c_tilde: Vec<f64> = (0..m.num_cols())
+                    .map(|j| m.cost(j) - 0.7 * (j % 3) as f64)
+                    .collect();
+                let mut ws = GreedyScratch::new(m);
+                let unate_cost = greedy_pass(m, m.sparse(), &c_tilde, rule, &mut ws).unwrap();
+                let unate = ws.extract_solution();
+                let cons_cost =
+                    greedy_pass_constrained(m, m.sparse(), &c_tilde, rule, &ctx, &mut ws).unwrap();
+                let constrained = ws.extract_solution();
+                assert_eq!(unate, constrained, "rule {rule:?}");
+                assert_eq!(unate_cost.to_bits(), cons_cost.to_bits(), "rule {rule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_pass_meets_multicover_demand() {
+        // Row 0 needs two distinct columns; a single wide column is not
+        // enough.
+        let m = CoverMatrix::from_rows(3, vec![vec![0, 1, 2], vec![2]]);
+        let cons = Constraints::new().coverage(vec![2, 1]);
+        let sol = lagrangian_greedy_constrained(&m, m.costs(), GammaRule::Linear, &cons).unwrap();
+        assert!(sol.len() >= 2);
+        assert!(cons.is_satisfied(&m, &sol));
+    }
+
+    #[test]
+    fn constrained_pass_honours_group_bounds() {
+        // Both rows coverable by group {0, 1} alone, but at most one of
+        // those columns may be picked: the cover must use column 2.
+        let m = CoverMatrix::from_rows(3, vec![vec![0, 1], vec![0, 1, 2]]);
+        let cons = Constraints::new().gub_groups(vec![GubGroup::new(vec![0, 1], 1)]);
+        let cheap: Vec<f64> = vec![-1.0, -1.0, 5.0];
+        let sol = lagrangian_greedy_constrained(&m, &cheap, GammaRule::Linear, &cons).unwrap();
+        assert!(cons.is_satisfied(&m, &sol));
+        let in_group = sol.cols().iter().filter(|&&j| j < 2).count();
+        assert!(in_group <= 1);
+    }
+
+    #[test]
+    fn constrained_pass_reports_unmeetable_demand() {
+        // Row 0 demands two covers but only one column touches it.
+        let m = CoverMatrix::from_rows(2, vec![vec![0], vec![0, 1]]);
+        let cons = Constraints::new().coverage(vec![2, 1]);
+        let ctx = MulticoverCtx::new(&m, &cons);
+        let mut ws = GreedyScratch::new(&m);
+        assert!(greedy_pass_constrained(
+            &m,
+            m.sparse(),
+            m.costs(),
+            GammaRule::Linear,
+            &ctx,
+            &mut ws
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn constrained_redundancy_keeps_demand_satisfied() {
+        // Seed everything (all c̃ ≤ 0): the redundancy pass must keep at
+        // least b_i covers per row while thinning the rest.
+        let m = CoverMatrix::with_costs(
+            4,
+            vec![vec![0, 1, 2, 3], vec![1, 2], vec![0, 3]],
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        let cons = Constraints::new().coverage(vec![2, 1, 1]);
+        let sol = lagrangian_greedy_constrained(&m, &[-1.0; 4], GammaRule::Linear, &cons).unwrap();
+        assert!(cons.is_satisfied(&m, &sol));
     }
 
     #[test]

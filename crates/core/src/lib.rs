@@ -55,15 +55,19 @@ pub mod scg;
 pub mod subgradient;
 pub mod wire;
 
-pub use cover::{Halt, HaltReason, ZddOptions, ZddOverflow};
+pub use cover::{
+    ConstraintError, ConstraintKind, Constraints, GubGroup, Halt, HaltReason, ZddOptions,
+    ZddOverflow,
+};
 pub use metrics::SolveMetrics;
 pub use request::{CancelFlag, Preset, SolveError, SolveRequest};
 pub use restart::{restart_seed, splitmix64};
 pub use scg::{Scg, ScgOptions, ScgOutcome};
 pub use subgradient::{
-    subgradient_ascent, subgradient_ascent_probed, HistoryPoint, SubgradientOptions,
-    SubgradientResult,
+    subgradient_ascent, subgradient_ascent_constrained, subgradient_ascent_constrained_probed,
+    subgradient_ascent_probed, HistoryPoint, SubgradientOptions, SubgradientResult,
 };
 pub use wire::{
     JobResultDto, JobSpec, JobState, JobStatusDto, SubmitBody, WireCode, WireError, WIRE_API,
+    WIRE_API_V1,
 };

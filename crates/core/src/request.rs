@@ -28,7 +28,9 @@
 
 use crate::scg::{Scg, ScgOptions, ScgOutcome};
 use crate::subgradient::SubgradientOptions;
-use cover::{CoreOptions, CoverMatrix, ZddOptions, ZddOverflow};
+use cover::{
+    ConstraintError, Constraints, CoreOptions, CoverMatrix, GubGroup, ZddOptions, ZddOverflow,
+};
 use std::sync::Arc;
 use std::time::Duration;
 use ucp_telemetry::{Event, NoopProbe, Probe};
@@ -152,7 +154,7 @@ impl std::str::FromStr for Preset {
 }
 
 /// Why [`Scg::run`] returned no outcome.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SolveError {
     /// The request's [`CancelFlag`] tripped before or during the solve.
@@ -169,6 +171,11 @@ pub enum SolveError {
     /// explicit representation and reports
     /// [`ScgOutcome::degraded`](crate::ScgOutcome) instead.
     ResourceExhausted(ZddOverflow),
+    /// The request's [`Constraints`] do not fit the instance — a
+    /// malformed coverage vector or group set, or a demand no column
+    /// subset can meet. Caught before any solving starts; the carried
+    /// [`ConstraintError`] says which row/group and why.
+    InvalidConstraints(ConstraintError),
 }
 
 impl std::fmt::Display for SolveError {
@@ -177,6 +184,9 @@ impl std::fmt::Display for SolveError {
             SolveError::Cancelled => f.write_str("solve cancelled"),
             SolveError::Expired => f.write_str("solve deadline expired before a cover was found"),
             SolveError::ResourceExhausted(_) => f.write_str("solve exhausted its resource budget"),
+            SolveError::InvalidConstraints(_) => {
+                f.write_str("solve constraints do not fit the instance")
+            }
         }
     }
 }
@@ -185,8 +195,15 @@ impl std::error::Error for SolveError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SolveError::ResourceExhausted(e) => Some(e),
+            SolveError::InvalidConstraints(e) => Some(e),
             SolveError::Cancelled | SolveError::Expired => None,
         }
+    }
+}
+
+impl From<ConstraintError> for SolveError {
+    fn from(e: ConstraintError) -> Self {
+        SolveError::InvalidConstraints(e)
     }
 }
 
@@ -276,6 +293,7 @@ impl Probe for DynProbe<'_> {
 pub struct SolveRequest<'a> {
     matrix: MatrixSource<'a>,
     options: ScgOptions,
+    constraints: Constraints,
     cancel: Option<CancelFlag>,
     probe: Option<ProbeSlot<'a>>,
 }
@@ -286,6 +304,7 @@ impl<'a> SolveRequest<'a> {
         SolveRequest {
             matrix: MatrixSource::Borrowed(m),
             options: ScgOptions::default(),
+            constraints: Constraints::new(),
             cancel: None,
             probe: None,
         }
@@ -298,6 +317,7 @@ impl<'a> SolveRequest<'a> {
         SolveRequest {
             matrix: MatrixSource::Shared(m),
             options: ScgOptions::default(),
+            constraints: Constraints::new(),
             cancel: None,
             probe: None,
         }
@@ -313,6 +333,38 @@ impl<'a> SolveRequest<'a> {
     /// Replaces the option set with a named [`Preset`]'s.
     pub fn preset(self, preset: Preset) -> Self {
         self.options(preset.options())
+    }
+
+    /// Per-row coverage requirements `b_i` (set multicover, `Ap ≥ b`):
+    /// one entry per row, each `≥ 1`. Unset — or all ones — is the unate
+    /// problem and solves bit-identically to a request without coverage.
+    /// Validated against the instance by [`Scg::run`] before any solving
+    /// starts; a malformed or unmeetable vector fails the request with
+    /// [`SolveError::InvalidConstraints`].
+    pub fn coverage(mut self, coverage: Vec<u32>) -> Self {
+        self.constraints = self.constraints.coverage(coverage);
+        self
+    }
+
+    /// GUB constraints: disjoint column groups with an at-most-`k`
+    /// selection bound each. Validated against the instance by
+    /// [`Scg::run`] — overlapping groups, empty groups, zero bounds and
+    /// out-of-range columns fail with
+    /// [`SolveError::InvalidConstraints`].
+    pub fn gub_groups(mut self, groups: Vec<GubGroup>) -> Self {
+        self.constraints = self.constraints.gub_groups(groups);
+        self
+    }
+
+    /// Replaces the whole constraint set (coverage and groups together).
+    pub fn constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// The request's constraint set.
+    pub fn constraint_set(&self) -> &Constraints {
+        &self.constraints
     }
 
     /// Worker threads for the restarts stage (`0` = all cores). The
@@ -425,6 +477,7 @@ impl std::fmt::Debug for SolveRequest<'_> {
             .field("rows", &self.matrix().num_rows())
             .field("cols", &self.matrix().num_cols())
             .field("options", &self.options)
+            .field("kind", &self.constraints.kind())
             .field("cancellable", &self.cancel.is_some())
             .field("probed", &self.probe.is_some())
             .finish()
@@ -469,6 +522,7 @@ impl Scg {
         let SolveRequest {
             matrix,
             options,
+            constraints,
             cancel,
             mut probe,
         } = req;
@@ -480,12 +534,32 @@ impl Scg {
         if cancel_ref.is_some_and(CancelFlag::is_cancelled) {
             return Err(SolveError::Cancelled);
         }
+        // Constraints are checked before any solving: a malformed or
+        // infeasible-by-construction spec fails typed, not mid-solve.
+        // All-ones coverage with no groups is the unate problem and takes
+        // the unate path bit-for-bit.
+        if constraints != Constraints::default() {
+            constraints.validate_for(m)?;
+        }
+        let unate = constraints.is_unate();
         let (out, dropped) = match probe.as_mut() {
             Some(slot) => {
-                let out = solver.solve_impl(m, cancel_ref, &mut DynProbe(slot.get()));
+                let mut dyn_probe = DynProbe(slot.get());
+                let out = if unate {
+                    solver.solve_impl(m, cancel_ref, &mut dyn_probe)
+                } else {
+                    solver.solve_multicover_impl(m, &constraints, cancel_ref, &mut dyn_probe)
+                };
                 (out, slot.get().events_dropped())
             }
-            None => (solver.solve_impl(m, cancel_ref, &mut NoopProbe), 0),
+            None => {
+                let out = if unate {
+                    solver.solve_impl(m, cancel_ref, &mut NoopProbe)
+                } else {
+                    solver.solve_multicover_impl(m, &constraints, cancel_ref, &mut NoopProbe)
+                };
+                (out, 0)
+            }
         };
         let mut out = out?;
         if cancel_ref.is_some_and(CancelFlag::is_cancelled) {

@@ -22,9 +22,13 @@ use crate::penalty::{dual_penalties, lagrangian_penalties};
 use crate::request::SolveRequest;
 use crate::request::{CancelFlag, Preset, SolveError};
 use crate::restart::{restart_seed, BufferProbe, RestartCtx, SharedIncumbent};
-use crate::subgradient::{subgradient_ascent_probed, SubgradientOptions, SubgradientResult};
+use crate::subgradient::{
+    certified, lb_ceil_of, subgradient_ascent_constrained_probed, subgradient_ascent_probed,
+    SubgradientOptions, SubgradientResult,
+};
 use cover::{
-    cyclic_core_halted, CoreAbort, CoreOptions, CoverMatrix, Halt, HaltReason, Reducer, Solution,
+    cyclic_core_halted, Constraints, CoreAbort, CoreOptions, CoverMatrix, Halt, HaltReason,
+    Reducer, Solution,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -490,6 +494,149 @@ impl Scg {
             phase_times: phases,
             zdd_stats: core_res.zdd_stats,
             degraded: core_res.degraded,
+            dropped_events: 0,
+        })
+    }
+
+    /// Solves a validated non-unate instance: set-multicover demand
+    /// `Ap ≥ b` and/or GUB group bounds.
+    ///
+    /// The unate reduce stage does not apply here — essential-column,
+    /// dominance and partitioning rules (and the constructive stage's
+    /// penalty-driven fixing loop built on them) are theorems about
+    /// `b ≡ 1` covers, so this path solves the whole matrix directly:
+    /// one generalized two-sided ascent, then up to `NumIter − 1`
+    /// restarts from jittered multipliers sharing the incumbent, exactly
+    /// the role the randomised constructive runs play for unate solves.
+    /// The lower bound relaxes the group bounds (valid: dropping an
+    /// at-most constraint can only lower the optimum), so the integer
+    /// certificate keeps its meaning and `proven_optimal` stays honest.
+    ///
+    /// When no restart finds a cover satisfying the constraints (the
+    /// greedy can paint itself into a saturated group on a feasible
+    /// instance), the outcome reports `cost = +∞` with an empty solution
+    /// and `infeasible: false` — unlike the unate path, "no cover found"
+    /// is not a proof of infeasibility here.
+    pub(crate) fn solve_multicover_impl<P: Probe>(
+        &self,
+        m: &CoverMatrix,
+        cons: &Constraints,
+        cancel: Option<&CancelFlag>,
+        probe: &mut P,
+    ) -> Result<ScgOutcome, SolveError> {
+        let start = Instant::now();
+        let halt = Halt {
+            deadline: self.opts.time_limit.map(|budget| start + budget),
+            cancel: cancel.cloned(),
+        };
+        let integer_costs = m.integer_costs();
+        let mut phases = PhaseTimes::default();
+        match halt.check() {
+            Some(HaltReason::Cancelled) => return Err(SolveError::Cancelled),
+            Some(HaltReason::Expired) => return Err(SolveError::Expired),
+            None => {}
+        }
+
+        probe.record(Event::PhaseBegin {
+            phase: Phase::Subgradient,
+        });
+        let sub_start = Instant::now();
+        // Initial ascent: occurrence heuristic on, like the unate initial
+        // problem (§3.5 applies rule 4 to the initial problem only).
+        let initial_opts = SubgradientOptions {
+            occurrence_heuristic: true,
+            ..self.opts.subgradient
+        };
+        let mut res =
+            subgradient_ascent_constrained_probed(m, &initial_opts, cons, None, None, probe);
+        let mut sub_iters = res.iterations;
+        let mut best_lb = res.lb;
+        let mut best_lambda = std::mem::take(&mut res.lambda);
+        let mut best_solution = res.best_solution.take();
+        let mut best_cost = res.best_cost;
+        let mut iterations = 1usize;
+
+        for k in 1..self.opts.num_iter.max(1) {
+            if halt.check().is_some() || certified(integer_costs, best_lb, best_cost) {
+                break;
+            }
+            // Jitter the best multipliers by ±20% — enough to land the
+            // ascent in a different greedy trajectory, small enough to
+            // keep the warm start useful. Deterministic per (seed, k),
+            // like the unate restart schedule.
+            let mut rng = StdRng::seed_from_u64(restart_seed(self.opts.seed, k));
+            let lambda0: Vec<f64> = best_lambda
+                .iter()
+                .map(|&l| l * rng.random_range(0.8..1.2))
+                .collect();
+            let ub_hint = best_cost.is_finite().then_some(best_cost);
+            let r = subgradient_ascent_constrained_probed(
+                m,
+                &self.opts.subgradient,
+                cons,
+                Some(&lambda0),
+                ub_hint,
+                probe,
+            );
+            sub_iters += r.iterations;
+            iterations = k + 1;
+            if r.lb > best_lb {
+                best_lb = r.lb;
+                best_lambda = r.lambda;
+            }
+            if r.best_cost < best_cost {
+                best_cost = r.best_cost;
+                best_solution = r.best_solution;
+            }
+        }
+        let sub_seconds = sub_start.elapsed().as_secs_f64();
+        phases.add(Phase::Subgradient, sub_seconds);
+        probe.record(Event::PhaseEnd {
+            phase: Phase::Subgradient,
+            seconds: sub_seconds,
+        });
+
+        probe.record(Event::PhaseBegin {
+            phase: Phase::Postprocess,
+        });
+        let post_start = Instant::now();
+        // Same rounding as the unate core: integer costs admit ⌈LB⌉.
+        let lower_bound = if integer_costs && best_lb.is_finite() {
+            lb_ceil_of(best_lb).max(0.0)
+        } else {
+            best_lb.max(0.0)
+        };
+        let (solution, cost) = match best_solution {
+            Some(sol) => {
+                let cost = sol.cost(m);
+                debug_assert!(cons.is_satisfied(m, &sol));
+                (sol, cost)
+            }
+            None => (Solution::new(), f64::INFINITY),
+        };
+        let proven_optimal = integer_costs && cost <= lower_bound + 1e-9;
+        let post_time = post_start.elapsed().as_secs_f64();
+        phases.add(Phase::Postprocess, post_time);
+        probe.record(Event::PhaseEnd {
+            phase: Phase::Postprocess,
+            seconds: post_time,
+        });
+        Ok(ScgOutcome {
+            solution,
+            cost,
+            lower_bound,
+            proven_optimal,
+            infeasible: false,
+            iterations,
+            subgradient_iterations: sub_iters,
+            restart_workers: 1,
+            cc_time: Duration::ZERO,
+            total_time: start.elapsed(),
+            core_rows: m.num_rows(),
+            core_cols: m.num_cols(),
+            phase_times: phases,
+            zdd_stats: cover::ZddStats::default(),
+            degraded: false,
             dropped_events: 0,
         })
     }

@@ -13,8 +13,11 @@
 use crate::ascent::AscentWorkspace;
 use crate::dual::dual_ascent;
 
-use crate::greedy::{best_greedy_with_scratch, greedy_pass, GammaRule, GreedyScratch};
-use cover::{CoverMatrix, Solution};
+use crate::greedy::{
+    best_greedy_constrained_with_scratch, best_greedy_with_scratch, greedy_pass,
+    greedy_pass_constrained, GammaRule, GreedyScratch, MulticoverCtx,
+};
+use cover::{Constraints, CoverMatrix, Solution};
 use ucp_telemetry::{Event, NoopProbe, Probe};
 
 /// Tunables of one subgradient phase. Defaults follow the paper where it
@@ -178,6 +181,65 @@ pub fn subgradient_ascent_probed<P: Probe>(
     ub_hint: Option<f64>,
     probe: &mut P,
 ) -> SubgradientResult {
+    ascent_impl(a, opts, lambda0, ub_hint, None, probe)
+}
+
+/// [`subgradient_ascent`] generalized to set-multicover demand and GUB
+/// group bounds (`cons`): the relaxation value/step arithmetic carries
+/// the per-row demand `b_i`, the primal heuristics run the constrained
+/// greedy, and `best_solution`/`best_cost` describe covers satisfying
+/// `cons` in full. The lower bound relaxes the group bounds (dropping an
+/// *at-most* constraint can only lower the optimum, so `lb` stays
+/// valid), and the optimality certificate compares that bound against
+/// the constrained incumbent — `proven_optimal` keeps its meaning.
+///
+/// Unate constraints (`cons.is_unate()`) run the generalized loop with
+/// an all-ones demand, which is bit-identical to [`subgradient_ascent`]
+/// (`λ_i · 1.0 == λ_i` everywhere the demand enters; the equivalence
+/// suite checks this).
+///
+/// # Panics
+///
+/// Panics if `cons` does not validate against `a` — validate with
+/// [`Constraints::validate_for`] and surface the typed error before
+/// calling.
+pub fn subgradient_ascent_constrained(
+    a: &CoverMatrix,
+    opts: &SubgradientOptions,
+    cons: &Constraints,
+    lambda0: Option<&[f64]>,
+    ub_hint: Option<f64>,
+) -> SubgradientResult {
+    subgradient_ascent_constrained_probed(a, opts, cons, lambda0, ub_hint, &mut NoopProbe)
+}
+
+/// [`subgradient_ascent_constrained`] with a telemetry probe (see
+/// [`subgradient_ascent_probed`]).
+pub fn subgradient_ascent_constrained_probed<P: Probe>(
+    a: &CoverMatrix,
+    opts: &SubgradientOptions,
+    cons: &Constraints,
+    lambda0: Option<&[f64]>,
+    ub_hint: Option<f64>,
+    probe: &mut P,
+) -> SubgradientResult {
+    cons.validate_for(a).expect("constraints fit the instance");
+    let ctx = MulticoverCtx::new(a, cons);
+    ascent_impl(a, opts, lambda0, ub_hint, Some(&ctx), probe)
+}
+
+/// The shared two-sided loop. `mctx = None` is the historical unate
+/// ascent, byte-for-byte; `Some` switches the demand arithmetic and the
+/// greedy passes to their constrained forms at the three call sites that
+/// differ.
+fn ascent_impl<P: Probe>(
+    a: &CoverMatrix,
+    opts: &SubgradientOptions,
+    lambda0: Option<&[f64]>,
+    ub_hint: Option<f64>,
+    mctx: Option<&MulticoverCtx>,
+    probe: &mut P,
+) -> SubgradientResult {
     let integer_costs = a.integer_costs();
     let view = a.sparse();
 
@@ -205,12 +267,21 @@ pub fn subgradient_ascent_probed<P: Probe>(
     } else {
         &GammaRule::FAST
     };
-    if let Some((sol, cost)) = best_greedy_with_scratch(a, view, a.costs(), rules, &mut scratch) {
+    let initial = match mctx {
+        None => best_greedy_with_scratch(a, view, a.costs(), rules, &mut scratch),
+        Some(ctx) => {
+            best_greedy_constrained_with_scratch(a, view, a.costs(), rules, ctx, &mut scratch)
+        }
+    };
+    if let Some((sol, cost)) = initial {
         best_cost = cost;
         best_solution = Some(sol);
     }
 
-    let mut ws = AscentWorkspace::new(a, lambda);
+    let mut ws = match mctx {
+        None => AscentWorkspace::new(a, lambda),
+        Some(ctx) => AscentWorkspace::with_demand(a, lambda, Some(&ctx.demand)),
+    };
     // μ0 from the primal heuristic (§3.3: "the initial estimate for μ0 is
     // determined by a primal heuristic").
     if let Some(sol) = &best_solution {
@@ -249,7 +320,11 @@ pub fn subgradient_ascent_probed<P: Probe>(
         // (period 0 = off; `k % 0` would panic).
         if opts.heuristic_period != 0 && k % opts.heuristic_period == 0 {
             let rule = GammaRule::FAST[k % GammaRule::FAST.len()];
-            if let Some(cost) = greedy_pass(a, view, &ws.c_tilde, rule, &mut scratch) {
+            let pass = match mctx {
+                None => greedy_pass(a, view, &ws.c_tilde, rule, &mut scratch),
+                Some(ctx) => greedy_pass_constrained(a, view, &ws.c_tilde, rule, ctx, &mut scratch),
+            };
+            if let Some(cost) = pass {
                 if cost < best_cost {
                     best_cost = cost;
                     best_solution = Some(scratch.extract_solution());
@@ -329,6 +404,7 @@ pub fn subgradient_ascent_probed<P: Probe>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cover::GubGroup;
 
     fn cycle(n: usize) -> CoverMatrix {
         CoverMatrix::from_rows(n, (0..n).map(|i| vec![i, (i + 1) % n]).collect())
@@ -415,6 +491,77 @@ mod tests {
         let sol = r.best_solution.expect("initial greedy still seeds");
         assert!(sol.is_feasible(&m));
         assert_eq!(r.best_cost, 4.0);
+    }
+
+    #[test]
+    fn constrained_unate_is_bit_identical() {
+        // All-ones coverage through the constrained entry must reproduce
+        // the unate ascent exactly: bounds, iterations, multipliers.
+        let m = cycle(9);
+        let unate = subgradient_ascent(&m, &SubgradientOptions::default(), None, None);
+        let cons = Constraints::new().coverage(vec![1; 9]);
+        let multi =
+            subgradient_ascent_constrained(&m, &SubgradientOptions::default(), &cons, None, None);
+        assert_eq!(unate.lb.to_bits(), multi.lb.to_bits());
+        assert_eq!(unate.ub_ld.to_bits(), multi.ub_ld.to_bits());
+        assert_eq!(unate.best_cost.to_bits(), multi.best_cost.to_bits());
+        assert_eq!(unate.iterations, multi.iterations);
+        assert_eq!(unate.lambda, multi.lambda);
+        assert_eq!(unate.mu, multi.mu);
+        assert_eq!(unate.best_solution, multi.best_solution);
+        assert_eq!(unate.proven_optimal, multi.proven_optimal);
+    }
+
+    #[test]
+    fn constrained_multicover_solves_and_bounds() {
+        // Each cycle row demands 2 distinct covering columns: the optimum
+        // doubles relative to unate (every column must be taken on a
+        // 5-cycle: each covers 2 rows, 5 rows × demand 2 = 10 = 5 × 2).
+        let m = cycle(5);
+        let cons = Constraints::new().coverage(vec![2; 5]);
+        let r =
+            subgradient_ascent_constrained(&m, &SubgradientOptions::default(), &cons, None, None);
+        let sol = r.best_solution.expect("feasible multicover exists");
+        assert!(cons.is_satisfied(&m, &sol));
+        assert_eq!(r.best_cost, 5.0);
+        assert!(
+            r.lb <= r.best_cost + 1e-9,
+            "lb {} vs ub {}",
+            r.lb,
+            r.best_cost
+        );
+        assert!(
+            r.lb > 4.0,
+            "demand-aware relaxation should push past the unate bound"
+        );
+    }
+
+    #[test]
+    fn constrained_gub_respected_by_incumbent() {
+        // Two parallel columns per row; group the cheap ones at bound 1
+        // so at least one expensive column is forced in.
+        let m =
+            CoverMatrix::with_costs(4, vec![vec![0, 2], vec![1, 3]], vec![1.0, 1.0, 10.0, 10.0]);
+        let cons = Constraints::new().gub_groups(vec![GubGroup::new(vec![0, 1], 1)]);
+        let r =
+            subgradient_ascent_constrained(&m, &SubgradientOptions::default(), &cons, None, None);
+        let sol = r.best_solution.expect("feasible under the bound");
+        assert!(cons.is_satisfied(&m, &sol));
+        assert_eq!(r.best_cost, 11.0);
+        // The relaxation drops the group bound, so the bound may sit at
+        // the unate optimum (2.0) — but never above the incumbent.
+        assert!(r.lb <= r.best_cost + 1e-9);
+    }
+
+    #[test]
+    fn constrained_infeasible_demand_yields_no_solution() {
+        // Row 0 demands 2 covers but is touched by one column. The
+        // necessary-condition validator catches this; the ascent itself
+        // is only reached with validated constraints, so check the
+        // validation contract here.
+        let m = CoverMatrix::from_rows(2, vec![vec![0], vec![0, 1]]);
+        let cons = Constraints::new().coverage(vec![2, 1]);
+        assert!(cons.validate_for(&m).is_err());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The `ucp-api/1` wire layer: serializable DTOs mirroring the
+//! The `ucp-api/2` wire layer: serializable DTOs mirroring the
 //! in-process solve API, plus the wire-error taxonomy.
 //!
 //! [`SolveRequest`] is a borrow-heavy in-process builder — it can hold a
@@ -28,10 +28,14 @@
 //!
 //! # Versioning
 //!
-//! Every envelope carries `"api": "ucp-api/1"` ([`WIRE_API`]). Parsers
-//! accept a missing tag (same major version implied) but refuse a
-//! mismatched one, so incompatible future revisions fail loudly instead
-//! of misinterpreting fields.
+//! Every envelope carries `"api": "ucp-api/2"` ([`WIRE_API`]). Parsers
+//! accept a missing tag (current version implied) and the previous
+//! [`WIRE_API_V1`] tag — `ucp-api/2` is a strict superset of `/1`: the
+//! new `coverage`/`gub_groups` fields are optional and their absence
+//! means the unate problem, so every valid `/1` body is a valid `/2`
+//! body with the same meaning. Any other tag is refused, so
+//! incompatible future revisions fail loudly instead of misinterpreting
+//! fields.
 //!
 //! # Example
 //!
@@ -55,7 +59,7 @@
 
 use crate::request::{Preset, SolveError};
 use crate::scg::{ScgOptions, ScgOutcome};
-use cover::CoverMatrix;
+use cover::{Constraints, CoverMatrix, GubGroup};
 use std::sync::Arc;
 use std::time::Duration;
 use ucp_telemetry::trace::parse_json;
@@ -64,7 +68,12 @@ use ucp_telemetry::{JsonObj, JsonValue};
 use crate::SolveRequest;
 
 /// The wire API version tag stamped on every envelope.
-pub const WIRE_API: &str = "ucp-api/1";
+pub const WIRE_API: &str = "ucp-api/2";
+
+/// The previous wire version, still accepted on input: `/2` only adds
+/// optional fields (`coverage`, `gub_groups`), so `/1` bodies parse
+/// unchanged with unate meaning.
+pub const WIRE_API_V1: &str = "ucp-api/1";
 
 /// Stable machine-readable error codes — the single taxonomy every
 /// error in the solve stack maps onto.
@@ -104,13 +113,17 @@ pub enum WireCode {
     ResourceExhausted,
     /// The instance has a row no column covers.
     Infeasible,
+    /// The job's `coverage`/`gub_groups` constraints do not fit the
+    /// instance (wrong length, overlapping groups, or a row whose
+    /// demand no feasible selection can supply).
+    UnsupportedConstraints,
     /// Any other server-side failure.
     Internal,
 }
 
 impl WireCode {
     /// Every code, in taxonomy order (the README table's order).
-    pub const ALL: [WireCode; 14] = [
+    pub const ALL: [WireCode; 15] = [
         WireCode::BadRequest,
         WireCode::InvalidSpec,
         WireCode::PayloadTooLarge,
@@ -124,6 +137,7 @@ impl WireCode {
         WireCode::Panicked,
         WireCode::ResourceExhausted,
         WireCode::Infeasible,
+        WireCode::UnsupportedConstraints,
         WireCode::Internal,
     ];
 
@@ -144,6 +158,7 @@ impl WireCode {
             WireCode::Panicked => ("panicked", 500),
             WireCode::ResourceExhausted => ("resource_exhausted", 503),
             WireCode::Infeasible => ("infeasible", 422),
+            WireCode::UnsupportedConstraints => ("unsupported_constraints", 422),
             WireCode::Internal => ("internal", 500),
         }
     }
@@ -179,13 +194,14 @@ impl SolveError {
             SolveError::Cancelled => WireCode::Cancelled,
             SolveError::Expired => WireCode::Expired,
             SolveError::ResourceExhausted(_) => WireCode::ResourceExhausted,
+            SolveError::InvalidConstraints(_) => WireCode::UnsupportedConstraints,
         }
     }
 }
 
 /// A wire-level failure: a taxonomy code plus a human-readable message.
 /// This is both the parse-error type of this module and the `"error"`
-/// object of `ucp-api/1` responses.
+/// object of `ucp-api/2` responses.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WireError {
     pub code: WireCode,
@@ -296,6 +312,13 @@ pub struct JobSpec {
     pub degrade: Option<bool>,
     /// Apply the partitioning reduction.
     pub partition: Option<bool>,
+    /// Per-row coverage requirements `b_i` (set multicover). Absent =
+    /// all ones, the unate problem — every `ucp-api/1` body keeps its
+    /// meaning. New in `ucp-api/2`.
+    pub coverage: Option<Vec<u32>>,
+    /// Disjoint GUB column groups (at most `bound` columns of each
+    /// group selected). Absent = no groups. New in `ucp-api/2`.
+    pub gub_groups: Option<Vec<GubGroup>>,
 }
 
 impl JobSpec {
@@ -350,16 +373,35 @@ impl JobSpec {
         opts
     }
 
+    /// The constraint set this spec describes (unate when both fields
+    /// are absent).
+    pub fn constraints(&self) -> Constraints {
+        let mut cons = Constraints::new();
+        if let Some(c) = &self.coverage {
+            cons = cons.coverage(c.clone());
+        }
+        if let Some(g) = &self.gub_groups {
+            cons = cons.gub_groups(g.clone());
+        }
+        cons
+    }
+
     /// Builds the ready-to-run request for `m` — `Send + 'static`, the
     /// form [`ucp_engine::Engine::submit`](crate::Scg) consumers need.
     pub fn to_request(&self, m: Arc<CoverMatrix>) -> SolveRequest<'static> {
-        SolveRequest::for_shared(m).options(self.options())
+        SolveRequest::for_shared(m)
+            .options(self.options())
+            .constraints(self.constraints())
     }
 
-    /// Recovers the spec describing `req`'s options — the inverse of
-    /// [`JobSpec::to_request`], in *canonical* form (every covered field
-    /// explicit, so `from_request(to_request(s)) ==
+    /// Recovers the spec describing `req`'s options *and constraints* —
+    /// the inverse of [`JobSpec::to_request`], in *canonical* form
+    /// (every covered field explicit, so `from_request(to_request(s)) ==
     /// from_request(to_request(from_request(to_request(s))))`).
+    ///
+    /// The constraint fields are copied independently of the preset
+    /// detection (which keys on the kernel signature): a multicover
+    /// request never round-trips into a silently-unate spec.
     ///
     /// # Errors
     ///
@@ -368,7 +410,12 @@ impl JobSpec {
     /// non-default `t0`): refusing loudly beats silently dropping the
     /// setting on the floor.
     pub fn from_request(req: &SolveRequest<'_>) -> Result<JobSpec, SpecUnrepresentable> {
-        Self::from_options(req.opts())
+        let mut spec = Self::from_options(req.opts())?;
+        let cons = req.constraint_set();
+        spec.coverage = cons.coverage_vec().map(<[u32]>::to_vec);
+        let groups = cons.groups();
+        spec.gub_groups = (!groups.is_empty()).then(|| groups.to_vec());
+        Ok(spec)
     }
 
     /// [`JobSpec::from_request`] on a bare option set.
@@ -449,13 +496,20 @@ impl JobSpec {
             use_implicit: Some(opts.core.use_implicit),
             degrade: Some(opts.core.degrade),
             partition: Some(opts.partition),
+            // Constraints are not options; from_request copies them.
+            coverage: None,
+            gub_groups: None,
         })
     }
 
     /// The canonical (every-field-explicit) form of this spec: same
-    /// options, normalised representation.
+    /// options and constraints, normalised representation.
     pub fn canonical(&self) -> JobSpec {
-        Self::from_options(&self.options()).expect("a spec's own options are representable")
+        let mut c =
+            Self::from_options(&self.options()).expect("a spec's own options are representable");
+        c.coverage = self.coverage.clone();
+        c.gub_groups = self.gub_groups.clone();
+        c
     }
 
     /// Serialises the spec; `None` fields are omitted, so the JSON is
@@ -498,6 +552,12 @@ impl JobSpec {
         }
         if let Some(v) = self.partition {
             o.field_bool("partition", v);
+        }
+        if let Some(c) = &self.coverage {
+            o.field_raw("coverage", &coverage_to_json(c));
+        }
+        if let Some(g) = &self.gub_groups {
+            o.field_raw("gub_groups", &gub_groups_to_json(g));
         }
         o.finish()
     }
@@ -543,6 +603,8 @@ impl JobSpec {
                 "use_implicit" => spec.use_implicit = Some(as_bool(value, "use_implicit")?),
                 "degrade" => spec.degrade = Some(as_bool(value, "degrade")?),
                 "partition" => spec.partition = Some(as_bool(value, "partition")?),
+                "coverage" => spec.coverage = Some(coverage_from_json(value)?),
+                "gub_groups" => spec.gub_groups = Some(gub_groups_from_json(value)?),
                 other => {
                     return Err(WireError::invalid(format!("unknown spec field {other:?}")));
                 }
@@ -578,6 +640,102 @@ fn as_usize(v: &JsonValue, field: &str) -> Result<usize, WireError> {
 fn as_bool(v: &JsonValue, field: &str) -> Result<bool, WireError> {
     v.as_bool()
         .ok_or_else(|| WireError::invalid(format!("{field} must be a boolean")))
+}
+
+/// Serialises a coverage vector as a plain JSON array of integers.
+fn coverage_to_json(coverage: &[u32]) -> String {
+    let mut s = String::from("[");
+    for (i, b) in coverage.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&b.to_string());
+    }
+    s.push(']');
+    s
+}
+
+/// Parses a `coverage` array: non-negative integers, one per row.
+/// Structural only — length and positivity are checked against the
+/// instance at solve time (`unsupported_constraints`).
+fn coverage_from_json(v: &JsonValue) -> Result<Vec<u32>, WireError> {
+    let JsonValue::Arr(items) = v else {
+        return Err(WireError::invalid("coverage must be an array of integers"));
+    };
+    items
+        .iter()
+        .map(|e| {
+            u32::try_from(as_u64(e, "coverage entry")?)
+                .map_err(|_| WireError::invalid("coverage entry out of range"))
+        })
+        .collect()
+}
+
+/// Serialises GUB groups as `[{"cols":[…],"bound":k},…]`.
+fn gub_groups_to_json(groups: &[GubGroup]) -> String {
+    let mut s = String::from("[");
+    for (i, g) in groups.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let mut cols = String::from("[");
+        for (k, j) in g.cols().iter().enumerate() {
+            if k > 0 {
+                cols.push(',');
+            }
+            cols.push_str(&j.to_string());
+        }
+        cols.push(']');
+        let mut o = JsonObj::new();
+        o.field_raw("cols", &cols);
+        o.field_u64("bound", g.bound() as u64);
+        s.push_str(&o.finish());
+    }
+    s.push(']');
+    s
+}
+
+/// Parses a `gub_groups` array of `{"cols":…,"bound":…}` objects.
+/// Unknown group fields are refused like unknown spec fields;
+/// disjointness and range checks happen against the instance at solve
+/// time (`unsupported_constraints`).
+fn gub_groups_from_json(v: &JsonValue) -> Result<Vec<GubGroup>, WireError> {
+    let JsonValue::Arr(items) = v else {
+        return Err(WireError::invalid(
+            "gub_groups must be an array of group objects",
+        ));
+    };
+    items
+        .iter()
+        .map(|g| {
+            let JsonValue::Obj(members) = g else {
+                return Err(WireError::invalid(
+                    "each GUB group must be a {\"cols\":…,\"bound\":…} object",
+                ));
+            };
+            for (key, _) in members {
+                if key != "cols" && key != "bound" {
+                    return Err(WireError::invalid(format!(
+                        "unknown GUB group field {key:?}"
+                    )));
+                }
+            }
+            let Some(JsonValue::Arr(cols_json)) = g.get("cols") else {
+                return Err(WireError::invalid("GUB group needs a cols array"));
+            };
+            let cols = cols_json
+                .iter()
+                .map(|e| as_usize(e, "GUB group column"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let bound = g
+                .get("bound")
+                .ok_or_else(|| WireError::invalid("GUB group needs a bound"))
+                .and_then(|b| as_u64(b, "GUB group bound"))?;
+            let bound = u32::try_from(bound)
+                .map_err(|_| WireError::invalid("GUB group bound out of range"))?;
+            Ok(GubGroup::new(cols, bound))
+        })
+        .collect()
 }
 
 /// Caps on wire-submitted instances, so a single request cannot balloon
@@ -741,14 +899,33 @@ impl SubmitBody {
             ));
         };
         check_api_tag(&v)?;
-        let spec = match v.get("spec") {
+        let mut spec = match v.get("spec") {
             Some(s) => JobSpec::from_json_value(s)?,
             None => JobSpec::default(),
         };
-        let matrix = matrix_from_json(
-            v.get("matrix")
-                .ok_or_else(|| WireError::invalid("body needs a matrix"))?,
-        )?;
+        let matrix_json = v
+            .get("matrix")
+            .ok_or_else(|| WireError::invalid("body needs a matrix"))?;
+        let matrix = matrix_from_json(matrix_json)?;
+        // Constraints may ride on the matrix object instead of the spec
+        // (they describe the instance as much as the job), but only one
+        // of the two places — a silent override would be a trap.
+        if let Some(c) = matrix_json.get("coverage") {
+            if spec.coverage.is_some() {
+                return Err(WireError::invalid(
+                    "coverage given on both the matrix and the spec",
+                ));
+            }
+            spec.coverage = Some(coverage_from_json(c)?);
+        }
+        if let Some(g) = matrix_json.get("gub_groups") {
+            if spec.gub_groups.is_some() {
+                return Err(WireError::invalid(
+                    "gub_groups given on both the matrix and the spec",
+                ));
+            }
+            spec.gub_groups = Some(gub_groups_from_json(g)?);
+        }
         let tenant = match v.get("tenant") {
             None => None,
             Some(t) => Some(
@@ -773,14 +950,16 @@ impl SubmitBody {
     }
 }
 
-/// Envelope version check: absent tag = current version, anything other
-/// than [`WIRE_API`] is refused.
+/// Envelope version check: absent tag = current version; the previous
+/// [`WIRE_API_V1`] is accepted too (the `/2` additions are optional
+/// fields, so `/1` bodies keep their meaning); anything else is refused.
 pub fn check_api_tag(v: &JsonValue) -> Result<(), WireError> {
     match v.get("api") {
         None => Ok(()),
-        Some(tag) if tag.as_str() == Some(WIRE_API) => Ok(()),
+        Some(tag) if tag.as_str() == Some(WIRE_API) || tag.as_str() == Some(WIRE_API_V1) => Ok(()),
         Some(tag) => Err(WireError::invalid(format!(
-            "unsupported api version {tag:?} (this server speaks {WIRE_API})"
+            "unsupported api version {tag:?} (this server speaks {WIRE_API} \
+             and accepts {WIRE_API_V1})"
         ))),
     }
 }
@@ -1020,6 +1199,13 @@ mod tests {
         partial.seed = Some(9);
         partial.node_budget = Some(100_000);
         specs.push(partial);
+        let mut multicover = JobSpec::new(Preset::Fast);
+        multicover.coverage = Some(vec![2, 1, 1, 2, 1]);
+        multicover.gub_groups = Some(vec![
+            GubGroup::new(vec![0, 2], 1),
+            GubGroup::new(vec![1, 3], 2),
+        ]);
+        specs.push(multicover);
         specs
     }
 
@@ -1168,7 +1354,72 @@ mod tests {
         let err = SubmitBody::parse(r#"{"api":"ucp-api/9","matrix":{"cols":1,"rows":[[0]]}}"#)
             .unwrap_err();
         assert_eq!(err.code, WireCode::InvalidSpec);
-        assert!(err.message.contains("ucp-api/1"));
+        assert!(err.message.contains("ucp-api/2"), "{err}");
+        assert!(err.message.contains("ucp-api/1"), "{err}");
+    }
+
+    #[test]
+    fn legacy_v1_bodies_still_parse() {
+        let body = SubmitBody::parse(
+            r#"{"api":"ucp-api/1","matrix":{"cols":2,"rows":[[0],[1]]},"spec":{"preset":"fast"}}"#,
+        )
+        .unwrap();
+        assert_eq!(body.spec.preset, Preset::Fast);
+        assert!(body.spec.constraints().is_unate(), "absent fields = unate");
+    }
+
+    #[test]
+    fn constraints_ride_on_the_matrix_but_not_both_places() {
+        let body = SubmitBody::parse(
+            r#"{"matrix":{"cols":2,"rows":[[0,1],[0,1]],"coverage":[2,1],
+                "gub_groups":[{"cols":[0,1],"bound":2}]}}"#,
+        )
+        .unwrap();
+        assert_eq!(body.spec.coverage, Some(vec![2, 1]));
+        assert_eq!(
+            body.spec.gub_groups,
+            Some(vec![GubGroup::new(vec![0, 1], 2)])
+        );
+        let err = SubmitBody::parse(
+            r#"{"matrix":{"cols":2,"rows":[[0,1]],"coverage":[2]},
+                "spec":{"coverage":[1]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, WireCode::InvalidSpec);
+        assert!(err.message.contains("both"), "{err}");
+    }
+
+    #[test]
+    fn hostile_constraint_fields_get_clean_errors() {
+        for body in [
+            r#"{"coverage":7}"#,
+            r#"{"coverage":[-1]}"#,
+            r#"{"coverage":[1.5]}"#,
+            r#"{"gub_groups":{}}"#,
+            r#"{"gub_groups":[7]}"#,
+            r#"{"gub_groups":[{"cols":[0]}]}"#,
+            r#"{"gub_groups":[{"bound":1}]}"#,
+            r#"{"gub_groups":[{"cols":[0],"bound":-1}]}"#,
+            r#"{"gub_groups":[{"cols":[0],"bound":1,"warp":9}]}"#,
+        ] {
+            let err = JobSpec::parse(body).unwrap_err();
+            assert_eq!(err.code, WireCode::InvalidSpec, "{body}");
+        }
+    }
+
+    #[test]
+    fn multicover_spec_never_round_trips_as_unate() {
+        let m = Arc::new(cycle(5));
+        let mut spec = JobSpec::new(Preset::Paper);
+        spec.coverage = Some(vec![2; 5]);
+        let req = spec.to_request(Arc::clone(&m));
+        assert!(!req.constraint_set().is_unate());
+        let recovered = JobSpec::from_request(&req).expect("representable");
+        // The preset detection keys on the kernel signature; the
+        // constraint fields must survive independently of it.
+        assert_eq!(recovered.preset, Preset::Paper);
+        assert_eq!(recovered.coverage, Some(vec![2; 5]));
+        assert!(!recovered.constraints().is_unate());
     }
 
     #[test]
@@ -1194,6 +1445,11 @@ mod tests {
         assert_eq!(
             SolveError::ResourceExhausted(overflow).wire_code(),
             WireCode::ResourceExhausted
+        );
+        assert_eq!(
+            SolveError::InvalidConstraints(cover::ConstraintError::ZeroCoverage { row: 0 })
+                .wire_code(),
+            WireCode::UnsupportedConstraints
         );
     }
 

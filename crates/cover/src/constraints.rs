@@ -1,0 +1,515 @@
+//! Side constraints generalising the unate covering problem: per-row
+//! coverage requirements (set *multicover*) and generalized-upper-bound
+//! (GUB) column groups.
+//!
+//! The solver core is parameterised over a [`Constraints`] value rather
+//! than a compile-time type: the unate problem is the `b_i ≡ 1`,
+//! no-groups specialization ([`Constraints::unate`]), and the solver's
+//! unate path is bit-identical to the historical implementation (the
+//! equivalence suite checks this). A non-trivial [`Constraints`] selects
+//! the multicover driver:
+//!
+//! * **coverage** — every row `i` must be covered by at least `b_i ≥ 1`
+//!   *distinct* selected columns (`Ap ≥ b`). Uncovered count becomes
+//!   *residual demand*; multipliers stay one per row.
+//! * **GUB groups** — disjoint column groups `G_g` with a bound `k_g`:
+//!   at most `k_g` columns of each group may be selected. Groups are
+//!   enforced in the greedy pick and redundancy elimination; the
+//!   Lagrangian relaxation ignores them, which only weakens (never
+//!   invalidates) the lower bound.
+//!
+//! # Example
+//!
+//! ```
+//! use cover::{Constraints, CoverMatrix, GubGroup};
+//!
+//! let m = CoverMatrix::from_rows(3, vec![vec![0, 1, 2], vec![1, 2]]);
+//! let cons = Constraints::new()
+//!     .coverage(vec![2, 1])
+//!     .gub_groups(vec![GubGroup::new(vec![0, 1], 2)]);
+//! assert!(cons.validate_for(&m).is_ok());
+//! assert!(!cons.is_unate());
+//! ```
+
+use crate::matrix::{CoverMatrix, Solution};
+use std::fmt;
+
+/// One generalized-upper-bound group: at most `bound` of the listed
+/// columns may be selected together.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GubGroup {
+    /// Member columns (sorted, deduplicated on construction).
+    cols: Vec<usize>,
+    /// Selection bound `k_g ≥ 1`.
+    bound: u32,
+}
+
+impl GubGroup {
+    /// Builds a group from member columns and an at-most bound.
+    pub fn new(mut cols: Vec<usize>, bound: u32) -> Self {
+        cols.sort_unstable();
+        cols.dedup();
+        GubGroup { cols, bound }
+    }
+
+    /// The member columns, sorted ascending.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// The at-most selection bound `k_g`.
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+}
+
+/// Which specialization of the solver core a [`Constraints`] value
+/// selects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConstraintKind {
+    /// `b_i ≡ 1`, no groups: the classical unate covering problem. The
+    /// full reduction machinery (cyclic core, partitioning, penalty
+    /// fixing) applies.
+    Unate,
+    /// Some `b_i ≥ 2` and/or GUB groups: the set-multicover driver
+    /// (generalised ascent + constrained greedy on the full matrix).
+    Multicover,
+}
+
+/// Why a [`Constraints`] value cannot apply to a given instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConstraintError {
+    /// `coverage.len()` does not match the instance's row count.
+    CoverageLength {
+        /// Rows in the instance.
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+    /// A coverage requirement of zero (rows must demand at least one
+    /// cover; drop the row instead).
+    ZeroCoverage {
+        /// The offending row.
+        row: usize,
+    },
+    /// A GUB group with bound zero (it would forbid all its columns;
+    /// remove the columns instead).
+    ZeroBound {
+        /// The offending group's index.
+        group: usize,
+    },
+    /// An empty GUB group.
+    EmptyGroup {
+        /// The offending group's index.
+        group: usize,
+    },
+    /// A group references a column outside the instance.
+    ColumnOutOfRange {
+        /// The offending group's index.
+        group: usize,
+        /// The column it references.
+        col: usize,
+        /// Columns in the instance.
+        num_cols: usize,
+    },
+    /// Two groups share a column (groups must be disjoint — a partition
+    /// of a subset of the columns).
+    OverlappingColumn {
+        /// The shared column.
+        col: usize,
+    },
+    /// A row whose demand exceeds what any selection obeying the GUB
+    /// bounds could supply — infeasible by construction.
+    RowInfeasible {
+        /// The starved row.
+        row: usize,
+        /// Its coverage requirement `b_i`.
+        demand: u32,
+        /// The most distinct covering columns any feasible selection
+        /// can contain.
+        max_supply: u64,
+    },
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::CoverageLength { expected, got } => write!(
+                f,
+                "coverage has {got} entries but the instance has {expected} rows"
+            ),
+            ConstraintError::ZeroCoverage { row } => {
+                write!(f, "row {row} has coverage requirement 0 (must be ≥ 1)")
+            }
+            ConstraintError::ZeroBound { group } => {
+                write!(f, "GUB group {group} has bound 0 (must be ≥ 1)")
+            }
+            ConstraintError::EmptyGroup { group } => {
+                write!(f, "GUB group {group} has no columns")
+            }
+            ConstraintError::ColumnOutOfRange {
+                group,
+                col,
+                num_cols,
+            } => write!(f, "GUB group {group} references column {col} ≥ {num_cols}"),
+            ConstraintError::OverlappingColumn { col } => write!(
+                f,
+                "column {col} appears in two GUB groups (groups must be disjoint)"
+            ),
+            ConstraintError::RowInfeasible {
+                row,
+                demand,
+                max_supply,
+            } => write!(
+                f,
+                "row {row} demands {demand} covers but at most {max_supply} \
+                 covering columns can ever be selected under the GUB bounds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+/// The constraint set one solve runs under. [`Constraints::unate`] (also
+/// `Default`) is the classical problem; adding coverage requirements or
+/// GUB groups selects the multicover driver.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Constraints {
+    /// Per-row coverage requirement `b_i`; `None` means all ones.
+    coverage: Option<Vec<u32>>,
+    /// Disjoint GUB groups (may leave columns ungrouped).
+    groups: Vec<GubGroup>,
+}
+
+impl Constraints {
+    /// The unate constraint set: `b_i ≡ 1`, no groups.
+    pub fn new() -> Self {
+        Constraints::default()
+    }
+
+    /// Alias of [`Constraints::new`], reading better at call sites that
+    /// spell the specialization out.
+    pub fn unate() -> Self {
+        Constraints::default()
+    }
+
+    /// Sets per-row coverage requirements (one entry per row).
+    pub fn coverage(mut self, coverage: Vec<u32>) -> Self {
+        self.coverage = Some(coverage);
+        self
+    }
+
+    /// Sets the GUB column groups.
+    pub fn gub_groups(mut self, groups: Vec<GubGroup>) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    /// The explicit coverage vector, if one was set. All-ones coverage
+    /// set explicitly still reports `Some` here (and `is_unate` still
+    /// reports `true`): the *kind* depends on the values, not the
+    /// representation.
+    pub fn coverage_vec(&self) -> Option<&[u32]> {
+        self.coverage.as_deref()
+    }
+
+    /// The GUB groups (empty for unate).
+    pub fn groups(&self) -> &[GubGroup] {
+        &self.groups
+    }
+
+    /// Coverage requirement of row `i` (1 when no vector was set).
+    pub fn demand_of(&self, i: usize) -> u32 {
+        self.coverage.as_ref().map_or(1, |c| c[i])
+    }
+
+    /// `true` when this constraint set is the unate specialization:
+    /// every requirement is 1 and there are no groups.
+    pub fn is_unate(&self) -> bool {
+        self.groups.is_empty()
+            && self
+                .coverage
+                .as_ref()
+                .is_none_or(|c| c.iter().all(|&b| b == 1))
+    }
+
+    /// Which solver specialization this constraint set selects.
+    pub fn kind(&self) -> ConstraintKind {
+        if self.is_unate() {
+            ConstraintKind::Unate
+        } else {
+            ConstraintKind::Multicover
+        }
+    }
+
+    /// Structural validation against instance dimensions alone: coverage
+    /// length and positivity, group bounds, membership and disjointness.
+    pub fn validate_dims(&self, num_rows: usize, num_cols: usize) -> Result<(), ConstraintError> {
+        if let Some(coverage) = &self.coverage {
+            if coverage.len() != num_rows {
+                return Err(ConstraintError::CoverageLength {
+                    expected: num_rows,
+                    got: coverage.len(),
+                });
+            }
+            if let Some(row) = coverage.iter().position(|&b| b == 0) {
+                return Err(ConstraintError::ZeroCoverage { row });
+            }
+        }
+        let mut seen = vec![false; num_cols];
+        for (g, group) in self.groups.iter().enumerate() {
+            if group.cols.is_empty() {
+                return Err(ConstraintError::EmptyGroup { group: g });
+            }
+            if group.bound == 0 {
+                return Err(ConstraintError::ZeroBound { group: g });
+            }
+            for &col in &group.cols {
+                if col >= num_cols {
+                    return Err(ConstraintError::ColumnOutOfRange {
+                        group: g,
+                        col,
+                        num_cols,
+                    });
+                }
+                if seen[col] {
+                    return Err(ConstraintError::OverlappingColumn { col });
+                }
+                seen[col] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Full validation against an instance: [`Constraints::validate_dims`]
+    /// plus the per-row necessary feasibility condition — under the GUB
+    /// bounds, enough distinct covering columns must remain selectable to
+    /// meet every row's demand. (Necessary, not sufficient: multicover
+    /// feasibility under GUB is NP-hard in general; a greedy failure at
+    /// solve time still reports infeasibility.)
+    pub fn validate_for(&self, m: &CoverMatrix) -> Result<(), ConstraintError> {
+        self.validate_dims(m.num_rows(), m.num_cols())?;
+        // group_of[j]: which group column j belongs to, usize::MAX = none.
+        let group_of = self.group_index(m.num_cols());
+        for i in 0..m.num_rows() {
+            let demand = self.demand_of(i);
+            let row = m.row(i);
+            let max_supply: u64 = if self.groups.is_empty() {
+                row.len() as u64
+            } else {
+                // Per group: at most min(bound, members covering i)
+                // columns; ungrouped covering columns are free.
+                let mut in_group = vec![0u64; self.groups.len()];
+                let mut free = 0u64;
+                for &j in row {
+                    match group_of[j] {
+                        usize::MAX => free += 1,
+                        g => in_group[g] += 1,
+                    }
+                }
+                free + in_group
+                    .iter()
+                    .enumerate()
+                    .map(|(g, &n)| n.min(self.groups[g].bound as u64))
+                    .sum::<u64>()
+            };
+            if (demand as u64) > max_supply {
+                return Err(ConstraintError::RowInfeasible {
+                    row: i,
+                    demand,
+                    max_supply,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-column group membership: `group_of[j]` is the group index of
+    /// column `j`, or `usize::MAX` when ungrouped. Callers validate
+    /// first; out-of-range members are ignored here.
+    pub fn group_index(&self, num_cols: usize) -> Vec<usize> {
+        let mut group_of = vec![usize::MAX; num_cols];
+        for (g, group) in self.groups.iter().enumerate() {
+            for &j in &group.cols {
+                if j < num_cols {
+                    group_of[j] = g;
+                }
+            }
+        }
+        group_of
+    }
+
+    /// Checks a solution against this constraint set on `m`: every row's
+    /// residual demand is zero and no group bound is exceeded.
+    pub fn is_satisfied(&self, m: &CoverMatrix, sol: &Solution) -> bool {
+        for i in 0..m.num_rows() {
+            let covered = m.row(i).iter().filter(|&&j| sol.contains(j)).count();
+            if (covered as u64) < self.demand_of(i) as u64 {
+                return false;
+            }
+        }
+        self.groups.iter().all(|g| {
+            let used = g.cols.iter().filter(|&&j| sol.contains(j)).count();
+            used as u64 <= g.bound as u64
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CoverMatrix {
+        CoverMatrix::from_rows(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]])
+    }
+
+    #[test]
+    fn unate_by_default_and_by_all_ones() {
+        assert!(Constraints::new().is_unate());
+        assert!(Constraints::unate().is_unate());
+        assert_eq!(Constraints::new().kind(), ConstraintKind::Unate);
+        let explicit = Constraints::new().coverage(vec![1, 1, 1, 1]);
+        assert!(explicit.is_unate(), "explicit all-ones is still unate");
+        assert!(explicit.coverage_vec().is_some());
+    }
+
+    #[test]
+    fn coverage_two_or_groups_select_multicover() {
+        let c = Constraints::new().coverage(vec![2, 1, 1, 1]);
+        assert_eq!(c.kind(), ConstraintKind::Multicover);
+        let g = Constraints::new().gub_groups(vec![GubGroup::new(vec![0, 1], 1)]);
+        assert_eq!(g.kind(), ConstraintKind::Multicover);
+    }
+
+    #[test]
+    fn validate_catches_structural_errors() {
+        let m = sample();
+        assert_eq!(
+            Constraints::new()
+                .coverage(vec![1, 1])
+                .validate_for(&m)
+                .unwrap_err(),
+            ConstraintError::CoverageLength {
+                expected: 4,
+                got: 2
+            }
+        );
+        assert_eq!(
+            Constraints::new()
+                .coverage(vec![1, 0, 1, 1])
+                .validate_for(&m)
+                .unwrap_err(),
+            ConstraintError::ZeroCoverage { row: 1 }
+        );
+        assert_eq!(
+            Constraints::new()
+                .gub_groups(vec![GubGroup::new(vec![0], 0)])
+                .validate_for(&m)
+                .unwrap_err(),
+            ConstraintError::ZeroBound { group: 0 }
+        );
+        assert_eq!(
+            Constraints::new()
+                .gub_groups(vec![GubGroup::new(vec![9], 1)])
+                .validate_for(&m)
+                .unwrap_err(),
+            ConstraintError::ColumnOutOfRange {
+                group: 0,
+                col: 9,
+                num_cols: 4
+            }
+        );
+        assert_eq!(
+            Constraints::new()
+                .gub_groups(vec![
+                    GubGroup::new(vec![0, 1], 1),
+                    GubGroup::new(vec![1], 1)
+                ])
+                .validate_for(&m)
+                .unwrap_err(),
+            ConstraintError::OverlappingColumn { col: 1 }
+        );
+        assert_eq!(
+            Constraints::new()
+                .gub_groups(vec![GubGroup::new(vec![], 1)])
+                .validate_for(&m)
+                .unwrap_err(),
+            ConstraintError::EmptyGroup { group: 0 }
+        );
+    }
+
+    #[test]
+    fn validate_catches_starved_rows() {
+        let m = sample();
+        // Row 0 is covered by columns {0, 1} only: demanding 3 covers is
+        // impossible even without groups.
+        let c = Constraints::new().coverage(vec![3, 1, 1, 1]);
+        assert_eq!(
+            c.validate_for(&m).unwrap_err(),
+            ConstraintError::RowInfeasible {
+                row: 0,
+                demand: 3,
+                max_supply: 2
+            }
+        );
+        // Both of row 0's columns in one group bounded at 1: demand 2
+        // can never be met.
+        let g = Constraints::new()
+            .coverage(vec![2, 1, 1, 1])
+            .gub_groups(vec![GubGroup::new(vec![0, 1], 1)]);
+        assert_eq!(
+            g.validate_for(&m).unwrap_err(),
+            ConstraintError::RowInfeasible {
+                row: 0,
+                demand: 2,
+                max_supply: 1
+            }
+        );
+        // Raising the bound to 2 makes it satisfiable again.
+        let ok = Constraints::new()
+            .coverage(vec![2, 1, 1, 1])
+            .gub_groups(vec![GubGroup::new(vec![0, 1], 2)]);
+        assert!(ok.validate_for(&m).is_ok());
+    }
+
+    #[test]
+    fn group_index_and_satisfaction() {
+        let m = sample();
+        let cons = Constraints::new()
+            .coverage(vec![2, 1, 1, 1])
+            .gub_groups(vec![GubGroup::new(vec![2, 3], 1)]);
+        assert_eq!(cons.group_index(4), vec![usize::MAX, usize::MAX, 0, 0]);
+        // {0, 1, 2} meets row 0's demand of 2 and uses one grouped column.
+        let good = Solution::from_cols(vec![0, 1, 2]);
+        assert!(cons.is_satisfied(&m, &good));
+        // {0, 2, 3} violates the group bound.
+        let over = Solution::from_cols(vec![0, 2, 3]);
+        assert!(!cons.is_satisfied(&m, &over));
+        // {1, 2} leaves row 0 at residual demand 1.
+        let short = Solution::from_cols(vec![1, 2]);
+        assert!(!cons.is_satisfied(&m, &short));
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = ConstraintError::RowInfeasible {
+            row: 3,
+            demand: 4,
+            max_supply: 2,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("row 3"), "{msg}");
+        assert!(msg.contains('4'), "{msg}");
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_none());
+    }
+
+    #[test]
+    fn gub_group_normalises_members() {
+        let g = GubGroup::new(vec![3, 1, 3, 2], 2);
+        assert_eq!(g.cols(), &[1, 2, 3]);
+        assert_eq!(g.bound(), 2);
+    }
+}

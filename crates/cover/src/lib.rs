@@ -29,6 +29,7 @@
 //! assert!(core.is_solved());
 //! ```
 
+mod constraints;
 mod core_driver;
 mod halt;
 mod implicit;
@@ -37,6 +38,7 @@ mod matrix;
 mod partition;
 mod reduce;
 
+pub use constraints::{ConstraintError, ConstraintKind, Constraints, GubGroup};
 pub use core_driver::{
     cyclic_core, cyclic_core_halted, cyclic_core_probed, CoreAbort, CoreOptions, CoreResult,
 };

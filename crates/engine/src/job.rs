@@ -2,7 +2,7 @@
 //! [`SubmitError`].
 
 use std::sync::mpsc;
-use ucp_core::{CancelFlag, ScgOutcome, WireCode, ZddOverflow};
+use ucp_core::{CancelFlag, ConstraintError, ScgOutcome, WireCode, ZddOverflow};
 
 /// Engine-unique job identifier, in submission order starting at 1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -34,6 +34,9 @@ pub enum JobError {
     /// The solve exhausted its ZDD node budget, and so did the engine's
     /// one automatic retry under the explicit-only degraded preset.
     ResourceExhausted(ZddOverflow),
+    /// The job's `coverage`/`gub_groups` constraints do not fit the
+    /// instance (rejected before the solve proper started).
+    InvalidConstraints(ConstraintError),
     /// The engine shut down before the job could report a result.
     EngineClosed,
     /// The engine shut down and aborted this job while it was still
@@ -56,6 +59,7 @@ impl JobError {
             JobError::Expired => WireCode::Expired,
             JobError::Panicked(_) => WireCode::Panicked,
             JobError::ResourceExhausted(_) => WireCode::ResourceExhausted,
+            JobError::InvalidConstraints(_) => WireCode::UnsupportedConstraints,
             JobError::EngineClosed => WireCode::EngineClosed,
             JobError::Shutdown => WireCode::Shutdown,
         }
@@ -71,6 +75,9 @@ impl std::fmt::Display for JobError {
             JobError::ResourceExhausted(_) => {
                 f.write_str("job exhausted its resource budget, even after a degraded retry")
             }
+            JobError::InvalidConstraints(e) => {
+                write!(f, "job constraints do not fit the instance: {e}")
+            }
             JobError::EngineClosed => f.write_str("engine shut down before the job finished"),
             JobError::Shutdown => {
                 f.write_str("engine shut down and aborted the job while it was queued")
@@ -83,6 +90,7 @@ impl std::error::Error for JobError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JobError::ResourceExhausted(e) => Some(e),
+            JobError::InvalidConstraints(e) => Some(e),
             _ => None,
         }
     }

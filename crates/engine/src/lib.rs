@@ -617,6 +617,7 @@ fn run_job(
     // preset (which allocates no ZDD nodes at all).
     let retry_matrix = request.shared_matrix();
     let retry_opts = *request.opts();
+    let retry_cons = request.constraint_set().clone();
     let solve_started = Instant::now();
     let exhausted = match catch_unwind(AssertUnwindSafe(move || Scg::run(request))) {
         Ok(Ok(outcome)) => {
@@ -628,6 +629,7 @@ fn run_job(
         Ok(Err(SolveError::Cancelled)) => return Err(JobError::Cancelled),
         Ok(Err(SolveError::Expired)) => return Err(JobError::Expired),
         Ok(Err(SolveError::ResourceExhausted(e))) => e,
+        Ok(Err(SolveError::InvalidConstraints(e))) => return Err(JobError::InvalidConstraints(e)),
         Ok(Err(other)) => {
             return Err(JobError::Panicked(format!(
                 "unexpected solve error: {other}"
@@ -648,7 +650,10 @@ fn run_job(
             None => return Err(JobError::Expired),
         }
     }
-    let retry = SolveRequest::for_shared(m).options(opts).cancel(cancel);
+    let retry = SolveRequest::for_shared(m)
+        .options(opts)
+        .constraints(retry_cons)
+        .cancel(cancel);
     match catch_unwind(AssertUnwindSafe(move || Scg::run(retry))) {
         Ok(Ok(outcome)) => {
             counters.degraded.inc();
@@ -657,6 +662,7 @@ fn run_job(
         Ok(Err(SolveError::Cancelled)) => Err(JobError::Cancelled),
         Ok(Err(SolveError::Expired)) => Err(JobError::Expired),
         Ok(Err(SolveError::ResourceExhausted(e))) => Err(JobError::ResourceExhausted(e)),
+        Ok(Err(SolveError::InvalidConstraints(e))) => Err(JobError::InvalidConstraints(e)),
         Ok(Err(other)) => Err(JobError::Panicked(format!(
             "unexpected solve error: {other}"
         ))),

@@ -1,6 +1,6 @@
-//! Request routing and response shaping for the `ucp-api/1` surface.
+//! Request routing and response shaping for the `ucp-api/2` surface.
 //!
-//! Every JSON response carries the `"api":"ucp-api/1"` tag; every error
+//! Every JSON response carries the `"api":"ucp-api/2"` tag; every error
 //! is the `{"api":…,"error":{"code":…,"message":…}}` envelope with the
 //! HTTP status canonically derived from the wire code
 //! (`WireCode::http_status` — one table, no per-route status picking).

@@ -1,4 +1,4 @@
-//! A small blocking `ucp-api/1` client over one keep-alive connection —
+//! A small blocking `ucp-api/2` client over one keep-alive connection —
 //! shared by the load generator, the integration tests and the
 //! snapshot bench, so every consumer exercises the same wire path.
 

@@ -1,5 +1,5 @@
 //! A minimal HTTP/1.1 layer on `std::net` — just enough protocol for
-//! the `ucp-api/1` surface: request parsing with a body-size cap,
+//! the `ucp-api/2` surface: request parsing with a body-size cap,
 //! fixed-length responses with keep-alive, and chunked transfer
 //! encoding for live trace streams.
 //!

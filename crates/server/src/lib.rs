@@ -1,5 +1,5 @@
 //! `ucp-server`: the HTTP front-end that turns the batch engine into a
-//! long-lived solve service speaking the versioned `ucp-api/1` wire API
+//! long-lived solve service speaking the versioned `ucp-api/2` wire API
 //! (see `ucp_core::wire` for the DTO layer and error taxonomy).
 //!
 //! # Endpoints
@@ -339,8 +339,10 @@ impl ServerState {
 
     /// Degrades `spec` to Fast-preset effort when shedding is engaged.
     /// Identity-preserving knobs (seed, deadline, workers, node budget,
-    /// trace sampling) survive; effort overrides are dropped with the
-    /// preset. Returns the effective spec and whether it was changed.
+    /// trace sampling) and the constraint fields — they define *which*
+    /// problem is solved, not how hard — survive; effort overrides are
+    /// dropped with the preset. Returns the effective spec and whether
+    /// it was changed.
     fn apply_shed_policy(&self, spec: JobSpec) -> (JobSpec, bool) {
         if !self.observe_pressure() {
             return (spec, false);
@@ -351,6 +353,8 @@ impl ServerState {
         fast.deadline = spec.deadline;
         fast.node_budget = spec.node_budget;
         fast.trace_every = spec.trace_every;
+        fast.coverage = spec.coverage.clone();
+        fast.gub_groups = spec.gub_groups.clone();
         let changed = fast != spec;
         (fast, changed)
     }
@@ -376,7 +380,7 @@ impl ServerState {
     }
 }
 
-/// A running `ucp-api/1` server: an acceptor thread plus one thread per
+/// A running `ucp-api/2` server: an acceptor thread plus one thread per
 /// live connection, all sharing one [`Engine`].
 pub struct Server {
     state: Arc<ServerState>,

@@ -1,6 +1,7 @@
-//! End-to-end tests of the `ucp-api/1` surface over real sockets:
+//! End-to-end tests of the `ucp-api/2` surface over real sockets:
 //! lifecycle, cancellation, admission control, load shedding, trace
-//! streaming, the malformed-body corpus and the wire-error taxonomy.
+//! streaming, multicover constraints, the malformed-body corpus and
+//! the wire-error taxonomy.
 
 use cover::CoverMatrix;
 use std::io::BufReader;
@@ -128,6 +129,53 @@ fn submit_poll_cancel_lifecycle() {
 }
 
 #[test]
+fn multicover_jobs_run_end_to_end_over_api_v2() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let mut client = HttpClient::new(server.addr()).unwrap();
+
+    // The 9-cycle demanding two covers per row: each row has exactly
+    // two covering columns, so the only feasible cover is all of them.
+    let mut spec = JobSpec::new(Preset::Fast);
+    spec.seed = Some(3);
+    spec.coverage = Some(vec![2; 9]);
+    let body = ucp_core::wire::SubmitBody {
+        matrix: cycle(9),
+        spec,
+        tenant: None,
+        trace: false,
+    };
+    let accepted = client.submit(&body).unwrap().unwrap();
+    let done = poll_until_terminal(&mut client, &accepted.id);
+    assert_eq!(done.state, JobState::Done);
+    let result = done.result.expect("done multicover job carries a result");
+    assert_eq!(result.cost, 9.0);
+    assert!(
+        result.lower_bound <= result.cost + 1e-9,
+        "LB {} above cost {}",
+        result.lower_bound,
+        result.cost
+    );
+    assert_eq!(result.columns.len(), 9);
+
+    // Constraints that cannot fit the instance fail with the typed
+    // taxonomy code, not a panic or a silent unate solve.
+    let mut bad_spec = JobSpec::new(Preset::Fast);
+    bad_spec.coverage = Some(vec![3; 9]); // rows only have 2 covering cols
+    let bad = ucp_core::wire::SubmitBody {
+        matrix: cycle(9),
+        spec: bad_spec,
+        tenant: None,
+        trace: false,
+    };
+    let accepted = client.submit(&bad).unwrap().unwrap();
+    let failed = poll_until_terminal(&mut client, &accepted.id);
+    assert_eq!(failed.state, JobState::Failed);
+    let err = failed.error.expect("failed job carries an error");
+    assert_eq!(err.code, WireCode::UnsupportedConstraints);
+    server.shutdown();
+}
+
+#[test]
 fn unknown_routes_and_jobs_get_wire_errors() {
     let server = Server::start(ServerConfig::default()).unwrap();
     let mut client = HttpClient::new(server.addr()).unwrap();
@@ -186,7 +234,7 @@ fn malformed_bodies_get_400_with_wire_codes() {
             WireCode::InvalidSpec,
         ),
         (
-            r#"{"api":"ucp-api/2","matrix":{"cols":3,"rows":[[0]]}}"#,
+            r#"{"api":"ucp-api/3","matrix":{"cols":3,"rows":[[0]]}}"#,
             WireCode::InvalidSpec,
         ),
         (
@@ -427,7 +475,7 @@ fn stats_and_metrics_expose_server_families() {
     let resp = client.get("/v1/stats").unwrap();
     assert_eq!(resp.status, 200);
     let v = ucp_telemetry::trace::parse_json(resp.body_str()).unwrap();
-    assert_eq!(v.get("api").and_then(|a| a.as_str()), Some("ucp-api/1"));
+    assert_eq!(v.get("api").and_then(|a| a.as_str()), Some("ucp-api/2"));
     assert_eq!(v.get("jobs_accepted").and_then(|n| n.as_f64()), Some(1.0));
     assert_eq!(
         v.get("engine")

@@ -1,5 +1,5 @@
 //! `ucp-loadgen` — drives a running `ucp serve` instance with many
-//! concurrent jobs over the `ucp-api/1` wire protocol and reports
+//! concurrent jobs over the `ucp-api/2` wire protocol and reports
 //! sustained throughput and tail latency.
 //!
 //! ```text

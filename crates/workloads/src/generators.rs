@@ -1,6 +1,6 @@
 //! The instance generators.
 
-use cover::CoverMatrix;
+use cover::{Constraints, CoverMatrix, GubGroup};
 use logic::{Cube, Pla};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -309,6 +309,167 @@ pub fn interval_ucp(rows: usize, cols: usize, seed: u64) -> CoverMatrix {
         })
         .collect();
     CoverMatrix::from_rows(cols, matrix_rows)
+}
+
+/// A constrained (set-multicover + GUB) instance: the matrix plus the
+/// constraint set it is meant to be solved under.
+#[derive(Clone, Debug)]
+pub struct MulticoverInstance {
+    /// The covering matrix (rows = duty periods, columns = rosters).
+    pub matrix: CoverMatrix,
+    /// Coverage demands and GUB groups. Always feasible by construction
+    /// for instances produced by [`crew_schedule`].
+    pub constraints: Constraints,
+}
+
+/// Parameters for [`crew_schedule`].
+#[derive(Clone, Copy, Debug)]
+pub struct CrewScheduleConfig {
+    /// Duty periods (rows). Each period `i` demands `b_i` staff.
+    pub periods: usize,
+    /// Crew members. Each contributes one GUB group of alternative
+    /// rosters with bound 1 (a crew works at most one roster).
+    pub crews: usize,
+    /// Alternative rosters per crew (columns per group, ≥ 1).
+    pub rosters_per_crew: usize,
+    /// Staffing demand cap: `b_i ≤ max_demand`.
+    pub max_demand: u32,
+    /// Column cost model (roster costs).
+    pub costs: CostModel,
+}
+
+impl Default for CrewScheduleConfig {
+    fn default() -> Self {
+        CrewScheduleConfig {
+            periods: 48,
+            crews: 12,
+            rosters_per_crew: 4,
+            max_demand: 3,
+            costs: CostModel::Uniform { max: 5 },
+        }
+    }
+}
+
+/// Generates a crew-scheduling-like set-multicover instance with GUB
+/// groups, deterministic in `seed` and **feasible by construction**.
+///
+/// Rows are duty periods on a cyclic horizon; columns are candidate
+/// rosters, each covering a contiguous (wrapping) window of periods.
+/// Every crew gets one GUB group over its rosters with bound 1. Each
+/// crew's *first* roster is part of a hidden feasible assignment that
+/// tiles the horizon; period demands are derived from that assignment's
+/// coverage (capped at `max_demand`), so selecting every first roster
+/// satisfies the instance — the solver's job is to find something
+/// cheaper.
+///
+/// # Panics
+///
+/// Panics if `periods == 0`, `crews == 0`, `rosters_per_crew == 0` or
+/// `max_demand == 0`.
+///
+/// # Example
+///
+/// ```
+/// use workloads::{crew_schedule, CrewScheduleConfig};
+///
+/// let inst = crew_schedule(&CrewScheduleConfig::default(), 7);
+/// assert!(inst.constraints.validate_for(&inst.matrix).is_ok());
+/// assert_eq!(inst.constraints.groups().len(), 12);
+/// ```
+pub fn crew_schedule(cfg: &CrewScheduleConfig, seed: u64) -> MulticoverInstance {
+    assert!(cfg.periods > 0 && cfg.crews > 0, "empty schedule");
+    assert!(cfg.rosters_per_crew > 0, "crews need rosters");
+    assert!(cfg.max_demand > 0, "periods must demand staff");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cfg.periods;
+    // Hidden assignment: crew k's first roster starts at k·n/crews and
+    // is long enough that consecutive crews overlap, tiling the horizon
+    // with coverage ≥ 1 everywhere (≥ 2 where windows overlap).
+    let base_len = n.div_ceil(cfg.crews) + 1 + (n / cfg.crews / 2);
+    let window = |start: usize, len: usize| -> Vec<usize> {
+        (0..len.min(n)).map(|d| (start + d) % n).collect()
+    };
+    let num_cols = cfg.crews * cfg.rosters_per_crew;
+    let mut col_periods: Vec<Vec<usize>> = Vec::with_capacity(num_cols);
+    let mut costs: Vec<f64> = Vec::with_capacity(num_cols);
+    let mut groups: Vec<GubGroup> = Vec::with_capacity(cfg.crews);
+    let cost_of = |rng: &mut StdRng, len: usize| -> f64 {
+        match cfg.costs {
+            CostModel::Unit => 1.0,
+            // Longer rosters cost more, with per-roster noise.
+            CostModel::Uniform { max } => (len as f64) + f64::from(rng.random_range(1..=max)),
+        }
+    };
+    for k in 0..cfg.crews {
+        let first = col_periods.len();
+        let hidden_start = k * n / cfg.crews;
+        let hidden_len = base_len;
+        col_periods.push(window(hidden_start, hidden_len));
+        costs.push(cost_of(&mut rng, hidden_len));
+        for _ in 1..cfg.rosters_per_crew {
+            let start = rng.random_range(0..n);
+            let len = rng.random_range(1..=base_len.max(2));
+            col_periods.push(window(start, len));
+            costs.push(cost_of(&mut rng, len));
+        }
+        groups.push(GubGroup::new((first..col_periods.len()).collect(), 1));
+    }
+    // Demands follow the hidden assignment's coverage, so it stays a
+    // witness of feasibility after capping.
+    let mut hidden_cover = vec![0u32; n];
+    for k in 0..cfg.crews {
+        for &i in &col_periods[k * cfg.rosters_per_crew] {
+            hidden_cover[i] += 1;
+        }
+    }
+    let coverage: Vec<u32> = hidden_cover
+        .iter()
+        .map(|&c| c.clamp(1, cfg.max_demand))
+        .collect();
+    let rows: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            (0..num_cols)
+                .filter(|&j| col_periods[j].contains(&i))
+                .collect()
+        })
+        .collect();
+    let matrix = CoverMatrix::with_costs(num_cols, rows, costs);
+    let constraints = Constraints::new().coverage(coverage).gub_groups(groups);
+    MulticoverInstance {
+        matrix,
+        constraints,
+    }
+}
+
+#[cfg(test)]
+mod crew_tests {
+    use super::*;
+    use cover::Solution;
+
+    #[test]
+    fn crew_schedules_are_deterministic_and_valid() {
+        let a = crew_schedule(&CrewScheduleConfig::default(), 3);
+        let b = crew_schedule(&CrewScheduleConfig::default(), 3);
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.constraints, b.constraints);
+        assert!(a.constraints.validate_for(&a.matrix).is_ok());
+        assert!(!a.constraints.is_unate());
+    }
+
+    #[test]
+    fn hidden_assignment_witnesses_feasibility() {
+        for seed in 0..5 {
+            let cfg = CrewScheduleConfig::default();
+            let inst = crew_schedule(&cfg, seed);
+            // Select every crew's first roster.
+            let witness =
+                Solution::from_cols((0..cfg.crews).map(|k| k * cfg.rosters_per_crew).collect());
+            assert!(
+                inst.constraints.is_satisfied(&inst.matrix, &witness),
+                "hidden assignment violated for seed {seed}"
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,9 @@
 //!   construction), the classic hard unate covering family;
 //! * [`random_pla`] — random PLAs, fed through the `ucp-logic` pipeline to
 //!   produce Quine–McCluskey covering matrices;
+//! * [`crew_schedule`] — crew-scheduling-like *set-multicover* instances
+//!   with per-period staffing demands and one GUB group per crew,
+//!   feasible by construction (exercises the constrained solver core);
 //! * [`suite`] — the named benchmark suite mirroring the paper's three
 //!   categories (easy cyclic / difficult cyclic / challenging), each
 //!   instance deterministic given its name.
@@ -34,6 +37,7 @@ mod generators;
 pub mod suite;
 
 pub use generators::{
-    circulant, interval_ucp, random_pla, random_ucp, steiner_triple, CostModel, RandomUcpConfig,
+    circulant, crew_schedule, interval_ucp, random_pla, random_ucp, steiner_triple, CostModel,
+    CrewScheduleConfig, MulticoverInstance, RandomUcpConfig,
 };
 pub use suite::{Category, Instance};

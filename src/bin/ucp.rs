@@ -3,8 +3,8 @@
 //! ```text
 //! ucp minimize <file.pla> [-o out.pla] [--exact]   two-level minimisation
 //! ucp solve <instance> [--exact] [--preset P] [-j N|--workers N] [--node-budget N]
-//!           [--trace <path>] [--stats] [--metrics <path>]
-//! ucp batch <suite> [-j N] [--preset P] [--seed S] [--node-budget N]
+//!           [--coverage B] [--gub cols:bound]… [--trace <path>] [--stats] [--metrics <path>]
+//! ucp batch <suite> [-j N] [--preset P] [--seed S] [--node-budget N] [--coverage B]
 //! ucp serve [--addr A] [-j N] [--queue-cap N]      HTTP solve service
 //! ucp trace <file.jsonl> [--folded <out>]          profile a recorded trace
 //! ucp bounds <file.ucp>                            print the bound chain
@@ -47,7 +47,7 @@
 //! are identical to a serial `solve` loop for every `-j`.
 //!
 //! `ucp serve` turns the engine into a long-lived solve service speaking
-//! the versioned `ucp-api/1` wire protocol: `POST /v1/jobs` submits a
+//! the versioned `ucp-api/2` wire protocol: `POST /v1/jobs` submits a
 //! matrix + `JobSpec` and returns a job id, `GET /v1/jobs/{id}` polls,
 //! `DELETE` cancels, `GET /v1/jobs/{id}/trace` streams the live
 //! `ucp-trace/1` JSONL and `GET /metrics` serves the Prometheus
@@ -61,6 +61,12 @@
 //! reductions and still returns the same cover (`--stats` reports the
 //! fallback); engine jobs that fail outright are retried once
 //! explicit-only.
+//!
+//! `--coverage B` demands `B` distinct covering columns per row (set
+//! multicover); a comma list (`2,1,3,…`) sets one demand per row.
+//! `--gub c1,c2,…:k` (repeatable) bounds a disjoint column group at `k`
+//! selections. Either flag switches the solve to the multicover driver;
+//! neither is compatible with `--exact`.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -72,7 +78,7 @@ use ucp::lp::DenseLp;
 use ucp::solvers::{branch_and_bound, BnbOptions};
 use ucp::ucp_core::bounds::bounds_report;
 use ucp::ucp_core::wire::JobSpec;
-use ucp::ucp_core::{Preset, Scg, ScgOutcome, SolveMetrics, SolveRequest};
+use ucp::ucp_core::{GubGroup, Preset, Scg, ScgOutcome, SolveMetrics, SolveRequest};
 use ucp::ucp_engine::{Engine, EngineConfig, JobError};
 use ucp::ucp_metrics::Registry;
 use ucp::ucp_server::{Server, ServerConfig};
@@ -126,12 +132,12 @@ fn print_usage(w: &mut dyn Write) {
     let _ = writeln!(
         w,
         "  solve    <instance> [--exact] [--preset P] [-j N|--workers N] [--node-budget N] \
-         [--trace <path>] [--stats] [--metrics <path>]"
+         [--coverage B] [--gub cols:bound]… [--trace <path>] [--stats] [--metrics <path>]"
     );
     let _ = writeln!(
         w,
         "  batch    <easy|difficult|challenging|all> [-j N] [--preset P] [--seed S] \
-         [--node-budget N]"
+         [--node-budget N] [--coverage B]"
     );
     let _ = writeln!(
         w,
@@ -203,6 +209,72 @@ fn parse_node_budget(args: &[String]) -> Result<Option<usize>, Box<dyn std::erro
     }
 }
 
+/// `--coverage B`: uniform per-row demand, or one demand per row as a
+/// comma list.
+enum CoverageArg {
+    Uniform(u32),
+    PerRow(Vec<u32>),
+}
+
+impl CoverageArg {
+    /// The explicit per-row vector for an instance with `rows` rows.
+    fn for_rows(&self, rows: usize) -> Vec<u32> {
+        match self {
+            CoverageArg::Uniform(b) => vec![*b; rows],
+            CoverageArg::PerRow(v) => v.clone(),
+        }
+    }
+}
+
+/// Parses `--coverage <B | b1,b2,…>` (set-multicover demand).
+fn parse_coverage(args: &[String]) -> Result<Option<CoverageArg>, Box<dyn std::error::Error>> {
+    let Some(i) = args.iter().position(|a| a == "--coverage") else {
+        return Ok(None);
+    };
+    let v = args
+        .get(i + 1)
+        .filter(|p| !p.starts_with("--"))
+        .ok_or_else(|| usage("--coverage needs a demand (an integer or a comma list)"))?;
+    let parts = v
+        .split(',')
+        .map(|s| s.trim().parse::<u32>())
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|_| usage("--coverage entries must be unsigned integers"))?;
+    Ok(Some(if v.contains(',') {
+        CoverageArg::PerRow(parts)
+    } else {
+        CoverageArg::Uniform(parts[0])
+    }))
+}
+
+/// Parses every `--gub c1,c2,…:k` occurrence into a GUB group list.
+fn parse_gub_groups(args: &[String]) -> Result<Option<Vec<GubGroup>>, Box<dyn std::error::Error>> {
+    let mut groups = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a != "--gub" {
+            continue;
+        }
+        let v = args
+            .get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .ok_or_else(|| usage("--gub needs cols:bound (e.g. 0,1,2:1)"))?;
+        let (cols_s, bound_s) = v
+            .split_once(':')
+            .ok_or_else(|| usage("--gub needs cols:bound (e.g. 0,1,2:1)"))?;
+        let cols = cols_s
+            .split(',')
+            .map(|s| s.trim().parse::<usize>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|_| usage("--gub columns must be unsigned integers"))?;
+        let bound = bound_s
+            .trim()
+            .parse::<u32>()
+            .map_err(|_| usage("--gub bound must be an unsigned integer"))?;
+        groups.push(GubGroup::new(cols, bound));
+    }
+    Ok((!groups.is_empty()).then_some(groups))
+}
+
 fn cmd_minimize(args: &[String]) -> CliResult {
     let path = args
         .first()
@@ -270,6 +342,16 @@ fn cmd_minimize(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Renders a local solve failure with its cause chain (the constraint
+/// detail for `InvalidConstraints`) for the CLI error line.
+fn solve_error(e: ucp::ucp_core::SolveError) -> Box<dyn std::error::Error> {
+    use std::error::Error as _;
+    match e.source() {
+        Some(cause) => format!("{e}: {cause}").into(),
+        None => format!("{e}").into(),
+    }
+}
+
 /// Loads an instance from a matrix file, falling back to the built-in
 /// suite when the argument names a suite instance instead of a file.
 fn read_matrix(path: &str) -> Result<CoverMatrix, Box<dyn std::error::Error>> {
@@ -304,6 +386,8 @@ fn cmd_solve(args: &[String]) -> CliResult {
     let workers = parse_workers(args, 1)?;
     let preset = parse_preset(args)?;
     let node_budget = parse_node_budget(args)?;
+    let coverage = parse_coverage(args)?;
+    let gub_groups = parse_gub_groups(args)?;
     // The instance is the first positional argument (skipping flag values).
     let mut path: Option<&String> = None;
     let mut skip_next = false;
@@ -318,6 +402,8 @@ fn cmd_solve(args: &[String]) -> CliResult {
             || a == "--workers"
             || a == "--preset"
             || a == "--node-budget"
+            || a == "--coverage"
+            || a == "--gub"
         {
             skip_next = true;
             continue;
@@ -330,6 +416,11 @@ fn cmd_solve(args: &[String]) -> CliResult {
     }
     let path = path.ok_or_else(|| usage("solve needs a matrix file or suite instance name"))?;
     let m = read_matrix(path)?;
+    if exact && (coverage.is_some() || gub_groups.is_some()) {
+        return Err(usage(
+            "--exact supports only the unate problem (drop --coverage/--gub)",
+        ));
+    }
     if exact {
         let r = branch_and_bound(&m, &BnbOptions::default());
         match r.solution {
@@ -356,6 +447,12 @@ fn cmd_solve(args: &[String]) -> CliResult {
         opts.core.kernel = opts.core.kernel.node_budget(n);
         request = request.options(opts);
     }
+    if let Some(c) = &coverage {
+        request = request.coverage(c.for_rows(m.num_rows()));
+    }
+    if let Some(g) = gub_groups {
+        request = request.gub_groups(g);
+    }
     let out = match trace_path {
         Some(trace) => {
             let file = std::fs::File::create(trace)
@@ -366,7 +463,7 @@ fn cmd_solve(args: &[String]) -> CliResult {
                 o.field_u64("rows", m.num_rows() as u64);
                 o.field_u64("cols", m.num_cols() as u64);
             });
-            let out = Scg::run(request.probe(&mut sink)).expect("no cancel flag");
+            let out = Scg::run(request.probe(&mut sink)).map_err(solve_error)?;
             sink.write_line("result", |o| {
                 o.field_f64("cost", out.cost);
                 o.field_f64("lower_bound", out.lower_bound);
@@ -381,10 +478,13 @@ fn cmd_solve(args: &[String]) -> CliResult {
             eprintln!("trace: {lines} events -> {trace}");
             out
         }
-        None => Scg::run(request).expect("no cancel flag"),
+        None => Scg::run(request).map_err(solve_error)?,
     };
     if out.infeasible {
         return Err("instance is infeasible".into());
+    }
+    if !out.cost.is_finite() {
+        return Err("no cover satisfying the constraints was found".into());
     }
     println!(
         "cost {} (lower bound {}, {}), columns {:?}",
@@ -447,7 +547,12 @@ fn cmd_batch(args: &[String]) -> CliResult {
             skip_next = false;
             continue;
         }
-        if a == "-j" || a == "--workers" || a == "--preset" || a == "--seed" || a == "--node-budget"
+        if a == "-j"
+            || a == "--workers"
+            || a == "--preset"
+            || a == "--seed"
+            || a == "--node-budget"
+            || a == "--coverage"
         {
             skip_next = true;
             continue;
@@ -470,6 +575,14 @@ fn cmd_batch(args: &[String]) -> CliResult {
     let workers = parse_workers(args, 0)?;
     let preset = parse_preset(args)?;
     let node_budget = parse_node_budget(args)?;
+    let coverage = match parse_coverage(args)? {
+        Some(CoverageArg::PerRow(_)) => {
+            return Err(usage(
+                "batch --coverage must be a single uniform demand (row counts vary per instance)",
+            ));
+        }
+        other => other,
+    };
     let seed = match args.iter().position(|a| a == "--seed") {
         Some(i) => Some(
             args.get(i + 1)
@@ -497,7 +610,11 @@ fn cmd_batch(args: &[String]) -> CliResult {
     let jobs: Vec<_> = instances
         .iter()
         .map(|inst| {
-            let req = spec.to_request(Arc::new(inst.matrix.clone()));
+            let mut job_spec = spec.clone();
+            if let Some(c) = &coverage {
+                job_spec.coverage = Some(c.for_rows(inst.matrix.num_rows()));
+            }
+            let req = job_spec.to_request(Arc::new(inst.matrix.clone()));
             engine
                 .submit(req)
                 .map_err(|e| format!("submit failed: {e}"))
@@ -556,7 +673,7 @@ fn cmd_batch(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// `ucp serve [--addr A] [-j N] [--queue-cap N]`: runs the `ucp-api/1`
+/// `ucp serve [--addr A] [-j N] [--queue-cap N]`: runs the `ucp-api/2`
 /// HTTP solve service until the process is killed. Jobs arrive as
 /// matrix + `JobSpec` bodies on `POST /v1/jobs`; admission control,
 /// load shedding and the wire-code taxonomy are documented on
@@ -585,7 +702,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
         ..ServerConfig::default()
     })
     .map_err(|e| format!("cannot start server: {e}"))?;
-    println!("serving ucp-api/1 on http://{}", server.addr());
+    println!("serving ucp-api/2 on http://{}", server.addr());
     println!("  POST /v1/jobs  GET /v1/jobs/{{id}}[/trace]  DELETE /v1/jobs/{{id}}  GET /metrics");
     // The service runs until the process is killed; `park` has no
     // wake-up guarantee either way, hence the loop.

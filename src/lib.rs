@@ -21,7 +21,7 @@
 //!   scheduling many concurrent solve jobs with cancellation, deadlines
 //!   and panic isolation (behind `ucp batch`),
 //! * [`ucp_server`] — the solve service: an HTTP front-end on the engine
-//!   speaking the versioned `ucp-api/1` wire API with per-tenant
+//!   speaking the versioned `ucp-api/2` wire API with per-tenant
 //!   admission control, load shedding and live trace streaming (behind
 //!   `ucp serve`),
 //! * [`solvers`] — baselines: Chvátal greedy, espresso-like heuristics, and

@@ -5,7 +5,7 @@
 
 use std::error::Error;
 
-use ucp::cover::ParseMatrixError;
+use ucp::cover::{ConstraintError, ParseMatrixError};
 use ucp::logic::{BuildCoveringError, ParsePlaError};
 use ucp::lp::SolveLpError;
 use ucp::ucp_core::wire::WireCode;
@@ -30,6 +30,14 @@ fn overflow() -> ZddOverflow {
     ZddOverflow {
         budget: 16,
         live: 17,
+    }
+}
+
+fn bad_constraints() -> ConstraintError {
+    ConstraintError::RowInfeasible {
+        row: 2,
+        demand: 3,
+        max_supply: 1,
     }
 }
 
@@ -59,6 +67,7 @@ fn every_public_error_enum_implements_error_uniformly() {
         Box::new(JobError::Expired),
         Box::new(JobError::Panicked("boom".into())),
         Box::new(JobError::ResourceExhausted(overflow())),
+        Box::new(JobError::InvalidConstraints(bad_constraints())),
         Box::new(JobError::EngineClosed),
         Box::new(JobError::Shutdown),
         Box::new(WireError::new(WireCode::QueueFull, "queue is full")),
@@ -67,6 +76,8 @@ fn every_public_error_enum_implements_error_uniformly() {
         Box::new(SolveError::Cancelled),
         Box::new(SolveError::Expired),
         Box::new(SolveError::ResourceExhausted(overflow())),
+        Box::new(SolveError::InvalidConstraints(bad_constraints())),
+        Box::new(bad_constraints()),
         Box::new(overflow()),
     ];
     for err in &errs {
@@ -92,6 +103,20 @@ fn overflow_converts_into_solve_error() {
     assert_eq!(e, SolveError::ResourceExhausted(overflow()));
 }
 
+#[test]
+fn constraint_errors_chain_through_both_job_layers() {
+    for err in [
+        &SolveError::InvalidConstraints(bad_constraints()) as &dyn Error,
+        &JobError::InvalidConstraints(bad_constraints()) as &dyn Error,
+    ] {
+        let src = err.source().expect("carries the constraint cause");
+        assert_eq!(src.to_string(), bad_constraints().to_string());
+        assert!(src.source().is_none(), "ConstraintError is the chain root");
+    }
+    let e: SolveError = bad_constraints().into();
+    assert_eq!(e, SolveError::InvalidConstraints(bad_constraints()));
+}
+
 /// The wire-code taxonomy is the single error surface of the HTTP API:
 /// every engine-facing error variant maps into it, the (code, status)
 /// table has no duplicates, and every code the server can emit is
@@ -107,6 +132,10 @@ fn every_error_variant_maps_to_a_documented_wire_code() {
         (
             JobError::ResourceExhausted(overflow()),
             WireCode::ResourceExhausted,
+        ),
+        (
+            JobError::InvalidConstraints(bad_constraints()),
+            WireCode::UnsupportedConstraints,
         ),
         (JobError::EngineClosed, WireCode::EngineClosed),
         (JobError::Shutdown, WireCode::Shutdown),
@@ -127,6 +156,10 @@ fn every_error_variant_maps_to_a_documented_wire_code() {
         (
             SolveError::ResourceExhausted(overflow()),
             WireCode::ResourceExhausted,
+        ),
+        (
+            SolveError::InvalidConstraints(bad_constraints()),
+            WireCode::UnsupportedConstraints,
         ),
     ];
     for (err, code) in &solve_errors {
