@@ -15,7 +15,11 @@
 //! A `multicover` row solves the crew-scheduling set-multicover
 //! mini-suite through the constrained core (coverage demands + GUB
 //! groups), asserting every cover satisfies its constraints — the
-//! regression signal for the non-unate path. Finally a `server` row
+//! regression signal for the non-unate path. A `durability` row solves
+//! part of the suite plain and again with per-restart checkpoints
+//! journaled (fsync included) to measure the write-ahead overhead a
+//! `ucp serve --journal` job pays, asserting identical answers and a
+//! lossless replay round trip. Finally a `server` row
 //! starts an in-process `ucp-server` on an ephemeral port and pushes a
 //! load-generator burst through the whole `ucp-api/2` wire path (HTTP
 //! parse → DTO → admission → engine → poll), recording jobs/sec and
@@ -191,6 +195,105 @@ fn multicover_pass(opts: ScgOptions) -> String {
     row.field_f64("total_lower_bound", total_lb);
     println!(
         "multicover: {} crew-schedule instances in {secs:.3}s, total cost {total_cost}, total lb {total_lb:.2}",
+        insts.len()
+    );
+    row.finish()
+}
+
+/// Durability overhead: the difficult suite solved plain and then with
+/// per-restart checkpoints journaled (with fsync) to a scratch journal —
+/// the write-ahead path a `ucp serve --journal` job rides. Outcomes must
+/// be identical (the checkpoint tap only observes), the journal must
+/// replay to exactly the records written, and the newest checkpoint of
+/// every instance must resume to a cost no worse than the plain answer.
+fn durability_pass(opts: ScgOptions) -> String {
+    use ucp_durability::{read_journal, Journal, Record, RecoverySet};
+    let mut insts = suite::difficult_cyclic();
+    insts.truncate(4);
+    let dir = std::env::temp_dir().join(format!("ucp-bench-durability-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let journal = Journal::open(&dir).expect("open scratch journal").journal;
+
+    let mut plain_seconds = 0.0f64;
+    let mut journaled_seconds = 0.0f64;
+    let mut checkpoints = 0u64;
+    for (i, inst) in insts.iter().enumerate() {
+        let start = Instant::now();
+        let plain =
+            Scg::run(SolveRequest::for_matrix(&inst.matrix).options(opts)).expect("plain solve");
+        plain_seconds += start.elapsed().as_secs_f64();
+
+        let journal_ref = &journal;
+        let start = Instant::now();
+        let journaled = Scg::run(
+            SolveRequest::for_matrix(&inst.matrix)
+                .options(opts)
+                .checkpoint_every(1)
+                .checkpoint_sink(move |ckpt| {
+                    journal_ref
+                        .append(&Record::Checkpoint {
+                            job: i as u64,
+                            t_ms: 0,
+                            ckpt: ckpt.clone(),
+                        })
+                        .expect("journal append");
+                }),
+        )
+        .expect("journaled solve");
+        journaled_seconds += start.elapsed().as_secs_f64();
+        assert_eq!(
+            (plain.cost, plain.solution.cols()),
+            (journaled.cost, journaled.solution.cols()),
+            "{}: journaled solve diverged from plain",
+            inst.name
+        );
+
+        // Round trip: the newest journaled checkpoint resumes to a cost
+        // no worse than the uninterrupted answer.
+        let replay = read_journal(&dir).expect("replay scratch journal");
+        let set = RecoverySet::from_records(&replay.records);
+        let newest = set.jobs[&(i as u64)]
+            .checkpoint
+            .clone()
+            .expect("solve journaled at least one checkpoint");
+        let resumed = Scg::run(
+            SolveRequest::for_matrix(&inst.matrix)
+                .options(opts)
+                .resume_from(newest),
+        )
+        .expect("resumed solve");
+        assert!(
+            resumed.cost <= plain.cost,
+            "{}: resume lost ground ({} > {})",
+            inst.name,
+            resumed.cost,
+            plain.cost
+        );
+    }
+    let replay = read_journal(&dir).expect("replay scratch journal");
+    for r in &replay.records {
+        assert!(matches!(r, Record::Checkpoint { .. }));
+        checkpoints += 1;
+    }
+    assert_eq!(replay.torn_bytes, 0, "append path wrote a torn frame");
+    let journal_bytes = replay.valid_bytes;
+    let _ = fs::remove_dir_all(&dir);
+
+    let overhead_pct = if plain_seconds > 0.0 {
+        100.0 * (journaled_seconds - plain_seconds) / plain_seconds
+    } else {
+        0.0
+    };
+    let mut row = JsonObj::new();
+    row.field_u64("instances", insts.len() as u64);
+    row.field_f64("plain_seconds", plain_seconds);
+    row.field_f64("journaled_seconds", journaled_seconds);
+    row.field_f64("overhead_pct", overhead_pct);
+    row.field_u64("checkpoints", checkpoints);
+    row.field_u64("journal_bytes", journal_bytes);
+    println!(
+        "durability: {} instances, plain {plain_seconds:.3}s vs journaled {journaled_seconds:.3}s \
+         ({overhead_pct:+.2}% overhead), {checkpoints} checkpoints / {journal_bytes} journal bytes",
         insts.len()
     );
     row.finish()
@@ -391,6 +494,7 @@ fn main() {
     doc.field_raw("engine", &eng_row.finish());
     doc.field_raw("zdd_kernel", &kernel_pass(quick, node_budget));
     doc.field_raw("multicover", &multicover_pass(opts));
+    doc.field_raw("durability", &durability_pass(opts));
     doc.field_raw("server", &server_pass(quick));
     doc.field_raw("runs", &format!("[{}]", runs.join(",")));
     fs::create_dir_all("results").expect("create results/");

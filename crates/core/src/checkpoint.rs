@@ -1,0 +1,267 @@
+//! Resumable solver state.
+//!
+//! A [`SolverCheckpoint`] captures everything the restart loop needs to
+//! warm-start an interrupted solve: the Lagrangian multipliers and best
+//! lower bound from subgradient ascent, the incumbent cover, the index of
+//! the next constructive run, and the wall-clock budget already consumed.
+//! Checkpoints are emitted through the probe path as
+//! [`Event::Checkpoint`](ucp_telemetry::Event) when
+//! [`ScgOptions::checkpoint_every`](crate::ScgOptions) is non-zero, and
+//! accepted back by [`SolveRequest::resume_from`](crate::SolveRequest).
+//!
+//! Warm-starting a subgradient phase from saved multipliers follows
+//! Umetani–Arakawa–Yagiura's restart scheme: λ is a dense per-row vector
+//! whose value does not depend on how the previous process died, so a
+//! resumed solve is algorithmically equivalent to a longer uninterrupted
+//! one (see `tests/checkpoint_resume.rs` for the equivalence proof).
+
+use cover::CoverMatrix;
+use ucp_telemetry::trace::{parse_json, JsonValue};
+use ucp_telemetry::{f64_array, u64_array, JsonObj};
+
+use crate::wire::{WireCode, WireError};
+
+/// Schema tag stamped on every serialised checkpoint.
+pub const CHECKPOINT_SCHEMA: &str = "ucp-checkpoint/1";
+
+/// Resumable ascent/restart state for one solve.
+///
+/// The `rows`/`cols`/`nnz` fingerprint identifies the *original* instance
+/// the checkpoint belongs to; `core_rows`/`core_cols` describe the matrix
+/// the ascent state refers to (the cyclic core after reductions for unate
+/// solves, the full instance for multicover). A checkpoint is only valid
+/// for resuming when [`matches`](Self::matches) accepts the instance and
+/// the deterministic reductions reproduce the same core shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverCheckpoint {
+    /// Rows of the original instance.
+    pub rows: usize,
+    /// Columns of the original instance.
+    pub cols: usize,
+    /// Non-zeros of the original instance.
+    pub nnz: usize,
+    /// `true` when the state belongs to the constrained (multicover)
+    /// path rather than the unate core path.
+    pub multicover: bool,
+    /// Rows of the matrix `lambda` indexes (core for unate solves).
+    pub core_rows: usize,
+    /// Columns of the matrix `incumbent` indexes.
+    pub core_cols: usize,
+    /// Lagrangian multipliers, one per core row.
+    pub lambda: Vec<f64>,
+    /// Best lower bound proven so far (core-space for unate solves).
+    pub lower_bound: f64,
+    /// Best cover found so far (core-space column indices), if any.
+    pub incumbent: Option<Vec<usize>>,
+    /// Cost of `incumbent`; `+∞` when no cover exists yet.
+    pub incumbent_cost: f64,
+    /// The next constructive run a resumed solve executes (1-based;
+    /// runs below it are already accounted for).
+    pub next_run: usize,
+    /// Wall-clock seconds the solve had consumed when the checkpoint
+    /// was taken. A resumed solve shrinks its deadline by this much.
+    pub elapsed_seconds: f64,
+}
+
+impl SolverCheckpoint {
+    /// Whether this checkpoint was taken for `matrix` on the given path.
+    ///
+    /// Compares the instance fingerprint (`rows`/`cols`/`nnz`) and the
+    /// path flag. Core dimensions are re-checked at the resume site after
+    /// reductions run, because only then is the core shape known.
+    pub fn matches(&self, matrix: &CoverMatrix, multicover: bool) -> bool {
+        self.rows == matrix.num_rows()
+            && self.cols == matrix.num_cols()
+            && self.nnz == matrix.nnz()
+            && self.multicover == multicover
+    }
+
+    /// Serialises the checkpoint as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObj::new();
+        obj.field_str("schema", CHECKPOINT_SCHEMA)
+            .field_u64("rows", self.rows as u64)
+            .field_u64("cols", self.cols as u64)
+            .field_u64("nnz", self.nnz as u64)
+            .field_bool("multicover", self.multicover)
+            .field_u64("core_rows", self.core_rows as u64)
+            .field_u64("core_cols", self.core_cols as u64)
+            .field_raw("lambda", &f64_array(&self.lambda))
+            .field_f64("lower_bound", self.lower_bound);
+        if let Some(cols) = &self.incumbent {
+            let cols: Vec<u64> = cols.iter().map(|&c| c as u64).collect();
+            obj.field_raw("incumbent", &u64_array(&cols));
+        }
+        // +∞ (no incumbent yet) serialises as null via field_f64.
+        obj.field_f64("incumbent_cost", self.incumbent_cost)
+            .field_u64("next_run", self.next_run as u64)
+            .field_f64("elapsed_seconds", self.elapsed_seconds);
+        obj.finish()
+    }
+
+    /// Deserialises a checkpoint from a parsed JSON value.
+    pub fn from_json_value(v: &JsonValue) -> Result<SolverCheckpoint, WireError> {
+        let bad = |msg: &str| WireError::new(WireCode::InvalidSpec, msg);
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("checkpoint missing schema tag"))?;
+        if schema != CHECKPOINT_SCHEMA {
+            return Err(bad(&format!("unsupported checkpoint schema {schema:?}")));
+        }
+        let field_usize = |key: &str| -> Result<usize, WireError> {
+            let n = v
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| bad(&format!("checkpoint field {key:?} missing or non-numeric")))?;
+            if n < 0.0 || n.fract() != 0.0 || n > 9e15 {
+                return Err(bad(&format!("checkpoint field {key:?} is not an index")));
+            }
+            Ok(n as usize)
+        };
+        let lambda = match v.get("lambda") {
+            Some(JsonValue::Arr(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(
+                        item.as_f64()
+                            .ok_or_else(|| bad("checkpoint lambda entry is not a number"))?,
+                    );
+                }
+                out
+            }
+            _ => return Err(bad("checkpoint field \"lambda\" missing or not an array")),
+        };
+        let incumbent = match v.get("incumbent") {
+            None | Some(JsonValue::Null) => None,
+            Some(JsonValue::Arr(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let n = item
+                        .as_f64()
+                        .ok_or_else(|| bad("checkpoint incumbent entry is not a number"))?;
+                    if n < 0.0 || n.fract() != 0.0 || n > 9e15 {
+                        return Err(bad("checkpoint incumbent entry is not an index"));
+                    }
+                    out.push(n as usize);
+                }
+                Some(out)
+            }
+            Some(_) => return Err(bad("checkpoint field \"incumbent\" is not an array")),
+        };
+        // field_f64 writes +∞ as null; read it back symmetrically.
+        let incumbent_cost = match v.get("incumbent_cost") {
+            None | Some(JsonValue::Null) => f64::INFINITY,
+            Some(JsonValue::Num(n)) => *n,
+            Some(_) => return Err(bad("checkpoint field \"incumbent_cost\" is not a number")),
+        };
+        let ckpt = SolverCheckpoint {
+            rows: field_usize("rows")?,
+            cols: field_usize("cols")?,
+            nnz: field_usize("nnz")?,
+            multicover: v
+                .get("multicover")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
+            core_rows: field_usize("core_rows")?,
+            core_cols: field_usize("core_cols")?,
+            lambda,
+            lower_bound: v
+                .get("lower_bound")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| bad("checkpoint field \"lower_bound\" missing"))?,
+            incumbent,
+            incumbent_cost,
+            next_run: field_usize("next_run")?,
+            elapsed_seconds: v
+                .get("elapsed_seconds")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
+        };
+        if ckpt.lambda.len() != ckpt.core_rows {
+            return Err(bad("checkpoint lambda length does not match core_rows"));
+        }
+        if let Some(cols) = &ckpt.incumbent {
+            if cols.iter().any(|&c| c >= ckpt.core_cols) {
+                return Err(bad("checkpoint incumbent column out of range"));
+            }
+        }
+        Ok(ckpt)
+    }
+
+    /// Parses a checkpoint from its JSON text form.
+    pub fn parse(json: &str) -> Result<SolverCheckpoint, WireError> {
+        let v = parse_json(json)
+            .map_err(|e| WireError::new(WireCode::InvalidSpec, format!("checkpoint JSON: {e}")))?;
+        Self::from_json_value(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SolverCheckpoint {
+        SolverCheckpoint {
+            rows: 9,
+            cols: 12,
+            nnz: 36,
+            multicover: false,
+            core_rows: 9,
+            core_cols: 12,
+            lambda: vec![0.25, 0.5, 0.0, 1.0, 0.75, 0.125, 0.0, 0.375, 0.625],
+            lower_bound: 3.0,
+            incumbent: Some(vec![0, 3, 7, 9, 11]),
+            incumbent_cost: 5.0,
+            next_run: 3,
+            elapsed_seconds: 0.125,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ckpt = sample();
+        assert_eq!(SolverCheckpoint::parse(&ckpt.to_json()).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn no_incumbent_round_trips_infinite_cost() {
+        let mut ckpt = sample();
+        ckpt.incumbent = None;
+        ckpt.incumbent_cost = f64::INFINITY;
+        let back = SolverCheckpoint::parse(&ckpt.to_json()).unwrap();
+        assert_eq!(back, ckpt);
+        assert!(back.incumbent_cost.is_infinite());
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_shape() {
+        assert!(SolverCheckpoint::parse("{\"schema\":\"ucp-checkpoint/9\"}").is_err());
+        let mut ckpt = sample();
+        ckpt.lambda.pop();
+        assert!(SolverCheckpoint::parse(&ckpt.to_json()).is_err());
+        let mut ckpt = sample();
+        ckpt.incumbent = Some(vec![ckpt.core_cols]);
+        assert!(SolverCheckpoint::parse(&ckpt.to_json()).is_err());
+    }
+
+    #[test]
+    fn matches_checks_fingerprint_and_path() {
+        let m = CoverMatrix::from_rows(
+            12,
+            (0..9)
+                .map(|r| (0..4).map(|c| (r + c) % 12).collect())
+                .collect(),
+        );
+        let ckpt = SolverCheckpoint {
+            rows: m.num_rows(),
+            cols: m.num_cols(),
+            nnz: m.nnz(),
+            ..sample()
+        };
+        assert!(ckpt.matches(&m, false));
+        assert!(!ckpt.matches(&m, true));
+        let smaller = CoverMatrix::from_rows(12, vec![vec![0, 1]]);
+        assert!(!ckpt.matches(&smaller, false));
+    }
+}

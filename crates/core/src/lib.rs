@@ -42,6 +42,7 @@
 
 mod ascent;
 pub mod bounds;
+pub mod checkpoint;
 pub mod dual;
 pub mod greedy;
 pub mod metrics;
@@ -55,6 +56,7 @@ pub mod scg;
 pub mod subgradient;
 pub mod wire;
 
+pub use checkpoint::{SolverCheckpoint, CHECKPOINT_SCHEMA};
 pub use cover::{
     ConstraintError, ConstraintKind, Constraints, GubGroup, Halt, HaltReason, ZddOptions,
     ZddOverflow,

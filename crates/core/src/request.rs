@@ -26,6 +26,7 @@
 //! ([`SolveRequest::for_shared`]) are `Send + 'static`, which is what
 //! lets `ucp-engine` queue them across a long-lived worker pool.
 
+use crate::checkpoint::SolverCheckpoint;
 use crate::scg::{Scg, ScgOptions, ScgOutcome};
 use crate::subgradient::SubgradientOptions;
 use cover::{
@@ -265,6 +266,68 @@ impl Probe for DynProbe<'_> {
     }
 }
 
+/// A boxed checkpoint sink as stored by [`SolveRequest::checkpoint_sink`].
+type CheckpointSink<'a> = Box<dyn FnMut(&SolverCheckpoint) + Send + 'a>;
+
+/// Probe wrapper materialising [`Event::Checkpoint`] into
+/// [`SolverCheckpoint`]s for the request's checkpoint sink. Everything
+/// else — including the checkpoint event itself — flows through to the
+/// inner probe unchanged, and `enabled()` defers to the inner probe so
+/// wrapping never turns on event assembly elsewhere in the solver.
+struct CheckpointTap<'s, P: Probe> {
+    inner: P,
+    sink: &'s mut (dyn FnMut(&SolverCheckpoint) + Send),
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+}
+
+impl<P: Probe> Probe for CheckpointTap<'_, P> {
+    fn record(&mut self, event: Event) {
+        if let Event::Checkpoint {
+            next_run,
+            core_rows,
+            core_cols,
+            lower_bound,
+            incumbent_cost,
+            elapsed_seconds,
+            lambda,
+            incumbent,
+            multicover,
+        } = &event
+        {
+            let ckpt = SolverCheckpoint {
+                rows: self.rows,
+                cols: self.cols,
+                nnz: self.nnz,
+                multicover: *multicover,
+                core_rows: *core_rows,
+                core_cols: *core_cols,
+                lambda: lambda.clone(),
+                lower_bound: *lower_bound,
+                incumbent: incumbent
+                    .as_ref()
+                    .map(|cols| cols.iter().map(|&c| c as usize).collect()),
+                incumbent_cost: *incumbent_cost,
+                next_run: *next_run,
+                elapsed_seconds: *elapsed_seconds,
+            };
+            (self.sink)(&ckpt);
+        }
+        self.inner.record(event);
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    #[inline]
+    fn events_dropped(&self) -> u64 {
+        self.inner.events_dropped()
+    }
+}
+
 /// One fully-described solve: instance, options, deadline, seed, probe
 /// and cancellation — the single argument of [`Scg::run`].
 ///
@@ -296,6 +359,8 @@ pub struct SolveRequest<'a> {
     constraints: Constraints,
     cancel: Option<CancelFlag>,
     probe: Option<ProbeSlot<'a>>,
+    resume: Option<Box<SolverCheckpoint>>,
+    ckpt_sink: Option<CheckpointSink<'a>>,
 }
 
 impl<'a> SolveRequest<'a> {
@@ -307,6 +372,8 @@ impl<'a> SolveRequest<'a> {
             constraints: Constraints::new(),
             cancel: None,
             probe: None,
+            resume: None,
+            ckpt_sink: None,
         }
     }
 
@@ -320,6 +387,8 @@ impl<'a> SolveRequest<'a> {
             constraints: Constraints::new(),
             cancel: None,
             probe: None,
+            resume: None,
+            ckpt_sink: None,
         }
     }
 
@@ -432,6 +501,47 @@ impl<'a> SolveRequest<'a> {
         self
     }
 
+    /// Emits a [`SolverCheckpoint`] after the initial subgradient ascent
+    /// and then after every `n`th constructive run (`0` = never, the
+    /// default). Checkpoints travel as [`Event::Checkpoint`] through the
+    /// request's probe and, when set, the
+    /// [`checkpoint_sink`](Self::checkpoint_sink) callback. With `n = 0` the solve is
+    /// bit-identical to one without checkpointing.
+    ///
+    /// Checkpoints are emitted on the serial single-core unate path and
+    /// the multicover path; partitioned and pooled solves run without
+    /// them (resuming still works for pooled unate solves).
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.options.checkpoint_every = n;
+        self
+    }
+
+    /// Receives every emitted [`SolverCheckpoint`] as a typed value —
+    /// the form durable schedulers persist. Requires
+    /// [`checkpoint_every`](Self::checkpoint_every) to be non-zero for
+    /// anything to arrive.
+    pub fn checkpoint_sink<F>(mut self, sink: F) -> Self
+    where
+        F: FnMut(&SolverCheckpoint) + Send + 'a,
+    {
+        self.ckpt_sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Warm-starts the solve from a previously captured checkpoint.
+    ///
+    /// The checkpoint must [`match`](SolverCheckpoint::matches) the
+    /// request's instance and constraint path, and its core shape must
+    /// agree with what the deterministic reductions reproduce; a
+    /// non-matching checkpoint is ignored and the solve runs cold (the
+    /// outcome's [`resumed`](crate::ScgOutcome::resumed) count stays 0).
+    /// A valid resume skips the already-executed constructive runs and
+    /// reaches a final cost no worse than the uninterrupted solve.
+    pub fn resume_from(mut self, ckpt: SolverCheckpoint) -> Self {
+        self.resume = Some(Box::new(ckpt));
+        self
+    }
+
     /// Attaches a cancellation flag (a clone of `flag`; trip any clone
     /// to abort).
     pub fn cancel(mut self, flag: &CancelFlag) -> Self {
@@ -480,6 +590,7 @@ impl std::fmt::Debug for SolveRequest<'_> {
             .field("kind", &self.constraints.kind())
             .field("cancellable", &self.cancel.is_some())
             .field("probed", &self.probe.is_some())
+            .field("resumed", &self.resume.is_some())
             .finish()
     }
 }
@@ -525,6 +636,8 @@ impl Scg {
             constraints,
             cancel,
             mut probe,
+            resume,
+            mut ckpt_sink,
         } = req;
         let solver = Scg::new(options);
         let m = matrix.get();
@@ -542,22 +655,86 @@ impl Scg {
             constraints.validate_for(m)?;
         }
         let unate = constraints.is_unate();
-        let (out, dropped) = match probe.as_mut() {
-            Some(slot) => {
-                let mut dyn_probe = DynProbe(slot.get());
-                let out = if unate {
-                    solver.solve_impl(m, cancel_ref, &mut dyn_probe)
-                } else {
-                    solver.solve_multicover_impl(m, &constraints, cancel_ref, &mut dyn_probe)
+        let resume_ref = resume.as_deref();
+        // Monomorphised dispatch over one generic probe: requests
+        // without a probe or sink keep the zero-cost NoopProbe path.
+        fn go<P: Probe>(
+            solver: &Scg,
+            m: &CoverMatrix,
+            constraints: &Constraints,
+            unate: bool,
+            cancel: Option<&CancelFlag>,
+            resume: Option<&SolverCheckpoint>,
+            probe: &mut P,
+        ) -> Result<ScgOutcome, SolveError> {
+            if unate {
+                solver.solve_impl(m, cancel, resume, probe)
+            } else {
+                solver.solve_multicover_impl(m, constraints, cancel, resume, probe)
+            }
+        }
+        let (out, dropped) = match (probe.as_mut(), ckpt_sink.as_mut()) {
+            (Some(slot), Some(sink)) => {
+                let mut tap = CheckpointTap {
+                    inner: DynProbe(slot.get()),
+                    sink: &mut **sink,
+                    rows: m.num_rows(),
+                    cols: m.num_cols(),
+                    nnz: m.nnz(),
                 };
+                let out = go(
+                    &solver,
+                    m,
+                    &constraints,
+                    unate,
+                    cancel_ref,
+                    resume_ref,
+                    &mut tap,
+                );
                 (out, slot.get().events_dropped())
             }
-            None => {
-                let out = if unate {
-                    solver.solve_impl(m, cancel_ref, &mut NoopProbe)
-                } else {
-                    solver.solve_multicover_impl(m, &constraints, cancel_ref, &mut NoopProbe)
+            (Some(slot), None) => {
+                let mut dyn_probe = DynProbe(slot.get());
+                let out = go(
+                    &solver,
+                    m,
+                    &constraints,
+                    unate,
+                    cancel_ref,
+                    resume_ref,
+                    &mut dyn_probe,
+                );
+                (out, slot.get().events_dropped())
+            }
+            (None, Some(sink)) => {
+                let mut tap = CheckpointTap {
+                    inner: NoopProbe,
+                    sink: &mut **sink,
+                    rows: m.num_rows(),
+                    cols: m.num_cols(),
+                    nnz: m.nnz(),
                 };
+                let out = go(
+                    &solver,
+                    m,
+                    &constraints,
+                    unate,
+                    cancel_ref,
+                    resume_ref,
+                    &mut tap,
+                );
+                (out, 0)
+            }
+            (None, None) => {
+                let out = go(
+                    &solver,
+                    m,
+                    &constraints,
+                    unate,
+                    cancel_ref,
+                    resume_ref,
+                    &mut NoopProbe,
+                );
                 (out, 0)
             }
         };

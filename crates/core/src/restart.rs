@@ -129,6 +129,13 @@ impl SharedIncumbent {
         self.stop_at.load(Ordering::SeqCst) < restart
     }
 
+    /// Snapshot of the current `(cost, solution)` — how checkpoints read
+    /// the incumbent without consuming it.
+    pub fn best(&self) -> (f64, Option<Solution>) {
+        let g = self.best.lock().expect("incumbent lock");
+        (g.cost, g.solution.clone())
+    }
+
     /// Consumes the incumbent, returning the winning `(cost, solution)`.
     pub fn into_best(self) -> (f64, Option<Solution>) {
         let g = self.best.into_inner().expect("incumbent lock");

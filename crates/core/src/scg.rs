@@ -90,6 +90,13 @@ pub struct ScgOptions {
     /// either way, so this only moves the scheduling break-even point.
     /// `0` disables the fallback (always honor `workers`).
     pub parallel_nnz_threshold: usize,
+    /// Emit an [`Event::Checkpoint`] (resumable solver state) after the
+    /// initial subgradient ascent and after every `checkpoint_every`-th
+    /// constructive run. `0` (the default) disables emission entirely —
+    /// the solve is bit-identical to one without the field. Checkpoints
+    /// are only emitted on the serial single-core restarts path and on
+    /// the multicover path; partitioned and pooled stages skip them.
+    pub checkpoint_every: usize,
 }
 
 impl Default for ScgOptions {
@@ -108,6 +115,7 @@ impl Default for ScgOptions {
             partition: true,
             workers: 1,
             parallel_nnz_threshold: 16_384,
+            checkpoint_every: 0,
         }
     }
 }
@@ -180,6 +188,12 @@ pub struct ScgOutcome {
     /// for in-memory probes and unprobed solves). Filled by
     /// [`Scg::run`](crate::Scg::run) from the probe after the solve.
     pub dropped_events: u64,
+    /// Constructive runs (ascents, for multicover solves) *skipped*
+    /// because the request resumed from a [`crate::SolverCheckpoint`]
+    /// that already accounted for them. `0` for cold solves and for
+    /// requests whose checkpoint failed validation (those re-run from
+    /// scratch).
+    pub resumed: usize,
 }
 
 impl ScgOutcome {
@@ -261,6 +275,51 @@ struct CoreOutcome {
     sub_iters: usize,
     sub_seconds: f64,
     constructive_seconds: f64,
+    /// Constructive runs skipped because a checkpoint accounted for them.
+    resumed: usize,
+}
+
+/// Checkpoint context for the restarts stage of the single connected
+/// core: emission cadence, the solve's start instant (checkpoints carry
+/// elapsed wall clock) and a validated checkpoint to resume from.
+///
+/// Only the unpartitioned path gets one — partition blocks and pooled
+/// block solves pass `None` and neither emit nor resume, keeping the
+/// checkpoint's core fingerprint unambiguous.
+struct CkptCtx<'c> {
+    /// Emit after every `every`-th constructive run (`0` = never).
+    every: usize,
+    /// When the solve started (for `elapsed_seconds`).
+    start: Instant,
+    /// Validated checkpoint whose runs are already accounted for.
+    resume: Option<&'c crate::checkpoint::SolverCheckpoint>,
+}
+
+impl CkptCtx<'_> {
+    /// Emits one [`Event::Checkpoint`] snapshot. Callers gate on the
+    /// cadence; this only assembles the payload.
+    fn emit<P: Probe>(
+        &self,
+        ae: &CoverMatrix,
+        core_lb: f64,
+        incumbent: &SharedIncumbent,
+        next_run: usize,
+        lambda: &[f64],
+        probe: &mut P,
+    ) {
+        let (cost, solution) = incumbent.best();
+        probe.record(Event::Checkpoint {
+            next_run,
+            core_rows: ae.num_rows(),
+            core_cols: ae.num_cols(),
+            lower_bound: core_lb,
+            incumbent_cost: cost,
+            elapsed_seconds: self.start.elapsed().as_secs_f64(),
+            lambda: lambda.to_vec(),
+            incumbent: solution.map(|s| s.cols().iter().map(|&c| c as u32).collect()),
+            multicover: false,
+        });
+    }
 }
 
 /// A partition block's result slot: its core outcome plus the telemetry
@@ -319,7 +378,7 @@ impl Scg {
     #[cfg(feature = "legacy-api")]
     #[deprecated(note = "use `Scg::run` with a `SolveRequest` (see the README migration table)")]
     pub fn solve(&self, m: &CoverMatrix) -> ScgOutcome {
-        self.solve_impl(m, None, &mut NoopProbe)
+        self.solve_impl(m, None, None, &mut NoopProbe)
             .unwrap_or_else(|e| panic!("solve failed: {e}"))
     }
 
@@ -352,7 +411,7 @@ impl Scg {
                 (see the README migration table)"
     )]
     pub fn solve_with_probe<P: Probe>(&self, m: &CoverMatrix, probe: &mut P) -> ScgOutcome {
-        self.solve_impl(m, None, probe)
+        self.solve_impl(m, None, None, probe)
             .unwrap_or_else(|e| panic!("solve failed: {e}"))
     }
 
@@ -363,6 +422,7 @@ impl Scg {
         &self,
         m: &CoverMatrix,
         cancel: Option<&CancelFlag>,
+        resume: Option<&crate::checkpoint::SolverCheckpoint>,
         probe: &mut P,
     ) -> Result<ScgOutcome, SolveError> {
         let start = Instant::now();
@@ -411,6 +471,7 @@ impl Scg {
                 zdd_stats: core_res.zdd_stats,
                 degraded: core_res.degraded,
                 dropped_events: 0,
+                resumed: 0,
             });
         }
         let fixed_cost: f64 = core_res.fixed_cols.iter().map(|&j| m.cost(j)).sum();
@@ -435,6 +496,7 @@ impl Scg {
                 zdd_stats: core_res.zdd_stats,
                 degraded: core_res.degraded,
                 dropped_events: 0,
+                resumed: 0,
             });
         }
 
@@ -457,7 +519,32 @@ impl Scg {
         }
 
         // ---- Restarts stage on the single connected core. ----
-        let co = self.solve_core(ae, integer_costs, &halt, 0, false, &mut *probe);
+        // A checkpoint resumes only when the deterministic reductions
+        // reproduced the exact core it was taken on; anything else (or a
+        // multicover/partitioned checkpoint) re-runs from scratch, which
+        // is always correct — just slower.
+        let resume = resume.filter(|ck| {
+            !ck.multicover
+                && ck.matches(m, false)
+                && ck.core_rows == ae.num_rows()
+                && ck.core_cols == ae.num_cols()
+                && ck.lambda.len() == ae.num_rows()
+                && ck.next_run >= 1
+        });
+        let ckpt_ctx = CkptCtx {
+            every: self.opts.checkpoint_every,
+            start,
+            resume,
+        };
+        let co = self.solve_core(
+            ae,
+            integer_costs,
+            &halt,
+            0,
+            false,
+            Some(&ckpt_ctx),
+            &mut *probe,
+        );
         phases.add(Phase::Subgradient, co.sub_seconds);
         phases.add(Phase::Constructive, co.constructive_seconds);
         let global_lb = fixed_cost + co.lb.max(0.0);
@@ -495,6 +582,7 @@ impl Scg {
             zdd_stats: core_res.zdd_stats,
             degraded: core_res.degraded,
             dropped_events: 0,
+            resumed: co.resumed,
         })
     }
 
@@ -522,6 +610,7 @@ impl Scg {
         m: &CoverMatrix,
         cons: &Constraints,
         cancel: Option<&CancelFlag>,
+        resume: Option<&crate::checkpoint::SolverCheckpoint>,
         probe: &mut P,
     ) -> Result<ScgOutcome, SolveError> {
         let start = Instant::now();
@@ -537,26 +626,89 @@ impl Scg {
             None => {}
         }
 
+        // The multicover loop's whole state is (best_lb, best_lambda,
+        // best_cost, best_solution) — a checkpoint restores it exactly,
+        // so a resumed solve continues as if never interrupted. Restart
+        // jitter is seeded per (seed, k), independent of history.
+        let resume = resume.filter(|ck| {
+            ck.multicover
+                && ck.matches(m, true)
+                && ck.core_rows == m.num_rows()
+                && ck.core_cols == m.num_cols()
+                && ck.lambda.len() == m.num_rows()
+                && ck.next_run >= 1
+        });
+        let every = self.opts.checkpoint_every;
+        let emit_checkpoint = |next_run: usize,
+                               lb: f64,
+                               lambda: &[f64],
+                               cost: f64,
+                               solution: &Option<Solution>,
+                               probe: &mut P| {
+            probe.record(Event::Checkpoint {
+                next_run,
+                core_rows: m.num_rows(),
+                core_cols: m.num_cols(),
+                lower_bound: lb,
+                incumbent_cost: cost,
+                elapsed_seconds: start.elapsed().as_secs_f64(),
+                lambda: lambda.to_vec(),
+                incumbent: solution
+                    .as_ref()
+                    .map(|s| s.cols().iter().map(|&c| c as u32).collect()),
+                multicover: true,
+            });
+        };
+
         probe.record(Event::PhaseBegin {
             phase: Phase::Subgradient,
         });
         let sub_start = Instant::now();
-        // Initial ascent: occurrence heuristic on, like the unate initial
-        // problem (§3.5 applies rule 4 to the initial problem only).
-        let initial_opts = SubgradientOptions {
-            occurrence_heuristic: true,
-            ..self.opts.subgradient
-        };
-        let mut res =
-            subgradient_ascent_constrained_probed(m, &initial_opts, cons, None, None, probe);
-        let mut sub_iters = res.iterations;
-        let mut best_lb = res.lb;
-        let mut best_lambda = std::mem::take(&mut res.lambda);
-        let mut best_solution = res.best_solution.take();
-        let mut best_cost = res.best_cost;
-        let mut iterations = 1usize;
+        let (mut sub_iters, mut best_lb, mut best_lambda, mut best_solution, mut best_cost);
+        let (mut iterations, first_k, resumed);
+        if let Some(ck) = resume {
+            sub_iters = 0;
+            best_lb = ck.lower_bound;
+            best_lambda = ck.lambda.clone();
+            best_solution = ck
+                .incumbent
+                .as_ref()
+                .map(|cols| Solution::from_cols(cols.clone()));
+            best_cost = ck.incumbent_cost;
+            first_k = ck.next_run.clamp(1, self.opts.num_iter.max(1));
+            iterations = first_k;
+            resumed = first_k;
+        } else {
+            // Initial ascent: occurrence heuristic on, like the unate
+            // initial problem (§3.5 applies rule 4 to the initial problem
+            // only).
+            let initial_opts = SubgradientOptions {
+                occurrence_heuristic: true,
+                ..self.opts.subgradient
+            };
+            let mut res =
+                subgradient_ascent_constrained_probed(m, &initial_opts, cons, None, None, probe);
+            sub_iters = res.iterations;
+            best_lb = res.lb;
+            best_lambda = std::mem::take(&mut res.lambda);
+            best_solution = res.best_solution.take();
+            best_cost = res.best_cost;
+            iterations = 1;
+            first_k = 1;
+            resumed = 0;
+        }
+        if every > 0 {
+            emit_checkpoint(
+                first_k,
+                best_lb,
+                &best_lambda,
+                best_cost,
+                &best_solution,
+                probe,
+            );
+        }
 
-        for k in 1..self.opts.num_iter.max(1) {
+        for k in first_k..self.opts.num_iter.max(1) {
             if halt.check().is_some() || certified(integer_costs, best_lb, best_cost) {
                 break;
             }
@@ -587,6 +739,16 @@ impl Scg {
             if r.best_cost < best_cost {
                 best_cost = r.best_cost;
                 best_solution = r.best_solution;
+            }
+            if every > 0 && k % every == 0 {
+                emit_checkpoint(
+                    k + 1,
+                    best_lb,
+                    &best_lambda,
+                    best_cost,
+                    &best_solution,
+                    probe,
+                );
             }
         }
         let sub_seconds = sub_start.elapsed().as_secs_f64();
@@ -638,6 +800,7 @@ impl Scg {
             zdd_stats: cover::ZddStats::default(),
             degraded: false,
             dropped_events: 0,
+            resumed,
         })
     }
 
@@ -695,6 +858,7 @@ impl Scg {
                             halt,
                             w,
                             true,
+                            None,
                             &mut buf,
                         );
                         *slots[b].lock().expect("block slot lock") = Some((co, buf.into_events()));
@@ -724,6 +888,7 @@ impl Scg {
                         halt,
                         0,
                         false,
+                        None,
                         &mut *probe,
                     )
                 })
@@ -774,6 +939,7 @@ impl Scg {
             zdd_stats: core_res.zdd_stats,
             degraded: core_res.degraded,
             dropped_events: 0,
+            resumed: 0,
         }
     }
 
@@ -791,6 +957,7 @@ impl Scg {
         halt: &Halt,
         worker_tag: usize,
         force_serial: bool,
+        ckpt: Option<&CkptCtx>,
         probe: &mut P,
     ) -> CoreOutcome {
         // ---- Initial subgradient ascent (deterministic, run once). ----
@@ -813,12 +980,32 @@ impl Scg {
             sub0.lb
         };
         let incumbent = SharedIncumbent::new();
+        let mut base_ub = f64::INFINITY;
         if let Some(sol) = sub0.best_solution.clone() {
             // Index 0: the initial ascent's heuristic cover, so every
-            // restart loses ties against it.
-            incumbent.offer(ae, sol, 0);
+            // restart loses ties against it. `offer` returns the *offered*
+            // cover's irredundant cost, so base_ub stays the initial
+            // ascent's value even when a resumed checkpoint inserts a
+            // better incumbent below — the restarts' deterministic pruning
+            // bound must not depend on how often the solve was
+            // interrupted.
+            base_ub = incumbent.offer(ae, sol, 0);
         }
-        let base_ub = incumbent.best_cost();
+        let mut first_run = 1usize;
+        let mut resumed = 0usize;
+        if let Some(ck) = ckpt.and_then(|c| c.resume) {
+            if let Some(cols) = &ck.incumbent {
+                // Also restart index 0: ties against the remaining runs
+                // resolve exactly as if this cover predated all of them —
+                // which it does.
+                incumbent.offer(ae, Solution::from_cols(cols.clone()), 0);
+            }
+            first_run = ck.next_run.clamp(1, self.opts.num_iter + 1);
+            resumed = first_run - 1;
+        }
+        if let Some(c) = ckpt.filter(|c| c.every > 0) {
+            c.emit(ae, core_lb, &incumbent, first_run, &sub0.lambda, probe);
+        }
 
         let mut restarts = RestartsResult::default();
         // A cover at the bound floor cannot be improved: skip the restarts.
@@ -831,9 +1018,11 @@ impl Scg {
                 &sub0,
                 core_lb,
                 base_ub,
+                first_run,
                 halt,
                 worker_tag,
                 force_serial,
+                ckpt,
                 &incumbent,
                 probe,
             );
@@ -851,6 +1040,7 @@ impl Scg {
             sub_iters: sub0.iterations + restarts.sub_iters,
             sub_seconds: sub_time + restarts.sub_seconds,
             constructive_seconds: restarts.constructive_seconds,
+            resumed,
         }
     }
 
@@ -866,9 +1056,11 @@ impl Scg {
         sub0: &SubgradientResult,
         core_lb: f64,
         base_ub: f64,
+        first_run: usize,
         halt: &Halt,
         worker_tag: usize,
         force_serial: bool,
+        ckpt: Option<&CkptCtx>,
         incumbent: &SharedIncumbent,
         probe: &mut P,
     ) -> RestartsResult {
@@ -881,7 +1073,7 @@ impl Scg {
         let mut result = RestartsResult::default();
 
         if pool <= 1 {
-            for run in 1..=num_iter {
+            for run in first_run..=num_iter {
                 if halt.reached() || incumbent.superseded(run) {
                     break;
                 }
@@ -902,6 +1094,9 @@ impl Scg {
                     });
                 }
                 result.absorb(&report, wall);
+                if let Some(c) = ckpt.filter(|c| c.every > 0 && run % c.every == 0) {
+                    c.emit(ae, core_lb, incumbent, run + 1, &sub0.lambda, probe);
+                }
             }
             return result;
         }
@@ -911,7 +1106,7 @@ impl Scg {
         // afterwards so the merged trace is schedule-independent apart
         // from the worker tags.
         let enabled = probe.enabled();
-        let next = AtomicUsize::new(1);
+        let next = AtomicUsize::new(first_run);
         let records: Mutex<Vec<RestartRecord>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for worker in 0..pool {
@@ -1334,7 +1529,7 @@ mod partition_tests {
             time_limit: Some(Duration::from_millis(0)),
             ..ScgOptions::default()
         })
-        .solve_impl(&m, None, &mut ucp_telemetry::NoopProbe);
+        .solve_impl(&m, None, None, &mut ucp_telemetry::NoopProbe);
         assert_eq!(out.unwrap_err(), SolveError::Expired);
     }
 
@@ -1417,7 +1612,7 @@ impl Scg {
             workers,
             ..self.opts
         })
-        .solve_impl(m, None, &mut NoopProbe)
+        .solve_impl(m, None, None, &mut NoopProbe)
         .unwrap_or_else(|e| panic!("solve failed: {e}"))
     }
 
@@ -1442,7 +1637,7 @@ impl Scg {
             workers,
             ..self.opts
         })
-        .solve_impl(m, None, probe)
+        .solve_impl(m, None, None, probe)
         .unwrap_or_else(|e| panic!("solve failed: {e}"))
     }
 }

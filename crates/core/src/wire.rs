@@ -482,6 +482,13 @@ impl JobSpec {
             s.record_history == b.record_history,
             "subgradient.record_history",
         )?;
+        // `checkpoint_every` is not wire-carried: durable schedulers
+        // inject it at run time, so a spec can only represent the
+        // default (disabled) setting.
+        check(
+            opts.checkpoint_every == base.checkpoint_every,
+            "checkpoint_every",
+        )?;
         Ok(JobSpec {
             preset,
             workers: Some(opts.workers),
@@ -1105,6 +1112,10 @@ pub struct JobStatusDto {
     pub result: Option<JobResultDto>,
     /// Set for [`JobState::Failed`].
     pub error: Option<WireError>,
+    /// `true` when this job was re-enqueued from the durability journal
+    /// after a server restart (see `ucp_durability`). Recovered jobs
+    /// keep their original id and deadline.
+    pub recovered: bool,
 }
 
 impl JobStatusDto {
@@ -1117,6 +1128,11 @@ impl JobStatusDto {
         o.field_str("tenant", &self.tenant);
         o.field_bool("shed", self.shed);
         o.field_bool("cancel_requested", self.cancel_requested);
+        // Emitted only when set, keeping pre-durability responses
+        // byte-identical.
+        if self.recovered {
+            o.field_bool("recovered", true);
+        }
         if let Some(r) = &self.result {
             o.field_raw("result", &r.to_json());
         }
@@ -1162,6 +1178,7 @@ impl JobStatusDto {
             cancel_requested: flag("cancel_requested"),
             result,
             error,
+            recovered: flag("recovered"),
         })
     }
 }
@@ -1463,6 +1480,7 @@ mod tests {
             tenant: "acme".into(),
             shed: true,
             cancel_requested: false,
+            recovered: true,
             result: Some(JobResultDto::from_outcome(&out)),
             error: None,
         };
@@ -1476,6 +1494,7 @@ mod tests {
             tenant: "anonymous".into(),
             shed: false,
             cancel_requested: true,
+            recovered: false,
             result: None,
             error: Some(WireError::new(WireCode::Cancelled, "job cancelled")),
         };

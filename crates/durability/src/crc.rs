@@ -1,0 +1,60 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
+//! guarding every journal frame.
+//!
+//! Hand-rolled because the workspace builds without registry access: a
+//! single 256-entry table computed at first use, byte-at-a-time update.
+//! Journal appends are dominated by `fsync`, so table lookup speed is
+//! irrelevant; correctness is pinned by the standard check value
+//! `crc32(b"123456789") == 0xCBF43926`.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_and_sensitivity() {
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"journal"), crc32(b"journam"));
+        // A flipped bit anywhere changes the checksum.
+        let base = crc32(b"ucp-journal/1");
+        let mut bytes = b"ucp-journal/1".to_vec();
+        bytes[5] ^= 0x20;
+        assert_ne!(crc32(&bytes), base);
+    }
+}

@@ -1,0 +1,617 @@
+//! The write-ahead journal: checksum-framed JSON records on `std::fs`.
+//!
+//! One journal is one append-only file, `<dir>/ucp.journal`. Every record
+//! is framed as
+//!
+//! ```text
+//! u32 LE payload length | u32 LE CRC-32 (IEEE) of payload | payload
+//! ```
+//!
+//! where the payload is a single-line JSON object tagged
+//! `"schema":"ucp-journal/1"`. Appends are `write` + `sync_data`, so a
+//! record either reaches the disk whole or is a *torn tail*: a final
+//! frame whose header is short, whose payload is short, or whose
+//! checksum disagrees. Replay stops at the first such frame; opening for
+//! append truncates it away. Nothing after a torn frame is trusted —
+//! frames carry no resynchronisation marker on purpose, because the only
+//! writer appends strictly sequentially.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use cover::CoverMatrix;
+use ucp_core::checkpoint::SolverCheckpoint;
+use ucp_core::wire::{matrix_from_json, matrix_to_json};
+use ucp_core::{JobResultDto, JobSpec, WireCode, WireError};
+use ucp_metrics::{Counter, Registry};
+use ucp_telemetry::trace::{parse_json, JsonValue};
+use ucp_telemetry::JsonObj;
+
+use crate::crc::crc32;
+
+/// Schema tag stamped on every journal record.
+pub const JOURNAL_SCHEMA: &str = "ucp-journal/1";
+
+/// File name of the journal inside its directory.
+pub const JOURNAL_FILE: &str = "ucp.journal";
+
+/// Upper bound on one record's payload (64 MiB). A frame whose header
+/// claims more is treated as torn, not as an instruction to allocate.
+pub const MAX_RECORD_BYTES: u32 = 64 << 20;
+
+const FRAME_HEADER: usize = 8;
+
+/// One job-lifecycle transition.
+///
+/// `job` is the engine job id (stable across restarts); `t_ms` is the
+/// wall-clock timestamp in milliseconds since the Unix epoch. Deadlines
+/// are journaled as *absolute* wall-clock milliseconds so that replay
+/// after a restart cannot extend a job's budget.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::large_enum_variant)] // `Submitted` carries the matrix by design: one record = one replayable fact
+pub enum Record {
+    /// A job was accepted. Written before the submitter is acknowledged.
+    /// `spec`/`matrix` are `None` only for jobs whose request cannot be
+    /// represented on the wire — those are journaled for bookkeeping but
+    /// cannot be re-run after a crash.
+    Submitted {
+        job: u64,
+        t_ms: u64,
+        spec: Option<JobSpec>,
+        matrix: Option<CoverMatrix>,
+        tenant: Option<String>,
+        /// Absolute deadline, milliseconds since the Unix epoch.
+        deadline_ms: Option<u64>,
+    },
+    /// A worker dequeued the job and is about to solve it.
+    Started { job: u64, t_ms: u64 },
+    /// Resumable solver state captured mid-solve.
+    Checkpoint {
+        job: u64,
+        t_ms: u64,
+        ckpt: SolverCheckpoint,
+    },
+    /// The job solved to completion. Written before the handle resolves.
+    Done {
+        job: u64,
+        t_ms: u64,
+        result: JobResultDto,
+    },
+    /// The job failed terminally (expired, panicked, exhausted, …).
+    Failed {
+        job: u64,
+        t_ms: u64,
+        error: WireError,
+    },
+    /// The job was cancelled.
+    Cancelled { job: u64, t_ms: u64 },
+}
+
+impl Record {
+    /// The engine job id this record belongs to.
+    pub fn job(&self) -> u64 {
+        match self {
+            Record::Submitted { job, .. }
+            | Record::Started { job, .. }
+            | Record::Checkpoint { job, .. }
+            | Record::Done { job, .. }
+            | Record::Failed { job, .. }
+            | Record::Cancelled { job, .. } => *job,
+        }
+    }
+
+    /// Stable record-type tag used in the JSON payload.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Record::Submitted { .. } => "submitted",
+            Record::Started { .. } => "started",
+            Record::Checkpoint { .. } => "checkpoint",
+            Record::Done { .. } => "done",
+            Record::Failed { .. } => "failed",
+            Record::Cancelled { .. } => "cancelled",
+        }
+    }
+
+    /// Serialises the record as its single-line JSON payload.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObj::new();
+        obj.field_str("schema", JOURNAL_SCHEMA)
+            .field_str("record", self.kind())
+            .field_u64("job", self.job());
+        match self {
+            Record::Submitted {
+                t_ms,
+                spec,
+                matrix,
+                tenant,
+                deadline_ms,
+                ..
+            } => {
+                obj.field_u64("t_ms", *t_ms);
+                if let Some(tenant) = tenant {
+                    obj.field_str("tenant", tenant);
+                }
+                if let Some(deadline_ms) = deadline_ms {
+                    obj.field_u64("deadline_ms", *deadline_ms);
+                }
+                if let Some(spec) = spec {
+                    obj.field_raw("spec", &spec.to_json());
+                }
+                if let Some(matrix) = matrix {
+                    obj.field_raw("matrix", &matrix_to_json(matrix));
+                }
+            }
+            Record::Started { t_ms, .. } | Record::Cancelled { t_ms, .. } => {
+                obj.field_u64("t_ms", *t_ms);
+            }
+            Record::Checkpoint { t_ms, ckpt, .. } => {
+                obj.field_u64("t_ms", *t_ms);
+                obj.field_raw("checkpoint", &ckpt.to_json());
+            }
+            Record::Done { t_ms, result, .. } => {
+                obj.field_u64("t_ms", *t_ms);
+                obj.field_raw("result", &result.to_json());
+            }
+            Record::Failed { t_ms, error, .. } => {
+                obj.field_u64("t_ms", *t_ms);
+                obj.field_raw("error", &error.to_json());
+            }
+        }
+        obj.finish()
+    }
+
+    /// Deserialises a record from a parsed JSON payload.
+    pub fn from_json_value(v: &JsonValue) -> Result<Record, WireError> {
+        let bad = |msg: String| WireError::new(WireCode::InvalidSpec, msg);
+        let schema = v.get("schema").and_then(JsonValue::as_str).unwrap_or("");
+        if schema != JOURNAL_SCHEMA {
+            return Err(bad(format!("unsupported journal schema {schema:?}")));
+        }
+        let u64_field = |key: &str| -> Result<u64, WireError> {
+            let n = v
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| bad(format!("journal record field {key:?} missing")))?;
+            if !(0.0..=9e15).contains(&n) || n.fract() != 0.0 {
+                return Err(bad(format!("journal record field {key:?} out of range")));
+            }
+            Ok(n as u64)
+        };
+        let job = u64_field("job")?;
+        let t_ms = u64_field("t_ms")?;
+        let kind = v
+            .get("record")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("journal record missing type tag".into()))?;
+        match kind {
+            "submitted" => {
+                let spec = match v.get("spec") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(sv) => Some(JobSpec::from_json_value(sv)?),
+                };
+                let matrix = match v.get("matrix") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(mv) => Some(matrix_from_json(mv)?),
+                };
+                let tenant = v
+                    .get("tenant")
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string);
+                let deadline_ms = match v.get("deadline_ms") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(_) => Some(u64_field("deadline_ms")?),
+                };
+                Ok(Record::Submitted {
+                    job,
+                    t_ms,
+                    spec,
+                    matrix,
+                    tenant,
+                    deadline_ms,
+                })
+            }
+            "started" => Ok(Record::Started { job, t_ms }),
+            "checkpoint" => {
+                let cv = v
+                    .get("checkpoint")
+                    .ok_or_else(|| bad("checkpoint record missing payload".into()))?;
+                Ok(Record::Checkpoint {
+                    job,
+                    t_ms,
+                    ckpt: SolverCheckpoint::from_json_value(cv)?,
+                })
+            }
+            "done" => {
+                let rv = v
+                    .get("result")
+                    .ok_or_else(|| bad("done record missing result".into()))?;
+                Ok(Record::Done {
+                    job,
+                    t_ms,
+                    result: JobResultDto::from_json_value(rv)?,
+                })
+            }
+            "failed" => {
+                let ev = v
+                    .get("error")
+                    .ok_or_else(|| bad("failed record missing error".into()))?;
+                Ok(Record::Failed {
+                    job,
+                    t_ms,
+                    error: WireError::from_json_value(ev)?,
+                })
+            }
+            "cancelled" => Ok(Record::Cancelled { job, t_ms }),
+            other => Err(bad(format!("unknown journal record type {other:?}"))),
+        }
+    }
+}
+
+/// What replaying a journal file produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Replay {
+    /// Every whole, checksum-valid record, in append order.
+    pub records: Vec<Record>,
+    /// Bytes of the file covered by those records.
+    pub valid_bytes: u64,
+    /// Bytes past `valid_bytes` — the torn tail (0 on a clean file).
+    pub torn_bytes: u64,
+}
+
+/// Scans `bytes` frame by frame; stops at the first torn/invalid frame.
+fn replay_bytes(bytes: &[u8]) -> Replay {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    // Any `break` below marks the torn tail: the frame at `pos` is
+    // short, corrupt, or unparseable, and `pos` stays at its start.
+    while let Some(header) = bytes.get(pos..pos + FRAME_HEADER) {
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_RECORD_BYTES {
+            break;
+        }
+        let start = pos + FRAME_HEADER;
+        let Some(payload) = bytes.get(start..start + len as usize) else {
+            break; // short payload
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(value) = parse_json(text) else {
+            break;
+        };
+        let Ok(record) = Record::from_json_value(&value) else {
+            break;
+        };
+        records.push(record);
+        pos = start + len as usize;
+    }
+    Replay {
+        records,
+        valid_bytes: pos as u64,
+        torn_bytes: (bytes.len() - pos) as u64,
+    }
+}
+
+fn journal_path(dir: &Path) -> PathBuf {
+    dir.join(JOURNAL_FILE)
+}
+
+/// Replays a journal directory read-only (what `ucp journal` uses).
+/// A missing journal file reads as empty, not as an error.
+pub fn read_journal(dir: &Path) -> io::Result<Replay> {
+    let path = journal_path(dir);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    Ok(replay_bytes(&bytes))
+}
+
+/// Prometheus handles for the `ucp_durability_*` family.
+#[derive(Clone)]
+pub struct JournalMetrics {
+    pub records_written: Arc<Counter>,
+    pub bytes_written: Arc<Counter>,
+    pub fsyncs: Arc<Counter>,
+    pub replayed_records: Arc<Counter>,
+}
+
+impl JournalMetrics {
+    /// Registers (or re-resolves) the family on `registry`.
+    pub fn register(registry: &Registry) -> JournalMetrics {
+        JournalMetrics {
+            records_written: registry.counter(
+                "ucp_durability_records_written_total",
+                "Journal records appended",
+            ),
+            bytes_written: registry.counter(
+                "ucp_durability_bytes_written_total",
+                "Journal bytes appended (frames included)",
+            ),
+            fsyncs: registry.counter(
+                "ucp_durability_fsyncs_total",
+                "Journal fsync (sync_data) calls",
+            ),
+            replayed_records: registry.counter(
+                "ucp_durability_replayed_records_total",
+                "Journal records replayed at startup",
+            ),
+        }
+    }
+}
+
+/// An open journal plus what replaying it found.
+pub struct OpenedJournal {
+    pub journal: Journal,
+    pub replay: Replay,
+}
+
+/// An append-only journal opened for writing.
+///
+/// Appends are serialised by an internal mutex and each one is followed
+/// by `sync_data`, so a record acknowledged to a caller has reached the
+/// disk (modulo the device's own volatile cache).
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+    metrics: Mutex<Option<JournalMetrics>>,
+    /// Valid records found when the journal was opened; credited to the
+    /// `replayed` counter by [`Journal::attach_metrics`].
+    replayed_at_open: u64,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").field("path", &self.path).finish()
+    }
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal under `dir`, replays its
+    /// contents and truncates any torn tail so appends resume on a
+    /// frame boundary.
+    pub fn open(dir: &Path) -> io::Result<OpenedJournal> {
+        std::fs::create_dir_all(dir)?;
+        let path = journal_path(dir);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let replay = replay_bytes(&bytes);
+        if replay.torn_bytes > 0 {
+            file.set_len(replay.valid_bytes)?;
+            file.sync_data()?;
+        }
+        // The handle is positioned at the validated end: set_len does not
+        // move the cursor, and reading consumed the whole file, so seek
+        // explicitly.
+        use std::io::Seek as _;
+        file.seek(io::SeekFrom::Start(replay.valid_bytes))?;
+        Ok(OpenedJournal {
+            journal: Journal {
+                path,
+                file: Mutex::new(file),
+                metrics: Mutex::new(None),
+                replayed_at_open: replay.records.len() as u64,
+            },
+            replay,
+        })
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Wires the `ucp_durability_*` counters to this journal and
+    /// accounts the records already replayed at open time.
+    pub fn attach_metrics(&self, metrics: JournalMetrics) {
+        metrics.replayed_records.add(self.replayed_at_open);
+        *self.metrics.lock().unwrap() = Some(metrics);
+    }
+
+    /// Appends one record: frame, write, fsync. Returns once the record
+    /// is durable.
+    pub fn append(&self, record: &Record) -> io::Result<()> {
+        let payload = record.to_json().into_bytes();
+        if payload.len() > MAX_RECORD_BYTES as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("journal record of {} bytes exceeds cap", payload.len()),
+            ));
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        let mut file = self.file.lock().unwrap();
+        // Crash sites for the kill harness: a process abort here leaves
+        // either no trace of the record or a torn tail — never a frame
+        // that replays differently from what the caller observed.
+        ucp_failpoints::fail_point!("durability::journal_write");
+        file.write_all(&frame)?;
+        ucp_failpoints::fail_point!("durability::fsync");
+        file.sync_data()?;
+        drop(file);
+
+        if let Some(m) = self.metrics.lock().unwrap().as_ref() {
+            m.records_written.inc();
+            m.bytes_written.add(frame.len() as u64);
+            m.fsyncs.inc();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ucp-journal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records() -> Vec<Record> {
+        let m = CoverMatrix::from_rows(3, vec![vec![0, 1], vec![1, 2], vec![2, 0]]);
+        let spec = JobSpec::new(ucp_core::Preset::Fast);
+        vec![
+            Record::Submitted {
+                job: 1,
+                t_ms: 1000,
+                spec: Some(spec),
+                matrix: Some(m),
+                tenant: Some("acme".into()),
+                deadline_ms: Some(2000),
+            },
+            Record::Started { job: 1, t_ms: 1001 },
+            Record::Checkpoint {
+                job: 1,
+                t_ms: 1002,
+                ckpt: SolverCheckpoint {
+                    rows: 3,
+                    cols: 3,
+                    nnz: 6,
+                    multicover: false,
+                    core_rows: 3,
+                    core_cols: 3,
+                    lambda: vec![0.5, 0.5, 0.5],
+                    lower_bound: 1.5,
+                    incumbent: Some(vec![0, 1]),
+                    incumbent_cost: 2.0,
+                    next_run: 2,
+                    elapsed_seconds: 0.01,
+                },
+            },
+            Record::Done {
+                job: 1,
+                t_ms: 1003,
+                result: JobResultDto::default(),
+            },
+            Record::Failed {
+                job: 2,
+                t_ms: 1004,
+                error: WireError::new(WireCode::Expired, "deadline"),
+            },
+            Record::Cancelled { job: 3, t_ms: 1005 },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        for rec in sample_records() {
+            let v = parse_json(&rec.to_json()).unwrap();
+            assert_eq!(Record::from_json_value(&v).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let records = sample_records();
+        {
+            let opened = Journal::open(&dir).unwrap();
+            assert!(opened.replay.records.is_empty());
+            for rec in &records {
+                opened.journal.append(rec).unwrap();
+            }
+        }
+        let replay = read_journal(&dir).unwrap();
+        assert_eq!(replay.records, records);
+        assert_eq!(replay.torn_bytes, 0);
+        // Reopening replays the same set and keeps the file intact.
+        let opened = Journal::open(&dir).unwrap();
+        assert_eq!(opened.replay.records, records);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated() {
+        let dir = tmp_dir("torn");
+        let records = sample_records();
+        {
+            let opened = Journal::open(&dir).unwrap();
+            for rec in &records {
+                opened.journal.append(rec).unwrap();
+            }
+        }
+        let path = journal_path(&dir);
+        let full = std::fs::read(&path).unwrap();
+        // Tear the final record: drop its last 3 bytes.
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let replay = read_journal(&dir).unwrap();
+        assert_eq!(replay.records, records[..records.len() - 1]);
+        assert!(replay.torn_bytes > 0);
+        // Opening truncates the tear; a fresh append lands cleanly.
+        let opened = Journal::open(&dir).unwrap();
+        assert_eq!(opened.replay.records, records[..records.len() - 1]);
+        opened
+            .journal
+            .append(&Record::Cancelled { job: 9, t_ms: 9 })
+            .unwrap();
+        let replay = read_journal(&dir).unwrap();
+        assert_eq!(replay.records.len(), records.len());
+        assert_eq!(
+            replay.records.last().unwrap(),
+            &Record::Cancelled { job: 9, t_ms: 9 }
+        );
+        assert_eq!(replay.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_replay() {
+        let dir = tmp_dir("crc");
+        {
+            let opened = Journal::open(&dir).unwrap();
+            for rec in sample_records() {
+                opened.journal.append(&rec).unwrap();
+            }
+        }
+        let path = journal_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit inside the first record's payload.
+        bytes[FRAME_HEADER + 4] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = read_journal(&dir).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.valid_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_length_header_is_torn_not_allocated() {
+        let dir = tmp_dir("oversize");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(journal_path(&dir), &bytes).unwrap();
+        let replay = read_journal(&dir).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.torn_bytes, bytes.len() as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_reads_as_empty() {
+        let dir = tmp_dir("missing");
+        let replay = read_journal(&dir).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.valid_bytes, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Durability for the UCP solve service: a write-ahead job journal and
+//! its crash-recovery replay.
+//!
+//! The engine and server built in earlier milestones are purely
+//! in-memory — a crash loses every queued and running job. This crate
+//! adds the missing persistence layer as three small pieces:
+//!
+//! * [`crc`] — CRC-32 (IEEE), the per-frame checksum;
+//! * [`journal`] — the `ucp-journal/1` format: an append-only file of
+//!   length+checksum-framed JSON records ([`Record`]) covering the job
+//!   lifecycle (`submitted` → `started` → `checkpoint`* →
+//!   `done`/`failed`/`cancelled`), with torn-tail-tolerant replay;
+//! * [`replay`] — [`RecoverySet`], the pure fold of a record stream
+//!   into per-job state that `Engine::recover` consumes.
+//!
+//! The contract is **at-least-once execution, exactly-once resolution**:
+//! a job journaled as submitted but not terminal may run again after a
+//! crash (resuming from its newest checkpoint when one is valid), but a
+//! job journaled terminal resolves exactly once — replay never re-runs
+//! or re-resolves it. Everything is hand-rolled on `std::fs`; the crate
+//! adds no dependencies beyond the workspace's own.
+
+pub mod crc;
+pub mod journal;
+pub mod replay;
+
+pub use crc::crc32;
+pub use journal::{
+    read_journal, Journal, JournalMetrics, OpenedJournal, Record, Replay, JOURNAL_FILE,
+    JOURNAL_SCHEMA, MAX_RECORD_BYTES,
+};
+pub use replay::{JobReplay, RecoverySet, Terminal};

@@ -1,0 +1,268 @@
+//! Recovery: folding a replayed record stream into per-job state.
+//!
+//! The fold is a pure function of the record sequence, which is what
+//! makes recovery idempotent — replaying the same journal twice (or a
+//! journal with a torn final record) yields the identical
+//! [`RecoverySet`]; see `tests/durability_replay.rs`.
+
+use std::collections::BTreeMap;
+
+use cover::CoverMatrix;
+use ucp_core::checkpoint::SolverCheckpoint;
+use ucp_core::{JobResultDto, JobSpec, WireError};
+
+use crate::journal::Record;
+
+/// How a job ended, as journaled.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminal {
+    Done(JobResultDto),
+    Failed(WireError),
+    Cancelled,
+}
+
+impl Terminal {
+    /// Stable tag for summaries (`ucp journal`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Terminal::Done(_) => "done",
+            Terminal::Failed(_) => "failed",
+            Terminal::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Everything the journal knows about one job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobReplay {
+    /// Engine job id (stable across restarts).
+    pub job: u64,
+    /// Wall-clock submission time, milliseconds since the Unix epoch.
+    pub submitted_ms: u64,
+    /// Absolute wall-clock deadline (ms since epoch), if the job had one.
+    pub deadline_ms: Option<u64>,
+    /// Tenant the job was admitted under.
+    pub tenant: Option<String>,
+    /// The job's wire spec; `None` means the job cannot be re-run.
+    pub spec: Option<JobSpec>,
+    /// The instance; `None` means the job cannot be re-run.
+    pub matrix: Option<CoverMatrix>,
+    /// Whether a worker had started the job before the crash.
+    pub started: bool,
+    /// How many checkpoint records the job accumulated.
+    pub checkpoints: u64,
+    /// The newest checkpoint, if any.
+    pub checkpoint: Option<SolverCheckpoint>,
+    /// Terminal state, if the job finished. Later terminal records for
+    /// an already-terminal job are ignored (first resolution wins —
+    /// the exactly-once-resolution contract).
+    pub terminal: Option<Terminal>,
+}
+
+impl JobReplay {
+    fn new(job: u64) -> JobReplay {
+        JobReplay {
+            job,
+            submitted_ms: 0,
+            deadline_ms: None,
+            tenant: None,
+            spec: None,
+            matrix: None,
+            started: false,
+            checkpoints: 0,
+            checkpoint: None,
+            terminal: None,
+        }
+    }
+
+    /// Whether the job still needs to run: journaled as submitted but
+    /// never resolved.
+    pub fn incomplete(&self) -> bool {
+        self.terminal.is_none()
+    }
+
+    /// Whether recovery can actually re-enqueue the job.
+    pub fn recoverable(&self) -> bool {
+        self.incomplete() && self.spec.is_some() && self.matrix.is_some()
+    }
+}
+
+/// The fold of a whole journal: per-job state keyed by job id.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoverySet {
+    /// Per-job replay state, ordered by job id.
+    pub jobs: BTreeMap<u64, JobReplay>,
+    /// Highest job id seen anywhere in the journal — the restarted
+    /// engine's id counter must start above it.
+    pub max_job_id: u64,
+}
+
+impl RecoverySet {
+    /// Folds an in-order record stream. Records for jobs whose
+    /// `submitted` record was lost to a torn tail are tolerated: the
+    /// entry is created on demand so terminal bookkeeping still lands.
+    pub fn from_records(records: &[Record]) -> RecoverySet {
+        let mut set = RecoverySet::default();
+        for record in records {
+            set.max_job_id = set.max_job_id.max(record.job());
+            let entry = set
+                .jobs
+                .entry(record.job())
+                .or_insert_with(|| JobReplay::new(record.job()));
+            match record {
+                Record::Submitted {
+                    t_ms,
+                    spec,
+                    matrix,
+                    tenant,
+                    deadline_ms,
+                    ..
+                } => {
+                    entry.submitted_ms = *t_ms;
+                    entry.spec = spec.clone();
+                    entry.matrix = matrix.clone();
+                    entry.tenant = tenant.clone();
+                    entry.deadline_ms = *deadline_ms;
+                }
+                Record::Started { .. } => entry.started = true,
+                Record::Checkpoint { ckpt, .. } => {
+                    entry.checkpoints += 1;
+                    entry.checkpoint = Some(ckpt.clone());
+                }
+                Record::Done { result, .. } => {
+                    if entry.terminal.is_none() {
+                        entry.terminal = Some(Terminal::Done(result.clone()));
+                    }
+                }
+                Record::Failed { error, .. } => {
+                    if entry.terminal.is_none() {
+                        entry.terminal = Some(Terminal::Failed(error.clone()));
+                    }
+                }
+                Record::Cancelled { .. } => {
+                    if entry.terminal.is_none() {
+                        entry.terminal = Some(Terminal::Cancelled);
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// Jobs that never resolved, in job-id order.
+    pub fn incomplete(&self) -> impl Iterator<Item = &JobReplay> {
+        self.jobs.values().filter(|j| j.incomplete())
+    }
+
+    /// Jobs that resolved, in job-id order.
+    pub fn terminal(&self) -> impl Iterator<Item = &JobReplay> {
+        self.jobs.values().filter(|j| !j.incomplete())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucp_core::{Preset, WireCode};
+
+    fn matrix() -> CoverMatrix {
+        CoverMatrix::from_rows(3, vec![vec![0, 1], vec![1, 2], vec![2, 0]])
+    }
+
+    fn submitted(job: u64) -> Record {
+        Record::Submitted {
+            job,
+            t_ms: 100 * job,
+            spec: Some(JobSpec::new(Preset::Fast)),
+            matrix: Some(matrix()),
+            tenant: Some("t".into()),
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn folds_lifecycle_into_per_job_state() {
+        let records = vec![
+            submitted(1),
+            submitted(2),
+            submitted(3),
+            Record::Started { job: 1, t_ms: 101 },
+            Record::Started { job: 2, t_ms: 201 },
+            Record::Done {
+                job: 1,
+                t_ms: 110,
+                result: JobResultDto::default(),
+            },
+            Record::Cancelled { job: 3, t_ms: 301 },
+        ];
+        let set = RecoverySet::from_records(&records);
+        assert_eq!(set.max_job_id, 3);
+        assert_eq!(set.jobs.len(), 3);
+        assert_eq!(set.incomplete().map(|j| j.job).collect::<Vec<_>>(), vec![2]);
+        assert!(set.jobs[&2].started);
+        assert!(set.jobs[&2].recoverable());
+        assert_eq!(set.jobs[&1].terminal.as_ref().unwrap().kind(), "done");
+        assert_eq!(set.jobs[&3].terminal, Some(Terminal::Cancelled));
+    }
+
+    #[test]
+    fn first_resolution_wins() {
+        let records = vec![
+            submitted(1),
+            Record::Cancelled { job: 1, t_ms: 105 },
+            Record::Done {
+                job: 1,
+                t_ms: 110,
+                result: JobResultDto::default(),
+            },
+        ];
+        let set = RecoverySet::from_records(&records);
+        assert_eq!(set.jobs[&1].terminal, Some(Terminal::Cancelled));
+    }
+
+    #[test]
+    fn newest_checkpoint_wins() {
+        let mut ckpt = ucp_core::SolverCheckpoint {
+            rows: 3,
+            cols: 3,
+            nnz: 6,
+            multicover: false,
+            core_rows: 3,
+            core_cols: 3,
+            lambda: vec![0.0; 3],
+            lower_bound: 1.0,
+            incumbent: None,
+            incumbent_cost: f64::INFINITY,
+            next_run: 1,
+            elapsed_seconds: 0.0,
+        };
+        let first = Record::Checkpoint {
+            job: 1,
+            t_ms: 105,
+            ckpt: ckpt.clone(),
+        };
+        ckpt.next_run = 2;
+        ckpt.lower_bound = 2.0;
+        let second = Record::Checkpoint {
+            job: 1,
+            t_ms: 106,
+            ckpt: ckpt.clone(),
+        };
+        let set = RecoverySet::from_records(&[submitted(1), first, second]);
+        assert_eq!(set.jobs[&1].checkpoints, 2);
+        assert_eq!(set.jobs[&1].checkpoint.as_ref().unwrap().next_run, 2);
+    }
+
+    #[test]
+    fn terminal_without_submitted_is_tolerated() {
+        let records = vec![Record::Failed {
+            job: 7,
+            t_ms: 700,
+            error: WireError::new(WireCode::Panicked, "boom"),
+        }];
+        let set = RecoverySet::from_records(&records);
+        assert_eq!(set.max_job_id, 7);
+        assert!(!set.jobs[&7].incomplete());
+        assert!(!set.jobs[&7].recoverable());
+    }
+}

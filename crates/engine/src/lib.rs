@@ -64,9 +64,20 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use ucp_core::wire::{JobResultDto, JobSpec, WireError};
 use ucp_core::{CancelFlag, Scg, SolveError, SolveMetrics, SolveRequest};
+use ucp_durability::{Journal, JournalMetrics, Record, RecoverySet};
 use ucp_metrics::{Counter, Gauge, Histogram, MetricSnapshot, Registry};
+
+/// Milliseconds since the Unix epoch — the timestamp journal records
+/// carry (wall-clock absolute, so replay after a restart can honour the
+/// original deadlines).
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
 
 /// How an [`Engine`] is sized.
 #[derive(Clone, Copy, Debug)]
@@ -132,6 +143,9 @@ pub struct EngineStats {
     /// [`Engine::shutdown_now`] / [`Engine::abort_queued`] without
     /// running.
     pub aborted: u64,
+    /// Completed jobs that warm-started from a journaled checkpoint
+    /// (their outcome's `resumed` count was non-zero).
+    pub resumed: u64,
     /// Jobs currently waiting in the queue.
     pub queued: u64,
     /// Jobs currently running on a worker.
@@ -147,9 +161,14 @@ pub struct EngineStats {
 /// [`JobError::Shutdown`] instead of leaving the submitter hanging on a
 /// channel that silently disconnects.
 struct Job {
+    id: JobId,
     request: Option<SolveRequest<'static>>,
     cancel: CancelFlag,
     submitted_at: Instant,
+    /// Wall-clock-absolute deadline (from the request's budget at
+    /// submission, or the journaled original for recovered jobs).
+    /// Wall-clock so a crash + replay can never extend the budget.
+    deadline_at: Option<SystemTime>,
     tx: Option<mpsc::Sender<JobResult>>,
 }
 
@@ -191,6 +210,8 @@ struct Counters {
     exhausted: Arc<Counter>,
     /// Queued jobs aborted to [`JobError::Shutdown`] without running.
     aborted: Arc<Counter>,
+    /// Completed jobs that warm-started from a journaled checkpoint.
+    resumed: Arc<Counter>,
     running: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
     /// Submission-to-dequeue wait per job. Every accepted job is
@@ -245,6 +266,10 @@ impl Counters {
                 "ucp_engine_jobs_aborted_total",
                 "Queued jobs aborted to Shutdown without running",
             ),
+            resumed: registry.counter(
+                "ucp_engine_jobs_resumed_total",
+                "Completed jobs that warm-started from a journaled checkpoint",
+            ),
             running: registry.gauge("ucp_engine_jobs_running", "Jobs currently on a worker"),
             queue_depth: registry.gauge("ucp_engine_queue_depth", "Jobs waiting in the queue"),
             queue_wait: registry.histogram(
@@ -287,6 +312,35 @@ struct Shared {
     counters: Counters,
     registry: Arc<Registry>,
     started: Instant,
+    /// The write-ahead job journal, when this engine is durable (see
+    /// [`Engine::start_journaled`]). Append failures are reported to
+    /// stderr and the job proceeds: the engine favours availability
+    /// over durability once the journal's disk misbehaves.
+    journal: Option<Arc<Journal>>,
+}
+
+impl Shared {
+    /// Appends `record`, surfacing (but not propagating) IO errors.
+    fn journal_append(&self, record: &Record) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append(record) {
+                eprintln!("ucp-engine: journal append failed ({}): {e}", record.kind());
+            }
+        }
+    }
+}
+
+/// One job re-enqueued from the journal by [`Engine::recover`].
+pub struct RecoveredJob {
+    /// The job's original engine id, preserved across the restart.
+    pub id: u64,
+    /// A fresh handle to the re-enqueued job.
+    pub handle: JobHandle,
+    /// The tenant recorded at original submission, if any.
+    pub tenant: Option<String>,
+    /// `true` when the job warm-starts from a journaled checkpoint
+    /// rather than solving from scratch.
+    pub resumed: bool,
 }
 
 /// A long-lived batch solve engine (see the crate docs for the
@@ -304,7 +358,25 @@ impl Engine {
     /// Starts the worker pool. Workers idle until jobs arrive and live
     /// until [`Engine::shutdown`] (or drop).
     pub fn start(config: EngineConfig) -> Self {
+        Self::start_inner(config, None)
+    }
+
+    /// [`Engine::start`] with a write-ahead job journal attached: every
+    /// accepted job is journaled before its submitter is acknowledged,
+    /// workers journal `started`, per-run solver checkpoints and the
+    /// terminal transition (before the handle resolves), and
+    /// [`Engine::recover`] re-enqueues whatever a previous process left
+    /// incomplete. `ucp_durability_*` metric families register into
+    /// this engine's registry.
+    pub fn start_journaled(config: EngineConfig, journal: Arc<Journal>) -> Self {
+        Self::start_inner(config, Some(journal))
+    }
+
+    fn start_inner(config: EngineConfig, journal: Option<Arc<Journal>>) -> Self {
         let registry = Arc::new(Registry::new());
+        if let Some(journal) = &journal {
+            journal.attach_metrics(JournalMetrics::register(&registry));
+        }
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState::default()),
             not_empty: Condvar::new(),
@@ -313,6 +385,7 @@ impl Engine {
             counters: Counters::register(&registry),
             registry,
             started: Instant::now(),
+            journal,
         });
         let workers = (0..config.resolved_workers())
             .map(|i| {
@@ -361,13 +434,24 @@ impl Engine {
     /// assert_eq!(job.wait().unwrap().cost, 2.0);
     /// ```
     pub fn submit(&self, request: SolveRequest<'static>) -> Result<JobHandle, SubmitError> {
+        self.submit_tagged(request, None)
+    }
+
+    /// [`Engine::submit`] with a tenant label for the journal's
+    /// `submitted` record — how a front-end's admission identity
+    /// survives a crash. The label has no scheduling effect.
+    pub fn submit_tagged(
+        &self,
+        request: SolveRequest<'static>,
+        tenant: Option<&str>,
+    ) -> Result<JobHandle, SubmitError> {
         let mut state = self.shared.state.lock().unwrap();
         loop {
             if state.closed {
                 return Err(SubmitError::Closed);
             }
             if state.jobs.len() < self.shared.capacity {
-                return Ok(self.enqueue(state, request));
+                return Ok(self.enqueue(state, request, tenant));
             }
             state = self.shared.not_full.wait(state).unwrap();
         }
@@ -377,6 +461,16 @@ impl Engine {
     /// [`SubmitError::QueueFull`] instead of waiting, so callers can
     /// shed or defer load themselves.
     pub fn try_submit(&self, request: SolveRequest<'static>) -> Result<JobHandle, SubmitError> {
+        self.try_submit_tagged(request, None)
+    }
+
+    /// [`Engine::try_submit`] with a journal tenant label (see
+    /// [`Engine::submit_tagged`]).
+    pub fn try_submit_tagged(
+        &self,
+        request: SolveRequest<'static>,
+        tenant: Option<&str>,
+    ) -> Result<JobHandle, SubmitError> {
         let state = self.shared.state.lock().unwrap();
         if state.closed {
             return Err(SubmitError::Closed);
@@ -384,21 +478,56 @@ impl Engine {
         if state.jobs.len() >= self.shared.capacity {
             return Err(SubmitError::QueueFull);
         }
-        Ok(self.enqueue(state, request))
+        Ok(self.enqueue(state, request, tenant))
     }
 
     fn enqueue(
         &self,
-        mut state: std::sync::MutexGuard<'_, QueueState>,
-        mut request: SolveRequest<'static>,
+        state: std::sync::MutexGuard<'_, QueueState>,
+        request: SolveRequest<'static>,
+        tenant: Option<&str>,
     ) -> JobHandle {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let deadline_at = request
+            .opts()
+            .time_limit
+            .map(|budget| SystemTime::now() + budget);
+        // Journaled before the submitter is acknowledged: once the
+        // handle exists, a crash cannot lose the job. The fsync happens
+        // under the queue lock — durability is part of admission.
+        if self.shared.journal.is_some() {
+            let deadline_ms = deadline_at.and_then(|d| {
+                d.duration_since(UNIX_EPOCH)
+                    .ok()
+                    .map(|d| d.as_millis() as u64)
+            });
+            self.shared.journal_append(&Record::Submitted {
+                job: id.0,
+                t_ms: now_ms(),
+                spec: JobSpec::from_request(&request).ok(),
+                matrix: request.shared_matrix().map(|m| (*m).clone()),
+                tenant: tenant.map(str::to_string),
+                deadline_ms,
+            });
+        }
+        self.push_job(state, request, id, deadline_at)
+    }
+
+    fn push_job(
+        &self,
+        mut state: std::sync::MutexGuard<'_, QueueState>,
+        mut request: SolveRequest<'static>,
+        id: JobId,
+        deadline_at: Option<SystemTime>,
+    ) -> JobHandle {
         let cancel = request.cancel_flag();
         let (tx, rx) = mpsc::channel();
         state.jobs.push_back(Job {
+            id,
             request: Some(request),
             cancel: cancel.clone(),
             submitted_at: Instant::now(),
+            deadline_at,
             tx: Some(tx),
         });
         self.shared.counters.submitted.inc();
@@ -409,6 +538,53 @@ impl Engine {
         drop(state);
         self.shared.not_empty.notify_one();
         JobHandle { id, cancel, rx }
+    }
+
+    /// Re-enqueues every recoverable job a journal replay found
+    /// incomplete: jobs whose `submitted` record carries a spec and
+    /// matrix but that never reached a terminal record. Each job keeps
+    /// its original id (the id counter jumps past the journal's
+    /// highest) and its original wall-clock deadline — a job whose
+    /// budget expired while the process was down resolves to
+    /// [`JobError::Expired`] without re-running. Jobs with a valid
+    /// journaled checkpoint warm-start from it instead of solving from
+    /// scratch.
+    ///
+    /// Recovery bypasses queue-capacity backpressure (the work was
+    /// already admitted once) and does not re-journal `submitted`
+    /// records.
+    pub fn recover(&self, set: &RecoverySet) -> Vec<RecoveredJob> {
+        self.next_id
+            .fetch_max(set.max_job_id + 1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        for job in set.incomplete() {
+            let (Some(spec), Some(matrix)) = (&job.spec, &job.matrix) else {
+                continue;
+            };
+            let matrix = Arc::new(matrix.clone());
+            let mut request = spec.to_request(Arc::clone(&matrix));
+            let mut resumed = false;
+            if let Some(ckpt) = &job.checkpoint {
+                let multicover = !request.constraint_set().is_unate();
+                if ckpt.matches(&matrix, multicover) {
+                    request = request.resume_from(ckpt.clone());
+                    resumed = true;
+                }
+            }
+            let deadline_at = job
+                .deadline_ms
+                .map(|ms| UNIX_EPOCH + Duration::from_millis(ms));
+            let id = JobId(job.job);
+            let state = self.shared.state.lock().unwrap();
+            let handle = self.push_job(state, request, id, deadline_at);
+            out.push(RecoveredJob {
+                id: job.job,
+                handle,
+                tenant: job.tenant.clone(),
+                resumed,
+            });
+        }
+        out
     }
 
     /// A snapshot of the engine's counters.
@@ -425,6 +601,7 @@ impl Engine {
             retried: c.retried.get(),
             exhausted: c.exhausted.get(),
             aborted: c.aborted.get(),
+            resumed: c.resumed.get(),
             queued,
             running: c.running.get() as u64,
         }
@@ -569,15 +746,50 @@ fn worker_loop(shared: &Shared) {
         shared.counters.running.add(1.0);
         let run_started = Instant::now();
         let request = job.request.take().expect("queued job carries its request");
-        let result = run_job(request, &job.cancel, job.submitted_at, &shared.counters);
+        shared.journal_append(&Record::Started {
+            job: job.id.0,
+            t_ms: now_ms(),
+        });
+        let result = run_job(
+            request,
+            &job.cancel,
+            job.deadline_at,
+            shared.journal.as_ref().map(|j| (Arc::clone(j), job.id.0)),
+            &shared.counters,
+        );
         shared
             .counters
             .run_latency
             .observe_duration(run_started.elapsed());
         shared.counters.running.add(-1.0);
+        // The terminal record lands before the handle resolves: a
+        // caller that observed a result can never see the job re-run
+        // after a crash (exactly-once resolution). Shutdown verdicts
+        // are not journaled — those jobs stay incomplete and recover.
+        let t_ms = now_ms();
+        match &result {
+            Ok(outcome) => shared.journal_append(&Record::Done {
+                job: job.id.0,
+                t_ms,
+                result: JobResultDto::from_outcome(outcome),
+            }),
+            Err(JobError::Cancelled) => shared.journal_append(&Record::Cancelled {
+                job: job.id.0,
+                t_ms,
+            }),
+            Err(JobError::Shutdown | JobError::EngineClosed) => {}
+            Err(err) => shared.journal_append(&Record::Failed {
+                job: job.id.0,
+                t_ms,
+                error: WireError::new(err.wire_code(), err.to_string()),
+            }),
+        }
         let counter = match &result {
             Ok(outcome) => {
                 shared.counters.solve.record(outcome);
+                if outcome.resumed > 0 {
+                    shared.counters.resumed.inc();
+                }
                 &shared.counters.completed
             }
             Err(JobError::Cancelled) => &shared.counters.cancelled,
@@ -594,7 +806,8 @@ fn worker_loop(shared: &Shared) {
 fn run_job(
     mut request: SolveRequest<'static>,
     cancel: &CancelFlag,
-    submitted_at: Instant,
+    deadline_at: Option<SystemTime>,
+    journal: Option<(Arc<Journal>, u64)>,
     counters: &Counters,
 ) -> JobResult {
     ucp_failpoints::fail_point!("engine::job", |payload: String| Err(JobError::Panicked(
@@ -603,14 +816,35 @@ fn run_job(
     if cancel.is_cancelled() {
         return Err(JobError::Cancelled);
     }
-    // The deadline budget is measured from submission: shrink it by the
-    // time the job spent queued, and expire it outright if the queue
-    // already ate the whole budget.
-    if let Some(budget) = request.opts().time_limit {
-        match budget.checked_sub(submitted_at.elapsed()) {
-            Some(remaining) => request = request.deadline(remaining),
-            None => return Err(JobError::Expired),
+    // The deadline is wall-clock absolute, fixed at submission (or at
+    // the job's *original* submission for recovered jobs): queue wait
+    // and process downtime both count against it, and a budget that
+    // expired while the process was down resolves here without
+    // re-running the solve.
+    if let Some(deadline) = deadline_at {
+        match deadline.duration_since(SystemTime::now()) {
+            Ok(remaining) => request = request.deadline(remaining),
+            Err(_) => return Err(JobError::Expired),
         }
+    }
+    // Durable engines checkpoint every constructive run (unless the
+    // request asked for a sparser stride) and append each checkpoint to
+    // the journal, so a crash mid-solve resumes instead of restarting.
+    if let Some((journal, job_id)) = journal {
+        if request.opts().checkpoint_every == 0 {
+            request = request.checkpoint_every(1);
+        }
+        request = request.checkpoint_sink(move |ckpt| {
+            ucp_failpoints::fail_point!("engine::checkpoint");
+            let record = Record::Checkpoint {
+                job: job_id,
+                t_ms: now_ms(),
+                ckpt: ckpt.clone(),
+            };
+            if let Err(e) = journal.append(&record) {
+                eprintln!("ucp-engine: checkpoint append failed: {e}");
+            }
+        });
     }
     // Saved up front — the solve consumes the request, and a budget
     // exhaustion earns one retry under the explicit-only degraded

@@ -43,6 +43,10 @@ pub enum FailAction {
     /// [`fail_point!`] receives this payload and `return`s its closure's
     /// value. The one-argument form ignores `Return` actions.
     Return(String),
+    /// Abort the whole process (`std::process::abort`), simulating a
+    /// crash — no destructors, no flushing, exactly like a SIGKILL
+    /// landing at the site. Used by crash-recovery kill harnesses.
+    Abort,
 }
 
 /// Arming descriptor for one failpoint site.
@@ -87,6 +91,68 @@ impl FailConfig {
     /// sites using the two-argument [`fail_point!`] form).
     pub fn ret(payload: impl Into<String>) -> Self {
         FailConfig::with_action(FailAction::Return(payload.into()))
+    }
+
+    /// Abort the process when triggered (crash simulation).
+    pub fn abort() -> Self {
+        FailConfig::with_action(FailAction::Abort)
+    }
+
+    /// Parses the textual arming grammar used by [`arm_from_env`]:
+    /// an action — `abort`, `panic`, `panic(msg)`, `sleep(ms)`,
+    /// `return` or `return(payload)` — followed by `;`-separated
+    /// modifiers `skip=N`, `times=N` and `one_in=SEED:N`.
+    ///
+    /// ```
+    /// use ucp_failpoints::FailConfig;
+    /// FailConfig::parse("abort;skip=2").unwrap();
+    /// FailConfig::parse("panic(boom);times=1").unwrap();
+    /// assert!(FailConfig::parse("explode").is_err());
+    /// ```
+    pub fn parse(s: &str) -> Result<FailConfig, String> {
+        let mut parts = s.split(';').map(str::trim);
+        let action = parts.next().unwrap_or("");
+        let call = |prefix: &str| -> Option<&str> {
+            action
+                .strip_prefix(prefix)?
+                .strip_prefix('(')?
+                .strip_suffix(')')
+        };
+        let mut config = if action == "abort" {
+            FailConfig::abort()
+        } else if action == "panic" {
+            FailConfig::panic()
+        } else if action == "return" {
+            FailConfig::ret("")
+        } else if let Some(msg) = call("panic") {
+            FailConfig::panic_msg(msg)
+        } else if let Some(payload) = call("return") {
+            FailConfig::ret(payload)
+        } else if let Some(ms) = call("sleep") {
+            FailConfig::sleep_ms(ms.parse().map_err(|_| format!("bad sleep ms {ms:?}"))?)
+        } else {
+            return Err(format!("unknown failpoint action {action:?}"));
+        };
+        for part in parts {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("modifier {part:?} is not key=value"))?;
+            let num = |v: &str| -> Result<u64, String> {
+                v.parse().map_err(|_| format!("bad {key} value {v:?}"))
+            };
+            config = match key.trim() {
+                "skip" => config.skip(num(value)?),
+                "times" => config.times(num(value)?),
+                "one_in" => {
+                    let (seed, n) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("one_in wants SEED:N, got {value:?}"))?;
+                    config.one_in(num(seed)?, num(n)?)
+                }
+                other => return Err(format!("unknown modifier {other:?}")),
+            };
+        }
+        Ok(config)
     }
 
     /// Skip the first `n` evaluations of the site before triggering.
@@ -170,6 +236,41 @@ pub fn remove(name: &str) {
 /// Disarms every site.
 pub fn clear_all() {
     lock_registry().clear();
+}
+
+/// Arms failpoints from the `UCP_FAILPOINTS` environment variable —
+/// the arming channel for *spawned* processes (kill harnesses cannot
+/// call [`configure`] inside the child). The value is a comma-separated
+/// list of `site=config` pairs where `config` follows
+/// [`FailConfig::parse`]:
+///
+/// ```text
+/// UCP_FAILPOINTS='engine::checkpoint=abort;skip=2,durability::fsync=panic'
+/// ```
+///
+/// Returns the number of sites armed. Malformed entries are reported on
+/// stderr and skipped — a typo'd variable must not take the process
+/// down before the harness even starts. With the `failpoints` feature
+/// off this arms nothing observable (every site compiles to nothing).
+pub fn arm_from_env() -> usize {
+    let Ok(value) = std::env::var("UCP_FAILPOINTS") else {
+        return 0;
+    };
+    let mut armed = 0;
+    for entry in value.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let Some((site, config)) = entry.split_once('=') else {
+            eprintln!("UCP_FAILPOINTS: entry {entry:?} is not site=config, skipped");
+            continue;
+        };
+        match FailConfig::parse(config) {
+            Ok(config) => {
+                configure(site.trim(), config);
+                armed += 1;
+            }
+            Err(err) => eprintln!("UCP_FAILPOINTS: {site}: {err}, skipped"),
+        }
+    }
+    armed
 }
 
 /// How many times the named site has been evaluated since it was armed.
@@ -257,6 +358,10 @@ pub fn eval_payload(name: &str) -> Option<String> {
             None
         }
         FailAction::Return(payload) => Some(payload),
+        FailAction::Abort => {
+            eprintln!("failpoint {name}: aborting process");
+            std::process::abort();
+        }
     }
 }
 
@@ -363,6 +468,43 @@ mod tests {
         assert_eq!(site(), Ok(7));
         configure("mret", FailConfig::ret("injected"));
         assert_eq!(site(), Err("injected".into()));
+    }
+
+    #[test]
+    fn parse_grammar_round_trips_actions_and_modifiers() {
+        let c = FailConfig::parse("return(x);skip=2;times=3").unwrap();
+        assert_eq!(c.action, FailAction::Return("x".into()));
+        assert_eq!((c.skip, c.times), (2, Some(3)));
+        let c = FailConfig::parse("abort;one_in=42:4").unwrap();
+        assert_eq!(c.action, FailAction::Abort);
+        assert_eq!(c.one_in, Some((42, 4)));
+        assert_eq!(
+            FailConfig::parse("panic(kapow)").unwrap().action,
+            FailAction::Panic("kapow".into())
+        );
+        assert_eq!(
+            FailConfig::parse("sleep(25)").unwrap().action,
+            FailAction::Sleep(25)
+        );
+        assert!(FailConfig::parse("explode").is_err());
+        assert!(FailConfig::parse("abort;skip").is_err());
+        assert!(FailConfig::parse("abort;one_in=7").is_err());
+    }
+
+    #[test]
+    fn arm_from_env_skips_malformed_entries() {
+        let _s = FailScenario::setup();
+        // Serialized by the scenario lock, so the env mutation is safe
+        // with respect to other failpoint tests.
+        std::env::set_var(
+            "UCP_FAILPOINTS",
+            "env_a=return(hi);times=1, broken, env_b=explode, env_c=sleep(1)",
+        );
+        let armed = arm_from_env();
+        std::env::remove_var("UCP_FAILPOINTS");
+        assert_eq!(armed, 2);
+        assert_eq!(eval_payload("env_a"), Some("hi".into()));
+        assert_eq!(eval_payload("env_b"), None);
     }
 
     #[test]

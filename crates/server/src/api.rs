@@ -144,12 +144,14 @@ fn stats(state: &Arc<ServerState>, stream: &mut TcpStream) -> io::Result<()> {
     e.field_u64("aborted", engine.aborted);
     e.field_u64("queued", engine.queued);
     e.field_u64("running", engine.running);
+    e.field_u64("resumed", engine.resumed);
     let mut o = JsonObj::new();
     o.field_str("api", WIRE_API);
     o.field_f64("uptime_seconds", state.uptime_seconds());
     o.field_u64("jobs_tracked", state.table().len() as u64);
     o.field_u64("jobs_accepted", state.metrics().accepted.get());
     o.field_u64("jobs_shed", state.metrics().shed.get());
+    o.field_u64("jobs_recovered", state.metrics().recovered.get());
     o.field_raw("engine", &e.finish());
     respond_json(stream, 200, &o.finish(), &[])
 }

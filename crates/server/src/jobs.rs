@@ -138,6 +138,9 @@ struct JobEntry {
     cancel_requested: bool,
     cancel: CancelFlag,
     trace: Option<Arc<TraceBuf>>,
+    /// `true` when this entry was rebuilt from the durability journal
+    /// after a restart (in-flight re-runs and replayed terminals both).
+    recovered: bool,
     state: EntryState,
 }
 
@@ -171,6 +174,7 @@ impl JobEntry {
             cancel_requested: self.cancel_requested,
             result,
             error,
+            recovered: self.recovered,
         }
     }
 }
@@ -219,7 +223,95 @@ impl JobTable {
             cancel_requested: false,
             cancel: handle.cancel_flag(),
             trace,
+            recovered: false,
             state: EntryState::InFlight(handle),
+        };
+        let mut jobs = self.jobs.lock().unwrap();
+        jobs.insert(id, entry);
+        self.evict_locked(&mut jobs);
+    }
+
+    /// Tracks a job re-enqueued from the durability journal: same shape
+    /// as [`JobTable::insert`], but flagged `recovered` so its status
+    /// (and eventual result) say so on the wire.
+    pub fn insert_recovered(
+        &self,
+        id: u64,
+        handle: JobHandle,
+        tenant: String,
+        tenant_slots: Arc<AtomicUsize>,
+    ) {
+        let entry = JobEntry {
+            tenant,
+            tenant_slots,
+            shed: false,
+            cancel_requested: false,
+            cancel: handle.cancel_flag(),
+            trace: None,
+            recovered: true,
+            state: EntryState::InFlight(handle),
+        };
+        let mut jobs = self.jobs.lock().unwrap();
+        jobs.insert(id, entry);
+        self.evict_locked(&mut jobs);
+    }
+
+    /// Tracks a job the journal already saw resolve: the entry is born
+    /// terminal, so polling the original id after a restart returns the
+    /// recorded verdict instead of 404. No tenant slot is held (the job
+    /// is not in flight) and cancel is inert.
+    pub fn insert_recovered_terminal(
+        &self,
+        id: u64,
+        tenant: String,
+        terminal: &ucp_durability::Terminal,
+    ) {
+        use ucp_durability::Terminal;
+        let (state, cancel_requested) = match terminal {
+            Terminal::Done(dto) if dto.infeasible => (
+                EntryState::Terminal {
+                    error: Some(WireError::new(
+                        ucp_core::WireCode::Infeasible,
+                        "instance has an uncoverable row",
+                    )),
+                    result: Some(dto.clone()),
+                },
+                false,
+            ),
+            Terminal::Done(dto) => (
+                EntryState::Terminal {
+                    result: Some(dto.clone()),
+                    error: None,
+                },
+                false,
+            ),
+            Terminal::Failed(err) => (
+                EntryState::Terminal {
+                    result: None,
+                    error: Some(err.clone()),
+                },
+                false,
+            ),
+            Terminal::Cancelled => (
+                EntryState::Terminal {
+                    result: None,
+                    error: Some(WireError::new(
+                        ucp_core::WireCode::Cancelled,
+                        "job cancelled",
+                    )),
+                },
+                true,
+            ),
+        };
+        let entry = JobEntry {
+            tenant,
+            tenant_slots: Arc::new(AtomicUsize::new(0)),
+            shed: false,
+            cancel_requested,
+            cancel: CancelFlag::new(),
+            trace: None,
+            recovered: true,
+            state,
         };
         let mut jobs = self.jobs.lock().unwrap();
         jobs.insert(id, entry);

@@ -77,15 +77,17 @@ pub use jobs::{JobTable, TraceBuf, TraceWriter};
 pub use loadgen::{LoadgenOptions, LoadgenReport};
 
 use jobs::wire_id;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 use ucp_core::wire::{JobSpec, JobState, JobStatusDto, SubmitBody, WireCode, WireError};
 use ucp_core::Preset;
+use ucp_durability::{Journal, RecoverySet};
 use ucp_engine::{Engine, EngineConfig, EngineStats};
 use ucp_metrics::{Counter, Gauge};
 use ucp_telemetry::JsonlSink;
@@ -109,6 +111,15 @@ pub struct ServerConfig {
     pub shed_after: u32,
     /// Terminal jobs kept pollable before the oldest are evicted.
     pub retain_terminal: usize,
+    /// Directory of the write-ahead job journal (`ucp serve
+    /// --journal`). `None` (the default) runs without durability —
+    /// byte-identical behaviour to a pre-journal server. With a
+    /// directory set, every accepted job is journaled before its `201`
+    /// acknowledgement, solver checkpoints and terminal transitions are
+    /// journaled as they happen, and a restarted server re-enqueues
+    /// whatever the previous process left unresolved — polling the
+    /// original job id keeps working across the crash.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +132,7 @@ impl Default for ServerConfig {
             max_body_bytes: 8 * 1024 * 1024,
             shed_after: 3,
             retain_terminal: 100_000,
+            journal_dir: None,
         }
     }
 }
@@ -135,6 +147,7 @@ struct ServerMetrics {
     rejected_invalid: Arc<Counter>,
     shed: Arc<Counter>,
     trace_streams: Arc<Counter>,
+    recovered: Arc<Counter>,
     jobs_tracked: Arc<Gauge>,
     shedding: Arc<Gauge>,
 }
@@ -168,6 +181,10 @@ impl ServerMetrics {
                 "ucp_server_trace_streams_total",
                 "Live trace streams served",
             ),
+            recovered: registry.counter(
+                "ucp_server_jobs_recovered_total",
+                "Jobs restored from the durability journal at startup",
+            ),
             jobs_tracked: registry.gauge(
                 "ucp_server_jobs_tracked",
                 "Jobs in the server's table (terminal retained included)",
@@ -187,6 +204,62 @@ struct ShedState {
     engaged: bool,
 }
 
+/// Derives `Retry-After` seconds for 429 responses from the observed
+/// queue drain rate. Every refusal records a `(when, terminal_total)`
+/// sample; the drain rate over the trailing window divides the current
+/// queue depth into an expected wait. With no observable drain yet the
+/// estimator stays optimistic (1 s) — a queue that has provably not
+/// moved for the whole window earns the pessimistic cap instead.
+pub(crate) struct RetryAfterEstimator {
+    samples: Mutex<VecDeque<(Instant, u64)>>,
+}
+
+/// Trailing window the drain rate is measured over.
+const RETRY_AFTER_WINDOW: Duration = Duration::from_secs(60);
+
+impl RetryAfterEstimator {
+    pub(crate) fn new() -> RetryAfterEstimator {
+        RetryAfterEstimator {
+            samples: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records one observation and suggests a bounded `Retry-After`.
+    /// `terminal_total` is the engine's monotone count of resolved
+    /// jobs; `depth` is the current queue length.
+    pub(crate) fn suggest(&self, now: Instant, terminal_total: u64, depth: u64) -> u32 {
+        let mut samples = self.samples.lock().unwrap();
+        while let Some(&(t, _)) = samples.front() {
+            if now.duration_since(t) > RETRY_AFTER_WINDOW {
+                samples.pop_front();
+            } else {
+                break;
+            }
+        }
+        let oldest = samples.front().copied();
+        samples.push_back((now, terminal_total));
+        let Some((t0, done0)) = oldest else {
+            return 1; // first pressure event: nothing measured yet
+        };
+        let span = now.duration_since(t0).as_secs_f64();
+        let drained = terminal_total.saturating_sub(done0);
+        if drained == 0 {
+            // No job finished across the observed span. A short span
+            // proves nothing; a stuck full window earns the cap.
+            return if span >= RETRY_AFTER_WINDOW.as_secs_f64() * 0.9 {
+                60
+            } else {
+                1
+            };
+        }
+        if span <= 0.0 {
+            return 1;
+        }
+        let rate = drained as f64 / span; // jobs per second
+        (depth as f64 / rate).ceil().clamp(1.0, 60.0) as u32
+    }
+}
+
 /// Everything a connection thread needs, shared behind one `Arc`.
 pub(crate) struct ServerState {
     engine: Engine,
@@ -197,6 +270,7 @@ pub(crate) struct ServerState {
     config: ServerConfig,
     stopping: AtomicBool,
     started: Instant,
+    retry_after: RetryAfterEstimator,
 }
 
 /// Outcome of one submission attempt, HTTP-ready.
@@ -271,6 +345,20 @@ impl ServerState {
         shed.engaged
     }
 
+    /// One `Retry-After` suggestion from current engine stats (see
+    /// [`RetryAfterEstimator`]).
+    fn suggest_retry_after(&self) -> u32 {
+        let stats = self.engine.stats();
+        let terminal = stats.completed
+            + stats.cancelled
+            + stats.expired
+            + stats.panicked
+            + stats.exhausted
+            + stats.aborted;
+        self.retry_after
+            .suggest(Instant::now(), terminal, stats.queued)
+    }
+
     /// Full submission pipeline: tenant quota → shed policy → engine
     /// admission → job table. `header_tenant` is the transport-level
     /// fallback; the body's `tenant` field wins.
@@ -292,7 +380,7 @@ impl ServerState {
                 self.metrics.rejected_tenant_quota.inc();
                 return SubmitVerdict::Refused {
                     error,
-                    retry_after: Some(1),
+                    retry_after: Some(self.suggest_retry_after()),
                 };
             }
         };
@@ -302,13 +390,13 @@ impl ServerState {
         if let Some(buf) = &trace {
             request = request.trace_sink(Box::new(JsonlSink::new(TraceWriter(Arc::clone(buf)))));
         }
-        let handle = match self.engine.try_submit(request) {
+        let handle = match self.engine.try_submit_tagged(request, Some(&tenant)) {
             Ok(handle) => handle,
             Err(err) => {
                 // The job never existed; give the quota slot back.
                 slots.fetch_sub(1, Ordering::AcqRel);
                 let code = err.wire_code();
-                let retry_after = (code == WireCode::QueueFull).then_some(1);
+                let retry_after = (code == WireCode::QueueFull).then(|| self.suggest_retry_after());
                 if code == WireCode::QueueFull {
                     self.metrics.rejected_queue_full.inc();
                 }
@@ -332,6 +420,7 @@ impl ServerState {
             tenant,
             shed,
             cancel_requested: false,
+            recovered: false,
             result: None,
             error: None,
         })
@@ -402,10 +491,23 @@ impl Server {
                 .ok_or_else(|| io::Error::other("bind address resolved to nothing"))?,
         )?;
         let addr = listener.local_addr()?;
-        let engine = Engine::start(EngineConfig {
+        let engine_config = EngineConfig {
             workers: config.workers,
             queue_capacity: config.queue_capacity,
-        });
+        };
+        // Open the journal and replay its surviving prefix *before* the
+        // engine starts: recovered jobs must be re-enqueued (and their
+        // terminal records re-published) before any new connection can
+        // race a submission against them.
+        let mut recovery = None;
+        let engine = match &config.journal_dir {
+            Some(dir) => {
+                let opened = Journal::open(dir)?;
+                recovery = Some(RecoverySet::from_records(&opened.replay.records));
+                Engine::start_journaled(engine_config, Arc::new(opened.journal))
+            }
+            None => Engine::start(engine_config),
+        };
         let metrics = ServerMetrics::register(&engine.registry());
         let state = Arc::new(ServerState {
             table: JobTable::new(config.retain_terminal),
@@ -416,7 +518,44 @@ impl Server {
             engine,
             stopping: AtomicBool::new(false),
             started: Instant::now(),
+            retry_after: RetryAfterEstimator::new(),
         });
+        if let Some(set) = recovery {
+            // Jobs the previous process already resolved stay pollable
+            // at their original ids...
+            for job in set.terminal() {
+                let tenant = job
+                    .tenant
+                    .clone()
+                    .unwrap_or_else(|| "anonymous".to_string());
+                let terminal = job
+                    .terminal
+                    .as_ref()
+                    .expect("terminal() yields resolved jobs");
+                state
+                    .table
+                    .insert_recovered_terminal(job.job, tenant, terminal);
+                state.metrics.recovered.inc();
+            }
+            // ...and unresolved ones go back through the engine, resumed
+            // from their newest valid checkpoint. Recovered jobs claim
+            // tenant slots unconditionally — admission control already
+            // happened in the previous life.
+            let recovered_jobs = state.engine.recover(&set);
+            for rec in recovered_jobs {
+                let tenant = rec
+                    .tenant
+                    .clone()
+                    .unwrap_or_else(|| "anonymous".to_string());
+                let slots = state.tenant_slots(&tenant);
+                slots.fetch_add(1, Ordering::AcqRel);
+                state
+                    .table
+                    .insert_recovered(rec.id, rec.handle, tenant, slots);
+                state.metrics.recovered.inc();
+            }
+            state.metrics.jobs_tracked.set(state.table.len() as f64);
+        }
         let stop = Arc::new(AtomicBool::new(false));
         let acceptor = {
             let state = Arc::clone(&state);
@@ -532,5 +671,57 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) -> io::Res
             }
             Err(http::RecvError::Io(_)) => return Ok(()),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_tracks_drain_rate() {
+        let est = RetryAfterEstimator::new();
+        let t0 = Instant::now();
+        // First pressure event: no history, optimistic floor.
+        assert_eq!(est.suggest(t0, 100, 40), 1);
+        // 10 s later 20 jobs drained → 2 jobs/s; 40 queued → 20 s wait.
+        assert_eq!(est.suggest(t0 + Duration::from_secs(10), 120, 40), 20);
+        // Faster drain shortens the suggestion (vs the oldest sample):
+        // 80 drained over 20 s → 4 jobs/s; 40 queued → 10 s.
+        assert_eq!(est.suggest(t0 + Duration::from_secs(20), 180, 40), 10);
+    }
+
+    #[test]
+    fn retry_after_is_bounded() {
+        let est = RetryAfterEstimator::new();
+        let t0 = Instant::now();
+        est.suggest(t0, 0, 1000);
+        // Tiny drain over a long span with a deep queue: capped at 60.
+        assert_eq!(est.suggest(t0 + Duration::from_secs(50), 1, 1000), 60);
+        // Huge drain with a shallow queue: floored at 1.
+        let est = RetryAfterEstimator::new();
+        est.suggest(t0, 0, 1);
+        assert_eq!(est.suggest(t0 + Duration::from_secs(10), 10_000, 1), 1);
+    }
+
+    #[test]
+    fn retry_after_stuck_queue_earns_the_cap() {
+        let est = RetryAfterEstimator::new();
+        let t0 = Instant::now();
+        est.suggest(t0, 50, 10);
+        // Nothing drained, but the span is short — stay optimistic.
+        assert_eq!(est.suggest(t0 + Duration::from_secs(5), 50, 10), 1);
+        // Nothing drained across (nearly) the whole window — pessimistic.
+        assert_eq!(est.suggest(t0 + Duration::from_secs(58), 50, 10), 60);
+    }
+
+    #[test]
+    fn retry_after_drops_expired_samples() {
+        let est = RetryAfterEstimator::new();
+        let t0 = Instant::now();
+        est.suggest(t0, 0, 10);
+        // 90 s later the first sample is outside the 60 s window, so
+        // this acts like a fresh first observation.
+        assert_eq!(est.suggest(t0 + Duration::from_secs(90), 500, 10), 1);
     }
 }

@@ -132,6 +132,34 @@ pub enum Event {
         cost: f64,
         best_cost: f64,
     },
+    /// Resumable solver state at a restart boundary: everything a
+    /// `SolverCheckpoint` needs to warm-start an interrupted solve.
+    /// Emitted only when checkpointing is requested
+    /// (`ScgOptions::checkpoint_every > 0`), so the payload may carry
+    /// vectors without taxing ordinary traces.
+    Checkpoint {
+        /// The next constructive run a resumed solve would execute
+        /// (1-based; runs below it are already accounted for).
+        next_run: usize,
+        /// Rows/columns of the matrix the ascent state refers to (the
+        /// cyclic core for unate solves, the full instance for
+        /// multicover).
+        core_rows: usize,
+        core_cols: usize,
+        /// Best lower bound proven so far.
+        lower_bound: f64,
+        /// Cost of `incumbent` (`+∞` when none exists yet).
+        incumbent_cost: f64,
+        /// Wall-clock seconds consumed by the solve so far.
+        elapsed_seconds: f64,
+        /// Lagrangian multipliers, one per core row.
+        lambda: Vec<f64>,
+        /// Best cover found so far, column indices in core space.
+        incumbent: Option<Vec<u32>>,
+        /// `true` when the state belongs to the constrained
+        /// (multicover) path rather than the unate core path.
+        multicover: bool,
+    },
 }
 
 impl Event {
@@ -147,6 +175,7 @@ impl Event {
             Event::Degraded { .. } => "degraded",
             Event::RestartBegin { .. } => "restart_begin",
             Event::RestartEnd { .. } => "restart_end",
+            Event::Checkpoint { .. } => "checkpoint",
         }
     }
 
@@ -233,6 +262,30 @@ impl Event {
                 obj.field_f64("cost", *cost);
                 obj.field_f64("best_cost", *best_cost);
             }
+            Event::Checkpoint {
+                next_run,
+                core_rows,
+                core_cols,
+                lower_bound,
+                incumbent_cost,
+                elapsed_seconds,
+                lambda,
+                incumbent,
+                multicover,
+            } => {
+                obj.field_u64("next_run", *next_run as u64);
+                obj.field_u64("core_rows", *core_rows as u64);
+                obj.field_u64("core_cols", *core_cols as u64);
+                obj.field_f64("lower_bound", *lower_bound);
+                obj.field_f64("incumbent_cost", *incumbent_cost);
+                obj.field_f64("elapsed_seconds", *elapsed_seconds);
+                obj.field_raw("lambda", &crate::json::f64_array(lambda));
+                if let Some(cols) = incumbent {
+                    let cols: Vec<u64> = cols.iter().map(|&c| u64::from(c)).collect();
+                    obj.field_raw("incumbent", &crate::json::u64_array(&cols));
+                }
+                obj.field_bool("multicover", *multicover);
+            }
         }
     }
 }
@@ -291,6 +344,17 @@ mod tests {
                 worker: 0,
                 cost: 0.0,
                 best_cost: 0.0,
+            },
+            Event::Checkpoint {
+                next_run: 1,
+                core_rows: 0,
+                core_cols: 0,
+                lower_bound: 0.0,
+                incumbent_cost: 0.0,
+                elapsed_seconds: 0.0,
+                lambda: Vec::new(),
+                incumbent: None,
+                multicover: false,
             },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();

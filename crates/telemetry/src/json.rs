@@ -124,6 +124,24 @@ pub fn u64_array(values: &[u64]) -> String {
     out
 }
 
+/// Serialises a slice of f64s as a JSON array (for `field_raw`).
+/// Non-finite values become `null`, matching [`JsonObj::field_f64`].
+pub fn f64_array(values: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if v.is_finite() {
+            out.push_str(&format!("{v}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

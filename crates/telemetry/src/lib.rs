@@ -31,7 +31,7 @@ mod sink;
 pub mod trace;
 
 pub use event::{DegradeReason, Event, FixReason, PenaltyKind};
-pub use json::{escape_json, u64_array, JsonObj};
+pub use json::{escape_json, f64_array, u64_array, JsonObj};
 pub use phase::{Phase, PhaseTimes};
 pub use probe::{NoopProbe, Probe, RecordingProbe, TimedEvent};
 pub use sink::{JsonlSink, TRACE_SCHEMA};

@@ -5,7 +5,8 @@
 //! ucp solve <instance> [--exact] [--preset P] [-j N|--workers N] [--node-budget N]
 //!           [--coverage B] [--gub cols:bound]… [--trace <path>] [--stats] [--metrics <path>]
 //! ucp batch <suite> [-j N] [--preset P] [--seed S] [--node-budget N] [--coverage B]
-//! ucp serve [--addr A] [-j N] [--queue-cap N]      HTTP solve service
+//! ucp serve [--addr A] [-j N] [--queue-cap N] [--journal <dir>]
+//! ucp journal <dir>                                summarise a job journal
 //! ucp trace <file.jsonl> [--folded <out>]          profile a recorded trace
 //! ucp bounds <file.ucp>                            print the bound chain
 //! ucp suite [easy|difficult|challenging]           describe the benchmark suite
@@ -56,6 +57,16 @@
 //! `--queue-cap N` the admission queue. See the README's "Serving"
 //! section for the wire format and the error-code taxonomy.
 //!
+//! `--journal <dir>` makes the service durable: every accepted job is
+//! recorded in a write-ahead journal under `<dir>` before it is
+//! acknowledged, solver checkpoints and terminal verdicts follow, and a
+//! restart after a crash replays the journal — resolved jobs stay
+//! pollable at their original ids and unresolved ones are re-enqueued,
+//! resuming from their newest checkpoint. `ucp journal <dir>` prints a
+//! human-readable summary of such a journal (it shares the replay
+//! parser with recovery, so what it reports is what a restart would
+//! do). See the README's "Durability" section.
+//!
 //! `--node-budget N` caps the implicit phase's ZDD store at `N` live
 //! nodes. A solve that exhausts the budget degrades to the explicit
 //! reductions and still returns the same cover (`--stats` reports the
@@ -86,12 +97,16 @@ use ucp::ucp_telemetry::{folded_stacks, parse_trace, JsonlSink, TraceSummary};
 use ucp::workloads::suite;
 
 fn main() -> ExitCode {
+    // Failpoints are compiled out of release builds; in failpoint builds
+    // this arms whatever UCP_FAILPOINTS requests (the kill harness).
+    ucp::ucp_failpoints::arm_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("minimize") => cmd_minimize(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("journal") => cmd_journal(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
@@ -126,7 +141,7 @@ fn main() -> ExitCode {
 fn print_usage(w: &mut dyn Write) {
     let _ = writeln!(
         w,
-        "usage: ucp <minimize|solve|batch|serve|trace|bounds|suite> …"
+        "usage: ucp <minimize|solve|batch|serve|journal|trace|bounds|suite> …"
     );
     let _ = writeln!(w, "  minimize <file.pla> [-o out.pla] [--exact]");
     let _ = writeln!(
@@ -141,8 +156,9 @@ fn print_usage(w: &mut dyn Write) {
     );
     let _ = writeln!(
         w,
-        "  serve    [--addr host:port] [-j N|--workers N] [--queue-cap N]"
+        "  serve    [--addr host:port] [-j N|--workers N] [--queue-cap N] [--journal <dir>]"
     );
+    let _ = writeln!(w, "  journal  <dir>");
     let _ = writeln!(w, "  trace    <file.jsonl> [--folded <out>]");
     let _ = writeln!(w, "  bounds   <file.ucp>");
     let _ = writeln!(w, "  suite    [easy|difficult|challenging]");
@@ -695,20 +711,124 @@ fn cmd_serve(args: &[String]) -> CliResult {
             .ok_or_else(|| usage("--queue-cap needs a positive job count"))?,
         None => ServerConfig::default().queue_capacity,
     };
+    let journal_dir = match args.iter().position(|a| a == "--journal") {
+        Some(i) => Some(
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .map(std::path::PathBuf::from)
+                .ok_or_else(|| usage("--journal needs a directory path"))?,
+        ),
+        None => None,
+    };
     let server = Server::start(ServerConfig {
         addr,
         workers,
         queue_capacity,
+        journal_dir: journal_dir.clone(),
         ..ServerConfig::default()
     })
     .map_err(|e| format!("cannot start server: {e}"))?;
     println!("serving ucp-api/2 on http://{}", server.addr());
+    if let Some(dir) = &journal_dir {
+        println!("  journaling jobs to {}", dir.display());
+    }
     println!("  POST /v1/jobs  GET /v1/jobs/{{id}}[/trace]  DELETE /v1/jobs/{{id}}  GET /metrics");
     // The service runs until the process is killed; `park` has no
     // wake-up guarantee either way, hence the loop.
     loop {
         std::thread::park();
     }
+}
+
+/// `ucp journal <dir>`: human-readable summary of a job journal. Uses
+/// the same replay parser as server recovery, so the jobs it reports as
+/// recoverable are exactly the ones a restart would re-enqueue.
+fn cmd_journal(args: &[String]) -> CliResult {
+    use ucp::ucp_durability::{read_journal, RecoverySet, Terminal};
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| usage("journal needs a directory path"))?;
+    // `read_journal` treats a missing file as an empty journal (what a
+    // fresh server wants), but for the inspector a typo'd path should
+    // fail loudly rather than report "no jobs".
+    if !std::path::Path::new(dir).is_dir() {
+        return Err(format!("no such journal directory: {dir}").into());
+    }
+    let replay = read_journal(std::path::Path::new(dir))
+        .map_err(|e| format!("cannot read journal under {dir}: {e}"))?;
+    let set = RecoverySet::from_records(&replay.records);
+
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    writeln!(
+        w,
+        "journal: {} records in {} bytes{}",
+        replay.records.len(),
+        replay.valid_bytes,
+        if replay.torn_bytes > 0 {
+            format!(" (+{} torn tail bytes, ignored)", replay.torn_bytes)
+        } else {
+            String::new()
+        }
+    )?;
+    if set.jobs.is_empty() {
+        writeln!(w, "no jobs")?;
+        return Ok(());
+    }
+    let (mut done, mut failed, mut cancelled, mut incomplete) = (0u64, 0u64, 0u64, 0u64);
+    for job in set.jobs.values() {
+        match &job.terminal {
+            Some(Terminal::Done(_)) => done += 1,
+            Some(Terminal::Failed(_)) => failed += 1,
+            Some(Terminal::Cancelled) => cancelled += 1,
+            None => incomplete += 1,
+        }
+    }
+    writeln!(
+        w,
+        "jobs: {} total — {done} done, {failed} failed, {cancelled} cancelled, {incomplete} incomplete",
+        set.jobs.len()
+    )?;
+    writeln!(
+        w,
+        "{:>8}  {:<12} {:<10} {:>6} {:>12}  detail",
+        "job", "tenant", "state", "ckpts", "next-run"
+    )?;
+    for job in set.jobs.values() {
+        let tenant = job.tenant.as_deref().unwrap_or("-");
+        let (state, detail) = match &job.terminal {
+            Some(Terminal::Done(result)) => ("done", format!("cost {}", result.cost)),
+            Some(Terminal::Failed(err)) => ("failed", err.message.clone()),
+            Some(Terminal::Cancelled) => ("cancelled", String::new()),
+            None if job.recoverable() => (
+                "incomplete",
+                if job.started {
+                    "recoverable, was running".to_string()
+                } else {
+                    "recoverable, still queued".to_string()
+                },
+            ),
+            None => (
+                "incomplete",
+                "not recoverable (spec or matrix missing)".into(),
+            ),
+        };
+        let next_run = match &job.checkpoint {
+            Some(ckpt) => ckpt.next_run.to_string(),
+            None => "-".to_string(),
+        };
+        writeln!(
+            w,
+            "{:>8}  {:<12} {:<10} {:>6} {:>12}  {detail}",
+            format!("j-{}", job.job),
+            tenant,
+            state,
+            job.checkpoints,
+            next_run
+        )?;
+    }
+    Ok(())
 }
 
 /// `ucp trace <file.jsonl> [--folded <out>]`: offline profile of a
@@ -892,6 +1012,13 @@ fn print_stats(out: &ScgOutcome) -> CliResult {
         "  dropped events{:>12}   (trace lines the sink failed to persist)",
         out.dropped_events
     )?;
+    if out.resumed > 0 {
+        writeln!(
+            w,
+            "  resumed       {:>12}   (restarts skipped by checkpoint resume)",
+            out.resumed
+        )?;
+    }
     Ok(())
 }
 

@@ -24,6 +24,9 @@
 //!   speaking the versioned `ucp-api/2` wire API with per-tenant
 //!   admission control, load shedding and live trace streaming (behind
 //!   `ucp serve`),
+//! * [`ucp_durability`] — the write-ahead job journal (`ucp-journal/1`)
+//!   and crash-recovery replay behind `ucp serve --journal` and
+//!   `ucp journal`,
 //! * [`solvers`] — baselines: Chvátal greedy, espresso-like heuristics, and
 //!   an exact scherzo-like branch-and-bound,
 //! * [`workloads`] — seeded synthetic benchmark instances standing in for
@@ -63,7 +66,9 @@ pub use logic;
 pub use lp;
 pub use solvers;
 pub use ucp_core;
+pub use ucp_durability;
 pub use ucp_engine;
+pub use ucp_failpoints;
 pub use ucp_metrics;
 pub use ucp_server;
 pub use ucp_telemetry;

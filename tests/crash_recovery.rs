@@ -1,0 +1,271 @@
+//! Kill harness: a real `ucp serve --journal` process is crashed at
+//! failpoint-chosen moments (mid journal append, mid fsync, mid
+//! checkpoint emission), restarted on the same journal, and every
+//! acknowledged job must reach a terminal state exactly once with no
+//! cost regression. Requires `--features failpoints`.
+#![cfg(feature = "failpoints")]
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use ucp::cover::CoverMatrix;
+use ucp::ucp_core::wire::{JobSpec, JobState, SubmitBody};
+use ucp::ucp_core::Preset;
+use ucp::ucp_durability::{read_journal, Record};
+use ucp::ucp_server::HttpClient;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ucp-crash-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sts9() -> CoverMatrix {
+    CoverMatrix::from_rows(
+        9,
+        vec![
+            vec![0, 1, 2],
+            vec![3, 4, 5],
+            vec![6, 7, 8],
+            vec![0, 3, 6],
+            vec![1, 4, 7],
+            vec![2, 5, 8],
+            vec![0, 4, 8],
+            vec![1, 5, 6],
+            vec![2, 3, 7],
+            vec![0, 5, 7],
+            vec![1, 3, 8],
+            vec![2, 4, 6],
+        ],
+    )
+}
+
+fn body(seed: u64, num_iter: Option<usize>) -> SubmitBody {
+    let mut spec = JobSpec::new(if num_iter.is_some() {
+        Preset::Paper
+    } else {
+        Preset::Fast
+    });
+    spec.seed = Some(seed);
+    spec.num_iter = num_iter;
+    SubmitBody {
+        matrix: sts9(),
+        spec,
+        tenant: None,
+        trace: false,
+    }
+}
+
+/// A served `ucp` child process; killed on drop so a failing test never
+/// leaks servers.
+struct Served {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Served {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `ucp serve --journal <dir>` with `failpoints` armed via the
+/// environment (empty = none) and waits for its listen address.
+fn serve(journal: &Path, failpoints: &str) -> Served {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ucp"));
+    cmd.args([
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "-j",
+        "1",
+        "--journal",
+        journal.to_str().unwrap(),
+    ])
+    .stdout(Stdio::piped())
+    .stderr(Stdio::null())
+    .env_remove("UCP_FAILPOINTS");
+    if !failpoints.is_empty() {
+        cmd.env("UCP_FAILPOINTS", failpoints);
+    }
+    let mut child = cmd.spawn().expect("spawn ucp serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stdout");
+        if let Some(rest) = line.strip_prefix("serving ucp-api/2 on http://") {
+            break rest.trim().to_string();
+        }
+    };
+    // Drain the rest of stdout in the background so the child never
+    // blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    Served { child, addr }
+}
+
+/// Submits bodies until one fails (the crash landing mid-submission is
+/// a legal outcome); returns the acknowledged wire ids.
+fn submit_all(addr: &str, bodies: &[SubmitBody]) -> Vec<String> {
+    let mut acked = Vec::new();
+    let Ok(mut client) = HttpClient::new(addr) else {
+        return acked;
+    };
+    for body in bodies {
+        match client.submit(body) {
+            Ok(Ok(status)) => acked.push(status.id),
+            _ => break,
+        }
+    }
+    acked
+}
+
+fn wait_for_exit(served: &mut Served) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match served.child.try_wait().expect("wait on child") {
+            Some(status) => {
+                assert!(!status.success(), "child was supposed to crash");
+                return;
+            }
+            None => {
+                assert!(
+                    Instant::now() < deadline,
+                    "armed failpoint never fired; child still alive"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn poll_done(client: &mut HttpClient, id: &str) -> ucp::ucp_core::wire::JobStatusDto {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = client
+            .poll(id)
+            .expect("poll io")
+            .unwrap_or_else(|(code, err)| panic!("job {id} not pollable: {code} {err:?}"));
+        if status.state.is_terminal() {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "job {id} never turned terminal");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// One full crash/restart cycle: serve with `failpoints` armed, submit,
+/// crash, restart clean, and check every acknowledged job terminates
+/// with the known optimum. Returns the restarted server (still running),
+/// the acked ids and the journal dir, for scenario-specific assertions.
+fn crash_and_recover(
+    tag: &str,
+    failpoints: &str,
+    bodies: &[SubmitBody],
+) -> (Served, Vec<String>, PathBuf) {
+    let journal = tmp_dir(tag);
+    let mut crashed = serve(&journal, failpoints);
+    let acked = submit_all(&crashed.addr, bodies);
+    wait_for_exit(&mut crashed);
+    drop(crashed);
+
+    let recovered = serve(&journal, "");
+    let mut client = HttpClient::new(&recovered.addr).expect("connect to restarted server");
+    for id in &acked {
+        let status = poll_done(&mut client, id);
+        assert_eq!(status.state, JobState::Done, "job {id} after recovery");
+        let result = status.result.expect("done job carries a result");
+        assert_eq!(
+            result.cost, 5.0,
+            "job {id} lost ground across the crash (STS(9) optimum is 5)"
+        );
+    }
+    (recovered, acked, journal)
+}
+
+/// Counts terminal records per job and asserts each resolved exactly once.
+fn assert_exactly_once(journal: &Path, acked: &[String]) {
+    let replay = read_journal(journal).expect("read journal");
+    for id in acked {
+        let numeric: u64 = id.trim_start_matches("j-").parse().unwrap();
+        let terminals = replay
+            .records
+            .iter()
+            .filter(|r| {
+                matches!(r, Record::Done { job, .. } | Record::Failed { job, .. } | Record::Cancelled { job, .. } if *job == numeric)
+            })
+            .count();
+        assert_eq!(terminals, 1, "job {id} resolved {terminals} times");
+    }
+}
+
+fn stat_u64(body: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle).map(|i| i + needle.len()).unwrap();
+    body[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn crash_during_journal_append() {
+    // The 5th journal append aborts the process: with three accepted
+    // jobs and one worker, that lands after acceptance but before every
+    // verdict is journaled.
+    let bodies = [body(1, None), body(2, None), body(3, None)];
+    let (server, acked, journal) =
+        crash_and_recover("append", "durability::journal_write=abort;skip=4", &bodies);
+    assert!(
+        !acked.is_empty(),
+        "no job was acknowledged before the crash"
+    );
+    let mut client = HttpClient::new(&server.addr).unwrap();
+    let stats = client.get("/v1/stats").unwrap();
+    assert!(stat_u64(stats.body_str(), "jobs_recovered") > 0);
+    drop(server);
+    assert_exactly_once(&journal, &acked);
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
+#[test]
+fn crash_during_fsync() {
+    let bodies = [body(4, None), body(5, None)];
+    let (server, acked, journal) =
+        crash_and_recover("fsync", "durability::fsync=abort;skip=3", &bodies);
+    assert!(
+        !acked.is_empty(),
+        "no job was acknowledged before the crash"
+    );
+    drop(server);
+    assert_exactly_once(&journal, &acked);
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
+#[test]
+fn crash_during_checkpoint_resumes_the_solve() {
+    // One long job (200 restarts): the 8th checkpoint emission aborts,
+    // leaving several journaled checkpoints behind. The restarted
+    // server must resume — not restart — the solve.
+    let bodies = [body(6, Some(200))];
+    let (server, acked, journal) =
+        crash_and_recover("checkpoint", "engine::checkpoint=abort;skip=7", &bodies);
+    assert_eq!(acked.len(), 1);
+    let mut client = HttpClient::new(&server.addr).unwrap();
+    let stats = client.get("/v1/stats").unwrap();
+    let text = stats.body_str().to_string();
+    assert!(stat_u64(&text, "jobs_recovered") > 0, "stats: {text}");
+    assert!(
+        stat_u64(&text, "resumed") > 0,
+        "recovered job did not resume from its checkpoint: {text}"
+    );
+    drop(server);
+    assert_exactly_once(&journal, &acked);
+    let _ = std::fs::remove_dir_all(&journal);
+}
